@@ -1,0 +1,173 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! subword granularity, provisioning, memo-table size, Clank parameters,
+//! capacitor size, and the SWV adder's mux spacing.
+//!
+//! Each bench measures time-to-result of the affected path; the
+//! corresponding *measurements* (speedups, errors) come from the
+//! `experiments` binary. `cargo bench ablations` therefore doubles as a
+//! sweep-shaped stress test of the whole stack.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use wn_core::continuous::earliest_output;
+use wn_core::intermittent::{quick_supply, run_intermittent, SubstrateKind};
+use wn_core::{CoreConfig, PreparedRun, Technique};
+use wn_energy::{PowerTrace, SupplyConfig, TraceKind};
+use wn_intermittent::ClankConfig;
+use wn_kernels::{Benchmark, Scale};
+use wn_sim::MemoConfig;
+
+/// Subword granularity sweep (paper Fig. 15): time to the earliest
+/// output of Conv2d at 1–8-bit subwords.
+fn granularity(c: &mut Criterion) {
+    let instance = Benchmark::Conv2d.instance(Scale::Quick, 42);
+    let mut g = c.benchmark_group("ablation_granularity");
+    g.sample_size(10);
+    for bits in [1u8, 2, 3, 4, 8] {
+        let prepared = PreparedRun::new(&instance, Technique::swp(bits)).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(bits), &prepared, |b, p| {
+            b.iter(|| earliest_output(p).unwrap())
+        });
+    }
+    g.finish();
+}
+
+/// Memo-table size sweep (the paper empirically settles on 16 entries).
+fn memo_table_size(c: &mut Criterion) {
+    let instance = Benchmark::Conv2d.instance(Scale::Quick, 42);
+    let mut g = c.benchmark_group("ablation_memo_entries");
+    g.sample_size(10);
+    for entries in [4usize, 16, 64, 256] {
+        let cfg = CoreConfig {
+            memo: Some(MemoConfig { entries, ..MemoConfig::default() }),
+            ..CoreConfig::default()
+        };
+        let prepared =
+            PreparedRun::with_core_config(&instance, Technique::swp(4), cfg).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(entries), &prepared, |b, p| {
+            b.iter(|| earliest_output(p).unwrap())
+        });
+    }
+    g.finish();
+}
+
+/// Provisioned vs unprovisioned SWV addition (paper Fig. 14).
+fn provisioning(c: &mut Criterion) {
+    let instance = Benchmark::MatAdd.instance(Scale::Quick, 42);
+    let mut g = c.benchmark_group("ablation_provisioning");
+    g.sample_size(10);
+    for (name, technique) in
+        [("provisioned", Technique::swv(8)), ("unprovisioned", Technique::swv_unprovisioned(8))]
+    {
+        let prepared = PreparedRun::new(&instance, technique).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(name), &prepared, |b, p| {
+            b.iter(|| p.run_to_completion().unwrap())
+        });
+    }
+    g.finish();
+}
+
+/// Clank write-back buffer and watchdog sweep: intermittent runtime of a
+/// fixed workload under different checkpointing pressure.
+fn clank_parameters(c: &mut Criterion) {
+    let instance = Benchmark::MatMul.instance(Scale::Quick, 42);
+    let prepared = PreparedRun::new(&instance, Technique::Precise).unwrap();
+    let trace = PowerTrace::generate(TraceKind::RfBursty, 5, 120.0);
+    let mut g = c.benchmark_group("ablation_clank");
+    g.sample_size(10);
+    for (name, cfg) in [
+        ("wb4_wd10k", ClankConfig { wb_entries: 4, ..ClankConfig::default() }),
+        ("wb16_wd10k", ClankConfig::default()),
+        ("wb64_wd10k", ClankConfig { wb_entries: 64, ..ClankConfig::default() }),
+        ("wb16_wd1k", ClankConfig { watchdog_cycles: 1_000, ..ClankConfig::default() }),
+        ("wb16_wd100k", ClankConfig { watchdog_cycles: 100_000, ..ClankConfig::default() }),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| {
+                run_intermittent(
+                    &prepared,
+                    SubstrateKind::Clank(*cfg),
+                    &trace,
+                    quick_supply(),
+                    3600.0,
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Capacitor-size sweep: the energy environment's effect on wall-clock
+/// completion (bigger capacitors → fewer, longer power cycles).
+fn capacitor_size(c: &mut Criterion) {
+    let instance = Benchmark::Home.instance(Scale::Quick, 42);
+    let prepared = PreparedRun::new(&instance, Technique::Precise).unwrap();
+    let trace = PowerTrace::generate(TraceKind::RfBursty, 6, 240.0);
+    let mut g = c.benchmark_group("ablation_capacitor");
+    g.sample_size(10);
+    for uf in [1u32, 2, 5, 10] {
+        let supply =
+            SupplyConfig { capacitance_f: uf as f64 * 1e-6, ..SupplyConfig::default() };
+        g.bench_with_input(BenchmarkId::from_parameter(uf), &supply, |b, s| {
+            b.iter(|| {
+                run_intermittent(&prepared, SubstrateKind::nvp(), &trace, *s, 3600.0).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Skim-placement sweep (§III-C: where the programmer puts SKM dictates
+/// the minimum committed significance): suppressing the first k skim
+/// points trades later first-commit for a tighter error floor.
+fn skim_placement(c: &mut Criterion) {
+    let instance = Benchmark::Conv2d.instance(Scale::Quick, 42);
+    let trace = PowerTrace::generate(TraceKind::RfBursty, 7, 240.0);
+    let mut g = c.benchmark_group("ablation_skim_placement");
+    g.sample_size(10);
+    for min_level in [0u32, 1, 2, 3] {
+        let opts = wn_compiler::CompileOptions { skim_min_level: min_level };
+        let compiled =
+            wn_compiler::compile_with(&instance.ir, Technique::swp(4), &opts).unwrap();
+        let prepared = PreparedRun::from_compiled(
+            compiled,
+            instance.clone(),
+            CoreConfig::default(),
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(min_level), &prepared, |b, p| {
+            b.iter(|| {
+                run_intermittent(p, SubstrateKind::clank(), &trace, quick_supply(), 3600.0)
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Mux-spacing sweep on the SWV adder model (§V-D): area/power/Fmax of
+/// finer or coarser lane boundaries.
+fn adder_mux_spacing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_mux_spacing");
+    for spacing in [2u32, 4, 8, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(spacing), &spacing, |b, &sp| {
+            b.iter(|| {
+                let m = wn_hwmodel::SwvAdderModel { mux_spacing: sp, ..Default::default() };
+                (m.fmax_ghz(), m.core_area_overhead_percent(), m.adder_power_overhead_percent())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    granularity,
+    memo_table_size,
+    provisioning,
+    clank_parameters,
+    capacitor_size,
+    skim_placement,
+    adder_mux_spacing
+);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Raw substrate micro-benchmarks: simulator throughput, assembler and
+//! binary codec speed, the SWV lane ALU, the memo unit, and the energy
+//! supply's per-cycle accounting.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use wn_energy::{EnergySupply, PowerStatus, PowerTrace, SupplyConfig, TraceKind};
+use wn_isa::asm::assemble;
+use wn_isa::{encode, LaneWidth};
+use wn_sim::{Core, CoreConfig, MemoConfig, MemoUnit};
+
+/// A tight arithmetic loop used as the simulator's throughput workload.
+fn throughput_program(iters: u32) -> wn_isa::Program {
+    assemble(&format!(
+        ".data\nbuf: .space 64\n.text\nMOV r0, =buf\nMOV r1, #0\nMOV r2, #0\nloop:\nLDR r3, [r0, #0]\nADD r3, r3, r2\nSTR r3, [r0, #0]\nMUL r4, r2, r3\nEOR r5, r4, r3\nADD r2, r2, #1\nCMP r2, #{iters}\nBLT loop\nHALT"
+    ))
+    .unwrap()
+}
+
+fn sim_throughput(c: &mut Criterion) {
+    let program = throughput_program(10_000);
+    let mut g = c.benchmark_group("simulator");
+    // ~8 instructions per loop iteration.
+    g.throughput(Throughput::Elements(80_000));
+    g.bench_function("interpreter_throughput", |b| {
+        b.iter(|| {
+            let mut core = Core::new(&program, CoreConfig::default()).unwrap();
+            core.run(u64::MAX).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn assembler(c: &mut Criterion) {
+    // A medium-size source: the throughput program repeated with labels.
+    let src = (0..64)
+        .map(|i| format!("l{i}:\nMOV r1, #{i}\nADD r2, r2, r1\nCMP r2, #1000\nBLT l{i}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+        + "\nHALT";
+    let mut g = c.benchmark_group("assembler");
+    g.throughput(Throughput::Elements(257));
+    g.bench_function("assemble_257_instructions", |b| b.iter(|| assemble(&src).unwrap()));
+    g.finish();
+}
+
+fn binary_codec(c: &mut Criterion) {
+    let program = throughput_program(10);
+    let words = encode::encode_program(&program.instrs);
+    let mut g = c.benchmark_group("codec");
+    g.throughput(Throughput::Elements(program.instrs.len() as u64));
+    g.bench_function("encode", |b| b.iter(|| encode::encode_program(black_box(&program.instrs))));
+    g.bench_function("decode", |b| b.iter(|| encode::decode_program(black_box(&words)).unwrap()));
+    g.finish();
+}
+
+fn lane_alu(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lane_alu");
+    for lanes in LaneWidth::ALL {
+        g.bench_function(format!("lane_add_w{}", lanes.bits()), |b| {
+            b.iter(|| {
+                let mut acc = 0x0102_0304u32;
+                for i in 0..1000u32 {
+                    acc = wn_sim::alu::lane_add(acc, black_box(i), lanes);
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+}
+
+fn memo_unit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("memo_unit");
+    g.bench_function("lookup_insert_cycle", |b| {
+        let mut memo = MemoUnit::new(MemoConfig::default());
+        b.iter(|| {
+            for i in 1..500u32 {
+                let a = i % 37 + 1;
+                let bb = i % 11 + 1;
+                if memo.lookup(a, bb).is_none() {
+                    memo.insert(a, bb, a * bb);
+                }
+            }
+        })
+    });
+    g.finish();
+}
+
+fn energy_supply(c: &mut Criterion) {
+    let mut g = c.benchmark_group("energy_supply");
+    g.bench_function("consume_cycles_100k", |b| {
+        b.iter(|| {
+            let trace = PowerTrace::generate(TraceKind::RfBursty, 3, 60.0);
+            let mut s = EnergySupply::new(trace, SupplyConfig::default());
+            s.wait_for_power().unwrap();
+            let mut consumed = 0u64;
+            while consumed < 100_000 {
+                match s.consume_cycles(10).unwrap() {
+                    PowerStatus::On => consumed += 10,
+                    PowerStatus::Outage => {
+                        s.wait_for_power().unwrap();
+                    }
+                }
+            }
+            s.time_s()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, sim_throughput, assembler, binary_codec, lane_alu, memo_unit, energy_supply);
+criterion_main!(benches);

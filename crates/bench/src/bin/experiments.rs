@@ -1,0 +1,166 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```sh
+//! # Quick pass over everything (small kernels, 3 traces):
+//! cargo run --release -p wn-bench --bin experiments -- all
+//!
+//! # One experiment at the paper's methodology (full sizes, 9 traces x 3):
+//! cargo run --release -p wn-bench --bin experiments -- fig10 --paper
+//! ```
+//!
+//! Results are printed in the paper's terms and written as CSV (plus PGM
+//! images for Figs. 2/16) under `results/`.
+
+use std::env;
+use std::process::ExitCode;
+
+use wn_bench::write_artifact;
+use wn_core::experiments::{
+    fig01, fig02, fig03, fig09, fig10, fig12, fig13, fig14, fig15, fig17, table1,
+    ExperimentConfig,
+};
+
+const USAGE: &str = "usage: experiments <all|table1|fig01|fig02|fig03|fig09|fig10|fig11|fig12|fig13|fig14|fig15|fig17|area_power> [--paper]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let paper = args.iter().any(|a| a == "--paper");
+    let which: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+    let which = if which.is_empty() { vec!["all"] } else { which };
+
+    let config = if paper { ExperimentConfig::paper() } else { ExperimentConfig::quick() };
+    println!(
+        "configuration: {:?} scale, {} traces x {} invocations{}\n",
+        config.scale,
+        config.traces,
+        config.invocations,
+        if paper { " (paper methodology — this takes a while)" } else { "" }
+    );
+
+    let mut failed = false;
+    for name in which {
+        let run_all = name == "all";
+        let names: Vec<&str> = if run_all {
+            vec![
+                "table1", "fig01", "fig02", "fig03", "fig09", "fig10", "fig11", "fig12",
+                "fig13", "fig14", "fig15", "fig17", "area_power",
+            ]
+        } else {
+            vec![name]
+        };
+        for n in names {
+            println!("==== {n} ====");
+            if let Err(e) = run_one(n, &config) {
+                eprintln!("{n} failed: {e}");
+                failed = true;
+            }
+            println!();
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn run_one(name: &str, config: &ExperimentConfig) -> Result<(), Box<dyn std::error::Error>> {
+    match name {
+        "table1" => {
+            let t = table1::run(config)?;
+            println!("{t}");
+            save("table1.csv", &t.to_csv())?;
+        }
+        "fig01" => {
+            let f = fig01::run(config)?;
+            println!("{f}");
+            save("fig01.csv", &f.to_csv())?;
+        }
+        "fig02" => {
+            let f = fig02::run(config)?;
+            println!("{f}");
+            save("fig02.csv", &f.to_csv())?;
+            for (i, o) in f.outcomes.iter().enumerate() {
+                save(&format!("fig02-{}.pgm", o.label), &f.to_pgm(i))?;
+            }
+        }
+        "fig03" => {
+            let f = fig03::run(config)?;
+            println!("{f}");
+            save("fig03.csv", &f.to_csv())?;
+        }
+        "fig09" => {
+            let f = fig09::run(config)?;
+            println!("{f}");
+            save("fig09.csv", &f.to_csv())?;
+        }
+        "fig10" => {
+            let f = fig10::run_fig10(config)?;
+            println!("{f}");
+            println!("paper: 1.78x (8-bit), 3.02x (4-bit) average on the volatile processor");
+            save("fig10.csv", &f.to_csv())?;
+        }
+        "fig11" => {
+            let f = fig10::run_fig11(config)?;
+            println!("{f}");
+            println!("paper: 1.41x (8-bit), 2.26x (4-bit) average on the NVP");
+            save("fig11.csv", &f.to_csv())?;
+        }
+        "fig12" => {
+            let f = fig12::run(config)?;
+            println!("{f}");
+            println!("paper: outputs 1.08x (8-bit) / 1.24x (4-bit) earlier with vectorized loads");
+            save("fig12.csv", &f.to_csv())?;
+        }
+        "fig13" => {
+            let f = fig13::run(config)?;
+            println!("{f}");
+            println!("paper: 1.31->1.42x (8-bit), 1.7->1.97x (4-bit), 1.11x precise");
+            save("fig13.csv", &f.to_csv())?;
+        }
+        "fig14" => {
+            let f = fig14::run(config)?;
+            println!("{f}");
+            save("fig14.csv", &f.to_csv())?;
+        }
+        "fig15" => {
+            let f = fig15::run(config)?;
+            println!("{f}");
+            save("fig15.csv", &f.to_csv())?;
+            for bits in [1u8, 2, 3, 4] {
+                if let Some(pgm) = f.to_pgm(bits) {
+                    save(&format!("fig16-{bits}bit.pgm"), &pgm)?;
+                }
+            }
+        }
+        "fig17" => {
+            let f = fig17::run(config)?;
+            println!("{f}");
+            save("fig17.csv", &f.to_csv())?;
+        }
+        "area_power" => {
+            let got = wn_hwmodel::AreaPowerReport::from_defaults();
+            let paper = wn_hwmodel::AreaPowerReport::paper_values();
+            println!("modeled:\n{got}");
+            println!("paper:\n{paper}");
+            save(
+                "area_power.csv",
+                &format!(
+                    "metric,modeled,paper\nfmax_ghz,{:.3},{:.3}\ncore_area_overhead_percent,{:.4},{:.4}\nadder_power_overhead_percent,{:.3},{:.3}\nmemo_vs_multiplier_percent,{:.2},{:.2}\n",
+                    got.fmax_ghz, paper.fmax_ghz,
+                    got.core_area_overhead_percent, paper.core_area_overhead_percent,
+                    got.adder_power_overhead_percent, paper.adder_power_overhead_percent,
+                    got.memo_vs_multiplier_percent, paper.memo_vs_multiplier_percent,
+                ),
+            )?;
+        }
+        other => return Err(format!("unknown experiment `{other}`\n{USAGE}").into()),
+    }
+    Ok(())
+}
+
+fn save(name: &str, contents: &str) -> std::io::Result<()> {
+    let path = write_artifact(name, contents)?;
+    println!("wrote {}", path.display());
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! # wn-bench — the experiment harness
+//!
+//! Two entry points:
+//!
+//! * the **`experiments` binary** (`cargo run --release -p wn-bench --bin
+//!   experiments -- all`) regenerates every table and figure of the
+//!   paper's evaluation, printing the same rows/series the paper reports
+//!   and writing CSVs under `results/`;
+//! * the **Criterion benches** (`cargo bench`) time each experiment
+//!   regeneration (`benches/figures.rs`), sweep the design space the
+//!   paper calls out (`benches/ablations.rs`), and measure raw substrate
+//!   throughput (`benches/simulator.rs`).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Where experiment artifacts (CSV series, PGM images) are written.
+pub fn results_dir() -> PathBuf {
+    PathBuf::from("results")
+}
+
+/// Writes an artifact into the results directory, creating it on demand.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating the directory or writing the file.
+pub fn write_artifact(name: &str, contents: &str) -> std::io::Result<PathBuf> {
+    let dir = results_dir();
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(name);
+    fs::write(&path, contents)?;
+    Ok(path)
+}
+
+/// Reads back an artifact (for tests).
+///
+/// # Errors
+///
+/// Returns any I/O error.
+pub fn read_artifact(name: &str) -> std::io::Result<String> {
+    fs::read_to_string(Path::new("results").join(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifact_roundtrip() {
+        let path = write_artifact("__test.csv", "a,b\n1,2\n").unwrap();
+        assert!(path.exists());
+        assert_eq!(read_artifact("__test.csv").unwrap(), "a,b\n1,2\n");
+        std::fs::remove_file(path).unwrap();
+    }
+}

@@ -1,0 +1,1256 @@
+//! Lowering the (transformed) kernel IR to WN-RISC.
+//!
+//! The generator is deliberately simple — in the spirit of the in-order,
+//! cache-less Cortex-M0+ target — but performs the one optimization that
+//! matters for faithful instruction accounting: **multiplications by
+//! constants are strength-reduced to shifts and adds**, so the iterative
+//! multiplier (and the `MUL_ASP` pipeline stages) are reserved for *data*
+//! multiplies, exactly the instructions the paper's pragmas target.
+
+use std::collections::{BTreeMap, HashMap};
+
+use wn_isa::{Instr, LaneWidth, Program, ProgramBuilder, Reg};
+
+use crate::error::CompileError;
+use crate::ir::{BinOp, Expr, KernelIr, Stmt};
+use crate::layout::ArrayLayout;
+
+/// The label every skim point targets: the end of the program.
+pub const END_LABEL: &str = "__end";
+
+/// A value held in a register; `owned` temps are returned to the pool
+/// after use, variable registers are not.
+#[derive(Debug, Clone, Copy)]
+struct Value {
+    reg: Reg,
+    owned: bool,
+}
+
+struct RegAlloc {
+    free: Vec<Reg>,
+}
+
+impl RegAlloc {
+    fn new() -> RegAlloc {
+        // R0–R12 are allocatable; SP/LR/PC are reserved.
+        let free = (0..=12).rev().filter_map(Reg::from_index).collect();
+        RegAlloc { free }
+    }
+
+    fn alloc(&mut self, at: &str) -> Result<Reg, CompileError> {
+        self.free.pop().ok_or_else(|| CompileError::OutOfRegisters { at: at.to_string() })
+    }
+
+    /// Allocates only when at least `headroom` registers would remain for
+    /// expression temporaries — used by opportunistic optimizations.
+    fn try_alloc_with_headroom(&mut self, headroom: usize) -> Option<Reg> {
+        if self.free.len() > headroom {
+            self.free.pop()
+        } else {
+            None
+        }
+    }
+
+    fn free(&mut self, reg: Reg) {
+        debug_assert!(!self.free.contains(&reg), "double free of {reg}");
+        self.free.push(reg);
+    }
+}
+
+/// Lowers a transformed kernel to a WN-RISC program.
+///
+/// `layouts` must contain an entry for every declared array.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for undefined variables, register-pool
+/// exhaustion or internal inconsistencies.
+pub fn lower(kernel: &KernelIr, layouts: &HashMap<String, ArrayLayout>) -> Result<Program, CompileError> {
+    let mut cg = Codegen {
+        layouts,
+        builder: ProgramBuilder::new(),
+        regs: RegAlloc::new(),
+        vars: BTreeMap::new(),
+        ptrs: Vec::new(),
+        next_label: 0,
+    };
+    // Data segment: one 4-byte-aligned block per array, declaration order.
+    for decl in &kernel.arrays {
+        let layout = layouts
+            .get(&decl.name)
+            .ok_or_else(|| CompileError::Internal(format!("no layout for array `{}`", decl.name)))?;
+        let bytes = (layout.byte_size() + 3) & !3;
+        cg.builder.data(&decl.name, wn_isa::DataItem::Space(bytes));
+    }
+    cg.builder.bind_label("main");
+    cg.stmts(&kernel.body)?;
+    cg.builder.bind_label(END_LABEL);
+    cg.builder.push(Instr::Halt);
+    cg.builder
+        .finish()
+        .map_err(|e| CompileError::Internal(format!("program assembly failed: {e}")))
+}
+
+struct Codegen<'a> {
+    layouts: &'a HashMap<String, ArrayLayout>,
+    builder: ProgramBuilder,
+    regs: RegAlloc,
+    /// Scalar bindings. Ordered map: scoped frees at loop exits iterate
+    /// this, and iteration order must not depend on hashing for
+    /// compilation to be deterministic.
+    vars: BTreeMap<String, Reg>,
+    /// Active pointer inductions of the innermost loop being lowered:
+    /// memory accesses structurally matching a key are emitted through a
+    /// walking byte-address register instead of recomputing the address.
+    ptrs: Vec<PtrInduction>,
+    next_label: usize,
+}
+
+/// One pointer induction: `array[inv + i]`-style accesses of the current
+/// innermost loop walk `reg` (a byte address), bumped by `stride_bytes`
+/// per iteration.
+#[derive(Debug, Clone)]
+struct PtrInduction {
+    array: String,
+    /// The exact index expression this pointer stands for.
+    index: Expr,
+    /// Packed level for `LoadPacked`/`StorePacked` keys (`None` for
+    /// element accesses).
+    level: Option<u8>,
+    reg: Reg,
+    stride_bytes: u32,
+    elem_bits: u8,
+}
+
+impl<'a> Codegen<'a> {
+    fn fresh_label(&mut self, stem: &str) -> String {
+        self.next_label += 1;
+        format!("__{stem}_{}", self.next_label)
+    }
+
+    fn layout(&self, array: &str) -> Result<&ArrayLayout, CompileError> {
+        self.layouts
+            .get(array)
+            .ok_or_else(|| CompileError::Internal(format!("no layout for `{array}`")))
+    }
+
+    fn release(&mut self, v: Value) {
+        if v.owned {
+            self.regs.free(v.reg);
+        }
+    }
+
+    fn temp(&mut self, at: &str) -> Result<Reg, CompileError> {
+        self.regs.alloc(at)
+    }
+
+    /// Returns a register holding the value, reusing `v`'s register when
+    /// it is an owned temp (avoids a pointless extra register).
+    fn reuse_or_temp(&mut self, v: Value, at: &str) -> Result<Reg, CompileError> {
+        if v.owned {
+            Ok(v.reg)
+        } else {
+            self.temp(at)
+        }
+    }
+
+    // ---- statements -------------------------------------------------------
+
+    fn stmts(&mut self, stmts: &[Stmt]) -> Result<(), CompileError> {
+        for s in stmts {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) -> Result<(), CompileError> {
+        match stmt {
+            Stmt::For { var, start, end, body } => self.lower_for(var, *start, *end, body),
+            Stmt::Store { array, index, value } => self.lower_store(array, index, value, false),
+            Stmt::AccumStore { array, index, value } => self.lower_store(array, index, value, true),
+            Stmt::StorePacked { array, level, word_index, value } => {
+                self.lower_store_packed(array, *level, word_index, value)
+            }
+            Stmt::StoreComponent { array, elem_index, level, value } => {
+                self.lower_store_component(array, elem_index, *level, value)
+            }
+            Stmt::Assign { var, value } => {
+                // Accumulation fast path: `acc = acc ± e` / `acc = e + acc`
+                // targets the accumulator register directly, avoiding the
+                // copy a generic evaluate-then-move would need.
+                if let Some(&acc) = self.vars.get(var) {
+                    if let Expr::Bin { op: op @ (BinOp::Add | BinOp::Sub), a, b } = value {
+                        let operand = if matches!(a.as_ref(), Expr::Var(v) if v == var) {
+                            Some(b)
+                        } else if *op == BinOp::Add
+                            && matches!(b.as_ref(), Expr::Var(v) if v == var)
+                        {
+                            Some(a)
+                        } else {
+                            None
+                        };
+                        if let Some(e) = operand {
+                            let v = self.eval(e)?;
+                            let instr = match op {
+                                BinOp::Add => Instr::Add { rd: acc, rn: acc, rm: v.reg },
+                                _ => Instr::Sub { rd: acc, rn: acc, rm: v.reg },
+                            };
+                            self.builder.push(instr);
+                            self.release(v);
+                            return Ok(());
+                        }
+                    }
+                    // ASV accumulation: `acc = AsvBin(acc, e)`.
+                    if let Expr::AsvBin { op: BinOp::Add, a, b, lane_bits } = value {
+                        if matches!(a.as_ref(), Expr::Var(v) if v == var) {
+                            if let Some(lanes) = LaneWidth::from_bits(*lane_bits) {
+                                let v = self.eval(b)?;
+                                self.builder.push(Instr::AddAsv {
+                                    rd: acc,
+                                    rn: acc,
+                                    rm: v.reg,
+                                    lanes,
+                                });
+                                self.release(v);
+                                return Ok(());
+                            }
+                        }
+                    }
+                }
+                let v = self.eval(value)?;
+                let reg = match self.vars.get(var) {
+                    Some(&r) => r,
+                    None => {
+                        let r = self.regs.alloc(&format!("var `{var}`"))?;
+                        self.vars.insert(var.clone(), r);
+                        r
+                    }
+                };
+                if reg != v.reg {
+                    self.builder.push(Instr::Mov { rd: reg, rm: v.reg });
+                }
+                self.release(v);
+                Ok(())
+            }
+            Stmt::SkimPoint => {
+                let skm = self.builder.with_label_target(Instr::Skm { target: 0 }, END_LABEL);
+                self.builder.push(skm);
+                Ok(())
+            }
+        }
+    }
+
+    fn lower_for(&mut self, var: &str, start: i32, end: i32, body: &[Stmt]) -> Result<(), CompileError> {
+        let reg = self.regs.alloc(&format!("loop var `{var}`"))?;
+        let shadowed = self.vars.insert(var.to_string(), reg);
+        debug_assert!(shadowed.is_none(), "validation rejects shadowed loop vars");
+        // Scalars first assigned inside the loop are scoped to it: their
+        // registers return to the pool at loop exit (keeps hoisted
+        // invariants from exhausting the register file).
+        let outer_vars: Vec<String> = self.vars.keys().cloned().collect();
+
+        // Pointer induction for the innermost loop: unit-stride accesses
+        // walk a byte-address register instead of recomputing scale/base
+        // per access — what the paper's `-O2`-compiled baselines do.
+        let saved_ptrs = std::mem::take(&mut self.ptrs);
+        self.setup_ptr_inductions(var, start, body)?;
+
+        let top = self.fresh_label("loop");
+        let done = self.fresh_label("done");
+
+        self.builder.push(Instr::MovImm { rd: reg, imm: start });
+        self.builder.bind_label(&top);
+        self.builder.push(Instr::CmpImm { rn: reg, imm: end });
+        let exit = self
+            .builder
+            .with_label_target(Instr::BCond { cond: wn_isa::Cond::Ge, target: 0 }, &done);
+        self.builder.push(exit);
+        self.stmts(body)?;
+        for i in 0..self.ptrs.len() {
+            let (preg, stride) = (self.ptrs[i].reg, self.ptrs[i].stride_bytes);
+            self.builder.push(Instr::AddImm { rd: preg, rn: preg, imm: stride as i32 });
+        }
+        self.builder.push(Instr::AddImm { rd: reg, rn: reg, imm: 1 });
+        let back = self.builder.branch_to_label(&top);
+        self.builder.push(back);
+        self.builder.bind_label(&done);
+
+        for p in std::mem::replace(&mut self.ptrs, saved_ptrs) {
+            self.regs.free(p.reg);
+        }
+        let inner: Vec<String> = self
+            .vars
+            .keys()
+            .filter(|k| !outer_vars.contains(k))
+            .cloned()
+            .collect();
+        for name in inner {
+            if let Some(r) = self.vars.remove(&name) {
+                self.regs.free(r);
+            }
+        }
+        self.vars.remove(var);
+        self.regs.free(reg);
+        Ok(())
+    }
+
+    /// Finds the active pointer induction matching an access, if any.
+    fn find_ptr(&self, array: &str, index: &Expr, level: Option<u8>) -> Option<(Reg, u8)> {
+        self.ptrs
+            .iter()
+            .find(|p| p.array == array && p.level == level && &p.index == index)
+            .map(|p| (p.reg, p.elem_bits))
+    }
+
+    /// Detects unit-stride accesses in the direct body of an innermost
+    /// loop and materializes walking byte-address registers for them.
+    fn setup_ptr_inductions(
+        &mut self,
+        var: &str,
+        start: i32,
+        body: &[Stmt],
+    ) -> Result<(), CompileError> {
+        if body.iter().any(|s| matches!(s, Stmt::For { .. })) {
+            return Ok(()); // only innermost loops
+        }
+        let mut assigned: Vec<&str> = vec![var];
+        for s in body {
+            if let Stmt::Assign { var: v, .. } = s {
+                assigned.push(v);
+            }
+        }
+        let mut candidates: Vec<(String, Expr, Option<u8>)> = Vec::new();
+        for s in body {
+            collect_candidates(s, var, &assigned, &mut candidates);
+        }
+        for (array, index, level) in candidates {
+            let Some(layout) = self.layouts.get(&array).copied() else { continue };
+            let (stride_bytes, elem_bits, base_extra, scale) = match (layout, level) {
+                (ArrayLayout::RowMajor { elem, .. }, None) => {
+                    (elem.bytes(), elem.bits, 0u32, elem.bytes().trailing_zeros() as u8)
+                }
+                (ArrayLayout::SubwordMajor { .. }, Some(lvl)) => {
+                    (4, 32, 4 * lvl as u32 * layout.words_per_level(), 2)
+                }
+                _ => continue,
+            };
+            let Some(base_addr) = self.builder.data_symbol(&array) else { continue };
+            // Leave headroom for expression temporaries.
+            let Some(preg) = self.regs.try_alloc_with_headroom(5) else { break };
+
+            let (inv, coeff) = split_affine(&index, var).expect("candidate is affine");
+            let stride = coeff * stride_bytes;
+            match inv {
+                Some(inv_expr) => {
+                    let v = self.eval(&inv_expr)?;
+                    if scale > 0 {
+                        self.builder.push(Instr::LslImm { rd: preg, rn: v.reg, sh: scale });
+                    } else {
+                        self.builder.push(Instr::Mov { rd: preg, rm: v.reg });
+                    }
+                    self.release(v);
+                    let base = base_addr + base_extra + (start as u32) * stride;
+                    self.builder.push(Instr::AddImm { rd: preg, rn: preg, imm: base as i32 });
+                }
+                None => {
+                    let base = base_addr + base_extra + (start as u32) * stride;
+                    self.builder.push(Instr::MovImm { rd: preg, imm: base as i32 });
+                }
+            }
+            self.ptrs.push(PtrInduction {
+                array,
+                index,
+                level,
+                reg: preg,
+                stride_bytes: stride,
+                elem_bits,
+            });
+        }
+        Ok(())
+    }
+
+    /// Materializes a register-offset access to `array[index]` for a
+    /// row-major array: returns `(base, offset, elem_bits)` where `base`
+    /// holds the array's (constant) byte address plus `extra_bytes` and
+    /// `offset` the scaled element offset — ready for the `[rn, rm]`
+    /// addressing mode, saving the explicit add of a one-register address.
+    /// Both registers are owned by the caller.
+    fn elem_access(
+        &mut self,
+        array: &str,
+        index: &Expr,
+        extra_bytes: u32,
+    ) -> Result<(Reg, Reg, u8), CompileError> {
+        let layout = *self.layout(array)?;
+        let elem = match layout {
+            ArrayLayout::RowMajor { elem, .. } => elem,
+            other => {
+                return Err(CompileError::Internal(format!(
+                    "element access to non-row-major array `{array}` ({other:?})"
+                )))
+            }
+        };
+        let idx = self.eval(index)?;
+        let off = self.reuse_or_temp(idx, "offset")?;
+        let scale = (elem.bytes()).trailing_zeros() as u8;
+        if scale > 0 {
+            self.builder.push(Instr::LslImm { rd: off, rn: idx.reg, sh: scale });
+        } else if off != idx.reg {
+            self.builder.push(Instr::Mov { rd: off, rm: idx.reg });
+        }
+        let base = self.temp("base")?;
+        let base_addr = self
+            .builder
+            .data_symbol(array)
+            .ok_or_else(|| CompileError::Internal(format!("no data symbol for `{array}`")))?;
+        self.builder.push(Instr::MovImm { rd: base, imm: (base_addr + extra_bytes) as i32 });
+        Ok((base, off, elem.bits))
+    }
+
+    fn lower_store(
+        &mut self,
+        array: &str,
+        index: &Expr,
+        value: &Expr,
+        accumulate: bool,
+    ) -> Result<(), CompileError> {
+        let v = self.eval(value)?;
+        if let Some((preg, bits)) = self.find_ptr(array, index, None) {
+            if accumulate {
+                let old = self.temp("accum")?;
+                match bits {
+                    8 => self.builder.push(Instr::Ldrb { rt: old, rn: preg, off: 0 }),
+                    16 => self.builder.push(Instr::Ldrh { rt: old, rn: preg, off: 0 }),
+                    _ => self.builder.push(Instr::Ldr { rt: old, rn: preg, off: 0 }),
+                };
+                self.builder.push(Instr::Add { rd: old, rn: old, rm: v.reg });
+                match bits {
+                    8 => self.builder.push(Instr::Strb { rt: old, rn: preg, off: 0 }),
+                    16 => self.builder.push(Instr::Strh { rt: old, rn: preg, off: 0 }),
+                    _ => self.builder.push(Instr::Str { rt: old, rn: preg, off: 0 }),
+                };
+                self.regs.free(old);
+            } else {
+                match bits {
+                    8 => self.builder.push(Instr::Strb { rt: v.reg, rn: preg, off: 0 }),
+                    16 => self.builder.push(Instr::Strh { rt: v.reg, rn: preg, off: 0 }),
+                    _ => self.builder.push(Instr::Str { rt: v.reg, rn: preg, off: 0 }),
+                };
+            }
+            self.release(v);
+            return Ok(());
+        }
+        let (base, off, bits) = self.elem_access(array, index, 0)?;
+        if accumulate {
+            let old = self.temp("accum")?;
+            match bits {
+                8 => self.builder.push(Instr::LdrbReg { rt: old, rn: base, rm: off }),
+                16 => self.builder.push(Instr::LdrhReg { rt: old, rn: base, rm: off }),
+                _ => self.builder.push(Instr::LdrReg { rt: old, rn: base, rm: off }),
+            };
+            self.builder.push(Instr::Add { rd: old, rn: old, rm: v.reg });
+            match bits {
+                8 => self.builder.push(Instr::StrbReg { rt: old, rn: base, rm: off }),
+                16 => self.builder.push(Instr::StrhReg { rt: old, rn: base, rm: off }),
+                _ => self.builder.push(Instr::StrReg { rt: old, rn: base, rm: off }),
+            };
+            self.regs.free(old);
+        } else {
+            match bits {
+                8 => self.builder.push(Instr::StrbReg { rt: v.reg, rn: base, rm: off }),
+                16 => self.builder.push(Instr::StrhReg { rt: v.reg, rn: base, rm: off }),
+                _ => self.builder.push(Instr::StrReg { rt: v.reg, rn: base, rm: off }),
+            };
+        }
+        self.regs.free(base);
+        self.regs.free(off);
+        self.release(v);
+        Ok(())
+    }
+
+    /// Register-offset access to packed word (`level`, `word_index`) of a
+    /// subword-major array: `(base, offset)`, both owned by the caller.
+    /// The constant level displacement folds into the base immediate.
+    fn packed_access(
+        &mut self,
+        array: &str,
+        level: u8,
+        word_index: &Expr,
+    ) -> Result<(Reg, Reg), CompileError> {
+        let layout = *self.layout(array)?;
+        let wpl = match layout {
+            ArrayLayout::SubwordMajor { .. } => layout.words_per_level(),
+            other => {
+                return Err(CompileError::Internal(format!(
+                    "packed access to non-subword-major array `{array}` ({other:?})"
+                )))
+            }
+        };
+        let idx = self.eval(word_index)?;
+        let off = self.reuse_or_temp(idx, "packed offset")?;
+        self.builder.push(Instr::LslImm { rd: off, rn: idx.reg, sh: 2 });
+        let base = self.temp("packed base")?;
+        let base_addr = self
+            .builder
+            .data_symbol(array)
+            .ok_or_else(|| CompileError::Internal(format!("no data symbol for `{array}`")))?;
+        let level_off = 4 * level as u32 * wpl;
+        self.builder.push(Instr::MovImm { rd: base, imm: (base_addr + level_off) as i32 });
+        Ok((base, off))
+    }
+
+    fn lower_store_packed(
+        &mut self,
+        array: &str,
+        level: u8,
+        word_index: &Expr,
+        value: &Expr,
+    ) -> Result<(), CompileError> {
+        let v = self.eval(value)?;
+        if let Some((preg, _)) = self.find_ptr(array, word_index, Some(level)) {
+            self.builder.push(Instr::Str { rt: v.reg, rn: preg, off: 0 });
+            self.release(v);
+            return Ok(());
+        }
+        let (base, off) = self.packed_access(array, level, word_index)?;
+        self.builder.push(Instr::StrReg { rt: v.reg, rn: base, rm: off });
+        self.regs.free(base);
+        self.regs.free(off);
+        self.release(v);
+        Ok(())
+    }
+
+    fn lower_store_component(
+        &mut self,
+        array: &str,
+        elem_index: &Expr,
+        level: u8,
+        value: &Expr,
+    ) -> Result<(), CompileError> {
+        let layout = *self.layout(array)?;
+        let n_sub = match layout {
+            ArrayLayout::ComponentMajor { n_sub, .. } => n_sub,
+            other => {
+                return Err(CompileError::Internal(format!(
+                    "component store to non-component-major array `{array}` ({other:?})"
+                )))
+            }
+        };
+        let v = self.eval(value)?;
+        // offset = 4 * elem_index * n_sub; the constant level
+        // displacement folds into the base immediate.
+        let idx = self.eval(elem_index)?;
+        let off = self.reuse_or_temp(idx, "component offset")?;
+        self.emit_mul_by_const(off, idx.reg, n_sub as i32)?;
+        self.builder.push(Instr::LslImm { rd: off, rn: off, sh: 2 });
+        let base = self.temp("component base")?;
+        let base_addr = self
+            .builder
+            .data_symbol(array)
+            .ok_or_else(|| CompileError::Internal(format!("no data symbol for `{array}`")))?;
+        self.builder.push(Instr::MovImm {
+            rd: base,
+            imm: (base_addr + 4 * level as u32) as i32,
+        });
+        self.builder.push(Instr::StrReg { rt: v.reg, rn: base, rm: off });
+        self.regs.free(base);
+        self.regs.free(off);
+        self.release(v);
+        Ok(())
+    }
+
+    // ---- expressions ------------------------------------------------------
+
+    fn eval(&mut self, e: &Expr) -> Result<Value, CompileError> {
+        match e {
+            Expr::Const(c) => {
+                let r = self.temp("const")?;
+                self.builder.push(Instr::MovImm { rd: r, imm: *c });
+                Ok(Value { reg: r, owned: true })
+            }
+            Expr::Var(name) => {
+                let reg = *self
+                    .vars
+                    .get(name)
+                    .ok_or_else(|| CompileError::UndefinedVar { var: name.clone() })?;
+                Ok(Value { reg, owned: false })
+            }
+            Expr::Load { array, index } => {
+                if let Some((preg, bits)) = self.find_ptr(array, index, None) {
+                    let rt = self.temp("load")?;
+                    match bits {
+                        8 => self.builder.push(Instr::Ldrb { rt, rn: preg, off: 0 }),
+                        16 => self.builder.push(Instr::Ldrh { rt, rn: preg, off: 0 }),
+                        _ => self.builder.push(Instr::Ldr { rt, rn: preg, off: 0 }),
+                    };
+                    return Ok(Value { reg: rt, owned: true });
+                }
+                let (base, off, bits) = self.elem_access(array, index, 0)?;
+                let rt = self.temp("load")?;
+                match bits {
+                    8 => self.builder.push(Instr::LdrbReg { rt, rn: base, rm: off }),
+                    16 => self.builder.push(Instr::LdrhReg { rt, rn: base, rm: off }),
+                    _ => self.builder.push(Instr::LdrReg { rt, rn: base, rm: off }),
+                };
+                self.regs.free(base);
+                self.regs.free(off);
+                Ok(Value { reg: rt, owned: true })
+            }
+            Expr::LoadSub { array, index, width, shift } => {
+                self.eval_load_sub(array, index, *width, *shift)
+            }
+            Expr::LoadPacked { array, level, word_index } => {
+                if let Some((preg, _)) = self.find_ptr(array, word_index, Some(*level)) {
+                    let rt = self.temp("packed load")?;
+                    self.builder.push(Instr::Ldr { rt, rn: preg, off: 0 });
+                    return Ok(Value { reg: rt, owned: true });
+                }
+                let (base, off) = self.packed_access(array, *level, word_index)?;
+                let rt = self.temp("packed load")?;
+                self.builder.push(Instr::LdrReg { rt, rn: base, rm: off });
+                self.regs.free(base);
+                self.regs.free(off);
+                Ok(Value { reg: rt, owned: true })
+            }
+            Expr::Bin { op, a, b } => self.eval_bin(*op, a, b),
+            Expr::MulAsp { full, sub, width, shift } => {
+                let f = self.eval(full)?;
+                let s = self.eval(sub)?;
+                let rd = self.temp("mul_asp")?;
+                self.builder.push(Instr::MulAsp {
+                    rd,
+                    rn: f.reg,
+                    rm: s.reg,
+                    bits: *width,
+                    shift: *shift,
+                });
+                self.release(f);
+                self.release(s);
+                Ok(Value { reg: rd, owned: true })
+            }
+            Expr::AsvBin { op, a, b, lane_bits } => {
+                let va = self.eval(a)?;
+                let vb = self.eval(b)?;
+                let rd = self.reuse_or_temp(va, "asv")?;
+                // A single 32-bit lane (provisioned 16-bit subwords) is a
+                // plain full-width operation — no mux reconfiguration.
+                let lanes = if *lane_bits == 32 {
+                    None
+                } else {
+                    Some(LaneWidth::from_bits(*lane_bits).ok_or_else(|| {
+                        CompileError::Internal(format!("bad ASV lane width {lane_bits}"))
+                    })?)
+                };
+                match (op, lanes) {
+                    (BinOp::Add, Some(lanes)) => {
+                        self.builder.push(Instr::AddAsv { rd, rn: va.reg, rm: vb.reg, lanes })
+                    }
+                    (BinOp::Sub, Some(lanes)) => {
+                        self.builder.push(Instr::SubAsv { rd, rn: va.reg, rm: vb.reg, lanes })
+                    }
+                    (BinOp::Add, None) => {
+                        self.builder.push(Instr::Add { rd, rn: va.reg, rm: vb.reg })
+                    }
+                    (BinOp::Sub, None) => {
+                        self.builder.push(Instr::Sub { rd, rn: va.reg, rm: vb.reg })
+                    }
+                    (other, _) => {
+                        return Err(CompileError::Internal(format!(
+                            "ASV op {other:?} should have been lowered as a plain logical op"
+                        )))
+                    }
+                };
+                self.release(vb);
+                Ok(Value { reg: rd, owned: true })
+            }
+            Expr::HSum { value, lane_bits } => self.eval_hsum(value, *lane_bits),
+            Expr::Shl(x, sh) => {
+                let v = self.eval(x)?;
+                let rd = self.reuse_or_temp(v, "shl")?;
+                self.builder.push(Instr::LslImm { rd, rn: v.reg, sh: *sh });
+                Ok(Value { reg: rd, owned: true })
+            }
+            Expr::Shr(x, sh) => {
+                let v = self.eval(x)?;
+                let rd = self.reuse_or_temp(v, "shr")?;
+                self.builder.push(Instr::LsrImm { rd, rn: v.reg, sh: *sh });
+                Ok(Value { reg: rd, owned: true })
+            }
+        }
+    }
+
+    fn eval_bin(&mut self, op: BinOp, a: &Expr, b: &Expr) -> Result<Value, CompileError> {
+        // Constant-multiply strength reduction keeps the iterative
+        // multiplier out of index arithmetic.
+        if op == BinOp::Mul {
+            if let Expr::Const(c) = b {
+                let v = self.eval(a)?;
+                let rd = self.reuse_or_temp(v, "mul-const")?;
+                self.emit_mul_by_const(rd, v.reg, *c)?;
+                return Ok(Value { reg: rd, owned: true });
+            }
+            if let Expr::Const(c) = a {
+                let v = self.eval(b)?;
+                let rd = self.reuse_or_temp(v, "mul-const")?;
+                self.emit_mul_by_const(rd, v.reg, *c)?;
+                return Ok(Value { reg: rd, owned: true });
+            }
+        }
+        // Immediate forms for add/sub/and with a constant right operand.
+        if let Expr::Const(c) = b {
+            match op {
+                BinOp::Add | BinOp::Sub | BinOp::And => {
+                    let v = self.eval(a)?;
+                    let rd = self.reuse_or_temp(v, "bin-imm")?;
+                    let instr = match op {
+                        BinOp::Add => Instr::AddImm { rd, rn: v.reg, imm: *c },
+                        BinOp::Sub => Instr::SubImm { rd, rn: v.reg, imm: *c },
+                        _ => Instr::AndImm { rd, rn: v.reg, imm: *c },
+                    };
+                    self.builder.push(instr);
+                    return Ok(Value { reg: rd, owned: true });
+                }
+                _ => {}
+            }
+        }
+        let va = self.eval(a)?;
+        let vb = self.eval(b)?;
+        let rd = self.reuse_or_temp(va, "bin")?;
+        let instr = match op {
+            BinOp::Add => Instr::Add { rd, rn: va.reg, rm: vb.reg },
+            BinOp::Sub => Instr::Sub { rd, rn: va.reg, rm: vb.reg },
+            BinOp::Mul => Instr::Mul { rd, rn: va.reg, rm: vb.reg },
+            BinOp::And => Instr::And { rd, rn: va.reg, rm: vb.reg },
+            BinOp::Or => Instr::Orr { rd, rn: va.reg, rm: vb.reg },
+            BinOp::Xor => Instr::Eor { rd, rn: va.reg, rm: vb.reg },
+        };
+        self.builder.push(instr);
+        self.release(vb);
+        Ok(Value { reg: rd, owned: true })
+    }
+
+    fn eval_load_sub(
+        &mut self,
+        array: &str,
+        index: &Expr,
+        width: u8,
+        shift: u8,
+    ) -> Result<Value, CompileError> {
+        let layout = *self.layout(array)?;
+        let bits = width;
+        let shift = shift as u32;
+        match layout {
+            ArrayLayout::RowMajor { elem, .. } => {
+                if bits == 8 && shift.is_multiple_of(8) {
+                    // Byte-aligned subword: a single LDRB (paper
+                    // Listing 2); the byte displacement folds into the
+                    // base immediate (or the pointer's offset field).
+                    if let Some((preg, _)) = self.find_ptr(array, index, None) {
+                        let rt = self.temp("sub load")?;
+                        self.builder.push(Instr::Ldrb { rt, rn: preg, off: (shift / 8) as i32 });
+                        return Ok(Value { reg: rt, owned: true });
+                    }
+                    let (base, off, _) = self.elem_access(array, index, shift / 8)?;
+                    let rt = self.temp("sub load")?;
+                    self.builder.push(Instr::LdrbReg { rt, rn: base, rm: off });
+                    self.regs.free(base);
+                    self.regs.free(off);
+                    Ok(Value { reg: rt, owned: true })
+                } else {
+                    // General extraction: load the element, shift, mask.
+                    let v = self.eval(&Expr::Load {
+                        array: array.to_string(),
+                        index: Box::new(index.clone()),
+                    })?;
+                    let rd = self.reuse_or_temp(v, "sub extract")?;
+                    if shift > 0 {
+                        self.builder.push(Instr::LsrImm { rd, rn: v.reg, sh: shift as u8 });
+                    } else if rd != v.reg {
+                        self.builder.push(Instr::Mov { rd, rm: v.reg });
+                    }
+                    // Zero-extended loads make the top subword mask-free.
+                    if shift + (bits as u32) < elem.bits as u32 {
+                        let mask = ((1u32 << bits) - 1) as i32;
+                        self.builder.push(Instr::AndImm { rd, rn: rd, imm: mask });
+                    }
+                    Ok(Value { reg: rd, owned: true })
+                }
+            }
+            ArrayLayout::SubwordMajor { sub_bits, lane_bits, .. } => {
+                // Element access on a transposed array (correctness path
+                // when vectorized loads could not rewrite a use): locate
+                // the packed word, then extract the lane dynamically.
+                if sub_bits != bits || !shift.is_multiple_of(bits as u32) {
+                    return Err(CompileError::Internal(format!(
+                        "subword load width {bits}@{shift} mismatches layout sub_bits {sub_bits}"
+                    )));
+                }
+                let pos = (shift / bits as u32) as u8;
+                let lanes = 32 / lane_bits as u32;
+                let idx = self.eval(index)?;
+                // word index = index / lanes
+                let word = self.temp("sub word idx")?;
+                self.builder.push(Instr::LsrImm {
+                    rd: word,
+                    rn: idx.reg,
+                    sh: lanes.trailing_zeros() as u8,
+                });
+                // lane shift = (index % lanes) * lane_bits
+                let lane_sh = self.temp("lane shift")?;
+                self.builder.push(Instr::AndImm { rd: lane_sh, rn: idx.reg, imm: (lanes - 1) as i32 });
+                self.builder.push(Instr::LslImm {
+                    rd: lane_sh,
+                    rn: lane_sh,
+                    sh: lane_bits.trailing_zeros() as u8,
+                });
+                self.release(idx);
+                let addr = self.packed_addr_reg(array, pos, word)?;
+                let rt = self.temp("sub packed load")?;
+                self.builder.push(Instr::Ldr { rt, rn: addr, off: 0 });
+                self.regs.free(addr);
+                self.builder.push(Instr::LsrReg { rd: rt, rn: rt, rm: lane_sh });
+                self.regs.free(lane_sh);
+                let mask = ((1u64 << bits) - 1) as i32;
+                self.builder.push(Instr::AndImm { rd: rt, rn: rt, imm: mask });
+                Ok(Value { reg: rt, owned: true })
+            }
+            other => Err(CompileError::Internal(format!(
+                "subword load from array `{array}` with layout {other:?}"
+            ))),
+        }
+    }
+
+    /// Like `packed_addr` but the word index is already in a register
+    /// (which is consumed).
+    fn packed_addr_reg(&mut self, array: &str, level: u8, word: Reg) -> Result<Reg, CompileError> {
+        let layout = *self.layout(array)?;
+        let wpl = layout.words_per_level();
+        self.builder.push(Instr::LslImm { rd: word, rn: word, sh: 2 });
+        let level_off = 4 * level as i32 * wpl as i32;
+        if level_off != 0 {
+            self.builder.push(Instr::AddImm { rd: word, rn: word, imm: level_off });
+        }
+        let base = self.temp("packed base")?;
+        let base_addr = self
+            .builder
+            .data_symbol(array)
+            .ok_or_else(|| CompileError::Internal(format!("no data symbol for `{array}`")))?;
+        self.builder.push(Instr::MovImm { rd: base, imm: base_addr as i32 });
+        self.builder.push(Instr::Add { rd: word, rn: word, rm: base });
+        self.regs.free(base);
+        Ok(word)
+    }
+
+    fn eval_hsum(&mut self, value: &Expr, lane_bits: u8) -> Result<Value, CompileError> {
+        let v = self.eval(value)?;
+        let lanes = 32 / lane_bits as u32;
+        let mask = ((1u64 << lane_bits) - 1) as i32;
+        let acc = self.temp("hsum acc")?;
+        self.builder.push(Instr::AndImm { rd: acc, rn: v.reg, imm: mask });
+        let scratch = self.temp("hsum scratch")?;
+        for l in 1..lanes {
+            self.builder.push(Instr::LsrImm { rd: scratch, rn: v.reg, sh: (l * lane_bits as u32) as u8 });
+            if l < lanes - 1 {
+                self.builder.push(Instr::AndImm { rd: scratch, rn: scratch, imm: mask });
+            }
+            self.builder.push(Instr::Add { rd: acc, rn: acc, rm: scratch });
+        }
+        self.regs.free(scratch);
+        self.release(v);
+        Ok(Value { reg: acc, owned: true })
+    }
+
+    /// rd = rs * c via shifts and adds. `rd` may alias `rs`.
+    fn emit_mul_by_const(&mut self, rd: Reg, rs: Reg, c: i32) -> Result<(), CompileError> {
+        match c {
+            0 => {
+                self.builder.push(Instr::MovImm { rd, imm: 0 });
+                return Ok(());
+            }
+            1 => {
+                if rd != rs {
+                    self.builder.push(Instr::Mov { rd, rm: rs });
+                }
+                return Ok(());
+            }
+            _ => {}
+        }
+        let negative = c < 0;
+        let mag = c.unsigned_abs();
+        if mag.is_power_of_two() {
+            self.builder.push(Instr::LslImm { rd, rn: rs, sh: mag.trailing_zeros() as u8 });
+        } else {
+            // Binary decomposition: acc = Σ rs << bit_i.
+            let acc = self.temp("mul-const acc")?;
+            let mut first = true;
+            for bit in 0..32 {
+                if mag & (1 << bit) != 0 {
+                    if first {
+                        if bit == 0 {
+                            self.builder.push(Instr::Mov { rd: acc, rm: rs });
+                        } else {
+                            self.builder.push(Instr::LslImm { rd: acc, rn: rs, sh: bit });
+                        }
+                        first = false;
+                    } else {
+                        let t = self.temp("mul-const term")?;
+                        self.builder.push(Instr::LslImm { rd: t, rn: rs, sh: bit });
+                        self.builder.push(Instr::Add { rd: acc, rn: acc, rm: t });
+                        self.regs.free(t);
+                    }
+                }
+            }
+            if rd != acc {
+                self.builder.push(Instr::Mov { rd, rm: acc });
+            }
+            self.regs.free(acc);
+        }
+        if negative {
+            self.builder.push(Instr::Rsb { rd, rn: rd });
+        }
+        Ok(())
+    }
+}
+
+
+/// Decomposes `index` as a linear form in `var`: a sum of
+/// `var`-independent terms plus `coeff * var` (from bare `var` uses and
+/// `var * const` products anywhere in a sum tree). Returns
+/// `Some((invariant_sum, coeff))` with `coeff >= 1`, or `None` when the
+/// expression is not linear in `var`.
+fn split_affine(index: &Expr, var: &str) -> Option<(Option<Expr>, u32)> {
+    let mut inv_terms: Vec<Expr> = Vec::new();
+    let mut coeff: u32 = 0;
+    decompose_linear(index, var, &mut inv_terms, &mut coeff)?;
+    if coeff == 0 {
+        return None; // the access does not move with the loop
+    }
+    let inv = inv_terms.into_iter().reduce(|a, b| Expr::Bin {
+        op: BinOp::Add,
+        a: Box::new(a),
+        b: Box::new(b),
+    });
+    Some((inv, coeff))
+}
+
+fn decompose_linear(
+    e: &Expr,
+    var: &str,
+    inv_terms: &mut Vec<Expr>,
+    coeff: &mut u32,
+) -> Option<()> {
+    match e {
+        Expr::Var(v) if v == var => {
+            *coeff = coeff.checked_add(1)?;
+            Some(())
+        }
+        Expr::Bin { op: BinOp::Add, a, b } => {
+            decompose_linear(a, var, inv_terms, coeff)?;
+            decompose_linear(b, var, inv_terms, coeff)
+        }
+        Expr::Bin { op: BinOp::Mul, a, b } => {
+            match (a.as_ref(), b.as_ref()) {
+                (Expr::Var(v), Expr::Const(c)) | (Expr::Const(c), Expr::Var(v))
+                    if v == var && *c > 0 =>
+                {
+                    *coeff = coeff.checked_add(*c as u32)?;
+                    return Some(());
+                }
+                _ => {}
+            }
+            if uses_var(e, var) {
+                None
+            } else {
+                inv_terms.push(e.clone());
+                Some(())
+            }
+        }
+        other if !uses_var(other, var) => {
+            inv_terms.push(other.clone());
+            Some(())
+        }
+        _ => None,
+    }
+}
+
+fn uses_var(e: &Expr, var: &str) -> bool {
+    let mut found = false;
+    e.visit(&mut |node| {
+        if matches!(node, Expr::Var(v) if v == var) {
+            found = true;
+        }
+    });
+    found
+}
+
+/// Is `e` safe to evaluate once before the loop: free of the loop/assigned
+/// variables and of memory accesses?
+fn induction_invariant(e: &Expr, assigned: &[&str]) -> bool {
+    let mut ok = true;
+    e.visit(&mut |node| match node {
+        Expr::Var(v) if assigned.iter().any(|a| a == v) => ok = false,
+        Expr::Load { .. } | Expr::LoadSub { .. } | Expr::LoadPacked { .. } => ok = false,
+        _ => {}
+    });
+    ok
+}
+
+fn consider(
+    array: &str,
+    index: &Expr,
+    level: Option<u8>,
+    var: &str,
+    assigned: &[&str],
+    out: &mut Vec<(String, Expr, Option<u8>)>,
+) {
+    let Some((inv, _coeff)) = split_affine(index, var) else { return };
+    if let Some(inv) = &inv {
+        if !induction_invariant(inv, assigned) {
+            return;
+        }
+    }
+    if !out.iter().any(|(a, i, l)| a == array && i == index && *l == level) {
+        out.push((array.to_string(), index.clone(), level));
+    }
+}
+
+fn collect_candidates_expr(
+    e: &Expr,
+    var: &str,
+    assigned: &[&str],
+    out: &mut Vec<(String, Expr, Option<u8>)>,
+) {
+    e.visit(&mut |node| match node {
+        Expr::Load { array, index } | Expr::LoadSub { array, index, .. } => {
+            consider(array, index, None, var, assigned, out)
+        }
+        Expr::LoadPacked { array, level, word_index } => {
+            consider(array, word_index, Some(*level), var, assigned, out)
+        }
+        _ => {}
+    });
+}
+
+fn collect_candidates(
+    stmt: &Stmt,
+    var: &str,
+    assigned: &[&str],
+    out: &mut Vec<(String, Expr, Option<u8>)>,
+) {
+    match stmt {
+        Stmt::Store { array, index, value } | Stmt::AccumStore { array, index, value } => {
+            consider(array, index, None, var, assigned, out);
+            collect_candidates_expr(index, var, assigned, out);
+            collect_candidates_expr(value, var, assigned, out);
+        }
+        Stmt::StorePacked { array, level, word_index, value } => {
+            consider(array, word_index, Some(*level), var, assigned, out);
+            collect_candidates_expr(word_index, var, assigned, out);
+            collect_candidates_expr(value, var, assigned, out);
+        }
+        Stmt::StoreComponent { elem_index, value, .. } => {
+            collect_candidates_expr(elem_index, var, assigned, out);
+            collect_candidates_expr(value, var, assigned, out);
+        }
+        Stmt::Assign { value, .. } => collect_candidates_expr(value, var, assigned, out),
+        Stmt::For { .. } | Stmt::SkimPoint => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::ArrayBuilder;
+    use crate::layout::ElemType;
+
+    fn layouts_for(kernel: &KernelIr) -> HashMap<String, ArrayLayout> {
+        kernel
+            .arrays
+            .iter()
+            .map(|a| (a.name.clone(), ArrayLayout::RowMajor { elem: a.elem, len: a.len }))
+            .collect()
+    }
+
+    fn copy_kernel() -> KernelIr {
+        KernelIr::new("copy")
+            .array(ArrayBuilder::input("A", 4).elem16())
+            .array(ArrayBuilder::output("X", 4))
+            .body(vec![Stmt::for_loop(
+                "i",
+                0,
+                4,
+                vec![Stmt::store("X", Expr::var("i"), Expr::load("A", Expr::var("i")))],
+            )])
+    }
+
+    #[test]
+    fn lowers_copy_loop() {
+        let k = copy_kernel();
+        let p = lower(&k, &layouts_for(&k)).unwrap();
+        p.validate().unwrap();
+        assert!(p.data_symbol("A").is_some());
+        assert!(p.data_symbol("X").is_some());
+        assert!(p.code_symbol(END_LABEL).is_some());
+        assert!(matches!(p.instrs.last(), Some(Instr::Halt)));
+        // Contains a loop: a backward branch.
+        assert!(p.instrs.iter().enumerate().any(|(i, ins)| match ins.branch_target() {
+            Some(t) => (t as usize) < i && matches!(ins, Instr::B { .. }),
+            None => false,
+        }));
+    }
+
+    #[test]
+    fn data_blocks_are_aligned_and_sized() {
+        let k = KernelIr::new("sizes")
+            .array(ArrayBuilder::input("B8", 5).elem8())
+            .array(ArrayBuilder::input("H16", 3).elem16())
+            .array(ArrayBuilder::output("W32", 2));
+        let p = lower(&k, &layouts_for(&k)).unwrap();
+        let b8 = p.data_symbol("B8").unwrap();
+        let h16 = p.data_symbol("H16").unwrap();
+        let w32 = p.data_symbol("W32").unwrap();
+        assert_eq!(b8, 0);
+        assert_eq!(h16, 8, "5 bytes rounded to 8");
+        assert_eq!(w32, 16, "6 bytes rounded to 8");
+        assert_eq!(p.initial_data.len(), 24);
+    }
+
+    #[test]
+    fn undefined_var_is_an_error() {
+        let k = KernelIr::new("bad")
+            .array(ArrayBuilder::output("X", 1))
+            .body(vec![Stmt::store("X", Expr::c(0), Expr::var("nope"))]);
+        assert!(matches!(
+            lower(&k, &layouts_for(&k)),
+            Err(CompileError::UndefinedVar { .. })
+        ));
+    }
+
+    #[test]
+    fn const_multiply_is_strength_reduced() {
+        // X[0] = v * 136 (Conv2d row stride): no MUL instruction allowed.
+        let k = KernelIr::new("sr")
+            .array(ArrayBuilder::input("A", 1).elem16())
+            .array(ArrayBuilder::output("X", 1))
+            .body(vec![Stmt::store(
+                "X",
+                Expr::c(0),
+                Expr::load("A", Expr::c(0)) * Expr::c(136),
+            )]);
+        let p = lower(&k, &layouts_for(&k)).unwrap();
+        assert!(
+            !p.instrs.iter().any(|i| matches!(i, Instr::Mul { .. })),
+            "constant multiply must not use the iterative multiplier"
+        );
+    }
+
+    #[test]
+    fn data_multiply_uses_mul() {
+        let k = KernelIr::new("mm")
+            .array(ArrayBuilder::input("A", 1).elem16())
+            .array(ArrayBuilder::input("B", 1).elem16())
+            .array(ArrayBuilder::output("X", 1))
+            .body(vec![Stmt::store(
+                "X",
+                Expr::c(0),
+                Expr::load("A", Expr::c(0)) * Expr::load("B", Expr::c(0)),
+            )]);
+        let p = lower(&k, &layouts_for(&k)).unwrap();
+        assert_eq!(p.instrs.iter().filter(|i| matches!(i, Instr::Mul { .. })).count(), 1);
+    }
+
+    #[test]
+    fn skim_point_targets_end() {
+        let k = KernelIr::new("skim")
+            .array(ArrayBuilder::output("X", 1))
+            .body(vec![Stmt::store("X", Expr::c(0), Expr::c(1)), Stmt::SkimPoint]);
+        let p = lower(&k, &layouts_for(&k)).unwrap();
+        let end = p.code_symbol(END_LABEL).unwrap();
+        assert!(p.instrs.iter().any(|i| matches!(i, Instr::Skm { target } if *target == end)));
+    }
+
+    #[test]
+    fn packed_store_addresses_levels() {
+        let mut layouts = HashMap::new();
+        let elem = ElemType::u32();
+        layouts.insert(
+            "P".to_string(),
+            ArrayLayout::subword_major(elem, 8, 8, false).unwrap(),
+        );
+        let k = KernelIr::new("packed")
+            .array(ArrayBuilder::output("P", 8).elem32().asv_output())
+            .body(vec![Stmt::StorePacked {
+                array: "P".to_string(),
+                level: 3,
+                word_index: Expr::c(1),
+                value: Expr::c(0x42),
+            }]);
+        let p = lower(&k, &layouts).unwrap();
+        p.validate().unwrap();
+        // 2 words per level, level 3 → the +24 byte level displacement is
+        // folded into the base-address immediate (P sits at address 0).
+        assert!(p.instrs.iter().any(|i| matches!(i, Instr::MovImm { imm: 24, .. })));
+    }
+
+    #[test]
+    fn hsum_expands_to_shift_mask_add() {
+        let k = KernelIr::new("hsum")
+            .array(ArrayBuilder::output("X", 1))
+            .body(vec![
+                Stmt::assign("acc", Expr::c(0x01020304)),
+                Stmt::store(
+                    "X",
+                    Expr::c(0),
+                    Expr::HSum { value: Box::new(Expr::var("acc")), lane_bits: 8 },
+                ),
+            ]);
+        let p = lower(&k, &layouts_for(&k)).unwrap();
+        let adds = p.instrs.iter().filter(|i| matches!(i, Instr::Add { .. })).count();
+        assert!(adds >= 3, "4 lanes need 3 adds, found {adds}");
+    }
+
+    #[test]
+    fn register_pool_is_balanced() {
+        // After lowering a deeply nested kernel, codegen must not leak
+        // registers (checked indirectly: lowering twice gives identical
+        // output).
+        let k = copy_kernel();
+        let p1 = lower(&k, &layouts_for(&k)).unwrap();
+        let p2 = lower(&k, &layouts_for(&k)).unwrap();
+        assert_eq!(p1.instrs, p2.instrs);
+    }
+
+    #[test]
+    fn deep_nest_lowers() {
+        let k = KernelIr::new("nest")
+            .array(ArrayBuilder::output("X", 16))
+            .body(vec![Stmt::for_loop(
+                "i",
+                0,
+                2,
+                vec![Stmt::for_loop(
+                    "j",
+                    0,
+                    2,
+                    vec![Stmt::for_loop(
+                        "k",
+                        0,
+                        2,
+                        vec![Stmt::for_loop(
+                            "l",
+                            0,
+                            2,
+                            vec![Stmt::store(
+                                "X",
+                                ((Expr::var("i") * Expr::c(8)) + (Expr::var("j") * Expr::c(4)))
+                                    + ((Expr::var("k") * Expr::c(2)) + Expr::var("l")),
+                                Expr::var("i") + Expr::var("j") + Expr::var("k") + Expr::var("l"),
+                            )],
+                        )],
+                    )],
+                )],
+            )]);
+        let p = lower(&k, &layouts_for(&k)).unwrap();
+        p.validate().unwrap();
+    }
+}

@@ -1,0 +1,78 @@
+//! Compiler error type.
+
+use std::fmt;
+
+/// Errors raised while validating, transforming or lowering a kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// Two arrays share a name.
+    DuplicateArray { name: String },
+    /// An array has length zero.
+    EmptyArray { name: String },
+    /// An array's element width is not 8, 16 or 32 bits.
+    BadElemWidth { name: String, bits: u8 },
+    /// A load or store references an undeclared array.
+    UnknownArray { name: String },
+    /// A nested loop reuses an enclosing loop variable.
+    ShadowedLoopVar { var: String },
+    /// Loop bounds are inverted.
+    BadLoopBounds { var: String, start: i32, end: i32 },
+    /// The subword size does not divide into the data or lane geometry.
+    BadSubwordGeometry { detail: String },
+    /// The requested technique found no transformable loop (e.g. SWP on a
+    /// kernel without an annotated multiply).
+    NothingToTransform { technique: String, kernel: String },
+    /// The code generator ran out of scratch registers.
+    OutOfRegisters { at: String },
+    /// A scalar variable is read before any assignment.
+    UndefinedVar { var: String },
+    /// Lowering produced an inconsistent program (internal error).
+    Internal(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::DuplicateArray { name } => write!(f, "duplicate array `{name}`"),
+            CompileError::EmptyArray { name } => write!(f, "array `{name}` has length zero"),
+            CompileError::BadElemWidth { name, bits } => {
+                write!(f, "array `{name}` has unsupported element width {bits}")
+            }
+            CompileError::UnknownArray { name } => write!(f, "reference to undeclared array `{name}`"),
+            CompileError::ShadowedLoopVar { var } => {
+                write!(f, "loop variable `{var}` shadows an enclosing loop")
+            }
+            CompileError::BadLoopBounds { var, start, end } => {
+                write!(f, "loop `{var}` has inverted bounds {start}..{end}")
+            }
+            CompileError::BadSubwordGeometry { detail } => {
+                write!(f, "subword geometry error: {detail}")
+            }
+            CompileError::NothingToTransform { technique, kernel } => {
+                write!(f, "technique {technique} found nothing to transform in kernel `{kernel}`")
+            }
+            CompileError::OutOfRegisters { at } => {
+                write!(f, "expression too complex, out of scratch registers at {at}")
+            }
+            CompileError::UndefinedVar { var } => {
+                write!(f, "variable `{var}` read before assignment")
+            }
+            CompileError::Internal(msg) => write!(f, "internal compiler error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_problem() {
+        let e = CompileError::UnknownArray { name: "Q".into() };
+        assert!(e.to_string().contains('Q'));
+        let e = CompileError::NothingToTransform { technique: "swp(8)".into(), kernel: "var".into() };
+        assert!(e.to_string().contains("swp(8)"));
+    }
+}

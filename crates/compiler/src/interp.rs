@@ -1,0 +1,299 @@
+//! A reference interpreter for the kernel IR.
+//!
+//! Executes a [`KernelIr`] directly on host integers, with the same
+//! 32-bit wrapping semantics as the device. This is the *oracle* for
+//! differential testing: for any kernel, `compile(k, technique)` run on
+//! the cycle-accurate simulator must produce the same decoded outputs as
+//! `interpret(k)` — for the precise technique exactly, and for anytime
+//! techniques at completion (SWP always; SWV when provisioned).
+//!
+//! The interpreter understands the pass-generated constructs too
+//! (subword loads, `MulAsp`, packed accesses), so transformed kernels can
+//! be interpreted directly when debugging a pass.
+
+use std::collections::HashMap;
+
+use crate::error::CompileError;
+use crate::ir::{BinOp, Expr, KernelIr, Stmt};
+use crate::layout::ArrayLayout;
+
+/// Interpreter state: logical array contents (element-indexed) plus
+/// scalar variables.
+#[derive(Debug, Clone)]
+pub struct Interp {
+    arrays: HashMap<String, Vec<u32>>,
+    layouts: HashMap<String, ArrayLayout>,
+    vars: HashMap<String, u32>,
+}
+
+impl Interp {
+    /// Creates an interpreter for a kernel, with all arrays zeroed
+    /// (row-major layouts).
+    pub fn new(kernel: &KernelIr) -> Interp {
+        let mut arrays = HashMap::new();
+        let mut layouts = HashMap::new();
+        for a in &kernel.arrays {
+            arrays.insert(a.name.clone(), vec![0u32; a.len as usize]);
+            layouts.insert(a.name.clone(), ArrayLayout::RowMajor { elem: a.elem, len: a.len });
+        }
+        Interp { arrays, layouts, vars: HashMap::new() }
+    }
+
+    /// Sets an input array from host values (truncated to the element
+    /// width, like the device encoding).
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown arrays or length mismatch.
+    pub fn set_input(&mut self, name: &str, values: &[i64]) {
+        let layout = *self.layouts.get(name).unwrap_or_else(|| panic!("unknown array `{name}`"));
+        let arr = self.arrays.get_mut(name).expect("array exists");
+        assert_eq!(arr.len(), values.len(), "length mismatch for `{name}`");
+        for (slot, &v) in arr.iter_mut().zip(values) {
+            *slot = layout.elem().truncate(v) as u32;
+        }
+    }
+
+    /// Reads an array back as host values (sign-interpreted like the
+    /// device decoding).
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown arrays.
+    pub fn output(&self, name: &str) -> Vec<i64> {
+        let layout = self.layouts.get(name).unwrap_or_else(|| panic!("unknown array `{name}`"));
+        let elem = layout.elem();
+        self.arrays[name].iter().map(|&raw| elem.interpret(elem.truncate(raw as i64))).collect()
+    }
+
+    /// Runs the kernel body.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::UndefinedVar`] or
+    /// [`CompileError::UnknownArray`] for malformed kernels, and
+    /// [`CompileError::Internal`] for out-of-bounds element accesses
+    /// (which the device would also fault on).
+    pub fn run(&mut self, kernel: &KernelIr) -> Result<(), CompileError> {
+        self.stmts(&kernel.body)
+    }
+
+    fn stmts(&mut self, stmts: &[Stmt]) -> Result<(), CompileError> {
+        for s in stmts {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) -> Result<(), CompileError> {
+        match stmt {
+            Stmt::For { var, start, end, body } => {
+                for i in *start..*end {
+                    self.vars.insert(var.clone(), i as u32);
+                    self.stmts(body)?;
+                }
+                self.vars.remove(var);
+                Ok(())
+            }
+            Stmt::Store { array, index, value } => {
+                let v = self.eval(value)?;
+                let i = self.eval(index)? as usize;
+                self.store_elem(array, i, v)
+            }
+            Stmt::AccumStore { array, index, value } => {
+                let v = self.eval(value)?;
+                let i = self.eval(index)? as usize;
+                let old = self.load_elem(array, i)?;
+                self.store_elem(array, i, old.wrapping_add(v))
+            }
+            Stmt::Assign { var, value } => {
+                let v = self.eval(value)?;
+                self.vars.insert(var.clone(), v);
+                Ok(())
+            }
+            Stmt::StorePacked { .. } | Stmt::StoreComponent { .. } => {
+                Err(CompileError::Internal(
+                    "packed stores require device layouts; interpret the untransformed kernel"
+                        .to_string(),
+                ))
+            }
+            Stmt::SkimPoint => Ok(()),
+        }
+    }
+
+    fn load_elem(&self, array: &str, index: usize) -> Result<u32, CompileError> {
+        let arr = self
+            .arrays
+            .get(array)
+            .ok_or_else(|| CompileError::UnknownArray { name: array.to_string() })?;
+        arr.get(index).copied().ok_or_else(|| {
+            CompileError::Internal(format!("index {index} out of bounds for `{array}`"))
+        })
+    }
+
+    fn store_elem(&mut self, array: &str, index: usize, value: u32) -> Result<(), CompileError> {
+        let layout = *self
+            .layouts
+            .get(array)
+            .ok_or_else(|| CompileError::UnknownArray { name: array.to_string() })?;
+        let arr = self.arrays.get_mut(array).expect("checked above");
+        let slot = arr.get_mut(index).ok_or_else(|| {
+            CompileError::Internal(format!("index {index} out of bounds for `{array}`"))
+        })?;
+        // Stores truncate to the element width, like STRH/STRB.
+        *slot = layout.elem().truncate(value as i64) as u32;
+        Ok(())
+    }
+
+    fn eval(&self, e: &Expr) -> Result<u32, CompileError> {
+        Ok(match e {
+            Expr::Const(c) => *c as u32,
+            Expr::Var(name) => *self
+                .vars
+                .get(name)
+                .ok_or_else(|| CompileError::UndefinedVar { var: name.clone() })?,
+            Expr::Load { array, index } => {
+                let i = self.eval(index)? as usize;
+                self.load_elem(array, i)?
+            }
+            Expr::LoadSub { array, index, width, shift } => {
+                let i = self.eval(index)? as usize;
+                let v = self.load_elem(array, i)?;
+                let mask = if *width >= 32 { u32::MAX } else { (1u32 << width) - 1 };
+                (v >> shift) & mask
+            }
+            Expr::Bin { op, a, b } => {
+                let x = self.eval(a)?;
+                let y = self.eval(b)?;
+                match op {
+                    BinOp::Add => x.wrapping_add(y),
+                    BinOp::Sub => x.wrapping_sub(y),
+                    BinOp::Mul => x.wrapping_mul(y),
+                    BinOp::And => x & y,
+                    BinOp::Or => x | y,
+                    BinOp::Xor => x ^ y,
+                }
+            }
+            Expr::Shl(x, sh) => self.eval(x)? << sh,
+            Expr::Shr(x, sh) => self.eval(x)? >> sh,
+            Expr::MulAsp { full, sub, width, shift } => {
+                let f = self.eval(full)?;
+                let s = self.eval(sub)?;
+                let mask = if *width >= 32 { u32::MAX } else { (1u32 << width) - 1 };
+                f.wrapping_mul((s & mask) << shift)
+            }
+            Expr::AsvBin { .. } | Expr::HSum { .. } | Expr::LoadPacked { .. } => {
+                return Err(CompileError::Internal(
+                    "packed expressions require device layouts; interpret the untransformed kernel"
+                        .to_string(),
+                ))
+            }
+        })
+    }
+}
+
+/// Convenience: interprets a kernel with the given inputs and returns the
+/// named outputs.
+///
+/// # Errors
+///
+/// Propagates interpreter errors.
+pub fn interpret(
+    kernel: &KernelIr,
+    inputs: &[(String, Vec<i64>)],
+    outputs: &[&str],
+) -> Result<Vec<(String, Vec<i64>)>, CompileError> {
+    let mut interp = Interp::new(kernel);
+    for (name, values) in inputs {
+        interp.set_input(name, values);
+    }
+    interp.run(kernel)?;
+    Ok(outputs.iter().map(|&o| (o.to_string(), interp.output(o))).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{ArrayBuilder, Expr, KernelIr, Stmt};
+
+    fn mac_kernel(n: u32) -> KernelIr {
+        KernelIr::new("mac")
+            .array(ArrayBuilder::input("A", n).elem16().asp_input())
+            .array(ArrayBuilder::input("F", n).elem16())
+            .array(ArrayBuilder::output("X", n).asp_output())
+            .body(vec![Stmt::for_loop(
+                "i",
+                0,
+                n as i32,
+                vec![Stmt::accum_store(
+                    "X",
+                    Expr::var("i"),
+                    Expr::load("A", Expr::var("i")) * Expr::load("F", Expr::var("i")),
+                )],
+            )])
+    }
+
+    #[test]
+    fn interprets_mac() {
+        let k = mac_kernel(4);
+        let out = interpret(
+            &k,
+            &[("A".into(), vec![1, 2, 3, 4]), ("F".into(), vec![10, 20, 30, 40])],
+            &["X"],
+        )
+        .unwrap();
+        assert_eq!(out[0].1, vec![10, 40, 90, 160]);
+    }
+
+    #[test]
+    fn interprets_transformed_swp_kernel() {
+        // The SWP-transformed kernel (LoadSub/MulAsp) interprets to the
+        // same result as the original.
+        let k = mac_kernel(4);
+        let t = crate::passes::swp::apply(&k, 8, false).unwrap();
+        let inputs = [("A".to_string(), vec![300i64, 70, 9999, 1]), ("F".to_string(), vec![7i64, 8, 9, 10])];
+        let precise = interpret(&k, &inputs, &["X"]).unwrap();
+        let anytime = interpret(&t.kernel, &inputs, &["X"]).unwrap();
+        assert_eq!(precise, anytime);
+    }
+
+    #[test]
+    fn element_stores_truncate() {
+        let k = KernelIr::new("t")
+            .array(ArrayBuilder::output("H", 1).elem16())
+            .body(vec![Stmt::store("H", Expr::c(0), Expr::c(0x12345))]);
+        let out = interpret(&k, &[], &["H"]).unwrap();
+        assert_eq!(out[0].1, vec![0x2345]);
+    }
+
+    #[test]
+    fn oob_access_is_an_error() {
+        let k = KernelIr::new("t")
+            .array(ArrayBuilder::output("X", 2))
+            .body(vec![Stmt::store("X", Expr::c(5), Expr::c(1))]);
+        assert!(matches!(
+            interpret(&k, &[], &["X"]),
+            Err(CompileError::Internal(_))
+        ));
+    }
+
+    #[test]
+    fn undefined_var_is_an_error() {
+        let k = KernelIr::new("t")
+            .array(ArrayBuilder::output("X", 1))
+            .body(vec![Stmt::store("X", Expr::c(0), Expr::var("ghost"))]);
+        assert!(matches!(
+            interpret(&k, &[], &["X"]),
+            Err(CompileError::UndefinedVar { .. })
+        ));
+    }
+
+    #[test]
+    fn signed_output_interpretation() {
+        let k = KernelIr::new("t")
+            .array(ArrayBuilder::output("X", 1).elem32().signed())
+            .body(vec![Stmt::store("X", Expr::c(0), Expr::c(0) - Expr::c(5))]);
+        let out = interpret(&k, &[], &["X"]).unwrap();
+        assert_eq!(out[0].1, vec![-5]);
+    }
+}

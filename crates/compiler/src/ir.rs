@@ -1,0 +1,717 @@
+//! The kernel intermediate representation.
+//!
+//! Kernels are expressed as counted loops with constant bounds over
+//! declared arrays — the shape of every benchmark in the paper (Table I).
+//! Arrays carry approximability annotations mirroring the paper's
+//! `#pragma asp` / `#pragma asv` directives; the subword *size* is
+//! supplied at compile time through [`crate::Technique`] so one kernel
+//! can be compiled at every granularity the paper sweeps.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::error::CompileError;
+use crate::layout::ElemType;
+
+/// Approximability annotation on an array (the paper's pragmas).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Approx {
+    /// Not approximable.
+    No,
+    /// `#pragma asp input` — input operand of a subword-pipelined multiply.
+    AspInput,
+    /// `#pragma asp output` — accumulation target of SWP.
+    AspOutput,
+    /// `#pragma asv input` — subword-vectorized input.
+    AsvInput,
+    /// `#pragma asv output` — subword-vectorized output.
+    AsvOutput,
+}
+
+/// A declared array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayDecl {
+    /// Array name (also its data-segment symbol).
+    pub name: String,
+    /// Element count.
+    pub len: u32,
+    /// Element storage type.
+    pub elem: ElemType,
+    /// Significant value width in bits (≤ `elem.bits`): the programmer's
+    /// promise — part of the pragma, like the paper's
+    /// `#pragma asp input(A, 8)` — that element values fit in this many
+    /// bits. Subword levels top-align to it, so the first level always
+    /// carries real signal even when data has headroom (e.g. 13-bit ADC
+    /// samples in 16-bit storage).
+    pub value_bits: u8,
+    /// Whether the host reads this array back as kernel output.
+    pub is_output: bool,
+    /// Approximability annotation.
+    pub approx: Approx,
+}
+
+/// Fluent builder for [`ArrayDecl`].
+///
+/// ```
+/// use wn_compiler::ir::ArrayBuilder;
+/// let a = ArrayBuilder::input("A", 64).elem16().asp_input().build();
+/// assert_eq!(a.elem.bits, 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ArrayBuilder {
+    decl: ArrayDecl,
+}
+
+impl ArrayBuilder {
+    /// Starts an input array (32-bit unsigned elements by default).
+    pub fn input(name: &str, len: u32) -> ArrayBuilder {
+        ArrayBuilder {
+            decl: ArrayDecl {
+                name: name.to_string(),
+                len,
+                elem: ElemType::u32(),
+                value_bits: 32,
+                is_output: false,
+                approx: Approx::No,
+            },
+        }
+    }
+
+    /// Starts an output array (32-bit signed elements by default, since
+    /// outputs are usually accumulators).
+    pub fn output(name: &str, len: u32) -> ArrayBuilder {
+        ArrayBuilder {
+            decl: ArrayDecl {
+                name: name.to_string(),
+                len,
+                elem: ElemType::i32(),
+                value_bits: 32,
+                is_output: true,
+                approx: Approx::No,
+            },
+        }
+    }
+
+    /// 8-bit unsigned elements.
+    pub fn elem8(mut self) -> ArrayBuilder {
+        self.decl.elem = ElemType { bits: 8, signed: false };
+        self.decl.value_bits = 8;
+        self
+    }
+
+    /// 16-bit unsigned elements (the paper's fixed-point sensor data).
+    pub fn elem16(mut self) -> ArrayBuilder {
+        self.decl.elem = ElemType { bits: 16, signed: false };
+        self.decl.value_bits = 16;
+        self
+    }
+
+    /// 32-bit unsigned elements.
+    pub fn elem32(mut self) -> ArrayBuilder {
+        self.decl.elem = ElemType::u32();
+        self.decl.value_bits = 32;
+        self
+    }
+
+    /// Declares the significant value width (see
+    /// [`ArrayDecl::value_bits`]). Must not exceed the element width.
+    pub fn value_bits(mut self, bits: u8) -> ArrayBuilder {
+        self.decl.value_bits = bits;
+        self
+    }
+
+    /// Marks elements as signed (affects host-side decoding only).
+    pub fn signed(mut self) -> ArrayBuilder {
+        self.decl.elem.signed = true;
+        self
+    }
+
+    /// Annotates with `#pragma asp input`.
+    pub fn asp_input(mut self) -> ArrayBuilder {
+        self.decl.approx = Approx::AspInput;
+        self
+    }
+
+    /// Annotates with `#pragma asp output`.
+    pub fn asp_output(mut self) -> ArrayBuilder {
+        self.decl.approx = Approx::AspOutput;
+        self
+    }
+
+    /// Annotates with `#pragma asv input`.
+    pub fn asv_input(mut self) -> ArrayBuilder {
+        self.decl.approx = Approx::AsvInput;
+        self
+    }
+
+    /// Annotates with `#pragma asv output`.
+    pub fn asv_output(mut self) -> ArrayBuilder {
+        self.decl.approx = Approx::AsvOutput;
+        self
+    }
+
+    /// Finishes the declaration.
+    pub fn build(self) -> ArrayDecl {
+        self.decl
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication (lowered to the iterative multiplier, or to shifts
+    /// and adds when one side is constant).
+    Mul,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+}
+
+/// An IR expression.
+///
+/// The variants after `Shr` are produced only by the anytime passes, never
+/// written by kernels directly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer constant.
+    Const(i32),
+    /// Loop variable or scalar local.
+    Var(String),
+    /// `array[index]` element load.
+    Load {
+        /// Array name.
+        array: String,
+        /// Element index.
+        index: Box<Expr>,
+    },
+    /// Binary operation.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        a: Box<Expr>,
+        /// Right operand.
+        b: Box<Expr>,
+    },
+    /// Logical shift left by a constant.
+    Shl(Box<Expr>, u8),
+    /// Logical shift right by a constant.
+    Shr(Box<Expr>, u8),
+    /// *(pass-generated)* Load the subword of `array[index]` covering
+    /// bits `[shift, shift + width)`.
+    LoadSub {
+        /// Array name.
+        array: String,
+        /// Element index.
+        index: Box<Expr>,
+        /// Subword width in bits.
+        width: u8,
+        /// Bit position of the subword within the element.
+        shift: u8,
+    },
+    /// *(pass-generated)* Anytime subword-pipelined multiply:
+    /// `full * (sub << shift)` in `width` cycles.
+    MulAsp {
+        /// Full-precision operand.
+        full: Box<Expr>,
+        /// Subword operand (low `width` bits used).
+        sub: Box<Expr>,
+        /// Subword width.
+        width: u8,
+        /// Significance shift of the subword.
+        shift: u8,
+    },
+    /// *(pass-generated)* Lane-wise add/sub on packed subwords
+    /// (`ADD_ASV`/`SUB_ASV`).
+    AsvBin {
+        /// `Add` or `Sub`.
+        op: BinOp,
+        /// Left packed operand.
+        a: Box<Expr>,
+        /// Right packed operand.
+        b: Box<Expr>,
+        /// Lane width in bits (4, 8 or 16).
+        lane_bits: u8,
+    },
+    /// *(pass-generated)* Horizontal sum of all lanes of a packed value.
+    HSum {
+        /// Packed value.
+        value: Box<Expr>,
+        /// Lane width in bits.
+        lane_bits: u8,
+    },
+    /// *(pass-generated)* Load one packed 32-bit word of a subword-major
+    /// array: word `word_index` of significance level `level`.
+    LoadPacked {
+        /// Array name (must have a subword-major layout).
+        array: String,
+        /// Subword significance level (0 = least significant).
+        level: u8,
+        /// Word index within the level.
+        word_index: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Constant expression.
+    pub fn c(v: i32) -> Expr {
+        Expr::Const(v)
+    }
+
+    /// Variable reference.
+    pub fn var(name: &str) -> Expr {
+        Expr::Var(name.to_string())
+    }
+
+    /// Array element load.
+    pub fn load(array: &str, index: Expr) -> Expr {
+        Expr::Load { array: array.to_string(), index: Box::new(index) }
+    }
+
+    /// Left shift by constant. (Deliberately named like `ops::Shl::shl`:
+    /// it is the IR's shift-by-immediate sugar.)
+    #[allow(clippy::should_implement_trait)]
+    pub fn shl(self, sh: u8) -> Expr {
+        Expr::Shl(Box::new(self), sh)
+    }
+
+    /// Logical right shift by constant.
+    #[allow(clippy::should_implement_trait)]
+    pub fn shr(self, sh: u8) -> Expr {
+        Expr::Shr(Box::new(self), sh)
+    }
+
+    fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+        Expr::Bin { op, a: Box::new(a), b: Box::new(b) }
+    }
+
+    /// Bitwise XOR.
+    pub fn xor(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Xor, self, rhs)
+    }
+
+    /// Bitwise AND.
+    pub fn and(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::And, self, rhs)
+    }
+
+    /// Bitwise OR.
+    pub fn or(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Or, self, rhs)
+    }
+
+    /// Visits every node of the expression depth-first, children before
+    /// parents (self last).
+    pub fn visit(&self, f: &mut impl FnMut(&Expr)) {
+        match self {
+            Expr::Const(_) | Expr::Var(_) => {}
+            Expr::Load { index, .. } | Expr::LoadSub { index, .. } => index.visit(f),
+            Expr::LoadPacked { word_index, .. } => word_index.visit(f),
+            Expr::Bin { a, b, .. } | Expr::AsvBin { a, b, .. } => {
+                a.visit(f);
+                b.visit(f);
+            }
+            Expr::MulAsp { full, sub, .. } => {
+                full.visit(f);
+                sub.visit(f);
+            }
+            Expr::Shl(e, _) | Expr::Shr(e, _) | Expr::HSum { value: e, .. } => e.visit(f),
+        }
+        f(self);
+    }
+}
+
+impl std::ops::Add for Expr {
+    type Output = Expr;
+    fn add(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Add, self, rhs)
+    }
+}
+
+impl std::ops::Sub for Expr {
+    type Output = Expr;
+    fn sub(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Sub, self, rhs)
+    }
+}
+
+impl std::ops::Mul for Expr {
+    type Output = Expr;
+    fn mul(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Mul, self, rhs)
+    }
+}
+
+/// An IR statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `for var in start..end { body }` — constant bounds, stride 1.
+    For {
+        /// Loop variable name.
+        var: String,
+        /// Inclusive start.
+        start: i32,
+        /// Exclusive end.
+        end: i32,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `array[index] = value`.
+    Store {
+        /// Destination array.
+        array: String,
+        /// Element index.
+        index: Expr,
+        /// Stored value.
+        value: Expr,
+    },
+    /// `array[index] += value` — the accumulate pattern SWP targets
+    /// (Listing 1: `X[i] += A[i] * F[i]`).
+    AccumStore {
+        /// Destination array.
+        array: String,
+        /// Element index.
+        index: Expr,
+        /// Added value.
+        value: Expr,
+    },
+    /// `var = value` — scalar local assignment.
+    Assign {
+        /// Variable name.
+        var: String,
+        /// Assigned value.
+        value: Expr,
+    },
+    /// *(pass-generated)* Store a packed 32-bit word of a subword-major
+    /// array: word `word_index` of significance level `level`.
+    StorePacked {
+        /// Array name (must have a subword-major layout).
+        array: String,
+        /// Subword significance level (0 = least significant).
+        level: u8,
+        /// Word index within the level.
+        word_index: Expr,
+        /// Packed value to store.
+        value: Expr,
+    },
+    /// *(pass-generated)* Store a 32-bit component of a component-major
+    /// array: level `level` of element `elem_index` (used for reduction
+    /// partial sums).
+    StoreComponent {
+        /// Array name (must have a component-major layout).
+        array: String,
+        /// Logical element index.
+        elem_index: Expr,
+        /// Subword significance level.
+        level: u8,
+        /// Component value.
+        value: Expr,
+    },
+    /// *(pass-generated)* A skim point: an acceptable approximate output
+    /// exists from here on. Lowers to `SKM END`.
+    SkimPoint,
+}
+
+impl Stmt {
+    /// Builds a counted loop.
+    pub fn for_loop(var: &str, start: i32, end: i32, body: Vec<Stmt>) -> Stmt {
+        Stmt::For { var: var.to_string(), start, end, body }
+    }
+
+    /// Builds `array[index] = value`.
+    pub fn store(array: &str, index: Expr, value: Expr) -> Stmt {
+        Stmt::Store { array: array.to_string(), index, value }
+    }
+
+    /// Builds `array[index] += value`.
+    pub fn accum_store(array: &str, index: Expr, value: Expr) -> Stmt {
+        Stmt::AccumStore { array: array.to_string(), index, value }
+    }
+
+    /// Builds `var = value`.
+    pub fn assign(var: &str, value: Expr) -> Stmt {
+        Stmt::Assign { var: var.to_string(), value }
+    }
+}
+
+/// A complete kernel: declarations plus a statement body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelIr {
+    /// Kernel name (used in program symbols and reports).
+    pub name: String,
+    /// Array declarations.
+    pub arrays: Vec<ArrayDecl>,
+    /// Statement body.
+    pub body: Vec<Stmt>,
+}
+
+impl KernelIr {
+    /// Starts a kernel with no arrays and an empty body.
+    pub fn new(name: &str) -> KernelIr {
+        KernelIr { name: name.to_string(), arrays: Vec::new(), body: Vec::new() }
+    }
+
+    /// Adds an array declaration.
+    pub fn array(mut self, builder: ArrayBuilder) -> KernelIr {
+        self.arrays.push(builder.build());
+        self
+    }
+
+    /// Sets the body.
+    pub fn body(mut self, body: Vec<Stmt>) -> KernelIr {
+        self.body = body;
+        self
+    }
+
+    /// Looks up an array declaration.
+    pub fn find_array(&self, name: &str) -> Option<&ArrayDecl> {
+        self.arrays.iter().find(|a| a.name == name)
+    }
+
+    /// Checks structural well-formedness: unique array names, positive
+    /// lengths, all referenced arrays declared, loop variables unique
+    /// within their nest.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompileError`] naming the first violation.
+    pub fn validate(&self) -> Result<(), CompileError> {
+        let mut names = HashSet::new();
+        for a in &self.arrays {
+            if !names.insert(a.name.as_str()) {
+                return Err(CompileError::DuplicateArray { name: a.name.clone() });
+            }
+            if a.len == 0 {
+                return Err(CompileError::EmptyArray { name: a.name.clone() });
+            }
+            if ![8, 16, 32].contains(&a.elem.bits) {
+                return Err(CompileError::BadElemWidth { name: a.name.clone(), bits: a.elem.bits });
+            }
+            if a.value_bits == 0 || a.value_bits > a.elem.bits {
+                return Err(CompileError::BadSubwordGeometry {
+                    detail: format!(
+                        "array `{}` declares {} value bits in {}-bit elements",
+                        a.name, a.value_bits, a.elem.bits
+                    ),
+                });
+            }
+        }
+        let mut loop_vars = Vec::new();
+        self.validate_stmts(&self.body, &mut loop_vars)
+    }
+
+    fn validate_stmts(&self, stmts: &[Stmt], loop_vars: &mut Vec<String>) -> Result<(), CompileError> {
+        for s in stmts {
+            match s {
+                Stmt::For { var, start, end, body } => {
+                    if loop_vars.iter().any(|v| v == var) {
+                        return Err(CompileError::ShadowedLoopVar { var: var.clone() });
+                    }
+                    if start > end {
+                        return Err(CompileError::BadLoopBounds {
+                            var: var.clone(),
+                            start: *start,
+                            end: *end,
+                        });
+                    }
+                    loop_vars.push(var.clone());
+                    self.validate_stmts(body, loop_vars)?;
+                    loop_vars.pop();
+                }
+                Stmt::Store { array, index, value } | Stmt::AccumStore { array, index, value } => {
+                    self.check_array(array)?;
+                    self.validate_expr(index)?;
+                    self.validate_expr(value)?;
+                }
+                Stmt::StorePacked { array, word_index, value, .. } => {
+                    self.check_array(array)?;
+                    self.validate_expr(word_index)?;
+                    self.validate_expr(value)?;
+                }
+                Stmt::StoreComponent { array, elem_index, value, .. } => {
+                    self.check_array(array)?;
+                    self.validate_expr(elem_index)?;
+                    self.validate_expr(value)?;
+                }
+                Stmt::Assign { var, value } => {
+                    // Writing the loop counter would diverge between the
+                    // reference interpreter (which re-derives it from the
+                    // range) and generated code (which mutates the live
+                    // register).
+                    if loop_vars.iter().any(|v| v == var) {
+                        return Err(CompileError::ShadowedLoopVar { var: var.clone() });
+                    }
+                    self.validate_expr(value)?;
+                }
+                Stmt::SkimPoint => {}
+            }
+        }
+        Ok(())
+    }
+
+    fn check_array(&self, name: &str) -> Result<(), CompileError> {
+        if self.find_array(name).is_none() {
+            return Err(CompileError::UnknownArray { name: name.to_string() });
+        }
+        Ok(())
+    }
+
+    fn validate_expr(&self, e: &Expr) -> Result<(), CompileError> {
+        let mut err = None;
+        e.visit(&mut |node| {
+            if err.is_some() {
+                return;
+            }
+            if let Expr::Load { array, .. }
+            | Expr::LoadSub { array, .. }
+            | Expr::LoadPacked { array, .. } = node
+            {
+                if self.find_array(array).is_none() {
+                    err = Some(CompileError::UnknownArray { name: array.clone() });
+                }
+            }
+        });
+        match err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+impl fmt::Display for KernelIr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "kernel {} ({} arrays)", self.name, self.arrays.len())?;
+        for a in &self.arrays {
+            writeln!(
+                f,
+                "  {} {}: [{} x u{}]{}",
+                if a.is_output { "output" } else { "input" },
+                a.name,
+                a.len,
+                a.elem.bits,
+                match a.approx {
+                    Approx::No => "",
+                    Approx::AspInput => "  #pragma asp input",
+                    Approx::AspOutput => "  #pragma asp output",
+                    Approx::AsvInput => "  #pragma asv input",
+                    Approx::AsvOutput => "  #pragma asv output",
+                }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_kernel() -> KernelIr {
+        KernelIr::new("k")
+            .array(ArrayBuilder::input("A", 4).elem16().asp_input())
+            .array(ArrayBuilder::output("X", 4).asp_output())
+            .body(vec![Stmt::for_loop(
+                "i",
+                0,
+                4,
+                vec![Stmt::accum_store("X", Expr::var("i"), Expr::load("A", Expr::var("i")))],
+            )])
+    }
+
+    #[test]
+    fn valid_kernel_passes() {
+        simple_kernel().validate().unwrap();
+    }
+
+    #[test]
+    fn duplicate_array_rejected() {
+        let k = KernelIr::new("k")
+            .array(ArrayBuilder::input("A", 4))
+            .array(ArrayBuilder::input("A", 8));
+        assert!(matches!(k.validate(), Err(CompileError::DuplicateArray { .. })));
+    }
+
+    #[test]
+    fn unknown_array_rejected() {
+        let k = KernelIr::new("k").body(vec![Stmt::store("Z", Expr::c(0), Expr::c(1))]);
+        assert!(matches!(k.validate(), Err(CompileError::UnknownArray { .. })));
+        let k2 = KernelIr::new("k")
+            .array(ArrayBuilder::output("X", 1))
+            .body(vec![Stmt::store("X", Expr::c(0), Expr::load("Q", Expr::c(0)))]);
+        assert!(matches!(k2.validate(), Err(CompileError::UnknownArray { .. })));
+    }
+
+    #[test]
+    fn shadowed_loop_var_rejected() {
+        let k = KernelIr::new("k").body(vec![Stmt::for_loop(
+            "i",
+            0,
+            2,
+            vec![Stmt::for_loop("i", 0, 2, vec![])],
+        )]);
+        assert!(matches!(k.validate(), Err(CompileError::ShadowedLoopVar { .. })));
+    }
+
+    #[test]
+    fn assigning_loop_variable_rejected() {
+        let k = KernelIr::new("k").array(ArrayBuilder::output("X", 4)).body(vec![
+            Stmt::for_loop(
+                "i",
+                0,
+                4,
+                vec![Stmt::assign("i", Expr::var("i") + Expr::c(1))],
+            ),
+        ]);
+        assert!(matches!(k.validate(), Err(CompileError::ShadowedLoopVar { .. })));
+    }
+
+    #[test]
+    fn bad_bounds_rejected() {
+        let k = KernelIr::new("k").body(vec![Stmt::for_loop("i", 5, 2, vec![])]);
+        assert!(matches!(k.validate(), Err(CompileError::BadLoopBounds { .. })));
+    }
+
+    #[test]
+    fn empty_array_rejected() {
+        let k = KernelIr::new("k").array(ArrayBuilder::input("A", 0));
+        assert!(matches!(k.validate(), Err(CompileError::EmptyArray { .. })));
+    }
+
+    #[test]
+    fn operator_sugar_builds_bins() {
+        let e = Expr::var("a") * Expr::var("b") + Expr::c(3);
+        match e {
+            Expr::Bin { op: BinOp::Add, a, .. } => match *a {
+                Expr::Bin { op: BinOp::Mul, .. } => {}
+                other => panic!("expected Mul, got {other:?}"),
+            },
+            other => panic!("expected Add, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn visit_reaches_nested_loads() {
+        let e = Expr::load("A", Expr::var("i")) + Expr::load("B", Expr::var("j")).shl(2);
+        let mut loads = Vec::new();
+        e.visit(&mut |n| {
+            if let Expr::Load { array, .. } = n {
+                loads.push(array.clone());
+            }
+        });
+        assert_eq!(loads, vec!["A".to_string(), "B".to_string()]);
+    }
+
+    #[test]
+    fn display_shows_pragmas() {
+        let text = simple_kernel().to_string();
+        assert!(text.contains("#pragma asp input"));
+        assert!(text.contains("#pragma asp output"));
+    }
+}

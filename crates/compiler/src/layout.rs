@@ -1,0 +1,510 @@
+//! Data layouts: the contract between device memory and the host.
+//!
+//! Anytime subword vectorization requires inputs and outputs in
+//! **subword-major order** (paper Fig. 7): all most-significant subwords
+//! of an array are contiguous, then the next level, and so on. The paper
+//! notes that sensors can transpose incoming data "statically" and that
+//! transposing back is usually unnecessary — so encoding happens on the
+//! host/sensor side (here: [`ArrayLayout::encode`]) and the experiment
+//! harness decodes outputs ([`ArrayLayout::decode`]).
+
+use crate::error::CompileError;
+
+/// Element storage type of an array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ElemType {
+    /// Width in bits: 8, 16 or 32.
+    pub bits: u8,
+    /// Whether host-side decoding sign-extends.
+    pub signed: bool,
+}
+
+impl ElemType {
+    /// Unsigned 32-bit.
+    pub const fn u32() -> ElemType {
+        ElemType { bits: 32, signed: false }
+    }
+
+    /// Signed 32-bit.
+    pub const fn i32() -> ElemType {
+        ElemType { bits: 32, signed: true }
+    }
+
+    /// Unsigned 16-bit.
+    pub const fn u16() -> ElemType {
+        ElemType { bits: 16, signed: false }
+    }
+
+    /// Element size in bytes.
+    pub const fn bytes(self) -> u32 {
+        (self.bits / 8) as u32
+    }
+
+    /// Truncates a host value to the element width (two's complement).
+    pub fn truncate(self, v: i64) -> u64 {
+        let mask = if self.bits == 32 { u32::MAX as u64 } else { (1u64 << self.bits) - 1 };
+        (v as u64) & mask
+    }
+
+    /// Interprets a raw element value as a host value, sign-extending when
+    /// signed.
+    pub fn interpret(self, raw: u64) -> i64 {
+        if self.signed {
+            let sh = 64 - self.bits as u32;
+            ((raw << sh) as i64) >> sh
+        } else {
+            raw as i64
+        }
+    }
+}
+
+/// How an array is laid out in device data memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrayLayout {
+    /// Conventional element order.
+    RowMajor {
+        /// Element type.
+        elem: ElemType,
+        /// Element count.
+        len: u32,
+    },
+    /// Subword-major (Fig. 7): level-`k` subwords of all elements are
+    /// packed into consecutive 32-bit words, one subword per
+    /// `lane_bits`-wide lane. *Provisioned* layouts (§V-E) use
+    /// `lane_bits == 2 × sub_bits` so carry bits fit; unprovisioned use
+    /// `lane_bits == sub_bits`.
+    SubwordMajor {
+        /// Element type.
+        elem: ElemType,
+        /// Element count.
+        len: u32,
+        /// Subword width in bits.
+        sub_bits: u8,
+        /// Lane width in bits (equal to or double `sub_bits`).
+        lane_bits: u8,
+        /// Interpret lanes as signed two's-complement values when
+        /// decoding. Set for provisioned *subtraction*, whose partial
+        /// lane results are negative borrow-bearing values.
+        lane_signed: bool,
+    },
+    /// One 32-bit component per subword level per element, element-major
+    /// (used for SWV reduction outputs: each level's partial sum is a full
+    /// 32-bit value).
+    ComponentMajor {
+        /// Element type of the logical value.
+        elem: ElemType,
+        /// Element count.
+        len: u32,
+        /// Subword width the components correspond to.
+        sub_bits: u8,
+        /// Number of components (subword levels) per element.
+        n_sub: u8,
+    },
+}
+
+impl ArrayLayout {
+    /// Builds a subword-major layout, validating the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::BadSubwordGeometry`] unless `sub_bits`
+    /// divides the element width, `lane_bits` is `sub_bits` or
+    /// `2 × sub_bits`, 32 is a multiple of `lane_bits`, and `len` is a
+    /// multiple of the lane count.
+    pub fn subword_major(
+        elem: ElemType,
+        len: u32,
+        sub_bits: u8,
+        provisioned: bool,
+    ) -> Result<ArrayLayout, CompileError> {
+        let lane_bits = if provisioned { sub_bits * 2 } else { sub_bits };
+        if sub_bits == 0 || !elem.bits.is_multiple_of(sub_bits) {
+            return Err(CompileError::BadSubwordGeometry {
+                detail: format!("sub_bits {sub_bits} does not divide element width {}", elem.bits),
+            });
+        }
+        if lane_bits == 0 || 32 % lane_bits as u32 != 0 {
+            return Err(CompileError::BadSubwordGeometry {
+                detail: format!("lane width {lane_bits} does not divide 32"),
+            });
+        }
+        let lanes = 32 / lane_bits as u32;
+        if !len.is_multiple_of(lanes) {
+            return Err(CompileError::BadSubwordGeometry {
+                detail: format!("array length {len} is not a multiple of {lanes} lanes"),
+            });
+        }
+        Ok(ArrayLayout::SubwordMajor { elem, len, sub_bits, lane_bits, lane_signed: false })
+    }
+
+    /// Returns this layout with signed lane decoding enabled (see
+    /// [`ArrayLayout::SubwordMajor::lane_signed`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when applied to a non-subword-major layout.
+    pub fn with_signed_lanes(self) -> ArrayLayout {
+        match self {
+            ArrayLayout::SubwordMajor { elem, len, sub_bits, lane_bits, .. } => {
+                ArrayLayout::SubwordMajor { elem, len, sub_bits, lane_bits, lane_signed: true }
+            }
+            other => panic!("with_signed_lanes on non-subword-major layout {other:?}"),
+        }
+    }
+
+    /// Element count.
+    pub fn len(&self) -> u32 {
+        match *self {
+            ArrayLayout::RowMajor { len, .. }
+            | ArrayLayout::SubwordMajor { len, .. }
+            | ArrayLayout::ComponentMajor { len, .. } => len,
+        }
+    }
+
+    /// True when the array holds no elements (never after validation).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The logical element type.
+    pub fn elem(&self) -> ElemType {
+        match *self {
+            ArrayLayout::RowMajor { elem, .. }
+            | ArrayLayout::SubwordMajor { elem, .. }
+            | ArrayLayout::ComponentMajor { elem, .. } => elem,
+        }
+    }
+
+    /// Total bytes the array occupies in device memory.
+    pub fn byte_size(&self) -> u32 {
+        match *self {
+            ArrayLayout::RowMajor { elem, len } => len * elem.bytes(),
+            ArrayLayout::SubwordMajor { elem, len, sub_bits, lane_bits, .. } => {
+                let n_sub = (elem.bits / sub_bits) as u32;
+                let lanes = 32 / lane_bits as u32;
+                n_sub * (len / lanes) * 4
+            }
+            ArrayLayout::ComponentMajor { len, n_sub, .. } => len * n_sub as u32 * 4,
+        }
+    }
+
+    /// Number of subword levels (1 for row-major).
+    pub fn levels(&self) -> u8 {
+        match *self {
+            ArrayLayout::RowMajor { .. } => 1,
+            ArrayLayout::SubwordMajor { elem, sub_bits, .. } => elem.bits / sub_bits,
+            ArrayLayout::ComponentMajor { n_sub, .. } => n_sub,
+        }
+    }
+
+    /// Lanes per packed word (subword-major only).
+    pub fn lanes(&self) -> u32 {
+        match *self {
+            ArrayLayout::SubwordMajor { lane_bits, .. } => 32 / lane_bits as u32,
+            _ => 1,
+        }
+    }
+
+    /// Packed 32-bit words per subword level (subword-major only).
+    pub fn words_per_level(&self) -> u32 {
+        match *self {
+            ArrayLayout::SubwordMajor { len, .. } => len / self.lanes(),
+            _ => 0,
+        }
+    }
+
+    /// Encodes host values into the device byte image of this layout.
+    ///
+    /// Values are truncated to the element width. For subword-major
+    /// layouts each subword is zero-extended into its lane; for
+    /// component-major layouts the components are the subwords themselves
+    /// (so `decode(encode(v)) == v`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the layout's length.
+    pub fn encode(&self, values: &[i64]) -> Vec<u8> {
+        assert_eq!(values.len() as u32, self.len(), "value count mismatch");
+        let mut bytes = vec![0u8; self.byte_size() as usize];
+        match *self {
+            ArrayLayout::RowMajor { elem, .. } => {
+                for (i, &v) in values.iter().enumerate() {
+                    let raw = elem.truncate(v);
+                    let off = i * elem.bytes() as usize;
+                    match elem.bits {
+                        8 => bytes[off] = raw as u8,
+                        16 => bytes[off..off + 2].copy_from_slice(&(raw as u16).to_le_bytes()),
+                        _ => bytes[off..off + 4].copy_from_slice(&(raw as u32).to_le_bytes()),
+                    }
+                }
+            }
+            ArrayLayout::SubwordMajor { elem, sub_bits, lane_bits, .. } => {
+                let n_sub = (elem.bits / sub_bits) as u32;
+                let lanes = 32 / lane_bits as u32;
+                let wpl = self.words_per_level();
+                let sub_mask = (1u64 << sub_bits) - 1;
+                for k in 0..n_sub {
+                    for j in 0..wpl {
+                        let mut word = 0u32;
+                        for l in 0..lanes {
+                            let e = (j * lanes + l) as usize;
+                            let raw = elem.truncate(values[e]);
+                            let sub = (raw >> (k * sub_bits as u32)) & sub_mask;
+                            word |= (sub as u32) << (l * lane_bits as u32);
+                        }
+                        let off = (4 * (k * wpl + j)) as usize;
+                        bytes[off..off + 4].copy_from_slice(&word.to_le_bytes());
+                    }
+                }
+            }
+            ArrayLayout::ComponentMajor { elem, sub_bits, n_sub, .. } => {
+                let sub_mask = (1u64 << sub_bits) - 1;
+                for (e, &v) in values.iter().enumerate() {
+                    let raw = elem.truncate(v);
+                    for k in 0..n_sub as usize {
+                        let comp = ((raw >> (k as u32 * sub_bits as u32)) & sub_mask) as u32;
+                        let off = 4 * (e * n_sub as usize + k);
+                        bytes[off..off + 4].copy_from_slice(&comp.to_le_bytes());
+                    }
+                }
+            }
+        }
+        bytes
+    }
+
+    /// Decodes a device byte image back into host values.
+    ///
+    /// Subword-major lanes are summed with their significance shifts, so
+    /// provisioned carry bits are recovered; the result is reduced
+    /// modulo the element width and sign-extended when signed — exactly
+    /// the value the equivalent precise kernel would have produced.
+    /// Component-major values are reduced modulo 32 bits (the device's
+    /// accumulator width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is shorter than the layout's byte size.
+    pub fn decode(&self, bytes: &[u8]) -> Vec<i64> {
+        assert!(
+            bytes.len() >= self.byte_size() as usize,
+            "byte image too short: {} < {}",
+            bytes.len(),
+            self.byte_size()
+        );
+        let read_u32 = |off: usize| {
+            u32::from_le_bytes([bytes[off], bytes[off + 1], bytes[off + 2], bytes[off + 3]])
+        };
+        match *self {
+            ArrayLayout::RowMajor { elem, len } => (0..len as usize)
+                .map(|i| {
+                    let off = i * elem.bytes() as usize;
+                    let raw = match elem.bits {
+                        8 => bytes[off] as u64,
+                        16 => u16::from_le_bytes([bytes[off], bytes[off + 1]]) as u64,
+                        _ => read_u32(off) as u64,
+                    };
+                    elem.interpret(raw)
+                })
+                .collect(),
+            ArrayLayout::SubwordMajor { elem, len, sub_bits, lane_bits, lane_signed } => {
+                let n_sub = (elem.bits / sub_bits) as u32;
+                let lanes = 32 / lane_bits as u32;
+                let wpl = self.words_per_level();
+                let lane_mask = if lane_bits == 32 { u32::MAX } else { (1u32 << lane_bits) - 1 };
+                (0..len as usize)
+                    .map(|e| {
+                        let j = e as u32 / lanes;
+                        let l = e as u32 % lanes;
+                        let mut acc = 0i64;
+                        for k in 0..n_sub {
+                            let word = read_u32((4 * (k * wpl + j)) as usize);
+                            let lane = (word >> (l * lane_bits as u32)) & lane_mask;
+                            let lane = if lane_signed {
+                                let sh = 64 - lane_bits as u32;
+                                ((lane as u64) << sh) as i64 >> sh
+                            } else {
+                                lane as i64
+                            };
+                            acc = acc.wrapping_add(lane << (k * sub_bits as u32));
+                        }
+                        elem.interpret(elem.truncate(acc))
+                    })
+                    .collect()
+            }
+            ArrayLayout::ComponentMajor { elem, len, sub_bits, n_sub } => (0..len as usize)
+                .map(|e| {
+                    let mut acc = 0u64;
+                    for k in 0..n_sub as usize {
+                        let comp = read_u32(4 * (e * n_sub as usize + k));
+                        acc = acc.wrapping_add((comp as u64) << (k as u32 * sub_bits as u32));
+                    }
+                    // The device accumulator is 32-bit; narrower element
+                    // types additionally wrap (and sign-extend) at their
+                    // own width, mirroring the storing instruction.
+                    let raw = acc & u32::MAX as u64;
+                    elem.interpret(elem.truncate(raw as i64))
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn elem_truncate_interpret() {
+        let u16t = ElemType::u16();
+        assert_eq!(u16t.truncate(-1), 0xFFFF);
+        assert_eq!(u16t.interpret(0xFFFF), 0xFFFF);
+        let i16t = ElemType { bits: 16, signed: true };
+        assert_eq!(i16t.interpret(0xFFFF), -1);
+        let i32t = ElemType::i32();
+        assert_eq!(i32t.interpret(0xFFFF_FFFF), -1);
+    }
+
+    #[test]
+    fn row_major_roundtrip() {
+        let layout = ArrayLayout::RowMajor { elem: ElemType::u16(), len: 4 };
+        let values = [1i64, 0xABCD, 0, 0x7FFF];
+        let bytes = layout.encode(&values);
+        assert_eq!(bytes.len(), 8);
+        assert_eq!(layout.decode(&bytes), values);
+    }
+
+    #[test]
+    fn subword_major_geometry_matches_fig7() {
+        // 8 elements of 16 bits, 8-bit subwords, unprovisioned: 2 levels,
+        // 4 lanes, 2 words per level.
+        let layout = ArrayLayout::subword_major(ElemType::u16(), 8, 8, false).unwrap();
+        assert_eq!(layout.levels(), 2);
+        assert_eq!(layout.lanes(), 4);
+        assert_eq!(layout.words_per_level(), 2);
+        assert_eq!(layout.byte_size(), 16);
+
+        let values: Vec<i64> = (0..8).map(|i| 0x0100 * i + i).collect(); // hi=lo=i
+        let bytes = layout.encode(&values);
+        // Level 0 (LSBs) word 0 packs elements 0..4's low bytes.
+        assert_eq!(&bytes[0..4], &[0, 1, 2, 3]);
+        // Level 1 (MSBs) starts at words_per_level*4 = 8.
+        assert_eq!(&bytes[8..12], &[0, 1, 2, 3]);
+        assert_eq!(layout.decode(&bytes), values);
+    }
+
+    #[test]
+    fn provisioned_lanes_are_double_width() {
+        let layout = ArrayLayout::subword_major(ElemType::u16(), 4, 8, true).unwrap();
+        assert_eq!(layout.lanes(), 2, "16-bit lanes for provisioned 8-bit subwords");
+        assert_eq!(layout.levels(), 2);
+        let values = [0x1234i64, 0x00FF, 0xFF00, 0xABCD];
+        let bytes = layout.encode(&values);
+        assert_eq!(layout.decode(&bytes), values);
+    }
+
+    #[test]
+    fn provisioned_decode_recovers_carries() {
+        // Simulate the device summing lane-wise with carries kept inside
+        // 16-bit lanes: 0xFF + 0x01 in the low level must carry into the
+        // decoded value rather than being lost.
+        let layout = ArrayLayout::subword_major(ElemType::u16(), 2, 8, true).unwrap();
+        // Manually build an image whose low-level lane holds 0x100
+        // (a carry-bearing partial sum) and high level holds 0x12.
+        let mut bytes = vec![0u8; layout.byte_size() as usize];
+        // level 0, word 0: lanes (16-bit): elem0 = 0x0100, elem1 = 0.
+        bytes[0..4].copy_from_slice(&0x0000_0100u32.to_le_bytes());
+        // level 1, word 0: elem0 = 0x12.
+        bytes[4..8].copy_from_slice(&0x0000_0012u32.to_le_bytes());
+        let decoded = layout.decode(&bytes);
+        assert_eq!(decoded[0], 0x12 * 256 + 0x100);
+    }
+
+    #[test]
+    fn component_major_roundtrip() {
+        let layout = ArrayLayout::ComponentMajor {
+            elem: ElemType::u32(),
+            len: 3,
+            sub_bits: 4,
+            n_sub: 4,
+        };
+        let values = [0xABCDi64, 0x1234, 0xFFFF];
+        let bytes = layout.encode(&values);
+        assert_eq!(bytes.len(), 3 * 4 * 4);
+        assert_eq!(layout.decode(&bytes), values);
+    }
+
+    #[test]
+    fn geometry_validation() {
+        // 5 does not divide 16.
+        assert!(ArrayLayout::subword_major(ElemType::u16(), 8, 5, false).is_err());
+        // 7 elements not a multiple of 4 lanes.
+        assert!(ArrayLayout::subword_major(ElemType::u16(), 7, 8, false).is_err());
+        // provisioned 16-bit subwords would need 32-bit lanes: allowed (1 lane).
+        let l = ArrayLayout::subword_major(ElemType::u16(), 4, 16, true).unwrap();
+        assert_eq!(l.lanes(), 1);
+    }
+
+    #[test]
+    fn signed_component_decode() {
+        let layout = ArrayLayout::ComponentMajor {
+            elem: ElemType::i32(),
+            len: 1,
+            sub_bits: 8,
+            n_sub: 4,
+        };
+        let values = [-5i64];
+        let bytes = layout.encode(&values);
+        assert_eq!(layout.decode(&bytes), values);
+    }
+
+    #[test]
+    fn narrow_signed_component_decode() {
+        // 16-bit signed elements in component-major form must round-trip
+        // negatives through the element width, not the 32-bit accumulator.
+        let layout = ArrayLayout::ComponentMajor {
+            elem: ElemType { bits: 16, signed: true },
+            len: 2,
+            sub_bits: 8,
+            n_sub: 2,
+        };
+        let values = [-5i64, 1234];
+        let bytes = layout.encode(&values);
+        assert_eq!(layout.decode(&bytes), values);
+    }
+
+    fn arb_elem() -> impl Strategy<Value = ElemType> {
+        (prop_oneof![Just(8u8), Just(16), Just(32)], any::<bool>())
+            .prop_map(|(bits, signed)| ElemType { bits, signed })
+    }
+
+    proptest! {
+        #[test]
+        fn row_major_roundtrip_prop(elem in arb_elem(), values in proptest::collection::vec(any::<i64>(), 1..32)) {
+            let layout = ArrayLayout::RowMajor { elem, len: values.len() as u32 };
+            let expect: Vec<i64> = values.iter().map(|&v| elem.interpret(elem.truncate(v))).collect();
+            prop_assert_eq!(layout.decode(&layout.encode(&values)), expect);
+        }
+
+        #[test]
+        fn subword_major_roundtrip_prop(
+            sub_bits in prop_oneof![Just(4u8), Just(8)],
+            provisioned in any::<bool>(),
+            values in proptest::collection::vec(0i64..0x1_0000, 8..=8),
+        ) {
+            let elem = ElemType::u16();
+            let layout = ArrayLayout::subword_major(elem, 8, sub_bits, provisioned).unwrap();
+            prop_assert_eq!(layout.decode(&layout.encode(&values)), values);
+        }
+
+        #[test]
+        fn subword_major_32bit_roundtrip(
+            sub_bits in prop_oneof![Just(4u8), Just(8), Just(16)],
+            values in proptest::collection::vec(any::<u32>().prop_map(|v| v as i64), 16..=16),
+        ) {
+            let elem = ElemType::u32();
+            let layout = ArrayLayout::subword_major(elem, 16, sub_bits, false).unwrap();
+            prop_assert_eq!(layout.decode(&layout.encode(&values)), values);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Anytime transformation passes (the paper's Algorithm 1 and its SWV
+//! sibling).
+//!
+//! Both passes implement the same high-level recipe:
+//!
+//! 1. find the annotated candidate operation and the top-level loop that
+//!    contains it,
+//! 2. **loop fission**: replicate the region from that loop to the end of
+//!    the kernel body once per subword level, most significant first
+//!    (trailing statements such as a variance finalization are replicated
+//!    too, so every level ends with a committed, improving output),
+//! 3. rewrite the candidate operation in level `k` to its anytime
+//!    subword equivalent (`MUL_ASP`, `ADD_ASV`, packed loads/stores),
+//! 4. insert a **skim point** after every level except the last.
+
+pub mod hoist;
+pub mod swp;
+pub mod swv;
+
+use std::collections::HashMap;
+
+use crate::ir::KernelIr;
+use crate::layout::ArrayLayout;
+
+/// Result of an anytime pass: the rewritten kernel plus the layout
+/// overrides its packed accesses assume.
+#[derive(Debug, Clone)]
+pub struct TransformedKernel {
+    /// The rewritten kernel.
+    pub kernel: KernelIr,
+    /// Arrays whose device layout differs from row-major.
+    pub layouts: HashMap<String, ArrayLayout>,
+}
+
+impl TransformedKernel {
+    /// An identity transformation (precise compilation).
+    pub fn identity(kernel: &KernelIr) -> TransformedKernel {
+        TransformedKernel { kernel: kernel.clone(), layouts: HashMap::new() }
+    }
+}

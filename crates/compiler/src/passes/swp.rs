@@ -1,0 +1,861 @@
+//! Anytime subword pipelining (paper §III-A, Algorithm 1).
+//!
+//! Finds a multiply whose operand loads from a `#pragma asp input` array
+//! and accumulates into a `#pragma asp output` array, then fissions the
+//! enclosing top-level region once per subword level (MSB first),
+//! replacing the multiply by `MUL_ASP` and the operand load by a subword
+//! load. With `vectorized_loads` (§V-E, Fig. 12) the annotated input is
+//! additionally transposed to subword-major order and the innermost loop
+//! is unrolled by the lane count so one 32-bit load feeds several
+//! subword multiplies.
+
+use std::collections::HashMap;
+
+use crate::error::CompileError;
+use crate::ir::{Approx, BinOp, Expr, KernelIr, Stmt};
+use crate::layout::ArrayLayout;
+use crate::passes::TransformedKernel;
+
+/// Applies anytime subword pipelining.
+///
+/// # Errors
+///
+/// Returns [`CompileError::NothingToTransform`] when no annotated multiply
+/// exists, or [`CompileError::BadSubwordGeometry`] for invalid subword
+/// sizes.
+pub fn apply(
+    kernel: &KernelIr,
+    bits: u8,
+    vectorized_loads: bool,
+) -> Result<TransformedKernel, CompileError> {
+    if bits == 0 || bits > 16 {
+        return Err(CompileError::BadSubwordGeometry {
+            detail: format!("SWP subword size {bits} out of range 1..=16"),
+        });
+    }
+    let asp_input = kernel
+        .arrays
+        .iter()
+        .find(|a| a.approx == Approx::AspInput)
+        .ok_or_else(|| nothing(kernel, bits))?;
+    let has_output = kernel.arrays.iter().any(|a| a.approx == Approx::AspOutput);
+    if !has_output {
+        return Err(nothing(kernel, bits));
+    }
+    let elem_bits = asp_input.elem.bits;
+    // Levels top-align to the declared significant width so the first
+    // level carries real signal; vectorized loads need the storage grid.
+    let effective_bits =
+        if vectorized_loads { elem_bits } else { asp_input.value_bits.min(elem_bits) };
+    if bits > effective_bits {
+        return Err(CompileError::BadSubwordGeometry {
+            detail: format!("subword size {bits} exceeds significant width {effective_bits}"),
+        });
+    }
+    // Subword levels, **top-aligned** and most significant first: when
+    // `bits` does not divide the element width (Fig. 15's 3-bit subwords
+    // of 16-bit data), the *bottom* level is the narrow remainder — so the
+    // first level always carries `bits` bits of significance and the
+    // earliest output improves monotonically with the subword size.
+    let mut levels: Vec<(u8, u8)> = Vec::new(); // (shift, width), MSB first
+    let mut hi = effective_bits;
+    while hi > 0 {
+        let lo = hi.saturating_sub(bits);
+        levels.push((lo, hi - lo));
+        hi = lo;
+    }
+
+    // Locate the first top-level statement whose nest contains the
+    // candidate multiply; fission from there to the end of the body.
+    let split = kernel
+        .body
+        .iter()
+        .position(|s| stmt_contains_candidate(s, &asp_input.name))
+        .ok_or_else(|| nothing(kernel, bits))?;
+
+    // Trailing statements replicate once per level (so a finalize runs
+    // after each level); that is only sound when they are idempotent.
+    // The candidate loop's own accumulation is exempt: its per-level
+    // contributions sum to the exact result by distributivity.
+    for s in &kernel.body[split + 1..] {
+        if region_accumulates(s) {
+            return Err(CompileError::BadSubwordGeometry {
+                detail: format!(
+                    "kernel `{}` accumulates after the anytime loop; replicated trailing                      statements must be idempotent (use Store, not AccumStore)",
+                    kernel.name
+                ),
+            });
+        }
+    }
+
+    let mut body: Vec<Stmt> = kernel.body[..split].to_vec();
+    let region = &kernel.body[split..];
+    let n_levels = levels.len();
+    for (i, &(shift, width)) in levels.iter().enumerate() {
+        for s in region {
+            body.push(rewrite_stmt(s, &asp_input.name, width, shift));
+        }
+        if i + 1 < n_levels {
+            body.push(Stmt::SkimPoint);
+        }
+    }
+
+    let mut layouts = HashMap::new();
+    if vectorized_loads {
+        if elem_bits % bits != 0 {
+            return Err(CompileError::BadSubwordGeometry {
+                detail: format!(
+                    "vectorized loads need {bits}-bit subwords to divide {elem_bits}-bit elements"
+                ),
+            });
+        }
+        let layout = ArrayLayout::subword_major(asp_input.elem, asp_input.len, bits, false)?;
+        let lanes = layout.lanes();
+        body = body
+            .into_iter()
+            .map(|s| vectorize_loads_in(s, &asp_input.name, bits, lanes))
+            .collect::<Result<_, _>>()?;
+        layouts.insert(asp_input.name.clone(), layout);
+    }
+
+    let mut out = kernel.clone();
+    out.body = body;
+    Ok(TransformedKernel { kernel: out, layouts })
+}
+
+fn nothing(kernel: &KernelIr, bits: u8) -> CompileError {
+    CompileError::NothingToTransform {
+        technique: format!("swp({bits})"),
+        kernel: kernel.name.clone(),
+    }
+}
+
+/// Does this statement's nest contain an `AccumStore` (non-idempotent
+/// under replication)?
+fn region_accumulates(stmt: &Stmt) -> bool {
+    match stmt {
+        Stmt::AccumStore { .. } => true,
+        Stmt::For { body, .. } => body.iter().any(region_accumulates),
+        _ => false,
+    }
+}
+
+/// Does this statement's nest contain `Mul` with a load from the asp array?
+fn stmt_contains_candidate(stmt: &Stmt, asp_array: &str) -> bool {
+    match stmt {
+        Stmt::For { body, .. } => body.iter().any(|s| stmt_contains_candidate(s, asp_array)),
+        Stmt::AccumStore { value, .. } | Stmt::Store { value, .. } | Stmt::Assign { value, .. } => {
+            expr_contains_candidate(value, asp_array)
+        }
+        _ => false,
+    }
+}
+
+fn expr_contains_candidate(e: &Expr, asp_array: &str) -> bool {
+    let mut found = false;
+    e.visit(&mut |node| {
+        if let Expr::Bin { op: BinOp::Mul, a, b } = node {
+            if is_asp_load(a, asp_array) || is_asp_load(b, asp_array) {
+                found = true;
+            }
+        }
+    });
+    found
+}
+
+fn is_asp_load(e: &Expr, asp_array: &str) -> bool {
+    matches!(e, Expr::Load { array, .. } if array == asp_array)
+}
+
+fn rewrite_stmt(stmt: &Stmt, asp_array: &str, width: u8, shift: u8) -> Stmt {
+    match stmt {
+        Stmt::For { var, start, end, body } => Stmt::For {
+            var: var.clone(),
+            start: *start,
+            end: *end,
+            body: body.iter().map(|s| rewrite_stmt(s, asp_array, width, shift)).collect(),
+        },
+        Stmt::Store { array, index, value } => Stmt::Store {
+            array: array.clone(),
+            index: rewrite_expr(index, asp_array, width, shift),
+            value: rewrite_expr(value, asp_array, width, shift),
+        },
+        Stmt::AccumStore { array, index, value } => Stmt::AccumStore {
+            array: array.clone(),
+            index: rewrite_expr(index, asp_array, width, shift),
+            value: rewrite_expr(value, asp_array, width, shift),
+        },
+        Stmt::Assign { var, value } => Stmt::Assign {
+            var: var.clone(),
+            value: rewrite_expr(value, asp_array, width, shift),
+        },
+        other => other.clone(),
+    }
+}
+
+/// Rewrites `Mul(load(asp), x)` / `Mul(x, load(asp))` into the anytime
+/// subword equivalent for the level at `shift`; everything else is cloned.
+fn rewrite_expr(e: &Expr, asp_array: &str, width: u8, shift: u8) -> Expr {
+    match e {
+        Expr::Bin { op: BinOp::Mul, a, b } => {
+            // Prefer taking the subword from the right operand; fall back
+            // to the left (covers `x * x` squares with a single pragma).
+            if let Expr::Load { array, index } = b.as_ref() {
+                if array == asp_array {
+                    return Expr::MulAsp {
+                        full: Box::new(rewrite_expr(a, asp_array, width, shift)),
+                        sub: Box::new(Expr::LoadSub {
+                            array: array.clone(),
+                            index: index.clone(),
+                            width,
+                            shift,
+                        }),
+                        width,
+                        shift,
+                    };
+                }
+            }
+            if let Expr::Load { array, index } = a.as_ref() {
+                if array == asp_array {
+                    return Expr::MulAsp {
+                        full: Box::new(rewrite_expr(b, asp_array, width, shift)),
+                        sub: Box::new(Expr::LoadSub {
+                            array: array.clone(),
+                            index: index.clone(),
+                            width,
+                            shift,
+                        }),
+                        width,
+                        shift,
+                    };
+                }
+            }
+            Expr::Bin {
+                op: BinOp::Mul,
+                a: Box::new(rewrite_expr(a, asp_array, width, shift)),
+                b: Box::new(rewrite_expr(b, asp_array, width, shift)),
+            }
+        }
+        Expr::Bin { op, a, b } => Expr::Bin {
+            op: *op,
+            a: Box::new(rewrite_expr(a, asp_array, width, shift)),
+            b: Box::new(rewrite_expr(b, asp_array, width, shift)),
+        },
+        Expr::Load { array, index } => Expr::Load {
+            array: array.clone(),
+            index: Box::new(rewrite_expr(index, asp_array, width, shift)),
+        },
+        Expr::Shl(x, sh) => Expr::Shl(Box::new(rewrite_expr(x, asp_array, width, shift)), *sh),
+        Expr::Shr(x, sh) => Expr::Shr(Box::new(rewrite_expr(x, asp_array, width, shift)), *sh),
+        other => other.clone(),
+    }
+}
+
+// ---- vectorized loads (Fig. 12) -------------------------------------------
+
+/// Rewrites the innermost loop containing a `LoadSub` of `array` whose
+/// index is affine `base + i` in the loop variable: unrolls by `lanes`,
+/// hoisting one packed `LoadPacked` per group into a scalar, and extracts
+/// each lane with shift/mask.
+fn vectorize_loads_in(
+    stmt: Stmt,
+    array: &str,
+    bits: u8,
+    lanes: u32,
+) -> Result<Stmt, CompileError> {
+    match stmt {
+        Stmt::For { var, start, end, body } => {
+            // Does this loop directly contain the subword load in `var`?
+            let direct = body.iter().any(|s| stmt_has_loadsub_in_var(s, array, &var));
+            if direct {
+                unroll_loop(&var, start, end, body, array, bits, lanes)
+            } else {
+                let body = body
+                    .into_iter()
+                    .map(|s| vectorize_loads_in(s, array, bits, lanes))
+                    .collect::<Result<_, _>>()?;
+                Ok(Stmt::For { var, start, end, body })
+            }
+        }
+        other => Ok(other),
+    }
+}
+
+fn stmt_has_loadsub_in_var(stmt: &Stmt, array: &str, var: &str) -> bool {
+    let check_expr = |e: &Expr| {
+        let mut found = false;
+        e.visit(&mut |node| {
+            if let Expr::LoadSub { array: a, index, .. } = node {
+                if a == array && affine_base(index, var).is_some() {
+                    found = true;
+                }
+            }
+        });
+        found
+    };
+    match stmt {
+        Stmt::Store { value, index, .. } | Stmt::AccumStore { value, index, .. } => {
+            check_expr(value) || check_expr(index)
+        }
+        Stmt::Assign { value, .. } => check_expr(value),
+        _ => false,
+    }
+}
+
+/// If `index` is `var`, or `base + var` / `var + base` with `base`
+/// independent of `var`, returns the base expression (`Const(0)` for the
+/// bare case).
+fn affine_base(index: &Expr, var: &str) -> Option<Expr> {
+    match index {
+        Expr::Var(v) if v == var => Some(Expr::Const(0)),
+        Expr::Bin { op: BinOp::Add, a, b } => {
+            if matches!(b.as_ref(), Expr::Var(v) if v == var) && !uses_var(a, var) {
+                Some((**a).clone())
+            } else if matches!(a.as_ref(), Expr::Var(v) if v == var) && !uses_var(b, var) {
+                Some((**b).clone())
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+fn uses_var(e: &Expr, var: &str) -> bool {
+    let mut found = false;
+    e.visit(&mut |node| {
+        if matches!(node, Expr::Var(v) if v == var) {
+            found = true;
+        }
+    });
+    found
+}
+
+/// Divides an index expression by the lane count, supporting the shapes
+/// the kernels produce: constants and `expr * Const(c)` with
+/// `c % lanes == 0`.
+fn divide_by_lanes(e: &Expr, lanes: u32) -> Option<Expr> {
+    match e {
+        Expr::Const(c) if (*c as u32).is_multiple_of(lanes) => Some(Expr::Const(c / lanes as i32)),
+        Expr::Bin { op: BinOp::Mul, a, b } => {
+            if let Expr::Const(c) = b.as_ref() {
+                if *c >= 0 && (*c as u32).is_multiple_of(lanes) {
+                    return Some(Expr::Bin {
+                        op: BinOp::Mul,
+                        a: a.clone(),
+                        b: Box::new(Expr::Const(c / lanes as i32)),
+                    });
+                }
+            }
+            if let Expr::Const(c) = a.as_ref() {
+                if *c >= 0 && (*c as u32).is_multiple_of(lanes) {
+                    return Some(Expr::Bin {
+                        op: BinOp::Mul,
+                        a: Box::new(Expr::Const(c / lanes as i32)),
+                        b: b.clone(),
+                    });
+                }
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+fn unroll_loop(
+    var: &str,
+    start: i32,
+    end: i32,
+    body: Vec<Stmt>,
+    array: &str,
+    bits: u8,
+    lanes: u32,
+) -> Result<Stmt, CompileError> {
+    let trip = end - start;
+    if start != 0 || trip <= 0 || !(trip as u32).is_multiple_of(lanes) {
+        return Err(CompileError::BadSubwordGeometry {
+            detail: format!(
+                "vectorized loads need a 0-based loop with trip count divisible by {lanes}, got {start}..{end}"
+            ),
+        });
+    }
+    let outer_var = format!("{var}__vec");
+    let packed_var = format!("{var}__pw");
+    let mask = if bits >= 32 { -1 } else { ((1u32 << bits) - 1) as i32 };
+
+    // Identify the subword stream. All LoadSubs in one fission replica
+    // share a level; vectorized loads additionally require a SINGLE
+    // stream (one base) — a multi-tap body reading several offsets of
+    // the asp array cannot share one packed word.
+    let mut streams: Vec<(u8, Expr)> = Vec::new();
+    for s in &body {
+        find_loadsub(s, array, var, &mut streams);
+    }
+    streams.dedup();
+    let (level, base) = match streams.len() {
+        1 => streams.pop().expect("len checked"),
+        0 => {
+            return Err(CompileError::Internal(
+                "unroll target lost its subword load".to_string(),
+            ))
+        }
+        n => {
+            return Err(CompileError::BadSubwordGeometry {
+                detail: format!(
+                    "vectorized loads support a single subword stream per loop, found {n}"
+                ),
+            })
+        }
+    };
+    let word_base = divide_by_lanes(&base, lanes).ok_or_else(|| CompileError::BadSubwordGeometry {
+        detail: "vectorized loads need the load base to be a multiple of the lane count".to_string(),
+    })?;
+
+    let mut new_body = Vec::new();
+    // One packed load per group of `lanes` iterations.
+    new_body.push(Stmt::Assign {
+        var: packed_var.clone(),
+        value: Expr::LoadPacked {
+            array: array.to_string(),
+            level,
+            word_index: Box::new(Expr::Bin {
+                op: BinOp::Add,
+                a: Box::new(word_base),
+                b: Box::new(Expr::Var(outer_var.clone())),
+            }),
+        },
+    });
+    for l in 0..lanes {
+        // var := outer_var * lanes + l
+        let idx_expr = Expr::Bin {
+            op: BinOp::Add,
+            a: Box::new(Expr::Bin {
+                op: BinOp::Mul,
+                a: Box::new(Expr::Var(outer_var.clone())),
+                b: Box::new(Expr::Const(lanes as i32)),
+            }),
+            b: Box::new(Expr::Const(l as i32)),
+        };
+        let extract = {
+            let shifted = if l == 0 {
+                Expr::Var(packed_var.clone())
+            } else {
+                Expr::Shr(Box::new(Expr::Var(packed_var.clone())), (l * bits as u32) as u8)
+            };
+            Expr::Bin { op: BinOp::And, a: Box::new(shifted), b: Box::new(Expr::Const(mask)) }
+        };
+        for s in &body {
+            new_body.push(substitute_unrolled(s, var, &idx_expr, array, &extract));
+        }
+    }
+    Ok(Stmt::For {
+        var: outer_var,
+        start: 0,
+        end: (trip as u32 / lanes) as i32,
+        body: new_body,
+    })
+}
+
+fn find_loadsub(stmt: &Stmt, array: &str, var: &str, streams: &mut Vec<(u8, Expr)>) {
+    let mut check = |e: &Expr| {
+        e.visit(&mut |node| {
+            if let Expr::LoadSub { array: a, index, width, shift } = node {
+                if a == array {
+                    if let Some(b) = affine_base(index, var) {
+                        // Vectorized loads require dividing geometry, so
+                        // the shift is always a whole number of levels.
+                        debug_assert_eq!(shift % width, 0);
+                        let entry = (shift / width, b);
+                        if !streams.contains(&entry) {
+                            streams.push(entry);
+                        }
+                    }
+                }
+            }
+        });
+    };
+    match stmt {
+        Stmt::Store { index, value, .. } | Stmt::AccumStore { index, value, .. } => {
+            check(index);
+            check(value);
+        }
+        Stmt::Assign { value, .. } => check(value),
+        Stmt::For { body, .. } => {
+            for s in body {
+                find_loadsub(s, array, var, streams);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Replaces `Var(var)` with `idx_expr` and the `LoadSub` of `array` with
+/// the lane-extraction expression.
+fn substitute_unrolled(stmt: &Stmt, var: &str, idx_expr: &Expr, array: &str, extract: &Expr) -> Stmt {
+    let sub = |e: &Expr| substitute_expr(e, var, idx_expr, array, extract);
+    match stmt {
+        Stmt::For { var: v, start, end, body } => Stmt::For {
+            var: v.clone(),
+            start: *start,
+            end: *end,
+            body: body.iter().map(|s| substitute_unrolled(s, var, idx_expr, array, extract)).collect(),
+        },
+        Stmt::Store { array: a, index, value } => {
+            Stmt::Store { array: a.clone(), index: sub(index), value: sub(value) }
+        }
+        Stmt::AccumStore { array: a, index, value } => {
+            Stmt::AccumStore { array: a.clone(), index: sub(index), value: sub(value) }
+        }
+        Stmt::Assign { var: v, value } => Stmt::Assign { var: v.clone(), value: sub(value) },
+        other => other.clone(),
+    }
+}
+
+fn substitute_expr(e: &Expr, var: &str, idx_expr: &Expr, array: &str, extract: &Expr) -> Expr {
+    match e {
+        Expr::Var(v) if v == var => idx_expr.clone(),
+        Expr::LoadSub { array: a, .. } if a == array => extract.clone(),
+        Expr::Load { array: a, index } => Expr::Load {
+            array: a.clone(),
+            index: Box::new(substitute_expr(index, var, idx_expr, array, extract)),
+        },
+        Expr::LoadSub { array: a, index, width, shift } => Expr::LoadSub {
+            array: a.clone(),
+            index: Box::new(substitute_expr(index, var, idx_expr, array, extract)),
+            width: *width,
+            shift: *shift,
+        },
+        Expr::Bin { op, a, b } => Expr::Bin {
+            op: *op,
+            a: Box::new(substitute_expr(a, var, idx_expr, array, extract)),
+            b: Box::new(substitute_expr(b, var, idx_expr, array, extract)),
+        },
+        Expr::MulAsp { full, sub, width, shift } => Expr::MulAsp {
+            full: Box::new(substitute_expr(full, var, idx_expr, array, extract)),
+            sub: Box::new(substitute_expr(sub, var, idx_expr, array, extract)),
+            width: *width,
+            shift: *shift,
+        },
+        Expr::Shl(x, sh) => Expr::Shl(Box::new(substitute_expr(x, var, idx_expr, array, extract)), *sh),
+        Expr::Shr(x, sh) => Expr::Shr(Box::new(substitute_expr(x, var, idx_expr, array, extract)), *sh),
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::ArrayBuilder;
+
+    fn listing1_kernel() -> KernelIr {
+        // X[i] += A[i] * F[i], A asp input (16-bit), X asp output.
+        KernelIr::new("listing1")
+            .array(ArrayBuilder::input("A", 8).elem16().asp_input())
+            .array(ArrayBuilder::input("F", 8).elem16())
+            .array(ArrayBuilder::output("X", 8).asp_output())
+            .body(vec![Stmt::for_loop(
+                "i",
+                0,
+                8,
+                vec![Stmt::accum_store(
+                    "X",
+                    Expr::var("i"),
+                    Expr::load("A", Expr::var("i")) * Expr::load("F", Expr::var("i")),
+                )],
+            )])
+    }
+
+    fn count_stmts(body: &[Stmt], pred: &dyn Fn(&Stmt) -> bool) -> usize {
+        let mut n = 0;
+        for s in body {
+            if pred(s) {
+                n += 1;
+            }
+            if let Stmt::For { body, .. } = s {
+                n += count_stmts(body, pred);
+            }
+        }
+        n
+    }
+
+    fn count_exprs(body: &[Stmt], pred: &dyn Fn(&Expr) -> bool) -> usize {
+        let mut n = 0;
+        let check = |e: &Expr| {
+            let mut local = 0;
+            e.visit(&mut |node| {
+                if pred(node) {
+                    local += 1;
+                }
+            });
+            local
+        };
+        for s in body {
+            match s {
+                Stmt::For { body, .. } => n += count_exprs(body, pred),
+                Stmt::Store { index, value, .. } | Stmt::AccumStore { index, value, .. } => {
+                    n += check(index) + check(value);
+                }
+                Stmt::StorePacked { word_index, value, .. } => {
+                    n += check(word_index) + check(value);
+                }
+                Stmt::StoreComponent { elem_index, value, .. } => {
+                    n += check(elem_index) + check(value);
+                }
+                Stmt::Assign { value, .. } => n += check(value),
+                Stmt::SkimPoint => {}
+            }
+        }
+        n
+    }
+
+    #[test]
+    fn eight_bit_fission_splits_twice() {
+        // The paper: "the loop is split twice for the 8-bit case".
+        let t = apply(&listing1_kernel(), 8, false).unwrap();
+        let loops = count_stmts(&t.kernel.body, &|s| matches!(s, Stmt::For { .. }));
+        assert_eq!(loops, 2);
+        let skims = count_stmts(&t.kernel.body, &|s| matches!(s, Stmt::SkimPoint));
+        assert_eq!(skims, 1, "one skim point between the two levels");
+        assert!(t.layouts.is_empty(), "no layout change without vectorized loads");
+    }
+
+    #[test]
+    fn four_bit_fission_splits_four_times() {
+        // "...and 4 times for the 4-bit case."
+        let t = apply(&listing1_kernel(), 4, false).unwrap();
+        let loops = count_stmts(&t.kernel.body, &|s| matches!(s, Stmt::For { .. }));
+        assert_eq!(loops, 4);
+        let skims = count_stmts(&t.kernel.body, &|s| matches!(s, Stmt::SkimPoint));
+        assert_eq!(skims, 3);
+    }
+
+    #[test]
+    fn msb_level_comes_first() {
+        let t = apply(&listing1_kernel(), 8, false).unwrap();
+        // First loop must use shift=8 (most significant 8-bit subword of
+        // 16-bit data).
+        let mut first_shift = None;
+        for s in &t.kernel.body {
+            if let Stmt::For { body, .. } = s {
+                if let Stmt::AccumStore { value, .. } = &body[0] {
+                    value.visit(&mut |e| {
+                        if let Expr::MulAsp { shift, .. } = e {
+                            if first_shift.is_none() {
+                                first_shift = Some(*shift);
+                            }
+                        }
+                    });
+                }
+                break;
+            }
+        }
+        assert_eq!(first_shift, Some(8));
+    }
+
+    #[test]
+    fn three_bit_subwords_of_16_bit_data_use_six_levels() {
+        let t = apply(&listing1_kernel(), 3, false).unwrap();
+        let loops = count_stmts(&t.kernel.body, &|s| matches!(s, Stmt::For { .. }));
+        assert_eq!(loops, 6, "ceil(16/3) = 6 levels");
+    }
+
+    #[test]
+    fn square_kernel_subwords_one_operand() {
+        // acc[0] += D[i] * D[i]: both operands load the asp array; exactly
+        // one side must become the subword.
+        let k = KernelIr::new("sq")
+            .array(ArrayBuilder::input("D", 8).elem16().asp_input())
+            .array(ArrayBuilder::output("SQ", 1).asp_output())
+            .body(vec![Stmt::for_loop(
+                "i",
+                0,
+                8,
+                vec![Stmt::accum_store(
+                    "SQ",
+                    Expr::c(0),
+                    Expr::load("D", Expr::var("i")) * Expr::load("D", Expr::var("i")),
+                )],
+            )]);
+        let t = apply(&k, 8, false).unwrap();
+        let plain_loads =
+            count_exprs(&t.kernel.body, &|e| matches!(e, Expr::Load { array, .. } if array == "D"));
+        let sub_loads =
+            count_exprs(&t.kernel.body, &|e| matches!(e, Expr::LoadSub { array, .. } if array == "D"));
+        assert_eq!(plain_loads, 2, "one full-precision load per level");
+        assert_eq!(sub_loads, 2, "one subword load per level");
+    }
+
+    #[test]
+    fn trailing_finalize_is_replicated_per_level() {
+        // sum loop + finalize store; the finalize must run after every
+        // level so skimming always leaves a committed output.
+        let k = KernelIr::new("reduce")
+            .array(ArrayBuilder::input("A", 8).elem16().asp_input())
+            .array(ArrayBuilder::input("F", 8).elem16())
+            .array(ArrayBuilder::output("ACC", 1).asp_output())
+            .array(ArrayBuilder::output("OUT", 1))
+            .body(vec![
+                Stmt::for_loop(
+                    "i",
+                    0,
+                    8,
+                    vec![Stmt::accum_store(
+                        "ACC",
+                        Expr::c(0),
+                        Expr::load("A", Expr::var("i")) * Expr::load("F", Expr::var("i")),
+                    )],
+                ),
+                Stmt::store("OUT", Expr::c(0), Expr::load("ACC", Expr::c(0)).shr(3)),
+            ]);
+        let t = apply(&k, 8, false).unwrap();
+        let finalizes = count_stmts(&t.kernel.body, &|s| matches!(s, Stmt::Store { array, .. } if array == "OUT"));
+        assert_eq!(finalizes, 2, "finalize replicated once per level");
+    }
+
+    #[test]
+    fn statements_before_candidate_run_once() {
+        let k = KernelIr::new("pre")
+            .array(ArrayBuilder::input("A", 8).elem16().asp_input())
+            .array(ArrayBuilder::input("F", 8).elem16())
+            .array(ArrayBuilder::output("X", 8).asp_output())
+            .array(ArrayBuilder::output("PRE", 1))
+            .body(vec![
+                Stmt::store("PRE", Expr::c(0), Expr::c(42)),
+                Stmt::for_loop(
+                    "i",
+                    0,
+                    8,
+                    vec![Stmt::accum_store(
+                        "X",
+                        Expr::var("i"),
+                        Expr::load("A", Expr::var("i")) * Expr::load("F", Expr::var("i")),
+                    )],
+                ),
+            ]);
+        let t = apply(&k, 4, false).unwrap();
+        let pres = count_stmts(&t.kernel.body, &|s| matches!(s, Stmt::Store { array, .. } if array == "PRE"));
+        assert_eq!(pres, 1);
+    }
+
+    #[test]
+    fn no_candidate_is_an_error() {
+        let k = KernelIr::new("plain")
+            .array(ArrayBuilder::input("A", 8).elem16())
+            .array(ArrayBuilder::output("X", 8))
+            .body(vec![Stmt::for_loop(
+                "i",
+                0,
+                8,
+                vec![Stmt::store("X", Expr::var("i"), Expr::load("A", Expr::var("i")))],
+            )]);
+        assert!(matches!(apply(&k, 8, false), Err(CompileError::NothingToTransform { .. })));
+    }
+
+    #[test]
+    fn bad_bits_rejected() {
+        assert!(matches!(
+            apply(&listing1_kernel(), 0, false),
+            Err(CompileError::BadSubwordGeometry { .. })
+        ));
+        assert!(matches!(
+            apply(&listing1_kernel(), 17, false),
+            Err(CompileError::BadSubwordGeometry { .. })
+        ));
+        assert!(matches!(
+            apply(&listing1_kernel(), 32, false),
+            Err(CompileError::BadSubwordGeometry { .. })
+        ));
+    }
+
+    #[test]
+    fn vectorized_loads_unroll_and_transpose() {
+        let t = apply(&listing1_kernel(), 8, true).unwrap();
+        assert!(t.layouts.contains_key("A"), "asp input transposed to subword-major");
+        let packed =
+            count_exprs(&t.kernel.body, &|e| matches!(e, Expr::LoadPacked { array, .. } if array == "A"));
+        assert_eq!(packed, 2, "one packed load per level loop");
+        // The unrolled loop runs 8/4 = 2 iterations with 4 MulAsps each.
+        let mulasps = count_exprs(&t.kernel.body, &|e| matches!(e, Expr::MulAsp { .. }));
+        assert_eq!(mulasps, 8, "4 unrolled multiplies x 2 levels");
+        // No subword loads remain for A.
+        let sub_loads =
+            count_exprs(&t.kernel.body, &|e| matches!(e, Expr::LoadSub { array, .. } if array == "A"));
+        assert_eq!(sub_loads, 0);
+    }
+
+    #[test]
+    fn trailing_accumulation_is_rejected() {
+        // A trailing Y[j] += X[j] would run once per level and
+        // double-accumulate — the pass must refuse.
+        let k = KernelIr::new("trailer")
+            .array(ArrayBuilder::input("A", 8).elem16().asp_input())
+            .array(ArrayBuilder::input("F", 8).elem16())
+            .array(ArrayBuilder::output("X", 8).asp_output())
+            .array(ArrayBuilder::output("Y", 8))
+            .body(vec![
+                Stmt::for_loop(
+                    "i",
+                    0,
+                    8,
+                    vec![Stmt::accum_store(
+                        "X",
+                        Expr::var("i"),
+                        Expr::load("A", Expr::var("i")) * Expr::load("F", Expr::var("i")),
+                    )],
+                ),
+                Stmt::for_loop(
+                    "j",
+                    0,
+                    8,
+                    vec![Stmt::accum_store("Y", Expr::var("j"), Expr::load("X", Expr::var("j")))],
+                ),
+            ]);
+        assert!(matches!(apply(&k, 8, false), Err(CompileError::BadSubwordGeometry { .. })));
+    }
+
+    #[test]
+    fn vectorized_loads_reject_multi_tap_bodies() {
+        // Two subword streams (A[i] and A[i+1]) cannot share one packed
+        // pointer; the pass must refuse rather than read wrong lanes.
+        let k = KernelIr::new("fir2")
+            .array(ArrayBuilder::input("A", 12).elem16().asp_input())
+            .array(ArrayBuilder::input("F", 8).elem16())
+            .array(ArrayBuilder::input("G", 8).elem16())
+            .array(ArrayBuilder::output("X", 8).asp_output())
+            .body(vec![Stmt::for_loop(
+                "i",
+                0,
+                8,
+                vec![Stmt::accum_store(
+                    "X",
+                    Expr::var("i"),
+                    Expr::load("A", Expr::var("i")) * Expr::load("F", Expr::var("i"))
+                        + Expr::load("A", Expr::var("i") + Expr::c(1))
+                            * Expr::load("G", Expr::var("i")),
+                )],
+            )]);
+        // Plain SWP is fine…
+        apply(&k, 8, false).unwrap();
+        // …vectorized loads are refused.
+        assert!(matches!(apply(&k, 8, true), Err(CompileError::BadSubwordGeometry { .. })));
+    }
+
+    #[test]
+    fn vectorized_loads_reject_nondivisible_trip() {
+        let k = KernelIr::new("odd")
+            .array(ArrayBuilder::input("A", 6).elem16().asp_input())
+            .array(ArrayBuilder::input("F", 6).elem16())
+            .array(ArrayBuilder::output("X", 6).asp_output())
+            .body(vec![Stmt::for_loop(
+                "i",
+                0,
+                6,
+                vec![Stmt::accum_store(
+                    "X",
+                    Expr::var("i"),
+                    Expr::load("A", Expr::var("i")) * Expr::load("F", Expr::var("i")),
+                )],
+            )]);
+        assert!(apply(&k, 8, true).is_err(), "6 elements, 4 lanes: not divisible");
+    }
+}

@@ -1,0 +1,758 @@
+//! Anytime subword vectorization (paper §III-B).
+//!
+//! Two statement shapes are vectorizable:
+//!
+//! * **map** — `X[i] = A[i] ⊕ B[i]` with `⊕` element-wise on the binary
+//!   expansion (add, sub, and, or, xor). Arrays move to subword-major
+//!   order and each level becomes one loop of packed 32-bit operations
+//!   (`ADD_ASV`/`SUB_ASV`; logical ops need no new instructions).
+//! * **reduce** — `OUT[w] += A[w*K + i]` in a two-level nest (or a single
+//!   loop accumulating into `OUT[0]`). Each level accumulates packed
+//!   lanes in a register and commits a horizontal lane-sum per window —
+//!   which is why reductions improve in steps (paper §V-A).
+//!
+//! *Provisioned* vectorization gives every subword a double-width lane so
+//! carries survive and the precise result is eventually reached (§V-E).
+
+use std::collections::HashMap;
+
+use crate::error::CompileError;
+use crate::ir::{Approx, BinOp, Expr, KernelIr, Stmt};
+use crate::layout::{ArrayLayout, ElemType};
+use crate::passes::TransformedKernel;
+
+/// Applies anytime subword vectorization.
+///
+/// # Errors
+///
+/// Returns [`CompileError::NothingToTransform`] when no vectorizable
+/// annotated loop exists, or [`CompileError::BadSubwordGeometry`] when the
+/// subword size does not fit the data.
+pub fn apply(
+    kernel: &KernelIr,
+    bits: u8,
+    provisioned: bool,
+) -> Result<TransformedKernel, CompileError> {
+    if ![4u8, 8, 16].contains(&bits) {
+        return Err(CompileError::BadSubwordGeometry {
+            detail: format!("SWV subword size {bits} must be 4, 8 or 16"),
+        });
+    }
+    // Find the first top-level loop matching either pattern.
+    for (i, stmt) in kernel.body.iter().enumerate() {
+        if let Some(m) = match_map(kernel, stmt) {
+            return build_map(kernel, i, m, bits, provisioned);
+        }
+        if let Some(r) = match_reduce(kernel, stmt) {
+            return build_reduce(kernel, i, r, bits, provisioned);
+        }
+    }
+    Err(CompileError::NothingToTransform {
+        technique: format!("swv({bits})"),
+        kernel: kernel.name.clone(),
+    })
+}
+
+// ---- map pattern -----------------------------------------------------------
+
+struct MapMatch {
+    out: String,
+    a: String,
+    b: String,
+    op: BinOp,
+    len: u32,
+    elem: ElemType,
+}
+
+fn match_map(kernel: &KernelIr, stmt: &Stmt) -> Option<MapMatch> {
+    let Stmt::For { var, start, end, body } = stmt else { return None };
+    if *start != 0 || body.len() != 1 {
+        return None;
+    }
+    let Stmt::Store { array: out, index, value } = &body[0] else { return None };
+    if !matches!(index, Expr::Var(v) if v == var) {
+        return None;
+    }
+    let Expr::Bin { op, a, b } = value else { return None };
+    if !matches!(op, BinOp::Add | BinOp::Sub | BinOp::And | BinOp::Or | BinOp::Xor) {
+        return None;
+    }
+    let load_of = |e: &Expr| -> Option<String> {
+        if let Expr::Load { array, index } = e {
+            if matches!(index.as_ref(), Expr::Var(v) if v == var) {
+                return Some(array.clone());
+            }
+        }
+        None
+    };
+    let a = load_of(a)?;
+    let b = load_of(b)?;
+    let decl_out = kernel.find_array(out)?;
+    let decl_a = kernel.find_array(&a)?;
+    let decl_b = kernel.find_array(&b)?;
+    if decl_out.approx != Approx::AsvOutput
+        || decl_a.approx != Approx::AsvInput
+        || decl_b.approx != Approx::AsvInput
+    {
+        return None;
+    }
+    // The transform vectorizes whole arrays; a loop covering only a
+    // prefix would write output elements the original kernel never
+    // touched.
+    if decl_a.elem.bits != decl_out.elem.bits
+        || decl_b.elem.bits != decl_out.elem.bits
+        || decl_out.len != *end as u32
+        || decl_out.len != decl_a.len
+        || decl_a.len != decl_b.len
+    {
+        return None;
+    }
+    Some(MapMatch {
+        out: out.clone(),
+        a,
+        b,
+        op: *op,
+        len: decl_out.len,
+        elem: decl_out.elem,
+    })
+}
+
+fn build_map(
+    kernel: &KernelIr,
+    split: usize,
+    m: MapMatch,
+    bits: u8,
+    provisioned: bool,
+) -> Result<TransformedKernel, CompileError> {
+    if bits > m.elem.bits {
+        return Err(CompileError::BadSubwordGeometry {
+            detail: format!("subword size {bits} exceeds element width {}", m.elem.bits),
+        });
+    }
+    // Logical ops are carry-free: provisioning buys nothing, and packed
+    // words are just the full-precision op (§III-B).
+    let carries = matches!(m.op, BinOp::Add | BinOp::Sub);
+    let provisioned = provisioned && carries;
+    let layout = ArrayLayout::subword_major(m.elem, m.len, bits, provisioned)?;
+    // Subtraction leaves negative partial lane values; decoding must
+    // sign-extend provisioned lanes for the borrow arithmetic to cancel.
+    let layout = if m.op == BinOp::Sub && provisioned {
+        layout.with_signed_lanes()
+    } else {
+        layout
+    };
+    let lane_bits = match layout {
+        ArrayLayout::SubwordMajor { lane_bits, .. } => lane_bits,
+        _ => unreachable!("subword_major always returns SubwordMajor"),
+    };
+    let n_sub = layout.levels();
+    let wpl = layout.words_per_level();
+
+    let mut body: Vec<Stmt> = kernel.body[..split].to_vec();
+    let region = &kernel.body[split + 1..];
+    for level in (0..n_sub).rev() {
+        let j = format!("j__swv{level}");
+        let packed_value = |arr: &str| Expr::LoadPacked {
+            array: arr.to_string(),
+            level,
+            word_index: Box::new(Expr::Var(j.clone())),
+        };
+        let value = if carries {
+            Expr::AsvBin {
+                op: m.op,
+                a: Box::new(packed_value(&m.a)),
+                b: Box::new(packed_value(&m.b)),
+                lane_bits,
+            }
+        } else {
+            Expr::Bin {
+                op: m.op,
+                a: Box::new(packed_value(&m.a)),
+                b: Box::new(packed_value(&m.b)),
+            }
+        };
+        body.push(Stmt::For {
+            var: j.clone(),
+            start: 0,
+            end: wpl as i32,
+            body: vec![Stmt::StorePacked {
+                array: m.out.clone(),
+                level,
+                word_index: Expr::Var(j),
+                value,
+            }],
+        });
+        // Trailing statements re-run per level (see passes module docs).
+        body.extend(region.iter().cloned());
+        if level > 0 {
+            body.push(Stmt::SkimPoint);
+        }
+    }
+
+    let mut layouts = HashMap::new();
+    for name in [&m.out, &m.a, &m.b] {
+        layouts.insert(name.clone(), layout);
+    }
+    let mut out = kernel.clone();
+    out.body = body;
+    Ok(TransformedKernel { kernel: out, layouts })
+}
+
+// ---- reduce pattern --------------------------------------------------------
+
+struct ReduceMatch {
+    out: String,
+    input: String,
+    /// Outer (window) loop variable and trip count; `None` for a single
+    /// accumulation into `OUT[0]`.
+    window: Option<(String, u32)>,
+    /// Inner trip count (elements per window).
+    k: u32,
+    elem: ElemType,
+}
+
+fn match_reduce(kernel: &KernelIr, stmt: &Stmt) -> Option<ReduceMatch> {
+    // Shape 1 (register accumulator — what a real compiler produces):
+    //   For w { acc = 0; For i { acc = acc + A[w*K + i] }; OUT[w] += acc }
+    if let Stmt::For { var: w, start: 0, end: w_end, body } = stmt {
+        if body.len() == 3 {
+            if let (
+                Stmt::Assign { var: acc0, value: Expr::Const(0) },
+                Stmt::For { var: i, start: 0, end: k_end, body: inner },
+                Stmt::AccumStore { array: out, index, value: Expr::Var(accv) },
+            ) = (&body[0], &body[1], &body[2])
+            {
+                if acc0 == accv
+                    && matches!(index, Expr::Var(v) if v == w)
+                    && inner.len() == 1
+                {
+                    if let Stmt::Assign { var: acc1, value } = &inner[0] {
+                        if acc1 == acc0 {
+                            if let Expr::Bin { op: BinOp::Add, a, b } = value {
+                                let load = match (a.as_ref(), b.as_ref()) {
+                                    (Expr::Var(v), l) if v == acc0 => Some(l),
+                                    (l, Expr::Var(v)) if v == acc0 => Some(l),
+                                    _ => None,
+                                };
+                                if let Some(Expr::Load { array: input, index: load_idx }) = load {
+                                    if load_index_is_wk_plus_i(load_idx, w, *k_end as u32, i) {
+                                        if let Some(m) = finish_reduce_match(
+                                            kernel,
+                                            out,
+                                            input,
+                                            Some((w.as_str(), *w_end as u32)),
+                                            *k_end as u32,
+                                        ) {
+                                            return Some(m);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Shape 2: For w { For i { OUT[w] += A[w*K + i] } } (direct memory
+    // accumulation).
+    if let Stmt::For { var: w, start: 0, end: w_end, body } = stmt {
+        if body.len() == 1 {
+            if let Stmt::For { var: i, start: 0, end: k_end, body: inner } = &body[0] {
+                if let Some(m) =
+                    match_reduce_core(kernel, inner, i, Some((w.as_str(), *w_end as u32)), *k_end as u32)
+                {
+                    return Some(m);
+                }
+            }
+        }
+    }
+    // Shape 3: For i { OUT[0] += A[i] }
+    if let Stmt::For { var: i, start: 0, end: k_end, body } = stmt {
+        if let Some(m) = match_reduce_core(kernel, body, i, None, *k_end as u32) {
+            return Some(m);
+        }
+    }
+    None
+}
+
+/// Is `idx` the affine form `w*K + i` (in either operand order)?
+fn load_index_is_wk_plus_i(idx: &Expr, w: &str, k: u32, i: &str) -> bool {
+    let Expr::Bin { op: BinOp::Add, a, b } = idx else { return false };
+    let is_wk = |e: &Expr| {
+        matches!(e, Expr::Bin { op: BinOp::Mul, a, b }
+            if (matches!(a.as_ref(), Expr::Var(v) if v == w) && matches!(b.as_ref(), Expr::Const(c) if *c as u32 == k))
+            || (matches!(b.as_ref(), Expr::Var(v) if v == w) && matches!(a.as_ref(), Expr::Const(c) if *c as u32 == k)))
+    };
+    (is_wk(a) && matches!(b.as_ref(), Expr::Var(v) if v == i))
+        || (is_wk(b) && matches!(a.as_ref(), Expr::Var(v) if v == i))
+}
+
+fn finish_reduce_match(
+    kernel: &KernelIr,
+    out: &str,
+    input: &str,
+    window: Option<(&str, u32)>,
+    k: u32,
+) -> Option<ReduceMatch> {
+    let decl_out = kernel.find_array(out)?;
+    let decl_in = kernel.find_array(input)?;
+    if decl_out.approx != Approx::AsvOutput || decl_in.approx != Approx::AsvInput {
+        return None;
+    }
+    Some(ReduceMatch {
+        out: out.to_string(),
+        input: input.to_string(),
+        window: window.map(|(w, n)| (w.to_string(), n)),
+        k,
+        elem: decl_in.elem,
+    })
+}
+
+fn match_reduce_core(
+    kernel: &KernelIr,
+    inner: &[Stmt],
+    i: &str,
+    window: Option<(&str, u32)>,
+    k: u32,
+) -> Option<ReduceMatch> {
+    if inner.len() != 1 {
+        return None;
+    }
+    let Stmt::AccumStore { array: out, index, value } = &inner[0] else { return None };
+    let Expr::Load { array: input, index: load_idx } = value else { return None };
+
+    // Output index: Var(w) with a window, Const(0) without.
+    match window {
+        Some((w, _)) => {
+            if !matches!(index, Expr::Var(v) if v == w) {
+                return None;
+            }
+            if !load_index_is_wk_plus_i(load_idx, w, k, i) {
+                return None;
+            }
+        }
+        None => {
+            if !matches!(index, Expr::Const(0)) {
+                return None;
+            }
+            if !matches!(load_idx.as_ref(), Expr::Var(v) if v == i) {
+                return None;
+            }
+        }
+    }
+
+    finish_reduce_match(kernel, out, input, window, k)
+}
+
+fn build_reduce(
+    kernel: &KernelIr,
+    split: usize,
+    r: ReduceMatch,
+    bits: u8,
+    provisioned: bool,
+) -> Result<TransformedKernel, CompileError> {
+    if bits > r.elem.bits {
+        return Err(CompileError::BadSubwordGeometry {
+            detail: format!("subword size {bits} exceeds element width {}", r.elem.bits),
+        });
+    }
+    let in_layout = ArrayLayout::subword_major(r.elem, kernel.find_array(&r.input).map(|a| a.len).unwrap_or(0), bits, provisioned)?;
+    let lane_bits = match in_layout {
+        ArrayLayout::SubwordMajor { lane_bits, .. } => lane_bits,
+        _ => unreachable!("subword_major always returns SubwordMajor"),
+    };
+    let lanes = in_layout.lanes();
+    if !r.k.is_multiple_of(lanes) {
+        return Err(CompileError::BadSubwordGeometry {
+            detail: format!("window size {} is not a multiple of {lanes} lanes", r.k),
+        });
+    }
+    if provisioned {
+        // Provisioned lanes must hold the whole window's worth of
+        // subword sums without wrapping, or the precise-at-completion
+        // guarantee breaks.
+        let summands = (r.k / lanes) as u64;
+        let max_sub = (1u64 << bits) - 1;
+        let lane_capacity = (1u64 << lane_bits) - 1;
+        if summands * max_sub > lane_capacity {
+            return Err(CompileError::BadSubwordGeometry {
+                detail: format!(
+                    "window of {} elements overflows provisioned {lane_bits}-bit lanes                      ({summands} summands of up to {max_sub})",
+                    r.k
+                ),
+            });
+        }
+    }
+    let n_sub = in_layout.levels();
+    let windows = r.window.as_ref().map(|(_, n)| *n).unwrap_or(1);
+    let out_decl = kernel.find_array(&r.out).expect("matched output exists");
+    let out_layout = ArrayLayout::ComponentMajor {
+        elem: out_decl.elem,
+        len: out_decl.len,
+        sub_bits: bits,
+        n_sub,
+    };
+
+    let acc = "acc__swv";
+    let mut body: Vec<Stmt> = kernel.body[..split].to_vec();
+    let region = &kernel.body[split + 1..];
+    let words_per_window = r.k / lanes;
+    for level in (0..n_sub).rev() {
+        let w = format!("w__swv{level}");
+        let j = format!("j__swv{level}");
+        // word index = w * words_per_window + j
+        let word_index = Expr::Bin {
+            op: BinOp::Add,
+            a: Box::new(Expr::Bin {
+                op: BinOp::Mul,
+                a: Box::new(Expr::Var(w.clone())),
+                b: Box::new(Expr::Const(words_per_window as i32)),
+            }),
+            b: Box::new(Expr::Var(j.clone())),
+        };
+        let inner = vec![
+            Stmt::Assign { var: acc.to_string(), value: Expr::Const(0) },
+            Stmt::For {
+                var: j,
+                start: 0,
+                end: words_per_window as i32,
+                body: vec![Stmt::Assign {
+                    var: acc.to_string(),
+                    value: Expr::AsvBin {
+                        op: BinOp::Add,
+                        a: Box::new(Expr::Var(acc.to_string())),
+                        b: Box::new(Expr::LoadPacked {
+                            array: r.input.clone(),
+                            level,
+                            word_index: Box::new(word_index),
+                        }),
+                        lane_bits,
+                    },
+                }],
+            },
+            Stmt::StoreComponent {
+                array: r.out.clone(),
+                elem_index: Expr::Var(w.clone()),
+                level,
+                value: Expr::HSum {
+                    value: Box::new(Expr::Var(acc.to_string())),
+                    lane_bits,
+                },
+            },
+        ];
+        body.push(Stmt::For { var: w, start: 0, end: windows as i32, body: inner });
+        body.extend(region.iter().cloned());
+        if level > 0 {
+            body.push(Stmt::SkimPoint);
+        }
+    }
+
+    let mut layouts = HashMap::new();
+    layouts.insert(r.input.clone(), in_layout);
+    layouts.insert(r.out.clone(), out_layout);
+    let mut out = kernel.clone();
+    out.body = body;
+    Ok(TransformedKernel { kernel: out, layouts })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::ArrayBuilder;
+
+    fn matadd_kernel(op_sub: bool) -> KernelIr {
+        let value = if op_sub {
+            Expr::load("A", Expr::var("i")) - Expr::load("B", Expr::var("i"))
+        } else {
+            Expr::load("A", Expr::var("i")) + Expr::load("B", Expr::var("i"))
+        };
+        KernelIr::new("matadd")
+            .array(ArrayBuilder::input("A", 16).elem32().asv_input())
+            .array(ArrayBuilder::input("B", 16).elem32().asv_input())
+            .array(ArrayBuilder::output("X", 16).elem32().asv_output())
+            .body(vec![Stmt::for_loop(
+                "i",
+                0,
+                16,
+                vec![Stmt::store("X", Expr::var("i"), value)],
+            )])
+    }
+
+    fn home_kernel() -> KernelIr {
+        // OUT[w] += S[w*8 + i], 4 windows of 8 readings.
+        KernelIr::new("home")
+            .array(ArrayBuilder::input("S", 32).elem16().asv_input())
+            .array(ArrayBuilder::output("OUT", 4).asv_output())
+            .body(vec![Stmt::for_loop(
+                "w",
+                0,
+                4,
+                vec![Stmt::for_loop(
+                    "i",
+                    0,
+                    8,
+                    vec![Stmt::accum_store(
+                        "OUT",
+                        Expr::var("w"),
+                        Expr::load(
+                            "S",
+                            Expr::var("w") * Expr::c(8) + Expr::var("i"),
+                        ),
+                    )],
+                )],
+            )])
+    }
+
+    fn count_skims(body: &[Stmt]) -> usize {
+        body.iter().filter(|s| matches!(s, Stmt::SkimPoint)).count()
+    }
+
+    #[test]
+    fn map_8bit_on_32bit_elements_makes_four_levels() {
+        let t = apply(&matadd_kernel(false), 8, true).unwrap();
+        let loops = t.kernel.body.iter().filter(|s| matches!(s, Stmt::For { .. })).count();
+        assert_eq!(loops, 4, "32-bit elements / 8-bit subwords = 4 levels");
+        assert_eq!(count_skims(&t.kernel.body), 3);
+        assert_eq!(t.layouts.len(), 3, "A, B and X all transposed");
+    }
+
+    #[test]
+    fn provisioned_map_has_double_lanes() {
+        let t = apply(&matadd_kernel(false), 8, true).unwrap();
+        let layout = t.layouts["X"];
+        assert_eq!(layout.lanes(), 2, "provisioned 8-bit subwords → 16-bit lanes");
+        let t = apply(&matadd_kernel(false), 8, false).unwrap();
+        assert_eq!(t.layouts["X"].lanes(), 4, "unprovisioned 8-bit → 8-bit lanes");
+    }
+
+    #[test]
+    fn map_loop_iterates_packed_words() {
+        let t = apply(&matadd_kernel(false), 8, false).unwrap();
+        // 16 elements, 4 lanes → 4 packed words per level.
+        for s in &t.kernel.body {
+            if let Stmt::For { end, body, .. } = s {
+                assert_eq!(*end, 4);
+                assert!(matches!(body[0], Stmt::StorePacked { .. }));
+            }
+        }
+    }
+
+    #[test]
+    fn sub_map_uses_asv_and_signed_lanes() {
+        let t = apply(&matadd_kernel(true), 8, true).unwrap();
+        match t.layouts["X"] {
+            ArrayLayout::SubwordMajor { lane_signed, .. } => {
+                assert!(lane_signed, "provisioned subtraction decodes lanes as signed")
+            }
+            other => panic!("expected SubwordMajor, got {other:?}"),
+        }
+        let mut has_sub_asv = false;
+        for s in &t.kernel.body {
+            if let Stmt::For { body, .. } = s {
+                if let Stmt::StorePacked { value: Expr::AsvBin { op: BinOp::Sub, .. }, .. } = &body[0] {
+                    has_sub_asv = true;
+                }
+            }
+        }
+        assert!(has_sub_asv);
+    }
+
+    #[test]
+    fn xor_map_needs_no_asv_instructions() {
+        let k = KernelIr::new("xor")
+            .array(ArrayBuilder::input("A", 16).elem32().asv_input())
+            .array(ArrayBuilder::input("B", 16).elem32().asv_input())
+            .array(ArrayBuilder::output("X", 16).elem32().asv_output())
+            .body(vec![Stmt::for_loop(
+                "i",
+                0,
+                16,
+                vec![Stmt::store(
+                    "X",
+                    Expr::var("i"),
+                    Expr::load("A", Expr::var("i")).xor(Expr::load("B", Expr::var("i"))),
+                )],
+            )]);
+        let t = apply(&k, 8, true).unwrap();
+        for s in &t.kernel.body {
+            if let Stmt::For { body, .. } = s {
+                if let Stmt::StorePacked { value, .. } = &body[0] {
+                    assert!(
+                        matches!(value, Expr::Bin { op: BinOp::Xor, .. }),
+                        "logical packed op uses the plain full-width instruction"
+                    );
+                }
+            }
+        }
+        // Logical ops ignore provisioning: lanes stay at subword width.
+        assert_eq!(t.layouts["X"].lanes(), 4);
+    }
+
+    #[test]
+    fn reduce_home_pattern() {
+        let t = apply(&home_kernel(), 8, true).unwrap();
+        // 16-bit elements / 8-bit subwords = 2 levels.
+        assert_eq!(count_skims(&t.kernel.body), 1);
+        match t.layouts["OUT"] {
+            ArrayLayout::ComponentMajor { n_sub, sub_bits, .. } => {
+                assert_eq!(n_sub, 2);
+                assert_eq!(sub_bits, 8);
+            }
+            other => panic!("expected ComponentMajor, got {other:?}"),
+        }
+        // Each level: window loop containing packed accumulation + HSum
+        // commit.
+        let mut component_stores = 0;
+        for s in &t.kernel.body {
+            if let Stmt::For { body, .. } = s {
+                for inner in body {
+                    if matches!(inner, Stmt::StoreComponent { .. }) {
+                        component_stores += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(component_stores, 2, "one commit statement per level");
+    }
+
+    #[test]
+    fn reduce_single_accumulator() {
+        let k = KernelIr::new("sum")
+            .array(ArrayBuilder::input("A", 16).elem16().asv_input())
+            .array(ArrayBuilder::output("T", 1).asv_output())
+            .body(vec![Stmt::for_loop(
+                "i",
+                0,
+                16,
+                vec![Stmt::accum_store("T", Expr::c(0), Expr::load("A", Expr::var("i")))],
+            )]);
+        let t = apply(&k, 8, true).unwrap();
+        assert!(matches!(t.layouts["T"], ArrayLayout::ComponentMajor { .. }));
+    }
+
+    #[test]
+    fn map_on_prefix_loop_is_not_vectorized() {
+        // for i in 0..8 over len-16 arrays must NOT match: vectorizing
+        // would write X[8..16].
+        let k = KernelIr::new("prefix")
+            .array(ArrayBuilder::input("A", 16).elem32().asv_input())
+            .array(ArrayBuilder::input("B", 16).elem32().asv_input())
+            .array(ArrayBuilder::output("X", 16).elem32().asv_output())
+            .body(vec![Stmt::for_loop(
+                "i",
+                0,
+                8,
+                vec![Stmt::store(
+                    "X",
+                    Expr::var("i"),
+                    Expr::load("A", Expr::var("i")) + Expr::load("B", Expr::var("i")),
+                )],
+            )]);
+        assert!(matches!(apply(&k, 8, true), Err(CompileError::NothingToTransform { .. })));
+    }
+
+    #[test]
+    fn provisioned_reduce_rejects_lane_overflow() {
+        // 1024-sample windows: 512 summands of up to 255 overflow 16-bit
+        // provisioned lanes.
+        let k = KernelIr::new("big")
+            .array(ArrayBuilder::input("S", 1024).elem16().asv_input())
+            .array(ArrayBuilder::output("OUT", 1).asv_output())
+            .body(vec![Stmt::for_loop(
+                "i",
+                0,
+                1024,
+                vec![Stmt::accum_store("OUT", Expr::c(0), Expr::load("S", Expr::var("i")))],
+            )]);
+        assert!(matches!(apply(&k, 8, true), Err(CompileError::BadSubwordGeometry { .. })));
+        // 64-sample windows are fine.
+        let k2 = KernelIr::new("small")
+            .array(ArrayBuilder::input("S", 64).elem16().asv_input())
+            .array(ArrayBuilder::output("OUT", 1).asv_output())
+            .body(vec![Stmt::for_loop(
+                "i",
+                0,
+                64,
+                vec![Stmt::accum_store("OUT", Expr::c(0), Expr::load("S", Expr::var("i")))],
+            )]);
+        assert!(apply(&k2, 8, true).is_ok());
+    }
+
+    #[test]
+    fn reduce_rejects_window_not_multiple_of_lanes() {
+        // K = 6 with 8-bit provisioned (2 lanes) is fine; with 4-bit
+        // unprovisioned (8 lanes) it is not.
+        let k = KernelIr::new("odd")
+            .array(ArrayBuilder::input("S", 12).elem16().asv_input())
+            .array(ArrayBuilder::output("OUT", 2).asv_output())
+            .body(vec![Stmt::for_loop(
+                "w",
+                0,
+                2,
+                vec![Stmt::for_loop(
+                    "i",
+                    0,
+                    6,
+                    vec![Stmt::accum_store(
+                        "OUT",
+                        Expr::var("w"),
+                        Expr::load("S", Expr::var("w") * Expr::c(6) + Expr::var("i")),
+                    )],
+                )],
+            )]);
+        assert!(apply(&k, 8, true).is_ok());
+        assert!(apply(&k, 4, false).is_err());
+    }
+
+    #[test]
+    fn unannotated_kernel_errors() {
+        let k = KernelIr::new("plain")
+            .array(ArrayBuilder::input("A", 16).elem32())
+            .array(ArrayBuilder::input("B", 16).elem32())
+            .array(ArrayBuilder::output("X", 16).elem32())
+            .body(vec![Stmt::for_loop(
+                "i",
+                0,
+                16,
+                vec![Stmt::store(
+                    "X",
+                    Expr::var("i"),
+                    Expr::load("A", Expr::var("i")) + Expr::load("B", Expr::var("i")),
+                )],
+            )]);
+        assert!(matches!(apply(&k, 8, true), Err(CompileError::NothingToTransform { .. })));
+    }
+
+    #[test]
+    fn bad_bits_rejected() {
+        assert!(matches!(
+            apply(&matadd_kernel(false), 5, true),
+            Err(CompileError::BadSubwordGeometry { .. })
+        ));
+        // 16-bit subwords of 16-bit home data: 1 level, allowed.
+        let t = apply(&home_kernel(), 16, false).unwrap();
+        assert_eq!(count_skims(&t.kernel.body), 0);
+    }
+
+    #[test]
+    fn multiplication_map_is_not_vectorizable() {
+        // Multiplication is not element-wise on the binary expansion; the
+        // matcher must skip it.
+        let k = KernelIr::new("mulmap")
+            .array(ArrayBuilder::input("A", 16).elem32().asv_input())
+            .array(ArrayBuilder::input("B", 16).elem32().asv_input())
+            .array(ArrayBuilder::output("X", 16).elem32().asv_output())
+            .body(vec![Stmt::for_loop(
+                "i",
+                0,
+                16,
+                vec![Stmt::store(
+                    "X",
+                    Expr::var("i"),
+                    Expr::load("A", Expr::var("i")) * Expr::load("B", Expr::var("i")),
+                )],
+            )]);
+        assert!(matches!(apply(&k, 8, true), Err(CompileError::NothingToTransform { .. })));
+    }
+}

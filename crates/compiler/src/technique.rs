@@ -1,0 +1,113 @@
+//! Compilation techniques: which anytime transformation to apply.
+
+use std::fmt;
+
+/// The anytime technique a kernel is compiled with.
+///
+/// The paper evaluates each benchmark precise, with 8-bit and with 4-bit
+/// subwords (Fig. 9–11), sweeps 1–4-bit subwords for SWP (Fig. 15),
+/// compares provisioned vs unprovisioned SWV addition (Fig. 14), and
+/// combines SWP with vectorized loads (Fig. 12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Technique {
+    /// Conventional precise compilation; pragmas are ignored.
+    Precise,
+    /// Anytime subword pipelining (§III-A) with the given subword width.
+    Swp {
+        /// Subword width in bits (1–16).
+        bits: u8,
+        /// Also transpose the annotated input to subword-major order and
+        /// fetch subwords through vectorized loads (§V-E, Fig. 12).
+        vectorized_loads: bool,
+    },
+    /// Anytime subword vectorization (§III-B) with the given subword
+    /// width.
+    Swv {
+        /// Subword width in bits (4, 8 or 16).
+        bits: u8,
+        /// Provisioned addition: lanes get double width so carry bits are
+        /// preserved (§V-E, Fig. 14).
+        provisioned: bool,
+    },
+}
+
+impl Technique {
+    /// Subword pipelining with plain subword loads.
+    pub const fn swp(bits: u8) -> Technique {
+        Technique::Swp { bits, vectorized_loads: false }
+    }
+
+    /// Subword pipelining with vectorized subword loads (Fig. 12).
+    pub const fn swp_vectorized(bits: u8) -> Technique {
+        Technique::Swp { bits, vectorized_loads: true }
+    }
+
+    /// Provisioned subword vectorization (the paper's default for its
+    /// headline results, §V-A).
+    pub const fn swv(bits: u8) -> Technique {
+        Technique::Swv { bits, provisioned: true }
+    }
+
+    /// Unprovisioned subword vectorization (drops inter-subword carries).
+    pub const fn swv_unprovisioned(bits: u8) -> Technique {
+        Technique::Swv { bits, provisioned: false }
+    }
+
+    /// The subword width, if the technique is anytime.
+    pub fn bits(&self) -> Option<u8> {
+        match self {
+            Technique::Precise => None,
+            Technique::Swp { bits, .. } | Technique::Swv { bits, .. } => Some(*bits),
+        }
+    }
+
+    /// True for the precise baseline.
+    pub fn is_precise(&self) -> bool {
+        matches!(self, Technique::Precise)
+    }
+}
+
+impl fmt::Display for Technique {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Technique::Precise => write!(f, "precise"),
+            Technique::Swp { bits, vectorized_loads: false } => write!(f, "swp{bits}"),
+            Technique::Swp { bits, vectorized_loads: true } => write!(f, "swp{bits}+vld"),
+            Technique::Swv { bits, provisioned: true } => write!(f, "swv{bits}"),
+            Technique::Swv { bits, provisioned: false } => write!(f, "swv{bits}-unprov"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Technique::swp(8), Technique::Swp { bits: 8, vectorized_loads: false });
+        assert_eq!(Technique::swv(4), Technique::Swv { bits: 4, provisioned: true });
+        assert_eq!(
+            Technique::swv_unprovisioned(8),
+            Technique::Swv { bits: 8, provisioned: false }
+        );
+    }
+
+    #[test]
+    fn bits_accessor() {
+        assert_eq!(Technique::Precise.bits(), None);
+        assert_eq!(Technique::swp(4).bits(), Some(4));
+        assert_eq!(Technique::swv(8).bits(), Some(8));
+        assert!(Technique::Precise.is_precise());
+        assert!(!Technique::swp(2).is_precise());
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(Technique::Precise.to_string(), "precise");
+        assert_eq!(Technique::swp(4).to_string(), "swp4");
+        assert_eq!(Technique::swp_vectorized(8).to_string(), "swp8+vld");
+        assert_eq!(Technique::swv(8).to_string(), "swv8");
+        assert_eq!(Technique::swv_unprovisioned(4).to_string(), "swv4-unprov");
+    }
+}

@@ -1,0 +1,159 @@
+//! Continuous-power runs: runtime–quality curves (paper Fig. 9) and
+//! earliest-output measurements (§V-E).
+
+use wn_quality::QualityCurve;
+use wn_sim::StepEvent;
+
+use crate::error::WnError;
+use crate::prepared::PreparedRun;
+
+/// Builds the runtime–quality curve of one prepared run.
+///
+/// The output error is sampled every `sample_interval` cycles, at every
+/// skim point, and at completion; the x-axis is normalized to
+/// `baseline_cycles` (the precise variant's total runtime), exactly like
+/// Fig. 9.
+///
+/// # Errors
+///
+/// Propagates simulation and quality errors.
+pub fn quality_curve(
+    prepared: &PreparedRun,
+    baseline_cycles: u64,
+    sample_interval: u64,
+) -> Result<QualityCurve, WnError> {
+    assert!(baseline_cycles > 0, "baseline must be a positive cycle count");
+    assert!(sample_interval > 0, "sample interval must be positive");
+    let label = format!("{}-{}", prepared.instance.ir.name, prepared.technique());
+    let mut curve = QualityCurve::new(label);
+    let mut core = prepared.fresh_core()?;
+    let mut cycles = 0u64;
+    let mut next_sample = sample_interval;
+    loop {
+        let info = core.step()?;
+        cycles += info.cycles;
+        let sample_now = cycles >= next_sample
+            || matches!(info.event, StepEvent::SkimSet(_))
+            || core.is_halted();
+        if sample_now {
+            while next_sample <= cycles {
+                next_sample += sample_interval;
+            }
+            let err = prepared.error_percent(&core)?;
+            curve.push(cycles, cycles as f64 / baseline_cycles as f64, err);
+        }
+        if core.is_halted() {
+            break;
+        }
+    }
+    Ok(curve)
+}
+
+/// Result of running until the first skim point: how soon an acceptable
+/// approximate output is available (§V-E's "earliest available output").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EarliestOutput {
+    /// Cycles to the first skim point (or to completion when the program
+    /// has none, e.g. the precise baseline).
+    pub cycles: u64,
+    /// Output NRMSE (%) at that moment.
+    pub error_percent: f64,
+    /// Whether a skim point was reached (false = ran to completion).
+    pub at_skim_point: bool,
+}
+
+/// Runs a fresh core until the first skim point (or completion when the
+/// program has none) and hands it back for inspection — the canonical
+/// "earliest available output" stopping rule every §V-E experiment uses.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn run_to_first_skim(
+    prepared: &PreparedRun,
+) -> Result<(wn_sim::Core, u64, bool), WnError> {
+    let mut core = prepared.fresh_core()?;
+    let mut cycles = 0u64;
+    loop {
+        let info = core.step()?;
+        cycles += info.cycles;
+        if let StepEvent::SkimSet(_) = info.event {
+            return Ok((core, cycles, true));
+        }
+        if core.is_halted() {
+            return Ok((core, cycles, false));
+        }
+    }
+}
+
+/// Runs until the first skim point (or completion) and scores the output.
+///
+/// # Errors
+///
+/// Propagates simulation and quality errors.
+pub fn earliest_output(prepared: &PreparedRun) -> Result<EarliestOutput, WnError> {
+    let (core, cycles, at_skim_point) = run_to_first_skim(prepared)?;
+    let error_percent = prepared.error_percent(&core)?;
+    Ok(EarliestOutput { cycles, error_percent, at_skim_point })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wn_compiler::Technique;
+    use wn_kernels::{Benchmark, Scale};
+
+    #[test]
+    fn curve_improves_and_reaches_zero() {
+        let inst = Benchmark::MatAdd.instance(Scale::Quick, 20);
+        let precise = PreparedRun::new(&inst, Technique::Precise).unwrap();
+        let (baseline, _) = precise.run_to_completion().unwrap();
+        let wn = PreparedRun::new(&inst, Technique::swv(8)).unwrap();
+        let curve = quality_curve(&wn, baseline, baseline / 50).unwrap();
+        assert!(curve.len() > 5);
+        assert_eq!(curve.final_error(), Some(0.0), "provisioned SWV reaches precise");
+        assert!(curve.final_runtime().unwrap() > 1.0, "WN overhead to precise result");
+        // Early samples have higher error than late ones.
+        let first_err = curve.points()[1].nrmse_percent;
+        assert!(first_err >= curve.final_error().unwrap());
+    }
+
+    #[test]
+    fn curve_samples_at_skim_points() {
+        let inst = Benchmark::Home.instance(Scale::Quick, 21);
+        let precise = PreparedRun::new(&inst, Technique::Precise).unwrap();
+        let (baseline, _) = precise.run_to_completion().unwrap();
+        let wn = PreparedRun::new(&inst, Technique::swv(8)).unwrap();
+        // Huge interval: samples come only from skim points + completion.
+        let curve = quality_curve(&wn, baseline, u64::MAX / 2).unwrap();
+        assert_eq!(curve.len(), 2, "one skim point + completion");
+        assert!(curve.points()[0].nrmse_percent < 5.0, "MSB level already close");
+    }
+
+    #[test]
+    fn earliest_output_precise_vs_anytime() {
+        let inst = Benchmark::Conv2d.instance(Scale::Quick, 22);
+        let precise = PreparedRun::new(&inst, Technique::Precise).unwrap();
+        let wn4 = PreparedRun::new(&inst, Technique::swp(4)).unwrap();
+        let p = earliest_output(&precise).unwrap();
+        let w = earliest_output(&wn4).unwrap();
+        assert!(!p.at_skim_point);
+        assert_eq!(p.error_percent, 0.0);
+        assert!(w.at_skim_point);
+        assert!(w.cycles < p.cycles, "4-bit first output earlier than precise completion");
+        assert!(w.error_percent > 0.0 && w.error_percent < 25.0, "err = {}", w.error_percent);
+    }
+
+    #[test]
+    fn smaller_subwords_give_earlier_first_output() {
+        let inst = Benchmark::MatMul.instance(Scale::Quick, 23);
+        let e8 = earliest_output(&PreparedRun::new(&inst, Technique::swp(8)).unwrap()).unwrap();
+        let e4 = earliest_output(&PreparedRun::new(&inst, Technique::swp(4)).unwrap()).unwrap();
+        let e2 = earliest_output(&PreparedRun::new(&inst, Technique::swp(2)).unwrap()).unwrap();
+        assert!(e4.cycles < e8.cycles);
+        assert!(e2.cycles < e4.cycles);
+        // …at the cost of accuracy.
+        assert!(e4.error_percent >= e8.error_percent);
+        assert!(e2.error_percent >= e4.error_percent);
+    }
+}

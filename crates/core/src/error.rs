@@ -1,0 +1,75 @@
+//! Top-level error type.
+
+use std::fmt;
+
+use wn_compiler::CompileError;
+use wn_intermittent::ExecError;
+use wn_sim::SimError;
+
+/// Errors surfaced by the experiment layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WnError {
+    /// Kernel compilation failed.
+    Compile(CompileError),
+    /// Simulation failed.
+    Sim(SimError),
+    /// An intermittent run failed.
+    Exec(ExecError),
+    /// Quality could not be computed (e.g. mismatched output lengths).
+    Quality(String),
+}
+
+impl fmt::Display for WnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WnError::Compile(e) => write!(f, "compile error: {e}"),
+            WnError::Sim(e) => write!(f, "simulation error: {e}"),
+            WnError::Exec(e) => write!(f, "execution error: {e}"),
+            WnError::Quality(msg) => write!(f, "quality error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WnError::Compile(e) => Some(e),
+            WnError::Sim(e) => Some(e),
+            WnError::Exec(e) => Some(e),
+            WnError::Quality(_) => None,
+        }
+    }
+}
+
+impl From<CompileError> for WnError {
+    fn from(e: CompileError) -> WnError {
+        WnError::Compile(e)
+    }
+}
+
+impl From<SimError> for WnError {
+    fn from(e: SimError) -> WnError {
+        WnError::Sim(e)
+    }
+}
+
+impl From<ExecError> for WnError {
+    fn from(e: ExecError) -> WnError {
+        WnError::Exec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: WnError = SimError::CycleLimit { limit: 5 }.into();
+        assert!(e.to_string().contains("simulation"));
+        let e: WnError = CompileError::UnknownArray { name: "A".into() }.into();
+        assert!(e.to_string().contains("compile"));
+        let e = WnError::Quality("bad".into());
+        assert!(e.to_string().contains("bad"));
+    }
+}

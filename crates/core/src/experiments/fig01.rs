@@ -1,0 +1,134 @@
+//! Figure 1, quantified: inputs arriving on a schedule while the device
+//! runs on harvested power. Conventional execution processes each input
+//! to completion and falls behind (inputs are dropped, answers go stale);
+//! What's Next commits an acceptable approximate result per input and
+//! keeps up.
+
+use std::fmt;
+
+use wn_compiler::Technique;
+use wn_energy::{EnergySupply, PowerTrace, TraceKind};
+use wn_kernels::{Benchmark, KernelInstance};
+
+use crate::error::WnError;
+use crate::experiments::ExperimentConfig;
+use crate::intermittent::SubstrateKind;
+use crate::stream::{run_stream, StreamConfig, StreamOutcome};
+
+/// Number of arriving inputs.
+pub const INPUTS: usize = 10;
+
+/// The Fig. 1 comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig1 {
+    /// Seconds between arrivals (calibrated to ~60 % of one precise run).
+    pub arrival_interval_s: f64,
+    /// Conventional (precise) stream.
+    pub conventional: StreamOutcome,
+    /// What's Next (4-bit) stream.
+    pub wn: StreamOutcome,
+}
+
+/// Runs the Fig. 1 stream scenario on the Var benchmark over an RF trace.
+///
+/// # Errors
+///
+/// Propagates compilation, supply and simulation errors.
+pub fn run(config: &ExperimentConfig) -> Result<Fig1, WnError> {
+    let scale = config.scale;
+    let seed = config.seed;
+    let make = move |i: usize| -> KernelInstance {
+        Benchmark::Var.instance(scale, seed.wrapping_add(1000 + i as u64))
+    };
+    let supply = |s: u64| {
+        EnergySupply::new(
+            PowerTrace::generate(TraceKind::RfBursty, config.seed.wrapping_add(s), 240.0),
+            config.supply,
+        )
+    };
+
+    // Calibrate: one precise input's wall-clock time on this environment.
+    let probe = run_stream(
+        &make,
+        Technique::Precise,
+        supply(11),
+        &StreamConfig {
+            arrival_interval_s: 1e6,
+            num_inputs: 1,
+            substrate: SubstrateKind::nvp(),
+            wall_limit_s: config.wall_limit_s,
+        },
+    )?;
+    let precise_time = probe.processed[0].completed_s;
+    let arrival_interval_s = (precise_time * 0.6).max(0.05);
+    let stream_cfg = StreamConfig {
+        arrival_interval_s,
+        num_inputs: INPUTS,
+        substrate: SubstrateKind::nvp(),
+        wall_limit_s: config.wall_limit_s,
+    };
+
+    Ok(Fig1 {
+        arrival_interval_s,
+        conventional: run_stream(&make, Technique::Precise, supply(12), &stream_cfg)?,
+        wn: run_stream(&make, Benchmark::Var.technique(4), supply(12), &stream_cfg)?,
+    })
+}
+
+impl fmt::Display for Fig1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{INPUTS} inputs arriving every {:.2}s on harvested power:",
+            self.arrival_interval_s
+        )?;
+        for (name, s) in [("conventional", &self.conventional), ("whats-next", &self.wn)] {
+            writeln!(
+                f,
+                "  {name:<13} processed {:>2}, dropped {:>2}, mean latency {:>6.2}s, mean error {:>6.3}%",
+                s.processed.len(),
+                s.dropped,
+                s.mean_latency_s(),
+                s.mean_error_percent()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl Fig1 {
+    /// CSV rendering (per processed input).
+    pub fn to_csv(&self) -> String {
+        let mut out =
+            String::from("variant,input,arrived_s,started_s,completed_s,skimmed,error_percent\n");
+        for (name, s) in [("conventional", &self.conventional), ("whats-next", &self.wn)] {
+            for p in &s.processed {
+                out.push_str(&format!(
+                    "{},{},{:.4},{:.4},{:.4},{},{:.4}\n",
+                    name, p.index, p.arrived_s, p.started_s, p.completed_s, p.skimmed, p.error_percent
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wn_keeps_up_where_conventional_drops() {
+        let fig = run(&ExperimentConfig::quick()).unwrap();
+        assert!(
+            fig.wn.processed.len() > fig.conventional.processed.len(),
+            "wn {} vs conventional {}",
+            fig.wn.processed.len(),
+            fig.conventional.processed.len()
+        );
+        assert!(fig.conventional.dropped > 0, "arrival rate must outpace precise processing");
+        assert!(fig.wn.mean_error_percent() < 15.0);
+        let csv = fig.to_csv();
+        assert!(csv.lines().count() > fig.wn.processed.len());
+    }
+}

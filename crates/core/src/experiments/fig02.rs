@@ -1,0 +1,178 @@
+//! Figure 2: Conv2d output under an equal, truncated runtime budget —
+//! conventional execution produces part of an image, anytime execution
+//! produces a whole (approximate) image "with the same total power-on
+//! time" (§II).
+//!
+//! The budget is the anytime build's earliest-output time (its first skim
+//! point, here 4-bit SWP). In the paper that lands at ~50 % of the
+//! baseline; our unoptimized code generator has a larger non-multiply
+//! share, so the budget fraction is a bit higher — the *comparison* at
+//! equal budget is the figure's point and is preserved exactly.
+
+use std::fmt;
+
+use wn_compiler::Technique;
+use wn_kernels::{Benchmark, Scale};
+use wn_quality::metrics::nrmse_percent;
+
+use crate::error::WnError;
+use crate::experiments::ExperimentConfig;
+use crate::prepared::PreparedRun;
+
+/// One of the three image outcomes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImageOutcome {
+    /// Label ("baseline-100%", "baseline-50%", "wn-50%").
+    pub label: &'static str,
+    /// Decoded output image (row-major accumulator values).
+    pub image: Vec<i64>,
+    /// Fraction of pixels that hold any result at all (a conventional run
+    /// cut at 50 % leaves the rest zero).
+    pub coverage: f64,
+    /// NRMSE (%) against the precise full-runtime output.
+    pub nrmse_percent: f64,
+}
+
+/// The Fig. 2 comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig2 {
+    /// Output image height.
+    pub height: u32,
+    /// Output image width.
+    pub width: u32,
+    /// Cycle budget used for the truncated variants (the anytime build's
+    /// earliest-output time).
+    pub budget_cycles: u64,
+    /// The budget as a fraction of the precise runtime (paper: ≈0.5).
+    pub budget_fraction: f64,
+    /// The three outcomes (full baseline, truncated baseline, truncated
+    /// WN).
+    pub outcomes: Vec<ImageOutcome>,
+}
+
+fn run_for_cycles(prepared: &PreparedRun, budget: u64) -> Result<Vec<i64>, WnError> {
+    let mut core = prepared.fresh_core()?;
+    let mut cycles = 0u64;
+    while cycles < budget && !core.is_halted() {
+        cycles += core.step()?.cycles;
+    }
+    prepared.decode(&core, "OUT")
+}
+
+/// Runs the Fig. 2 comparison (4-bit SWP).
+///
+/// # Errors
+///
+/// Propagates compilation and simulation errors.
+pub fn run(config: &ExperimentConfig) -> Result<Fig2, WnError> {
+    let instance = Benchmark::Conv2d.instance(config.scale, config.seed);
+    let (h, w) = match config.scale {
+        Scale::Quick => (24u32, 24u32),
+        Scale::Paper => (128, 128),
+    };
+    let precise = PreparedRun::new(&instance, Technique::Precise)?;
+    let (full_core, full_cycles, _) = precise.run_to_completion_core()?;
+    let wn = PreparedRun::new(&instance, Technique::swp(4))?;
+    let budget = crate::continuous::earliest_output(&wn)?.cycles;
+
+    let golden: Vec<f64> = instance.golden_f64("OUT");
+    let score = |label: &'static str, image: Vec<i64>| -> ImageOutcome {
+        let covered = image.iter().filter(|&&v| v != 0).count();
+        let actual: Vec<f64> = image.iter().map(|&v| v as f64).collect();
+        ImageOutcome {
+            label,
+            coverage: covered as f64 / image.len() as f64,
+            nrmse_percent: nrmse_percent(&golden, &actual).unwrap_or(f64::NAN),
+            image,
+        }
+    };
+
+    let full = precise.decode(&full_core, "OUT")?;
+    let cut_baseline = run_for_cycles(&precise, budget)?;
+    let cut_wn = run_for_cycles(&wn, budget)?;
+
+    Ok(Fig2 {
+        height: h,
+        width: w,
+        budget_cycles: budget,
+        budget_fraction: budget as f64 / full_cycles as f64,
+        outcomes: vec![
+            score("baseline-full", full),
+            score("baseline-cut", cut_baseline),
+            score("wn-cut", cut_wn),
+        ],
+    })
+}
+
+impl fmt::Display for Fig2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Conv2d {}x{} at a {}-cycle budget ({:.0}% of baseline):",
+            self.height,
+            self.width,
+            self.budget_cycles,
+            100.0 * self.budget_fraction
+        )?;
+        for o in &self.outcomes {
+            writeln!(
+                f,
+                "  {:<14} coverage {:>5.1}%  NRMSE {:>7.3}%",
+                o.label,
+                100.0 * o.coverage,
+                o.nrmse_percent
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl Fig2 {
+    /// CSV rendering (summary, not pixels).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("label,coverage,nrmse_percent\n");
+        for o in &self.outcomes {
+            out.push_str(&format!("{},{:.4},{:.4}\n", o.label, o.coverage, o.nrmse_percent));
+        }
+        out
+    }
+
+    /// Renders one outcome as an 8-bit PGM image (for visual inspection,
+    /// like the paper's Fig. 2 panels). Values are normalized by the
+    /// maximum of the full-precision image.
+    pub fn to_pgm(&self, outcome_index: usize) -> String {
+        let max = self.outcomes[0].image.iter().copied().max().unwrap_or(1);
+        crate::experiments::render_pgm(&self.outcomes[outcome_index].image, self.width, max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncated_baseline_is_incomplete_but_wn_covers_everything() {
+        let fig = run(&ExperimentConfig::quick()).unwrap();
+        let full = &fig.outcomes[0];
+        let cut = &fig.outcomes[1];
+        let wn = &fig.outcomes[2];
+        assert!(full.nrmse_percent < 1e-9);
+        assert!(full.coverage > 0.99);
+        assert!(fig.budget_fraction < 1.0);
+        // Conventional at the budget: a partial image with large error.
+        assert!(cut.coverage < 0.9, "coverage {}", cut.coverage);
+        assert!(cut.nrmse_percent > 10.0);
+        // WN at the same budget: complete image, small error.
+        assert!(wn.coverage > 0.99, "coverage {}", wn.coverage);
+        assert!(wn.nrmse_percent < 8.0, "error {}", wn.nrmse_percent);
+        assert!(wn.nrmse_percent < cut.nrmse_percent);
+    }
+
+    #[test]
+    fn pgm_renders() {
+        let fig = run(&ExperimentConfig::quick()).unwrap();
+        let pgm = fig.to_pgm(0);
+        assert!(pgm.starts_with("P2\n"));
+        assert_eq!(pgm.lines().count() as u32, 3 + fig.height);
+    }
+}

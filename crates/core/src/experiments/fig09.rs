@@ -1,0 +1,140 @@
+//! Figure 9: runtime–quality trade-off curves for every benchmark at
+//! 4-bit and 8-bit subwords, on continuous power.
+
+use std::fmt;
+
+use wn_compiler::Technique;
+use wn_kernels::Benchmark;
+use wn_quality::QualityCurve;
+
+use crate::continuous::quality_curve;
+use crate::error::WnError;
+use crate::experiments::ExperimentConfig;
+use crate::prepared::PreparedRun;
+
+/// The curves of one benchmark's sub-figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig9Panel {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// Precise total cycles (the x-axis normalizer).
+    pub baseline_cycles: u64,
+    /// The 4-bit curve.
+    pub curve_4bit: QualityCurve,
+    /// The 8-bit curve.
+    pub curve_8bit: QualityCurve,
+}
+
+/// All six panels of Fig. 9.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig9 {
+    /// One panel per benchmark, Table I order.
+    pub panels: Vec<Fig9Panel>,
+}
+
+/// Samples per curve.
+const SAMPLES: u64 = 60;
+
+/// Builds Fig. 9.
+///
+/// # Errors
+///
+/// Propagates compilation and simulation errors.
+pub fn run(config: &ExperimentConfig) -> Result<Fig9, WnError> {
+    let mut panels = Vec::new();
+    for benchmark in Benchmark::ALL {
+        let instance = benchmark.instance(config.scale, config.seed);
+        let precise = PreparedRun::new(&instance, Technique::Precise)?;
+        let (baseline_cycles, _) = precise.run_to_completion()?;
+        let interval = (baseline_cycles / SAMPLES).max(1);
+        let wn4 = PreparedRun::new(&instance, benchmark.technique(4))?;
+        let wn8 = PreparedRun::new(&instance, benchmark.technique(8))?;
+        panels.push(Fig9Panel {
+            benchmark,
+            baseline_cycles,
+            curve_4bit: quality_curve(&wn4, baseline_cycles, interval)?,
+            curve_8bit: quality_curve(&wn8, baseline_cycles, interval)?,
+        });
+    }
+    Ok(Fig9 { panels })
+}
+
+impl Fig9 {
+    /// CSV rendering (long format: one row per curve point).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("benchmark,bits,cycles,normalized_runtime,nrmse_percent\n");
+        for p in &self.panels {
+            for (bits, curve) in [(4, &p.curve_4bit), (8, &p.curve_8bit)] {
+                for pt in curve.points() {
+                    out.push_str(&format!(
+                        "{},{},{},{:.6},{:.6}\n",
+                        p.benchmark.name(),
+                        bits,
+                        pt.cycles,
+                        pt.normalized_runtime,
+                        pt.nrmse_percent
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Fig9 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for p in &self.panels {
+            writeln!(f, "— {} (baseline {} cycles) —", p.benchmark.name(), p.baseline_cycles)?;
+            for (bits, curve) in [(4u8, &p.curve_4bit), (8, &p.curve_8bit)] {
+                let first = curve.points().first();
+                writeln!(
+                    f,
+                    "  {bits}-bit: {} samples, first {:.3}x/{:.3}%, final {:.3}x/{:.4}%",
+                    curve.len(),
+                    first.map(|pt| pt.normalized_runtime).unwrap_or(f64::NAN),
+                    first.map(|pt| pt.nrmse_percent).unwrap_or(f64::NAN),
+                    curve.final_runtime().unwrap_or(f64::NAN),
+                    curve.final_error().unwrap_or(f64::NAN),
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig9_shapes_hold() {
+        let fig = run(&ExperimentConfig::quick()).unwrap();
+        assert_eq!(fig.panels.len(), 6);
+        for p in &fig.panels {
+            for (bits, curve) in [(4u8, &p.curve_4bit), (8, &p.curve_8bit)] {
+                // Quality improves until the precise output is reached.
+                assert_eq!(
+                    curve.final_error(),
+                    Some(0.0),
+                    "{} {bits}-bit must end precise",
+                    p.benchmark
+                );
+                // The precise result costs more than the baseline (§V-A).
+                assert!(
+                    curve.final_runtime().unwrap() > 1.0,
+                    "{} {bits}-bit final runtime {:?}",
+                    p.benchmark,
+                    curve.final_runtime()
+                );
+            }
+            // 4-bit reaches the precise output later than 8-bit.
+            assert!(
+                p.curve_4bit.final_runtime().unwrap() > p.curve_8bit.final_runtime().unwrap(),
+                "{}",
+                p.benchmark
+            );
+        }
+        let csv = fig.to_csv();
+        assert!(csv.lines().count() > 100);
+    }
+}

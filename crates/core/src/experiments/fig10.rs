@@ -1,0 +1,170 @@
+//! Figures 10 and 11: speedup and quality of WN on the checkpoint-based
+//! volatile processor (Clank, Fig. 10) and the non-volatile processor
+//! (Fig. 11).
+//!
+//! Methodology follows §IV/§V-B: each configuration runs on the trace
+//! ensemble; runtimes and errors are medians. Speedup is the precise
+//! variant's median wall-clock runtime divided by the WN variant's —
+//! where WN runs commit their approximate output at the first outage
+//! after a skim point.
+
+use std::fmt;
+
+use wn_compiler::Technique;
+use wn_kernels::Benchmark;
+
+use crate::error::WnError;
+use crate::experiments::ExperimentConfig;
+use crate::intermittent::{median, run_intermittent, IntermittentOutcome, SubstrateKind};
+use crate::prepared::PreparedRun;
+
+/// Results for one benchmark at one subword size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeedupRow {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// Subword size in bits.
+    pub bits: u8,
+    /// Median speedup over the precise baseline on the same substrate.
+    pub speedup: f64,
+    /// Median output NRMSE in percent.
+    pub nrmse_percent: f64,
+    /// Fraction of runs that finished via a skim jump.
+    pub skim_rate: f64,
+}
+
+/// The full figure: all benchmarks × {8-bit, 4-bit} on one substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeedupFigure {
+    /// Substrate name ("clank" for Fig. 10, "nvp" for Fig. 11).
+    pub substrate: &'static str,
+    /// Rows, grouped by benchmark.
+    pub rows: Vec<SpeedupRow>,
+}
+
+impl SpeedupFigure {
+    /// Geometric-mean speedup at a subword size (the paper quotes
+    /// averages: 1.78×/3.02× on Clank, 1.41×/2.26× on NVP).
+    pub fn mean_speedup(&self, bits: u8) -> f64 {
+        let v: Vec<f64> =
+            self.rows.iter().filter(|r| r.bits == bits).map(|r| r.speedup.ln()).collect();
+        (v.iter().sum::<f64>() / v.len() as f64).exp()
+    }
+
+    /// Arithmetic-mean NRMSE at a subword size.
+    pub fn mean_error(&self, bits: u8) -> f64 {
+        let v: Vec<f64> =
+            self.rows.iter().filter(|r| r.bits == bits).map(|r| r.nrmse_percent).collect();
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+
+    /// CSV rendering.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("substrate,benchmark,bits,speedup,nrmse_percent,skim_rate\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{},{},{:.4},{:.4},{:.2}\n",
+                self.substrate,
+                r.benchmark.name(),
+                r.bits,
+                r.speedup,
+                r.nrmse_percent,
+                r.skim_rate
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for SpeedupFigure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "WN speedup and quality on {} (median over traces)", self.substrate)?;
+        writeln!(
+            f,
+            "{:<10} {:>4} {:>9} {:>10} {:>9}",
+            "benchmark", "bits", "speedup", "NRMSE", "skimmed"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<10} {:>4} {:>8.2}x {:>9.3}% {:>8.0}%",
+                r.benchmark.name(),
+                r.bits,
+                r.speedup,
+                r.nrmse_percent,
+                100.0 * r.skim_rate
+            )?;
+        }
+        writeln!(
+            f,
+            "mean: {:.2}x (8-bit), {:.2}x (4-bit)",
+            self.mean_speedup(8),
+            self.mean_speedup(4)
+        )
+    }
+}
+
+/// Runs Fig. 10 (Clank) or Fig. 11 (NVP) depending on `substrate`.
+///
+/// # Errors
+///
+/// Propagates compilation, supply and simulation errors.
+pub fn run(config: &ExperimentConfig, substrate: SubstrateKind) -> Result<SpeedupFigure, WnError> {
+    let traces = config.trace_ensemble();
+    let mut rows = Vec::new();
+    for benchmark in Benchmark::ALL {
+        let instance = benchmark.instance(config.scale, config.seed);
+        let precise = PreparedRun::new(&instance, Technique::Precise)?;
+        let precise_times: Vec<f64> = traces
+            .iter()
+            .map(|t| {
+                run_intermittent(&precise, substrate, t, config.supply, config.wall_limit_s)
+                    .map(|o| o.time_s)
+            })
+            .collect::<Result<_, _>>()?;
+        let precise_median = median(&precise_times);
+
+        for bits in [8u8, 4] {
+            let wn = PreparedRun::new(&instance, benchmark.technique(bits))?;
+            let outcomes: Vec<IntermittentOutcome> = traces
+                .iter()
+                .map(|t| run_intermittent(&wn, substrate, t, config.supply, config.wall_limit_s))
+                .collect::<Result<_, _>>()?;
+            let times: Vec<f64> = outcomes.iter().map(|o| o.time_s).collect();
+            let errors: Vec<f64> = outcomes.iter().map(|o| o.error_percent).collect();
+            let skims = outcomes.iter().filter(|o| o.skimmed).count();
+            rows.push(SpeedupRow {
+                benchmark,
+                bits,
+                speedup: precise_median / median(&times),
+                nrmse_percent: median(&errors),
+                skim_rate: skims as f64 / outcomes.len() as f64,
+            });
+        }
+    }
+    Ok(SpeedupFigure {
+        substrate: match substrate {
+            SubstrateKind::Clank(_) => "clank",
+            SubstrateKind::Nvp(_) => "nvp",
+        },
+        rows,
+    })
+}
+
+/// Convenience: Fig. 10 — the Clank volatile processor.
+///
+/// # Errors
+///
+/// See [`run`].
+pub fn run_fig10(config: &ExperimentConfig) -> Result<SpeedupFigure, WnError> {
+    run(config, SubstrateKind::clank())
+}
+
+/// Convenience: Fig. 11 — the non-volatile processor.
+///
+/// # Errors
+///
+/// See [`run`].
+pub fn run_fig11(config: &ExperimentConfig) -> Result<SpeedupFigure, WnError> {
+    run(config, SubstrateKind::nvp())
+}

@@ -1,0 +1,148 @@
+//! Figure 13: memoization and zero skipping on Conv2d (§V-E) — speedup
+//! of the earliest available output, with and without the 16-entry memo
+//! table + zero skipping, normalized to the precise build without them.
+//!
+//! Paper: 1.7×→1.97× (4-bit), 1.31×→1.42× (8-bit), 1.11× for the
+//! precise build.
+
+use std::fmt;
+
+use wn_compiler::Technique;
+use wn_kernels::Benchmark;
+use wn_sim::{CoreConfig, MemoConfig};
+
+use crate::error::WnError;
+use crate::experiments::ExperimentConfig;
+use crate::prepared::PreparedRun;
+
+/// One bar of the figure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig13Bar {
+    /// Variant label ("precise", "8-bit", "4-bit").
+    pub variant: &'static str,
+    /// Whether the memo table + zero skipping were enabled.
+    pub memo: bool,
+    /// Cycles to the earliest available output.
+    pub cycles: u64,
+    /// Speedup normalized to precise-without-memo.
+    pub speedup: f64,
+    /// Memo short-circuit rate (hits + zero skips over lookups).
+    pub short_circuit_rate: f64,
+}
+
+/// The Fig. 13 bars.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig13 {
+    /// Six bars: {precise, 8-bit, 4-bit} × {no table, 16-entry}.
+    pub bars: Vec<Fig13Bar>,
+}
+
+fn earliest_with(
+    instance: &wn_kernels::KernelInstance,
+    technique: Technique,
+    memo: Option<MemoConfig>,
+) -> Result<(u64, f64), WnError> {
+    let cfg = CoreConfig { memo, ..CoreConfig::default() };
+    let prepared = PreparedRun::with_core_config(instance, technique, cfg)?;
+    // Earliest output: first skim point for WN, completion for precise.
+    let (core, cycles, _) = crate::continuous::run_to_first_skim(&prepared)?;
+    let rate = core.memo.as_ref().map(|m| m.stats.short_circuit_rate()).unwrap_or(0.0);
+    Ok((cycles, rate))
+}
+
+/// Runs Fig. 13 on Conv2d.
+///
+/// # Errors
+///
+/// Propagates compilation and simulation errors.
+pub fn run(config: &ExperimentConfig) -> Result<Fig13, WnError> {
+    let instance = Benchmark::Conv2d.instance(config.scale, config.seed);
+    let variants: [(&'static str, Technique); 3] = [
+        ("precise", Technique::Precise),
+        ("8-bit", Technique::swp(8)),
+        ("4-bit", Technique::swp(4)),
+    ];
+    let (norm, _) = earliest_with(&instance, Technique::Precise, None)?;
+    let mut bars = Vec::new();
+    for (variant, technique) in variants {
+        for memo in [false, true] {
+            let memo_cfg = memo.then(MemoConfig::default);
+            let (cycles, rate) = earliest_with(&instance, technique, memo_cfg)?;
+            bars.push(Fig13Bar {
+                variant,
+                memo,
+                cycles,
+                speedup: norm as f64 / cycles as f64,
+                short_circuit_rate: rate,
+            });
+        }
+    }
+    Ok(Fig13 { bars })
+}
+
+impl Fig13 {
+    /// The bar for a variant/memo combination.
+    pub fn bar(&self, variant: &str, memo: bool) -> Option<Fig13Bar> {
+        self.bars.iter().copied().find(|b| b.variant == variant && b.memo == memo)
+    }
+
+    /// CSV rendering.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("variant,memo,cycles,speedup,short_circuit_rate\n");
+        for b in &self.bars {
+            out.push_str(&format!(
+                "{},{},{},{:.4},{:.4}\n",
+                b.variant,
+                if b.memo { "16-entry" } else { "none" },
+                b.cycles,
+                b.speedup,
+                b.short_circuit_rate
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Fig13 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Conv2d earliest-output speedup (normalized to precise, no memo):")?;
+        for b in &self.bars {
+            writeln!(
+                f,
+                "  {:<8} {:<9} {:>6.2}x (short-circuit {:>5.1}%)",
+                b.variant,
+                if b.memo { "16-entry" } else { "no-table" },
+                b.speedup,
+                100.0 * b.short_circuit_rate
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memoization_helps_and_helps_smaller_subwords_more() {
+        let fig = run(&ExperimentConfig::quick()).unwrap();
+        assert_eq!(fig.bars.len(), 6);
+        let p0 = fig.bar("precise", false).unwrap();
+        let p1 = fig.bar("precise", true).unwrap();
+        let b8 = fig.bar("8-bit", false).unwrap();
+        let b8m = fig.bar("8-bit", true).unwrap();
+        let b4 = fig.bar("4-bit", false).unwrap();
+        let b4m = fig.bar("4-bit", true).unwrap();
+
+        assert!((p0.speedup - 1.0).abs() < 1e-9);
+        // Memoization helps every variant.
+        assert!(p1.speedup > p0.speedup);
+        assert!(b8m.speedup > b8.speedup);
+        assert!(b4m.speedup > b4.speedup);
+        // Smaller subwords hit the table more (paper §V-E).
+        assert!(b4m.short_circuit_rate > b8m.short_circuit_rate);
+        // Ordering matches the paper: 4-bit > 8-bit > precise.
+        assert!(b4.speedup > b8.speedup && b8.speedup > p0.speedup);
+    }
+}

@@ -1,0 +1,147 @@
+//! Figures 15 and 16: small subwords (1/2/3/4-bit) for SWP on Conv2d
+//! (§V-E) — smaller subwords yield earlier (larger-speedup) first
+//! outputs at higher error. Fig. 16's visual outputs are exposed as PGM
+//! renderings.
+
+use std::fmt;
+
+use wn_compiler::Technique;
+use wn_kernels::Benchmark;
+
+use crate::error::WnError;
+use crate::experiments::ExperimentConfig;
+use crate::prepared::PreparedRun;
+
+/// One subword size's earliest-output result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig15Row {
+    /// Subword size in bits.
+    pub bits: u8,
+    /// Cycles to the earliest available output.
+    pub cycles: u64,
+    /// Speedup over the precise baseline's completion.
+    pub speedup: f64,
+    /// NRMSE (%) of that earliest output.
+    pub nrmse_percent: f64,
+    /// The decoded output image at the earliest output (for Fig. 16).
+    pub image: Vec<i64>,
+}
+
+/// The Fig. 15 sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig15 {
+    /// Precise completion cycles.
+    pub baseline_cycles: u64,
+    /// Output image height/width.
+    pub height: u32,
+    /// Output image width.
+    pub width: u32,
+    /// Rows for 1, 2, 3 and 4-bit subwords.
+    pub rows: Vec<Fig15Row>,
+    /// The precise image (Fig. 16's reference).
+    pub reference: Vec<i64>,
+}
+
+/// Runs the small-subword sweep on Conv2d.
+///
+/// # Errors
+///
+/// Propagates compilation and simulation errors.
+pub fn run(config: &ExperimentConfig) -> Result<Fig15, WnError> {
+    let instance = Benchmark::Conv2d.instance(config.scale, config.seed);
+    let (h, w) = match config.scale {
+        wn_kernels::Scale::Quick => (24u32, 24u32),
+        wn_kernels::Scale::Paper => (128, 128),
+    };
+    let precise = PreparedRun::new(&instance, Technique::Precise)?;
+    let (reference_core, baseline_cycles, _) = precise.run_to_completion_core()?;
+    let reference = precise.decode(&reference_core, "OUT")?;
+
+    let mut rows = Vec::new();
+    for bits in [1u8, 2, 3, 4] {
+        let prepared = PreparedRun::new(&instance, Technique::swp(bits))?;
+        let (cycles, image, err) = earliest_image(&prepared)?;
+        rows.push(Fig15Row {
+            bits,
+            cycles,
+            speedup: baseline_cycles as f64 / cycles as f64,
+            nrmse_percent: err,
+            image,
+        });
+    }
+    Ok(Fig15 { baseline_cycles, height: h, width: w, rows, reference })
+}
+
+fn earliest_image(prepared: &PreparedRun) -> Result<(u64, Vec<i64>, f64), WnError> {
+    let (core, cycles, _) = crate::continuous::run_to_first_skim(prepared)?;
+    let image = prepared.decode(&core, "OUT")?;
+    let err = prepared.error_percent(&core)?;
+    Ok((cycles, image, err))
+}
+
+impl Fig15 {
+    /// Renders a row's earliest output as PGM (Fig. 16 panel).
+    pub fn to_pgm(&self, bits: u8) -> Option<String> {
+        let row = self.rows.iter().find(|r| r.bits == bits)?;
+        let max = self.reference.iter().copied().max().unwrap_or(1);
+        Some(crate::experiments::render_pgm(&row.image, self.width, max))
+    }
+
+    /// CSV rendering (summary).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("bits,cycles,speedup,nrmse_percent\n");
+        for r in &self.rows {
+            out.push_str(&format!("{},{},{:.4},{:.4}\n", r.bits, r.cycles, r.speedup, r.nrmse_percent));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Fig15 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Conv2d small-subword earliest outputs (baseline {} cycles):", self.baseline_cycles)?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "  {}-bit: {:>6.2}x speedup, {:>6.2}% error",
+                r.bits, r.speedup, r.nrmse_percent
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smaller_subwords_trade_error_for_speed() {
+        let fig = run(&ExperimentConfig::quick()).unwrap();
+        assert_eq!(fig.rows.len(), 4);
+        for pair in fig.rows.windows(2) {
+            // rows are 1,2,3,4-bit: speedup decreases with bits, error
+            // decreases with bits.
+            assert!(
+                pair[0].speedup > pair[1].speedup,
+                "{}b {} vs {}b {}",
+                pair[0].bits,
+                pair[0].speedup,
+                pair[1].bits,
+                pair[1].speedup
+            );
+            assert!(
+                pair[0].nrmse_percent >= pair[1].nrmse_percent,
+                "{}b error {} vs {}b {}",
+                pair[0].bits,
+                pair[0].nrmse_percent,
+                pair[1].bits,
+                pair[1].nrmse_percent
+            );
+        }
+        // Every earliest output still beats the precise completion time.
+        assert!(fig.rows.iter().all(|r| r.speedup > 1.0));
+        let pgm = fig.to_pgm(1).unwrap();
+        assert!(pgm.starts_with("P2\n"));
+    }
+}

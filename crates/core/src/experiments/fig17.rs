@@ -1,0 +1,161 @@
+//! Figure 17: WN vs input sampling on the Var benchmark (§V-E) — with
+//! the energy of one precise dataset, WN processes two datasets to their
+//! first 4-bit level, faithfully tracking the peaks and troughs of the
+//! input (paper: 1.53 % average error) while the precise implementation
+//! must drop every other dataset.
+
+use std::fmt;
+
+use wn_compiler::Technique;
+use wn_kernels::var::{self, VarParams};
+use wn_quality::metrics::mape_percent;
+
+use crate::error::WnError;
+use crate::experiments::ExperimentConfig;
+use crate::prepared::PreparedRun;
+
+/// Number of datasets, as in the paper's figure.
+pub const DATASETS: usize = 24;
+
+/// One dataset's outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig17Point {
+    /// Dataset index.
+    pub dataset: usize,
+    /// The precise variance.
+    pub precise: f64,
+    /// The sampling device's output (`None` = dropped).
+    pub sampled: Option<f64>,
+    /// The WN device's first-level (4-bit) output.
+    pub wn: f64,
+}
+
+/// The Fig. 17 series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig17 {
+    /// All datasets.
+    pub points: Vec<Fig17Point>,
+    /// Mean absolute percentage error of the WN outputs (paper: 1.53 %).
+    pub wn_mape_percent: f64,
+    /// Cycles per precise dataset.
+    pub precise_cycles: u64,
+    /// Cycles per WN first-level dataset.
+    pub wn_cycles: u64,
+}
+
+/// Runs Fig. 17: 24 single-window Var datasets.
+///
+/// # Errors
+///
+/// Propagates compilation and simulation errors.
+pub fn run(config: &ExperimentConfig) -> Result<Fig17, WnError> {
+    let params = VarParams { windows: 1, samples: 32 };
+    let mut points = Vec::new();
+    let mut precise_vals = Vec::new();
+    let mut wn_vals = Vec::new();
+    let mut precise_cycles = 0;
+    let mut wn_cycles = 0;
+    for dataset in 0..DATASETS {
+        let instance = var::build(&params, config.seed.wrapping_add(dataset as u64));
+        let truth = instance.golden[0].1[0] as f64;
+
+        let precise = PreparedRun::new(&instance, Technique::Precise)?;
+        let (pc, _) = precise.run_to_completion()?;
+        precise_cycles = pc;
+
+        // WN: first 4-bit level.
+        let wn = PreparedRun::new(&instance, Technique::swp(4))?;
+        let (core, cycles, _) = crate::continuous::run_to_first_skim(&wn)?;
+        wn_cycles = cycles;
+        let wn_out = wn.decode(&core, "VAR")?[0] as f64;
+
+        // The sampling device processes every other dataset precisely.
+        let sampled = (dataset % 2 == 0).then_some(truth);
+
+        precise_vals.push(truth);
+        wn_vals.push(wn_out);
+        points.push(Fig17Point { dataset, precise: truth, sampled, wn: wn_out });
+    }
+    let wn_mape_percent = mape_percent(&precise_vals, &wn_vals).unwrap_or(f64::NAN);
+    Ok(Fig17 { points, wn_mape_percent, precise_cycles, wn_cycles })
+}
+
+impl Fig17 {
+    /// Does the WN series preserve the ordering of each adjacent pair of
+    /// precise values (tracking "peaks and troughs")? Returns the
+    /// fraction of pairs whose direction matches.
+    pub fn tracking_fidelity(&self) -> f64 {
+        let pairs = self.points.windows(2);
+        let mut total = 0;
+        let mut ok = 0;
+        for w in pairs {
+            let dp = w[1].precise - w[0].precise;
+            let dw = w[1].wn - w[0].wn;
+            if dp.abs() > 1e-9 {
+                total += 1;
+                if dp.signum() == dw.signum() {
+                    ok += 1;
+                }
+            }
+        }
+        if total == 0 {
+            1.0
+        } else {
+            ok as f64 / total as f64
+        }
+    }
+
+    /// CSV rendering.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("dataset,precise,sampled,wn\n");
+        for p in &self.points {
+            out.push_str(&format!(
+                "{},{:.2},{},{:.2}\n",
+                p.dataset,
+                p.precise,
+                p.sampled.map_or(String::new(), |v| format!("{v:.2}")),
+                p.wn
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Fig17 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Var, {} datasets: precise {} cycles/dataset, WN(4-bit level) {} cycles/dataset",
+            self.points.len(),
+            self.precise_cycles,
+            self.wn_cycles
+        )?;
+        writeln!(
+            f,
+            "WN error {:.2}% (paper: 1.53%), tracking fidelity {:.0}%",
+            self.wn_mape_percent,
+            100.0 * self.tracking_fidelity()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wn_tracks_all_datasets_with_small_error() {
+        let fig = run(&ExperimentConfig::quick()).unwrap();
+        assert_eq!(fig.points.len(), DATASETS);
+        // The sampling device drops half the datasets.
+        let dropped = fig.points.iter().filter(|p| p.sampled.is_none()).count();
+        assert_eq!(dropped, DATASETS / 2);
+        // WN processes all of them within the per-dataset budget that
+        // lets it run at twice the sampling device's rate (ceil ratio 2).
+        let period = (fig.precise_cycles as f64 / fig.wn_cycles as f64).ceil() as usize;
+        assert_eq!(period, 2, "wn {} vs precise {}", fig.wn_cycles, fig.precise_cycles);
+        // Small average error and faithful peak/trough tracking.
+        assert!(fig.wn_mape_percent < 12.0, "error {}%", fig.wn_mape_percent);
+        assert!(fig.tracking_fidelity() > 0.85, "fidelity {}", fig.tracking_fidelity());
+    }
+}

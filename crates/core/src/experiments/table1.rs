@@ -1,0 +1,140 @@
+//! Table I: benchmark descriptions — WN-amenable dynamic instruction
+//! share and precise runtime.
+
+use std::fmt;
+
+use wn_compiler::Technique;
+use wn_kernels::Benchmark;
+use wn_sim::InstrClass;
+
+use crate::error::WnError;
+use crate::experiments::ExperimentConfig;
+use crate::prepared::PreparedRun;
+
+/// One row of Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// Application area.
+    pub area: &'static str,
+    /// Fraction of dynamic instructions amenable to WN, in percent
+    /// (multiplies for SWP benchmarks; the element-wise data operations
+    /// for SWV benchmarks).
+    pub amenable_percent: f64,
+    /// Precise runtime in milliseconds at the 24 MHz core clock.
+    pub runtime_ms: f64,
+    /// Precise dynamic instruction count.
+    pub instructions: u64,
+    /// Whether the benchmark uses SWP (true) or SWV (false).
+    pub swp: bool,
+}
+
+/// The whole table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1 {
+    /// One row per benchmark, Table I order.
+    pub rows: Vec<Table1Row>,
+}
+
+/// Builds Table I by running every benchmark's precise build to
+/// completion on continuous power.
+///
+/// # Errors
+///
+/// Propagates compilation and simulation errors.
+pub fn run(config: &ExperimentConfig) -> Result<Table1, WnError> {
+    let mut rows = Vec::new();
+    for benchmark in Benchmark::ALL {
+        let instance = benchmark.instance(config.scale, config.seed);
+        let prepared = PreparedRun::new(&instance, Technique::Precise)?;
+        let mut core = prepared.fresh_core()?;
+        core.run(u64::MAX)?;
+        let stats = &core.stats;
+        let amenable = if benchmark.uses_swp() {
+            stats.count(InstrClass::Mul) as f64 / stats.instructions as f64
+        } else {
+            // The element-wise data ops SWV targets: one per processed
+            // input element.
+            let elements: usize = instance.inputs.iter().map(|(_, v)| v.len()).sum();
+            elements as f64 / stats.instructions as f64
+        };
+        rows.push(Table1Row {
+            benchmark,
+            area: benchmark.area(),
+            amenable_percent: 100.0 * amenable,
+            runtime_ms: stats.cycles as f64 / 24_000.0,
+            instructions: stats.instructions,
+            swp: benchmark.uses_swp(),
+        });
+    }
+    Ok(Table1 { rows })
+}
+
+impl fmt::Display for Table1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<10} {:<22} {:>7} {:>12} {:>6} {:>6}",
+            "benchmark", "area", "insn %", "runtime", "SWP", "SWV"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<10} {:<22} {:>6.2}% {:>10.2}ms {:>6} {:>6}",
+                r.benchmark.name(),
+                r.area,
+                r.amenable_percent,
+                r.runtime_ms,
+                if r.swp { "x" } else { "" },
+                if r.swp { "" } else { "x" },
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl Table1 {
+    /// CSV rendering.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("benchmark,area,amenable_percent,runtime_ms,instructions,technique\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{},{:.3},{:.3},{},{}\n",
+                r.benchmark.name(),
+                r.area,
+                r.amenable_percent,
+                r.runtime_ms,
+                r.instructions,
+                if r.swp { "swp" } else { "swv" }
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_six_rows_with_paper_like_shares() {
+        let t = run(&ExperimentConfig::quick()).unwrap();
+        assert_eq!(t.rows.len(), 6);
+        for r in &t.rows {
+            // The paper's Insn % column spans 8.8–23.2 %; with our naive
+            // codegen the share must land in the same regime.
+            assert!(
+                r.amenable_percent > 2.0 && r.amenable_percent < 35.0,
+                "{}: {}%",
+                r.benchmark,
+                r.amenable_percent
+            );
+            assert!(r.runtime_ms > 0.0);
+        }
+        let text = t.to_string();
+        assert!(text.contains("conv2d"));
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().count(), 7);
+    }
+}

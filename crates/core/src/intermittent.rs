@@ -1,0 +1,195 @@
+//! Intermittent-power runs over Clank and NVP (paper §V-B, §V-C).
+
+use wn_energy::{PowerTrace, SupplyConfig};
+use wn_intermittent::substrate::SubstrateStats;
+use wn_intermittent::{Clank, ClankConfig, IntermittentExecutor, Nvp, NvpConfig};
+
+use crate::error::WnError;
+use crate::prepared::PreparedRun;
+
+/// Which substrate an intermittent run executes on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SubstrateKind {
+    /// Checkpoint-based volatile processor (Clank).
+    Clank(ClankConfig),
+    /// Backup-every-cycle non-volatile processor.
+    Nvp(NvpConfig),
+}
+
+impl SubstrateKind {
+    /// Clank with default parameters.
+    pub fn clank() -> SubstrateKind {
+        SubstrateKind::Clank(ClankConfig::default())
+    }
+
+    /// NVP with default parameters.
+    pub fn nvp() -> SubstrateKind {
+        SubstrateKind::Nvp(NvpConfig::default())
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SubstrateKind::Clank(_) => "clank",
+            SubstrateKind::Nvp(_) => "nvp",
+        }
+    }
+}
+
+/// Outcome of one intermittent benchmark run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntermittentOutcome {
+    /// Wall-clock time to produce the output, in seconds (including dark
+    /// periods) — the paper's "runtime" for Figs. 10/11.
+    pub time_s: f64,
+    /// Powered-on execution time in seconds.
+    pub on_time_s: f64,
+    /// Cycles executed, including re-execution and substrate overheads.
+    pub active_cycles: u64,
+    /// Power outages along the way.
+    pub outages: u64,
+    /// Whether the run finished via a skim jump (approximate output
+    /// taken as-is).
+    pub skimmed: bool,
+    /// Output NRMSE (%) against golden at the moment the result was
+    /// committed.
+    pub error_percent: f64,
+    /// Substrate counters (checkpoints, lost cycles, overheads).
+    pub substrate: SubstrateStats,
+}
+
+/// A supply configuration scaled to quick benchmark instances: a smaller
+/// capacitor gives ≈5k-cycle on-periods so even small kernels span many
+/// power cycles, preserving the paper's outage-dominated regime (the
+/// paper's workloads run 15–750 on-periods; quick kernels land in the
+/// same band here).
+pub fn quick_supply() -> SupplyConfig {
+    SupplyConfig { capacitance_f: 1e-6, ..SupplyConfig::default() }
+}
+
+/// Runs one prepared kernel on a substrate under a power trace.
+///
+/// Skim handling is exactly the paper's: the WN binaries set the SKM
+/// register at subword-level boundaries; on the restore after an outage
+/// the executor jumps to the skim target and the approximate output is
+/// committed. Precise binaries contain no `SKM` and always run to their
+/// natural completion.
+///
+/// # Errors
+///
+/// Propagates supply, simulation and quality errors.
+pub fn run_intermittent(
+    prepared: &PreparedRun,
+    substrate: SubstrateKind,
+    trace: &PowerTrace,
+    supply: SupplyConfig,
+    wall_limit_s: f64,
+) -> Result<IntermittentOutcome, WnError> {
+    let core = prepared.fresh_core()?;
+    match substrate {
+        SubstrateKind::Clank(cfg) => {
+            let mut exec =
+                IntermittentExecutor::new(core, trace.clone(), supply, Clank::new(cfg));
+            let run = exec.run(wall_limit_s)?;
+            let error_percent = prepared.error_percent(exec.core())?;
+            Ok(IntermittentOutcome {
+                time_s: run.total_time_s,
+                on_time_s: run.on_time_s,
+                active_cycles: run.active_cycles,
+                outages: run.outages,
+                skimmed: run.skimmed,
+                error_percent,
+                substrate: run.substrate,
+            })
+        }
+        SubstrateKind::Nvp(cfg) => {
+            let mut exec = IntermittentExecutor::new(core, trace.clone(), supply, Nvp::new(cfg));
+            let run = exec.run(wall_limit_s)?;
+            let error_percent = prepared.error_percent(exec.core())?;
+            Ok(IntermittentOutcome {
+                time_s: run.total_time_s,
+                on_time_s: run.on_time_s,
+                active_cycles: run.active_cycles,
+                outages: run.outages,
+                skimmed: run.skimmed,
+                error_percent,
+                substrate: run.substrate,
+            })
+        }
+    }
+}
+
+/// The median of a slice (averaging the middle pair for even lengths).
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn median(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "median of empty slice");
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in medians"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        0.5 * (v[n / 2 - 1] + v[n / 2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wn_compiler::Technique;
+    use wn_energy::TraceKind;
+    use wn_kernels::{Benchmark, Scale};
+
+    fn trace(seed: u64) -> PowerTrace {
+        PowerTrace::generate(TraceKind::RfBursty, seed, 60.0)
+    }
+
+    #[test]
+    fn median_basics() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[7.0]), 7.0);
+    }
+
+    #[test]
+    fn precise_run_is_exact_but_slow() {
+        let inst = Benchmark::Home.instance(Scale::Quick, 30);
+        let run = PreparedRun::new(&inst, Technique::Precise).unwrap();
+        let out =
+            run_intermittent(&run, SubstrateKind::nvp(), &trace(1), quick_supply(), 3600.0)
+                .unwrap();
+        assert_eq!(out.error_percent, 0.0);
+        assert!(!out.skimmed);
+    }
+
+    #[test]
+    fn wn_skims_and_finishes_faster_on_outage_heavy_supply() {
+        let inst = Benchmark::Conv2d.instance(Scale::Quick, 31);
+        let precise = PreparedRun::new(&inst, Technique::Precise).unwrap();
+        let wn = PreparedRun::new(&inst, Technique::swp(4)).unwrap();
+        let p = run_intermittent(&precise, SubstrateKind::nvp(), &trace(2), quick_supply(), 3600.0)
+            .unwrap();
+        let w = run_intermittent(&wn, SubstrateKind::nvp(), &trace(2), quick_supply(), 3600.0)
+            .unwrap();
+        assert!(p.outages > 0, "precise run must span outages");
+        assert!(w.skimmed, "WN run should finish via skim");
+        assert!(w.time_s < p.time_s, "skimmed WN faster: {} vs {}", w.time_s, p.time_s);
+        assert!(w.error_percent > 0.0 && w.error_percent < 30.0);
+    }
+
+    #[test]
+    fn clank_pays_reexecution_nvp_does_not() {
+        let inst = Benchmark::Home.instance(Scale::Quick, 32);
+        let run = PreparedRun::new(&inst, Technique::Precise).unwrap();
+        let c = run_intermittent(&run, SubstrateKind::clank(), &trace(3), quick_supply(), 3600.0)
+            .unwrap();
+        let n = run_intermittent(&run, SubstrateKind::nvp(), &trace(3), quick_supply(), 3600.0)
+            .unwrap();
+        assert!(c.active_cycles > n.active_cycles);
+        assert_eq!(c.error_percent, 0.0);
+        assert_eq!(n.error_percent, 0.0);
+    }
+}

@@ -1,0 +1,207 @@
+//! A compiled kernel instance ready to run and score.
+
+use wn_compiler::{compile, CompiledKernel, Technique};
+use wn_kernels::KernelInstance;
+use wn_quality::metrics::nrmse_percent;
+use wn_sim::{Core, CoreConfig};
+
+use crate::error::WnError;
+
+/// A kernel instance compiled at one technique: spins up cores with the
+/// instance's inputs injected and scores outputs against the instance's
+/// golden values.
+#[derive(Debug, Clone)]
+pub struct PreparedRun {
+    /// The compiled kernel.
+    pub compiled: CompiledKernel,
+    /// The instance (inputs + golden outputs).
+    pub instance: KernelInstance,
+    /// Core configuration used by [`PreparedRun::fresh_core`].
+    pub core_config: CoreConfig,
+    /// Concatenated golden outputs as `f64`, precomputed once —
+    /// `error_percent` runs at every quality-curve sample point.
+    golden_f64: Vec<f64>,
+}
+
+impl PreparedRun {
+    /// Compiles `instance` with `technique` under the default core
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a compile error if the technique does not apply.
+    pub fn new(instance: &KernelInstance, technique: Technique) -> Result<PreparedRun, WnError> {
+        PreparedRun::with_core_config(instance, technique, CoreConfig::default())
+    }
+
+    /// Compiles with an explicit core configuration (e.g. memoization
+    /// enabled).
+    ///
+    /// # Errors
+    ///
+    /// Returns a compile error if the technique does not apply.
+    pub fn with_core_config(
+        instance: &KernelInstance,
+        technique: Technique,
+        core_config: CoreConfig,
+    ) -> Result<PreparedRun, WnError> {
+        let compiled = compile(&instance.ir, technique)?;
+        Ok(PreparedRun::from_compiled(compiled, instance.clone(), core_config))
+    }
+
+    /// Builds a prepared run from an already-compiled kernel — the
+    /// program depends only on (kernel, technique), so streams of inputs
+    /// reuse one compilation.
+    pub fn from_compiled(
+        compiled: CompiledKernel,
+        instance: KernelInstance,
+        core_config: CoreConfig,
+    ) -> PreparedRun {
+        let golden_f64 = instance
+            .golden
+            .iter()
+            .flat_map(|(_, gold)| gold.iter().map(|&v| v as f64))
+            .collect();
+        PreparedRun { compiled, instance, core_config, golden_f64 }
+    }
+
+    /// The technique this run was compiled with.
+    pub fn technique(&self) -> Technique {
+        self.compiled.technique
+    }
+
+    /// Creates a fresh core with all inputs encoded and injected.
+    ///
+    /// # Errors
+    ///
+    /// Returns a simulation error if input injection fails.
+    pub fn fresh_core(&self) -> Result<Core, WnError> {
+        let mut core = Core::new(&self.compiled.program, self.core_config)?;
+        for (name, values) in &self.instance.inputs {
+            let (addr, bytes) = self.compiled.encode_input(name, values);
+            core.mem.write_slice(addr, &bytes)?;
+        }
+        Ok(core)
+    }
+
+    /// Decodes one output array from a core's memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns a simulation error if the output region is unreadable.
+    pub fn decode(&self, core: &Core, array: &str) -> Result<Vec<i64>, WnError> {
+        let layout = self.compiled.layout(array);
+        let bytes = core.mem.slice(self.compiled.addr(array), layout.byte_size())?;
+        Ok(layout.decode(bytes))
+    }
+
+    /// NRMSE (%) of the instance's scored outputs against golden, as the
+    /// paper measures quality (§IV). Multiple scored outputs are
+    /// concatenated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WnError::Quality`] if outputs cannot be scored.
+    pub fn error_percent(&self, core: &Core) -> Result<f64, WnError> {
+        let mut actual = Vec::with_capacity(self.golden_f64.len());
+        for (name, gold) in &self.instance.golden {
+            let decoded = self.decode(core, name)?;
+            if decoded.len() != gold.len() {
+                return Err(WnError::Quality(format!(
+                    "output `{name}` decoded {} values, golden has {}",
+                    decoded.len(),
+                    gold.len()
+                )));
+            }
+            actual.extend(decoded.iter().map(|&v| v as f64));
+        }
+        nrmse_percent(&self.golden_f64, &actual)
+            .ok_or_else(|| WnError::Quality("empty golden output".to_string()))
+    }
+
+    /// Runs a fresh core to completion and returns `(cycles, error %)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation and quality errors.
+    pub fn run_to_completion(&self) -> Result<(u64, f64), WnError> {
+        let (_, cycles, err) = self.run_to_completion_core()?;
+        Ok((cycles, err))
+    }
+
+    /// Like [`PreparedRun::run_to_completion`], but also hands back the
+    /// finished core so callers can decode outputs without simulating a
+    /// second time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation and quality errors.
+    pub fn run_to_completion_core(&self) -> Result<(Core, u64, f64), WnError> {
+        let mut core = self.fresh_core()?;
+        let outcome = core.run(u64::MAX)?;
+        let err = self.error_percent(&core)?;
+        Ok((core, outcome.cycles, err))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wn_kernels::{Benchmark, Scale};
+
+    #[test]
+    fn precise_runs_are_exact_for_every_benchmark() {
+        for b in Benchmark::ALL {
+            let inst = b.instance(Scale::Quick, 11);
+            let run = PreparedRun::new(&inst, Technique::Precise).unwrap();
+            let (cycles, err) = run.run_to_completion().unwrap();
+            assert_eq!(err, 0.0, "{b} precise must be exact");
+            assert!(cycles > 0);
+        }
+    }
+
+    #[test]
+    fn anytime_8bit_is_exact_at_completion_for_every_benchmark() {
+        // SWP distributivity / provisioned SWV: full refinement reaches
+        // the precise result (§III).
+        for b in Benchmark::ALL {
+            let inst = b.instance(Scale::Quick, 12);
+            let run = PreparedRun::new(&inst, b.technique(8)).unwrap();
+            let (_, err) = run.run_to_completion().unwrap();
+            assert_eq!(err, 0.0, "{b} 8-bit anytime must be exact at completion");
+        }
+    }
+
+    #[test]
+    fn anytime_4bit_is_exact_at_completion_for_every_benchmark() {
+        for b in Benchmark::ALL {
+            let inst = b.instance(Scale::Quick, 13);
+            let run = PreparedRun::new(&inst, b.technique(4)).unwrap();
+            let (_, err) = run.run_to_completion().unwrap();
+            assert_eq!(err, 0.0, "{b} 4-bit anytime must be exact at completion");
+        }
+    }
+
+    #[test]
+    fn anytime_total_runtime_exceeds_precise() {
+        // §V-A: WN incurs runtime overhead to reach the precise output.
+        for b in [Benchmark::Conv2d, Benchmark::MatAdd] {
+            let inst = b.instance(Scale::Quick, 14);
+            let precise = PreparedRun::new(&inst, Technique::Precise).unwrap();
+            let wn = PreparedRun::new(&inst, b.technique(4)).unwrap();
+            let (pc, _) = precise.run_to_completion().unwrap();
+            let (wc, _) = wn.run_to_completion().unwrap();
+            assert!(wc > pc, "{b}: wn {wc} <= precise {pc}");
+        }
+    }
+
+    #[test]
+    fn decode_matches_golden_after_precise_run() {
+        let inst = Benchmark::Home.instance(Scale::Quick, 15);
+        let run = PreparedRun::new(&inst, Technique::Precise).unwrap();
+        let mut core = run.fresh_core().unwrap();
+        core.run(u64::MAX).unwrap();
+        let decoded = run.decode(&core, "SUM").unwrap();
+        assert_eq!(decoded, inst.golden[0].1);
+    }
+}

@@ -1,0 +1,243 @@
+//! Input-stream processing on harvested power — the paper's Fig. 1
+//! scenario, made quantitative.
+//!
+//! Inputs arrive at a fixed interval while the device computes under an
+//! intermittent supply. The device processes one input at a time; when it
+//! finishes (naturally, or by committing an approximate result at a skim
+//! point), it takes the **newest** arrived input and drops the stale ones
+//! (§I: "the system must choose to either continue processing old data or
+//! discard it and move on to processing new data"). Conventional builds
+//! fall behind and drop inputs; anytime builds keep up.
+
+use wn_energy::EnergySupply;
+use wn_intermittent::{Clank, IntermittentExecutor, Nvp};
+use wn_kernels::KernelInstance;
+use wn_sim::CoreConfig;
+
+use crate::error::WnError;
+use crate::intermittent::SubstrateKind;
+use crate::prepared::PreparedRun;
+use crate::Technique;
+
+/// Stream parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamConfig {
+    /// Seconds between input arrivals.
+    pub arrival_interval_s: f64,
+    /// Number of inputs that arrive.
+    pub num_inputs: usize,
+    /// The substrate to run on.
+    pub substrate: SubstrateKind,
+    /// Simulated wall-clock cap.
+    pub wall_limit_s: f64,
+}
+
+/// One input that was actually processed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProcessedInput {
+    /// Arrival index (0-based).
+    pub index: usize,
+    /// Arrival time.
+    pub arrived_s: f64,
+    /// When the device picked it up.
+    pub started_s: f64,
+    /// When its result was committed.
+    pub completed_s: f64,
+    /// Whether the result was committed via a skim point.
+    pub skimmed: bool,
+    /// Output NRMSE (%) against that input's golden result.
+    pub error_percent: f64,
+}
+
+impl ProcessedInput {
+    /// Arrival-to-result latency in seconds.
+    pub fn latency_s(&self) -> f64 {
+        self.completed_s - self.arrived_s
+    }
+}
+
+/// Outcome of a stream run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamOutcome {
+    /// Inputs processed to a committed result, in completion order.
+    pub processed: Vec<ProcessedInput>,
+    /// Arrivals dropped because a newer input superseded them.
+    pub dropped: usize,
+    /// Total simulated time.
+    pub total_time_s: f64,
+}
+
+impl StreamOutcome {
+    /// Mean arrival-to-result latency over processed inputs.
+    pub fn mean_latency_s(&self) -> f64 {
+        if self.processed.is_empty() {
+            return f64::NAN;
+        }
+        self.processed.iter().map(ProcessedInput::latency_s).sum::<f64>()
+            / self.processed.len() as f64
+    }
+
+    /// Mean output error over processed inputs.
+    pub fn mean_error_percent(&self) -> f64 {
+        if self.processed.is_empty() {
+            return f64::NAN;
+        }
+        self.processed.iter().map(|p| p.error_percent).sum::<f64>() / self.processed.len() as f64
+    }
+}
+
+/// Runs a stream of inputs through one technique.
+///
+/// `make_instance(i)` builds the i-th arriving input (same kernel,
+/// different data). The supply persists across inputs, so recharge state
+/// and trace position carry over exactly as on a real device.
+///
+/// # Errors
+///
+/// Propagates compilation, supply and simulation errors.
+pub fn run_stream(
+    make_instance: &dyn Fn(usize) -> KernelInstance,
+    technique: Technique,
+    supply: EnergySupply,
+    config: &StreamConfig,
+) -> Result<StreamOutcome, WnError> {
+    assert!(config.num_inputs > 0, "stream needs at least one input");
+    assert!(config.arrival_interval_s > 0.0, "arrivals need a positive interval");
+
+    let mut supply = supply;
+    let mut processed = Vec::new();
+    let mut next_unprocessed = 0usize; // lowest index not yet considered
+    let mut dropped = 0usize;
+    // The program depends only on (kernel, technique); compile once and
+    // reuse it for every arriving input.
+    let mut compiled = None;
+
+    loop {
+        let now = supply.time_s();
+        if now > config.wall_limit_s {
+            break;
+        }
+        // Arrivals up to `now`; the device takes the newest, dropping the
+        // rest of the backlog.
+        let arrived = ((now / config.arrival_interval_s).floor() as usize + 1)
+            .min(config.num_inputs);
+        if next_unprocessed >= config.num_inputs {
+            break;
+        }
+        if arrived <= next_unprocessed {
+            // Nothing new yet: idle (charging) until the next arrival.
+            let next_arrival = next_unprocessed as f64 * config.arrival_interval_s;
+            supply.idle((next_arrival - now).max(1e-3));
+            continue;
+        }
+        let index = arrived - 1;
+        dropped += index - next_unprocessed;
+        next_unprocessed = index + 1;
+
+        let instance = make_instance(index);
+        if compiled.is_none() {
+            compiled = Some(wn_compiler::compile(&instance.ir, technique)?);
+        }
+        let shared = compiled.as_ref().expect("compiled above");
+        let prepared =
+            PreparedRun::from_compiled(shared.clone(), instance, CoreConfig::default());
+        let core = prepared.fresh_core()?;
+        let started_s = supply.time_s();
+        let (outcome, returned_supply, error_percent) = match config.substrate {
+            SubstrateKind::Clank(cfg) => {
+                let mut exec = IntermittentExecutor::with_supply(core, supply, Clank::new(cfg));
+                let run = exec.run(config.wall_limit_s)?;
+                let err = prepared.error_percent(exec.core())?;
+                (run, exec.into_supply(), err)
+            }
+            SubstrateKind::Nvp(cfg) => {
+                let mut exec = IntermittentExecutor::with_supply(core, supply, Nvp::new(cfg));
+                let run = exec.run(config.wall_limit_s)?;
+                let err = prepared.error_percent(exec.core())?;
+                (run, exec.into_supply(), err)
+            }
+        };
+        supply = returned_supply;
+        processed.push(ProcessedInput {
+            index,
+            arrived_s: index as f64 * config.arrival_interval_s,
+            started_s,
+            completed_s: supply.time_s(),
+            skimmed: outcome.skimmed,
+            error_percent,
+        });
+    }
+
+    // Arrivals that never got picked up count as dropped.
+    dropped += config.num_inputs.saturating_sub(next_unprocessed);
+    Ok(StreamOutcome { processed, dropped, total_time_s: supply.time_s() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intermittent::quick_supply;
+    use wn_energy::{PowerTrace, TraceKind};
+    use wn_kernels::{Benchmark, Scale};
+
+    fn supply(seed: u64) -> EnergySupply {
+        EnergySupply::new(
+            PowerTrace::generate(TraceKind::RfBursty, seed, 120.0),
+            quick_supply(),
+        )
+    }
+
+    fn stream_config(interval: f64) -> StreamConfig {
+        StreamConfig {
+            arrival_interval_s: interval,
+            num_inputs: 6,
+            substrate: SubstrateKind::nvp(),
+            wall_limit_s: 3600.0,
+        }
+    }
+
+    #[test]
+    fn wn_processes_more_inputs_than_precise() {
+        let make = |i: usize| Benchmark::Var.instance(Scale::Quick, 500 + i as u64);
+        // Calibrate the arrival interval to ~60% of one precise run.
+        let probe = run_stream(
+            &make,
+            Technique::Precise,
+            supply(1),
+            &StreamConfig { num_inputs: 1, ..stream_config(1000.0) },
+        )
+        .unwrap();
+        let precise_time = probe.processed[0].completed_s;
+        let cfg = stream_config((precise_time * 0.6).max(0.05));
+
+        let precise = run_stream(&make, Technique::Precise, supply(2), &cfg).unwrap();
+        let wn = run_stream(&make, Benchmark::Var.technique(4), supply(2), &cfg).unwrap();
+
+        assert!(
+            wn.processed.len() > precise.processed.len(),
+            "WN {} inputs vs precise {}",
+            wn.processed.len(),
+            precise.processed.len()
+        );
+        assert!(wn.dropped < precise.dropped, "WN {} dropped vs {}", wn.dropped, precise.dropped);
+        assert!(precise.processed.iter().all(|p| p.error_percent == 0.0));
+        assert!(wn.mean_error_percent() < 15.0, "{}", wn.mean_error_percent());
+        // Fresher answers too.
+        assert!(wn.mean_latency_s() < precise.mean_latency_s());
+    }
+
+    #[test]
+    fn slow_arrivals_let_both_keep_up() {
+        let make = |i: usize| Benchmark::Var.instance(Scale::Quick, 600 + i as u64);
+        // Very slow arrivals: nothing is dropped even precisely.
+        let cfg = StreamConfig { num_inputs: 3, ..stream_config(30.0) };
+        let precise = run_stream(&make, Technique::Precise, supply(3), &cfg).unwrap();
+        assert_eq!(precise.processed.len(), 3);
+        assert_eq!(precise.dropped, 0);
+        // Completion order matches arrival order.
+        for (i, p) in precise.processed.iter().enumerate() {
+            assert_eq!(p.index, i);
+            assert!(p.completed_s >= p.arrived_s);
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Capacitor energy-store model.
+
+/// An ideal capacitor used as the device's energy store.
+///
+/// Stored energy follows `E = ½·C·V²`. The paper models a 10 µF capacitor
+/// (§IV). Harvested energy charges it toward a rail voltage `v_max`
+/// (excess harvest is shed); execution drains it.
+///
+/// ```
+/// use wn_energy::Capacitor;
+/// let mut cap = Capacitor::new(10e-6, 4.5);
+/// cap.add_energy(1e-6);
+/// assert!(cap.voltage() > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Capacitor {
+    capacitance_f: f64,
+    v_max: f64,
+    energy_j: f64,
+}
+
+impl Capacitor {
+    /// Creates a discharged capacitor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacitance_f` or `v_max` are not positive.
+    pub fn new(capacitance_f: f64, v_max: f64) -> Capacitor {
+        assert!(capacitance_f > 0.0, "capacitance must be positive");
+        assert!(v_max > 0.0, "rail voltage must be positive");
+        Capacitor { capacitance_f, v_max, energy_j: 0.0 }
+    }
+
+    /// Capacitance in farads.
+    pub fn capacitance(&self) -> f64 {
+        self.capacitance_f
+    }
+
+    /// Rail (maximum) voltage in volts.
+    pub fn v_max(&self) -> f64 {
+        self.v_max
+    }
+
+    /// Stored energy in joules.
+    pub fn energy(&self) -> f64 {
+        self.energy_j
+    }
+
+    /// Terminal voltage in volts (`V = sqrt(2E/C)`).
+    pub fn voltage(&self) -> f64 {
+        (2.0 * self.energy_j / self.capacitance_f).sqrt()
+    }
+
+    /// Energy stored at a given voltage on this capacitor.
+    pub fn energy_at(&self, volts: f64) -> f64 {
+        0.5 * self.capacitance_f * volts * volts
+    }
+
+    /// Adds harvested energy, clamping at the rail voltage.
+    pub fn add_energy(&mut self, joules: f64) {
+        debug_assert!(joules >= 0.0);
+        let max = self.energy_at(self.v_max);
+        self.energy_j = (self.energy_j + joules).min(max);
+    }
+
+    /// Drains energy for execution; clamps at zero and returns the energy
+    /// actually removed.
+    pub fn drain(&mut self, joules: f64) -> f64 {
+        debug_assert!(joules >= 0.0);
+        let removed = joules.min(self.energy_j);
+        self.energy_j -= removed;
+        removed
+    }
+
+    /// Sets the capacitor to an exact voltage (used by tests and to model
+    /// a pre-charged deployment).
+    pub fn set_voltage(&mut self, volts: f64) {
+        let volts = volts.clamp(0.0, self.v_max);
+        self.energy_j = self.energy_at(volts);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_capacitor_usable_energy() {
+        // ½·10µF·(2.4² − 1.8²) = 12.6 µJ usable between thresholds.
+        let cap = Capacitor::new(10e-6, 4.5);
+        let usable = cap.energy_at(2.4) - cap.energy_at(1.8);
+        assert!((usable - 12.6e-6).abs() < 1e-9, "usable = {usable}");
+    }
+
+    #[test]
+    fn voltage_energy_roundtrip() {
+        let mut cap = Capacitor::new(10e-6, 5.0);
+        cap.set_voltage(2.4);
+        assert!((cap.voltage() - 2.4).abs() < 1e-12);
+        assert!((cap.energy() - cap.energy_at(2.4)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn clamps_at_rail() {
+        let mut cap = Capacitor::new(1e-6, 3.0);
+        cap.add_energy(1.0); // way more than the rail allows
+        assert!((cap.voltage() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drain_clamps_at_zero() {
+        let mut cap = Capacitor::new(1e-6, 3.0);
+        cap.set_voltage(1.0);
+        let e = cap.energy();
+        let removed = cap.drain(e * 2.0);
+        assert!((removed - e).abs() < 1e-18);
+        assert_eq!(cap.energy(), 0.0);
+        assert_eq!(cap.voltage(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacitance")]
+    fn rejects_zero_capacitance() {
+        Capacitor::new(0.0, 3.0);
+    }
+
+    proptest! {
+        #[test]
+        fn add_then_drain_is_identity_below_rail(v in 0.1f64..2.0, e in 0.0f64..1e-6) {
+            let mut cap = Capacitor::new(10e-6, 4.5);
+            cap.set_voltage(v);
+            let before = cap.energy();
+            cap.add_energy(e);
+            // stays below rail for these ranges
+            prop_assert!((cap.energy() - (before + e)).abs() < 1e-15);
+            cap.drain(e);
+            prop_assert!((cap.energy() - before).abs() < 1e-15);
+        }
+
+        #[test]
+        fn voltage_monotone_in_energy(e1 in 0.0f64..1e-5, e2 in 0.0f64..1e-5) {
+            let mut a = Capacitor::new(10e-6, 100.0);
+            let mut b = Capacitor::new(10e-6, 100.0);
+            a.add_energy(e1.min(e2));
+            b.add_energy(e1.max(e2));
+            prop_assert!(a.voltage() <= b.voltage() + 1e-12);
+        }
+    }
+}

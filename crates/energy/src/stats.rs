@@ -1,0 +1,183 @@
+//! Harvesting-environment statistics.
+//!
+//! Summarizes a [`PowerTrace`] the way the intermittent-computing
+//! literature characterizes environments: mean/peak power, burst duty
+//! cycle, burst/gap length statistics, and the expected recharge time and
+//! outage rate for a given [`SupplyConfig`] — the numbers that decide
+//! whether a workload lands in the paper's "few milliseconds at a time"
+//! regime.
+
+use std::fmt;
+
+use crate::supply::SupplyConfig;
+use crate::trace::{PowerTrace, SAMPLE_HZ};
+
+/// Summary statistics of one power trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Mean power over the trace, in watts.
+    pub mean_power_w: f64,
+    /// Peak sample, in watts.
+    pub peak_power_w: f64,
+    /// Fraction of samples above the burst threshold.
+    pub duty_cycle: f64,
+    /// Threshold used to classify burst samples (watts).
+    pub burst_threshold_w: f64,
+    /// Number of bursts (maximal runs of above-threshold samples).
+    pub bursts: usize,
+    /// Mean burst length in seconds.
+    pub mean_burst_s: f64,
+    /// Mean gap (below threshold) length in seconds.
+    pub mean_gap_s: f64,
+    /// Longest gap in seconds (worst-case dark period).
+    pub max_gap_s: f64,
+}
+
+impl TraceStats {
+    /// Computes statistics with the burst threshold at 25 % of peak.
+    pub fn of(trace: &PowerTrace) -> TraceStats {
+        let n = trace.len();
+        let samples: Vec<f64> =
+            (0..n).map(|i| trace.power_at(i as f64 / SAMPLE_HZ)).collect();
+        let peak = samples.iter().cloned().fold(0.0, f64::max);
+        let threshold = 0.25 * peak;
+        let mean = samples.iter().sum::<f64>() / n as f64;
+
+        let mut bursts = 0usize;
+        let mut burst_samples = 0usize;
+        let mut gap_lengths: Vec<usize> = Vec::new();
+        let mut burst_lengths: Vec<usize> = Vec::new();
+        let mut run = 0usize;
+        let mut in_burst = samples.first().map(|&p| p >= threshold).unwrap_or(false);
+        for &p in &samples {
+            let burst = p >= threshold;
+            if burst {
+                burst_samples += 1;
+            }
+            if burst == in_burst {
+                run += 1;
+            } else {
+                if in_burst {
+                    bursts += 1;
+                    burst_lengths.push(run);
+                } else {
+                    gap_lengths.push(run);
+                }
+                in_burst = burst;
+                run = 1;
+            }
+        }
+        if in_burst {
+            bursts += 1;
+            burst_lengths.push(run);
+        } else {
+            gap_lengths.push(run);
+        }
+
+        let mean_of = |v: &[usize]| {
+            if v.is_empty() {
+                0.0
+            } else {
+                v.iter().sum::<usize>() as f64 / v.len() as f64 / SAMPLE_HZ
+            }
+        };
+        TraceStats {
+            mean_power_w: mean,
+            peak_power_w: peak,
+            duty_cycle: burst_samples as f64 / n as f64,
+            burst_threshold_w: threshold,
+            bursts,
+            mean_burst_s: mean_of(&burst_lengths),
+            mean_gap_s: mean_of(&gap_lengths),
+            max_gap_s: gap_lengths.iter().copied().max().unwrap_or(0) as f64 / SAMPLE_HZ,
+        }
+    }
+
+    /// Expected time to recharge between the brown-out and turn-on
+    /// thresholds at the trace's mean power, in seconds.
+    pub fn expected_recharge_s(&self, supply: &SupplyConfig) -> f64 {
+        if self.mean_power_w <= 0.0 {
+            return f64::INFINITY;
+        }
+        supply.usable_energy_j() / self.mean_power_w
+    }
+
+    /// Expected power outages per second of *on-time* for a device
+    /// consuming `supply.pj_per_cycle` at `supply.clock_hz` (ignoring
+    /// harvest income while on — an upper bound).
+    pub fn outage_rate_per_on_second(&self, supply: &SupplyConfig) -> f64 {
+        let on_period_s = supply.cycles_per_on_period() as f64 / supply.clock_hz;
+        1.0 / on_period_s
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "mean {:.1} µW, peak {:.1} µW, duty {:.0}% ({} bursts)",
+            1e6 * self.mean_power_w,
+            1e6 * self.peak_power_w,
+            100.0 * self.duty_cycle,
+            self.bursts
+        )?;
+        write!(
+            f,
+            "bursts {:.0} ms mean; gaps {:.0} ms mean, {:.0} ms max",
+            1e3 * self.mean_burst_s,
+            1e3 * self.mean_gap_s,
+            1e3 * self.max_gap_s
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceKind;
+
+    #[test]
+    fn constant_trace_is_one_burst() {
+        let t = PowerTrace::generate(TraceKind::Constant, 0, 2.0);
+        let s = TraceStats::of(&t);
+        assert_eq!(s.bursts, 1);
+        assert!((s.duty_cycle - 1.0).abs() < 1e-9);
+        assert!((s.mean_burst_s - 2.0).abs() < 1e-9);
+        assert_eq!(s.max_gap_s, 0.0);
+        assert!((s.mean_power_w - s.peak_power_w).abs() < 1e-12);
+    }
+
+    #[test]
+    fn periodic_trace_counts_cycles() {
+        // 50 ms on / 150 ms off → 25% duty, 5 bursts per second.
+        let t = PowerTrace::generate(TraceKind::Periodic, 0, 2.0);
+        let s = TraceStats::of(&t);
+        assert!((s.duty_cycle - 0.25).abs() < 0.01, "{}", s.duty_cycle);
+        assert_eq!(s.bursts, 10);
+        assert!((s.mean_burst_s - 0.05).abs() < 2e-3);
+        assert!((s.mean_gap_s - 0.15).abs() < 0.02);
+    }
+
+    #[test]
+    fn rf_trace_is_in_the_papers_regime() {
+        let t = PowerTrace::generate(TraceKind::RfBursty, 7, 60.0);
+        let s = TraceStats::of(&t);
+        // Bursty: duty between 20% and 80%, gaps of tens of ms.
+        assert!(s.duty_cycle > 0.2 && s.duty_cycle < 0.8, "duty {}", s.duty_cycle);
+        assert!(s.mean_gap_s > 0.01 && s.mean_gap_s < 0.2, "gap {}", s.mean_gap_s);
+        // Recharge time on the paper supply: tens to hundreds of ms —
+        // frequent outages relative to millisecond on-periods.
+        let recharge = s.expected_recharge_s(&SupplyConfig::default());
+        assert!(recharge > 0.02 && recharge < 0.5, "recharge {recharge}");
+        let on_period = 1.0 / s.outage_rate_per_on_second(&SupplyConfig::default());
+        assert!(on_period > 5e-4 && on_period < 5e-3, "on period {on_period}");
+    }
+
+    #[test]
+    fn display_renders() {
+        let t = PowerTrace::generate(TraceKind::Solar, 3, 5.0);
+        let text = TraceStats::of(&t).to_string();
+        assert!(text.contains("µW"));
+        assert!(text.contains("bursts"));
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests on power traces: CSV round-trips, energy accounting
+//! identities, and generator invariants that the intermittent executor
+//! silently relies on.
+
+use proptest::prelude::*;
+
+use wn_energy::{PowerTrace, TraceKind, TraceStats};
+
+fn any_kind() -> impl Strategy<Value = TraceKind> {
+    prop_oneof![
+        Just(TraceKind::RfBursty),
+        Just(TraceKind::Solar),
+        Just(TraceKind::Periodic),
+        Just(TraceKind::Constant),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CSV export → import preserves every sample.
+    #[test]
+    fn csv_roundtrip_is_lossless(
+        samples in proptest::collection::vec(0.0f32..1.0, 1..256),
+    ) {
+        let trace = PowerTrace::from_samples(samples.clone());
+        let back = PowerTrace::from_csv(&trace.to_csv()).unwrap();
+        prop_assert_eq!(back.len(), samples.len());
+        for (i, &s) in samples.iter().enumerate() {
+            prop_assert_eq!(back.power_at(i as f64 / 1000.0), s as f64);
+        }
+    }
+
+    /// Energy is additive: E(t0, a+b) = E(t0, a) + E(t0+a, b).
+    #[test]
+    fn energy_between_is_additive(
+        kind in any_kind(),
+        seed in 0u64..1000,
+        t0 in 0.0f64..5.0,
+        a in 0.0f64..3.0,
+        b in 0.0f64..3.0,
+    ) {
+        let trace = PowerTrace::generate(kind, seed, 12.0);
+        let whole = trace.energy_between(t0, a + b);
+        let split = trace.energy_between(t0, a) + trace.energy_between(t0 + a, b);
+        prop_assert!((whole - split).abs() <= 1e-9 + 1e-6 * whole.abs(),
+            "E({t0},{}) = {whole} vs split {split}", a + b);
+    }
+
+    /// Energy over any window is bounded by peak power × duration and is
+    /// never negative.
+    #[test]
+    fn energy_is_bounded_by_peak(
+        kind in any_kind(),
+        seed in 0u64..1000,
+        t0 in 0.0f64..8.0,
+        dt in 0.0f64..4.0,
+    ) {
+        let trace = PowerTrace::generate(kind, seed, 12.0);
+        let stats = TraceStats::of(&trace);
+        let e = trace.energy_between(t0, dt);
+        prop_assert!(e >= 0.0);
+        prop_assert!(e <= stats.peak_power_w * dt * (1.0 + 1e-9) + 1e-12);
+    }
+
+    /// Generation is deterministic in (kind, seed) and different seeds
+    /// give different RF traces.
+    #[test]
+    fn generation_is_seeded(kind in any_kind(), seed in 0u64..1000) {
+        let a = PowerTrace::generate(kind, seed, 4.0);
+        let b = PowerTrace::generate(kind, seed, 4.0);
+        prop_assert_eq!(a.to_csv(), b.to_csv());
+    }
+
+    /// `power_at` past the end wraps periodically rather than dying, so
+    /// long computations never run the environment dry.
+    #[test]
+    fn power_wraps_after_the_end(seed in 0u64..100, t in 0.0f64..20.0) {
+        let trace = PowerTrace::generate(TraceKind::RfBursty, seed, 5.0);
+        let wrapped = trace.power_at(t % trace.duration_s());
+        prop_assert_eq!(trace.power_at(t), wrapped);
+    }
+}
+
+#[test]
+fn csv_accepts_headers_comments_and_two_columns() {
+    let text = "# scope export\ntime_ms,power_w\n0,0.001\n1,0.002\n\n2,0.0\n";
+    let trace = PowerTrace::from_csv(text).unwrap();
+    assert_eq!(trace.len(), 3);
+    assert_eq!(trace.power_at(0.001), 0.002f32 as f64);
+}
+
+#[test]
+fn csv_rejects_negative_power_and_garbage() {
+    assert!(PowerTrace::from_csv("0,-1.0\n").is_err());
+    assert!(PowerTrace::from_csv("").is_err());
+    assert!(PowerTrace::from_csv("# only comments\n").is_err());
+    assert!(PowerTrace::from_csv("0.1\nbogus\n").is_err());
+}

@@ -1,0 +1,311 @@
+//! # wn-hwmodel — analytical area, timing and power models (paper §V-D)
+//!
+//! The paper synthesizes its modified adder with Synopsys DC at TSMC 65 nm
+//! and reports four headline numbers:
+//!
+//! * adder **Fmax = 1.12 GHz** — orders of magnitude above the 24 MHz
+//!   core clock, so the carry-chain muxes cost no performance,
+//! * **+0.02 %** core area for the SWV muxes,
+//! * **+4 %** adder power,
+//! * the 16-entry memo table occupies **40.5 %** of a 16×16 multiplier
+//!   (CACTI).
+//!
+//! Without the proprietary tool flow we provide a transparent gate-level
+//! analytical model: unit areas/delays/energies for a generic 65 nm
+//! standard-cell library ([`GateLibrary`]), structural models of the
+//! ripple-carry SWV adder ([`SwvAdderModel`]), the iterative multiplier
+//! and the memo table ([`MemoTableModel`]), and a report
+//! ([`AreaPowerReport`]) producing the same four quantities. The library
+//! constants are calibrated so the defaults land near the paper's numbers
+//! — the *model structure* (what scales with what) is the contribution,
+//! and every constant is documented and overridable.
+
+use std::fmt;
+
+/// Unit characteristics of a generic 65 nm standard-cell library.
+///
+/// One *gate equivalent* (GE) is the area of a 2-input NAND.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateLibrary {
+    /// Area of one gate equivalent in µm² (65 nm: ≈1.44 µm²).
+    pub ge_um2: f64,
+    /// Full-adder cell: area in GE.
+    pub full_adder_ge: f64,
+    /// Full-adder carry path delay in ps.
+    pub full_adder_delay_ps: f64,
+    /// 2:1 mux: area in GE.
+    pub mux2_ge: f64,
+    /// 2:1 mux delay in ps.
+    pub mux2_delay_ps: f64,
+    /// Switching energy per GE per toggle, in femtojoules.
+    pub fj_per_ge_toggle: f64,
+    /// SRAM bit-cell area in GE (6T cell ≈ 0.6 GE of logic area with
+    /// array efficiency folded in).
+    pub sram_bit_ge: f64,
+}
+
+impl Default for GateLibrary {
+    fn default() -> GateLibrary {
+        GateLibrary {
+            ge_um2: 1.44,
+            full_adder_ge: 4.5,
+            full_adder_delay_ps: 24.0,
+            mux2_ge: 2.2,
+            mux2_delay_ps: 18.0,
+            fj_per_ge_toggle: 0.8,
+            sram_bit_ge: 0.6,
+        }
+    }
+}
+
+/// Structural model of the 32-bit ripple adder with SWV carry-chain muxes
+/// (paper Fig. 8: one mux after every four full adders — 7 muxes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwvAdderModel {
+    /// The cell library.
+    pub lib: GateLibrary,
+    /// Adder width in bits.
+    pub width: u32,
+    /// Full adders between mux insertion points (4 in the paper).
+    pub mux_spacing: u32,
+    /// Fraction of cycles in which a mux output toggles, relative to the
+    /// adder's own switching activity. Muxes sit on the carry chain and
+    /// only a fraction of carries cross lane boundaries each cycle.
+    pub mux_activity: f64,
+    /// Area of the whole Cortex-M0+-class core in GE (core + NVM
+    /// controller + peripherals), the denominator of the paper's 0.02 %.
+    pub core_ge: f64,
+}
+
+impl Default for SwvAdderModel {
+    fn default() -> SwvAdderModel {
+        SwvAdderModel {
+            lib: GateLibrary::default(),
+            width: 32,
+            mux_spacing: 4,
+            mux_activity: 0.33,
+            core_ge: 80_000.0,
+        }
+    }
+}
+
+impl SwvAdderModel {
+    /// Number of carry-chain muxes (7 for a 32-bit adder with spacing 4).
+    pub fn mux_count(&self) -> u32 {
+        self.width / self.mux_spacing - 1
+    }
+
+    /// Worst-case carry-path delay in picoseconds (full ripple through
+    /// every adder and mux).
+    pub fn critical_path_ps(&self) -> f64 {
+        self.width as f64 * self.lib.full_adder_delay_ps
+            + self.mux_count() as f64 * self.lib.mux2_delay_ps
+    }
+
+    /// Maximum operating frequency in GHz.
+    pub fn fmax_ghz(&self) -> f64 {
+        1000.0 / self.critical_path_ps()
+    }
+
+    /// Base adder area in GE (without muxes).
+    pub fn adder_ge(&self) -> f64 {
+        self.width as f64 * self.lib.full_adder_ge
+    }
+
+    /// Mux area in GE.
+    pub fn mux_ge(&self) -> f64 {
+        self.mux_count() as f64 * self.lib.mux2_ge
+    }
+
+    /// Area overhead of the muxes relative to the whole core, in percent
+    /// (the paper's 0.02 %).
+    pub fn core_area_overhead_percent(&self) -> f64 {
+        100.0 * self.mux_ge() / self.core_ge
+    }
+
+    /// Power overhead of the muxes relative to the unmodified adder, in
+    /// percent (the paper's 4 %): area ratio weighted by mux switching
+    /// activity.
+    pub fn adder_power_overhead_percent(&self) -> f64 {
+        100.0 * (self.mux_ge() * self.mux_activity) / self.adder_ge()
+    }
+
+    /// Dynamic energy per 32-bit addition in femtojoules (adder + active
+    /// muxes; activity factor 0.5 on the adder cells).
+    pub fn energy_per_add_fj(&self) -> f64 {
+        let adder = self.adder_ge() * 0.5;
+        let mux = self.mux_ge() * self.mux_activity;
+        (adder + mux) * self.lib.fj_per_ge_toggle
+    }
+}
+
+/// Structural model of the iterative multiplier and its memoization table
+/// (§V-E: the 16-entry table occupies 40.5 % of a 16×16 multiplier).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoTableModel {
+    /// The cell library.
+    pub lib: GateLibrary,
+    /// Table entries (16 in the paper).
+    pub entries: u32,
+    /// Tag bits per entry (paper: concatenated upper operand bits — 28
+    /// for the 16-bit case).
+    pub tag_bits: u32,
+    /// Data bits per entry (the 32-bit product).
+    pub data_bits: u32,
+    /// Comparator + decoder logic per entry, in GE.
+    pub control_ge_per_entry: f64,
+}
+
+impl Default for MemoTableModel {
+    fn default() -> MemoTableModel {
+        MemoTableModel {
+            lib: GateLibrary::default(),
+            entries: 16,
+            tag_bits: 28,
+            data_bits: 32,
+            control_ge_per_entry: 12.0,
+        }
+    }
+}
+
+impl MemoTableModel {
+    /// Table area in GE (storage + per-entry control).
+    pub fn area_ge(&self) -> f64 {
+        let bits = self.entries as f64 * (self.tag_bits + self.data_bits) as f64;
+        bits * self.lib.sram_bit_ge + self.entries as f64 * self.control_ge_per_entry
+    }
+
+    /// Area of a combinational 16×16 array multiplier in GE — the
+    /// reference the paper sizes the table against (a 16×16 array has
+    /// 256 partial-product AND gates and ≈240 full adders, plus wiring
+    /// overhead).
+    pub fn multiplier_ge(&self) -> f64 {
+        let ands = 256.0 * 1.5;
+        let adders = 240.0 * self.lib.full_adder_ge;
+        1.3 * (ands + adders)
+    }
+
+    /// Table area as a fraction of the multiplier, in percent (the
+    /// paper's 40.5 %).
+    pub fn area_vs_multiplier_percent(&self) -> f64 {
+        100.0 * self.area_ge() / self.multiplier_ge()
+    }
+}
+
+/// The §V-D report: every quantity the paper states, with the paper's
+/// value alongside for the experiment log.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaPowerReport {
+    /// Modeled adder Fmax in GHz (paper: 1.12 GHz).
+    pub fmax_ghz: f64,
+    /// Mux area overhead vs the core in percent (paper: 0.02 %).
+    pub core_area_overhead_percent: f64,
+    /// Mux power overhead vs the adder in percent (paper: 4 %).
+    pub adder_power_overhead_percent: f64,
+    /// Memo table area vs a 16×16 multiplier in percent (paper: 40.5 %).
+    pub memo_vs_multiplier_percent: f64,
+}
+
+impl AreaPowerReport {
+    /// Builds the report from the default models.
+    pub fn from_defaults() -> AreaPowerReport {
+        AreaPowerReport::build(&SwvAdderModel::default(), &MemoTableModel::default())
+    }
+
+    /// Builds the report from explicit models.
+    pub fn build(adder: &SwvAdderModel, memo: &MemoTableModel) -> AreaPowerReport {
+        AreaPowerReport {
+            fmax_ghz: adder.fmax_ghz(),
+            core_area_overhead_percent: adder.core_area_overhead_percent(),
+            adder_power_overhead_percent: adder.adder_power_overhead_percent(),
+            memo_vs_multiplier_percent: memo.area_vs_multiplier_percent(),
+        }
+    }
+
+    /// The paper's reported values, for side-by-side comparison.
+    pub fn paper_values() -> AreaPowerReport {
+        AreaPowerReport {
+            fmax_ghz: 1.12,
+            core_area_overhead_percent: 0.02,
+            adder_power_overhead_percent: 4.0,
+            memo_vs_multiplier_percent: 40.5,
+        }
+    }
+}
+
+impl fmt::Display for AreaPowerReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "adder Fmax:                {:>7.2} GHz", self.fmax_ghz)?;
+        writeln!(f, "mux area vs core:          {:>7.3} %", self.core_area_overhead_percent)?;
+        writeln!(f, "mux power vs adder:        {:>7.2} %", self.adder_power_overhead_percent)?;
+        writeln!(f, "memo table vs multiplier:  {:>7.1} %", self.memo_vs_multiplier_percent)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mux_count_matches_fig8() {
+        let m = SwvAdderModel::default();
+        assert_eq!(m.mux_count(), 7, "Fig. 8: a total of 7 muxes");
+    }
+
+    #[test]
+    fn fmax_far_above_core_clock() {
+        let m = SwvAdderModel::default();
+        let fmax = m.fmax_ghz();
+        // Within a factor ~1.3 of the paper's 1.12 GHz and vastly above
+        // 24 MHz.
+        assert!(fmax > 0.8 && fmax < 1.5, "fmax = {fmax}");
+        assert!(fmax * 1000.0 > 24.0 * 10.0);
+    }
+
+    #[test]
+    fn area_overhead_matches_magnitude() {
+        let m = SwvAdderModel::default();
+        let pct = m.core_area_overhead_percent();
+        assert!(pct > 0.005 && pct < 0.08, "area overhead = {pct}%");
+    }
+
+    #[test]
+    fn power_overhead_near_four_percent() {
+        let m = SwvAdderModel::default();
+        let pct = m.adder_power_overhead_percent();
+        assert!(pct > 2.0 && pct < 6.0, "power overhead = {pct}%");
+    }
+
+    #[test]
+    fn memo_table_near_forty_percent_of_multiplier() {
+        let m = MemoTableModel::default();
+        let pct = m.area_vs_multiplier_percent();
+        assert!(pct > 30.0 && pct < 55.0, "memo area = {pct}%");
+    }
+
+    #[test]
+    fn memo_area_scales_with_entries() {
+        let small = MemoTableModel { entries: 16, ..MemoTableModel::default() };
+        let big = MemoTableModel { entries: 64, ..MemoTableModel::default() };
+        assert!(big.area_ge() > 3.0 * small.area_ge());
+    }
+
+    #[test]
+    fn report_builds_and_displays() {
+        let r = AreaPowerReport::from_defaults();
+        let text = r.to_string();
+        assert!(text.contains("Fmax"));
+        let p = AreaPowerReport::paper_values();
+        assert!((p.fmax_ghz - 1.12).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wider_spacing_fewer_muxes_faster() {
+        let fine = SwvAdderModel { mux_spacing: 4, ..SwvAdderModel::default() };
+        let coarse = SwvAdderModel { mux_spacing: 8, ..SwvAdderModel::default() };
+        assert!(coarse.mux_count() < fine.mux_count());
+        assert!(coarse.fmax_ghz() > fine.fmax_ghz());
+        assert!(coarse.energy_per_add_fj() < fine.energy_per_add_fj());
+    }
+}

@@ -1,0 +1,376 @@
+//! The intermittent executor: interleaves execution with harvested power
+//! and implements the skim-point restore path.
+
+use std::fmt;
+
+use wn_energy::{EnergySupply, PowerStatus, PowerTrace, SupplyConfig, SupplyError};
+use wn_sim::{Core, SimError};
+
+use crate::substrate::{Substrate, SubstrateStats};
+
+/// Outcome of one intermittent run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntermittentRun {
+    /// The program reached `HALT` (naturally or by skim jump).
+    pub completed: bool,
+    /// Completion happened via a skim jump after an outage: the output is
+    /// the approximate result as-is (§III-C).
+    pub skimmed: bool,
+    /// Total simulated wall-clock time, including dark recharge periods.
+    pub total_time_s: f64,
+    /// Time spent powered on and executing.
+    pub on_time_s: f64,
+    /// Cycles executed (including re-execution and substrate overhead).
+    pub active_cycles: u64,
+    /// Power outages endured.
+    pub outages: u64,
+    /// Substrate counters at the end of the run.
+    pub substrate: SubstrateStats,
+}
+
+/// Errors from an intermittent run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// The harvester never delivered enough energy.
+    Supply(SupplyError),
+    /// The simulated core faulted.
+    Sim(SimError),
+    /// The wall-clock budget expired before completion.
+    WallClock { limit_s: f64 },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Supply(e) => write!(f, "energy supply error: {e}"),
+            ExecError::Sim(e) => write!(f, "simulation error: {e}"),
+            ExecError::WallClock { limit_s } => {
+                write!(f, "run did not complete within {limit_s} simulated seconds")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Supply(e) => Some(e),
+            ExecError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SupplyError> for ExecError {
+    fn from(e: SupplyError) -> ExecError {
+        ExecError::Supply(e)
+    }
+}
+
+impl From<SimError> for ExecError {
+    fn from(e: SimError) -> ExecError {
+        ExecError::Sim(e)
+    }
+}
+
+/// Drives a [`Core`] through power outages on a [`Substrate`].
+///
+/// The executor owns the **skim-point restore logic** (paper §III-C): on
+/// every restore after an outage it first consults the core's non-volatile
+/// SKM register. If a skim point was recorded, the PC is redirected to the
+/// skim target — the remaining refinement is skipped and the current
+/// approximate output is committed by running (from the skim target) to
+/// `HALT`. The register is cleared so the next input starts fresh.
+#[derive(Debug)]
+pub struct IntermittentExecutor<S: Substrate> {
+    core: Core,
+    supply: EnergySupply,
+    substrate: S,
+    skim_enabled: bool,
+}
+
+impl<S: Substrate> IntermittentExecutor<S> {
+    /// Creates an executor over a fresh supply built from `trace`.
+    pub fn new(core: Core, trace: PowerTrace, supply_config: SupplyConfig, substrate: S) -> Self {
+        IntermittentExecutor::with_supply(core, EnergySupply::new(trace, supply_config), substrate)
+    }
+
+    /// Creates an executor over an existing supply — used by the stream
+    /// harness, where one energy environment persists across many input
+    /// invocations (paper Fig. 1).
+    pub fn with_supply(core: Core, supply: EnergySupply, substrate: S) -> Self {
+        IntermittentExecutor { core, supply, substrate, skim_enabled: true }
+    }
+
+    /// Consumes the executor and returns its supply (time and capacitor
+    /// state carry over to the next input).
+    pub fn into_supply(self) -> EnergySupply {
+        self.supply
+    }
+
+    /// Disables the skim-point restore path (the precise baseline never
+    /// sets the SKM register, but this also allows ablating skim points
+    /// on WN binaries).
+    pub fn set_skim_enabled(&mut self, enabled: bool) {
+        self.skim_enabled = enabled;
+    }
+
+    /// The core (e.g. to inject inputs before running or decode outputs
+    /// after).
+    pub fn core(&self) -> &Core {
+        &self.core
+    }
+
+    /// Mutable access to the core.
+    pub fn core_mut(&mut self) -> &mut Core {
+        &mut self.core
+    }
+
+    /// The energy supply.
+    pub fn supply(&self) -> &EnergySupply {
+        &self.supply
+    }
+
+    /// The substrate.
+    pub fn substrate(&self) -> &S {
+        &self.substrate
+    }
+
+    /// Runs until the program halts or `limit_s` of simulated wall-clock
+    /// time passes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::WallClock`] on timeout, or a wrapped supply /
+    /// simulator error.
+    pub fn run(&mut self, limit_s: f64) -> Result<IntermittentRun, ExecError> {
+        let mut active_cycles = 0u64;
+        let mut skimmed = false;
+        let mut had_outage = false;
+        // Report per-run deltas even when the supply is shared across
+        // inputs (the stream harness reuses one energy environment).
+        let outages0 = self.supply.outage_count();
+        let time0 = self.supply.time_s();
+        let on_time0 = self.supply.on_time_s();
+
+        'power_cycles: loop {
+            if self.supply.time_s() > limit_s {
+                return Err(ExecError::WallClock { limit_s });
+            }
+            self.supply.wait_for_power()?;
+
+            // Restore path.
+            let restore_cost = self.substrate.on_restore(&mut self.core);
+            if self.consume(restore_cost, &mut active_cycles)? == PowerStatus::Outage {
+                self.substrate.on_outage(&mut self.core);
+                had_outage = true;
+                continue 'power_cycles;
+            }
+            // Skim check (§III-C): only meaningful after an outage — on
+            // first boot the register is clear anyway. The register is
+            // cleared as part of acting on it; if a second outage hits
+            // before the post-skim commit reaches HALT, the device simply
+            // resumes refinement from its checkpoint — a lost skim is a
+            // missed shortcut, never a wrong result.
+            if self.skim_enabled && had_outage {
+                if let Some(target) = self.core.cpu.skm {
+                    self.core.cpu.pc = target;
+                    self.core.cpu.skm = None;
+                    skimmed = true;
+                }
+            }
+
+            // Execute until outage or completion. The wall-clock guard
+            // runs here too: a program that never halts and never browns
+            // out (a strong harvesting environment) must still return.
+            let mut since_check = 0u64;
+            loop {
+                if self.core.is_halted() {
+                    break 'power_cycles;
+                }
+                since_check += 1;
+                if since_check >= 65_536 {
+                    since_check = 0;
+                    if self.supply.time_s() > limit_s {
+                        return Err(ExecError::WallClock { limit_s });
+                    }
+                }
+                let info = self.core.step()?;
+                let overhead = self.substrate.after_step(&mut self.core, &info);
+                if self.consume(info.cycles + overhead, &mut active_cycles)? == PowerStatus::Outage
+                {
+                    // Even when the outage coincides with the HALT step,
+                    // the substrate decides what survives: on Clank the
+                    // uncommitted write-back buffer is lost and the tail
+                    // re-executes from the last checkpoint after restore
+                    // (HALT keeps its PC, so the restored run halts
+                    // again); on NVP everything is already durable.
+                    self.substrate.on_outage(&mut self.core);
+                    had_outage = true;
+                    continue 'power_cycles;
+                }
+            }
+        }
+
+        Ok(IntermittentRun {
+            completed: true,
+            skimmed,
+            total_time_s: self.supply.time_s() - time0,
+            on_time_s: self.supply.on_time_s() - on_time0,
+            active_cycles,
+            outages: self.supply.outage_count() - outages0,
+            substrate: self.substrate.stats(),
+        })
+    }
+
+    fn consume(&mut self, cycles: u64, active: &mut u64) -> Result<PowerStatus, ExecError> {
+        *active += cycles;
+        Ok(self.supply.consume_cycles(cycles)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clank::{Clank, ClankConfig};
+    use crate::nvp::Nvp;
+    use wn_energy::TraceKind;
+    use wn_isa::asm::assemble;
+    use wn_sim::CoreConfig;
+
+    fn supply_config() -> SupplyConfig {
+        SupplyConfig::default()
+    }
+
+    fn rf_trace(seed: u64) -> PowerTrace {
+        PowerTrace::generate(TraceKind::RfBursty, seed, 120.0)
+    }
+
+    /// A program long enough to span several power cycles: sums 0..N via a
+    /// memory-resident accumulator (the LDR/ADD/STR pattern makes every
+    /// iteration a WAR violation, exercising Clank's store checkpoints).
+    fn long_program(n: u32) -> wn_isa::Program {
+        let src = format!(
+            ".data\nout: .space 8\n.text\nMOV r0, =out\nMOV r2, #0\nloop:\nLDR r1, [r0, #0]\nADD r1, r1, r2\nSTR r1, [r0, #0]\nADD r2, r2, #1\nCMP r2, #{n}\nBLT loop\nHALT"
+        );
+        assemble(&src).unwrap()
+    }
+
+    #[test]
+    fn clank_completes_across_outages() {
+        let core = Core::new(&long_program(200_000), CoreConfig::default()).unwrap();
+        let mut exec =
+            IntermittentExecutor::new(core, rf_trace(3), supply_config(), Clank::default());
+        let run = exec.run(3600.0).unwrap();
+        assert!(run.completed);
+        assert!(!run.skimmed, "no SKM instructions in this program");
+        assert!(run.outages > 0, "program must span multiple power cycles");
+        assert!(run.total_time_s > run.on_time_s);
+        // Result is exact despite rollback/reexecution: sum 0..200000.
+        let expect = (0..200_000u64).sum::<u64>() as u32;
+        assert_eq!(exec.core().mem.load_u32(0).unwrap(), expect);
+    }
+
+    #[test]
+    fn nvp_completes_with_fewer_active_cycles_than_clank() {
+        let program = long_program(150_000);
+        let mk = |sub: bool| -> IntermittentRun {
+            let core = Core::new(&program, CoreConfig::default()).unwrap();
+            if sub {
+                IntermittentExecutor::new(core, rf_trace(4), supply_config(), Clank::default())
+                    .run(3600.0)
+                    .unwrap()
+            } else {
+                IntermittentExecutor::new(core, rf_trace(4), supply_config(), Nvp::default())
+                    .run(3600.0)
+                    .unwrap()
+            }
+        };
+        let clank = mk(true);
+        let nvp = mk(false);
+        assert!(clank.outages > 0 && nvp.outages > 0);
+        assert!(
+            nvp.active_cycles < clank.active_cycles,
+            "NVP avoids re-execution: {} vs {}",
+            nvp.active_cycles,
+            clank.active_cycles
+        );
+    }
+
+    #[test]
+    fn skim_point_commits_approximate_result_on_outage() {
+        // Program: write 1 (the "approximate output"), set a skim point,
+        // then spin forever "refining". Under intermittent power it can
+        // only finish by skimming.
+        let src = ".data\nout: .space 4\n.text\nMOV r0, =out\nMOV r1, #1\nSTR r1, [r0, #0]\nSKM end\nspin:\nADD r2, r2, #1\nSTR r2, [r0, #0]\nLDR r3, [r0, #0]\nB spin\nend:\nHALT";
+        let core = Core::new(&assemble(src).unwrap(), CoreConfig::default()).unwrap();
+        let mut exec = IntermittentExecutor::new(
+            core,
+            rf_trace(5),
+            supply_config(),
+            Nvp::default(),
+        );
+        let run = exec.run(3600.0).unwrap();
+        assert!(run.completed);
+        assert!(run.skimmed, "completion must come from the skim path");
+        assert_eq!(run.outages, 1, "finishes at the first outage");
+    }
+
+    #[test]
+    fn wall_clock_limit_fires_without_outages() {
+        // A strong constant supply never browns out; the limit must
+        // still stop a non-terminating program.
+        let src = "spin:\nADD r0, r0, #1\nB spin";
+        let core = Core::new(&assemble(src).unwrap(), CoreConfig::default()).unwrap();
+        let strong = PowerTrace::generate(TraceKind::Constant, 0, 10.0);
+        let cfg = SupplyConfig { pj_per_cycle: 0.0, ..SupplyConfig::default() };
+        let mut exec = IntermittentExecutor::new(core, strong, cfg, Nvp::default());
+        assert!(matches!(exec.run(0.5), Err(ExecError::WallClock { .. })));
+    }
+
+    #[test]
+    fn skim_disabled_times_out_on_nonterminating_refinement() {
+        let src = "SKM end\nspin:\nADD r2, r2, #1\nB spin\nend:\nHALT";
+        let core = Core::new(&assemble(src).unwrap(), CoreConfig::default()).unwrap();
+        let mut exec =
+            IntermittentExecutor::new(core, rf_trace(6), supply_config(), Nvp::default());
+        exec.set_skim_enabled(false);
+        assert!(matches!(exec.run(2.0), Err(ExecError::WallClock { .. })));
+    }
+
+    #[test]
+    fn skim_register_cleared_after_use() {
+        let src = ".data\nout: .space 4\n.text\nSKM end\nspin:\nADD r2, r2, #1\nB spin\nend:\nHALT";
+        let core = Core::new(&assemble(src).unwrap(), CoreConfig::default()).unwrap();
+        let mut exec =
+            IntermittentExecutor::new(core, rf_trace(7), supply_config(), Nvp::default());
+        let run = exec.run(3600.0).unwrap();
+        assert!(run.skimmed);
+        assert_eq!(exec.core().cpu.skm, None, "one-shot skim register");
+    }
+
+    #[test]
+    fn watchdogless_clank_still_converges_via_store_checkpoints() {
+        // With a huge watchdog, checkpoints come only from WAR violations
+        // (the STR/LDR pattern of the loop) — progress must still happen.
+        let core = Core::new(&long_program(50_000), CoreConfig::default()).unwrap();
+        let clank = Clank::new(ClankConfig {
+            watchdog_cycles: u64::MAX,
+            ..ClankConfig::default()
+        });
+        let mut exec = IntermittentExecutor::new(core, rf_trace(8), supply_config(), clank);
+        let run = exec.run(3600.0).unwrap();
+        assert!(run.completed);
+        assert!(run.substrate.violation_checkpoints > 0);
+    }
+
+    #[test]
+    fn precise_and_wn_track_time_budgets() {
+        let core = Core::new(&long_program(10_000), CoreConfig::default()).unwrap();
+        let mut exec =
+            IntermittentExecutor::new(core, rf_trace(9), supply_config(), Nvp::default());
+        let run = exec.run(3600.0).unwrap();
+        assert!(run.on_time_s > 0.0);
+        assert!(run.active_cycles > 10_000);
+    }
+}

@@ -1,0 +1,49 @@
+//! The substrate abstraction: how a processor survives power outages.
+
+use wn_sim::{Core, StepInfo};
+
+/// Counters shared by every substrate implementation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SubstrateStats {
+    /// Checkpoints taken (violation-, capacity- or watchdog-triggered).
+    pub checkpoints: u64,
+    /// Checkpoints caused by idempotency (WAR) violations.
+    pub violation_checkpoints: u64,
+    /// Checkpoints caused by a full write-back buffer.
+    pub capacity_checkpoints: u64,
+    /// Checkpoints caused by the watchdog timer.
+    pub watchdog_checkpoints: u64,
+    /// Cycles spent taking checkpoints and restoring.
+    pub overhead_cycles: u64,
+    /// Cycles of work discarded by outages (to be re-executed).
+    pub lost_cycles: u64,
+}
+
+/// A checkpointing/persistence policy for an intermittently powered core.
+///
+/// The [`crate::executor::IntermittentExecutor`] drives the substrate:
+/// after every instruction it calls [`Substrate::after_step`] (which may
+/// take a checkpoint and charge overhead cycles); at a power outage it
+/// calls [`Substrate::on_outage`] (which must put `core` into its
+/// post-outage state — e.g. discard volatile state, roll back
+/// uncommitted memory); when power returns it calls
+/// [`Substrate::on_restore`] (which rebuilds processor state and returns
+/// the restore cost in cycles).
+pub trait Substrate {
+    /// Called after each retired instruction with what it did. Returns
+    /// extra cycles charged to the supply (e.g. a checkpoint).
+    fn after_step(&mut self, core: &mut Core, info: &StepInfo) -> u64;
+
+    /// Power was lost *after* the last completed instruction.
+    fn on_outage(&mut self, core: &mut Core);
+
+    /// Power is back; rebuild processor state. Returns the restore cost
+    /// in cycles.
+    fn on_restore(&mut self, core: &mut Core) -> u64;
+
+    /// Shared counters.
+    fn stats(&self) -> SubstrateStats;
+
+    /// Short human-readable name ("clank", "nvp").
+    fn name(&self) -> &'static str;
+}

@@ -1,0 +1,769 @@
+//! A two-pass text assembler for WN-RISC.
+//!
+//! The syntax mirrors the listings in the paper (ARM-flavoured):
+//!
+//! ```text
+//! ; comment        (also `@ comment` and `// comment`)
+//! .data
+//! X:    .space 256          ; 256 zero bytes
+//! F:    .half  3, 5, 3      ; 16-bit values
+//! K:    .word  -7, 1024     ; 32-bit values
+//! .text
+//! main:
+//! LOOP_MSb:
+//!     LDR      r3, [r0, #0]
+//!     LDRB     r5, [r2, #1]
+//!     MUL_ASP8 r4, r4, r5, #1
+//!     ADD      r3, r3, r4
+//!     STR      r3, [r0, #0]
+//!     BNE      LOOP_MSb
+//!     SKM      END
+//! END:
+//!     HALT
+//! ```
+//!
+//! `MOV rd, =label` loads the byte address of a data label. Branch targets
+//! are code labels. Instruction mnemonics are case-insensitive; labels are
+//! case-sensitive.
+
+use std::fmt;
+
+use crate::cond::Cond;
+use crate::instr::{Instr, LaneWidth};
+use crate::program::{BuildError, DataItem, Program, ProgramBuilder};
+use crate::reg::Reg;
+
+/// Error produced while assembling, annotated with a 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line of the offending text (0 when not line-specific).
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl AsmError {
+    fn new(line: usize, message: impl Into<String>) -> AsmError {
+        AsmError { line, message: message.into() }
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "assembly error: {}", self.message)
+        } else {
+            write!(f, "assembly error at line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+impl From<BuildError> for AsmError {
+    fn from(e: BuildError) -> AsmError {
+        AsmError::new(0, e.to_string())
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    Text,
+    Data,
+}
+
+/// Assembles WN-RISC source text into a [`Program`].
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] describing the first syntax error, unknown
+/// mnemonic, malformed operand, duplicate label or unresolved reference.
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    let mut builder = ProgramBuilder::new();
+
+    // Pass 1: lay out the data segment so `=label` immediates resolve even
+    // when .data comes after .text.
+    let mut section = Section::Text;
+    let mut pending_label: Option<(usize, String)> = None;
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(dir) = line.strip_prefix('.') {
+            let word = dir.split_whitespace().next().unwrap_or("");
+            match word {
+                "data" => section = Section::Data,
+                "text" => section = Section::Text,
+                _ if section == Section::Data => {
+                    let label = pending_label.take().map(|(_, l)| l);
+                    parse_data_directive(&mut builder, line_no, line, label)?;
+                }
+                _ => {}
+            }
+            continue;
+        }
+        if section != Section::Data {
+            continue;
+        }
+        if let Some((label, rest)) = split_label(line) {
+            if builder.data_symbol(label).is_some() {
+                return Err(AsmError::new(line_no, format!("duplicate data label `{label}`")));
+            }
+            let rest = rest.trim();
+            if rest.is_empty() {
+                if let Some((first_line, first)) = &pending_label {
+                    return Err(AsmError::new(
+                        *first_line,
+                        format!("data label `{first}` has no directive (before `{label}`)"),
+                    ));
+                }
+                pending_label = Some((line_no, label.to_string()));
+            } else if rest.starts_with('.') {
+                parse_data_directive(&mut builder, line_no, rest, Some(label.to_string()))?;
+            } else {
+                return Err(AsmError::new(
+                    line_no,
+                    "only data directives are allowed in .data sections",
+                ));
+            }
+        } else if line.starts_with('.') {
+            let label = pending_label.take().map(|(_, l)| l);
+            parse_data_directive(&mut builder, line_no, line, label)?;
+        } else {
+            return Err(AsmError::new(line_no, "expected a label or directive in .data"));
+        }
+    }
+    if let Some((line_no, label)) = pending_label {
+        return Err(AsmError::new(line_no, format!("data label `{label}` has no directive")));
+    }
+
+    // Pass 2: assemble the text sections.
+    let mut section = Section::Text;
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let mut line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(dir) = line.strip_prefix('.') {
+            let word = dir.split_whitespace().next().unwrap_or("");
+            match word {
+                "data" => section = Section::Data,
+                "text" => section = Section::Text,
+                _ => {}
+            }
+            continue;
+        }
+        if section != Section::Text {
+            continue;
+        }
+        while let Some((label, rest)) = split_label(line) {
+            if builder.is_bound(label) {
+                return Err(AsmError::new(line_no, format!("duplicate code label `{label}`")));
+            }
+            builder.bind_label(label);
+            line = rest.trim();
+            if line.is_empty() {
+                break;
+            }
+        }
+        if line.is_empty() {
+            continue;
+        }
+        let instr = parse_instruction(&mut builder, line_no, line)?;
+        builder.push(instr);
+    }
+
+    Ok(builder.finish()?)
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut end = line.len();
+    for (i, c) in line.char_indices() {
+        if c == ';' || c == '@' {
+            end = i;
+            break;
+        }
+        if c == '/' && line[i..].starts_with("//") {
+            end = i;
+            break;
+        }
+    }
+    &line[..end]
+}
+
+/// Splits a leading `label:` prefix off a line, if present.
+fn split_label(line: &str) -> Option<(&str, &str)> {
+    let colon = line.find(':')?;
+    let (label, rest) = line.split_at(colon);
+    let label = label.trim();
+    if label.is_empty()
+        || !label
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+    {
+        return None;
+    }
+    Some((label, &rest[1..]))
+}
+
+fn parse_data_directive(
+    builder: &mut ProgramBuilder,
+    line_no: usize,
+    text: &str,
+    label: Option<String>,
+) -> Result<(), AsmError> {
+    let text = text.trim();
+    let (word, args) = match text.split_once(char::is_whitespace) {
+        Some((w, a)) => (w, a.trim()),
+        None => (text, ""),
+    };
+    let item = match word {
+        ".word" => DataItem::Words(parse_int_list(line_no, args)?),
+        ".half" => {
+            let vals = parse_int_list(line_no, args)?;
+            let mut halves = Vec::with_capacity(vals.len());
+            for v in vals {
+                if !(i16::MIN as i32..=u16::MAX as i32).contains(&v) {
+                    return Err(AsmError::new(line_no, format!("halfword out of range: {v}")));
+                }
+                halves.push(v as i16);
+            }
+            DataItem::Halves(halves)
+        }
+        ".byte" => {
+            let vals = parse_int_list(line_no, args)?;
+            let mut bytes = Vec::with_capacity(vals.len());
+            for v in vals {
+                if !(i8::MIN as i32..=u8::MAX as i32).contains(&v) {
+                    return Err(AsmError::new(line_no, format!("byte out of range: {v}")));
+                }
+                bytes.push(v as u8);
+            }
+            DataItem::Bytes(bytes)
+        }
+        ".space" => {
+            let n = parse_int(line_no, args)?;
+            if n < 0 {
+                return Err(AsmError::new(line_no, ".space size must be non-negative"));
+            }
+            DataItem::Space(n as u32)
+        }
+        other => return Err(AsmError::new(line_no, format!("unknown data directive `{other}`"))),
+    };
+    let name = label.unwrap_or_else(|| format!("__anon_{line_no}"));
+    builder.data(&name, item);
+    Ok(())
+}
+
+fn parse_int_list(line_no: usize, args: &str) -> Result<Vec<i32>, AsmError> {
+    if args.trim().is_empty() {
+        return Err(AsmError::new(line_no, "directive needs at least one value"));
+    }
+    args.split(',').map(|a| parse_int(line_no, a.trim())).collect()
+}
+
+fn parse_int(line_no: usize, text: &str) -> Result<i32, AsmError> {
+    let text = text.trim();
+    let (neg, body) = match text.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, text),
+    };
+    let value: Option<i64> = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        u32::from_str_radix(hex, 16).ok().map(i64::from)
+    } else if let Some(bin) = body.strip_prefix("0b").or_else(|| body.strip_prefix("0B")) {
+        u32::from_str_radix(bin, 2).ok().map(i64::from)
+    } else {
+        body.parse::<i64>().ok()
+    };
+    let value = value.ok_or_else(|| AsmError::new(line_no, format!("invalid integer `{text}`")))?;
+    let value = if neg { -value } else { value };
+    if !(i32::MIN as i64..=u32::MAX as i64).contains(&value) {
+        return Err(AsmError::new(line_no, format!("integer out of range: `{text}`")));
+    }
+    Ok(value as i32)
+}
+
+struct Operands<'a> {
+    line_no: usize,
+    parts: Vec<&'a str>,
+    at: usize,
+}
+
+impl<'a> Operands<'a> {
+    fn new(line_no: usize, text: &'a str) -> Operands<'a> {
+        // Split on commas outside brackets; memory operands like
+        // `[r0, #4]` stay together.
+        let mut parts = Vec::new();
+        let mut depth = 0usize;
+        let mut start = 0usize;
+        for (i, c) in text.char_indices() {
+            match c {
+                '[' => depth += 1,
+                ']' => depth = depth.saturating_sub(1),
+                ',' if depth == 0 => {
+                    parts.push(text[start..i].trim());
+                    start = i + 1;
+                }
+                _ => {}
+            }
+        }
+        let last = text[start..].trim();
+        if !last.is_empty() {
+            parts.push(last);
+        }
+        Operands { line_no, parts, at: 0 }
+    }
+
+    fn len(&self) -> usize {
+        self.parts.len()
+    }
+
+    fn next(&mut self) -> Result<&'a str, AsmError> {
+        let p = self
+            .parts
+            .get(self.at)
+            .ok_or_else(|| AsmError::new(self.line_no, "missing operand"))?;
+        self.at += 1;
+        Ok(p)
+    }
+
+    fn reg(&mut self) -> Result<Reg, AsmError> {
+        let line = self.line_no;
+        let t = self.next()?;
+        t.parse().map_err(|_| AsmError::new(line, format!("expected register, found `{t}`")))
+    }
+
+    fn imm(&mut self) -> Result<i32, AsmError> {
+        let line = self.line_no;
+        let t = self.next()?;
+        let body = t.strip_prefix('#').unwrap_or(t);
+        parse_int(line, body)
+    }
+
+    fn done(&self) -> Result<(), AsmError> {
+        if self.at == self.parts.len() {
+            Ok(())
+        } else {
+            Err(AsmError::new(
+                self.line_no,
+                format!("unexpected extra operand `{}`", self.parts[self.at]),
+            ))
+        }
+    }
+}
+
+/// `[rn, #off]` or `[rn, rm]` or `[rn]`.
+enum MemOperand {
+    Imm(Reg, i32),
+    Reg(Reg, Reg),
+}
+
+fn parse_mem(line_no: usize, text: &str) -> Result<MemOperand, AsmError> {
+    let inner = text
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| AsmError::new(line_no, format!("expected memory operand, found `{text}`")))?;
+    let mut parts = inner.splitn(2, ',');
+    let base: Reg = parts
+        .next()
+        .unwrap_or("")
+        .trim()
+        .parse()
+        .map_err(|_| AsmError::new(line_no, format!("bad base register in `{text}`")))?;
+    match parts.next().map(str::trim) {
+        None | Some("") => Ok(MemOperand::Imm(base, 0)),
+        Some(off) => {
+            if let Some(imm) = off.strip_prefix('#') {
+                Ok(MemOperand::Imm(base, parse_int(line_no, imm)?))
+            } else if let Ok(reg) = off.parse::<Reg>() {
+                Ok(MemOperand::Reg(base, reg))
+            } else {
+                Ok(MemOperand::Imm(base, parse_int(line_no, off)?))
+            }
+        }
+    }
+}
+
+fn parse_instruction(
+    builder: &mut ProgramBuilder,
+    line_no: usize,
+    line: &str,
+) -> Result<Instr, AsmError> {
+    let (mnemonic, rest) = match line.split_once(char::is_whitespace) {
+        Some((m, r)) => (m, r.trim()),
+        None => (line, ""),
+    };
+    let upper = mnemonic.to_ascii_uppercase();
+    let mut ops = Operands::new(line_no, rest);
+
+    let err_operands = |line_no: usize, m: &str| {
+        AsmError::new(line_no, format!("wrong operands for `{m}`"))
+    };
+
+    let instr = match upper.as_str() {
+        "MOV" => {
+            let rd = ops.reg()?;
+            let t = ops.next()?;
+            if let Some(label) = t.strip_prefix('=') {
+                let addr = builder
+                    .data_symbol(label)
+                    .ok_or_else(|| AsmError::new(line_no, format!("unknown data label `{label}`")))?;
+                Instr::MovImm { rd, imm: addr as i32 }
+            } else if let Ok(rm) = t.parse::<Reg>() {
+                Instr::Mov { rd, rm }
+            } else {
+                let body = t.strip_prefix('#').unwrap_or(t);
+                Instr::MovImm { rd, imm: parse_int(line_no, body)? }
+            }
+        }
+        "MVN" => Instr::Mvn { rd: ops.reg()?, rm: ops.reg()? },
+        "ADD" | "SUB" | "AND" => {
+            let rd = ops.reg()?;
+            let rn = ops.reg()?;
+            let t = ops.next()?;
+            if let Ok(rm) = t.parse::<Reg>() {
+                match upper.as_str() {
+                    "ADD" => Instr::Add { rd, rn, rm },
+                    "SUB" => Instr::Sub { rd, rn, rm },
+                    _ => Instr::And { rd, rn, rm },
+                }
+            } else {
+                let body = t.strip_prefix('#').unwrap_or(t);
+                let imm = parse_int(line_no, body)?;
+                match upper.as_str() {
+                    "ADD" => Instr::AddImm { rd, rn, imm },
+                    "SUB" => Instr::SubImm { rd, rn, imm },
+                    _ => Instr::AndImm { rd, rn, imm },
+                }
+            }
+        }
+        "RSB" | "NEG" => Instr::Rsb { rd: ops.reg()?, rn: ops.reg()? },
+        "MUL" => Instr::Mul { rd: ops.reg()?, rn: ops.reg()?, rm: ops.reg()? },
+        "ORR" => Instr::Orr { rd: ops.reg()?, rn: ops.reg()?, rm: ops.reg()? },
+        "EOR" => Instr::Eor { rd: ops.reg()?, rn: ops.reg()?, rm: ops.reg()? },
+        "BIC" => Instr::Bic { rd: ops.reg()?, rn: ops.reg()?, rm: ops.reg()? },
+        "LSL" | "LSR" | "ASR" => {
+            let rd = ops.reg()?;
+            let rn = ops.reg()?;
+            let t = ops.next()?;
+            if let Ok(rm) = t.parse::<Reg>() {
+                match upper.as_str() {
+                    "LSL" => Instr::LslReg { rd, rn, rm },
+                    "LSR" => Instr::LsrReg { rd, rn, rm },
+                    _ => Instr::AsrReg { rd, rn, rm },
+                }
+            } else {
+                let body = t.strip_prefix('#').unwrap_or(t);
+                let sh = parse_int(line_no, body)?;
+                if !(0..=31).contains(&sh) {
+                    return Err(AsmError::new(line_no, format!("shift out of range: {sh}")));
+                }
+                let sh = sh as u8;
+                match upper.as_str() {
+                    "LSL" => Instr::LslImm { rd, rn, sh },
+                    "LSR" => Instr::LsrImm { rd, rn, sh },
+                    _ => Instr::AsrImm { rd, rn, sh },
+                }
+            }
+        }
+        "CMP" => {
+            let rn = ops.reg()?;
+            let t = ops.next()?;
+            if let Ok(rm) = t.parse::<Reg>() {
+                Instr::Cmp { rn, rm }
+            } else {
+                let body = t.strip_prefix('#').unwrap_or(t);
+                Instr::CmpImm { rn, imm: parse_int(line_no, body)? }
+            }
+        }
+        "TST" => Instr::Tst { rn: ops.reg()?, rm: ops.reg()? },
+        "LDR" | "LDRH" | "LDRSH" | "LDRB" | "STR" | "STRH" | "STRB" => {
+            let rt = ops.reg()?;
+            let mem = parse_mem(line_no, ops.next()?)?;
+            match (upper.as_str(), mem) {
+                ("LDR", MemOperand::Imm(rn, off)) => Instr::Ldr { rt, rn, off },
+                ("LDR", MemOperand::Reg(rn, rm)) => Instr::LdrReg { rt, rn, rm },
+                ("LDRH", MemOperand::Imm(rn, off)) => Instr::Ldrh { rt, rn, off },
+                ("LDRH", MemOperand::Reg(rn, rm)) => Instr::LdrhReg { rt, rn, rm },
+                ("LDRSH", MemOperand::Reg(rn, rm)) => Instr::LdrshReg { rt, rn, rm },
+                ("LDRSH", MemOperand::Imm(..)) => {
+                    return Err(AsmError::new(line_no, "LDRSH requires a register offset"))
+                }
+                ("LDRB", MemOperand::Imm(rn, off)) => Instr::Ldrb { rt, rn, off },
+                ("LDRB", MemOperand::Reg(rn, rm)) => Instr::LdrbReg { rt, rn, rm },
+                ("STR", MemOperand::Imm(rn, off)) => Instr::Str { rt, rn, off },
+                ("STR", MemOperand::Reg(rn, rm)) => Instr::StrReg { rt, rn, rm },
+                ("STRH", MemOperand::Imm(rn, off)) => Instr::Strh { rt, rn, off },
+                ("STRH", MemOperand::Reg(rn, rm)) => Instr::StrhReg { rt, rn, rm },
+                ("STRB", MemOperand::Imm(rn, off)) => Instr::Strb { rt, rn, off },
+                ("STRB", MemOperand::Reg(rn, rm)) => Instr::StrbReg { rt, rn, rm },
+                _ => unreachable!(),
+            }
+        }
+        "B" => {
+            let label = ops.next()?;
+            let instr = builder.branch_to_label(label);
+            ops.done()?;
+            return Ok(instr);
+        }
+        "BL" => {
+            let label = ops.next()?;
+            let instr = builder.with_label_target(Instr::Bl { target: 0 }, label);
+            ops.done()?;
+            return Ok(instr);
+        }
+        "BX" => Instr::Bx { rm: ops.reg()? },
+        "SKM" => {
+            let label = ops.next()?;
+            let instr = builder.with_label_target(Instr::Skm { target: 0 }, label);
+            ops.done()?;
+            return Ok(instr);
+        }
+        "NOP" => Instr::Nop,
+        "HALT" => Instr::Halt,
+        _ => {
+            // Conditional branches: B<cond>.
+            if let Some(cond_txt) = upper.strip_prefix('B') {
+                if let Ok(cond) = cond_txt.parse::<Cond>() {
+                    let label = ops.next()?;
+                    let instr =
+                        builder.with_label_target(Instr::BCond { cond, target: 0 }, label);
+                    ops.done()?;
+                    return Ok(instr);
+                }
+            }
+            // MUL_ASP<bits> rd, rn, rm, #shift  (also the paper's 3-operand
+            // form rd, rm, #shift, meaning rd = rd * subword). The shift is
+            // the subword's significance in bits — the paper's position
+            // notation times the subword size.
+            if let Some(bits_txt) = upper.strip_prefix("MUL_ASP") {
+                let bits: u8 = bits_txt
+                    .parse()
+                    .map_err(|_| AsmError::new(line_no, format!("bad subword size `{bits_txt}`")))?;
+                if bits == 0 || bits > crate::MAX_ASP_BITS {
+                    return Err(AsmError::new(line_no, format!("subword size out of range: {bits}")));
+                }
+                let (rd, rn, rm, shift) = if ops.len() == 4 {
+                    let rd = ops.reg()?;
+                    let rn = ops.reg()?;
+                    let rm = ops.reg()?;
+                    (rd, rn, rm, ops.imm()?)
+                } else {
+                    let rd = ops.reg()?;
+                    let rm = ops.reg()?;
+                    (rd, rd, rm, ops.imm()?)
+                };
+                if shift < 0 || shift as u32 + bits as u32 > 32 {
+                    return Err(AsmError::new(line_no, format!("subword shift out of range: {shift}")));
+                }
+                ops.done()?;
+                return Ok(Instr::MulAsp { rd, rn, rm, bits, shift: shift as u8 });
+            }
+            // ADD_ASV<bits> / SUB_ASV<bits>, 2- or 3-operand.
+            for (prefix, is_add) in [("ADD_ASV", true), ("SUB_ASV", false)] {
+                if let Some(bits_txt) = upper.strip_prefix(prefix) {
+                    let bits: u8 = bits_txt.parse().map_err(|_| {
+                        AsmError::new(line_no, format!("bad lane width `{bits_txt}`"))
+                    })?;
+                    let lanes = LaneWidth::from_bits(bits).ok_or_else(|| {
+                        AsmError::new(line_no, format!("unsupported lane width {bits} (use 4, 8 or 16)"))
+                    })?;
+                    let (rd, rn, rm) = if ops.len() == 3 {
+                        (ops.reg()?, ops.reg()?, ops.reg()?)
+                    } else {
+                        let rd = ops.reg()?;
+                        let rm = ops.reg()?;
+                        (rd, rd, rm)
+                    };
+                    ops.done()?;
+                    return Ok(if is_add {
+                        Instr::AddAsv { rd, rn, rm, lanes }
+                    } else {
+                        Instr::SubAsv { rd, rn, rm, lanes }
+                    });
+                }
+            }
+            return Err(AsmError::new(line_no, format!("unknown mnemonic `{mnemonic}`")));
+        }
+    };
+    ops.done().map_err(|_| err_operands(line_no, mnemonic))?;
+    Ok(instr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_paper_listing_2_style_code() {
+        let src = r#"
+        ; Listing 2 from the paper (adapted)
+        .data
+        X: .space 64
+        F: .space 64
+        A: .space 64
+        .text
+        main:
+            MOV r0, =X
+            MOV r1, =F
+            MOV r2, =A
+        LOOP_MSb:
+            LDR  r3, [r0, #0]      @ X[i]
+            LDR  r4, [r1, #0]      @ F[i]
+            LDRB r5, [r2, #1]      @ A[i][MSb]
+            MUL_ASP8 r4, r5, #8    @ X += F * A (paper notation: #1)
+            ADD  r3, r3, r4
+            STR  r3, [r0, #0]
+            B    LOOP_MSb
+            SKM  END
+        END:
+            HALT
+        "#;
+        let p = assemble(src).unwrap();
+        assert_eq!(p.data_symbol("X"), Some(0));
+        assert_eq!(p.data_symbol("F"), Some(64));
+        assert_eq!(p.data_symbol("A"), Some(128));
+        let loop_idx = p.code_symbol("LOOP_MSb").unwrap();
+        assert_eq!(p.instrs[3], Instr::Ldr { rt: Reg::R3, rn: Reg::R0, off: 0 });
+        assert_eq!(
+            p.instrs[6],
+            Instr::MulAsp { rd: Reg::R4, rn: Reg::R4, rm: Reg::R5, bits: 8, shift: 8 }
+        );
+        assert_eq!(p.instrs[9], Instr::B { target: loop_idx });
+        let end = p.code_symbol("END").unwrap();
+        assert_eq!(p.instrs[10], Instr::Skm { target: end });
+    }
+
+    #[test]
+    fn assembles_asv() {
+        let p = assemble(
+            "ADD_ASV8 r3, r4\nSUB_ASV4 r1, r2, r3\nADD_ASV16 r0, r1, r2\nHALT",
+        )
+        .unwrap();
+        assert_eq!(
+            p.instrs[0],
+            Instr::AddAsv { rd: Reg::R3, rn: Reg::R3, rm: Reg::R4, lanes: LaneWidth::W8 }
+        );
+        assert_eq!(
+            p.instrs[1],
+            Instr::SubAsv { rd: Reg::R1, rn: Reg::R2, rm: Reg::R3, lanes: LaneWidth::W4 }
+        );
+        assert_eq!(
+            p.instrs[2],
+            Instr::AddAsv { rd: Reg::R0, rn: Reg::R1, rm: Reg::R2, lanes: LaneWidth::W16 }
+        );
+    }
+
+    #[test]
+    fn data_initializers() {
+        let p = assemble(
+            ".data\nK: .word 1, -2, 0x10\nH: .half 256, -1\nB: .byte 1, 255\n.text\nHALT",
+        )
+        .unwrap();
+        assert_eq!(p.data_symbol("K"), Some(0));
+        assert_eq!(&p.initial_data[0..4], &1i32.to_le_bytes());
+        assert_eq!(&p.initial_data[4..8], &(-2i32).to_le_bytes());
+        assert_eq!(&p.initial_data[8..12], &16i32.to_le_bytes());
+        assert_eq!(p.data_symbol("H"), Some(12));
+        assert_eq!(&p.initial_data[12..14], &256u16.to_le_bytes());
+        assert_eq!(p.data_symbol("B"), Some(16));
+        assert_eq!(p.initial_data[16], 1);
+        assert_eq!(p.initial_data[17], 255);
+    }
+
+    #[test]
+    fn conditional_branches() {
+        let p = assemble("top:\nCMP r0, #10\nBLT top\nBNE top\nBHS top\nHALT").unwrap();
+        assert_eq!(p.instrs[1], Instr::BCond { cond: Cond::Lt, target: 0 });
+        assert_eq!(p.instrs[2], Instr::BCond { cond: Cond::Ne, target: 0 });
+        assert_eq!(p.instrs[3], Instr::BCond { cond: Cond::Hs, target: 0 });
+    }
+
+    #[test]
+    fn memory_operand_forms() {
+        let p = assemble("LDR r0, [r1]\nLDR r0, [r1, #8]\nLDR r0, [r1, r2]\nSTRH r3, [r4, #2]\nHALT")
+            .unwrap();
+        assert_eq!(p.instrs[0], Instr::Ldr { rt: Reg::R0, rn: Reg::R1, off: 0 });
+        assert_eq!(p.instrs[1], Instr::Ldr { rt: Reg::R0, rn: Reg::R1, off: 8 });
+        assert_eq!(p.instrs[2], Instr::LdrReg { rt: Reg::R0, rn: Reg::R1, rm: Reg::R2 });
+        assert_eq!(p.instrs[3], Instr::Strh { rt: Reg::R3, rn: Reg::R4, off: 2 });
+    }
+
+    #[test]
+    fn rejects_unknown_mnemonic() {
+        let err = assemble("FROB r0, r1").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("FROB"));
+    }
+
+    #[test]
+    fn rejects_duplicate_labels() {
+        assert!(assemble("x:\nNOP\nx:\nHALT").unwrap_err().message.contains("duplicate"));
+        assert!(assemble(".data\nd: .word 1\nd: .word 2\n.text\nHALT")
+            .unwrap_err()
+            .message
+            .contains("duplicate"));
+    }
+
+    #[test]
+    fn rejects_stacked_bare_data_labels() {
+        let err = assemble(".data\nA:\nB:\n.word 7\n.text\nHALT").unwrap_err();
+        assert!(err.message.contains("`A` has no directive"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unresolved_branch() {
+        let err = assemble("B nowhere\nHALT").unwrap_err();
+        assert!(err.message.contains("nowhere"));
+    }
+
+    #[test]
+    fn rejects_bad_subword_params() {
+        assert!(assemble("MUL_ASP32 r0, r1, #0").is_err());
+        assert!(assemble("MUL_ASP8 r0, r1, #25").is_err(), "shift 25 + 8 bits exceeds 32 bits");
+        assert!(assemble("ADD_ASV5 r0, r1").is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let p = assemble("; leading\n\n  // also\nNOP @ trailing\nHALT ; done").unwrap();
+        assert_eq!(p.instrs.len(), 2);
+    }
+
+    #[test]
+    fn mov_equals_label_forward_data() {
+        // .data after .text still resolves because of the data pre-pass.
+        let p = assemble(".text\nMOV r0, =TBL\nHALT\n.data\nTBL: .word 7").unwrap();
+        assert_eq!(p.instrs[0], Instr::MovImm { rd: Reg::R0, imm: 0 });
+    }
+
+    #[test]
+    fn negative_and_hex_immediates() {
+        let p = assemble("MOV r0, #-5\nMOV r1, #0xff\nADD r2, r2, #0b101\nHALT").unwrap();
+        assert_eq!(p.instrs[0], Instr::MovImm { rd: Reg::R0, imm: -5 });
+        assert_eq!(p.instrs[1], Instr::MovImm { rd: Reg::R1, imm: 255 });
+        assert_eq!(p.instrs[2], Instr::AddImm { rd: Reg::R2, rn: Reg::R2, imm: 5 });
+    }
+
+    #[test]
+    fn disassemble_reassemble_is_stable() {
+        let src = r#"
+        main:
+            MOV r0, #0
+            MOV r1, #16
+        loop:
+            ADD r0, r0, #1
+            CMP r0, r1
+            BLT loop
+            SKM end
+        end:
+            HALT
+        "#;
+        let p1 = assemble(src).unwrap();
+        let p2 = assemble(&p1.disassemble()).unwrap();
+        assert_eq!(p1.instrs, p2.instrs);
+    }
+}

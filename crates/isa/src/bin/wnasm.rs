@@ -1,0 +1,101 @@
+//! `wnasm` — assemble, disassemble and inspect WN-RISC programs.
+//!
+//! ```sh
+//! # Assemble to a packed binary image (8-byte little-endian words):
+//! cargo run -p wn-isa --bin wnasm -- build program.s -o program.wnb
+//!
+//! # Disassemble a binary image back to text:
+//! cargo run -p wn-isa --bin wnasm -- disasm program.wnb
+//!
+//! # Check a source file and print section statistics:
+//! cargo run -p wn-isa --bin wnasm -- check program.s
+//! ```
+
+use std::env;
+use std::fs;
+use std::process::ExitCode;
+
+use wn_isa::asm::assemble;
+use wn_isa::encode::{decode_program, encode_program};
+
+const USAGE: &str = "usage: wnasm <build|disasm|check> <file> [-o out]";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("wnasm: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let mut positional = Vec::new();
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "-o" {
+            out = Some(it.next().ok_or("-o needs a path")?.clone());
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    let [cmd, file] = positional.as_slice() else {
+        return Err(USAGE.to_string());
+    };
+
+    match cmd.as_str() {
+        "build" => {
+            let src = fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+            let program = assemble(&src).map_err(|e| e.to_string())?;
+            let words = encode_program(&program.instrs);
+            let mut bytes = Vec::with_capacity(words.len() * 8);
+            for w in &words {
+                bytes.extend_from_slice(&w.to_le_bytes());
+            }
+            let out = out.unwrap_or_else(|| format!("{file}.wnb"));
+            fs::write(&out, &bytes).map_err(|e| format!("{out}: {e}"))?;
+            println!(
+                "{}: {} instructions, {} code bytes (Thumb-equivalent), {} data bytes -> {}",
+                file,
+                program.instrs.len(),
+                program.code_size_bytes(),
+                program.initial_data.len(),
+                out
+            );
+            Ok(())
+        }
+        "disasm" => {
+            let bytes = fs::read(file).map_err(|e| format!("{file}: {e}"))?;
+            if bytes.len() % 8 != 0 {
+                return Err(format!("{file}: not a whole number of 8-byte words"));
+            }
+            let words: Vec<u64> = bytes
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8")))
+                .collect();
+            let instrs =
+                decode_program(&words).map_err(|(i, e)| format!("word {i}: {e}"))?;
+            let program = wn_isa::Program { instrs, ..wn_isa::Program::default() };
+            print!("{}", program.disassemble());
+            Ok(())
+        }
+        "check" => {
+            let src = fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+            let program = assemble(&src).map_err(|e| e.to_string())?;
+            program.validate().map_err(|e| e.to_string())?;
+            println!("{file}: OK");
+            println!("  instructions : {}", program.instrs.len());
+            println!("  code size    : {} bytes", program.code_size_bytes());
+            println!("  data size    : {} bytes", program.initial_data.len());
+            println!("  code symbols : {}", program.code_symbols.len());
+            println!("  data symbols : {}", program.data_symbols.len());
+            let wn = program.instrs.iter().filter(|i| i.is_wn_extension()).count();
+            println!("  WN extension instructions: {wn}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    }
+}

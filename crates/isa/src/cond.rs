@@ -1,0 +1,292 @@
+//! Condition codes for conditional branches.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Processor condition flags, set by flag-setting data-processing
+/// instructions (ARM-style NZCV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct Flags {
+    /// Negative: result bit 31 set.
+    pub n: bool,
+    /// Zero: result was zero.
+    pub z: bool,
+    /// Carry: unsigned overflow out of bit 31 (or shifter carry-out).
+    pub c: bool,
+    /// Overflow: signed overflow.
+    pub v: bool,
+}
+
+impl Flags {
+    /// Derives N and Z from a result, leaving C and V untouched.
+    #[inline]
+    pub fn set_nz(&mut self, result: u32) {
+        self.n = (result as i32) < 0;
+        self.z = result == 0;
+    }
+}
+
+impl fmt::Display for Flags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (bit, name) in [(self.n, 'N'), (self.z, 'Z'), (self.c, 'C'), (self.v, 'V')] {
+            if bit {
+                write!(f, "{name}")?;
+            } else {
+                write!(f, "{}", name.to_ascii_lowercase())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Branch condition, matching the ARMv6-M condition codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Cond {
+    /// Equal (`Z == 1`).
+    Eq = 0,
+    /// Not equal (`Z == 0`).
+    Ne = 1,
+    /// Unsigned higher or same (`C == 1`).
+    Hs = 2,
+    /// Unsigned lower (`C == 0`).
+    Lo = 3,
+    /// Negative (`N == 1`).
+    Mi = 4,
+    /// Positive or zero (`N == 0`).
+    Pl = 5,
+    /// Signed overflow (`V == 1`).
+    Vs = 6,
+    /// No signed overflow (`V == 0`).
+    Vc = 7,
+    /// Unsigned higher (`C == 1 && Z == 0`).
+    Hi = 8,
+    /// Unsigned lower or same (`C == 0 || Z == 1`).
+    Ls = 9,
+    /// Signed greater than or equal (`N == V`).
+    Ge = 10,
+    /// Signed less than (`N != V`).
+    Lt = 11,
+    /// Signed greater than (`Z == 0 && N == V`).
+    Gt = 12,
+    /// Signed less than or equal (`Z == 1 || N != V`).
+    Le = 13,
+}
+
+impl Cond {
+    /// Every condition code, in encoding order.
+    pub const ALL: [Cond; 14] = [
+        Cond::Eq,
+        Cond::Ne,
+        Cond::Hs,
+        Cond::Lo,
+        Cond::Mi,
+        Cond::Pl,
+        Cond::Vs,
+        Cond::Vc,
+        Cond::Hi,
+        Cond::Ls,
+        Cond::Ge,
+        Cond::Lt,
+        Cond::Gt,
+        Cond::Le,
+    ];
+
+    /// Evaluates the condition against a set of flags.
+    ///
+    /// ```
+    /// use wn_isa::cond::{Cond, Flags};
+    /// let mut flags = Flags::default();
+    /// flags.z = true;
+    /// assert!(Cond::Eq.holds(flags));
+    /// assert!(!Cond::Ne.holds(flags));
+    /// ```
+    #[inline]
+    pub fn holds(self, f: Flags) -> bool {
+        match self {
+            Cond::Eq => f.z,
+            Cond::Ne => !f.z,
+            Cond::Hs => f.c,
+            Cond::Lo => !f.c,
+            Cond::Mi => f.n,
+            Cond::Pl => !f.n,
+            Cond::Vs => f.v,
+            Cond::Vc => !f.v,
+            Cond::Hi => f.c && !f.z,
+            Cond::Ls => !f.c || f.z,
+            Cond::Ge => f.n == f.v,
+            Cond::Lt => f.n != f.v,
+            Cond::Gt => !f.z && f.n == f.v,
+            Cond::Le => f.z || f.n != f.v,
+        }
+    }
+
+    /// The logically opposite condition.
+    pub fn negate(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Hs => Cond::Lo,
+            Cond::Lo => Cond::Hs,
+            Cond::Mi => Cond::Pl,
+            Cond::Pl => Cond::Mi,
+            Cond::Vs => Cond::Vc,
+            Cond::Vc => Cond::Vs,
+            Cond::Hi => Cond::Ls,
+            Cond::Ls => Cond::Hi,
+            Cond::Ge => Cond::Lt,
+            Cond::Lt => Cond::Ge,
+            Cond::Gt => Cond::Le,
+            Cond::Le => Cond::Gt,
+        }
+    }
+
+    /// Builds a condition from its encoding value.
+    pub const fn from_index(index: u8) -> Option<Cond> {
+        if (index as usize) < Cond::ALL.len() {
+            Some(Cond::ALL[index as usize])
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Hs => "hs",
+            Cond::Lo => "lo",
+            Cond::Mi => "mi",
+            Cond::Pl => "pl",
+            Cond::Vs => "vs",
+            Cond::Vc => "vc",
+            Cond::Hi => "hi",
+            Cond::Ls => "ls",
+            Cond::Ge => "ge",
+            Cond::Lt => "lt",
+            Cond::Gt => "gt",
+            Cond::Le => "le",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Error returned when parsing a condition suffix fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCondError {
+    text: String,
+}
+
+impl fmt::Display for ParseCondError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid condition code `{}`", self.text)
+    }
+}
+
+impl std::error::Error for ParseCondError {}
+
+impl FromStr for Cond {
+    type Err = ParseCondError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "eq" => Ok(Cond::Eq),
+            "ne" => Ok(Cond::Ne),
+            "hs" | "cs" => Ok(Cond::Hs),
+            "lo" | "cc" => Ok(Cond::Lo),
+            "mi" => Ok(Cond::Mi),
+            "pl" => Ok(Cond::Pl),
+            "vs" => Ok(Cond::Vs),
+            "vc" => Ok(Cond::Vc),
+            "hi" => Ok(Cond::Hi),
+            "ls" => Ok(Cond::Ls),
+            "ge" => Ok(Cond::Ge),
+            "lt" => Ok(Cond::Lt),
+            "gt" => Ok(Cond::Gt),
+            "le" => Ok(Cond::Le),
+            _ => Err(ParseCondError { text: s.to_string() }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(n: bool, z: bool, c: bool, v: bool) -> Flags {
+        Flags { n, z, c, v }
+    }
+
+    #[test]
+    fn eq_ne() {
+        assert!(Cond::Eq.holds(flags(false, true, false, false)));
+        assert!(Cond::Ne.holds(flags(false, false, false, false)));
+    }
+
+    #[test]
+    fn unsigned_comparisons() {
+        // 5 cmp 3: no borrow -> C=1, Z=0.
+        let f = flags(false, false, true, false);
+        assert!(Cond::Hs.holds(f));
+        assert!(Cond::Hi.holds(f));
+        assert!(!Cond::Lo.holds(f));
+        assert!(!Cond::Ls.holds(f));
+    }
+
+    #[test]
+    fn signed_comparisons() {
+        // -1 cmp 1: N=1, V=0 -> Lt.
+        let f = flags(true, false, false, false);
+        assert!(Cond::Lt.holds(f));
+        assert!(Cond::Le.holds(f));
+        assert!(!Cond::Ge.holds(f));
+        assert!(!Cond::Gt.holds(f));
+    }
+
+    #[test]
+    fn negation_is_involutive_and_opposite() {
+        for c in Cond::ALL {
+            assert_eq!(c.negate().negate(), c);
+            // A condition and its negation never hold simultaneously.
+            for bits in 0..16u8 {
+                let f = flags(bits & 1 != 0, bits & 2 != 0, bits & 4 != 0, bits & 8 != 0);
+                assert_ne!(c.holds(f), c.negate().holds(f), "cond {c} flags {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for c in Cond::ALL {
+            assert_eq!(c.to_string().parse::<Cond>().unwrap(), c);
+        }
+        assert_eq!("CS".parse::<Cond>().unwrap(), Cond::Hs);
+        assert_eq!("cc".parse::<Cond>().unwrap(), Cond::Lo);
+        assert!("xx".parse::<Cond>().is_err());
+    }
+
+    #[test]
+    fn from_index_covers_all() {
+        for (i, c) in Cond::ALL.iter().enumerate() {
+            assert_eq!(Cond::from_index(i as u8), Some(*c));
+        }
+        assert_eq!(Cond::from_index(14), None);
+    }
+
+    #[test]
+    fn flags_display_nonempty() {
+        assert_eq!(Flags::default().to_string(), "nzcv");
+        assert_eq!(flags(true, true, true, true).to_string(), "NZCV");
+    }
+
+    #[test]
+    fn set_nz() {
+        let mut f = Flags::default();
+        f.set_nz(0);
+        assert!(f.z && !f.n);
+        f.set_nz(0x8000_0000);
+        assert!(!f.z && f.n);
+    }
+}

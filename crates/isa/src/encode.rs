@@ -1,0 +1,441 @@
+//! Packed 64-bit binary encoding of WN-RISC instructions.
+//!
+//! This is a *storage/transport* encoding (for writing compiled programs to
+//! non-volatile memory images, hashing, or diffing), not a claim about code
+//! density — code-size accounting for the paper's §III-A numbers uses the
+//! Thumb-equivalent [`crate::Instr::size_bytes`] instead.
+//!
+//! Layout (least-significant first):
+//!
+//! ```text
+//! bits  0..8   opcode
+//! bits  8..12  rd / rt
+//! bits 12..16  rn
+//! bits 16..20  rm
+//! bits 20..26  aux   (subword bits, lane width, condition, shift amount)
+//! bits 26..32  aux2  (subword position)
+//! bits 32..64  imm / offset / branch target
+//! ```
+
+use std::fmt;
+
+use crate::cond::Cond;
+use crate::instr::{Instr, LaneWidth};
+use crate::reg::Reg;
+
+/// Error produced when decoding a 64-bit word fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The opcode field does not name an instruction.
+    UnknownOpcode(u8),
+    /// A register field held an invalid index (only possible for corrupted
+    /// inputs since fields are 4 bits wide — kept for defense in depth).
+    BadRegister(u8),
+    /// The condition field held an invalid code.
+    BadCondition(u8),
+    /// The lane-width field held an unsupported width.
+    BadLaneWidth(u8),
+    /// The subword size/position pair is out of range.
+    BadSubword { bits: u8, pos: u8 },
+    /// A shift amount field exceeds 31.
+    BadShift(u8),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            DecodeError::BadRegister(r) => write!(f, "invalid register index {r}"),
+            DecodeError::BadCondition(c) => write!(f, "invalid condition code {c}"),
+            DecodeError::BadLaneWidth(w) => write!(f, "invalid lane width {w}"),
+            DecodeError::BadSubword { bits, pos } => {
+                write!(f, "invalid subword spec: bits={bits} pos={pos}")
+            }
+            DecodeError::BadShift(sh) => write!(f, "shift amount {sh} exceeds 31"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+mod op {
+    pub const MOV_IMM: u8 = 0x01;
+    pub const MOV: u8 = 0x02;
+    pub const MVN: u8 = 0x03;
+    pub const ADD: u8 = 0x04;
+    pub const ADD_IMM: u8 = 0x05;
+    pub const SUB: u8 = 0x06;
+    pub const SUB_IMM: u8 = 0x07;
+    pub const RSB: u8 = 0x08;
+    pub const MUL: u8 = 0x09;
+    pub const MUL_ASP: u8 = 0x0a;
+    pub const ADD_ASV: u8 = 0x0b;
+    pub const SUB_ASV: u8 = 0x0c;
+    pub const AND: u8 = 0x0d;
+    pub const ORR: u8 = 0x0e;
+    pub const EOR: u8 = 0x0f;
+    pub const BIC: u8 = 0x10;
+    pub const AND_IMM: u8 = 0x11;
+    pub const LSL_IMM: u8 = 0x12;
+    pub const LSR_IMM: u8 = 0x13;
+    pub const ASR_IMM: u8 = 0x14;
+    pub const LSL_REG: u8 = 0x15;
+    pub const LSR_REG: u8 = 0x16;
+    pub const ASR_REG: u8 = 0x17;
+    pub const CMP: u8 = 0x18;
+    pub const CMP_IMM: u8 = 0x19;
+    pub const TST: u8 = 0x1a;
+    pub const LDR: u8 = 0x1b;
+    pub const LDR_REG: u8 = 0x1c;
+    pub const LDRH: u8 = 0x1d;
+    pub const LDRH_REG: u8 = 0x1e;
+    pub const LDRSH_REG: u8 = 0x1f;
+    pub const LDRB: u8 = 0x20;
+    pub const LDRB_REG: u8 = 0x21;
+    pub const STR: u8 = 0x22;
+    pub const STR_REG: u8 = 0x23;
+    pub const STRH: u8 = 0x24;
+    pub const STRH_REG: u8 = 0x25;
+    pub const STRB: u8 = 0x26;
+    pub const STRB_REG: u8 = 0x27;
+    pub const B: u8 = 0x28;
+    pub const B_COND: u8 = 0x29;
+    pub const BL: u8 = 0x2a;
+    pub const BX: u8 = 0x2b;
+    pub const SKM: u8 = 0x2c;
+    pub const NOP: u8 = 0x2d;
+    pub const HALT: u8 = 0x2e;
+}
+
+fn pack(opcode: u8, rd: u8, rn: u8, rm: u8, aux: u8, aux2: u8, imm: u32) -> u64 {
+    (opcode as u64)
+        | ((rd as u64 & 0xf) << 8)
+        | ((rn as u64 & 0xf) << 12)
+        | ((rm as u64 & 0xf) << 16)
+        | ((aux as u64 & 0x3f) << 20)
+        | ((aux2 as u64 & 0x3f) << 26)
+        | ((imm as u64) << 32)
+}
+
+/// Encodes an instruction into its packed 64-bit representation.
+pub fn encode(instr: &Instr) -> u64 {
+    use Instr::*;
+    let r = |reg: Reg| reg.index() as u8;
+    match *instr {
+        MovImm { rd, imm } => pack(op::MOV_IMM, r(rd), 0, 0, 0, 0, imm as u32),
+        Mov { rd, rm } => pack(op::MOV, r(rd), 0, r(rm), 0, 0, 0),
+        Mvn { rd, rm } => pack(op::MVN, r(rd), 0, r(rm), 0, 0, 0),
+        Add { rd, rn, rm } => pack(op::ADD, r(rd), r(rn), r(rm), 0, 0, 0),
+        AddImm { rd, rn, imm } => pack(op::ADD_IMM, r(rd), r(rn), 0, 0, 0, imm as u32),
+        Sub { rd, rn, rm } => pack(op::SUB, r(rd), r(rn), r(rm), 0, 0, 0),
+        SubImm { rd, rn, imm } => pack(op::SUB_IMM, r(rd), r(rn), 0, 0, 0, imm as u32),
+        Rsb { rd, rn } => pack(op::RSB, r(rd), r(rn), 0, 0, 0, 0),
+        Mul { rd, rn, rm } => pack(op::MUL, r(rd), r(rn), r(rm), 0, 0, 0),
+        MulAsp { rd, rn, rm, bits, shift } => pack(op::MUL_ASP, r(rd), r(rn), r(rm), bits, shift, 0),
+        AddAsv { rd, rn, rm, lanes } => {
+            pack(op::ADD_ASV, r(rd), r(rn), r(rm), lanes.bits() as u8, 0, 0)
+        }
+        SubAsv { rd, rn, rm, lanes } => {
+            pack(op::SUB_ASV, r(rd), r(rn), r(rm), lanes.bits() as u8, 0, 0)
+        }
+        And { rd, rn, rm } => pack(op::AND, r(rd), r(rn), r(rm), 0, 0, 0),
+        Orr { rd, rn, rm } => pack(op::ORR, r(rd), r(rn), r(rm), 0, 0, 0),
+        Eor { rd, rn, rm } => pack(op::EOR, r(rd), r(rn), r(rm), 0, 0, 0),
+        Bic { rd, rn, rm } => pack(op::BIC, r(rd), r(rn), r(rm), 0, 0, 0),
+        AndImm { rd, rn, imm } => pack(op::AND_IMM, r(rd), r(rn), 0, 0, 0, imm as u32),
+        LslImm { rd, rn, sh } => pack(op::LSL_IMM, r(rd), r(rn), 0, sh, 0, 0),
+        LsrImm { rd, rn, sh } => pack(op::LSR_IMM, r(rd), r(rn), 0, sh, 0, 0),
+        AsrImm { rd, rn, sh } => pack(op::ASR_IMM, r(rd), r(rn), 0, sh, 0, 0),
+        LslReg { rd, rn, rm } => pack(op::LSL_REG, r(rd), r(rn), r(rm), 0, 0, 0),
+        LsrReg { rd, rn, rm } => pack(op::LSR_REG, r(rd), r(rn), r(rm), 0, 0, 0),
+        AsrReg { rd, rn, rm } => pack(op::ASR_REG, r(rd), r(rn), r(rm), 0, 0, 0),
+        Cmp { rn, rm } => pack(op::CMP, 0, r(rn), r(rm), 0, 0, 0),
+        CmpImm { rn, imm } => pack(op::CMP_IMM, 0, r(rn), 0, 0, 0, imm as u32),
+        Tst { rn, rm } => pack(op::TST, 0, r(rn), r(rm), 0, 0, 0),
+        Ldr { rt, rn, off } => pack(op::LDR, r(rt), r(rn), 0, 0, 0, off as u32),
+        LdrReg { rt, rn, rm } => pack(op::LDR_REG, r(rt), r(rn), r(rm), 0, 0, 0),
+        Ldrh { rt, rn, off } => pack(op::LDRH, r(rt), r(rn), 0, 0, 0, off as u32),
+        LdrhReg { rt, rn, rm } => pack(op::LDRH_REG, r(rt), r(rn), r(rm), 0, 0, 0),
+        LdrshReg { rt, rn, rm } => pack(op::LDRSH_REG, r(rt), r(rn), r(rm), 0, 0, 0),
+        Ldrb { rt, rn, off } => pack(op::LDRB, r(rt), r(rn), 0, 0, 0, off as u32),
+        LdrbReg { rt, rn, rm } => pack(op::LDRB_REG, r(rt), r(rn), r(rm), 0, 0, 0),
+        Str { rt, rn, off } => pack(op::STR, r(rt), r(rn), 0, 0, 0, off as u32),
+        StrReg { rt, rn, rm } => pack(op::STR_REG, r(rt), r(rn), r(rm), 0, 0, 0),
+        Strh { rt, rn, off } => pack(op::STRH, r(rt), r(rn), 0, 0, 0, off as u32),
+        StrhReg { rt, rn, rm } => pack(op::STRH_REG, r(rt), r(rn), r(rm), 0, 0, 0),
+        Strb { rt, rn, off } => pack(op::STRB, r(rt), r(rn), 0, 0, 0, off as u32),
+        StrbReg { rt, rn, rm } => pack(op::STRB_REG, r(rt), r(rn), r(rm), 0, 0, 0),
+        B { target } => pack(op::B, 0, 0, 0, 0, 0, target),
+        BCond { cond, target } => pack(op::B_COND, 0, 0, 0, cond as u8, 0, target),
+        Bl { target } => pack(op::BL, 0, 0, 0, 0, 0, target),
+        Bx { rm } => pack(op::BX, 0, 0, r(rm), 0, 0, 0),
+        Skm { target } => pack(op::SKM, 0, 0, 0, 0, 0, target),
+        Nop => pack(op::NOP, 0, 0, 0, 0, 0, 0),
+        Halt => pack(op::HALT, 0, 0, 0, 0, 0, 0),
+    }
+}
+
+/// Decodes a packed 64-bit word back into an instruction.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] if any field is malformed. `encode` →
+/// `decode` is a lossless round trip for every valid [`Instr`].
+pub fn decode(word: u64) -> Result<Instr, DecodeError> {
+    let opcode = (word & 0xff) as u8;
+    let rd_bits = ((word >> 8) & 0xf) as u8;
+    let rn_bits = ((word >> 12) & 0xf) as u8;
+    let rm_bits = ((word >> 16) & 0xf) as u8;
+    let aux = ((word >> 20) & 0x3f) as u8;
+    let aux2 = ((word >> 26) & 0x3f) as u8;
+    let imm32 = (word >> 32) as u32;
+
+    let reg = |bits: u8| Reg::from_index(bits as usize).ok_or(DecodeError::BadRegister(bits));
+    let rd = reg(rd_bits);
+    let rn = reg(rn_bits);
+    let rm = reg(rm_bits);
+    let imm = imm32 as i32;
+
+    use Instr::*;
+    Ok(match opcode {
+        op::MOV_IMM => MovImm { rd: rd?, imm },
+        op::MOV => Mov { rd: rd?, rm: rm? },
+        op::MVN => Mvn { rd: rd?, rm: rm? },
+        op::ADD => Add { rd: rd?, rn: rn?, rm: rm? },
+        op::ADD_IMM => AddImm { rd: rd?, rn: rn?, imm },
+        op::SUB => Sub { rd: rd?, rn: rn?, rm: rm? },
+        op::SUB_IMM => SubImm { rd: rd?, rn: rn?, imm },
+        op::RSB => Rsb { rd: rd?, rn: rn? },
+        op::MUL => Mul { rd: rd?, rn: rn?, rm: rm? },
+        op::MUL_ASP => {
+            let bits = aux;
+            let shift = aux2;
+            if bits == 0 || bits > crate::MAX_ASP_BITS || shift as u32 + bits as u32 > 32 {
+                return Err(DecodeError::BadSubword { bits, pos: shift });
+            }
+            MulAsp { rd: rd?, rn: rn?, rm: rm?, bits, shift }
+        }
+        op::ADD_ASV => AddAsv {
+            rd: rd?,
+            rn: rn?,
+            rm: rm?,
+            lanes: LaneWidth::from_bits(aux).ok_or(DecodeError::BadLaneWidth(aux))?,
+        },
+        op::SUB_ASV => SubAsv {
+            rd: rd?,
+            rn: rn?,
+            rm: rm?,
+            lanes: LaneWidth::from_bits(aux).ok_or(DecodeError::BadLaneWidth(aux))?,
+        },
+        op::AND => And { rd: rd?, rn: rn?, rm: rm? },
+        op::ORR => Orr { rd: rd?, rn: rn?, rm: rm? },
+        op::EOR => Eor { rd: rd?, rn: rn?, rm: rm? },
+        op::BIC => Bic { rd: rd?, rn: rn?, rm: rm? },
+        op::AND_IMM => AndImm { rd: rd?, rn: rn?, imm },
+        op::LSL_IMM | op::LSR_IMM | op::ASR_IMM => {
+            if aux > 31 {
+                return Err(DecodeError::BadShift(aux));
+            }
+            match opcode {
+                op::LSL_IMM => LslImm { rd: rd?, rn: rn?, sh: aux },
+                op::LSR_IMM => LsrImm { rd: rd?, rn: rn?, sh: aux },
+                _ => AsrImm { rd: rd?, rn: rn?, sh: aux },
+            }
+        }
+        op::LSL_REG => LslReg { rd: rd?, rn: rn?, rm: rm? },
+        op::LSR_REG => LsrReg { rd: rd?, rn: rn?, rm: rm? },
+        op::ASR_REG => AsrReg { rd: rd?, rn: rn?, rm: rm? },
+        op::CMP => Cmp { rn: rn?, rm: rm? },
+        op::CMP_IMM => CmpImm { rn: rn?, imm },
+        op::TST => Tst { rn: rn?, rm: rm? },
+        op::LDR => Ldr { rt: rd?, rn: rn?, off: imm },
+        op::LDR_REG => LdrReg { rt: rd?, rn: rn?, rm: rm? },
+        op::LDRH => Ldrh { rt: rd?, rn: rn?, off: imm },
+        op::LDRH_REG => LdrhReg { rt: rd?, rn: rn?, rm: rm? },
+        op::LDRSH_REG => LdrshReg { rt: rd?, rn: rn?, rm: rm? },
+        op::LDRB => Ldrb { rt: rd?, rn: rn?, off: imm },
+        op::LDRB_REG => LdrbReg { rt: rd?, rn: rn?, rm: rm? },
+        op::STR => Str { rt: rd?, rn: rn?, off: imm },
+        op::STR_REG => StrReg { rt: rd?, rn: rn?, rm: rm? },
+        op::STRH => Strh { rt: rd?, rn: rn?, off: imm },
+        op::STRH_REG => StrhReg { rt: rd?, rn: rn?, rm: rm? },
+        op::STRB => Strb { rt: rd?, rn: rn?, off: imm },
+        op::STRB_REG => StrbReg { rt: rd?, rn: rn?, rm: rm? },
+        op::B => B { target: imm32 },
+        op::B_COND => BCond {
+            cond: Cond::from_index(aux).ok_or(DecodeError::BadCondition(aux))?,
+            target: imm32,
+        },
+        op::BL => Bl { target: imm32 },
+        op::BX => Bx { rm: rm? },
+        op::SKM => Skm { target: imm32 },
+        op::NOP => Nop,
+        op::HALT => Halt,
+        other => return Err(DecodeError::UnknownOpcode(other)),
+    })
+}
+
+/// Encodes a whole instruction stream.
+pub fn encode_program(instrs: &[Instr]) -> Vec<u64> {
+    instrs.iter().map(encode).collect()
+}
+
+/// Decodes a whole instruction stream.
+///
+/// # Errors
+///
+/// Returns the first [`DecodeError`] with its position.
+pub fn decode_program(words: &[u64]) -> Result<Vec<Instr>, (usize, DecodeError)> {
+    words
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| decode(w).map_err(|e| (i, e)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn decode_rejects_unknown_opcode() {
+        assert_eq!(decode(0xff), Err(DecodeError::UnknownOpcode(0xff)));
+        assert_eq!(decode(0x00), Err(DecodeError::UnknownOpcode(0x00)));
+    }
+
+    #[test]
+    fn decode_rejects_bad_lane_width() {
+        let w = pack(op::ADD_ASV, 0, 1, 2, 5, 0, 0);
+        assert_eq!(decode(w), Err(DecodeError::BadLaneWidth(5)));
+    }
+
+    #[test]
+    fn decode_rejects_bad_subword() {
+        let w = pack(op::MUL_ASP, 0, 1, 2, 8, 25, 0); // shift 25 + 8 bits > 32
+        assert_eq!(decode(w), Err(DecodeError::BadSubword { bits: 8, pos: 25 }));
+        let w = pack(op::MUL_ASP, 0, 1, 2, 0, 0, 0);
+        assert_eq!(decode(w), Err(DecodeError::BadSubword { bits: 0, pos: 0 }));
+    }
+
+    #[test]
+    fn decode_rejects_bad_shift() {
+        let w = pack(op::LSL_IMM, 0, 1, 0, 32, 0, 0);
+        assert_eq!(decode(w), Err(DecodeError::BadShift(32)));
+        let w = pack(op::ASR_IMM, 0, 1, 0, 63, 0, 0);
+        assert_eq!(decode(w), Err(DecodeError::BadShift(63)));
+    }
+
+    #[test]
+    fn decode_rejects_bad_condition() {
+        let w = pack(op::B_COND, 0, 0, 0, 14, 0, 0);
+        assert_eq!(decode(w), Err(DecodeError::BadCondition(14)));
+    }
+
+    #[test]
+    fn negative_immediates_roundtrip() {
+        let i = Instr::MovImm { rd: Reg::R3, imm: -123456 };
+        assert_eq!(decode(encode(&i)).unwrap(), i);
+        let i = Instr::Ldr { rt: Reg::R1, rn: Reg::R2, off: -8 };
+        assert_eq!(decode(encode(&i)).unwrap(), i);
+    }
+
+    #[test]
+    fn program_roundtrip() {
+        let instrs = vec![
+            Instr::MovImm { rd: Reg::R0, imm: 7 },
+            Instr::Skm { target: 3 },
+            Instr::AddAsv { rd: Reg::R1, rn: Reg::R1, rm: Reg::R2, lanes: LaneWidth::W8 },
+            Instr::Halt,
+        ];
+        let words = encode_program(&instrs);
+        assert_eq!(decode_program(&words).unwrap(), instrs);
+    }
+
+    #[test]
+    fn decode_program_reports_position() {
+        let mut words = encode_program(&[Instr::Nop, Instr::Halt]);
+        words.insert(1, 0xfe);
+        let err = decode_program(&words).unwrap_err();
+        assert_eq!(err.0, 1);
+    }
+
+    // ---- proptest strategies -------------------------------------------
+
+    fn any_reg() -> impl Strategy<Value = Reg> {
+        (0usize..16).prop_map(|i| Reg::from_index(i).unwrap())
+    }
+
+    fn any_cond() -> impl Strategy<Value = Cond> {
+        (0u8..14).prop_map(|i| Cond::from_index(i).unwrap())
+    }
+
+    fn any_lanes() -> impl Strategy<Value = LaneWidth> {
+        prop_oneof![Just(LaneWidth::W4), Just(LaneWidth::W8), Just(LaneWidth::W16)]
+    }
+
+    fn any_subword() -> impl Strategy<Value = (u8, u8)> {
+        (1u8..=16).prop_flat_map(|bits| {
+            let max_shift = 32 - bits;
+            (Just(bits), 0..=max_shift)
+        })
+    }
+
+    prop_compose! {
+        fn rrr()(rd in any_reg(), rn in any_reg(), rm in any_reg()) -> (Reg, Reg, Reg) {
+            (rd, rn, rm)
+        }
+    }
+
+    fn any_instr() -> impl Strategy<Value = Instr> {
+        prop_oneof![
+            (any_reg(), any::<i32>()).prop_map(|(rd, imm)| Instr::MovImm { rd, imm }),
+            (any_reg(), any_reg()).prop_map(|(rd, rm)| Instr::Mov { rd, rm }),
+            rrr().prop_map(|(rd, rn, rm)| Instr::Add { rd, rn, rm }),
+            (any_reg(), any_reg(), any::<i32>())
+                .prop_map(|(rd, rn, imm)| Instr::AddImm { rd, rn, imm }),
+            rrr().prop_map(|(rd, rn, rm)| Instr::Sub { rd, rn, rm }),
+            rrr().prop_map(|(rd, rn, rm)| Instr::Mul { rd, rn, rm }),
+            (rrr(), any_subword()).prop_map(|((rd, rn, rm), (bits, shift))| Instr::MulAsp {
+                rd,
+                rn,
+                rm,
+                bits,
+                shift
+            }),
+            (rrr(), any_lanes())
+                .prop_map(|((rd, rn, rm), lanes)| Instr::AddAsv { rd, rn, rm, lanes }),
+            (rrr(), any_lanes())
+                .prop_map(|((rd, rn, rm), lanes)| Instr::SubAsv { rd, rn, rm, lanes }),
+            rrr().prop_map(|(rd, rn, rm)| Instr::Eor { rd, rn, rm }),
+            (any_reg(), any_reg(), 0u8..32).prop_map(|(rd, rn, sh)| Instr::LslImm { rd, rn, sh }),
+            (any_reg(), any_reg(), 0u8..32).prop_map(|(rd, rn, sh)| Instr::AsrImm { rd, rn, sh }),
+            (any_reg(), any::<i32>()).prop_map(|(rn, imm)| Instr::CmpImm { rn, imm }),
+            (any_reg(), any_reg(), any::<i32>())
+                .prop_map(|(rt, rn, off)| Instr::Ldr { rt, rn, off }),
+            rrr().prop_map(|(rt, rn, rm)| Instr::LdrbReg { rt, rn, rm }),
+            (any_reg(), any_reg(), any::<i32>())
+                .prop_map(|(rt, rn, off)| Instr::Strh { rt, rn, off }),
+            any::<u32>().prop_map(|target| Instr::B { target }),
+            (any_cond(), any::<u32>()).prop_map(|(cond, target)| Instr::BCond { cond, target }),
+            any::<u32>().prop_map(|target| Instr::Skm { target }),
+            Just(Instr::Nop),
+            Just(Instr::Halt),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn encode_decode_roundtrip(instr in any_instr()) {
+            let decoded = decode(encode(&instr)).expect("valid instruction must decode");
+            prop_assert_eq!(decoded, instr);
+        }
+
+        #[test]
+        fn encoding_is_injective(a in any_instr(), b in any_instr()) {
+            if a != b {
+                prop_assert_ne!(encode(&a), encode(&b));
+            }
+        }
+    }
+}

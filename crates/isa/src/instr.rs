@@ -1,0 +1,468 @@
+//! The WN-RISC instruction enum and its disassembly.
+
+use std::fmt;
+
+use crate::cond::Cond;
+use crate::reg::Reg;
+
+/// Lane width for anytime subword vectorization (`*_ASV<BITS>`).
+///
+/// A 32-bit ALU operation is partitioned into independent lanes of this
+/// width by muxes inserted into the carry chain (paper §III-B, Fig. 8):
+/// carries never cross a lane boundary.
+///
+/// * `W4` — eight 4-bit lanes (`ADD_ASV4`),
+/// * `W8` — four 8-bit lanes (`ADD_ASV8`),
+/// * `W16` — two 16-bit lanes (`ADD_ASV16`, used for *provisioned* 8-bit
+///   subword addition where each subword is allocated double width).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum LaneWidth {
+    /// Eight 4-bit lanes.
+    W4 = 4,
+    /// Four 8-bit lanes.
+    W8 = 8,
+    /// Two 16-bit lanes.
+    W16 = 16,
+}
+
+impl LaneWidth {
+    /// All lane widths.
+    pub const ALL: [LaneWidth; 3] = [LaneWidth::W4, LaneWidth::W8, LaneWidth::W16];
+
+    /// Lane width in bits.
+    #[inline]
+    pub const fn bits(self) -> u32 {
+        self as u32
+    }
+
+    /// Number of lanes in a 32-bit word.
+    #[inline]
+    pub const fn lanes(self) -> u32 {
+        32 / self.bits()
+    }
+
+    /// Builds a lane width from a bit count (4, 8 or 16).
+    pub const fn from_bits(bits: u8) -> Option<LaneWidth> {
+        match bits {
+            4 => Some(LaneWidth::W4),
+            8 => Some(LaneWidth::W8),
+            16 => Some(LaneWidth::W16),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for LaneWidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.bits())
+    }
+}
+
+/// A WN-RISC instruction.
+///
+/// Branch targets are *instruction indices* into [`crate::Program::instrs`]
+/// (the simulator's program counter advances in whole instructions; code
+/// size in bytes is reported separately via [`Instr::size_bytes`]).
+///
+/// Cycle costs are owned by the simulator's cycle model (`wn-sim`), not by
+/// this enum, so alternative cost models can be explored without touching
+/// the ISA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instr {
+    // ---- moves -----------------------------------------------------------
+    /// `MOV rd, #imm` — load an immediate.
+    MovImm { rd: Reg, imm: i32 },
+    /// `MOV rd, rm` — register move.
+    Mov { rd: Reg, rm: Reg },
+    /// `MVN rd, rm` — bitwise NOT.
+    Mvn { rd: Reg, rm: Reg },
+
+    // ---- arithmetic ------------------------------------------------------
+    /// `ADD rd, rn, rm`.
+    Add { rd: Reg, rn: Reg, rm: Reg },
+    /// `ADD rd, rn, #imm`.
+    AddImm { rd: Reg, rn: Reg, imm: i32 },
+    /// `SUB rd, rn, rm`.
+    Sub { rd: Reg, rn: Reg, rm: Reg },
+    /// `SUB rd, rn, #imm`.
+    SubImm { rd: Reg, rn: Reg, imm: i32 },
+    /// `RSB rd, rn` — reverse subtract from zero (negate).
+    Rsb { rd: Reg, rn: Reg },
+
+    // ---- multiply --------------------------------------------------------
+    /// `MUL rd, rn, rm` — full iterative multiply (`rd = rn * rm`).
+    ///
+    /// On the modeled Cortex-M0+ the multiplier is iterative: one multiplier
+    /// bit per cycle, 16 cycles for the 16×16 full-precision case the paper
+    /// evaluates.
+    Mul { rd: Reg, rn: Reg, rm: Reg },
+    /// `MUL_ASP<BITS> rd, rn, rm, #shift` — anytime subword-pipelined
+    /// multiply.
+    ///
+    /// Computes `rd = rn * ((rm & mask(bits)) << shift)` where the low
+    /// `bits` bits of `rm` hold the subword (already extracted by the
+    /// preceding subword load) and `shift` is its significance in bits.
+    /// Takes `bits` cycles on the iterative multiplier instead of the
+    /// full 16.
+    ///
+    /// The paper's listings write the third operand as a subword
+    /// *position* (`MUL_ASP8 …, #1` = the second 8-bit subword); here the
+    /// operand is the raw shift (`#8`), which also expresses the
+    /// top-aligned levels used for subword sizes that do not divide the
+    /// data width (Fig. 15's 3-bit subwords).
+    MulAsp { rd: Reg, rn: Reg, rm: Reg, bits: u8, shift: u8 },
+
+    // ---- anytime subword vectorization ------------------------------------
+    /// `ADD_ASV<BITS> rd, rn, rm` — lane-wise addition; carries do not cross
+    /// lane boundaries (paper Fig. 8).
+    AddAsv { rd: Reg, rn: Reg, rm: Reg, lanes: LaneWidth },
+    /// `SUB_ASV<BITS> rd, rn, rm` — lane-wise subtraction; borrows do not
+    /// cross lane boundaries.
+    SubAsv { rd: Reg, rn: Reg, rm: Reg, lanes: LaneWidth },
+
+    // ---- logical / shifts --------------------------------------------------
+    /// `AND rd, rn, rm`.
+    And { rd: Reg, rn: Reg, rm: Reg },
+    /// `ORR rd, rn, rm`.
+    Orr { rd: Reg, rn: Reg, rm: Reg },
+    /// `EOR rd, rn, rm`.
+    Eor { rd: Reg, rn: Reg, rm: Reg },
+    /// `BIC rd, rn, rm` — bit clear (`rd = rn & !rm`).
+    Bic { rd: Reg, rn: Reg, rm: Reg },
+    /// `AND rd, rn, #imm`.
+    AndImm { rd: Reg, rn: Reg, imm: i32 },
+    /// `LSL rd, rn, #sh` — logical shift left by immediate.
+    LslImm { rd: Reg, rn: Reg, sh: u8 },
+    /// `LSR rd, rn, #sh` — logical shift right by immediate.
+    LsrImm { rd: Reg, rn: Reg, sh: u8 },
+    /// `ASR rd, rn, #sh` — arithmetic shift right by immediate.
+    AsrImm { rd: Reg, rn: Reg, sh: u8 },
+    /// `LSL rd, rn, rm` — logical shift left by register.
+    LslReg { rd: Reg, rn: Reg, rm: Reg },
+    /// `LSR rd, rn, rm` — logical shift right by register.
+    LsrReg { rd: Reg, rn: Reg, rm: Reg },
+    /// `ASR rd, rn, rm` — arithmetic shift right by register.
+    AsrReg { rd: Reg, rn: Reg, rm: Reg },
+
+    // ---- compare ----------------------------------------------------------
+    /// `CMP rn, rm` — compare, sets flags from `rn - rm`.
+    Cmp { rn: Reg, rm: Reg },
+    /// `CMP rn, #imm`.
+    CmpImm { rn: Reg, imm: i32 },
+    /// `TST rn, rm` — sets N/Z from `rn & rm`.
+    Tst { rn: Reg, rm: Reg },
+
+    // ---- memory ------------------------------------------------------------
+    /// `LDR rt, [rn, #off]` — load 32-bit word.
+    Ldr { rt: Reg, rn: Reg, off: i32 },
+    /// `LDR rt, [rn, rm]` — load 32-bit word, register offset.
+    LdrReg { rt: Reg, rn: Reg, rm: Reg },
+    /// `LDRH rt, [rn, #off]` — load 16-bit halfword, zero-extended.
+    Ldrh { rt: Reg, rn: Reg, off: i32 },
+    /// `LDRH rt, [rn, rm]`.
+    LdrhReg { rt: Reg, rn: Reg, rm: Reg },
+    /// `LDRSH rt, [rn, rm]` — load 16-bit halfword, sign-extended.
+    LdrshReg { rt: Reg, rn: Reg, rm: Reg },
+    /// `LDRB rt, [rn, #off]` — load byte, zero-extended.
+    Ldrb { rt: Reg, rn: Reg, off: i32 },
+    /// `LDRB rt, [rn, rm]`.
+    LdrbReg { rt: Reg, rn: Reg, rm: Reg },
+    /// `STR rt, [rn, #off]` — store 32-bit word.
+    Str { rt: Reg, rn: Reg, off: i32 },
+    /// `STR rt, [rn, rm]`.
+    StrReg { rt: Reg, rn: Reg, rm: Reg },
+    /// `STRH rt, [rn, #off]` — store low 16 bits.
+    Strh { rt: Reg, rn: Reg, off: i32 },
+    /// `STRH rt, [rn, rm]`.
+    StrhReg { rt: Reg, rn: Reg, rm: Reg },
+    /// `STRB rt, [rn, #off]` — store low byte.
+    Strb { rt: Reg, rn: Reg, off: i32 },
+    /// `STRB rt, [rn, rm]`.
+    StrbReg { rt: Reg, rn: Reg, rm: Reg },
+
+    // ---- control flow -------------------------------------------------------
+    /// `B target` — unconditional branch (target = instruction index).
+    B { target: u32 },
+    /// `B<cond> target` — conditional branch.
+    BCond { cond: Cond, target: u32 },
+    /// `BL target` — branch and link (`lr = return index`).
+    Bl { target: u32 },
+    /// `BX rm` — branch to register (returns).
+    Bx { rm: Reg },
+
+    // ---- What's Next extensions ----------------------------------------------
+    /// `SKM target` — **skim point** (paper §III-C).
+    ///
+    /// Writes `target` into the dedicated non-volatile SKM register,
+    /// indicating that an acceptable approximate result is available from
+    /// this point on. After a power outage, the restore logic jumps to the
+    /// skim target instead of the checkpointed PC, committing the current
+    /// approximate output as-is and moving on.
+    Skm { target: u32 },
+
+    // ---- misc ------------------------------------------------------------------
+    /// `NOP`.
+    Nop,
+    /// `HALT` — end of program (models the device signalling completion).
+    Halt,
+}
+
+impl Instr {
+    /// Code size in bytes, for the paper's code-size accounting (§III-A
+    /// reports ≈1 KB growth from precise to anytime 4-bit for the largest
+    /// benchmark).
+    ///
+    /// Conventional instructions are 2 bytes (Thumb-equivalent); WN
+    /// extension instructions and wide immediates are 4 bytes.
+    pub fn size_bytes(&self) -> u32 {
+        match self {
+            Instr::MulAsp { .. }
+            | Instr::AddAsv { .. }
+            | Instr::SubAsv { .. }
+            | Instr::Skm { .. }
+            | Instr::Bl { .. } => 4,
+            Instr::MovImm { imm, .. }
+            | Instr::AddImm { imm, .. }
+            | Instr::SubImm { imm, .. }
+            | Instr::AndImm { imm, .. }
+            | Instr::CmpImm { imm, .. } => {
+                if (0..=255).contains(imm) {
+                    2
+                } else {
+                    4
+                }
+            }
+            // Thumb immediate-offset loads/stores encode a small scaled
+            // unsigned offset (imm5); anything beyond needs a wide
+            // encoding or an extra instruction.
+            Instr::Ldr { off, .. }
+            | Instr::Ldrh { off, .. }
+            | Instr::Ldrb { off, .. }
+            | Instr::Str { off, .. }
+            | Instr::Strh { off, .. }
+            | Instr::Strb { off, .. } => {
+                if (0..=124).contains(off) {
+                    2
+                } else {
+                    4
+                }
+            }
+            _ => 2,
+        }
+    }
+
+    /// True for instructions introduced by the What's Next architecture.
+    pub fn is_wn_extension(&self) -> bool {
+        matches!(
+            self,
+            Instr::MulAsp { .. } | Instr::AddAsv { .. } | Instr::SubAsv { .. } | Instr::Skm { .. }
+        )
+    }
+
+    /// True for memory accesses (loads and stores).
+    pub fn is_memory(&self) -> bool {
+        self.is_load() || self.is_store()
+    }
+
+    /// True for load instructions.
+    pub fn is_load(&self) -> bool {
+        matches!(
+            self,
+            Instr::Ldr { .. }
+                | Instr::LdrReg { .. }
+                | Instr::Ldrh { .. }
+                | Instr::LdrhReg { .. }
+                | Instr::LdrshReg { .. }
+                | Instr::Ldrb { .. }
+                | Instr::LdrbReg { .. }
+        )
+    }
+
+    /// True for store instructions.
+    pub fn is_store(&self) -> bool {
+        matches!(
+            self,
+            Instr::Str { .. }
+                | Instr::StrReg { .. }
+                | Instr::Strh { .. }
+                | Instr::StrhReg { .. }
+                | Instr::Strb { .. }
+                | Instr::StrbReg { .. }
+        )
+    }
+
+    /// True for control-flow instructions (branches).
+    pub fn is_branch(&self) -> bool {
+        matches!(
+            self,
+            Instr::B { .. } | Instr::BCond { .. } | Instr::Bl { .. } | Instr::Bx { .. }
+        )
+    }
+
+    /// The static branch target, if this instruction has one.
+    pub fn branch_target(&self) -> Option<u32> {
+        match self {
+            Instr::B { target }
+            | Instr::BCond { target, .. }
+            | Instr::Bl { target }
+            | Instr::Skm { target } => Some(*target),
+            _ => None,
+        }
+    }
+
+    /// Rewrites the static branch target, if this instruction has one.
+    pub(crate) fn set_branch_target(&mut self, new: u32) {
+        match self {
+            Instr::B { target }
+            | Instr::BCond { target, .. }
+            | Instr::Bl { target }
+            | Instr::Skm { target } => *target = new,
+            _ => {}
+        }
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instr::MovImm { rd, imm } => write!(f, "MOV {rd}, #{imm}"),
+            Instr::Mov { rd, rm } => write!(f, "MOV {rd}, {rm}"),
+            Instr::Mvn { rd, rm } => write!(f, "MVN {rd}, {rm}"),
+            Instr::Add { rd, rn, rm } => write!(f, "ADD {rd}, {rn}, {rm}"),
+            Instr::AddImm { rd, rn, imm } => write!(f, "ADD {rd}, {rn}, #{imm}"),
+            Instr::Sub { rd, rn, rm } => write!(f, "SUB {rd}, {rn}, {rm}"),
+            Instr::SubImm { rd, rn, imm } => write!(f, "SUB {rd}, {rn}, #{imm}"),
+            Instr::Rsb { rd, rn } => write!(f, "RSB {rd}, {rn}"),
+            Instr::Mul { rd, rn, rm } => write!(f, "MUL {rd}, {rn}, {rm}"),
+            Instr::MulAsp { rd, rn, rm, bits, shift } => {
+                write!(f, "MUL_ASP{bits} {rd}, {rn}, {rm}, #{shift}")
+            }
+            Instr::AddAsv { rd, rn, rm, lanes } => write!(f, "ADD_ASV{lanes} {rd}, {rn}, {rm}"),
+            Instr::SubAsv { rd, rn, rm, lanes } => write!(f, "SUB_ASV{lanes} {rd}, {rn}, {rm}"),
+            Instr::And { rd, rn, rm } => write!(f, "AND {rd}, {rn}, {rm}"),
+            Instr::Orr { rd, rn, rm } => write!(f, "ORR {rd}, {rn}, {rm}"),
+            Instr::Eor { rd, rn, rm } => write!(f, "EOR {rd}, {rn}, {rm}"),
+            Instr::Bic { rd, rn, rm } => write!(f, "BIC {rd}, {rn}, {rm}"),
+            Instr::AndImm { rd, rn, imm } => write!(f, "AND {rd}, {rn}, #{imm}"),
+            Instr::LslImm { rd, rn, sh } => write!(f, "LSL {rd}, {rn}, #{sh}"),
+            Instr::LsrImm { rd, rn, sh } => write!(f, "LSR {rd}, {rn}, #{sh}"),
+            Instr::AsrImm { rd, rn, sh } => write!(f, "ASR {rd}, {rn}, #{sh}"),
+            Instr::LslReg { rd, rn, rm } => write!(f, "LSL {rd}, {rn}, {rm}"),
+            Instr::LsrReg { rd, rn, rm } => write!(f, "LSR {rd}, {rn}, {rm}"),
+            Instr::AsrReg { rd, rn, rm } => write!(f, "ASR {rd}, {rn}, {rm}"),
+            Instr::Cmp { rn, rm } => write!(f, "CMP {rn}, {rm}"),
+            Instr::CmpImm { rn, imm } => write!(f, "CMP {rn}, #{imm}"),
+            Instr::Tst { rn, rm } => write!(f, "TST {rn}, {rm}"),
+            Instr::Ldr { rt, rn, off } => write!(f, "LDR {rt}, [{rn}, #{off}]"),
+            Instr::LdrReg { rt, rn, rm } => write!(f, "LDR {rt}, [{rn}, {rm}]"),
+            Instr::Ldrh { rt, rn, off } => write!(f, "LDRH {rt}, [{rn}, #{off}]"),
+            Instr::LdrhReg { rt, rn, rm } => write!(f, "LDRH {rt}, [{rn}, {rm}]"),
+            Instr::LdrshReg { rt, rn, rm } => write!(f, "LDRSH {rt}, [{rn}, {rm}]"),
+            Instr::Ldrb { rt, rn, off } => write!(f, "LDRB {rt}, [{rn}, #{off}]"),
+            Instr::LdrbReg { rt, rn, rm } => write!(f, "LDRB {rt}, [{rn}, {rm}]"),
+            Instr::Str { rt, rn, off } => write!(f, "STR {rt}, [{rn}, #{off}]"),
+            Instr::StrReg { rt, rn, rm } => write!(f, "STR {rt}, [{rn}, {rm}]"),
+            Instr::Strh { rt, rn, off } => write!(f, "STRH {rt}, [{rn}, #{off}]"),
+            Instr::StrhReg { rt, rn, rm } => write!(f, "STRH {rt}, [{rn}, {rm}]"),
+            Instr::Strb { rt, rn, off } => write!(f, "STRB {rt}, [{rn}, #{off}]"),
+            Instr::StrbReg { rt, rn, rm } => write!(f, "STRB {rt}, [{rn}, {rm}]"),
+            Instr::B { target } => write!(f, "B {target}"),
+            Instr::BCond { cond, target } => {
+                let mut name = cond.to_string();
+                name.make_ascii_uppercase();
+                write!(f, "B{name} {target}")
+            }
+            Instr::Bl { target } => write!(f, "BL {target}"),
+            Instr::Bx { rm } => write!(f, "BX {rm}"),
+            Instr::Skm { target } => write!(f, "SKM {target}"),
+            Instr::Nop => write!(f, "NOP"),
+            Instr::Halt => write!(f, "HALT"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_width_arithmetic() {
+        assert_eq!(LaneWidth::W4.lanes(), 8);
+        assert_eq!(LaneWidth::W8.lanes(), 4);
+        assert_eq!(LaneWidth::W16.lanes(), 2);
+        for lw in LaneWidth::ALL {
+            assert_eq!(lw.bits() * lw.lanes(), 32);
+            assert_eq!(LaneWidth::from_bits(lw.bits() as u8), Some(lw));
+        }
+        assert_eq!(LaneWidth::from_bits(5), None);
+    }
+
+    #[test]
+    fn classification() {
+        let mul_asp = Instr::MulAsp { rd: Reg::R0, rn: Reg::R1, rm: Reg::R2, bits: 8, shift: 8 };
+        assert!(mul_asp.is_wn_extension());
+        assert!(!mul_asp.is_memory());
+
+        let ldr = Instr::Ldr { rt: Reg::R0, rn: Reg::R1, off: 0 };
+        assert!(ldr.is_load() && ldr.is_memory() && !ldr.is_store());
+
+        let strb = Instr::Strb { rt: Reg::R0, rn: Reg::R1, off: 4 };
+        assert!(strb.is_store() && strb.is_memory() && !strb.is_load());
+
+        let b = Instr::B { target: 3 };
+        assert!(b.is_branch());
+        assert_eq!(b.branch_target(), Some(3));
+
+        let skm = Instr::Skm { target: 9 };
+        assert!(skm.is_wn_extension());
+        assert_eq!(skm.branch_target(), Some(9));
+        assert!(!skm.is_branch());
+    }
+
+    #[test]
+    fn size_accounting() {
+        assert_eq!(Instr::Nop.size_bytes(), 2);
+        assert_eq!(Instr::MovImm { rd: Reg::R0, imm: 200 }.size_bytes(), 2);
+        assert_eq!(Instr::MovImm { rd: Reg::R0, imm: 70000 }.size_bytes(), 4);
+        assert_eq!(Instr::MovImm { rd: Reg::R0, imm: -1 }.size_bytes(), 4);
+        assert_eq!(Instr::Skm { target: 0 }.size_bytes(), 4);
+        assert_eq!(Instr::Ldr { rt: Reg::R0, rn: Reg::R1, off: 64 }.size_bytes(), 2);
+        assert_eq!(Instr::Ldr { rt: Reg::R0, rn: Reg::R1, off: 1024 }.size_bytes(), 4);
+        assert_eq!(Instr::Str { rt: Reg::R0, rn: Reg::R1, off: -8 }.size_bytes(), 4);
+        assert_eq!(
+            Instr::AddAsv { rd: Reg::R0, rn: Reg::R1, rm: Reg::R2, lanes: LaneWidth::W8 }
+                .size_bytes(),
+            4
+        );
+    }
+
+    #[test]
+    fn retarget() {
+        let mut b = Instr::BCond { cond: Cond::Ne, target: 1 };
+        b.set_branch_target(42);
+        assert_eq!(b.branch_target(), Some(42));
+
+        let mut add = Instr::Add { rd: Reg::R0, rn: Reg::R0, rm: Reg::R0 };
+        add.set_branch_target(42); // no-op
+        assert_eq!(add.branch_target(), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            Instr::MulAsp { rd: Reg::R4, rn: Reg::R4, rm: Reg::R5, bits: 8, shift: 8 }.to_string(),
+            "MUL_ASP8 r4, r4, r5, #8"
+        );
+        assert_eq!(
+            Instr::AddAsv { rd: Reg::R3, rn: Reg::R3, rm: Reg::R4, lanes: LaneWidth::W8 }
+                .to_string(),
+            "ADD_ASV8 r3, r3, r4"
+        );
+        assert_eq!(Instr::Skm { target: 17 }.to_string(), "SKM 17");
+        assert_eq!(
+            Instr::BCond { cond: Cond::Lt, target: 2 }.to_string(),
+            "BLT 2"
+        );
+    }
+}

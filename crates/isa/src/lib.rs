@@ -1,0 +1,64 @@
+//! # wn-isa — the WN-RISC instruction set
+//!
+//! Instruction-set definition for the *What's Next* (WN) intermittent
+//! computing architecture (Ganesan, San Miguel, Enright Jerger — HPCA 2019).
+//!
+//! WN-RISC is a clean 32-bit RISC instruction set modeled on the ARMv6-M
+//! profile of the ARM Cortex-M0+ that the paper targets: sixteen 32-bit
+//! registers, condition flags, a two-stage pipeline (modeled by the cycle
+//! costs in `wn-sim`), no caches and an *iterative* multiplier. On top of
+//! the conventional subset, WN-RISC adds the paper's three architectural
+//! extensions:
+//!
+//! * [`Instr::MulAsp`] — **anytime subword pipelining** (`MUL_ASP<BITS>`):
+//!   multiply a full-precision operand by a `BITS`-wide subword of the
+//!   second operand, in `BITS` cycles instead of the full 16.
+//! * [`Instr::AddAsv`] / [`Instr::SubAsv`] — **anytime subword
+//!   vectorization** (`ADD_ASV<BITS>`): lane-wise addition/subtraction in
+//!   which carries do not propagate across `BITS`-wide lanes, so one 32-bit
+//!   operation processes the same-significance subword of several data
+//!   elements at once.
+//! * [`Instr::Skm`] — **skim points** (`SKM`): record a restore target in a
+//!   dedicated non-volatile register, decoupling the checkpoint location
+//!   from the recovery location after a power outage.
+//!
+//! The crate provides the instruction enum ([`Instr`]), registers
+//! ([`Reg`]), condition codes ([`Cond`]), an assembled program container
+//! ([`Program`]), a two-pass text assembler ([`asm::assemble`]), a
+//! disassembler (the [`std::fmt::Display`] impl on [`Instr`]) and a packed
+//! 64-bit binary encoding ([`encode`]).
+//!
+//! ```
+//! use wn_isa::asm::assemble;
+//!
+//! let program = assemble(
+//!     r#"
+//!     .text
+//!     main:
+//!         MOV   r0, #5
+//!         MOV   r1, #7
+//!         MUL   r0, r0, r1
+//!         HALT
+//!     "#,
+//! )?;
+//! assert_eq!(program.instrs.len(), 4);
+//! # Ok::<(), wn_isa::asm::AsmError>(())
+//! ```
+
+pub mod asm;
+pub mod cond;
+pub mod encode;
+pub mod instr;
+pub mod program;
+pub mod reg;
+
+pub use cond::Cond;
+pub use instr::{Instr, LaneWidth};
+pub use program::{DataItem, Program, ProgramBuilder};
+pub use reg::Reg;
+
+/// Number of architectural registers (R0–R15).
+pub const NUM_REGS: usize = 16;
+
+/// Maximum subword width accepted by `MUL_ASP` (the full multiplier width).
+pub const MAX_ASP_BITS: u8 = 16;

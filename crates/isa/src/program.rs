@@ -1,0 +1,483 @@
+//! Assembled program container and a label-patching builder.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::instr::Instr;
+
+/// An item placed in the data segment by [`ProgramBuilder::data`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataItem {
+    /// Little-endian 32-bit words.
+    Words(Vec<i32>),
+    /// Little-endian 16-bit halfwords.
+    Halves(Vec<i16>),
+    /// Raw bytes.
+    Bytes(Vec<u8>),
+    /// `len` zero bytes.
+    Space(u32),
+}
+
+impl DataItem {
+    /// Size of the item in bytes.
+    pub fn size_bytes(&self) -> u32 {
+        match self {
+            DataItem::Words(w) => 4 * w.len() as u32,
+            DataItem::Halves(h) => 2 * h.len() as u32,
+            DataItem::Bytes(b) => b.len() as u32,
+            DataItem::Space(n) => *n,
+        }
+    }
+
+    /// Natural alignment of the item in bytes.
+    pub fn align_bytes(&self) -> u32 {
+        match self {
+            DataItem::Words(_) => 4,
+            DataItem::Halves(_) => 2,
+            DataItem::Bytes(_) | DataItem::Space(_) => 1,
+        }
+    }
+}
+
+/// A fully assembled WN-RISC program: instructions plus an initial data
+/// image and a symbol table.
+///
+/// Instruction addresses are indices into [`Program::instrs`]; data symbols
+/// are byte addresses into the simulator's data memory, whose first
+/// `initial_data.len()` bytes are initialized from [`Program::initial_data`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    /// The instruction stream. Index 0 is the entry point unless
+    /// [`Program::entry`] says otherwise.
+    pub instrs: Vec<Instr>,
+    /// Entry instruction index.
+    pub entry: u32,
+    /// Initial contents of data memory, starting at byte address 0.
+    pub initial_data: Vec<u8>,
+    /// Code labels: name → instruction index.
+    pub code_symbols: HashMap<String, u32>,
+    /// Data labels: name → byte address.
+    pub data_symbols: HashMap<String, u32>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// Total code size in bytes (Thumb-equivalent accounting; see
+    /// [`Instr::size_bytes`]).
+    pub fn code_size_bytes(&self) -> u32 {
+        self.instrs.iter().map(Instr::size_bytes).sum()
+    }
+
+    /// Looks up a code label.
+    pub fn code_symbol(&self, name: &str) -> Option<u32> {
+        self.code_symbols.get(name).copied()
+    }
+
+    /// Looks up a data label (byte address).
+    pub fn data_symbol(&self, name: &str) -> Option<u32> {
+        self.data_symbols.get(name).copied()
+    }
+
+    /// Validates internal consistency: every static branch target and every
+    /// code symbol must point inside the instruction stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProgramError`] naming the first violation found.
+    pub fn validate(&self) -> Result<(), ProgramError> {
+        let len = self.instrs.len() as u32;
+        if self.entry >= len && len > 0 {
+            return Err(ProgramError::EntryOutOfRange { entry: self.entry, len });
+        }
+        for (i, instr) in self.instrs.iter().enumerate() {
+            if let Some(target) = instr.branch_target() {
+                if target >= len {
+                    return Err(ProgramError::TargetOutOfRange { at: i as u32, target, len });
+                }
+            }
+        }
+        for (name, &idx) in &self.code_symbols {
+            if idx > len {
+                return Err(ProgramError::SymbolOutOfRange { name: name.clone(), index: idx, len });
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the program as disassembly text, one instruction per line,
+    /// annotated with labels. Branch targets are printed as label names
+    /// (synthesizing `L<index>` labels where needed), so the output can be
+    /// fed back through the assembler.
+    pub fn disassemble(&self) -> String {
+        let mut by_index: HashMap<u32, Vec<String>> = HashMap::new();
+        for (name, &idx) in &self.code_symbols {
+            by_index.entry(idx).or_default().push(name.clone());
+        }
+        // Every branch target needs some label to print.
+        for instr in &self.instrs {
+            if let Some(t) = instr.branch_target() {
+                by_index.entry(t).or_insert_with(|| vec![format!("L{t}")]);
+            }
+        }
+        let label_for = |idx: u32| -> String {
+            let mut names = by_index.get(&idx).cloned().unwrap_or_default();
+            names.sort_unstable();
+            names.into_iter().next().unwrap_or_else(|| format!("L{idx}"))
+        };
+        let mut out = String::new();
+        for (i, instr) in self.instrs.iter().enumerate() {
+            if let Some(labels) = by_index.get(&(i as u32)) {
+                let mut labels = labels.clone();
+                labels.sort_unstable();
+                for l in labels {
+                    out.push_str(&l);
+                    out.push_str(":\n");
+                }
+            }
+            let text = match instr.branch_target() {
+                Some(t) => {
+                    let name = label_for(t);
+                    match instr {
+                        Instr::B { .. } => format!("B {name}"),
+                        Instr::BCond { cond, .. } => {
+                            let mut c = cond.to_string();
+                            c.make_ascii_uppercase();
+                            format!("B{c} {name}")
+                        }
+                        Instr::Bl { .. } => format!("BL {name}"),
+                        Instr::Skm { .. } => format!("SKM {name}"),
+                        _ => instr.to_string(),
+                    }
+                }
+                None => instr.to_string(),
+            };
+            out.push_str(&format!("    {text}\n"));
+        }
+        out
+    }
+}
+
+/// Errors detected by [`Program::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// The entry point is outside the instruction stream.
+    EntryOutOfRange { entry: u32, len: u32 },
+    /// A branch or skim target is outside the instruction stream.
+    TargetOutOfRange { at: u32, target: u32, len: u32 },
+    /// A code symbol points outside the instruction stream.
+    SymbolOutOfRange { name: String, index: u32, len: u32 },
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::EntryOutOfRange { entry, len } => {
+                write!(f, "entry point {entry} outside program of {len} instructions")
+            }
+            ProgramError::TargetOutOfRange { at, target, len } => write!(
+                f,
+                "instruction {at} branches to {target}, outside program of {len} instructions"
+            ),
+            ProgramError::SymbolOutOfRange { name, index, len } => write!(
+                f,
+                "code symbol `{name}` points at {index}, outside program of {len} instructions"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+/// Incremental builder for [`Program`], with forward-label support.
+///
+/// Used by both the assembler and the `wn-compiler` code generator. Labels
+/// may be referenced before they are bound; [`ProgramBuilder::finish`]
+/// patches all recorded fixups.
+///
+/// ```
+/// use wn_isa::{Instr, ProgramBuilder, Reg};
+///
+/// let mut b = ProgramBuilder::new();
+/// b.push(Instr::MovImm { rd: Reg::R0, imm: 1 });
+/// let end = b.branch_to_label("end");
+/// b.push(end);
+/// b.push(Instr::MovImm { rd: Reg::R0, imm: 2 }); // skipped
+/// b.bind_label("end");
+/// b.push(Instr::Halt);
+/// let program = b.finish()?;
+/// assert_eq!(program.code_symbol("end"), Some(3));
+/// # Ok::<(), wn_isa::program::BuildError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    instrs: Vec<Instr>,
+    data: Vec<u8>,
+    code_symbols: HashMap<String, u32>,
+    data_symbols: HashMap<String, u32>,
+    fixups: Vec<(usize, String)>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> ProgramBuilder {
+        ProgramBuilder::default()
+    }
+
+    /// Current instruction index (where the next `push` will land).
+    pub fn here(&self) -> u32 {
+        self.instrs.len() as u32
+    }
+
+    /// Appends an instruction, returning its index.
+    pub fn push(&mut self, instr: Instr) -> u32 {
+        let at = self.here();
+        self.instrs.push(instr);
+        at
+    }
+
+    /// Binds `name` to the current instruction index.
+    ///
+    /// Rebinding a label overwrites the previous binding; the assembler
+    /// rejects duplicates before calling this.
+    pub fn bind_label(&mut self, name: &str) {
+        let here = self.here();
+        self.code_symbols.insert(name.to_string(), here);
+    }
+
+    /// Returns whether a code label has been bound.
+    pub fn is_bound(&self, name: &str) -> bool {
+        self.code_symbols.contains_key(name)
+    }
+
+    /// Creates an instruction that branches to a (possibly not yet bound)
+    /// label. The caller must `push` the returned instruction; the target
+    /// is patched at [`ProgramBuilder::finish`].
+    #[must_use = "the returned instruction must be pushed for the fixup to resolve"]
+    pub fn branch_to_label(&mut self, name: &str) -> Instr {
+        self.fixups.push((self.instrs.len(), name.to_string()));
+        Instr::B { target: u32::MAX }
+    }
+
+    /// Like [`ProgramBuilder::branch_to_label`] but registers the fixup for
+    /// an arbitrary branch-like instruction supplied by the caller (its
+    /// placeholder target is replaced at finish time).
+    #[must_use = "the returned instruction must be pushed for the fixup to resolve"]
+    pub fn with_label_target(&mut self, mut instr: Instr, name: &str) -> Instr {
+        debug_assert!(
+            instr.branch_target().is_some(),
+            "with_label_target requires a branch-like instruction"
+        );
+        instr.set_branch_target(u32::MAX);
+        self.fixups.push((self.instrs.len(), name.to_string()));
+        instr
+    }
+
+    /// Appends a data item to the data segment, padding for alignment, and
+    /// binds `name` to its starting byte address. Returns that address.
+    pub fn data(&mut self, name: &str, item: DataItem) -> u32 {
+        let align = item.align_bytes();
+        while !(self.data.len() as u32).is_multiple_of(align) {
+            self.data.push(0);
+        }
+        let addr = self.data.len() as u32;
+        match &item {
+            DataItem::Words(w) => {
+                for v in w {
+                    self.data.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            DataItem::Halves(h) => {
+                for v in h {
+                    self.data.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            DataItem::Bytes(b) => self.data.extend_from_slice(b),
+            DataItem::Space(n) => self.data.extend(std::iter::repeat_n(0, *n as usize)),
+        }
+        self.data_symbols.insert(name.to_string(), addr);
+        addr
+    }
+
+    /// Looks up a data label defined so far.
+    pub fn data_symbol(&self, name: &str) -> Option<u32> {
+        self.data_symbols.get(name).copied()
+    }
+
+    /// Resolves all fixups and produces the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::UnboundLabel`] if any referenced label was
+    /// never bound, or a wrapped [`ProgramError`] if validation fails.
+    pub fn finish(mut self) -> Result<Program, BuildError> {
+        for (at, name) in &self.fixups {
+            let target = *self
+                .code_symbols
+                .get(name)
+                .ok_or_else(|| BuildError::UnboundLabel { name: name.clone(), at: *at as u32 })?;
+            self.instrs[*at].set_branch_target(target);
+        }
+        let program = Program {
+            instrs: self.instrs,
+            entry: 0,
+            initial_data: self.data,
+            code_symbols: self.code_symbols,
+            data_symbols: self.data_symbols,
+        };
+        program.validate().map_err(BuildError::Invalid)?;
+        Ok(program)
+    }
+}
+
+/// Errors produced by [`ProgramBuilder::finish`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A branch referenced a label that was never bound.
+    UnboundLabel { name: String, at: u32 },
+    /// The finished program failed validation.
+    Invalid(ProgramError),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnboundLabel { name, at } => {
+                write!(f, "instruction {at} references unbound label `{name}`")
+            }
+            BuildError::Invalid(e) => write!(f, "invalid program: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BuildError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::Reg;
+
+    #[test]
+    fn builder_resolves_forward_labels() {
+        let mut b = ProgramBuilder::new();
+        let br = b.branch_to_label("skip");
+        b.push(br);
+        b.push(Instr::Nop);
+        b.bind_label("skip");
+        b.push(Instr::Halt);
+        let p = b.finish().unwrap();
+        assert_eq!(p.instrs[0], Instr::B { target: 2 });
+    }
+
+    #[test]
+    fn builder_resolves_backward_labels() {
+        let mut b = ProgramBuilder::new();
+        b.bind_label("top");
+        b.push(Instr::Nop);
+        let br = b.branch_to_label("top");
+        b.push(br);
+        let p = b.finish().unwrap();
+        assert_eq!(p.instrs[1], Instr::B { target: 0 });
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        let br = b.branch_to_label("nowhere");
+        b.push(br);
+        match b.finish() {
+            Err(BuildError::UnboundLabel { name, at }) => {
+                assert_eq!(name, "nowhere");
+                assert_eq!(at, 0);
+            }
+            other => panic!("expected UnboundLabel, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn with_label_target_patches_skm() {
+        let mut b = ProgramBuilder::new();
+        let skm = b.with_label_target(Instr::Skm { target: 0 }, "end");
+        b.push(skm);
+        b.bind_label("end");
+        b.push(Instr::Halt);
+        let p = b.finish().unwrap();
+        assert_eq!(p.instrs[0], Instr::Skm { target: 1 });
+    }
+
+    #[test]
+    fn data_alignment_and_symbols() {
+        let mut b = ProgramBuilder::new();
+        b.data("bytes", DataItem::Bytes(vec![1, 2, 3]));
+        let addr = b.data("words", DataItem::Words(vec![0x0403_0201]));
+        assert_eq!(addr, 4, "word data must be 4-byte aligned");
+        b.push(Instr::Halt);
+        let p = b.finish().unwrap();
+        assert_eq!(p.data_symbol("bytes"), Some(0));
+        assert_eq!(p.data_symbol("words"), Some(4));
+        assert_eq!(&p.initial_data[4..8], &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn data_item_sizes() {
+        assert_eq!(DataItem::Words(vec![1, 2]).size_bytes(), 8);
+        assert_eq!(DataItem::Halves(vec![1, 2, 3]).size_bytes(), 6);
+        assert_eq!(DataItem::Bytes(vec![0; 5]).size_bytes(), 5);
+        assert_eq!(DataItem::Space(17).size_bytes(), 17);
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_target() {
+        let p = Program {
+            instrs: vec![Instr::B { target: 10 }],
+            ..Program::default()
+        };
+        assert!(matches!(p.validate(), Err(ProgramError::TargetOutOfRange { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_bad_entry() {
+        let p = Program {
+            instrs: vec![Instr::Halt],
+            entry: 5,
+            ..Program::default()
+        };
+        assert!(matches!(p.validate(), Err(ProgramError::EntryOutOfRange { .. })));
+    }
+
+    #[test]
+    fn code_size_sums_instruction_sizes() {
+        let p = Program {
+            instrs: vec![
+                Instr::Nop,                                  // 2
+                Instr::Skm { target: 2 },                    // 4
+                Instr::MovImm { rd: Reg::R0, imm: 100_000 }, // 4
+            ],
+            ..Program::default()
+        };
+        assert_eq!(p.code_size_bytes(), 10);
+    }
+
+    #[test]
+    fn disassembly_contains_labels() {
+        let mut b = ProgramBuilder::new();
+        b.bind_label("main");
+        b.push(Instr::Nop);
+        b.bind_label("end");
+        b.push(Instr::Halt);
+        let text = b.finish().unwrap().disassemble();
+        assert!(text.contains("main:"));
+        assert!(text.contains("end:"));
+        assert!(text.contains("NOP"));
+    }
+}

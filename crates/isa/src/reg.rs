@@ -1,0 +1,202 @@
+//! Architectural registers of WN-RISC.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// One of the sixteen 32-bit architectural registers.
+///
+/// `R0`–`R12` are general purpose. Following ARM convention, `R13` is the
+/// stack pointer ([`Reg::SP`]), `R14` the link register ([`Reg::LR`]) and
+/// `R15` the program counter ([`Reg::PC`]).
+///
+/// ```
+/// use wn_isa::Reg;
+/// assert_eq!(Reg::SP.index(), 13);
+/// assert_eq!("r7".parse::<Reg>()?, Reg::R7);
+/// # Ok::<(), wn_isa::reg::ParseRegError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Reg {
+    R0 = 0,
+    R1 = 1,
+    R2 = 2,
+    R3 = 3,
+    R4 = 4,
+    R5 = 5,
+    R6 = 6,
+    R7 = 7,
+    R8 = 8,
+    R9 = 9,
+    R10 = 10,
+    R11 = 11,
+    R12 = 12,
+    /// Stack pointer (`R13`).
+    SP = 13,
+    /// Link register (`R14`).
+    LR = 14,
+    /// Program counter (`R15`).
+    PC = 15,
+}
+
+impl Reg {
+    /// All registers in index order.
+    pub const ALL: [Reg; 16] = [
+        Reg::R0,
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+        Reg::R8,
+        Reg::R9,
+        Reg::R10,
+        Reg::R11,
+        Reg::R12,
+        Reg::SP,
+        Reg::LR,
+        Reg::PC,
+    ];
+
+    /// Returns the register's index in the register file (0–15).
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Builds a register from an index.
+    ///
+    /// Returns `None` if `index > 15`.
+    ///
+    /// ```
+    /// use wn_isa::Reg;
+    /// assert_eq!(Reg::from_index(15), Some(Reg::PC));
+    /// assert_eq!(Reg::from_index(16), None);
+    /// ```
+    pub const fn from_index(index: usize) -> Option<Reg> {
+        if index < 16 {
+            Some(Reg::ALL[index])
+        } else {
+            None
+        }
+    }
+
+    /// True for the general-purpose registers `R0`–`R12`.
+    pub const fn is_general_purpose(self) -> bool {
+        (self as u8) <= 12
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Reg::SP => write!(f, "sp"),
+            Reg::LR => write!(f, "lr"),
+            Reg::PC => write!(f, "pc"),
+            other => write!(f, "r{}", other.index()),
+        }
+    }
+}
+
+/// Error returned when parsing a register name fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRegError {
+    text: String,
+}
+
+impl ParseRegError {
+    /// The text that failed to parse.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+}
+
+impl fmt::Display for ParseRegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid register name `{}`", self.text)
+    }
+}
+
+impl std::error::Error for ParseRegError {}
+
+impl FromStr for Reg {
+    type Err = ParseRegError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.to_ascii_lowercase();
+        match lower.as_str() {
+            "sp" | "r13" => return Ok(Reg::SP),
+            "lr" | "r14" => return Ok(Reg::LR),
+            "pc" | "r15" => return Ok(Reg::PC),
+            _ => {}
+        }
+        let rest = lower
+            .strip_prefix('r')
+            .ok_or_else(|| ParseRegError { text: s.to_string() })?;
+        let index: usize = rest
+            .parse()
+            .map_err(|_| ParseRegError { text: s.to_string() })?;
+        Reg::from_index(index).ok_or_else(|| ParseRegError { text: s.to_string() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for (i, reg) in Reg::ALL.iter().enumerate() {
+            assert_eq!(reg.index(), i);
+            assert_eq!(Reg::from_index(i), Some(*reg));
+        }
+    }
+
+    #[test]
+    fn from_index_out_of_range() {
+        assert_eq!(Reg::from_index(16), None);
+        assert_eq!(Reg::from_index(usize::MAX), None);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Reg::R0.to_string(), "r0");
+        assert_eq!(Reg::R12.to_string(), "r12");
+        assert_eq!(Reg::SP.to_string(), "sp");
+        assert_eq!(Reg::LR.to_string(), "lr");
+        assert_eq!(Reg::PC.to_string(), "pc");
+    }
+
+    #[test]
+    fn parse_aliases() {
+        assert_eq!("R13".parse::<Reg>().unwrap(), Reg::SP);
+        assert_eq!("sp".parse::<Reg>().unwrap(), Reg::SP);
+        assert_eq!("LR".parse::<Reg>().unwrap(), Reg::LR);
+        assert_eq!("pc".parse::<Reg>().unwrap(), Reg::PC);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("r16".parse::<Reg>().is_err());
+        assert!("x0".parse::<Reg>().is_err());
+        assert!("".parse::<Reg>().is_err());
+        assert!("r-1".parse::<Reg>().is_err());
+    }
+
+    #[test]
+    fn general_purpose_split() {
+        assert!(Reg::R0.is_general_purpose());
+        assert!(Reg::R12.is_general_purpose());
+        assert!(!Reg::SP.is_general_purpose());
+        assert!(!Reg::PC.is_general_purpose());
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        for reg in Reg::ALL {
+            assert_eq!(reg.to_string().parse::<Reg>().unwrap(), reg);
+        }
+    }
+}

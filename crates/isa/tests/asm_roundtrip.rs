@@ -1,0 +1,159 @@
+//! Program-level assembler/disassembler fuzzing: any program built from
+//! valid instructions must disassemble to text that reassembles to the
+//! identical instruction stream, with branch targets preserved.
+//!
+//! This complements the per-instruction `encode`/`decode` roundtrip in
+//! `wn_isa::encode`: here the textual surface (mnemonics, operand
+//! syntax, label synthesis) is the thing under test.
+
+use proptest::prelude::*;
+
+use wn_isa::asm::assemble;
+use wn_isa::{Cond, Instr, LaneWidth, Program, Reg};
+
+fn any_reg() -> impl Strategy<Value = Reg> {
+    (0usize..16).prop_map(|i| Reg::from_index(i).unwrap())
+}
+
+fn any_cond() -> impl Strategy<Value = Cond> {
+    (0u8..14).prop_map(|i| Cond::from_index(i).unwrap())
+}
+
+fn any_lanes() -> impl Strategy<Value = LaneWidth> {
+    prop_oneof![Just(LaneWidth::W4), Just(LaneWidth::W8), Just(LaneWidth::W16)]
+}
+
+/// Immediates within the assembler's printable/parsable range.
+fn any_imm() -> impl Strategy<Value = i32> {
+    -0x8000i32..0x8000
+}
+
+/// Aligned word offsets for memory operands.
+fn any_off() -> impl Strategy<Value = i32> {
+    (-64i32..64).prop_map(|w| w * 4)
+}
+
+/// One non-control-flow instruction (branch targets are patched in
+/// afterwards so they stay within the program).
+fn r3() -> impl Strategy<Value = (Reg, Reg, Reg)> {
+    (any_reg(), any_reg(), any_reg())
+}
+
+fn any_straightline() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        (any_reg(), any_imm()).prop_map(|(rd, imm)| Instr::MovImm { rd, imm }),
+        (any_reg(), any_reg()).prop_map(|(rd, rm)| Instr::Mov { rd, rm }),
+        (any_reg(), any_reg()).prop_map(|(rd, rm)| Instr::Mvn { rd, rm }),
+        r3().prop_map(|(rd, rn, rm)| Instr::Add { rd, rn, rm }),
+        (any_reg(), any_reg(), any_imm()).prop_map(|(rd, rn, imm)| Instr::AddImm { rd, rn, imm }),
+        r3().prop_map(|(rd, rn, rm)| Instr::Sub { rd, rn, rm }),
+        (any_reg(), any_reg(), any_imm()).prop_map(|(rd, rn, imm)| Instr::SubImm { rd, rn, imm }),
+        (any_reg(), any_reg()).prop_map(|(rd, rn)| Instr::Rsb { rd, rn }),
+        r3().prop_map(|(rd, rn, rm)| Instr::Mul { rd, rn, rm }),
+        (r3(), 1u8..=16).prop_flat_map(|((rd, rn, rm), bits)| {
+            (Just((rd, rn, rm, bits)), 0u8..=(32 - bits))
+        })
+        .prop_map(|((rd, rn, rm, bits), shift)| Instr::MulAsp { rd, rn, rm, bits, shift }),
+        (r3(), any_lanes()).prop_map(|((rd, rn, rm), lanes)| Instr::AddAsv { rd, rn, rm, lanes }),
+        (r3(), any_lanes()).prop_map(|((rd, rn, rm), lanes)| Instr::SubAsv { rd, rn, rm, lanes }),
+        r3().prop_map(|(rd, rn, rm)| Instr::And { rd, rn, rm }),
+        r3().prop_map(|(rd, rn, rm)| Instr::Orr { rd, rn, rm }),
+        r3().prop_map(|(rd, rn, rm)| Instr::Eor { rd, rn, rm }),
+        r3().prop_map(|(rd, rn, rm)| Instr::Bic { rd, rn, rm }),
+        (any_reg(), any_reg(), any_imm()).prop_map(|(rd, rn, imm)| Instr::AndImm { rd, rn, imm }),
+        (any_reg(), any_reg(), 0u8..32).prop_map(|(rd, rn, sh)| Instr::LslImm { rd, rn, sh }),
+        (any_reg(), any_reg(), 0u8..32).prop_map(|(rd, rn, sh)| Instr::LsrImm { rd, rn, sh }),
+        (any_reg(), any_reg(), 0u8..32).prop_map(|(rd, rn, sh)| Instr::AsrImm { rd, rn, sh }),
+        r3().prop_map(|(rd, rn, rm)| Instr::LslReg { rd, rn, rm }),
+        r3().prop_map(|(rd, rn, rm)| Instr::LsrReg { rd, rn, rm }),
+        r3().prop_map(|(rd, rn, rm)| Instr::AsrReg { rd, rn, rm }),
+        (any_reg(), any_reg()).prop_map(|(rn, rm)| Instr::Cmp { rn, rm }),
+        (any_reg(), any_imm()).prop_map(|(rn, imm)| Instr::CmpImm { rn, imm }),
+        (any_reg(), any_reg()).prop_map(|(rn, rm)| Instr::Tst { rn, rm }),
+        (any_reg(), any_reg(), any_off()).prop_map(|(rt, rn, off)| Instr::Ldr { rt, rn, off }),
+        r3().prop_map(|(rt, rn, rm)| Instr::LdrReg { rt, rn, rm }),
+        (any_reg(), any_reg(), any_off()).prop_map(|(rt, rn, off)| Instr::Ldrh { rt, rn, off }),
+        r3().prop_map(|(rt, rn, rm)| Instr::LdrhReg { rt, rn, rm }),
+        r3().prop_map(|(rt, rn, rm)| Instr::LdrshReg { rt, rn, rm }),
+        (any_reg(), any_reg(), any_off()).prop_map(|(rt, rn, off)| Instr::Ldrb { rt, rn, off }),
+        r3().prop_map(|(rt, rn, rm)| Instr::LdrbReg { rt, rn, rm }),
+        (any_reg(), any_reg(), any_off()).prop_map(|(rt, rn, off)| Instr::Str { rt, rn, off }),
+        r3().prop_map(|(rt, rn, rm)| Instr::StrReg { rt, rn, rm }),
+        (any_reg(), any_reg(), any_off()).prop_map(|(rt, rn, off)| Instr::Strh { rt, rn, off }),
+        r3().prop_map(|(rt, rn, rm)| Instr::StrhReg { rt, rn, rm }),
+        (any_reg(), any_reg(), any_off()).prop_map(|(rt, rn, off)| Instr::Strb { rt, rn, off }),
+        r3().prop_map(|(rt, rn, rm)| Instr::StrbReg { rt, rn, rm }),
+        Just(Instr::Nop),
+    ]
+}
+
+/// A control-flow instruction whose target is a fraction of the final
+/// program length (resolved once the length is known).
+#[derive(Debug, Clone, Copy)]
+enum Flow {
+    B(f64),
+    BCond(Cond, f64),
+    Bl(f64),
+    Skm(f64),
+}
+
+fn any_flow() -> impl Strategy<Value = Flow> {
+    prop_oneof![
+        (0.0f64..1.0).prop_map(Flow::B),
+        (any_cond(), 0.0f64..1.0).prop_map(|(c, f)| Flow::BCond(c, f)),
+        (0.0f64..1.0).prop_map(Flow::Bl),
+        (0.0f64..1.0).prop_map(Flow::Skm),
+    ]
+}
+
+/// Interleaves straight-line instructions with resolved control flow and
+/// terminates with HALT.
+fn build_program(straight: Vec<Instr>, flows: Vec<(usize, Flow)>) -> Program {
+    let mut instrs = straight;
+    let len_with_flow = instrs.len() + flows.len() + 1;
+    for (slot, flow) in flows {
+        let target = |f: f64| ((f * len_with_flow as f64) as u32).min(len_with_flow as u32 - 1);
+        let instr = match flow {
+            Flow::B(f) => Instr::B { target: target(f) },
+            Flow::BCond(cond, f) => Instr::BCond { cond, target: target(f) },
+            Flow::Bl(f) => Instr::Bl { target: target(f) },
+            Flow::Skm(f) => Instr::Skm { target: target(f) },
+        };
+        instrs.insert(slot % (instrs.len() + 1), instr);
+    }
+    instrs.push(Instr::Halt);
+    let mut p = Program::new();
+    p.instrs = instrs;
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// disassemble ∘ assemble is the identity on the instruction stream.
+    #[test]
+    fn disassemble_assemble_roundtrip(
+        straight in proptest::collection::vec(any_straightline(), 1..40),
+        flows in proptest::collection::vec((any::<usize>(), any_flow()), 0..8),
+    ) {
+        let program = build_program(straight, flows);
+        program.validate().expect("generated program must be valid");
+        let text = program.disassemble();
+        let reassembled = assemble(&text)
+            .unwrap_or_else(|e| panic!("reassembly failed: {e}\n---\n{text}"));
+        prop_assert_eq!(&reassembled.instrs, &program.instrs, "\n---\n{}", text);
+        prop_assert_eq!(reassembled.entry, program.entry);
+    }
+
+    /// Disassembly text is stable: a second roundtrip prints the same text.
+    #[test]
+    fn disassembly_is_a_fixed_point(
+        straight in proptest::collection::vec(any_straightline(), 1..24),
+        flows in proptest::collection::vec((any::<usize>(), any_flow()), 0..6),
+    ) {
+        let program = build_program(straight, flows);
+        let text = program.disassemble();
+        let again = assemble(&text).unwrap().disassemble();
+        prop_assert_eq!(text, again);
+    }
+}

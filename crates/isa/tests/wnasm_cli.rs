@@ -1,0 +1,101 @@
+//! End-to-end tests of the `wnasm` CLI: build → disasm → rebuild
+//! roundtrips through real files, plus the error surfaces a user hits.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn wnasm(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_wnasm")).args(args).output().expect("spawn wnasm")
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wnasm-cli-{tag}-{}", std::process::id()));
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+const PROGRAM: &str = "\
+; a small kernel with data, labels and WN instructions
+.data
+X: .space 16
+.text
+start:
+MOV r0, #3
+MOV r1, #0
+loop:
+MUL_ASP8 r2, r0, r0, #8
+ADD_ASV8 r1, r1, r2
+SKM done
+SUB r0, r0, #1
+CMP r0, #0
+BNE loop
+done:
+STR r1, [r0]
+HALT
+";
+
+#[test]
+fn build_disasm_rebuild_roundtrip() {
+    let dir = tmpdir("roundtrip");
+    let src = dir.join("p.s");
+    let bin = dir.join("p.wnb");
+    fs::write(&src, PROGRAM).unwrap();
+
+    let out = wnasm(&["build", src.to_str().unwrap(), "-o", bin.to_str().unwrap()]);
+    assert!(out.status.success(), "build failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(bin.exists());
+    let image = fs::read(&bin).unwrap();
+    assert_eq!(image.len() % 8, 0, "packed 8-byte words");
+
+    let out = wnasm(&["disasm", bin.to_str().unwrap()]);
+    assert!(out.status.success(), "disasm failed: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("MUL_ASP8"), "{text}");
+    assert!(text.contains("ADD_ASV8"), "{text}");
+
+    // The disassembly reassembles to the same binary image.
+    let src2 = dir.join("p2.s");
+    let bin2 = dir.join("p2.wnb");
+    fs::write(&src2, &text).unwrap();
+    let out = wnasm(&["build", src2.to_str().unwrap(), "-o", bin2.to_str().unwrap()]);
+    assert!(out.status.success(), "rebuild failed: {}\n---\n{text}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(fs::read(&bin2).unwrap(), image, "rebuilt image differs");
+}
+
+#[test]
+fn check_prints_section_stats() {
+    let dir = tmpdir("check");
+    let src = dir.join("p.s");
+    fs::write(&src, PROGRAM).unwrap();
+    let out = wnasm(&["check", src.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("instructions"), "{text}");
+}
+
+#[test]
+fn syntax_error_names_the_line_and_fails() {
+    let dir = tmpdir("err");
+    let src = dir.join("bad.s");
+    fs::write(&src, "MOV r0, #1\nFROB r1, r2\nHALT\n").unwrap();
+    let out = wnasm(&["check", src.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains('2'), "error should name line 2: {err}");
+}
+
+#[test]
+fn missing_file_fails_cleanly() {
+    let out = wnasm(&["build", "/nonexistent/nope.s", "-o", "/tmp/x.wnb"]);
+    assert!(!out.status.success());
+    assert!(!String::from_utf8_lossy(&out.stderr).is_empty());
+}
+
+#[test]
+fn unknown_subcommand_prints_usage() {
+    let out = wnasm(&["frobnicate", "x.s"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage"), "{err}");
+}

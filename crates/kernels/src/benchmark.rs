@@ -1,0 +1,149 @@
+//! The benchmark suite facade (paper Table I).
+
+use std::fmt;
+
+use wn_compiler::Technique;
+
+use crate::instance::KernelInstance;
+use crate::{conv2d, home, matadd, matmul, netmotion, var};
+
+/// Problem scale for a benchmark instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// Small sizes for tests and quick experiment runs.
+    Quick,
+    /// The paper's sizes (Table I): full 128×128 Conv2d, 64×64 matrices.
+    Paper,
+}
+
+/// The six benchmarks of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// 9×9 Gaussian filter on a grayscale image (SWP).
+    Conv2d,
+    /// Matrix multiplication (SWP).
+    MatMul,
+    /// Matrix addition (SWV map).
+    MatAdd,
+    /// Home monitoring: windowed condition aggregation (SWV reduce).
+    Home,
+    /// Data logging: windowed variance (SWP).
+    Var,
+    /// Wildlife location tracking: net movement (SWV reduce).
+    NetMotion,
+}
+
+impl Benchmark {
+    /// All benchmarks in Table I order.
+    pub const ALL: [Benchmark; 6] = [
+        Benchmark::Conv2d,
+        Benchmark::MatMul,
+        Benchmark::MatAdd,
+        Benchmark::Home,
+        Benchmark::Var,
+        Benchmark::NetMotion,
+    ];
+
+    /// The kernel name (matches `KernelInstance::ir.name`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Benchmark::Conv2d => "conv2d",
+            Benchmark::MatMul => "matmul",
+            Benchmark::MatAdd => "matadd",
+            Benchmark::Home => "home",
+            Benchmark::Var => "var",
+            Benchmark::NetMotion => "netmotion",
+        }
+    }
+
+    /// The application area from Table I.
+    pub fn area(&self) -> &'static str {
+        match self {
+            Benchmark::Conv2d => "Image Processing",
+            Benchmark::MatMul | Benchmark::MatAdd => "Data processing",
+            Benchmark::Home | Benchmark::Var => "Environmental Sensing",
+            Benchmark::NetMotion => "Wildlife Tracking",
+        }
+    }
+
+    /// True for the SWP benchmarks (Conv2d, MatMul, Var); false for the
+    /// SWV ones (MatAdd, Home, NetMotion) — the ticks of Table I.
+    pub fn uses_swp(&self) -> bool {
+        matches!(self, Benchmark::Conv2d | Benchmark::MatMul | Benchmark::Var)
+    }
+
+    /// The anytime technique at a subword size, per Table I (SWV uses
+    /// provisioned addition, the paper's default for §V-A).
+    pub fn technique(&self, bits: u8) -> Technique {
+        if self.uses_swp() {
+            Technique::swp(bits)
+        } else {
+            Technique::swv(bits)
+        }
+    }
+
+    /// Builds a deterministic instance at a scale.
+    pub fn instance(&self, scale: Scale, seed: u64) -> KernelInstance {
+        match (self, scale) {
+            (Benchmark::Conv2d, Scale::Quick) => conv2d::build(&conv2d::Conv2dParams::quick(), seed),
+            (Benchmark::Conv2d, Scale::Paper) => conv2d::build(&conv2d::Conv2dParams::paper(), seed),
+            (Benchmark::MatMul, Scale::Quick) => matmul::build(&matmul::MatMulParams::quick(), seed),
+            (Benchmark::MatMul, Scale::Paper) => matmul::build(&matmul::MatMulParams::paper(), seed),
+            (Benchmark::MatAdd, Scale::Quick) => matadd::build(&matadd::MatAddParams::quick(), seed),
+            (Benchmark::MatAdd, Scale::Paper) => matadd::build(&matadd::MatAddParams::paper(), seed),
+            (Benchmark::Home, Scale::Quick) => home::build(&home::HomeParams::quick(), seed),
+            (Benchmark::Home, Scale::Paper) => home::build(&home::HomeParams::paper(), seed),
+            (Benchmark::Var, Scale::Quick) => var::build(&var::VarParams::quick(), seed),
+            (Benchmark::Var, Scale::Paper) => var::build(&var::VarParams::paper(), seed),
+            (Benchmark::NetMotion, Scale::Quick) => {
+                netmotion::build(&netmotion::NetMotionParams::quick(), seed)
+            }
+            (Benchmark::NetMotion, Scale::Paper) => {
+                netmotion::build(&netmotion::NetMotionParams::paper(), seed)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_split() {
+        let swp: Vec<_> = Benchmark::ALL.iter().filter(|b| b.uses_swp()).collect();
+        assert_eq!(swp.len(), 3);
+        assert!(Benchmark::Conv2d.uses_swp());
+        assert!(!Benchmark::MatAdd.uses_swp());
+    }
+
+    #[test]
+    fn instances_are_deterministic() {
+        for b in Benchmark::ALL {
+            let x = b.instance(Scale::Quick, 7);
+            let y = b.instance(Scale::Quick, 7);
+            assert_eq!(x.inputs, y.inputs, "{b}");
+            assert_eq!(x.golden, y.golden, "{b}");
+            x.ir.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn techniques_match_table1() {
+        assert_eq!(Benchmark::Conv2d.technique(8), Technique::swp(8));
+        assert_eq!(Benchmark::Home.technique(4), Technique::swv(4));
+    }
+
+    #[test]
+    fn names_and_areas() {
+        assert_eq!(Benchmark::NetMotion.name(), "netmotion");
+        assert_eq!(Benchmark::Conv2d.area(), "Image Processing");
+        assert_eq!(Benchmark::Var.to_string(), "var");
+    }
+}

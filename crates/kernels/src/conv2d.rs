@@ -1,0 +1,223 @@
+//! 2D convolution (Conv2d): a 9×9 Gaussian filter over a grayscale image
+//! (paper Table I — the image-processing benchmark of Figs. 2, 9a, 13,
+//! 15 and 16).
+//!
+//! Pixels are 16-bit fixed point (`gray << 8`, filling the significance
+//! range subword pipelining exploits); filter coefficients are the scaled
+//! outer product of the 9-tap binomial kernel, chosen so the fully
+//! accumulated output of a pixel fits in an `i32`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wn_compiler::ir::{ArrayBuilder, Expr, KernelIr, Stmt};
+
+use crate::instance::KernelInstance;
+
+/// Filter diameter (9×9, as in the paper).
+pub const TAPS: u32 = 9;
+
+/// 1D binomial coefficients C(8, k); the 2D kernel is their scaled outer
+/// product.
+pub const BINOMIAL: [i64; TAPS as usize] = [1, 8, 28, 56, 70, 56, 28, 8, 1];
+
+/// Conv2d dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dParams {
+    /// Output image height.
+    pub height: u32,
+    /// Output image width.
+    pub width: u32,
+}
+
+impl Conv2dParams {
+    /// Quick (CI-friendly) scale: 24×24 output.
+    pub fn quick() -> Conv2dParams {
+        Conv2dParams { height: 24, width: 24 }
+    }
+
+    /// The paper's scale: 128×128 image.
+    pub fn paper() -> Conv2dParams {
+        Conv2dParams { height: 128, width: 128 }
+    }
+
+    /// Padded input width (the input carries a `TAPS-1` apron).
+    pub fn padded_width(&self) -> u32 {
+        self.width + TAPS - 1
+    }
+
+    /// Padded input height.
+    pub fn padded_height(&self) -> u32 {
+        self.height + TAPS - 1
+    }
+}
+
+/// The 2D filter coefficients in row-major order: the binomial outer
+/// product scaled by ¼ (weight sum ≈ 2¹⁴), keeping the fully accumulated
+/// pixel — 16-bit pixels × weight sum — inside an `i32`.
+pub fn kernel_coefficients() -> Vec<i64> {
+    let mut c = Vec::with_capacity((TAPS * TAPS) as usize);
+    for bi in BINOMIAL {
+        for bj in BINOMIAL {
+            c.push((bi * bj + 2) / 4);
+        }
+    }
+    c
+}
+
+/// Generates a synthetic grayscale test image with smooth gradients and a
+/// few bright blobs (deterministic for a seed), already padded and scaled
+/// to fill the full 16-bit fixed-point range (`gray << 8`), so
+/// most-significant-first processing has signal at every subword level.
+pub fn generate_image(params: &Conv2dParams, seed: u64) -> Vec<i64> {
+    let (ph, pw) = (params.padded_height(), params.padded_width());
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC0_4D2D);
+    // Blob centers.
+    let blobs: Vec<(f64, f64, f64)> = (0..4)
+        .map(|_| {
+            (
+                rng.gen_range(0.0..ph as f64),
+                rng.gen_range(0.0..pw as f64),
+                rng.gen_range(3.0..10.0),
+            )
+        })
+        .collect();
+    let mut img = Vec::with_capacity((ph * pw) as usize);
+    for i in 0..ph {
+        for j in 0..pw {
+            let mut v = 40.0
+                + 60.0 * ((i as f64) / ph as f64)
+                + 40.0 * ((j as f64) / pw as f64);
+            for &(ci, cj, r) in &blobs {
+                let d2 = (i as f64 - ci).powi(2) + (j as f64 - cj).powi(2);
+                v += 155.0 * (-d2 / (2.0 * r * r)).exp();
+            }
+            let gray = (v + rng.gen_range(-4.0..4.0)).clamp(0.0, 255.0) as i64;
+            img.push(gray << 8);
+        }
+    }
+    img
+}
+
+/// Builds the Conv2d kernel instance: IR + image + golden blurred output.
+pub fn build(params: &Conv2dParams, seed: u64) -> KernelInstance {
+    let (h, w) = (params.height, params.width);
+    let pw = params.padded_width();
+    let img = generate_image(params, seed);
+    let coeffs = kernel_coefficients();
+
+    // Golden: OUT[i, j] = Σ IMG[i+ki, j+kj] * K[ki, kj].
+    let mut golden = Vec::with_capacity((h * w) as usize);
+    for i in 0..h {
+        for j in 0..w {
+            let mut acc = 0i64;
+            for ki in 0..TAPS {
+                for kj in 0..TAPS {
+                    acc += img[((i + ki) * pw + (j + kj)) as usize]
+                        * coeffs[(ki * TAPS + kj) as usize];
+                }
+            }
+            golden.push(acc);
+        }
+    }
+
+    let ir = KernelIr::new("conv2d")
+        .array(
+            ArrayBuilder::input("IMG", params.padded_height() * pw)
+                .elem16()
+                .asp_input(),
+        )
+        .array(ArrayBuilder::input("COEF", TAPS * TAPS).elem16())
+        .array(ArrayBuilder::output("OUT", h * w).asp_output())
+        .body(vec![Stmt::for_loop(
+            "i",
+            0,
+            h as i32,
+            vec![Stmt::for_loop(
+                "j",
+                0,
+                w as i32,
+                vec![
+                    Stmt::assign("acc", Expr::c(0)),
+                    Stmt::for_loop(
+                        "ki",
+                        0,
+                        TAPS as i32,
+                        vec![Stmt::for_loop(
+                            "kj",
+                            0,
+                            TAPS as i32,
+                            vec![Stmt::assign(
+                                "acc",
+                                Expr::var("acc")
+                                    + Expr::load("COEF", Expr::var("ki") * Expr::c(TAPS as i32) + Expr::var("kj"))
+                                        * Expr::load(
+                                            "IMG",
+                                            (Expr::var("i") + Expr::var("ki")) * Expr::c(pw as i32)
+                                                + (Expr::var("j") + Expr::var("kj")),
+                                        ),
+                            )],
+                        )],
+                    ),
+                    Stmt::accum_store(
+                        "OUT",
+                        Expr::var("i") * Expr::c(w as i32) + Expr::var("j"),
+                        Expr::var("acc"),
+                    ),
+                ],
+            )],
+        )]);
+
+    KernelInstance {
+        ir,
+        inputs: vec![("IMG".into(), img), ("COEF".into(), coeffs)],
+        golden: vec![("OUT".into(), golden)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coefficient_weight_sum_bounds() {
+        let sum: i64 = kernel_coefficients().iter().sum();
+        // ≈ 2^16/4, slightly above due to rounding up of tiny taps.
+        assert!((16_000..17_500).contains(&sum), "sum = {sum}");
+        // Worst case output must fit an i32: max pixel * weight sum.
+        assert!(0xFF00 * sum <= i32::MAX as i64);
+    }
+
+    #[test]
+    fn image_is_deterministic_and_in_range() {
+        let p = Conv2dParams::quick();
+        let a = generate_image(&p, 7);
+        let b = generate_image(&p, 7);
+        assert_eq!(a, b);
+        assert_ne!(a, generate_image(&p, 8));
+        assert!(a.iter().all(|&v| (0..=255 << 8).contains(&v)));
+        assert_eq!(a.len(), (p.padded_height() * p.padded_width()) as usize);
+    }
+
+    #[test]
+    fn golden_fits_i32_and_is_smooth() {
+        let p = Conv2dParams::quick();
+        let inst = build(&p, 1);
+        let golden = &inst.golden[0].1;
+        assert_eq!(golden.len(), (p.height * p.width) as usize);
+        assert!(golden.iter().all(|&v| v >= 0 && v <= i32::MAX as i64));
+        // Blur output ≈ input scale × 2^16 weight sum: nonzero signal.
+        assert!(golden.iter().any(|&v| v > 0));
+    }
+
+    #[test]
+    fn ir_validates() {
+        build(&Conv2dParams::quick(), 2).ir.validate().unwrap();
+    }
+
+    #[test]
+    fn paper_scale_dimensions() {
+        let p = Conv2dParams::paper();
+        assert_eq!(p.padded_width(), 136);
+        assert_eq!(p.padded_height(), 136);
+    }
+}

@@ -1,0 +1,90 @@
+//! A runnable kernel instance: IR + inputs + golden outputs.
+
+use wn_compiler::ir::KernelIr;
+
+/// A kernel together with one concrete input set and the host-computed
+/// golden (precise) outputs.
+///
+/// Inputs are in logical element order — the experiment harness encodes
+/// them through the compiled kernel's [`wn_compiler::ArrayLayout`], so the
+/// same instance drives precise, SWP and SWV builds.
+#[derive(Debug, Clone)]
+pub struct KernelInstance {
+    /// The annotated kernel.
+    pub ir: KernelIr,
+    /// `(input array, values)` pairs covering every input array.
+    pub inputs: Vec<(String, Vec<i64>)>,
+    /// `(output array, precise values)` pairs covering every output array
+    /// the experiments measure quality on.
+    pub golden: Vec<(String, Vec<i64>)>,
+}
+
+impl KernelInstance {
+    /// The golden output of one array as `f64` (the form the quality
+    /// metrics consume).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the array has no golden output.
+    pub fn golden_f64(&self, array: &str) -> Vec<f64> {
+        self.golden
+            .iter()
+            .find(|(n, _)| n == array)
+            .unwrap_or_else(|| panic!("no golden output for `{array}`"))
+            .1
+            .iter()
+            .map(|&v| v as f64)
+            .collect()
+    }
+
+    /// The first (primary) output array name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel has no outputs.
+    pub fn primary_output(&self) -> &str {
+        &self.golden.first().expect("kernel has at least one output").0
+    }
+
+    /// Input values of one array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the array has no input values.
+    pub fn input(&self, array: &str) -> &[i64] {
+        &self
+            .inputs
+            .iter()
+            .find(|(n, _)| n == array)
+            .unwrap_or_else(|| panic!("no input values for `{array}`"))
+            .1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wn_compiler::ir::ArrayBuilder;
+
+    fn instance() -> KernelInstance {
+        KernelInstance {
+            ir: KernelIr::new("t").array(ArrayBuilder::input("A", 2)),
+            inputs: vec![("A".into(), vec![1, 2])],
+            golden: vec![("X".into(), vec![3, 4])],
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let i = instance();
+        assert_eq!(i.input("A"), &[1, 2]);
+        assert_eq!(i.golden_f64("X"), vec![3.0, 4.0]);
+        assert_eq!(i.primary_output(), "X");
+    }
+
+    #[test]
+    #[should_panic(expected = "no input values")]
+    fn missing_input_panics() {
+        instance().input("B");
+    }
+}

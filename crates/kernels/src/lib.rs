@@ -1,0 +1,43 @@
+//! # wn-kernels — the paper's benchmark suite
+//!
+//! The six kernels of Table I, expressed in the `wn-compiler` IR with the
+//! paper's pragma annotations, plus deterministic input generators and
+//! host-side golden references:
+//!
+//! | Benchmark | Area | Technique | Shape (paper scale) |
+//! |---|---|---|---|
+//! | [`conv2d`] | image processing | SWP | 9×9 Gaussian on 128×128 image |
+//! | [`matmul`] | data processing | SWP | 64×64 × 64×64 matrices |
+//! | [`matadd`] | data processing | SWV (map) | 64×64 matrix addition |
+//! | [`home`] | environmental sensing | SWV (reduce) | windowed condition sums |
+//! | [`var`] | environmental sensing | SWP | windowed variance |
+//! | [`netmotion`] | wildlife tracking | SWV (reduce) | per-animal net movement |
+//!
+//! All kernels follow the same register-accumulator discipline a real
+//! compiler produces (partial sums live in registers; one commit per
+//! output element), which keeps Clank's WAR-violation checkpoints at the
+//! per-element rather than per-operation rate.
+//!
+//! The [`glucose`] module synthesizes the blood-glucose monitoring
+//! scenario of Fig. 3 (two hypoglycemic dips over ten hours).
+//!
+//! ```
+//! use wn_kernels::{Benchmark, Scale};
+//!
+//! let instance = Benchmark::MatAdd.instance(Scale::Quick, 42);
+//! assert_eq!(instance.ir.name, "matadd");
+//! assert!(!instance.inputs.is_empty());
+//! ```
+
+pub mod benchmark;
+pub mod conv2d;
+pub mod glucose;
+pub mod home;
+pub mod instance;
+pub mod matadd;
+pub mod matmul;
+pub mod netmotion;
+pub mod var;
+
+pub use benchmark::{Benchmark, Scale};
+pub use instance::KernelInstance;

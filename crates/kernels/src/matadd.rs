@@ -1,0 +1,111 @@
+//! Matrix addition (MatAdd): element-wise sum of two matrices — the
+//! paper's flagship SWV *map* benchmark (Table I; Figs. 9e and 14).
+//!
+//! Elements are full 32-bit values, so 8-bit subwords give four levels and
+//! inter-subword carries actually occur — the case that separates
+//! provisioned from unprovisioned addition.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wn_compiler::ir::{ArrayBuilder, Expr, KernelIr, Stmt};
+
+use crate::instance::KernelInstance;
+
+/// MatAdd dimensions (square `n × n`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatAddParams {
+    /// Matrix dimension.
+    pub n: u32,
+}
+
+impl MatAddParams {
+    /// Quick scale: 128×128 (16384 elements) — element-wise addition is
+    /// so cheap that the intermittent regime needs this many elements to
+    /// span dozens of power cycles.
+    pub fn quick() -> MatAddParams {
+        MatAddParams { n: 128 }
+    }
+
+    /// The paper's scale: 64×64.
+    pub fn paper() -> MatAddParams {
+        MatAddParams { n: 64 }
+    }
+
+    /// Total element count (never zero: `n` is a matrix dimension).
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> u32 {
+        self.n * self.n
+    }
+}
+
+/// Generates a deterministic matrix of 31-bit values (keeping golden sums
+/// positive in `i32` while still exercising subword carries).
+pub fn generate_matrix(len: u32, seed: u64) -> Vec<i64> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4D41_5444);
+    (0..len).map(|_| rng.gen_range(0..=0x3FFF_FFFFi64)).collect()
+}
+
+/// Builds the MatAdd kernel instance.
+pub fn build(params: &MatAddParams, seed: u64) -> KernelInstance {
+    let len = params.len();
+    let a = generate_matrix(len, seed);
+    let b = generate_matrix(len, seed + 1);
+    let golden: Vec<i64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+
+    let ir = KernelIr::new("matadd")
+        .array(ArrayBuilder::input("A", len).elem32().asv_input())
+        .array(ArrayBuilder::input("B", len).elem32().asv_input())
+        .array(ArrayBuilder::output("X", len).elem32().asv_output())
+        .body(vec![Stmt::for_loop(
+            "i",
+            0,
+            len as i32,
+            vec![Stmt::store(
+                "X",
+                Expr::var("i"),
+                Expr::load("A", Expr::var("i")) + Expr::load("B", Expr::var("i")),
+            )],
+        )]);
+
+    KernelInstance {
+        ir,
+        inputs: vec![("A".into(), a), ("B".into(), b)],
+        golden: vec![("X".into(), golden)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_is_elementwise_sum() {
+        let inst = build(&MatAddParams { n: 4 }, 0);
+        let a = inst.input("A");
+        let b = inst.input("B");
+        for (i, &g) in inst.golden[0].1.iter().enumerate() {
+            assert_eq!(g, a[i] + b[i]);
+        }
+    }
+
+    #[test]
+    fn sums_fit_u32() {
+        let inst = build(&MatAddParams::paper(), 1);
+        assert!(inst.golden[0].1.iter().all(|&v| v >= 0 && v <= u32::MAX as i64));
+    }
+
+    #[test]
+    fn carries_actually_occur() {
+        // At least one element pair must carry across the low byte —
+        // otherwise Fig. 14 would show nothing.
+        let inst = build(&MatAddParams::quick(), 2);
+        let a = inst.input("A");
+        let b = inst.input("B");
+        assert!(a.iter().zip(b).any(|(x, y)| (x & 0xFF) + (y & 0xFF) > 0xFF));
+    }
+
+    #[test]
+    fn ir_validates() {
+        build(&MatAddParams::quick(), 3).ir.validate().unwrap();
+    }
+}

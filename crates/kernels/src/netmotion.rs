@@ -1,0 +1,123 @@
+//! Location tracking (NetMotion): wildlife location tracking — net
+//! movement per animal over a reporting period (paper Table I; Fig. 9f).
+//!
+//! Each tracked animal contributes `K` per-interval movement magnitudes
+//! (16-bit fixed point, from the collar's inertial fusion); the kernel
+//! reduces them to a per-animal total. Movement is bursty — long idle
+//! stretches with occasional large displacements — which makes the
+//! most-significant subwords especially informative.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wn_compiler::ir::{ArrayBuilder, Expr, KernelIr, Stmt};
+
+use crate::instance::KernelInstance;
+
+/// NetMotion dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetMotionParams {
+    /// Number of tracked animals.
+    pub animals: u32,
+    /// Movement intervals per reporting period (≤ 64 for provisioned
+    /// 4-bit lane headroom, as in `home`).
+    pub intervals: u32,
+}
+
+impl NetMotionParams {
+    /// Quick scale: 256 animals × 64 intervals.
+    pub fn quick() -> NetMotionParams {
+        NetMotionParams { animals: 256, intervals: 64 }
+    }
+
+    /// Paper-runtime scale: 512 animals × 64 intervals.
+    pub fn paper() -> NetMotionParams {
+        NetMotionParams { animals: 512, intervals: 64 }
+    }
+}
+
+/// Generates bursty movement magnitudes: mostly near-zero with occasional
+/// large displacements, full 16-bit range.
+pub fn generate_movement(params: &NetMotionParams, seed: u64) -> Vec<i64> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4E45_544D);
+    let mut out = Vec::with_capacity((params.animals * params.intervals) as usize);
+    for _ in 0..params.animals {
+        let activity = rng.gen_range(0.02..0.35f64);
+        for _ in 0..params.intervals {
+            let v = if rng.gen_bool(activity) {
+                rng.gen_range(8_000.0..60_000.0f64)
+            } else {
+                rng.gen_range(0.0..700.0f64)
+            };
+            out.push(v as i64);
+        }
+    }
+    out
+}
+
+/// Builds the NetMotion kernel instance.
+pub fn build(params: &NetMotionParams, seed: u64) -> KernelInstance {
+    let (w, k) = (params.animals, params.intervals);
+    let movement = generate_movement(params, seed);
+    let golden: Vec<i64> = (0..w as usize)
+        .map(|wi| movement[wi * k as usize..(wi + 1) * k as usize].iter().sum())
+        .collect();
+
+    let ir = KernelIr::new("netmotion")
+        .array(ArrayBuilder::input("M", w * k).elem16().asv_input())
+        .array(ArrayBuilder::output("NET", w).asv_output())
+        .body(vec![Stmt::for_loop(
+            "w",
+            0,
+            w as i32,
+            vec![
+                Stmt::assign("acc", Expr::c(0)),
+                Stmt::for_loop(
+                    "i",
+                    0,
+                    k as i32,
+                    vec![Stmt::assign(
+                        "acc",
+                        Expr::var("acc")
+                            + Expr::load("M", Expr::var("w") * Expr::c(k as i32) + Expr::var("i")),
+                    )],
+                ),
+                Stmt::accum_store("NET", Expr::var("w"), Expr::var("acc")),
+            ],
+        )]);
+
+    KernelInstance {
+        ir,
+        inputs: vec![("M".into(), movement)],
+        golden: vec![("NET".into(), golden)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_sums_per_animal() {
+        let p = NetMotionParams { animals: 2, intervals: 8 };
+        let inst = build(&p, 0);
+        let m = inst.input("M");
+        assert_eq!(inst.golden[0].1[0], m[..8].iter().sum::<i64>());
+        assert_eq!(inst.golden[0].1[1], m[8..].iter().sum::<i64>());
+    }
+
+    #[test]
+    fn movement_is_bursty() {
+        let p = NetMotionParams::quick();
+        let m = generate_movement(&p, 1);
+        let big = m.iter().filter(|&&v| v > 8_000).count();
+        let small = m.iter().filter(|&&v| v < 1_000).count();
+        assert!(big > 0, "needs displacement bursts");
+        assert!(small > big, "mostly idle");
+        assert!(m.iter().all(|&v| (0..=0xFFFF).contains(&v)));
+    }
+
+    #[test]
+    fn ir_validates() {
+        build(&NetMotionParams::quick(), 2).ir.validate().unwrap();
+    }
+}

@@ -1,0 +1,187 @@
+//! Data logging (Var): windowed variance of sensor data — the paper's
+//! SWP-on-reductions benchmark (Table I; Figs. 9c and 17).
+//!
+//! The sensor is AC-coupled (a vibration/strain channel whose hardware
+//! removes the DC level), so the variance of a window of `K` rectified
+//! samples is its mean square: `VAR[w] = (Σ x²) >> log2 K`. The square is
+//! the long-latency multiply SWP pipelines, subwording one operand.
+//!
+//! Modeling note: computing variance as `E[x²] − E[x]²` is numerically
+//! hostile to *any* approximation (catastrophic cancellation between two
+//! large near-equal terms); the AC-coupled mean-square form measures the
+//! same physical quantity without the cancellation and is what a
+//! fixed-point implementation would use in practice.
+//!
+//! Samples are 13-bit ADC values (`Σ x²` of a 32-sample window must fit
+//! the 32-bit accumulator), declared to the compiler via the pragma's
+//! significant-width so subword levels top-align to bit 13.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wn_compiler::ir::{ArrayBuilder, Expr, KernelIr, Stmt};
+
+use crate::instance::KernelInstance;
+
+/// Var dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VarParams {
+    /// Number of datasets (windows).
+    pub windows: u32,
+    /// Samples per window — must be a power of two (the mean-square uses
+    /// a shift) and small enough that `Σ x²` fits an `i32`.
+    pub samples: u32,
+}
+
+impl VarParams {
+    /// Quick scale: 192 windows of 32 samples.
+    pub fn quick() -> VarParams {
+        VarParams { windows: 192, samples: 32 }
+    }
+
+    /// Paper-runtime scale: 384 windows of 32 samples.
+    pub fn paper() -> VarParams {
+        VarParams { windows: 384, samples: 32 }
+    }
+
+    fn log2_samples(&self) -> u8 {
+        assert!(self.samples.is_power_of_two(), "samples must be a power of two");
+        self.samples.trailing_zeros() as u8
+    }
+}
+
+/// Maximum sample magnitude (13-bit ADC): 32 × 8000² < 2³¹.
+pub const MAX_SAMPLE: i64 = 8000;
+
+/// Significant sample width declared to the compiler.
+pub const SAMPLE_BITS: u8 = 13;
+
+/// Generates rectified AC sensor samples: each window oscillates near its
+/// excitation amplitude (a rectified narrowband vibration), so sample
+/// magnitudes concentrate in the window's top amplitude range — the
+/// regime where most-significant-first processing is informative.
+pub fn generate_samples(params: &VarParams, seed: u64) -> Vec<i64> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5641_5220);
+    let mut out = Vec::with_capacity((params.windows * params.samples) as usize);
+    for _ in 0..params.windows {
+        let amplitude = rng.gen_range(3_500.0..7_800.0f64);
+        for i in 0..params.samples {
+            let phase = i as f64 * 0.9;
+            let v = amplitude * (0.55 + 0.45 * phase.sin().abs()) + rng.gen_range(-120.0..120.0);
+            out.push(v.clamp(0.0, MAX_SAMPLE as f64) as i64);
+        }
+    }
+    out
+}
+
+/// Host reference: `(Σ x²) >> log2 K`, the device's fixed-point variance
+/// of the AC-coupled window.
+pub fn reference_variance(samples: &[i64], k: u32) -> i64 {
+    let lg = k.trailing_zeros();
+    let sq: i64 = samples.iter().map(|&x| x * x).sum();
+    sq >> lg
+}
+
+/// Builds the Var kernel instance.
+pub fn build(params: &VarParams, seed: u64) -> KernelInstance {
+    let (w, k) = (params.windows, params.samples);
+    let lg = params.log2_samples();
+    let samples = generate_samples(params, seed);
+    let golden: Vec<i64> = (0..w as usize)
+        .map(|wi| reference_variance(&samples[wi * k as usize..(wi + 1) * k as usize], k))
+        .collect();
+
+    let idx = |v: &str| Expr::var(v) * Expr::c(k as i32) + Expr::var("i");
+    let ir = KernelIr::new("var")
+        .array(
+            ArrayBuilder::input("D", w * k)
+                .elem16()
+                .value_bits(SAMPLE_BITS)
+                .asp_input(),
+        )
+        .array(ArrayBuilder::output("SQ", w).asp_output())
+        .array(ArrayBuilder::output("VAR", w))
+        .body(vec![
+            // Sum of squares, fissioned per subword level.
+            Stmt::for_loop(
+                "wq",
+                0,
+                w as i32,
+                vec![
+                    Stmt::assign("q", Expr::c(0)),
+                    Stmt::for_loop(
+                        "i",
+                        0,
+                        k as i32,
+                        vec![Stmt::assign(
+                            "q",
+                            Expr::var("q") + Expr::load("D", idx("wq")) * Expr::load("D", idx("wq")),
+                        )],
+                    ),
+                    Stmt::accum_store("SQ", Expr::var("wq"), Expr::var("q")),
+                ],
+            ),
+            // Finalize (replicated per level; idempotent store).
+            Stmt::for_loop(
+                "wf",
+                0,
+                w as i32,
+                vec![Stmt::store("VAR", Expr::var("wf"), Expr::load("SQ", Expr::var("wf")).shr(lg))],
+            ),
+        ]);
+
+    KernelInstance {
+        ir,
+        inputs: vec![("D".into(), samples)],
+        golden: vec![("VAR".into(), golden)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_variance_known_value() {
+        // Samples 1,3 with K=2: (1+9)/2 = 5.
+        assert_eq!(reference_variance(&[1, 3], 2), 5);
+        assert_eq!(reference_variance(&[0; 8], 8), 0);
+    }
+
+    #[test]
+    fn samples_in_adc_range() {
+        let p = VarParams::quick();
+        let s = generate_samples(&p, 3);
+        assert_eq!(s.len(), (p.windows * p.samples) as usize);
+        assert!(s.iter().all(|&v| (0..=MAX_SAMPLE).contains(&v)));
+        assert!(s.iter().all(|&v| v < (1 << SAMPLE_BITS)));
+    }
+
+    #[test]
+    fn sum_of_squares_fits_i32() {
+        let p = VarParams::quick();
+        assert!((p.samples as i64) * MAX_SAMPLE * MAX_SAMPLE <= i32::MAX as i64);
+    }
+
+    #[test]
+    fn golden_positive_and_varied() {
+        let inst = build(&VarParams::quick(), 5);
+        let g = &inst.golden[0].1;
+        assert!(g.iter().all(|&v| v >= 0));
+        assert!(g.iter().any(|&v| v > 0));
+        // Windows have different excitation levels: values vary.
+        let min = g.iter().min().unwrap();
+        let max = g.iter().max().unwrap();
+        assert!(max > &(min * 2), "window variances should differ: {g:?}");
+    }
+
+    #[test]
+    fn ir_validates() {
+        build(&VarParams::quick(), 1).ir.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_samples_rejected() {
+        build(&VarParams { windows: 2, samples: 60 }, 0);
+    }
+}

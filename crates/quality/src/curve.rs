@@ -1,0 +1,214 @@
+//! Runtime–quality curves (paper Fig. 9).
+
+use std::fmt;
+
+/// One sample of a runtime–quality curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurvePoint {
+    /// Cycles elapsed when the output was sampled.
+    pub cycles: u64,
+    /// Runtime normalized to the precise baseline (x-axis of Fig. 9).
+    pub normalized_runtime: f64,
+    /// Output NRMSE in percent at that moment (y-axis of Fig. 9).
+    pub nrmse_percent: f64,
+}
+
+/// A runtime–quality trade-off curve: output error sampled over the course
+/// of an anytime execution.
+///
+/// The y-value at time *t* answers: *"what would the error be if a power
+/// outage halted the application at this moment and the result were taken
+/// as-is?"* (paper §V-A).
+///
+/// ```
+/// use wn_quality::QualityCurve;
+/// let mut curve = QualityCurve::new("matadd-8bit");
+/// curve.push(100, 0.5, 12.0);
+/// curve.push(200, 1.0, 0.0);
+/// assert_eq!(curve.final_error(), Some(0.0));
+/// assert!(curve.earliest_at_most(1.0).is_some());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualityCurve {
+    label: String,
+    points: Vec<CurvePoint>,
+}
+
+impl QualityCurve {
+    /// Creates an empty curve with a display label.
+    pub fn new(label: impl Into<String>) -> QualityCurve {
+        QualityCurve { label: label.into(), points: Vec::new() }
+    }
+
+    /// The curve's label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Appends a sample. Samples must be pushed in nondecreasing cycle
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles` goes backwards.
+    pub fn push(&mut self, cycles: u64, normalized_runtime: f64, nrmse_percent: f64) {
+        if let Some(last) = self.points.last() {
+            assert!(cycles >= last.cycles, "curve samples must be time-ordered");
+        }
+        self.points.push(CurvePoint { cycles, normalized_runtime, nrmse_percent });
+    }
+
+    /// All samples in time order.
+    pub fn points(&self) -> &[CurvePoint] {
+        &self.points
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the curve has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Error of the last sample (the error at completion).
+    pub fn final_error(&self) -> Option<f64> {
+        self.points.last().map(|p| p.nrmse_percent)
+    }
+
+    /// Normalized runtime of the last sample (total overhead to reach the
+    /// precise result, ≥ 1 for WN variants).
+    pub fn final_runtime(&self) -> Option<f64> {
+        self.points.last().map(|p| p.normalized_runtime)
+    }
+
+    /// The earliest sample whose error is at most `target_percent` — "how
+    /// soon is an acceptable output available?".
+    pub fn earliest_at_most(&self, target_percent: f64) -> Option<CurvePoint> {
+        self.points.iter().copied().find(|p| p.nrmse_percent <= target_percent)
+    }
+
+    /// The error if execution were halted after `cycles` — the error of
+    /// the most recent sample at or before that time (100 % before any
+    /// sample exists).
+    pub fn error_at_cycles(&self, cycles: u64) -> f64 {
+        let mut err = 100.0;
+        for p in &self.points {
+            if p.cycles <= cycles {
+                err = p.nrmse_percent;
+            } else {
+                break;
+            }
+        }
+        err
+    }
+
+    /// True when error never increases from sample to sample (a property
+    /// of provisioned/SWP curves at subword boundaries).
+    pub fn is_monotone_nonincreasing(&self) -> bool {
+        self.points.windows(2).all(|w| w[1].nrmse_percent <= w[0].nrmse_percent + 1e-9)
+    }
+
+    /// Renders the curve as CSV (`cycles,normalized_runtime,nrmse_percent`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("cycles,normalized_runtime,nrmse_percent\n");
+        for p in &self.points {
+            out.push_str(&format!("{},{:.6},{:.6}\n", p.cycles, p.normalized_runtime, p.nrmse_percent));
+        }
+        out
+    }
+}
+
+impl fmt::Display for QualityCurve {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "quality curve `{}` ({} points)", self.label, self.points.len())?;
+        for p in &self.points {
+            writeln!(
+                f,
+                "  t={:>12} cycles  x={:>6.3}  err={:>9.4}%",
+                p.cycles, p.normalized_runtime, p.nrmse_percent
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_curve() -> QualityCurve {
+        let mut c = QualityCurve::new("test");
+        c.push(100, 0.25, 20.0);
+        c.push(200, 0.50, 5.0);
+        c.push(400, 1.00, 1.0);
+        c.push(800, 2.00, 0.0);
+        c
+    }
+
+    #[test]
+    fn final_values() {
+        let c = sample_curve();
+        assert_eq!(c.final_error(), Some(0.0));
+        assert_eq!(c.final_runtime(), Some(2.0));
+        assert_eq!(c.len(), 4);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn earliest_at_most() {
+        let c = sample_curve();
+        assert_eq!(c.earliest_at_most(10.0).unwrap().cycles, 200);
+        assert_eq!(c.earliest_at_most(0.0).unwrap().cycles, 800);
+        assert_eq!(c.earliest_at_most(100.0).unwrap().cycles, 100);
+        assert!(c.earliest_at_most(-1.0).is_none());
+    }
+
+    #[test]
+    fn error_at_cycles_steps() {
+        let c = sample_curve();
+        assert_eq!(c.error_at_cycles(50), 100.0, "no output yet");
+        assert_eq!(c.error_at_cycles(100), 20.0);
+        assert_eq!(c.error_at_cycles(399), 5.0);
+        assert_eq!(c.error_at_cycles(10_000), 0.0);
+    }
+
+    #[test]
+    fn monotonicity_check() {
+        assert!(sample_curve().is_monotone_nonincreasing());
+        let mut c = QualityCurve::new("bumpy");
+        c.push(1, 0.1, 1.0);
+        c.push(2, 0.2, 3.0);
+        assert!(!c.is_monotone_nonincreasing());
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn rejects_time_travel() {
+        let mut c = QualityCurve::new("bad");
+        c.push(10, 0.1, 1.0);
+        c.push(5, 0.05, 1.0);
+    }
+
+    #[test]
+    fn csv_and_display() {
+        let c = sample_curve();
+        let csv = c.to_csv();
+        assert!(csv.starts_with("cycles,"));
+        assert_eq!(csv.lines().count(), 5);
+        let text = c.to_string();
+        assert!(text.contains("test"));
+        assert!(text.contains("err="));
+    }
+
+    #[test]
+    fn empty_curve() {
+        let c = QualityCurve::new("empty");
+        assert!(c.is_empty());
+        assert_eq!(c.final_error(), None);
+        assert_eq!(c.error_at_cycles(100), 100.0);
+        assert!(c.is_monotone_nonincreasing());
+    }
+}

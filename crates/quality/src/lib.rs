@@ -1,0 +1,20 @@
+//! # wn-quality — output-quality metrics and runtime–quality curves
+//!
+//! The paper's quality metric is **Normalized Root Mean Square Error**
+//! (NRMSE, §IV), reported as a percentage and plotted against normalized
+//! runtime to form the runtime–quality trade-off curves of Fig. 9. This
+//! crate implements NRMSE and companion metrics ([`metrics`]) and the
+//! [`QualityCurve`] container used by every experiment.
+//!
+//! ```
+//! use wn_quality::metrics::nrmse_percent;
+//! let golden = [10.0, 20.0, 30.0];
+//! let approx = [10.0, 20.0, 30.0];
+//! assert_eq!(nrmse_percent(&golden, &approx), Some(0.0));
+//! ```
+
+pub mod curve;
+pub mod metrics;
+
+pub use curve::{CurvePoint, QualityCurve};
+pub use metrics::{mae, max_abs_error, nrmse_percent, rmse};

@@ -1,0 +1,186 @@
+//! Error metrics between a golden output and an approximate output.
+
+/// Root mean square error between `golden` and `approx`.
+///
+/// Returns `None` when the slices are empty or of different lengths.
+pub fn rmse(golden: &[f64], approx: &[f64]) -> Option<f64> {
+    if golden.is_empty() || golden.len() != approx.len() {
+        return None;
+    }
+    let sum_sq: f64 = golden
+        .iter()
+        .zip(approx)
+        .map(|(g, a)| {
+            let d = g - a;
+            d * d
+        })
+        .sum();
+    Some((sum_sq / golden.len() as f64).sqrt())
+}
+
+/// Normalized RMSE as a percentage — the paper's quality metric (§IV).
+///
+/// Normalization is by the *range* of the golden output
+/// (`max − min`). When the golden output is constant, the error is 0 % if
+/// the outputs agree exactly and 100 % otherwise (a degenerate case the
+/// benchmarks never hit, handled for robustness).
+///
+/// Returns `None` when the slices are empty or of different lengths.
+///
+/// ```
+/// use wn_quality::metrics::nrmse_percent;
+/// let golden = [0.0, 100.0];
+/// let approx = [0.0, 90.0];
+/// // RMSE = sqrt(100/2) ≈ 7.07, range = 100 → ≈ 7.07 %
+/// let e = nrmse_percent(&golden, &approx).unwrap();
+/// assert!((e - 7.0710678).abs() < 1e-6);
+/// ```
+pub fn nrmse_percent(golden: &[f64], approx: &[f64]) -> Option<f64> {
+    let rmse = rmse(golden, approx)?;
+    let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &g in golden {
+        min = min.min(g);
+        max = max.max(g);
+    }
+    let range = max - min;
+    if range == 0.0 {
+        return Some(if rmse == 0.0 { 0.0 } else { 100.0 });
+    }
+    Some(100.0 * rmse / range)
+}
+
+/// Mean absolute error.
+///
+/// Returns `None` when the slices are empty or of different lengths.
+pub fn mae(golden: &[f64], approx: &[f64]) -> Option<f64> {
+    if golden.is_empty() || golden.len() != approx.len() {
+        return None;
+    }
+    let sum: f64 = golden.iter().zip(approx).map(|(g, a)| (g - a).abs()).sum();
+    Some(sum / golden.len() as f64)
+}
+
+/// Maximum absolute error.
+///
+/// Returns `None` when the slices are empty or of different lengths.
+pub fn max_abs_error(golden: &[f64], approx: &[f64]) -> Option<f64> {
+    if golden.is_empty() || golden.len() != approx.len() {
+        return None;
+    }
+    golden
+        .iter()
+        .zip(approx)
+        .map(|(g, a)| (g - a).abs())
+        .fold(None, |acc: Option<f64>, d| Some(acc.map_or(d, |m| m.max(d))))
+}
+
+/// Mean absolute *percentage* error relative to the golden values, used
+/// for the glucose case study (the paper reports "average error of only
+/// 7.5 %" against readings, §II). Golden zeros are skipped.
+///
+/// Returns `None` when the slices are empty, of different lengths, or all
+/// golden values are zero.
+pub fn mape_percent(golden: &[f64], approx: &[f64]) -> Option<f64> {
+    if golden.is_empty() || golden.len() != approx.len() {
+        return None;
+    }
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (g, a) in golden.iter().zip(approx) {
+        if *g != 0.0 {
+            sum += ((g - a) / g).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        None
+    } else {
+        Some(100.0 * sum / n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_outputs_have_zero_error() {
+        let v = [1.0, 2.0, 3.5, -7.0];
+        assert_eq!(rmse(&v, &v), Some(0.0));
+        assert_eq!(nrmse_percent(&v, &v), Some(0.0));
+        assert_eq!(mae(&v, &v), Some(0.0));
+        assert_eq!(max_abs_error(&v, &v), Some(0.0));
+    }
+
+    #[test]
+    fn mismatched_lengths_are_none() {
+        assert_eq!(rmse(&[1.0], &[1.0, 2.0]), None);
+        assert_eq!(nrmse_percent(&[], &[]), None);
+        assert_eq!(mae(&[1.0], &[]), None);
+        assert_eq!(max_abs_error(&[], &[1.0]), None);
+        assert_eq!(mape_percent(&[1.0], &[]), None);
+    }
+
+    #[test]
+    fn rmse_known_value() {
+        // errors: 3, 4 → rmse = sqrt((9+16)/2) = sqrt(12.5)
+        let e = rmse(&[0.0, 0.0], &[3.0, 4.0]).unwrap();
+        assert!((e - 12.5f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nrmse_constant_golden() {
+        assert_eq!(nrmse_percent(&[5.0, 5.0], &[5.0, 5.0]), Some(0.0));
+        assert_eq!(nrmse_percent(&[5.0, 5.0], &[5.0, 6.0]), Some(100.0));
+    }
+
+    #[test]
+    fn max_abs_error_finds_worst() {
+        let e = max_abs_error(&[0.0, 0.0, 0.0], &[1.0, -5.0, 2.0]).unwrap();
+        assert_eq!(e, 5.0);
+    }
+
+    #[test]
+    fn mape_skips_zero_golden() {
+        let e = mape_percent(&[0.0, 100.0], &[50.0, 90.0]).unwrap();
+        assert!((e - 10.0).abs() < 1e-12);
+        assert_eq!(mape_percent(&[0.0], &[1.0]), None);
+    }
+
+    proptest! {
+        #[test]
+        fn nrmse_nonnegative_and_scale_invariant(
+            golden in proptest::collection::vec(-1000.0f64..1000.0, 2..50),
+            noise in proptest::collection::vec(-10.0f64..10.0, 2..50),
+            scale in 0.5f64..10.0,
+        ) {
+            let n = golden.len().min(noise.len());
+            let golden = &golden[..n];
+            let approx: Vec<f64> = golden.iter().zip(&noise[..n]).map(|(g, e)| g + e).collect();
+            if let Some(err) = nrmse_percent(golden, &approx) {
+                prop_assert!(err >= 0.0);
+                // Scaling both signals leaves NRMSE unchanged (range scales
+                // with RMSE).
+                let g2: Vec<f64> = golden.iter().map(|g| g * scale).collect();
+                let a2: Vec<f64> = approx.iter().map(|a| a * scale).collect();
+                if let Some(err2) = nrmse_percent(&g2, &a2) {
+                    prop_assert!((err - err2).abs() < 1e-6, "{err} vs {err2}");
+                }
+            }
+        }
+
+        #[test]
+        fn rmse_at_least_mae(
+            pairs in proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 1..40)
+        ) {
+            let golden: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let approx: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            let r = rmse(&golden, &approx).unwrap();
+            let m = mae(&golden, &approx).unwrap();
+            let mx = max_abs_error(&golden, &approx).unwrap();
+            prop_assert!(r + 1e-12 >= m, "rmse {r} < mae {m}");
+            prop_assert!(mx + 1e-12 >= r, "max {mx} < rmse {r}");
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! ALU reference semantics, including the subword-vectorized adder.
+//!
+//! The paper (Fig. 8) inserts a mux after every four 1-bit full adders of a
+//! conventional 32-bit ripple adder. For an `ADD_ASV<BITS>` instruction the
+//! muxes feed zeroes into the carry-in of each lane boundary, partitioning
+//! the adder into independent `BITS`-wide lanes. These functions are the
+//! bit-precise model of that hardware.
+
+use wn_isa::LaneWidth;
+
+/// Lane-wise addition: carries do not propagate across lane boundaries.
+///
+/// Each `lanes.bits()`-wide lane of the result is the low bits of the sum
+/// of the corresponding lanes of `a` and `b`; the carry out of each lane is
+/// discarded (the *unprovisioned* behaviour of §V-E — provisioned addition
+/// simply uses wider lanes so the carry stays inside the lane).
+///
+/// ```
+/// use wn_isa::LaneWidth;
+/// use wn_sim::alu::lane_add;
+/// // 0xFF + 0x01 in the low 8-bit lane wraps to 0x00 without disturbing
+/// // the next lane.
+/// assert_eq!(lane_add(0x0000_00FF, 0x0000_0001, LaneWidth::W8), 0x0000_0000);
+/// ```
+#[inline]
+pub fn lane_add(a: u32, b: u32, lanes: LaneWidth) -> u32 {
+    lane_op(a, b, lanes, |x, y, m| (x.wrapping_add(y)) & m)
+}
+
+/// Lane-wise subtraction: borrows do not propagate across lane boundaries.
+#[inline]
+pub fn lane_sub(a: u32, b: u32, lanes: LaneWidth) -> u32 {
+    lane_op(a, b, lanes, |x, y, m| (x.wrapping_sub(y)) & m)
+}
+
+#[inline]
+fn lane_op(a: u32, b: u32, lanes: LaneWidth, f: impl Fn(u32, u32, u32) -> u32) -> u32 {
+    let bits = lanes.bits();
+    let mask = if bits == 32 { u32::MAX } else { (1u32 << bits) - 1 };
+    let mut out = 0u32;
+    let mut shift = 0;
+    while shift < 32 {
+        let la = (a >> shift) & mask;
+        let lb = (b >> shift) & mask;
+        out |= f(la, lb, mask) << shift;
+        shift += bits;
+    }
+    out
+}
+
+/// The effective multiplier operand of `MUL_ASP<BITS> …, #shift`:
+/// the low `bits` bits of `rm`, shifted to bit position `shift`.
+///
+/// `MUL_ASP` then computes `rn * asp_operand(rm, bits, shift)` in `bits`
+/// cycles on the iterative multiplier (only `bits` multiplier bits are
+/// non-zero).
+#[inline]
+pub fn asp_operand(rm: u32, bits: u8, shift: u8) -> u32 {
+    debug_assert!((1..=32).contains(&bits));
+    debug_assert!(shift as u32 + bits as u32 <= 32);
+    let mask = if bits == 32 { u32::MAX } else { (1u32 << bits) - 1 };
+    (rm & mask) << shift
+}
+
+/// Splits a value into `ceil(width / bits)` subwords of `bits` bits,
+/// least-significant first. Only the low `width` bits of `value` are
+/// considered.
+///
+/// This is the software-visible layout contract shared by the compiler
+/// (which emits subword loads) and the kernels (which encode inputs):
+/// `value == Σ subwords[k] << (k * bits)` (mod `2^width`).
+pub fn split_subwords(value: u32, width: u8, bits: u8) -> Vec<u32> {
+    assert!((1..=32).contains(&bits), "subword size out of range");
+    assert!((1..=32).contains(&width), "width out of range");
+    let mask = if bits == 32 { u32::MAX } else { (1u32 << bits) - 1 };
+    let value = if width == 32 { value } else { value & ((1u32 << width) - 1) };
+    let n = (width as u32).div_ceil(bits as u32);
+    (0..n).map(|k| (value >> (k * bits as u32)) & mask).collect()
+}
+
+/// Inverse of [`split_subwords`]: recombines subwords (least-significant
+/// first) into a value. Subwords whose position lies entirely beyond
+/// bit 31 are ignored rather than wrapping around.
+pub fn join_subwords(subwords: &[u32], bits: u8) -> u32 {
+    let mask = if bits == 32 { u32::MAX } else { (1u32 << bits) - 1 };
+    subwords
+        .iter()
+        .enumerate()
+        .take_while(|&(k, _)| k * (bits as usize) < 32)
+        .fold(0u32, |acc, (k, &s)| acc | ((s & mask) << (k * bits as usize)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn lane_add_isolates_lanes() {
+        // Four 8-bit lanes: FF+01 wraps, 01+01 adds, 80+80 wraps, 00+7F passes.
+        let a = 0x00_80_01_FFu32;
+        let b = 0x7F_80_01_01u32;
+        assert_eq!(lane_add(a, b, LaneWidth::W8), 0x7F_00_02_00);
+    }
+
+    #[test]
+    fn lane_add_w4() {
+        // 0xF + 0x1 wraps in every nibble.
+        assert_eq!(lane_add(0xFFFF_FFFF, 0x1111_1111, LaneWidth::W4), 0x0000_0000);
+    }
+
+    #[test]
+    fn lane_add_w16() {
+        assert_eq!(lane_add(0xFFFF_0001, 0x0001_0001, LaneWidth::W16), 0x0000_0002);
+    }
+
+    #[test]
+    fn lane_sub_isolates_borrows() {
+        // 0x00 - 0x01 wraps to 0xFF inside the lane only.
+        assert_eq!(lane_sub(0x0000_0100, 0x0000_0001, LaneWidth::W8), 0x0000_01FF);
+    }
+
+    #[test]
+    fn asp_operand_matches_listing_2() {
+        // The paper's MUL_ASP8 ..., #1 multiplies by the most significant
+        // 8-bit subword of a 16-bit operand, in place.
+        let a: u32 = 0xAB_CD;
+        assert_eq!(asp_operand(0xAB, 8, 8), 0xAB00);
+        assert_eq!(asp_operand(0xCD, 8, 0), 0x00CD);
+        // Loading the subwords separately and summing the two partial
+        // products reproduces the full product.
+        let f: u32 = 37;
+        let full = f.wrapping_mul(a);
+        let partial = f.wrapping_mul(asp_operand(0xAB, 8, 8)) + f.wrapping_mul(asp_operand(0xCD, 8, 0));
+        assert_eq!(partial, full);
+    }
+
+    #[test]
+    fn split_join_16bit() {
+        assert_eq!(split_subwords(0xABCD, 16, 8), vec![0xCD, 0xAB]);
+        assert_eq!(split_subwords(0xABCD, 16, 4), vec![0xD, 0xC, 0xB, 0xA]);
+        assert_eq!(join_subwords(&[0xCD, 0xAB], 8), 0xABCD);
+    }
+
+    #[test]
+    fn split_masks_to_width() {
+        // Only the low 16 bits participate.
+        assert_eq!(split_subwords(0xFFFF_ABCD, 16, 8), vec![0xCD, 0xAB]);
+    }
+
+    #[test]
+    fn split_nonuniform_bits() {
+        // 3-bit subwords of a 16-bit value: 6 subwords, top one partial.
+        let subs = split_subwords(0xFFFF, 16, 3);
+        assert_eq!(subs.len(), 6);
+        assert_eq!(join_subwords(&subs, 3) & 0xFFFF, 0xFFFF);
+    }
+
+    proptest! {
+        #[test]
+        fn split_join_roundtrip(value in any::<u32>(), width in 1u8..=32, bits in 1u8..=16) {
+            let masked = if width == 32 { value } else { value & ((1u32 << width) - 1) };
+            let subs = split_subwords(value, width, bits);
+            let rejoined = join_subwords(&subs, bits);
+            let rejoined = if width == 32 { rejoined } else { rejoined & ((1u32 << width) - 1) };
+            prop_assert_eq!(rejoined, masked);
+        }
+
+        #[test]
+        fn lane_add_matches_per_lane_reference(a in any::<u32>(), b in any::<u32>()) {
+            for lanes in LaneWidth::ALL {
+                let got = lane_add(a, b, lanes);
+                let bits = lanes.bits();
+                let mask = (1u64 << bits) - 1;
+                for lane in 0..lanes.lanes() {
+                    let sh = lane * bits;
+                    let la = ((a >> sh) as u64) & mask;
+                    let lb = ((b >> sh) as u64) & mask;
+                    let expect = (la + lb) & mask;
+                    prop_assert_eq!(((got >> sh) as u64) & mask, expect);
+                }
+            }
+        }
+
+        #[test]
+        fn lane_sub_then_add_is_identity(a in any::<u32>(), b in any::<u32>()) {
+            for lanes in LaneWidth::ALL {
+                prop_assert_eq!(lane_add(lane_sub(a, b, lanes), b, lanes), a);
+            }
+        }
+
+        #[test]
+        fn asp_partial_products_sum_to_full_product(
+            f in any::<u32>(), a in any::<u16>(), bits in prop_oneof![Just(1u8), Just(2), Just(4), Just(8), Just(16)]
+        ) {
+            // Σ_k f * asp_operand(sub_k, bits, k) == f * a (mod 2^32) —
+            // the distributivity property that makes SWP exact (§III-A).
+            let subs = split_subwords(a as u32, 16, bits);
+            let mut sum = 0u32;
+            for (k, &s) in subs.iter().enumerate() {
+                sum = sum.wrapping_add(f.wrapping_mul(asp_operand(s, bits, k as u8 * bits)));
+            }
+            prop_assert_eq!(sum, f.wrapping_mul(a as u32));
+        }
+
+        #[test]
+        fn lane_add_full_width_is_plain_add_w16_low(a in any::<u16>(), b in any::<u16>()) {
+            // Within one 16-bit lane, lane_add agrees with wrapping add.
+            let got = lane_add(a as u32, b as u32, LaneWidth::W16) & 0xFFFF;
+            prop_assert_eq!(got, (a.wrapping_add(b)) as u32);
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! `wnrun` — assemble and execute a WN-RISC program on the cycle-accurate
+//! simulator, printing execution statistics.
+//!
+//! ```sh
+//! cargo run -p wn-sim --bin wnrun -- program.s
+//! cargo run -p wn-sim --bin wnrun -- program.s --memo --dump X:16
+//! ```
+//!
+//! `--memo` enables the 16-entry memoization table + zero skipping;
+//! `--dump LABEL:N` prints N 32-bit words of data memory starting at a
+//! data label after the run; `--max-cycles N` bounds the run;
+//! `--trace N` prints the last N retired instructions (with labels,
+//! memory accesses and events) after the run — also on a fault, where
+//! the trace shows the path that led to it.
+
+use std::env;
+use std::fs;
+use std::process::ExitCode;
+
+use wn_isa::asm::assemble;
+use wn_sim::trace::run_traced;
+use wn_sim::{Core, CoreConfig, MemoConfig};
+
+const USAGE: &str =
+    "usage: wnrun <file.s> [--memo] [--max-cycles N] [--trace N] [--dump LABEL:N]...";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("wnrun: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let mut file = None;
+    let mut memo = false;
+    let mut max_cycles = 1_000_000_000u64;
+    let mut dumps: Vec<(String, u32)> = Vec::new();
+    let mut trace_len: Option<usize> = None;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--memo" => memo = true,
+            "--max-cycles" => {
+                max_cycles = it
+                    .next()
+                    .ok_or("--max-cycles needs a number")?
+                    .parse()
+                    .map_err(|e| format!("--max-cycles: {e}"))?;
+            }
+            "--trace" => {
+                let n: usize = it
+                    .next()
+                    .ok_or("--trace needs a count")?
+                    .parse()
+                    .map_err(|e| format!("--trace: {e}"))?;
+                if n == 0 {
+                    return Err("--trace needs a positive count".to_string());
+                }
+                trace_len = Some(n);
+            }
+            "--dump" => {
+                let spec = it.next().ok_or("--dump needs LABEL:N")?;
+                let (label, n) = spec.split_once(':').ok_or("--dump needs LABEL:N")?;
+                dumps.push((
+                    label.to_string(),
+                    n.parse().map_err(|e| format!("--dump count: {e}"))?,
+                ));
+            }
+            other if file.is_none() && !other.starts_with("--") => file = Some(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`\n{USAGE}")),
+        }
+    }
+    let file = file.ok_or(USAGE)?;
+    let src = fs::read_to_string(&file).map_err(|e| format!("{file}: {e}"))?;
+    let program = assemble(&src).map_err(|e| e.to_string())?;
+
+    let config = CoreConfig {
+        memo: memo.then(MemoConfig::default),
+        ..CoreConfig::default()
+    };
+    let mut core = Core::new(&program, config).map_err(|e| e.to_string())?;
+    let outcome = match trace_len {
+        None => core.run(max_cycles).map_err(|e| e.to_string())?,
+        Some(n) => {
+            // Cycle cap approximates an instruction cap conservatively:
+            // every instruction costs at least one cycle.
+            match run_traced(&mut core, n, max_cycles) {
+                Ok(trace) => {
+                    if !core.is_halted() {
+                        eprint!("{}", trace.render(&program));
+                        return Err(format!(
+                            "ran {} cycles without halting (--max-cycles {max_cycles})",
+                            core.stats.cycles
+                        ));
+                    }
+                    print!("{}", trace.render(&program));
+                    wn_sim::RunOutcome {
+                        halted: true,
+                        cycles: core.stats.cycles,
+                        instructions: core.stats.instructions,
+                    }
+                }
+                Err((trace, e)) => {
+                    eprint!("{}", trace.render(&program));
+                    return Err(e.to_string());
+                }
+            }
+        }
+    };
+
+    println!(
+        "halted after {} instructions, {} cycles ({:.3} ms at 24 MHz)",
+        outcome.instructions,
+        outcome.cycles,
+        outcome.cycles as f64 / 24_000.0
+    );
+    print!("{}", core.stats);
+    if let Some(m) = &core.memo {
+        println!(
+            "memo: {} hits, {} zero skips, {} misses ({:.1}% short-circuited)",
+            m.stats.hits,
+            m.stats.zero_skips,
+            m.stats.misses,
+            100.0 * m.stats.short_circuit_rate()
+        );
+    }
+    if let Some(target) = core.cpu.skm {
+        println!("skim register: set (target {target})");
+    }
+
+    for (label, count) in dumps {
+        let addr = program
+            .data_symbol(&label)
+            .ok_or_else(|| format!("unknown data label `{label}`"))?;
+        println!("{label} (at {addr:#x}):");
+        for i in 0..count {
+            let v = core
+                .mem
+                .load_u32(addr + 4 * i)
+                .map_err(|e| format!("dump {label}[{i}]: {e}"))?;
+            println!("  [{i:>3}] {v:#010x}  {v}");
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,666 @@
+//! The executing core: fetch, execute, account.
+
+use wn_isa::{Instr, Program, Reg};
+
+use crate::alu;
+use crate::cpu::Cpu;
+use crate::cycle_model::CycleModel;
+use crate::error::SimError;
+use crate::memo::{MemoConfig, MemoUnit};
+use crate::memory::{MemAccess, Memory};
+use crate::stats::ExecStats;
+
+/// Configuration of a [`Core`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoreConfig {
+    /// Per-instruction cycle costs.
+    pub cycle_model: CycleModel,
+    /// Data memory size in bytes.
+    pub mem_size: usize,
+    /// Optional memoization/zero-skip unit for multiplies (§V-E).
+    pub memo: Option<MemoConfig>,
+}
+
+impl Default for CoreConfig {
+    fn default() -> CoreConfig {
+        // Generous data memory: provisioned subword-major layouts occupy
+        // up to 2x their row-major size, and quick-scale experiment
+        // instances are sized for outage statistics rather than a real
+        // device's RAM budget.
+        CoreConfig { cycle_model: CycleModel::default(), mem_size: 1024 * 1024, memo: None }
+    }
+}
+
+/// What happened during one [`Core::step`], beyond plain retirement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepEvent {
+    /// Nothing notable.
+    None,
+    /// The core executed `HALT` (or was already halted).
+    Halted,
+    /// A skim point executed, recording this restore target in the
+    /// non-volatile SKM register.
+    SkimSet(u32),
+    /// A branch redirected control flow.
+    BranchTaken,
+}
+
+/// Result of one [`Core::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepInfo {
+    /// Cycles the instruction consumed.
+    pub cycles: u64,
+    /// The data-memory access performed, if any (at most one per
+    /// instruction on this core).
+    pub access: Option<MemAccess>,
+    /// Notable event.
+    pub event: StepEvent,
+}
+
+/// Result of a [`Core::run`] that ended by halting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Whether the program executed `HALT` (always true on `Ok`).
+    pub halted: bool,
+    /// Cycles consumed during this `run` call.
+    pub cycles: u64,
+    /// Instructions retired during this `run` call.
+    pub instructions: u64,
+}
+
+/// A cycle-accurate WN-RISC core bound to one program.
+///
+/// See the crate-level docs for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct Core {
+    /// Architectural state.
+    pub cpu: Cpu,
+    /// Data memory.
+    pub mem: Memory,
+    /// Execution statistics.
+    pub stats: ExecStats,
+    /// Optional memoization unit.
+    pub memo: Option<MemoUnit>,
+    program: Program,
+    config: CoreConfig,
+}
+
+impl Core {
+    /// Creates a core for `program`, loading its initial data image at
+    /// data address 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidProgram`] if the program fails
+    /// validation, or [`SimError::DataImageTooLarge`] if its data image
+    /// exceeds `config.mem_size`.
+    pub fn new(program: &Program, config: CoreConfig) -> Result<Core, SimError> {
+        program.validate().map_err(|e| SimError::InvalidProgram(e.to_string()))?;
+        let mem = Memory::with_image(config.mem_size, &program.initial_data)?;
+        let mut cpu = Cpu::new();
+        cpu.pc = program.entry;
+        Ok(Core {
+            cpu,
+            mem,
+            stats: ExecStats::new(),
+            memo: config.memo.map(MemoUnit::new),
+            program: program.clone(),
+            config,
+        })
+    }
+
+    /// The program this core executes.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The core's configuration.
+    pub fn config(&self) -> &CoreConfig {
+        &self.config
+    }
+
+    /// Whether the core has executed `HALT`.
+    pub fn is_halted(&self) -> bool {
+        self.cpu.halted
+    }
+
+    /// Convenience: byte address of a data symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the symbol does not exist — symbol names come from the
+    /// compiler, so a miss is a harness bug.
+    pub fn data_addr(&self, symbol: &str) -> u32 {
+        self.program
+            .data_symbol(symbol)
+            .unwrap_or_else(|| panic!("unknown data symbol `{symbol}`"))
+    }
+
+    /// Executes one instruction.
+    ///
+    /// On a halted core this is a no-op returning [`StepEvent::Halted`]
+    /// and zero cycles.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] if the PC leaves the program or a memory
+    /// access is invalid. The core is left in the pre-instruction state
+    /// for memory faults only in the sense that no partial store occurs.
+    pub fn step(&mut self) -> Result<StepInfo, SimError> {
+        if self.cpu.halted {
+            return Ok(StepInfo { cycles: 0, access: None, event: StepEvent::Halted });
+        }
+        let pc = self.cpu.pc;
+        let len = self.program.instrs.len() as u32;
+        if pc >= len {
+            return Err(SimError::PcOutOfRange { pc, len });
+        }
+        let instr = self.program.instrs[pc as usize];
+        let m = self.config.cycle_model;
+        let mut next_pc = pc + 1;
+        let mut cycles = m.base_cost(&instr);
+        let mut access = None;
+        let mut event = StepEvent::None;
+
+        {
+            let cpu = &mut self.cpu;
+            match instr {
+                Instr::MovImm { rd, imm } => cpu.set_reg(rd, imm as u32),
+                Instr::Mov { rd, rm } => {
+                    let v = cpu.reg(rm);
+                    cpu.set_reg(rd, v);
+                }
+                Instr::Mvn { rd, rm } => {
+                    let v = !cpu.reg(rm);
+                    cpu.set_reg(rd, v);
+                }
+                Instr::Add { rd, rn, rm } => {
+                    let v = cpu.reg(rn).wrapping_add(cpu.reg(rm));
+                    cpu.set_reg(rd, v);
+                }
+                Instr::AddImm { rd, rn, imm } => {
+                    let v = cpu.reg(rn).wrapping_add(imm as u32);
+                    cpu.set_reg(rd, v);
+                }
+                Instr::Sub { rd, rn, rm } => {
+                    let v = cpu.reg(rn).wrapping_sub(cpu.reg(rm));
+                    cpu.set_reg(rd, v);
+                }
+                Instr::SubImm { rd, rn, imm } => {
+                    let v = cpu.reg(rn).wrapping_sub(imm as u32);
+                    cpu.set_reg(rd, v);
+                }
+                Instr::Rsb { rd, rn } => {
+                    let v = 0u32.wrapping_sub(cpu.reg(rn));
+                    cpu.set_reg(rd, v);
+                }
+                Instr::Mul { rd, rn, rm } => {
+                    let a = cpu.reg(rn);
+                    let b = cpu.reg(rm);
+                    let (product, cost) = self.multiply(a, b);
+                    cycles = cost;
+                    self.cpu.set_reg(rd, product);
+                }
+                Instr::MulAsp { rd, rn, rm, bits, shift } => {
+                    let a = cpu.reg(rn);
+                    let b = alu::asp_operand(cpu.reg(rm), bits, shift);
+                    let (product, cost) = self.multiply_asp(a, b, bits);
+                    cycles = cost;
+                    self.cpu.set_reg(rd, product);
+                }
+                Instr::AddAsv { rd, rn, rm, lanes } => {
+                    let v = alu::lane_add(cpu.reg(rn), cpu.reg(rm), lanes);
+                    cpu.set_reg(rd, v);
+                }
+                Instr::SubAsv { rd, rn, rm, lanes } => {
+                    let v = alu::lane_sub(cpu.reg(rn), cpu.reg(rm), lanes);
+                    cpu.set_reg(rd, v);
+                }
+                Instr::And { rd, rn, rm } => {
+                    let v = cpu.reg(rn) & cpu.reg(rm);
+                    cpu.set_reg(rd, v);
+                }
+                Instr::Orr { rd, rn, rm } => {
+                    let v = cpu.reg(rn) | cpu.reg(rm);
+                    cpu.set_reg(rd, v);
+                }
+                Instr::Eor { rd, rn, rm } => {
+                    let v = cpu.reg(rn) ^ cpu.reg(rm);
+                    cpu.set_reg(rd, v);
+                }
+                Instr::Bic { rd, rn, rm } => {
+                    let v = cpu.reg(rn) & !cpu.reg(rm);
+                    cpu.set_reg(rd, v);
+                }
+                Instr::AndImm { rd, rn, imm } => {
+                    let v = cpu.reg(rn) & imm as u32;
+                    cpu.set_reg(rd, v);
+                }
+                Instr::LslImm { rd, rn, sh } => {
+                    let v = cpu.reg(rn) << sh;
+                    cpu.set_reg(rd, v);
+                }
+                Instr::LsrImm { rd, rn, sh } => {
+                    let v = cpu.reg(rn) >> sh;
+                    cpu.set_reg(rd, v);
+                }
+                Instr::AsrImm { rd, rn, sh } => {
+                    let v = ((cpu.reg(rn) as i32) >> sh) as u32;
+                    cpu.set_reg(rd, v);
+                }
+                Instr::LslReg { rd, rn, rm } => {
+                    let sh = cpu.reg(rm) & 31;
+                    let v = cpu.reg(rn) << sh;
+                    cpu.set_reg(rd, v);
+                }
+                Instr::LsrReg { rd, rn, rm } => {
+                    let sh = cpu.reg(rm) & 31;
+                    let v = cpu.reg(rn) >> sh;
+                    cpu.set_reg(rd, v);
+                }
+                Instr::AsrReg { rd, rn, rm } => {
+                    let sh = cpu.reg(rm) & 31;
+                    let v = ((cpu.reg(rn) as i32) >> sh) as u32;
+                    cpu.set_reg(rd, v);
+                }
+                Instr::Cmp { rn, rm } => {
+                    let a = cpu.reg(rn);
+                    let b = cpu.reg(rm);
+                    Self::set_cmp_flags(cpu, a, b);
+                }
+                Instr::CmpImm { rn, imm } => {
+                    let a = cpu.reg(rn);
+                    Self::set_cmp_flags(cpu, a, imm as u32);
+                }
+                Instr::Tst { rn, rm } => {
+                    let v = cpu.reg(rn) & cpu.reg(rm);
+                    cpu.flags.set_nz(v);
+                }
+                Instr::Ldr { rt, rn, off }
+                | Instr::Ldrh { rt, rn, off }
+                | Instr::Ldrb { rt, rn, off } => {
+                    let addr = cpu.reg(rn).wrapping_add(off as u32);
+                    access = Some(self.load(rt, addr, &instr)?);
+                }
+                Instr::LdrReg { rt, rn, rm }
+                | Instr::LdrhReg { rt, rn, rm }
+                | Instr::LdrshReg { rt, rn, rm }
+                | Instr::LdrbReg { rt, rn, rm } => {
+                    let addr = cpu.reg(rn).wrapping_add(cpu.reg(rm));
+                    access = Some(self.load(rt, addr, &instr)?);
+                }
+                Instr::Str { rt, rn, off }
+                | Instr::Strh { rt, rn, off }
+                | Instr::Strb { rt, rn, off } => {
+                    let addr = cpu.reg(rn).wrapping_add(off as u32);
+                    access = Some(self.store(rt, addr, &instr)?);
+                }
+                Instr::StrReg { rt, rn, rm }
+                | Instr::StrhReg { rt, rn, rm }
+                | Instr::StrbReg { rt, rn, rm } => {
+                    let addr = cpu.reg(rn).wrapping_add(cpu.reg(rm));
+                    access = Some(self.store(rt, addr, &instr)?);
+                }
+                Instr::B { target } => {
+                    next_pc = target;
+                    event = StepEvent::BranchTaken;
+                }
+                Instr::BCond { cond, target } => {
+                    if cond.holds(cpu.flags) {
+                        next_pc = target;
+                        cycles = m.branch_taken;
+                        event = StepEvent::BranchTaken;
+                    }
+                }
+                Instr::Bl { target } => {
+                    cpu.set_reg(Reg::LR, pc + 1);
+                    next_pc = target;
+                    event = StepEvent::BranchTaken;
+                }
+                Instr::Bx { rm } => {
+                    next_pc = cpu.reg(rm);
+                    event = StepEvent::BranchTaken;
+                }
+                Instr::Skm { target } => {
+                    cpu.skm = Some(target);
+                    event = StepEvent::SkimSet(target);
+                }
+                Instr::Nop => {}
+                Instr::Halt => {
+                    cpu.halted = true;
+                    // PC stays on the HALT: a checkpointing substrate that
+                    // restores to this point re-executes the halt rather
+                    // than running off the end of the program.
+                    next_pc = pc;
+                    event = StepEvent::Halted;
+                }
+            }
+        }
+
+        if self.cpu.pc != pc {
+            // The instruction wrote PC directly (e.g. `MOV pc, rX`):
+            // honor the redirect as a branch instead of clobbering it
+            // with the fall-through address.
+            cycles = cycles.max(m.branch_taken);
+            event = StepEvent::BranchTaken;
+        } else {
+            self.cpu.pc = next_pc;
+        }
+        self.stats.record(&instr, cycles);
+        Ok(StepInfo { cycles, access, event })
+    }
+
+    /// Runs until `HALT`. The budget is checked before each instruction,
+    /// so the run may overshoot `max_cycles` by at most one instruction's
+    /// cost (16 cycles for a full multiply) — instructions are atomic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CycleLimit`] if the budget is exhausted first,
+    /// or any execution error.
+    pub fn run(&mut self, max_cycles: u64) -> Result<RunOutcome, SimError> {
+        let mut cycles = 0u64;
+        let mut instructions = 0u64;
+        while !self.cpu.halted {
+            if cycles >= max_cycles {
+                return Err(SimError::CycleLimit { limit: max_cycles });
+            }
+            let info = self.step()?;
+            cycles += info.cycles;
+            instructions += 1;
+        }
+        Ok(RunOutcome { halted: true, cycles, instructions })
+    }
+
+    /// ARM-style flag computation for `a - b`.
+    fn set_cmp_flags(cpu: &mut Cpu, a: u32, b: u32) {
+        let result = a.wrapping_sub(b);
+        cpu.flags.set_nz(result);
+        cpu.flags.c = a >= b; // no borrow
+        cpu.flags.v = (((a ^ b) & (a ^ result)) >> 31) != 0;
+    }
+
+    /// Performs the load half of a memory instruction: reads at `addr`
+    /// with the instruction's width/extension and writes `rt`.
+    fn load(&mut self, rt: Reg, addr: u32, instr: &Instr) -> Result<MemAccess, SimError> {
+        let (value, size) = match instr {
+            Instr::Ldr { .. } | Instr::LdrReg { .. } => (self.mem.load_u32(addr)?, 4),
+            Instr::Ldrh { .. } | Instr::LdrhReg { .. } => (self.mem.load_u16(addr)? as u32, 2),
+            Instr::LdrshReg { .. } => (self.mem.load_u16(addr)? as i16 as i32 as u32, 2),
+            Instr::Ldrb { .. } | Instr::LdrbReg { .. } => (self.mem.load_u8(addr)? as u32, 1),
+            other => unreachable!("load() called for non-load {other}"),
+        };
+        self.cpu.set_reg(rt, value);
+        Ok(MemAccess::read(addr, size))
+    }
+
+    /// Performs the store half of a memory instruction, capturing the
+    /// overwritten value for checkpointing substrates.
+    fn store(&mut self, rt: Reg, addr: u32, instr: &Instr) -> Result<MemAccess, SimError> {
+        let value = self.cpu.reg(rt);
+        let (prev, size) = match instr {
+            Instr::Str { .. } | Instr::StrReg { .. } => {
+                let prev = self.mem.load_u32(addr)?;
+                self.mem.store_u32(addr, value)?;
+                (prev, 4)
+            }
+            Instr::Strh { .. } | Instr::StrhReg { .. } => {
+                let prev = self.mem.load_u16(addr)? as u32;
+                self.mem.store_u16(addr, value as u16)?;
+                (prev, 2)
+            }
+            Instr::Strb { .. } | Instr::StrbReg { .. } => {
+                let prev = self.mem.load_u8(addr)? as u32;
+                self.mem.store_u8(addr, value as u8)?;
+                (prev, 1)
+            }
+            other => unreachable!("store() called for non-store {other}"),
+        };
+        Ok(MemAccess::write(addr, size, prev))
+    }
+
+    fn multiply(&mut self, a: u32, b: u32) -> (u32, u64) {
+        let product = a.wrapping_mul(b);
+        let m = self.config.cycle_model;
+        if let Some(memo) = self.memo.as_mut() {
+            if let Some(p) = memo.lookup(a, b) {
+                return (p, m.memo_hit);
+            }
+            memo.insert(a, b, product);
+        }
+        (product, m.mul)
+    }
+
+    fn multiply_asp(&mut self, a: u32, effective_b: u32, bits: u8) -> (u32, u64) {
+        let product = a.wrapping_mul(effective_b);
+        let m = self.config.cycle_model;
+        if let Some(memo) = self.memo.as_mut() {
+            if let Some(p) = memo.lookup(a, effective_b) {
+                return (p, m.memo_hit);
+            }
+            memo.insert(a, effective_b, product);
+        }
+        (product, m.mul_asp_cycles(bits))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wn_isa::asm::assemble;
+
+    fn run_asm(src: &str) -> Core {
+        let p = assemble(src).unwrap();
+        let mut core = Core::new(&p, CoreConfig::default()).unwrap();
+        core.run(1_000_000).unwrap();
+        core
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let core = run_asm("MOV r0, #10\nMOV r1, #3\nSUB r2, r0, r1\nADD r3, r2, #5\nRSB r4, r1\nHALT");
+        assert_eq!(core.cpu.reg(Reg::R2), 7);
+        assert_eq!(core.cpu.reg(Reg::R3), 12);
+        assert_eq!(core.cpu.reg_i32(Reg::R4), -3);
+    }
+
+    #[test]
+    fn logical_and_shifts() {
+        let core = run_asm(
+            "MOV r0, #0b1100\nMOV r1, #0b1010\nAND r2, r0, r1\nORR r3, r0, r1\nEOR r4, r0, r1\nBIC r5, r0, r1\nLSL r6, r0, #2\nLSR r7, r0, #2\nMOV r8, #-8\nASR r9, r8, #1\nHALT",
+        );
+        assert_eq!(core.cpu.reg(Reg::R2), 0b1000);
+        assert_eq!(core.cpu.reg(Reg::R3), 0b1110);
+        assert_eq!(core.cpu.reg(Reg::R4), 0b0110);
+        assert_eq!(core.cpu.reg(Reg::R5), 0b0100);
+        assert_eq!(core.cpu.reg(Reg::R6), 0b110000);
+        assert_eq!(core.cpu.reg(Reg::R7), 0b11);
+        assert_eq!(core.cpu.reg_i32(Reg::R9), -4);
+    }
+
+    #[test]
+    fn loop_with_conditional_branch() {
+        // Sum 1..=5.
+        let core = run_asm(
+            "MOV r0, #0\nMOV r1, #1\nloop:\nADD r0, r0, r1\nADD r1, r1, #1\nCMP r1, #6\nBLT loop\nHALT",
+        );
+        assert_eq!(core.cpu.reg(Reg::R0), 15);
+    }
+
+    #[test]
+    fn signed_vs_unsigned_branches() {
+        // -1 < 1 signed, but 0xFFFFFFFF > 1 unsigned.
+        let core = run_asm(
+            "MOV r0, #-1\nMOV r1, #1\nMOV r2, #0\nMOV r3, #0\nCMP r0, r1\nBGE skip1\nMOV r2, #1\nskip1:\nCMP r0, r1\nBLO skip2\nMOV r3, #1\nskip2:\nHALT",
+        );
+        assert_eq!(core.cpu.reg(Reg::R2), 1, "signed less-than taken");
+        assert_eq!(core.cpu.reg(Reg::R3), 1, "unsigned not lower");
+    }
+
+    #[test]
+    fn memory_round_trips() {
+        let core = run_asm(
+            ".data\nbuf: .space 16\n.text\nMOV r0, =buf\nMOV r1, #0x1234\nSTR r1, [r0, #0]\nSTRH r1, [r0, #4]\nSTRB r1, [r0, #6]\nLDR r2, [r0, #0]\nLDRH r3, [r0, #4]\nLDRB r4, [r0, #6]\nHALT",
+        );
+        assert_eq!(core.cpu.reg(Reg::R2), 0x1234);
+        assert_eq!(core.cpu.reg(Reg::R3), 0x1234);
+        assert_eq!(core.cpu.reg(Reg::R4), 0x34);
+    }
+
+    #[test]
+    fn ldrsh_sign_extends() {
+        let core = run_asm(
+            ".data\nbuf: .half -5\n.text\nMOV r0, =buf\nMOV r1, #0\nLDRSH r2, [r0, r1]\nLDRH r3, [r0, r1]\nHALT",
+        );
+        assert_eq!(core.cpu.reg_i32(Reg::R2), -5);
+        assert_eq!(core.cpu.reg(Reg::R3), 0xFFFB);
+    }
+
+    #[test]
+    fn bl_and_bx_call_return() {
+        let core = run_asm(
+            "MOV r0, #1\nBL func\nADD r0, r0, #10\nHALT\nfunc:\nADD r0, r0, #100\nBX lr",
+        );
+        assert_eq!(core.cpu.reg(Reg::R0), 111);
+    }
+
+    #[test]
+    fn mul_cycle_cost_is_iterative() {
+        let mut core = {
+            let p = assemble("MOV r0, #300\nMOV r1, #70\nMUL r2, r0, r1\nHALT").unwrap();
+            Core::new(&p, CoreConfig::default()).unwrap()
+        };
+        core.run(100).unwrap();
+        assert_eq!(core.cpu.reg(Reg::R2), 21000);
+        // 1 + 1 + 16 + 1
+        assert_eq!(core.stats.cycles, 19);
+    }
+
+    #[test]
+    fn mul_asp_matches_listing_2_semantics() {
+        // X += F * A via two 8-bit subword stages must equal F * A exactly.
+        let f = 37u32;
+        let a = 0xABCD_u32; // 16-bit operand
+        let src = format!(
+            "MOV r1, #{f}\nMOV r5, #0xAB\nMOV r6, #0xCD\nMOV r3, #0\n\
+             MOV r4, r1\nMUL_ASP8 r4, r5, #8\nADD r3, r3, r4\n\
+             MOV r4, r1\nMUL_ASP8 r4, r6, #0\nADD r3, r3, r4\nHALT"
+        );
+        let core = run_asm(&src);
+        assert_eq!(core.cpu.reg(Reg::R3), f * a);
+    }
+
+    #[test]
+    fn mul_asp_cycles() {
+        let p = assemble("MOV r0, #9\nMOV r1, #5\nMUL_ASP4 r0, r1, #0\nHALT").unwrap();
+        let mut core = Core::new(&p, CoreConfig::default()).unwrap();
+        core.run(100).unwrap();
+        assert_eq!(core.cpu.reg(Reg::R0), 45);
+        // 1 + 1 + 4 + 1
+        assert_eq!(core.stats.cycles, 7);
+    }
+
+    #[test]
+    fn asv_add_does_not_cross_lanes() {
+        let core = run_asm("MOV r0, #0x00FF00FF\nMOV r1, #0x00010001\nADD_ASV8 r2, r0, r1\nHALT");
+        assert_eq!(core.cpu.reg(Reg::R2), 0x0000_0000);
+    }
+
+    #[test]
+    fn skm_sets_nonvolatile_register() {
+        let core = run_asm("SKM end\nMOV r0, #1\nend:\nHALT");
+        let end = core.program().code_symbol("end").unwrap();
+        assert_eq!(core.cpu.skm, Some(end));
+        assert_eq!(core.cpu.reg(Reg::R0), 1, "SKM does not branch by itself");
+    }
+
+    #[test]
+    fn memoization_reduces_mul_cycles() {
+        let p = assemble(
+            "MOV r0, #6\nMOV r1, #7\nMUL r2, r0, r1\nMUL r3, r0, r1\nHALT",
+        )
+        .unwrap();
+        let cfg = CoreConfig { memo: Some(MemoConfig::default()), ..CoreConfig::default() };
+        let mut core = Core::new(&p, cfg).unwrap();
+        core.run(100).unwrap();
+        assert_eq!(core.cpu.reg(Reg::R2), 42);
+        assert_eq!(core.cpu.reg(Reg::R3), 42);
+        // 1 + 1 + 16 (miss) + 1 (hit) + 1
+        assert_eq!(core.stats.cycles, 20);
+        let memo = core.memo.as_ref().unwrap();
+        assert_eq!(memo.stats.hits, 1);
+        assert_eq!(memo.stats.misses, 1);
+    }
+
+    #[test]
+    fn zero_skipping_single_cycle() {
+        let p = assemble("MOV r0, #0\nMOV r1, #7\nMUL r2, r0, r1\nHALT").unwrap();
+        let cfg = CoreConfig { memo: Some(MemoConfig::default()), ..CoreConfig::default() };
+        let mut core = Core::new(&p, cfg).unwrap();
+        core.run(100).unwrap();
+        assert_eq!(core.cpu.reg(Reg::R2), 0);
+        // 1 + 1 + 1 (zero skip) + 1
+        assert_eq!(core.stats.cycles, 4);
+        assert_eq!(core.memo.as_ref().unwrap().stats.zero_skips, 1);
+    }
+
+    #[test]
+    fn branch_cycle_accounting() {
+        // Not-taken conditional branch costs 1; taken costs 2.
+        let p = assemble("MOV r0, #0\nCMP r0, #0\nBNE end\nBEQ end\nend:\nHALT").unwrap();
+        let mut core = Core::new(&p, CoreConfig::default()).unwrap();
+        core.run(100).unwrap();
+        // MOV(1) + CMP(1) + BNE not taken(1) + BEQ taken(2) + HALT(1)
+        assert_eq!(core.stats.cycles, 6);
+    }
+
+    #[test]
+    fn run_reports_cycle_limit() {
+        let p = assemble("loop:\nB loop").unwrap();
+        let mut core = Core::new(&p, CoreConfig::default()).unwrap();
+        assert_eq!(core.run(10), Err(SimError::CycleLimit { limit: 10 }));
+        assert!(!core.is_halted());
+    }
+
+    #[test]
+    fn step_after_halt_is_noop() {
+        let p = assemble("HALT").unwrap();
+        let mut core = Core::new(&p, CoreConfig::default()).unwrap();
+        core.run(10).unwrap();
+        let info = core.step().unwrap();
+        assert_eq!(info.event, StepEvent::Halted);
+        assert_eq!(info.cycles, 0);
+    }
+
+    #[test]
+    fn memory_fault_surfaces() {
+        let p = assemble("MOV r0, #2\nLDR r1, [r0, #0]\nHALT").unwrap();
+        let mut core = Core::new(&p, CoreConfig::default()).unwrap();
+        assert!(matches!(core.run(100), Err(SimError::Unaligned { .. })));
+    }
+
+    #[test]
+    fn step_reports_accesses() {
+        let p = assemble(".data\nb: .space 8\n.text\nMOV r0, =b\nSTR r0, [r0, #0]\nLDR r1, [r0, #0]\nHALT").unwrap();
+        let mut core = Core::new(&p, CoreConfig::default()).unwrap();
+        core.step().unwrap();
+        let w = core.step().unwrap();
+        assert_eq!(w.access, Some(MemAccess::write(0, 4, 0)));
+        let r = core.step().unwrap();
+        assert_eq!(r.access, Some(MemAccess::read(0, 4)));
+    }
+
+    #[test]
+    fn mov_to_pc_redirects_control_flow() {
+        // Writing PC with a data-processing instruction is a branch.
+        let core = run_asm("MOV r0, #4\nMOV pc, r0\nMOV r1, #1\nMOV r2, #2\nHALT\nHALT");
+        assert_eq!(core.cpu.reg(Reg::R1), 0, "skipped by the PC write");
+        assert_eq!(core.cpu.reg(Reg::R2), 0, "skipped by the PC write");
+    }
+
+    #[test]
+    fn sub_asv_lanes() {
+        let core = run_asm("MOV r0, #0x01000100\nMOV r1, #0x00010001\nSUB_ASV16 r2, r0, r1\nHALT");
+        assert_eq!(core.cpu.reg(Reg::R2), 0x00FF_00FF);
+    }
+}

@@ -1,0 +1,58 @@
+//! Simulator error type.
+
+use std::fmt;
+
+/// Errors raised while executing a program on the simulated core.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The program counter left the instruction stream.
+    PcOutOfRange { pc: u32, len: u32 },
+    /// A data access fell outside data memory.
+    MemOutOfRange { addr: u32, size: u32, mem_size: u32 },
+    /// A halfword/word access was not naturally aligned.
+    Unaligned { addr: u32, required: u32 },
+    /// The initial data image does not fit in the configured data memory.
+    DataImageTooLarge { image: usize, mem_size: usize },
+    /// `Core::run` exhausted its cycle budget before the program halted.
+    CycleLimit { limit: u64 },
+    /// The program failed `Program::validate` at core construction.
+    InvalidProgram(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::PcOutOfRange { pc, len } => {
+                write!(f, "pc {pc} outside program of {len} instructions")
+            }
+            SimError::MemOutOfRange { addr, size, mem_size } => {
+                write!(f, "{size}-byte access at {addr:#x} outside {mem_size}-byte data memory")
+            }
+            SimError::Unaligned { addr, required } => {
+                write!(f, "unaligned {required}-byte access at {addr:#x}")
+            }
+            SimError::DataImageTooLarge { image, mem_size } => {
+                write!(f, "initial data image of {image} bytes exceeds {mem_size}-byte memory")
+            }
+            SimError::CycleLimit { limit } => {
+                write!(f, "program did not halt within {limit} cycles")
+            }
+            SimError::InvalidProgram(msg) => write!(f, "invalid program: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::Unaligned { addr: 0x13, required: 4 };
+        assert!(e.to_string().contains("0x13"));
+        let e = SimError::CycleLimit { limit: 10 };
+        assert!(e.to_string().contains("10"));
+    }
+}

@@ -1,0 +1,271 @@
+//! Multiply memoization and zero skipping (paper §V-E).
+//!
+//! The paper pairs subword pipelining with a small direct-mapped table
+//! that caches multiply results: a hit returns in a single cycle instead
+//! of the 4/8/16 cycles of the iterative multiplier. Multiplications with
+//! a zero operand are excluded from the table and short-circuited to a
+//! single cycle (*zero skipping*).
+//!
+//! Indexing follows the paper: the index is the concatenation of the two
+//! least-significant bits of both operands; the tag is the concatenation
+//! of the operands' remaining upper bits.
+
+/// Configuration of the memoization unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoConfig {
+    /// Number of table entries. Must be a power of four so the index bits
+    /// split evenly between the two operands (the paper uses 16).
+    pub entries: usize,
+    /// Enable the memo table itself.
+    pub memoize: bool,
+    /// Enable zero skipping.
+    pub zero_skip: bool,
+}
+
+impl Default for MemoConfig {
+    fn default() -> MemoConfig {
+        MemoConfig { entries: 16, memoize: true, zero_skip: true }
+    }
+}
+
+impl MemoConfig {
+    /// A configuration with only zero skipping (no table).
+    pub fn zero_skip_only() -> MemoConfig {
+        MemoConfig { entries: 0, memoize: false, zero_skip: true }
+    }
+}
+
+/// Hit/miss counters for the memoization unit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Multiplies resolved by zero skipping.
+    pub zero_skips: u64,
+    /// Multiplies resolved by a table hit.
+    pub hits: u64,
+    /// Multiplies that missed (and filled) the table.
+    pub misses: u64,
+}
+
+impl MemoStats {
+    /// Fraction of multiply lookups short-circuited (hit or zero skip).
+    pub fn short_circuit_rate(&self) -> f64 {
+        let total = self.zero_skips + self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            (self.zero_skips + self.hits) as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    tag_a: u32,
+    tag_b: u32,
+    product: u32,
+}
+
+/// The memoization unit: a direct-mapped multiply-result cache plus the
+/// zero-skip comparator.
+///
+/// ```
+/// use wn_sim::{MemoConfig, MemoUnit};
+/// let mut memo = MemoUnit::new(MemoConfig::default());
+/// assert_eq!(memo.lookup(6, 7), None);       // cold miss
+/// memo.insert(6, 7, 42);
+/// assert_eq!(memo.lookup(6, 7), Some(42));   // hit, single cycle
+/// assert_eq!(memo.lookup(0, 7), Some(0));    // zero skip
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemoUnit {
+    config: MemoConfig,
+    index_bits_per_operand: u32,
+    table: Vec<Option<Entry>>,
+    /// Hit/miss counters.
+    pub stats: MemoStats,
+}
+
+impl MemoUnit {
+    /// Creates a memoization unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.memoize` is set and `config.entries` is not a
+    /// power of four.
+    pub fn new(config: MemoConfig) -> MemoUnit {
+        let (entries, bits) = if config.memoize {
+            let entries = config.entries;
+            assert!(entries > 0, "memo table needs at least one entry");
+            let bits = entries.trailing_zeros();
+            assert!(
+                entries.is_power_of_two() && bits.is_multiple_of(2),
+                "memo entries must be a power of four, got {entries}"
+            );
+            (entries, bits / 2)
+        } else {
+            (0, 0)
+        };
+        MemoUnit {
+            config,
+            index_bits_per_operand: bits,
+            table: vec![None; entries],
+            stats: MemoStats::default(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> MemoConfig {
+        self.config
+    }
+
+    fn index_and_tags(&self, a: u32, b: u32) -> (usize, u32, u32) {
+        let mask = (1u32 << self.index_bits_per_operand) - 1;
+        let idx = (((a & mask) << self.index_bits_per_operand) | (b & mask)) as usize;
+        (idx, a >> self.index_bits_per_operand, b >> self.index_bits_per_operand)
+    }
+
+    /// Looks up a product, counting a zero skip, a hit, or a miss.
+    ///
+    /// Returns `Some(product)` when the multiply is short-circuited
+    /// (single-cycle); `None` means the full iterative multiply must run
+    /// and the result should be [`MemoUnit::insert`]ed.
+    pub fn lookup(&mut self, a: u32, b: u32) -> Option<u32> {
+        if self.config.zero_skip && (a == 0 || b == 0) {
+            self.stats.zero_skips += 1;
+            return Some(0);
+        }
+        if !self.config.memoize {
+            self.stats.misses += 1;
+            return None;
+        }
+        let (idx, tag_a, tag_b) = self.index_and_tags(a, b);
+        match self.table[idx] {
+            Some(e) if e.tag_a == tag_a && e.tag_b == tag_b => {
+                self.stats.hits += 1;
+                Some(e.product)
+            }
+            _ => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Records a computed product. Zero-operand products are never cached
+    /// (they are covered by zero skipping, §V-E).
+    pub fn insert(&mut self, a: u32, b: u32, product: u32) {
+        if !self.config.memoize || a == 0 || b == 0 {
+            return;
+        }
+        let (idx, tag_a, tag_b) = self.index_and_tags(a, b);
+        self.table[idx] = Some(Entry { tag_a, tag_b, product });
+    }
+
+    /// Clears the table (e.g. across kernel invocations). Counters are kept.
+    pub fn clear(&mut self) {
+        self.table.fill(None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_skip_beats_table() {
+        let mut m = MemoUnit::new(MemoConfig::default());
+        assert_eq!(m.lookup(0, 123), Some(0));
+        assert_eq!(m.lookup(55, 0), Some(0));
+        assert_eq!(m.stats.zero_skips, 2);
+        assert_eq!(m.stats.hits, 0);
+    }
+
+    #[test]
+    fn zero_products_are_not_cached() {
+        let mut m = MemoUnit::new(MemoConfig { zero_skip: false, ..MemoConfig::default() });
+        m.insert(0, 9, 0);
+        assert_eq!(m.lookup(0, 9), None, "zero operands bypass the table");
+    }
+
+    #[test]
+    fn direct_mapped_conflict_evicts() {
+        let mut m = MemoUnit::new(MemoConfig { entries: 16, ..MemoConfig::default() });
+        // Same low-2-bits on both operands → same set.
+        m.insert(0b0101, 0b0110, 30);
+        assert_eq!(m.lookup(0b0101, 0b0110), Some(30));
+        m.insert(0b1001, 0b1010, 90); // conflicting index, different tag
+        assert_eq!(m.lookup(0b0101, 0b0110), None, "evicted by conflict");
+        assert_eq!(m.lookup(0b1001, 0b1010), Some(90));
+    }
+
+    #[test]
+    fn no_table_config_always_misses() {
+        let mut m = MemoUnit::new(MemoConfig::zero_skip_only());
+        assert_eq!(m.lookup(3, 4), None);
+        m.insert(3, 4, 12);
+        assert_eq!(m.lookup(3, 4), None);
+        assert_eq!(m.lookup(0, 4), Some(0), "zero skip still active");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of four")]
+    fn rejects_non_power_of_four() {
+        MemoUnit::new(MemoConfig { entries: 8, ..MemoConfig::default() });
+    }
+
+    #[test]
+    fn clear_empties_table() {
+        let mut m = MemoUnit::new(MemoConfig::default());
+        m.insert(6, 7, 42);
+        m.clear();
+        assert_eq!(m.lookup(6, 7), None);
+    }
+
+    #[test]
+    fn short_circuit_rate() {
+        let mut m = MemoUnit::new(MemoConfig::default());
+        assert_eq!(m.stats.short_circuit_rate(), 0.0);
+        m.lookup(0, 1); // zero skip
+        m.lookup(5, 7); // miss
+        m.insert(5, 7, 35);
+        m.lookup(5, 7); // hit
+        assert!((m.stats.short_circuit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn hit_returns_inserted_product(a in 1u32..10_000, b in 1u32..10_000) {
+            let mut m = MemoUnit::new(MemoConfig::default());
+            m.insert(a, b, a.wrapping_mul(b));
+            prop_assert_eq!(m.lookup(a, b), Some(a.wrapping_mul(b)));
+        }
+
+        #[test]
+        fn lookup_never_returns_wrong_product(
+            pairs in proptest::collection::vec((1u32..64, 1u32..64), 1..50)
+        ) {
+            // Fill the table with true products in arbitrary order, then
+            // every hit must be the true product (tags disambiguate).
+            let mut m = MemoUnit::new(MemoConfig::default());
+            for &(a, b) in &pairs {
+                if m.lookup(a, b).is_none() {
+                    m.insert(a, b, a * b);
+                }
+            }
+            for &(a, b) in &pairs {
+                if let Some(p) = m.lookup(a, b) {
+                    prop_assert_eq!(p, a * b);
+                }
+            }
+        }
+
+        #[test]
+        fn larger_tables_are_valid(exp in 1u32..5) {
+            let entries = 4usize.pow(exp);
+            let mut m = MemoUnit::new(MemoConfig { entries, ..MemoConfig::default() });
+            m.insert(5, 9, 45);
+            prop_assert_eq!(m.lookup(5, 9), Some(45));
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Byte-addressable data memory.
+//!
+//! The modeled device keeps data in a flat, little-endian, byte-addressable
+//! memory. Whether that memory is volatile SRAM paired with non-volatile
+//! backup (Clank-style) or FRAM integrated into the pipeline (NVP-style) is
+//! a policy decision made by `wn-intermittent`; the simulator just reads
+//! and writes bytes and reports each access so the intermittency layer can
+//! track idempotency violations and buffer writes.
+
+use crate::error::SimError;
+
+/// Kind of data-memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+/// One data-memory access performed by an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Byte address of the access.
+    pub addr: u32,
+    /// Access size in bytes (1, 2 or 4).
+    pub size: u32,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// For writes: the value the location held *before* the store
+    /// (zero-extended). Lets checkpointing substrates maintain an undo
+    /// log without shadowing all of memory. Zero for reads.
+    pub prev: u32,
+}
+
+impl MemAccess {
+    /// A read access.
+    pub fn read(addr: u32, size: u32) -> MemAccess {
+        MemAccess { addr, size, kind: AccessKind::Read, prev: 0 }
+    }
+
+    /// A write access recording the overwritten value.
+    pub fn write(addr: u32, size: u32, prev: u32) -> MemAccess {
+        MemAccess { addr, size, kind: AccessKind::Write, prev }
+    }
+}
+
+/// Flat little-endian data memory with aligned accesses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Memory {
+    bytes: Vec<u8>,
+}
+
+impl Memory {
+    /// Creates a zeroed memory of `size` bytes.
+    pub fn new(size: usize) -> Memory {
+        Memory { bytes: vec![0; size] }
+    }
+
+    /// Creates a memory of `size` bytes initialized from `image` at
+    /// address 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DataImageTooLarge`] if the image does not fit.
+    pub fn with_image(size: usize, image: &[u8]) -> Result<Memory, SimError> {
+        if image.len() > size {
+            return Err(SimError::DataImageTooLarge { image: image.len(), mem_size: size });
+        }
+        let mut mem = Memory::new(size);
+        mem.bytes[..image.len()].copy_from_slice(image);
+        Ok(mem)
+    }
+
+    /// Memory size in bytes.
+    pub fn size(&self) -> usize {
+        self.bytes.len()
+    }
+
+    fn check(&self, addr: u32, size: u32) -> Result<usize, SimError> {
+        if size > 1 && !addr.is_multiple_of(size) {
+            return Err(SimError::Unaligned { addr, required: size });
+        }
+        let end = addr as u64 + size as u64;
+        if end > self.bytes.len() as u64 {
+            return Err(SimError::MemOutOfRange { addr, size, mem_size: self.bytes.len() as u32 });
+        }
+        Ok(addr as usize)
+    }
+
+    /// Loads a byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MemOutOfRange`] for addresses past the end.
+    pub fn load_u8(&self, addr: u32) -> Result<u8, SimError> {
+        let i = self.check(addr, 1)?;
+        Ok(self.bytes[i])
+    }
+
+    /// Loads an aligned little-endian halfword.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Unaligned`] or [`SimError::MemOutOfRange`].
+    pub fn load_u16(&self, addr: u32) -> Result<u16, SimError> {
+        let i = self.check(addr, 2)?;
+        Ok(u16::from_le_bytes([self.bytes[i], self.bytes[i + 1]]))
+    }
+
+    /// Loads an aligned little-endian word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Unaligned`] or [`SimError::MemOutOfRange`].
+    pub fn load_u32(&self, addr: u32) -> Result<u32, SimError> {
+        let i = self.check(addr, 4)?;
+        Ok(u32::from_le_bytes([
+            self.bytes[i],
+            self.bytes[i + 1],
+            self.bytes[i + 2],
+            self.bytes[i + 3],
+        ]))
+    }
+
+    /// Stores a byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MemOutOfRange`] for addresses past the end.
+    pub fn store_u8(&mut self, addr: u32, value: u8) -> Result<(), SimError> {
+        let i = self.check(addr, 1)?;
+        self.bytes[i] = value;
+        Ok(())
+    }
+
+    /// Stores an aligned little-endian halfword.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Unaligned`] or [`SimError::MemOutOfRange`].
+    pub fn store_u16(&mut self, addr: u32, value: u16) -> Result<(), SimError> {
+        let i = self.check(addr, 2)?;
+        self.bytes[i..i + 2].copy_from_slice(&value.to_le_bytes());
+        Ok(())
+    }
+
+    /// Stores an aligned little-endian word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Unaligned`] or [`SimError::MemOutOfRange`].
+    pub fn store_u32(&mut self, addr: u32, value: u32) -> Result<(), SimError> {
+        let i = self.check(addr, 4)?;
+        self.bytes[i..i + 4].copy_from_slice(&value.to_le_bytes());
+        Ok(())
+    }
+
+    /// Borrows a byte range (for quality sampling of output regions).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MemOutOfRange`] if the range does not fit.
+    pub fn slice(&self, addr: u32, len: u32) -> Result<&[u8], SimError> {
+        let end = addr as u64 + len as u64;
+        if end > self.bytes.len() as u64 {
+            return Err(SimError::MemOutOfRange { addr, size: len, mem_size: self.bytes.len() as u32 });
+        }
+        Ok(&self.bytes[addr as usize..(addr + len) as usize])
+    }
+
+    /// Copies `data` into memory starting at `addr` (host-side input
+    /// injection, modeling a sensor DMA).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MemOutOfRange`] if the range does not fit.
+    pub fn write_slice(&mut self, addr: u32, data: &[u8]) -> Result<(), SimError> {
+        let end = addr as u64 + data.len() as u64;
+        if end > self.bytes.len() as u64 {
+            return Err(SimError::MemOutOfRange {
+                addr,
+                size: data.len() as u32,
+                mem_size: self.bytes.len() as u32,
+            });
+        }
+        self.bytes[addr as usize..addr as usize + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut m = Memory::new(64);
+        m.store_u8(3, 0xAB).unwrap();
+        assert_eq!(m.load_u8(3).unwrap(), 0xAB);
+        m.store_u16(4, 0xBEEF).unwrap();
+        assert_eq!(m.load_u16(4).unwrap(), 0xBEEF);
+        m.store_u32(8, 0xDEAD_BEEF).unwrap();
+        assert_eq!(m.load_u32(8).unwrap(), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = Memory::new(8);
+        m.store_u32(0, 0x0403_0201).unwrap();
+        assert_eq!(m.load_u8(0).unwrap(), 1);
+        assert_eq!(m.load_u8(3).unwrap(), 4);
+        assert_eq!(m.load_u16(0).unwrap(), 0x0201);
+        assert_eq!(m.load_u16(2).unwrap(), 0x0403);
+    }
+
+    #[test]
+    fn rejects_unaligned() {
+        let mut m = Memory::new(16);
+        assert_eq!(m.load_u32(2), Err(SimError::Unaligned { addr: 2, required: 4 }));
+        assert_eq!(m.load_u16(1), Err(SimError::Unaligned { addr: 1, required: 2 }));
+        assert_eq!(m.store_u32(6, 0), Err(SimError::Unaligned { addr: 6, required: 4 }));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let m = Memory::new(8);
+        assert!(m.load_u8(8).is_err());
+        assert!(m.load_u32(8).is_err());
+        assert!(m.load_u32(u32::MAX - 3).is_err());
+        assert!(m.slice(4, 5).is_err());
+    }
+
+    #[test]
+    fn image_initialization() {
+        let m = Memory::with_image(8, &[1, 2, 3]).unwrap();
+        assert_eq!(m.load_u8(0).unwrap(), 1);
+        assert_eq!(m.load_u8(3).unwrap(), 0);
+        assert!(Memory::with_image(2, &[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn write_slice_and_slice() {
+        let mut m = Memory::new(16);
+        m.write_slice(4, &[9, 8, 7]).unwrap();
+        assert_eq!(m.slice(4, 3).unwrap(), &[9, 8, 7]);
+        assert!(m.write_slice(15, &[1, 2]).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn u32_roundtrip(addr in 0u32..15, value in any::<u32>()) {
+            let mut m = Memory::new(64);
+            let addr = addr * 4;
+            m.store_u32(addr, value).unwrap();
+            prop_assert_eq!(m.load_u32(addr).unwrap(), value);
+        }
+
+        #[test]
+        fn u32_equals_byte_composition(value in any::<u32>()) {
+            let mut m = Memory::new(8);
+            m.store_u32(0, value).unwrap();
+            let composed = (m.load_u8(0).unwrap() as u32)
+                | ((m.load_u8(1).unwrap() as u32) << 8)
+                | ((m.load_u8(2).unwrap() as u32) << 16)
+                | ((m.load_u8(3).unwrap() as u32) << 24);
+            prop_assert_eq!(composed, value);
+        }
+    }
+}

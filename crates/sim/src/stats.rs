@@ -1,0 +1,236 @@
+//! Execution statistics: dynamic instruction mix and cycle accounting.
+
+use std::fmt;
+
+use wn_isa::Instr;
+
+/// Dynamic instruction classes tracked by [`ExecStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstrClass {
+    /// Single-cycle data processing (moves, ALU, shifts, compares).
+    Alu,
+    /// Full-precision iterative multiply.
+    Mul,
+    /// `MUL_ASP*` subword-pipelined multiply.
+    MulAsp,
+    /// `*_ASV*` subword-vectorized operation.
+    Asv,
+    /// Loads.
+    Load,
+    /// Stores.
+    Store,
+    /// Branches (conditional and unconditional) and calls.
+    Branch,
+    /// `SKM` skim points.
+    Skm,
+    /// Everything else (`NOP`, `HALT`).
+    Other,
+}
+
+impl InstrClass {
+    /// All classes, in display order.
+    pub const ALL: [InstrClass; 9] = [
+        InstrClass::Alu,
+        InstrClass::Mul,
+        InstrClass::MulAsp,
+        InstrClass::Asv,
+        InstrClass::Load,
+        InstrClass::Store,
+        InstrClass::Branch,
+        InstrClass::Skm,
+        InstrClass::Other,
+    ];
+
+    /// Classifies an instruction.
+    pub fn of(instr: &Instr) -> InstrClass {
+        match instr {
+            Instr::Mul { .. } => InstrClass::Mul,
+            Instr::MulAsp { .. } => InstrClass::MulAsp,
+            Instr::AddAsv { .. } | Instr::SubAsv { .. } => InstrClass::Asv,
+            Instr::Skm { .. } => InstrClass::Skm,
+            Instr::Nop | Instr::Halt => InstrClass::Other,
+            i if i.is_load() => InstrClass::Load,
+            i if i.is_store() => InstrClass::Store,
+            i if i.is_branch() => InstrClass::Branch,
+            _ => InstrClass::Alu,
+        }
+    }
+
+    const fn idx(self) -> usize {
+        match self {
+            InstrClass::Alu => 0,
+            InstrClass::Mul => 1,
+            InstrClass::MulAsp => 2,
+            InstrClass::Asv => 3,
+            InstrClass::Load => 4,
+            InstrClass::Store => 5,
+            InstrClass::Branch => 6,
+            InstrClass::Skm => 7,
+            InstrClass::Other => 8,
+        }
+    }
+}
+
+impl fmt::Display for InstrClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            InstrClass::Alu => "alu",
+            InstrClass::Mul => "mul",
+            InstrClass::MulAsp => "mul_asp",
+            InstrClass::Asv => "asv",
+            InstrClass::Load => "load",
+            InstrClass::Store => "store",
+            InstrClass::Branch => "branch",
+            InstrClass::Skm => "skm",
+            InstrClass::Other => "other",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Counters accumulated while the core executes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Total dynamic instructions retired.
+    pub instructions: u64,
+    /// Total cycles consumed.
+    pub cycles: u64,
+    /// Per-class instruction counts.
+    counts: [u64; 9],
+    /// Per-class cycle counts.
+    cycle_counts: [u64; 9],
+}
+
+impl ExecStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> ExecStats {
+        ExecStats::default()
+    }
+
+    /// Records one retired instruction.
+    pub fn record(&mut self, instr: &Instr, cycles: u64) {
+        self.instructions += 1;
+        self.cycles += cycles;
+        let class = InstrClass::of(instr);
+        self.counts[class.idx()] += 1;
+        self.cycle_counts[class.idx()] += cycles;
+    }
+
+    /// Dynamic instruction count of one class.
+    pub fn count(&self, class: InstrClass) -> u64 {
+        self.counts[class.idx()]
+    }
+
+    /// Cycles consumed by one class.
+    pub fn cycles_of(&self, class: InstrClass) -> u64 {
+        self.cycle_counts[class.idx()]
+    }
+
+    /// Fraction of dynamic instructions in `class`.
+    pub fn fraction(&self, class: InstrClass) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.count(class) as f64 / self.instructions as f64
+        }
+    }
+
+    /// Fraction of dynamic instructions executed by WN mechanisms
+    /// (`MUL_ASP`, `*_ASV`, `SKM`).
+    pub fn wn_fraction(&self) -> f64 {
+        self.fraction(InstrClass::MulAsp)
+            + self.fraction(InstrClass::Asv)
+            + self.fraction(InstrClass::Skm)
+    }
+
+    /// Resets all counters.
+    pub fn reset(&mut self) {
+        *self = ExecStats::default();
+    }
+}
+
+impl fmt::Display for ExecStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} instructions, {} cycles", self.instructions, self.cycles)?;
+        for class in InstrClass::ALL {
+            let n = self.count(class);
+            if n > 0 {
+                writeln!(
+                    f,
+                    "  {class:<8} {n:>10} insns ({:>5.1}%), {:>10} cycles",
+                    100.0 * self.fraction(class),
+                    self.cycles_of(class)
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wn_isa::{LaneWidth, Reg};
+
+    #[test]
+    fn classify() {
+        assert_eq!(
+            InstrClass::of(&Instr::Mul { rd: Reg::R0, rn: Reg::R1, rm: Reg::R2 }),
+            InstrClass::Mul
+        );
+        assert_eq!(
+            InstrClass::of(&Instr::MulAsp { rd: Reg::R0, rn: Reg::R1, rm: Reg::R2, bits: 4, shift: 0 }),
+            InstrClass::MulAsp
+        );
+        assert_eq!(
+            InstrClass::of(&Instr::AddAsv { rd: Reg::R0, rn: Reg::R1, rm: Reg::R2, lanes: LaneWidth::W8 }),
+            InstrClass::Asv
+        );
+        assert_eq!(InstrClass::of(&Instr::Ldrb { rt: Reg::R0, rn: Reg::R1, off: 0 }), InstrClass::Load);
+        assert_eq!(InstrClass::of(&Instr::Str { rt: Reg::R0, rn: Reg::R1, off: 0 }), InstrClass::Store);
+        assert_eq!(InstrClass::of(&Instr::B { target: 0 }), InstrClass::Branch);
+        assert_eq!(InstrClass::of(&Instr::Skm { target: 0 }), InstrClass::Skm);
+        assert_eq!(InstrClass::of(&Instr::Halt), InstrClass::Other);
+        assert_eq!(InstrClass::of(&Instr::CmpImm { rn: Reg::R0, imm: 0 }), InstrClass::Alu);
+    }
+
+    #[test]
+    fn record_and_fractions() {
+        let mut s = ExecStats::new();
+        s.record(&Instr::Mul { rd: Reg::R0, rn: Reg::R1, rm: Reg::R2 }, 16);
+        s.record(&Instr::Nop, 1);
+        s.record(&Instr::Nop, 1);
+        s.record(&Instr::Skm { target: 0 }, 2);
+        assert_eq!(s.instructions, 4);
+        assert_eq!(s.cycles, 20);
+        assert_eq!(s.count(InstrClass::Mul), 1);
+        assert_eq!(s.cycles_of(InstrClass::Mul), 16);
+        assert!((s.fraction(InstrClass::Other) - 0.5).abs() < 1e-12);
+        assert!((s.wn_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_fractions() {
+        let s = ExecStats::new();
+        assert_eq!(s.fraction(InstrClass::Mul), 0.0);
+        assert_eq!(s.wn_fraction(), 0.0);
+    }
+
+    #[test]
+    fn display_contains_classes() {
+        let mut s = ExecStats::new();
+        s.record(&Instr::Nop, 1);
+        s.record(&Instr::Mul { rd: Reg::R0, rn: Reg::R1, rm: Reg::R2 }, 16);
+        let text = s.to_string();
+        assert!(text.contains("mul"));
+        assert!(text.contains("2 instructions"));
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut s = ExecStats::new();
+        s.record(&Instr::Nop, 1);
+        s.reset();
+        assert_eq!(s, ExecStats::new());
+    }
+}

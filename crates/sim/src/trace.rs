@@ -1,0 +1,315 @@
+//! Execution tracing: a bounded ring buffer of retired instructions.
+//!
+//! [`ExecTrace`] records what the core did — program counter, decoded
+//! instruction, cycle cost, memory access and step event — for the last
+//! `capacity` retired instructions. It is the observability companion to
+//! [`Core::step`](crate::Core::step): the executor loop owns the stepping,
+//! the trace owns the history.
+//!
+//! ```
+//! use wn_isa::asm::assemble;
+//! use wn_sim::trace::ExecTrace;
+//! use wn_sim::{Core, CoreConfig};
+//!
+//! let program = assemble("MOV r0, #6\nMOV r1, #7\nMUL r0, r0, r1\nHALT")?;
+//! let mut core = Core::new(&program, CoreConfig::default())?;
+//! let mut trace = ExecTrace::new(64);
+//! while !core.is_halted() {
+//!     let pc = core.cpu.pc;
+//!     let info = core.step()?;
+//!     trace.record(&core, pc, &info);
+//! }
+//! assert_eq!(trace.len(), 4);
+//! assert!(trace.render(&program).contains("MUL r0, r0, r1"));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+use wn_isa::{Instr, Program};
+
+use crate::core::{Core, StepEvent, StepInfo};
+use crate::memory::{AccessKind, MemAccess};
+
+/// One retired instruction, as recorded by [`ExecTrace::record`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Retirement sequence number (0 = first instruction ever recorded).
+    pub seq: u64,
+    /// Instruction index the instruction was fetched from.
+    pub pc: u32,
+    /// The decoded instruction.
+    pub instr: Instr,
+    /// Cycles this instruction consumed.
+    pub cycles: u64,
+    /// Core cycle counter *after* retirement.
+    pub total_cycles: u64,
+    /// The data-memory access it performed, if any.
+    pub access: Option<MemAccess>,
+    /// The step event it raised.
+    pub event: StepEvent,
+}
+
+/// A bounded ring buffer of [`TraceEntry`] values.
+///
+/// When full, recording a new entry drops the oldest; [`ExecTrace::dropped`]
+/// reports how many were evicted, so post-mortem output can say "…N earlier
+/// instructions omitted".
+#[derive(Debug, Clone)]
+pub struct ExecTrace {
+    entries: VecDeque<TraceEntry>,
+    capacity: usize,
+    recorded: u64,
+}
+
+impl ExecTrace {
+    /// Creates a trace keeping the most recent `capacity` instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> ExecTrace {
+        assert!(capacity > 0, "trace capacity must be positive");
+        ExecTrace { entries: VecDeque::with_capacity(capacity), capacity, recorded: 0 }
+    }
+
+    /// Records one retired instruction. `pc` is the instruction index
+    /// captured *before* the corresponding [`Core::step`] call; `info`
+    /// is what that call returned.
+    pub fn record(&mut self, core: &Core, pc: u32, info: &StepInfo) {
+        let instr = core
+            .program()
+            .instrs
+            .get(pc as usize)
+            .copied()
+            .unwrap_or(Instr::Halt);
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(TraceEntry {
+            seq: self.recorded,
+            pc,
+            instr,
+            cycles: info.cycles,
+            total_cycles: core.stats.cycles,
+            access: info.access,
+            event: info.event,
+        });
+        self.recorded += 1;
+    }
+
+    /// The retained entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total instructions ever recorded (≥ [`ExecTrace::len`]).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Entries evicted because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.recorded - self.entries.len() as u64
+    }
+
+    /// Clears the retained entries (the sequence counter keeps running).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Renders the trace as text, one line per instruction, annotating
+    /// instruction indices with the program's code labels:
+    ///
+    /// ```text
+    ///        2  0004 <loop>  MUL r0, r0, r1         ; 16 cy, total 19
+    /// ```
+    pub fn render(&self, program: &Program) -> String {
+        let mut labels = vec![None::<&str>; program.instrs.len() + 1];
+        for (name, &idx) in &program.code_symbols {
+            if let Some(slot) = labels.get_mut(idx as usize) {
+                // Deterministic pick when several labels share an index.
+                if slot.is_none_or(|prev| name.as_str() < prev) {
+                    *slot = Some(name);
+                }
+            }
+        }
+        let mut out = String::new();
+        if self.dropped() > 0 {
+            let _ = writeln!(out, "... {} earlier instructions omitted", self.dropped());
+        }
+        for e in &self.entries {
+            let label = labels
+                .get(e.pc as usize)
+                .copied()
+                .flatten()
+                .map(|l| format!(" <{l}>"))
+                .unwrap_or_default();
+            let _ = write!(
+                out,
+                "{:>8}  {:04}{label}  {:<28} ; {} cy, total {}",
+                e.seq, e.pc, e.instr.to_string(), e.cycles, e.total_cycles
+            );
+            if let Some(acc) = e.access {
+                let kind = match acc.kind {
+                    AccessKind::Read => "R",
+                    AccessKind::Write => "W",
+                };
+                let _ = write!(out, "  [{kind}{} @{:#06x}]", acc.size * 8, acc.addr);
+            }
+            match e.event {
+                StepEvent::SkimSet(t) => {
+                    let _ = write!(out, "  [skim -> {t}]");
+                }
+                StepEvent::BranchTaken => out.push_str("  [taken]"),
+                StepEvent::Halted => out.push_str("  [halt]"),
+                StepEvent::None => {}
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Steps a core to completion (or `max_instrs`), recording every retired
+/// instruction into a fresh trace of the given capacity.
+///
+/// # Errors
+///
+/// Propagates simulation errors; the trace collected up to the failing
+/// instruction is returned alongside the error so post-mortem debugging
+/// sees the path that led there.
+pub fn run_traced(
+    core: &mut Core,
+    capacity: usize,
+    max_instrs: u64,
+) -> Result<ExecTrace, (ExecTrace, crate::SimError)> {
+    let mut trace = ExecTrace::new(capacity);
+    for _ in 0..max_instrs {
+        if core.is_halted() {
+            break;
+        }
+        let pc = core.cpu.pc;
+        match core.step() {
+            Ok(info) => trace.record(core, pc, &info),
+            Err(e) => return Err((trace, e)),
+        }
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CoreConfig;
+    use wn_isa::asm::assemble;
+
+    fn traced(src: &str, capacity: usize) -> (Program, ExecTrace) {
+        let program = assemble(src).unwrap();
+        let mut core = Core::new(&program, CoreConfig::default()).unwrap();
+        let trace = run_traced(&mut core, capacity, 1_000_000).unwrap();
+        (program, trace)
+    }
+
+    #[test]
+    fn records_every_instruction_in_order() {
+        let (_, trace) = traced("MOV r0, #1\nMOV r1, #2\nADD r2, r0, r1\nHALT", 16);
+        assert_eq!(trace.len(), 4);
+        assert_eq!(trace.dropped(), 0);
+        let seqs: Vec<u64> = trace.entries().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3]);
+        let pcs: Vec<u32> = trace.entries().map(|e| e.pc).collect();
+        assert_eq!(pcs, vec![0, 1, 2, 3]);
+        assert!(matches!(trace.entries().last().unwrap().event, StepEvent::Halted));
+    }
+
+    #[test]
+    fn ring_buffer_keeps_the_tail() {
+        let (_, trace) = traced(
+            "MOV r0, #8\nloop:\nSUB r0, r0, #1\nCMP r0, #0\nBNE loop\nHALT",
+            4,
+        );
+        // 1 MOV + 8×(SUB, CMP, BNE) + HALT = 26 retired; only 4 kept.
+        assert_eq!(trace.recorded(), 26);
+        assert_eq!(trace.len(), 4);
+        assert_eq!(trace.dropped(), 22);
+        assert_eq!(trace.entries().next().unwrap().seq, 22);
+    }
+
+    #[test]
+    fn render_shows_labels_events_and_accesses() {
+        let src = "\
+MOV r0, #8
+LDR r1, [r0]
+STR r0, [r0]
+loop:
+SUB r0, r0, #8
+CMP r0, #0
+BEQ loop
+HALT
+";
+        let (program, trace) = traced(src, 16);
+        let text = trace.render(&program);
+        assert!(text.contains("<loop>"), "{text}");
+        assert!(text.contains("[R32 @0x0008"), "{text}");
+        assert!(text.contains("[W32 @0x0008"), "{text}");
+        assert!(text.contains("[taken]"), "{text}");
+        assert!(text.contains("[halt]"), "{text}");
+        assert!(!text.contains("omitted"));
+    }
+
+    #[test]
+    fn render_reports_omitted_prefix() {
+        let (program, trace) =
+            traced("MOV r0, #8\nloop:\nSUB r0, r0, #1\nCMP r0, #0\nBNE loop\nHALT", 2);
+        let text = trace.render(&program);
+        assert!(text.starts_with("... 24 earlier instructions omitted"), "{text}");
+    }
+
+    #[test]
+    fn total_cycles_accumulates_core_counter() {
+        let (_, trace) = traced("MOV r0, #6\nMOV r1, #7\nMUL r0, r0, r1\nHALT", 16);
+        let entries: Vec<&TraceEntry> = trace.entries().collect();
+        assert_eq!(entries[2].cycles, 16, "full multiply is iterative");
+        assert_eq!(entries[3].total_cycles, 19);
+        // Monotone non-decreasing.
+        assert!(entries.windows(2).all(|w| w[0].total_cycles <= w[1].total_cycles));
+    }
+
+    #[test]
+    fn error_returns_partial_trace() {
+        // STR to an out-of-range address faults; the trace must contain
+        // the instructions leading up to it.
+        let program = assemble("MOV r0, #0\nSUB r0, r0, #1\nSTR r0, [r0]\nHALT").unwrap();
+        let mut core = Core::new(&program, CoreConfig::default()).unwrap();
+        let (trace, _err) = run_traced(&mut core, 16, 1_000).unwrap_err();
+        assert_eq!(trace.len(), 2, "MOV and SUB retired before the fault");
+    }
+
+    #[test]
+    fn clear_keeps_sequence_numbers() {
+        let program = assemble("MOV r0, #1\nMOV r1, #2\nHALT").unwrap();
+        let mut core = Core::new(&program, CoreConfig::default()).unwrap();
+        let mut trace = ExecTrace::new(8);
+        let pc = core.cpu.pc;
+        let info = core.step().unwrap();
+        trace.record(&core, pc, &info);
+        trace.clear();
+        assert!(trace.is_empty());
+        let pc = core.cpu.pc;
+        let info = core.step().unwrap();
+        trace.record(&core, pc, &info);
+        assert_eq!(trace.entries().next().unwrap().seq, 1);
+    }
+}

@@ -1,0 +1,126 @@
+//! End-to-end tests of the `wnrun` CLI: assemble-and-execute through the
+//! real binary, covering stats, dumps, the memo unit, tracing and the
+//! error surfaces.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn wnrun(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_wnrun")).args(args).output().expect("spawn wnrun")
+}
+
+fn write_program(tag: &str, text: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wnrun-cli-{}", std::process::id()));
+    fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{tag}.s"));
+    fs::write(&path, text).unwrap();
+    path
+}
+
+const SUM_PROGRAM: &str = "\
+.data
+OUT: .space 8
+.text
+MOV r0, #6
+MOV r1, #7
+MUL r2, r0, r1
+MOV r3, #0
+STR r2, [r3]
+HALT
+";
+
+#[test]
+fn runs_and_reports_stats_and_dump() {
+    let src = write_program("sum", SUM_PROGRAM);
+    let out = wnrun(&[src.to_str().unwrap(), "--dump", "OUT:1"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("halted after 6 instructions"), "{text}");
+    assert!(text.contains("42"), "dump should show 6*7: {text}");
+    assert!(text.contains("mul"), "per-class stats: {text}");
+}
+
+#[test]
+fn trace_prints_the_retired_stream() {
+    let src = write_program("traced", SUM_PROGRAM);
+    let out = wnrun(&[src.to_str().unwrap(), "--trace", "32"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("MUL r2, r0, r1"), "{text}");
+    assert!(text.contains("; 16 cy"), "iterative multiply cost: {text}");
+    assert!(text.contains("[W32"), "store access: {text}");
+    assert!(text.contains("[halt]"), "{text}");
+}
+
+#[test]
+fn trace_window_drops_the_prefix() {
+    let src = write_program("window", SUM_PROGRAM);
+    let out = wnrun(&[src.to_str().unwrap(), "--trace", "2"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("4 earlier instructions omitted"), "{text}");
+    assert!(!text.contains("MUL r2"), "evicted from the window: {text}");
+}
+
+#[test]
+fn memo_flag_reports_short_circuits() {
+    // The same multiply twice: second one hits the memo table.
+    let src = write_program(
+        "memo",
+        "MOV r0, #6\nMOV r1, #7\nMUL r2, r0, r1\nMUL r3, r0, r1\nHALT\n",
+    );
+    let out = wnrun(&[src.to_str().unwrap(), "--memo"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("memo: 1 hits"), "{text}");
+}
+
+#[test]
+fn max_cycles_stops_runaway_programs() {
+    let src = write_program("spin", "loop:\nB loop\n");
+    let out = wnrun(&[src.to_str().unwrap(), "--max-cycles", "1000"]);
+    // Hitting the cap without halting is reported as a failure.
+    assert!(!out.status.success());
+}
+
+#[test]
+fn trace_does_not_mask_the_cycle_cap() {
+    let src = write_program("spin-traced", "loop:\nB loop\n");
+    let out = wnrun(&[src.to_str().unwrap(), "--trace", "4", "--max-cycles", "100"]);
+    assert!(!out.status.success(), "cap exhaustion must fail with --trace too");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("without halting"), "{err}");
+}
+
+#[test]
+fn faulting_program_with_trace_shows_the_path() {
+    let src = write_program(
+        "fault",
+        "MOV r0, #0\nSUB r0, r0, #4\nLDR r1, [r0]\nHALT\n",
+    );
+    let out = wnrun(&[src.to_str().unwrap(), "--trace", "8"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("SUB r0, r0, #4"), "trace on stderr: {err}");
+}
+
+#[test]
+fn bad_flags_fail_with_usage() {
+    let out = wnrun(&["--frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+
+    let src = write_program("zero", SUM_PROGRAM);
+    let out = wnrun(&[src.to_str().unwrap(), "--trace", "0"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("positive"));
+}
+
+#[test]
+fn unknown_dump_label_is_an_error() {
+    let src = write_program("dumperr", SUM_PROGRAM);
+    let out = wnrun(&[src.to_str().unwrap(), "--dump", "NOPE:1"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("NOPE"));
+}

@@ -1,0 +1,39 @@
+//! The Fig. 2 image pipeline: a conventional build cut off mid-run leaves
+//! half an image; the anytime build finishes a complete approximate image
+//! in the same power-on time. Writes the three PGM panels to
+//! `target/wn-images/`.
+//!
+//! ```sh
+//! cargo run --release --example image_pipeline
+//! ```
+
+use std::fs;
+use std::path::Path;
+
+use wn_core::experiments::{fig02, fig15, ExperimentConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = ExperimentConfig::quick();
+    let fig2 = fig02::run(&config)?;
+    println!("{fig2}");
+
+    let dir = Path::new("target/wn-images");
+    fs::create_dir_all(dir)?;
+    for (i, outcome) in fig2.outcomes.iter().enumerate() {
+        let path = dir.join(format!("fig02-{}.pgm", outcome.label));
+        fs::write(&path, fig2.to_pgm(i))?;
+        println!("wrote {}", path.display());
+    }
+
+    // Fig. 15/16: the small-subword sweep and its visual outputs.
+    let fig15 = fig15::run(&config)?;
+    println!("\n{fig15}");
+    for bits in [1u8, 2, 3, 4] {
+        if let Some(pgm) = fig15.to_pgm(bits) {
+            let path = dir.join(format!("fig16-{bits}bit.pgm"));
+            fs::write(&path, pgm)?;
+            println!("wrote {}", path.display());
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! Quickstart: compile one kernel precise and anytime, run both, and
+//! look at the runtime–quality trade-off.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use wn_core::continuous::quality_curve;
+use wn_core::{PreparedRun, Technique};
+use wn_kernels::{Benchmark, Scale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A benchmark instance: 32x32 matrix addition with golden outputs.
+    let instance = Benchmark::MatAdd.instance(Scale::Quick, 42);
+    println!("{}", instance.ir);
+
+    // 2. The conventional build: all-or-nothing computing.
+    let precise = PreparedRun::new(&instance, Technique::Precise)?;
+    let (baseline_cycles, err) = precise.run_to_completion()?;
+    println!("precise:  {baseline_cycles} cycles, error {err}%");
+
+    // 3. The What's Next build: anytime subword vectorization, 8-bit
+    //    subwords, provisioned addition. Same inputs, same final answer —
+    //    but an approximate answer exists long before the end.
+    let anytime = PreparedRun::new(&instance, Technique::swv(8))?;
+    let (total, err) = anytime.run_to_completion()?;
+    println!("swv(8):   {total} cycles to the precise result, error {err}%");
+
+    // 4. The trade-off curve (Fig. 9 of the paper): output error if a
+    //    power outage halted the device at each moment.
+    let curve = quality_curve(&anytime, baseline_cycles, baseline_cycles / 20)?;
+    println!("\nruntime–quality curve (x = runtime normalized to precise):");
+    print!("{curve}");
+
+    // 5. The skim-point insight: at the first skim point the device can
+    //    already power down with an acceptable output.
+    let earliest = wn_core::continuous::earliest_output(&anytime)?;
+    println!(
+        "\nearliest acceptable output: {} cycles ({:.0}% of baseline) at {:.3}% error",
+        earliest.cycles,
+        100.0 * earliest.cycles as f64 / baseline_cycles as f64,
+        earliest.error_percent
+    );
+    Ok(())
+}

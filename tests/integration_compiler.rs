@@ -1,0 +1,124 @@
+//! Compiler-focused integration: the anytime guarantees of §III hold for
+//! the real benchmark kernels at every subword granularity, and the
+//! transformed code behaves as Listing 2 promises.
+
+use wn_core::continuous::{earliest_output, quality_curve};
+use wn_core::{PreparedRun, Technique};
+use wn_kernels::{Benchmark, Scale};
+
+/// SWP distributivity: every SWP benchmark is exact at completion for
+/// every subword size 1..=16 (including the non-dividing 3-, 5-bit cases
+/// whose bottom level is narrow).
+#[test]
+fn swp_exactness_across_granularities() {
+    for b in [Benchmark::MatMul, Benchmark::Var] {
+        let inst = b.instance(Scale::Quick, 200);
+        for bits in [1u8, 2, 3, 4, 5, 8] {
+            let run = PreparedRun::new(&inst, Technique::swp(bits)).unwrap();
+            let (_, err) = run.run_to_completion().unwrap();
+            assert_eq!(err, 0.0, "{b} swp({bits})");
+        }
+    }
+}
+
+/// Provisioned SWV reaches the precise result at 4, 8 and 16-bit
+/// subwords on both the map and reduce benchmarks.
+#[test]
+fn swv_provisioned_exactness_across_granularities() {
+    for b in [Benchmark::MatAdd, Benchmark::Home] {
+        let inst = b.instance(Scale::Quick, 201);
+        for bits in [4u8, 8, 16] {
+            let run = PreparedRun::new(&inst, Technique::swv(bits)).unwrap();
+            let (_, err) = run.run_to_completion().unwrap();
+            assert_eq!(err, 0.0, "{b} swv({bits})");
+        }
+    }
+}
+
+/// Unprovisioned SWV on MatAdd does NOT reach the precise result — the
+/// defining contrast of Fig. 14.
+#[test]
+fn swv_unprovisioned_is_lossy_on_matadd() {
+    let inst = Benchmark::MatAdd.instance(Scale::Quick, 202);
+    let run = PreparedRun::new(&inst, Technique::swv_unprovisioned(8)).unwrap();
+    let (_, err) = run.run_to_completion().unwrap();
+    assert!(err > 0.01, "carries were dropped, error must remain: {err}");
+}
+
+/// Earlier-but-worse: across subword sizes, first-output time shrinks
+/// and first-output error grows as subwords shrink (Fig. 15's trend) —
+/// here on MatMul with its 12-bit data.
+#[test]
+fn granularity_monotonicity_on_matmul() {
+    let inst = Benchmark::MatMul.instance(Scale::Quick, 203);
+    let mut last_cycles = u64::MAX;
+    let mut last_err = -1.0f64;
+    for bits in [8u8, 4, 2, 1] {
+        let run = PreparedRun::new(&inst, Technique::swp(bits)).unwrap();
+        let e = earliest_output(&run).unwrap();
+        assert!(e.cycles < last_cycles, "swp({bits}) not earlier");
+        assert!(e.error_percent >= last_err, "swp({bits}) not noisier");
+        last_cycles = e.cycles;
+        last_err = e.error_percent;
+    }
+}
+
+/// Quality curves never get *worse* at subword-level boundaries for
+/// SWP (monotone improvement at commit points), and always end at zero.
+#[test]
+fn swp_quality_is_monotone_at_skim_points() {
+    let inst = Benchmark::Conv2d.instance(Scale::Quick, 204);
+    let precise = PreparedRun::new(&inst, Technique::Precise).unwrap();
+    let (baseline, _) = precise.run_to_completion().unwrap();
+    let wn = PreparedRun::new(&inst, Technique::swp(4)).unwrap();
+    // Huge interval → samples only at skim points and completion.
+    let curve = quality_curve(&wn, baseline, u64::MAX / 2).unwrap();
+    assert_eq!(curve.len(), 4, "4-bit on 16-bit data: 3 skim points + completion");
+    assert!(curve.is_monotone_nonincreasing(), "{curve}");
+    assert_eq!(curve.final_error(), Some(0.0));
+}
+
+/// The glucose reading kernel (the §II motivation) is exact when run to
+/// completion and close after one 4-bit level. (NRMSE degenerates on a
+/// single-element output, so the first-level check uses relative error
+/// on the decoded reading.)
+#[test]
+fn glucose_reading_kernel_behaves() {
+    let signal = wn_kernels::glucose::generate_signal(9);
+    let raw = wn_kernels::glucose::adc_window(&signal, 300, 9);
+    let inst = wn_kernels::glucose::reading_kernel(&raw);
+    let wn = PreparedRun::new(&inst, Technique::swp(4)).unwrap();
+    let (_, err) = wn.run_to_completion().unwrap();
+    assert_eq!(err, 0.0);
+
+    let mut core = wn.fresh_core().unwrap();
+    loop {
+        let info = core.step().unwrap();
+        if matches!(info.event, wn_sim::StepEvent::SkimSet(_)) || core.is_halted() {
+            break;
+        }
+    }
+    let approx = wn.decode(&core, "OUT").unwrap()[0] as f64;
+    let golden = inst.golden[0].1[0] as f64;
+    let rel = ((approx - golden) / golden).abs() * 100.0;
+    assert!(rel < 15.0, "first 4 bits within the ISO band: {rel}%");
+}
+
+/// Vectorized subword loads (Fig. 12) agree with the scalar SWP build on
+/// the final result while producing the first output earlier.
+#[test]
+fn vectorized_loads_agree_with_scalar_swp() {
+    let inst = Benchmark::MatMul.instance(Scale::Quick, 205);
+    for bits in [4u8, 8] {
+        let scalar = PreparedRun::new(&inst, Technique::swp(bits)).unwrap();
+        let vectorized = PreparedRun::new(&inst, Technique::swp_vectorized(bits)).unwrap();
+        let (_, se) = scalar.run_to_completion().unwrap();
+        let (_, ve) = vectorized.run_to_completion().unwrap();
+        assert_eq!(se, 0.0);
+        assert_eq!(ve, 0.0);
+        let s = earliest_output(&scalar).unwrap();
+        let v = earliest_output(&vectorized).unwrap();
+        assert!(v.cycles < s.cycles, "swp({bits})+vld: {} !< {}", v.cycles, s.cycles);
+        assert!((v.error_percent - s.error_percent).abs() < 1.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Intermittent-execution integration: benchmarks on Clank and NVP under
+//! harvested power, exercising checkpoints, rollback, re-execution and
+//! the skim-point restore path end to end.
+
+use wn_core::intermittent::{quick_supply, run_intermittent, SubstrateKind};
+use wn_core::{PreparedRun, Technique};
+use wn_energy::{PowerTrace, TraceKind};
+use wn_kernels::{Benchmark, Scale};
+
+fn trace(seed: u64) -> PowerTrace {
+    PowerTrace::generate(TraceKind::RfBursty, seed, 120.0)
+}
+
+/// Precise builds survive arbitrary outages on both substrates and still
+/// produce the exact result.
+#[test]
+fn precise_results_are_exact_on_both_substrates() {
+    for b in [Benchmark::MatMul, Benchmark::Home, Benchmark::MatAdd] {
+        let inst = b.instance(Scale::Quick, 77);
+        let run = PreparedRun::new(&inst, Technique::Precise).unwrap();
+        for substrate in [SubstrateKind::clank(), SubstrateKind::nvp()] {
+            let out =
+                run_intermittent(&run, substrate, &trace(3), quick_supply(), 3600.0).unwrap();
+            assert_eq!(
+                out.error_percent, 0.0,
+                "{b} on {}: outages must not corrupt the result",
+                substrate.name()
+            );
+            assert!(out.outages > 0, "{b} on {}: workload must span outages", substrate.name());
+        }
+    }
+}
+
+/// The What's Next effect (Figs. 10/11): the anytime build skims at an
+/// outage and finishes sooner than the precise build, with bounded error.
+#[test]
+fn anytime_build_skims_and_wins_on_both_substrates() {
+    let b = Benchmark::Conv2d;
+    let inst = b.instance(Scale::Quick, 78);
+    let precise = PreparedRun::new(&inst, Technique::Precise).unwrap();
+    let wn = PreparedRun::new(&inst, Technique::swp(4)).unwrap();
+    for substrate in [SubstrateKind::clank(), SubstrateKind::nvp()] {
+        let p = run_intermittent(&precise, substrate, &trace(4), quick_supply(), 3600.0).unwrap();
+        let w = run_intermittent(&wn, substrate, &trace(4), quick_supply(), 3600.0).unwrap();
+        assert!(w.skimmed, "{}: WN should complete via skim", substrate.name());
+        assert!(
+            w.time_s < p.time_s,
+            "{}: WN {:.2}s should beat precise {:.2}s",
+            substrate.name(),
+            w.time_s,
+            p.time_s
+        );
+        assert!(w.error_percent > 0.0 && w.error_percent < 30.0);
+        assert_eq!(p.error_percent, 0.0);
+    }
+}
+
+/// Clank pays re-execution that NVP does not (§V-C explains why WN's
+/// speedups are larger on checkpointed volatile processors).
+#[test]
+fn clank_reexecutes_nvp_resumes() {
+    let inst = Benchmark::MatMul.instance(Scale::Quick, 79);
+    let run = PreparedRun::new(&inst, Technique::Precise).unwrap();
+    let c = run_intermittent(&run, SubstrateKind::clank(), &trace(5), quick_supply(), 3600.0)
+        .unwrap();
+    let n =
+        run_intermittent(&run, SubstrateKind::nvp(), &trace(5), quick_supply(), 3600.0).unwrap();
+    assert!(
+        c.active_cycles > n.active_cycles,
+        "clank {} cycles should exceed nvp {}",
+        c.active_cycles,
+        n.active_cycles
+    );
+    assert!(c.substrate.checkpoints > 0);
+    assert!(c.substrate.lost_cycles > 0, "outages must have discarded work");
+}
+
+/// Disabling skim points turns the WN binary back into an all-or-nothing
+/// program: it still completes (eventually) with the exact result.
+#[test]
+fn skim_disabled_runs_to_precise_completion() {
+    let inst = Benchmark::Home.instance(Scale::Quick, 80);
+    let prepared = PreparedRun::new(&inst, Technique::swv(8)).unwrap();
+    let core = prepared.fresh_core().unwrap();
+    let mut exec = wn_intermittent::IntermittentExecutor::new(
+        core,
+        trace(6),
+        quick_supply(),
+        wn_intermittent::Nvp::default(),
+    );
+    exec.set_skim_enabled(false);
+    let run = exec.run(3600.0).unwrap();
+    assert!(!run.skimmed);
+    assert_eq!(prepared.error_percent(exec.core()).unwrap(), 0.0);
+}
+
+/// Raising the skim floor (`CompileOptions::skim_min_level`) trades a
+/// later first-commit for a tighter error bound: wall-clock time is
+/// monotone non-decreasing in the floor, error monotone non-increasing.
+#[test]
+fn skim_floor_trades_latency_for_quality() {
+    let inst = Benchmark::Conv2d.instance(Scale::Quick, 81);
+    let mut results = Vec::new();
+    for min_level in 0..=3u32 {
+        let opts = wn_compiler::CompileOptions { skim_min_level: min_level };
+        let compiled =
+            wn_compiler::compile_with(&inst.ir, Technique::swp(4), &opts).unwrap();
+        let prepared = PreparedRun::from_compiled(
+            compiled,
+            inst.clone(),
+            wn_core::CoreConfig::default(),
+        );
+        let run =
+            run_intermittent(&prepared, SubstrateKind::clank(), &trace(8), quick_supply(), 3600.0)
+                .unwrap();
+        results.push((min_level, run.time_s, run.error_percent));
+    }
+    for pair in results.windows(2) {
+        let (_, t0, e0) = pair[0];
+        let (_, t1, e1) = pair[1];
+        assert!(t1 >= t0, "floor raised but commit got earlier: {results:?}");
+        assert!(e1 <= e0, "floor raised but error grew: {results:?}");
+    }
+    // The extremes genuinely differ: floor 3 suppresses every skim point,
+    // so the run is exact; floor 0 commits the first level's output.
+    assert_eq!(results[3].2, 0.0, "all skims suppressed -> precise result");
+    assert!(results[0].2 > 0.0, "floor 0 commits an approximate output");
+}
+
+/// The same workload under different harvesting environments completes
+/// everywhere, with wall-clock time tracking the environment's power.
+#[test]
+fn all_trace_kinds_make_progress() {
+    let inst = Benchmark::Var.instance(Scale::Quick, 81);
+    let run = PreparedRun::new(&inst, Technique::Precise).unwrap();
+    for kind in [TraceKind::RfBursty, TraceKind::Solar, TraceKind::Periodic, TraceKind::Constant] {
+        let t = PowerTrace::generate(kind, 11, 120.0);
+        let out = run_intermittent(&run, SubstrateKind::nvp(), &t, quick_supply(), 3600.0)
+            .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+        assert_eq!(out.error_percent, 0.0, "{kind:?}");
+    }
+}
+
+/// Determinism: the same benchmark + trace + substrate reproduces the
+/// identical outcome (the whole stack is seed-driven).
+#[test]
+fn intermittent_runs_are_deterministic() {
+    let inst = Benchmark::NetMotion.instance(Scale::Quick, 82);
+    let run = PreparedRun::new(&inst, Technique::swv(4)).unwrap();
+    let a = run_intermittent(&run, SubstrateKind::clank(), &trace(7), quick_supply(), 3600.0)
+        .unwrap();
+    let b = run_intermittent(&run, SubstrateKind::clank(), &trace(7), quick_supply(), 3600.0)
+        .unwrap();
+    assert_eq!(a, b);
+}

@@ -1,0 +1,109 @@
+//! Cross-crate pipeline integration: kernels → compiler → simulator →
+//! quality, for every benchmark and technique.
+
+use wn_core::{PreparedRun, Technique};
+use wn_kernels::{Benchmark, Scale};
+
+/// Every benchmark, at every technique of the paper's main evaluation,
+/// refines to the exact precise result when run to completion.
+#[test]
+fn full_matrix_of_benchmarks_and_techniques_is_exact_at_completion() {
+    for b in Benchmark::ALL {
+        for technique in [Technique::Precise, b.technique(8), b.technique(4)] {
+            let inst = b.instance(Scale::Quick, 1234);
+            let run = PreparedRun::new(&inst, technique).unwrap();
+            let (cycles, err) = run.run_to_completion().unwrap();
+            assert_eq!(err, 0.0, "{b} {technique} not exact");
+            assert!(cycles > 0);
+        }
+    }
+}
+
+/// The compiled programs disassemble to text that reassembles to the
+/// identical instruction stream — the assembler and code generator agree
+/// on the ISA.
+#[test]
+fn compiled_kernels_survive_disassembly_roundtrip() {
+    for b in [Benchmark::MatAdd, Benchmark::Var] {
+        for technique in [Technique::Precise, b.technique(8)] {
+            let inst = b.instance(Scale::Quick, 5);
+            let run = PreparedRun::new(&inst, technique).unwrap();
+            let text = run.compiled.program.disassemble();
+            let reassembled = wn_isa::asm::assemble(&text)
+                .unwrap_or_else(|e| panic!("{b} {technique} disasm did not reassemble: {e}"));
+            assert_eq!(reassembled.instrs, run.compiled.program.instrs, "{b} {technique}");
+        }
+    }
+}
+
+/// Binary encode/decode round-trips whole compiled programs.
+#[test]
+fn compiled_kernels_survive_binary_roundtrip() {
+    let inst = Benchmark::Conv2d.instance(Scale::Quick, 6);
+    for technique in [Technique::Precise, Technique::swp(4)] {
+        let run = PreparedRun::new(&inst, technique).unwrap();
+        let words = wn_isa::encode::encode_program(&run.compiled.program.instrs);
+        let decoded = wn_isa::encode::decode_program(&words).unwrap();
+        assert_eq!(decoded, run.compiled.program.instrs);
+    }
+}
+
+/// Code-size accounting (§III-A): anytime builds grow the binary, but
+/// only modestly — the paper reports ≈1 KB from precise 16-bit to
+/// anytime 4-bit on its largest benchmark.
+#[test]
+fn code_size_growth_is_modest() {
+    for b in Benchmark::ALL {
+        let inst = b.instance(Scale::Quick, 7);
+        let precise = PreparedRun::new(&inst, Technique::Precise).unwrap();
+        let wn4 = PreparedRun::new(&inst, b.technique(4)).unwrap();
+        let p = precise.compiled.program.code_size_bytes();
+        let w = wn4.compiled.program.code_size_bytes();
+        assert!(w > p, "{b}: anytime code should be larger");
+        assert!(
+            w - p < 2048,
+            "{b}: growth {}B exceeds the paper's ~1KB regime",
+            w - p
+        );
+    }
+}
+
+/// The simulator's instruction statistics classify WN instructions
+/// correctly across the suite: precise builds have no WN instructions,
+/// anytime builds execute them.
+#[test]
+fn instruction_mix_separates_precise_from_anytime() {
+    use wn_sim::InstrClass;
+    for b in Benchmark::ALL {
+        let inst = b.instance(Scale::Quick, 8);
+        let precise = PreparedRun::new(&inst, Technique::Precise).unwrap();
+        let mut core = precise.fresh_core().unwrap();
+        core.run(u64::MAX).unwrap();
+        assert_eq!(core.stats.count(InstrClass::MulAsp), 0, "{b}");
+        assert_eq!(core.stats.count(InstrClass::Asv), 0, "{b}");
+        assert_eq!(core.stats.count(InstrClass::Skm), 0, "{b}");
+
+        let wn = PreparedRun::new(&inst, b.technique(8)).unwrap();
+        let mut core = wn.fresh_core().unwrap();
+        core.run(u64::MAX).unwrap();
+        let wn_ops =
+            core.stats.count(InstrClass::MulAsp) + core.stats.count(InstrClass::Asv);
+        assert!(wn_ops > 0, "{b}: anytime build must execute WN instructions");
+        assert!(core.stats.count(InstrClass::Skm) >= 1, "{b}: skim points present");
+        if b.uses_swp() {
+            assert_eq!(core.stats.count(InstrClass::Mul), 0, "{b}: all data muls subworded");
+        }
+    }
+}
+
+/// Different seeds give different inputs but identical program text
+/// (inputs are injected, not compiled in).
+#[test]
+fn input_injection_is_independent_of_program() {
+    let a = Benchmark::MatMul.instance(Scale::Quick, 1);
+    let b = Benchmark::MatMul.instance(Scale::Quick, 2);
+    assert_ne!(a.inputs, b.inputs);
+    let ra = PreparedRun::new(&a, Technique::swp(8)).unwrap();
+    let rb = PreparedRun::new(&b, Technique::swp(8)).unwrap();
+    assert_eq!(ra.compiled.program.instrs, rb.compiled.program.instrs);
+}
