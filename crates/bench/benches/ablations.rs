@@ -39,11 +39,13 @@ fn memo_table_size(c: &mut Criterion) {
     g.sample_size(10);
     for entries in [4usize, 16, 64, 256] {
         let cfg = CoreConfig {
-            memo: Some(MemoConfig { entries, ..MemoConfig::default() }),
+            memo: Some(MemoConfig {
+                entries,
+                ..MemoConfig::default()
+            }),
             ..CoreConfig::default()
         };
-        let prepared =
-            PreparedRun::with_core_config(&instance, Technique::swp(4), cfg).unwrap();
+        let prepared = PreparedRun::with_core_config(&instance, Technique::swp(4), cfg).unwrap();
         g.bench_with_input(BenchmarkId::from_parameter(entries), &prepared, |b, p| {
             b.iter(|| earliest_output(p).unwrap())
         });
@@ -56,9 +58,10 @@ fn provisioning(c: &mut Criterion) {
     let instance = Benchmark::MatAdd.instance(Scale::Quick, 42);
     let mut g = c.benchmark_group("ablation_provisioning");
     g.sample_size(10);
-    for (name, technique) in
-        [("provisioned", Technique::swv(8)), ("unprovisioned", Technique::swv_unprovisioned(8))]
-    {
+    for (name, technique) in [
+        ("provisioned", Technique::swv(8)),
+        ("unprovisioned", Technique::swv_unprovisioned(8)),
+    ] {
         let prepared = PreparedRun::new(&instance, technique).unwrap();
         g.bench_with_input(BenchmarkId::from_parameter(name), &prepared, |b, p| {
             b.iter(|| p.run_to_completion().unwrap())
@@ -76,11 +79,35 @@ fn clank_parameters(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_clank");
     g.sample_size(10);
     for (name, cfg) in [
-        ("wb4_wd10k", ClankConfig { wb_entries: 4, ..ClankConfig::default() }),
+        (
+            "wb4_wd10k",
+            ClankConfig {
+                wb_entries: 4,
+                ..ClankConfig::default()
+            },
+        ),
         ("wb16_wd10k", ClankConfig::default()),
-        ("wb64_wd10k", ClankConfig { wb_entries: 64, ..ClankConfig::default() }),
-        ("wb16_wd1k", ClankConfig { watchdog_cycles: 1_000, ..ClankConfig::default() }),
-        ("wb16_wd100k", ClankConfig { watchdog_cycles: 100_000, ..ClankConfig::default() }),
+        (
+            "wb64_wd10k",
+            ClankConfig {
+                wb_entries: 64,
+                ..ClankConfig::default()
+            },
+        ),
+        (
+            "wb16_wd1k",
+            ClankConfig {
+                watchdog_cycles: 1_000,
+                ..ClankConfig::default()
+            },
+        ),
+        (
+            "wb16_wd100k",
+            ClankConfig {
+                watchdog_cycles: 100_000,
+                ..ClankConfig::default()
+            },
+        ),
     ] {
         g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
             b.iter(|| {
@@ -107,8 +134,10 @@ fn capacitor_size(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_capacitor");
     g.sample_size(10);
     for uf in [1u32, 2, 5, 10] {
-        let supply =
-            SupplyConfig { capacitance_f: uf as f64 * 1e-6, ..SupplyConfig::default() };
+        let supply = SupplyConfig {
+            capacitance_f: uf as f64 * 1e-6,
+            ..SupplyConfig::default()
+        };
         g.bench_with_input(BenchmarkId::from_parameter(uf), &supply, |b, s| {
             b.iter(|| {
                 run_intermittent(&prepared, SubstrateKind::nvp(), &trace, *s, 3600.0).unwrap()
@@ -127,18 +156,15 @@ fn skim_placement(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_skim_placement");
     g.sample_size(10);
     for min_level in [0u32, 1, 2, 3] {
-        let opts = wn_compiler::CompileOptions { skim_min_level: min_level };
-        let compiled =
-            wn_compiler::compile_with(&instance.ir, Technique::swp(4), &opts).unwrap();
-        let prepared = PreparedRun::from_compiled(
-            compiled,
-            instance.clone(),
-            CoreConfig::default(),
-        );
+        let opts = wn_compiler::CompileOptions {
+            skim_min_level: min_level,
+        };
+        let compiled = wn_compiler::compile_with(&instance.ir, Technique::swp(4), &opts).unwrap();
+        let prepared =
+            PreparedRun::from_compiled(compiled, instance.clone(), CoreConfig::default());
         g.bench_with_input(BenchmarkId::from_parameter(min_level), &prepared, |b, p| {
             b.iter(|| {
-                run_intermittent(p, SubstrateKind::clank(), &trace, quick_supply(), 3600.0)
-                    .unwrap()
+                run_intermittent(p, SubstrateKind::clank(), &trace, quick_supply(), 3600.0).unwrap()
             })
         });
     }
@@ -152,8 +178,15 @@ fn adder_mux_spacing(c: &mut Criterion) {
     for spacing in [2u32, 4, 8, 16] {
         g.bench_with_input(BenchmarkId::from_parameter(spacing), &spacing, |b, &sp| {
             b.iter(|| {
-                let m = wn_hwmodel::SwvAdderModel { mux_spacing: sp, ..Default::default() };
-                (m.fmax_ghz(), m.core_area_overhead_percent(), m.adder_power_overhead_percent())
+                let m = wn_hwmodel::SwvAdderModel {
+                    mux_spacing: sp,
+                    ..Default::default()
+                };
+                (
+                    m.fmax_ghz(),
+                    m.core_area_overhead_percent(),
+                    m.adder_power_overhead_percent(),
+                )
             })
         });
     }

@@ -40,7 +40,9 @@ fn assembler(c: &mut Criterion) {
         + "\nHALT";
     let mut g = c.benchmark_group("assembler");
     g.throughput(Throughput::Elements(257));
-    g.bench_function("assemble_257_instructions", |b| b.iter(|| assemble(&src).unwrap()));
+    g.bench_function("assemble_257_instructions", |b| {
+        b.iter(|| assemble(&src).unwrap())
+    });
     g.finish();
 }
 
@@ -49,8 +51,12 @@ fn binary_codec(c: &mut Criterion) {
     let words = encode::encode_program(&program.instrs);
     let mut g = c.benchmark_group("codec");
     g.throughput(Throughput::Elements(program.instrs.len() as u64));
-    g.bench_function("encode", |b| b.iter(|| encode::encode_program(black_box(&program.instrs))));
-    g.bench_function("decode", |b| b.iter(|| encode::decode_program(black_box(&words)).unwrap()));
+    g.bench_function("encode", |b| {
+        b.iter(|| encode::encode_program(black_box(&program.instrs)))
+    });
+    g.bench_function("decode", |b| {
+        b.iter(|| encode::decode_program(black_box(&words)).unwrap())
+    });
     g.finish();
 }
 
@@ -109,5 +115,13 @@ fn energy_supply(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, sim_throughput, assembler, binary_codec, lane_alu, memo_unit, energy_supply);
+criterion_group!(
+    benches,
+    sim_throughput,
+    assembler,
+    binary_codec,
+    lane_alu,
+    memo_unit,
+    energy_supply
+);
 criterion_main!(benches);

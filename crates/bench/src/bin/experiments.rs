@@ -13,55 +13,112 @@
 
 use std::env;
 use std::process::ExitCode;
+use std::time::Instant;
 
 use wn_bench::write_artifact;
 use wn_core::experiments::{
-    fig01, fig02, fig03, fig09, fig10, fig12, fig13, fig14, fig15, fig17, table1,
-    ExperimentConfig,
+    fig01, fig02, fig03, fig09, fig10, fig12, fig13, fig14, fig15, fig17, table1, ExperimentConfig,
 };
+use wn_core::jobs;
 
-const USAGE: &str = "usage: experiments <all|table1|fig01|fig02|fig03|fig09|fig10|fig11|fig12|fig13|fig14|fig15|fig17|area_power> [--paper]";
+const USAGE: &str = "usage: experiments <all|table1|fig01|fig02|fig03|fig09|fig10|fig11|fig12|fig13|fig14|fig15|fig17|area_power> [--paper] [--jobs N]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     let paper = args.iter().any(|a| a == "--paper");
-    let which: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+    match parse_jobs(&args) {
+        Ok(Some(n)) => jobs::set_global_jobs(n),
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let which: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .filter(|a| a.parse::<usize>().is_err()) // skip `--jobs N`'s operand
+        .collect();
     let which = if which.is_empty() { vec!["all"] } else { which };
 
-    let config = if paper { ExperimentConfig::paper() } else { ExperimentConfig::quick() };
+    let config = if paper {
+        ExperimentConfig::paper()
+    } else {
+        ExperimentConfig::quick()
+    };
     println!(
-        "configuration: {:?} scale, {} traces x {} invocations{}\n",
+        "configuration: {:?} scale, {} traces x {} invocations, {} jobs{}\n",
         config.scale,
         config.traces,
         config.invocations,
-        if paper { " (paper methodology — this takes a while)" } else { "" }
+        jobs::global_jobs(),
+        if paper {
+            " (paper methodology — this takes a while)"
+        } else {
+            ""
+        }
     );
 
+    let total = Instant::now();
     let mut failed = false;
     for name in which {
         let run_all = name == "all";
         let names: Vec<&str> = if run_all {
             vec![
-                "table1", "fig01", "fig02", "fig03", "fig09", "fig10", "fig11", "fig12",
-                "fig13", "fig14", "fig15", "fig17", "area_power",
+                "table1",
+                "fig01",
+                "fig02",
+                "fig03",
+                "fig09",
+                "fig10",
+                "fig11",
+                "fig12",
+                "fig13",
+                "fig14",
+                "fig15",
+                "fig17",
+                "area_power",
             ]
         } else {
             vec![name]
         };
         for n in names {
             println!("==== {n} ====");
+            let start = Instant::now();
             if let Err(e) = run_one(n, &config) {
                 eprintln!("{n} failed: {e}");
                 failed = true;
             }
-            println!();
+            println!("({n}: {:.2}s)\n", start.elapsed().as_secs_f64());
         }
     }
+    println!("total: {:.2}s", total.elapsed().as_secs_f64());
     if failed {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// Parses `--jobs N` / `--jobs=N` from the argument list.
+fn parse_jobs(args: &[String]) -> Result<Option<usize>, String> {
+    let parse = |v: &str| {
+        v.parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| format!("--jobs needs a positive integer, got `{v}`"))
+    };
+    for (i, arg) in args.iter().enumerate() {
+        if let Some(v) = arg.strip_prefix("--jobs=") {
+            return parse(v).map(Some);
+        }
+        if arg == "--jobs" {
+            let v = args.get(i + 1).ok_or("--jobs needs a value")?;
+            return parse(v).map(Some);
+        }
+    }
+    Ok(None)
 }
 
 fn run_one(name: &str, config: &ExperimentConfig) -> Result<(), Box<dyn std::error::Error>> {

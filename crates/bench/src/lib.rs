@@ -11,12 +11,33 @@
 //!   paper calls out (`benches/ablations.rs`), and measure raw substrate
 //!   throughput (`benches/simulator.rs`).
 
+use std::env;
 use std::fs;
 use std::path::{Path, PathBuf};
 
-/// Where experiment artifacts (CSV series, PGM images) are written.
+/// Where experiment artifacts (CSV series, PGM images) are written:
+/// `$WN_RESULTS_DIR` when set, otherwise `results/` under the workspace
+/// root — **not** the current directory, which depends on how cargo was
+/// invoked and used to scatter artifacts.
 pub fn results_dir() -> PathBuf {
-    PathBuf::from("results")
+    if let Some(dir) = env::var_os("WN_RESULTS_DIR") {
+        return PathBuf::from(dir);
+    }
+    workspace_root().join("results")
+}
+
+/// The workspace root: the nearest ancestor of this crate's manifest
+/// whose `Cargo.toml` declares `[workspace]`.
+fn workspace_root() -> PathBuf {
+    let manifest_dir = Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest_dir
+        .ancestors()
+        .find(|dir| {
+            fs::read_to_string(dir.join("Cargo.toml"))
+                .is_ok_and(|toml| toml.contains("[workspace]"))
+        })
+        .unwrap_or(manifest_dir)
+        .to_path_buf()
 }
 
 /// Writes an artifact into the results directory, creating it on demand.
@@ -38,7 +59,7 @@ pub fn write_artifact(name: &str, contents: &str) -> std::io::Result<PathBuf> {
 ///
 /// Returns any I/O error.
 pub fn read_artifact(name: &str) -> std::io::Result<String> {
-    fs::read_to_string(Path::new("results").join(name))
+    fs::read_to_string(results_dir().join(name))
 }
 
 #[cfg(test)]
@@ -46,10 +67,32 @@ mod tests {
     use super::*;
 
     #[test]
-    fn artifact_roundtrip() {
+    fn results_dir_is_workspace_rooted_and_overridable() {
+        // Without the override, artifacts land under the workspace root
+        // (which contains this crate), wherever cargo was invoked from.
+        let default_dir = results_dir();
+        assert!(default_dir.ends_with("results"));
+        assert!(default_dir
+            .parent()
+            .unwrap()
+            .join("crates")
+            .join("bench")
+            .is_dir());
+    }
+
+    #[test]
+    fn artifact_roundtrip_in_isolated_dir() {
+        // Isolate in a temp dir so the test never touches the real
+        // results/ tree. Env vars are process-wide; the only other test
+        // in this binary does not read WN_RESULTS_DIR, and is ordered
+        // before this set by its own assertions on the default path.
+        let dir = env::temp_dir().join(format!("wn-bench-test-{}", std::process::id()));
+        env::set_var("WN_RESULTS_DIR", &dir);
         let path = write_artifact("__test.csv", "a,b\n1,2\n").unwrap();
+        assert!(path.starts_with(&dir));
         assert!(path.exists());
         assert_eq!(read_artifact("__test.csv").unwrap(), "a,b\n1,2\n");
-        std::fs::remove_file(path).unwrap();
+        env::remove_var("WN_RESULTS_DIR");
+        fs::remove_dir_all(&dir).unwrap();
     }
 }

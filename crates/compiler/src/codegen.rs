@@ -38,7 +38,9 @@ impl RegAlloc {
     }
 
     fn alloc(&mut self, at: &str) -> Result<Reg, CompileError> {
-        self.free.pop().ok_or_else(|| CompileError::OutOfRegisters { at: at.to_string() })
+        self.free
+            .pop()
+            .ok_or_else(|| CompileError::OutOfRegisters { at: at.to_string() })
     }
 
     /// Allocates only when at least `headroom` registers would remain for
@@ -65,7 +67,10 @@ impl RegAlloc {
 ///
 /// Returns a [`CompileError`] for undefined variables, register-pool
 /// exhaustion or internal inconsistencies.
-pub fn lower(kernel: &KernelIr, layouts: &HashMap<String, ArrayLayout>) -> Result<Program, CompileError> {
+pub fn lower(
+    kernel: &KernelIr,
+    layouts: &HashMap<String, ArrayLayout>,
+) -> Result<Program, CompileError> {
     let mut cg = Codegen {
         layouts,
         builder: ProgramBuilder::new(),
@@ -76,9 +81,9 @@ pub fn lower(kernel: &KernelIr, layouts: &HashMap<String, ArrayLayout>) -> Resul
     };
     // Data segment: one 4-byte-aligned block per array, declaration order.
     for decl in &kernel.arrays {
-        let layout = layouts
-            .get(&decl.name)
-            .ok_or_else(|| CompileError::Internal(format!("no layout for array `{}`", decl.name)))?;
+        let layout = layouts.get(&decl.name).ok_or_else(|| {
+            CompileError::Internal(format!("no layout for array `{}`", decl.name))
+        })?;
         let bytes = (layout.byte_size() + 3) & !3;
         cg.builder.data(&decl.name, wn_isa::DataItem::Space(bytes));
     }
@@ -165,21 +170,45 @@ impl<'a> Codegen<'a> {
 
     fn stmt(&mut self, stmt: &Stmt) -> Result<(), CompileError> {
         match stmt {
-            Stmt::For { var, start, end, body } => self.lower_for(var, *start, *end, body),
-            Stmt::Store { array, index, value } => self.lower_store(array, index, value, false),
-            Stmt::AccumStore { array, index, value } => self.lower_store(array, index, value, true),
-            Stmt::StorePacked { array, level, word_index, value } => {
-                self.lower_store_packed(array, *level, word_index, value)
-            }
-            Stmt::StoreComponent { array, elem_index, level, value } => {
-                self.lower_store_component(array, elem_index, *level, value)
-            }
+            Stmt::For {
+                var,
+                start,
+                end,
+                body,
+            } => self.lower_for(var, *start, *end, body),
+            Stmt::Store {
+                array,
+                index,
+                value,
+            } => self.lower_store(array, index, value, false),
+            Stmt::AccumStore {
+                array,
+                index,
+                value,
+            } => self.lower_store(array, index, value, true),
+            Stmt::StorePacked {
+                array,
+                level,
+                word_index,
+                value,
+            } => self.lower_store_packed(array, *level, word_index, value),
+            Stmt::StoreComponent {
+                array,
+                elem_index,
+                level,
+                value,
+            } => self.lower_store_component(array, elem_index, *level, value),
             Stmt::Assign { var, value } => {
                 // Accumulation fast path: `acc = acc ± e` / `acc = e + acc`
                 // targets the accumulator register directly, avoiding the
                 // copy a generic evaluate-then-move would need.
                 if let Some(&acc) = self.vars.get(var) {
-                    if let Expr::Bin { op: op @ (BinOp::Add | BinOp::Sub), a, b } = value {
+                    if let Expr::Bin {
+                        op: op @ (BinOp::Add | BinOp::Sub),
+                        a,
+                        b,
+                    } = value
+                    {
                         let operand = if matches!(a.as_ref(), Expr::Var(v) if v == var) {
                             Some(b)
                         } else if *op == BinOp::Add
@@ -192,8 +221,16 @@ impl<'a> Codegen<'a> {
                         if let Some(e) = operand {
                             let v = self.eval(e)?;
                             let instr = match op {
-                                BinOp::Add => Instr::Add { rd: acc, rn: acc, rm: v.reg },
-                                _ => Instr::Sub { rd: acc, rn: acc, rm: v.reg },
+                                BinOp::Add => Instr::Add {
+                                    rd: acc,
+                                    rn: acc,
+                                    rm: v.reg,
+                                },
+                                _ => Instr::Sub {
+                                    rd: acc,
+                                    rn: acc,
+                                    rm: v.reg,
+                                },
                             };
                             self.builder.push(instr);
                             self.release(v);
@@ -201,7 +238,13 @@ impl<'a> Codegen<'a> {
                         }
                     }
                     // ASV accumulation: `acc = AsvBin(acc, e)`.
-                    if let Expr::AsvBin { op: BinOp::Add, a, b, lane_bits } = value {
+                    if let Expr::AsvBin {
+                        op: BinOp::Add,
+                        a,
+                        b,
+                        lane_bits,
+                    } = value
+                    {
                         if matches!(a.as_ref(), Expr::Var(v) if v == var) {
                             if let Some(lanes) = LaneWidth::from_bits(*lane_bits) {
                                 let v = self.eval(b)?;
@@ -233,14 +276,22 @@ impl<'a> Codegen<'a> {
                 Ok(())
             }
             Stmt::SkimPoint => {
-                let skm = self.builder.with_label_target(Instr::Skm { target: 0 }, END_LABEL);
+                let skm = self
+                    .builder
+                    .with_label_target(Instr::Skm { target: 0 }, END_LABEL);
                 self.builder.push(skm);
                 Ok(())
             }
         }
     }
 
-    fn lower_for(&mut self, var: &str, start: i32, end: i32, body: &[Stmt]) -> Result<(), CompileError> {
+    fn lower_for(
+        &mut self,
+        var: &str,
+        start: i32,
+        end: i32,
+        body: &[Stmt],
+    ) -> Result<(), CompileError> {
         let reg = self.regs.alloc(&format!("loop var `{var}`"))?;
         let shadowed = self.vars.insert(var.to_string(), reg);
         debug_assert!(shadowed.is_none(), "validation rejects shadowed loop vars");
@@ -258,19 +309,34 @@ impl<'a> Codegen<'a> {
         let top = self.fresh_label("loop");
         let done = self.fresh_label("done");
 
-        self.builder.push(Instr::MovImm { rd: reg, imm: start });
+        self.builder.push(Instr::MovImm {
+            rd: reg,
+            imm: start,
+        });
         self.builder.bind_label(&top);
         self.builder.push(Instr::CmpImm { rn: reg, imm: end });
-        let exit = self
-            .builder
-            .with_label_target(Instr::BCond { cond: wn_isa::Cond::Ge, target: 0 }, &done);
+        let exit = self.builder.with_label_target(
+            Instr::BCond {
+                cond: wn_isa::Cond::Ge,
+                target: 0,
+            },
+            &done,
+        );
         self.builder.push(exit);
         self.stmts(body)?;
         for i in 0..self.ptrs.len() {
             let (preg, stride) = (self.ptrs[i].reg, self.ptrs[i].stride_bytes);
-            self.builder.push(Instr::AddImm { rd: preg, rn: preg, imm: stride as i32 });
+            self.builder.push(Instr::AddImm {
+                rd: preg,
+                rn: preg,
+                imm: stride as i32,
+            });
         }
-        self.builder.push(Instr::AddImm { rd: reg, rn: reg, imm: 1 });
+        self.builder.push(Instr::AddImm {
+            rd: reg,
+            rn: reg,
+            imm: 1,
+        });
         let back = self.builder.branch_to_label(&top);
         self.builder.push(back);
         self.builder.bind_label(&done);
@@ -324,19 +390,28 @@ impl<'a> Codegen<'a> {
             collect_candidates(s, var, &assigned, &mut candidates);
         }
         for (array, index, level) in candidates {
-            let Some(layout) = self.layouts.get(&array).copied() else { continue };
+            let Some(layout) = self.layouts.get(&array).copied() else {
+                continue;
+            };
             let (stride_bytes, elem_bits, base_extra, scale) = match (layout, level) {
-                (ArrayLayout::RowMajor { elem, .. }, None) => {
-                    (elem.bytes(), elem.bits, 0u32, elem.bytes().trailing_zeros() as u8)
-                }
+                (ArrayLayout::RowMajor { elem, .. }, None) => (
+                    elem.bytes(),
+                    elem.bits,
+                    0u32,
+                    elem.bytes().trailing_zeros() as u8,
+                ),
                 (ArrayLayout::SubwordMajor { .. }, Some(lvl)) => {
                     (4, 32, 4 * lvl as u32 * layout.words_per_level(), 2)
                 }
                 _ => continue,
             };
-            let Some(base_addr) = self.builder.data_symbol(&array) else { continue };
+            let Some(base_addr) = self.builder.data_symbol(&array) else {
+                continue;
+            };
             // Leave headroom for expression temporaries.
-            let Some(preg) = self.regs.try_alloc_with_headroom(5) else { break };
+            let Some(preg) = self.regs.try_alloc_with_headroom(5) else {
+                break;
+            };
 
             let (inv, coeff) = split_affine(&index, var).expect("candidate is affine");
             let stride = coeff * stride_bytes;
@@ -344,17 +419,31 @@ impl<'a> Codegen<'a> {
                 Some(inv_expr) => {
                     let v = self.eval(&inv_expr)?;
                     if scale > 0 {
-                        self.builder.push(Instr::LslImm { rd: preg, rn: v.reg, sh: scale });
+                        self.builder.push(Instr::LslImm {
+                            rd: preg,
+                            rn: v.reg,
+                            sh: scale,
+                        });
                     } else {
-                        self.builder.push(Instr::Mov { rd: preg, rm: v.reg });
+                        self.builder.push(Instr::Mov {
+                            rd: preg,
+                            rm: v.reg,
+                        });
                     }
                     self.release(v);
                     let base = base_addr + base_extra + (start as u32) * stride;
-                    self.builder.push(Instr::AddImm { rd: preg, rn: preg, imm: base as i32 });
+                    self.builder.push(Instr::AddImm {
+                        rd: preg,
+                        rn: preg,
+                        imm: base as i32,
+                    });
                 }
                 None => {
                     let base = base_addr + base_extra + (start as u32) * stride;
-                    self.builder.push(Instr::MovImm { rd: preg, imm: base as i32 });
+                    self.builder.push(Instr::MovImm {
+                        rd: preg,
+                        imm: base as i32,
+                    });
                 }
             }
             self.ptrs.push(PtrInduction {
@@ -394,16 +483,26 @@ impl<'a> Codegen<'a> {
         let off = self.reuse_or_temp(idx, "offset")?;
         let scale = (elem.bytes()).trailing_zeros() as u8;
         if scale > 0 {
-            self.builder.push(Instr::LslImm { rd: off, rn: idx.reg, sh: scale });
+            self.builder.push(Instr::LslImm {
+                rd: off,
+                rn: idx.reg,
+                sh: scale,
+            });
         } else if off != idx.reg {
-            self.builder.push(Instr::Mov { rd: off, rm: idx.reg });
+            self.builder.push(Instr::Mov {
+                rd: off,
+                rm: idx.reg,
+            });
         }
         let base = self.temp("base")?;
         let base_addr = self
             .builder
             .data_symbol(array)
             .ok_or_else(|| CompileError::Internal(format!("no data symbol for `{array}`")))?;
-        self.builder.push(Instr::MovImm { rd: base, imm: (base_addr + extra_bytes) as i32 });
+        self.builder.push(Instr::MovImm {
+            rd: base,
+            imm: (base_addr + extra_bytes) as i32,
+        });
         Ok((base, off, elem.bits))
     }
 
@@ -419,22 +518,62 @@ impl<'a> Codegen<'a> {
             if accumulate {
                 let old = self.temp("accum")?;
                 match bits {
-                    8 => self.builder.push(Instr::Ldrb { rt: old, rn: preg, off: 0 }),
-                    16 => self.builder.push(Instr::Ldrh { rt: old, rn: preg, off: 0 }),
-                    _ => self.builder.push(Instr::Ldr { rt: old, rn: preg, off: 0 }),
+                    8 => self.builder.push(Instr::Ldrb {
+                        rt: old,
+                        rn: preg,
+                        off: 0,
+                    }),
+                    16 => self.builder.push(Instr::Ldrh {
+                        rt: old,
+                        rn: preg,
+                        off: 0,
+                    }),
+                    _ => self.builder.push(Instr::Ldr {
+                        rt: old,
+                        rn: preg,
+                        off: 0,
+                    }),
                 };
-                self.builder.push(Instr::Add { rd: old, rn: old, rm: v.reg });
+                self.builder.push(Instr::Add {
+                    rd: old,
+                    rn: old,
+                    rm: v.reg,
+                });
                 match bits {
-                    8 => self.builder.push(Instr::Strb { rt: old, rn: preg, off: 0 }),
-                    16 => self.builder.push(Instr::Strh { rt: old, rn: preg, off: 0 }),
-                    _ => self.builder.push(Instr::Str { rt: old, rn: preg, off: 0 }),
+                    8 => self.builder.push(Instr::Strb {
+                        rt: old,
+                        rn: preg,
+                        off: 0,
+                    }),
+                    16 => self.builder.push(Instr::Strh {
+                        rt: old,
+                        rn: preg,
+                        off: 0,
+                    }),
+                    _ => self.builder.push(Instr::Str {
+                        rt: old,
+                        rn: preg,
+                        off: 0,
+                    }),
                 };
                 self.regs.free(old);
             } else {
                 match bits {
-                    8 => self.builder.push(Instr::Strb { rt: v.reg, rn: preg, off: 0 }),
-                    16 => self.builder.push(Instr::Strh { rt: v.reg, rn: preg, off: 0 }),
-                    _ => self.builder.push(Instr::Str { rt: v.reg, rn: preg, off: 0 }),
+                    8 => self.builder.push(Instr::Strb {
+                        rt: v.reg,
+                        rn: preg,
+                        off: 0,
+                    }),
+                    16 => self.builder.push(Instr::Strh {
+                        rt: v.reg,
+                        rn: preg,
+                        off: 0,
+                    }),
+                    _ => self.builder.push(Instr::Str {
+                        rt: v.reg,
+                        rn: preg,
+                        off: 0,
+                    }),
                 };
             }
             self.release(v);
@@ -444,22 +583,62 @@ impl<'a> Codegen<'a> {
         if accumulate {
             let old = self.temp("accum")?;
             match bits {
-                8 => self.builder.push(Instr::LdrbReg { rt: old, rn: base, rm: off }),
-                16 => self.builder.push(Instr::LdrhReg { rt: old, rn: base, rm: off }),
-                _ => self.builder.push(Instr::LdrReg { rt: old, rn: base, rm: off }),
+                8 => self.builder.push(Instr::LdrbReg {
+                    rt: old,
+                    rn: base,
+                    rm: off,
+                }),
+                16 => self.builder.push(Instr::LdrhReg {
+                    rt: old,
+                    rn: base,
+                    rm: off,
+                }),
+                _ => self.builder.push(Instr::LdrReg {
+                    rt: old,
+                    rn: base,
+                    rm: off,
+                }),
             };
-            self.builder.push(Instr::Add { rd: old, rn: old, rm: v.reg });
+            self.builder.push(Instr::Add {
+                rd: old,
+                rn: old,
+                rm: v.reg,
+            });
             match bits {
-                8 => self.builder.push(Instr::StrbReg { rt: old, rn: base, rm: off }),
-                16 => self.builder.push(Instr::StrhReg { rt: old, rn: base, rm: off }),
-                _ => self.builder.push(Instr::StrReg { rt: old, rn: base, rm: off }),
+                8 => self.builder.push(Instr::StrbReg {
+                    rt: old,
+                    rn: base,
+                    rm: off,
+                }),
+                16 => self.builder.push(Instr::StrhReg {
+                    rt: old,
+                    rn: base,
+                    rm: off,
+                }),
+                _ => self.builder.push(Instr::StrReg {
+                    rt: old,
+                    rn: base,
+                    rm: off,
+                }),
             };
             self.regs.free(old);
         } else {
             match bits {
-                8 => self.builder.push(Instr::StrbReg { rt: v.reg, rn: base, rm: off }),
-                16 => self.builder.push(Instr::StrhReg { rt: v.reg, rn: base, rm: off }),
-                _ => self.builder.push(Instr::StrReg { rt: v.reg, rn: base, rm: off }),
+                8 => self.builder.push(Instr::StrbReg {
+                    rt: v.reg,
+                    rn: base,
+                    rm: off,
+                }),
+                16 => self.builder.push(Instr::StrhReg {
+                    rt: v.reg,
+                    rn: base,
+                    rm: off,
+                }),
+                _ => self.builder.push(Instr::StrReg {
+                    rt: v.reg,
+                    rn: base,
+                    rm: off,
+                }),
             };
         }
         self.regs.free(base);
@@ -488,14 +667,21 @@ impl<'a> Codegen<'a> {
         };
         let idx = self.eval(word_index)?;
         let off = self.reuse_or_temp(idx, "packed offset")?;
-        self.builder.push(Instr::LslImm { rd: off, rn: idx.reg, sh: 2 });
+        self.builder.push(Instr::LslImm {
+            rd: off,
+            rn: idx.reg,
+            sh: 2,
+        });
         let base = self.temp("packed base")?;
         let base_addr = self
             .builder
             .data_symbol(array)
             .ok_or_else(|| CompileError::Internal(format!("no data symbol for `{array}`")))?;
         let level_off = 4 * level as u32 * wpl;
-        self.builder.push(Instr::MovImm { rd: base, imm: (base_addr + level_off) as i32 });
+        self.builder.push(Instr::MovImm {
+            rd: base,
+            imm: (base_addr + level_off) as i32,
+        });
         Ok((base, off))
     }
 
@@ -508,12 +694,20 @@ impl<'a> Codegen<'a> {
     ) -> Result<(), CompileError> {
         let v = self.eval(value)?;
         if let Some((preg, _)) = self.find_ptr(array, word_index, Some(level)) {
-            self.builder.push(Instr::Str { rt: v.reg, rn: preg, off: 0 });
+            self.builder.push(Instr::Str {
+                rt: v.reg,
+                rn: preg,
+                off: 0,
+            });
             self.release(v);
             return Ok(());
         }
         let (base, off) = self.packed_access(array, level, word_index)?;
-        self.builder.push(Instr::StrReg { rt: v.reg, rn: base, rm: off });
+        self.builder.push(Instr::StrReg {
+            rt: v.reg,
+            rn: base,
+            rm: off,
+        });
         self.regs.free(base);
         self.regs.free(off);
         self.release(v);
@@ -542,7 +736,11 @@ impl<'a> Codegen<'a> {
         let idx = self.eval(elem_index)?;
         let off = self.reuse_or_temp(idx, "component offset")?;
         self.emit_mul_by_const(off, idx.reg, n_sub as i32)?;
-        self.builder.push(Instr::LslImm { rd: off, rn: off, sh: 2 });
+        self.builder.push(Instr::LslImm {
+            rd: off,
+            rn: off,
+            sh: 2,
+        });
         let base = self.temp("component base")?;
         let base_addr = self
             .builder
@@ -552,7 +750,11 @@ impl<'a> Codegen<'a> {
             rd: base,
             imm: (base_addr + 4 * level as u32) as i32,
         });
-        self.builder.push(Instr::StrReg { rt: v.reg, rn: base, rm: off });
+        self.builder.push(Instr::StrReg {
+            rt: v.reg,
+            rn: base,
+            rm: off,
+        });
         self.regs.free(base);
         self.regs.free(off);
         self.release(v);
@@ -566,7 +768,10 @@ impl<'a> Codegen<'a> {
             Expr::Const(c) => {
                 let r = self.temp("const")?;
                 self.builder.push(Instr::MovImm { rd: r, imm: *c });
-                Ok(Value { reg: r, owned: true })
+                Ok(Value {
+                    reg: r,
+                    owned: true,
+                })
             }
             Expr::Var(name) => {
                 let reg = *self
@@ -579,41 +784,97 @@ impl<'a> Codegen<'a> {
                 if let Some((preg, bits)) = self.find_ptr(array, index, None) {
                     let rt = self.temp("load")?;
                     match bits {
-                        8 => self.builder.push(Instr::Ldrb { rt, rn: preg, off: 0 }),
-                        16 => self.builder.push(Instr::Ldrh { rt, rn: preg, off: 0 }),
-                        _ => self.builder.push(Instr::Ldr { rt, rn: preg, off: 0 }),
+                        8 => self.builder.push(Instr::Ldrb {
+                            rt,
+                            rn: preg,
+                            off: 0,
+                        }),
+                        16 => self.builder.push(Instr::Ldrh {
+                            rt,
+                            rn: preg,
+                            off: 0,
+                        }),
+                        _ => self.builder.push(Instr::Ldr {
+                            rt,
+                            rn: preg,
+                            off: 0,
+                        }),
                     };
-                    return Ok(Value { reg: rt, owned: true });
+                    return Ok(Value {
+                        reg: rt,
+                        owned: true,
+                    });
                 }
                 let (base, off, bits) = self.elem_access(array, index, 0)?;
                 let rt = self.temp("load")?;
                 match bits {
-                    8 => self.builder.push(Instr::LdrbReg { rt, rn: base, rm: off }),
-                    16 => self.builder.push(Instr::LdrhReg { rt, rn: base, rm: off }),
-                    _ => self.builder.push(Instr::LdrReg { rt, rn: base, rm: off }),
+                    8 => self.builder.push(Instr::LdrbReg {
+                        rt,
+                        rn: base,
+                        rm: off,
+                    }),
+                    16 => self.builder.push(Instr::LdrhReg {
+                        rt,
+                        rn: base,
+                        rm: off,
+                    }),
+                    _ => self.builder.push(Instr::LdrReg {
+                        rt,
+                        rn: base,
+                        rm: off,
+                    }),
                 };
                 self.regs.free(base);
                 self.regs.free(off);
-                Ok(Value { reg: rt, owned: true })
+                Ok(Value {
+                    reg: rt,
+                    owned: true,
+                })
             }
-            Expr::LoadSub { array, index, width, shift } => {
-                self.eval_load_sub(array, index, *width, *shift)
-            }
-            Expr::LoadPacked { array, level, word_index } => {
+            Expr::LoadSub {
+                array,
+                index,
+                width,
+                shift,
+            } => self.eval_load_sub(array, index, *width, *shift),
+            Expr::LoadPacked {
+                array,
+                level,
+                word_index,
+            } => {
                 if let Some((preg, _)) = self.find_ptr(array, word_index, Some(*level)) {
                     let rt = self.temp("packed load")?;
-                    self.builder.push(Instr::Ldr { rt, rn: preg, off: 0 });
-                    return Ok(Value { reg: rt, owned: true });
+                    self.builder.push(Instr::Ldr {
+                        rt,
+                        rn: preg,
+                        off: 0,
+                    });
+                    return Ok(Value {
+                        reg: rt,
+                        owned: true,
+                    });
                 }
                 let (base, off) = self.packed_access(array, *level, word_index)?;
                 let rt = self.temp("packed load")?;
-                self.builder.push(Instr::LdrReg { rt, rn: base, rm: off });
+                self.builder.push(Instr::LdrReg {
+                    rt,
+                    rn: base,
+                    rm: off,
+                });
                 self.regs.free(base);
                 self.regs.free(off);
-                Ok(Value { reg: rt, owned: true })
+                Ok(Value {
+                    reg: rt,
+                    owned: true,
+                })
             }
             Expr::Bin { op, a, b } => self.eval_bin(*op, a, b),
-            Expr::MulAsp { full, sub, width, shift } => {
+            Expr::MulAsp {
+                full,
+                sub,
+                width,
+                shift,
+            } => {
                 let f = self.eval(full)?;
                 let s = self.eval(sub)?;
                 let rd = self.temp("mul_asp")?;
@@ -626,9 +887,17 @@ impl<'a> Codegen<'a> {
                 });
                 self.release(f);
                 self.release(s);
-                Ok(Value { reg: rd, owned: true })
+                Ok(Value {
+                    reg: rd,
+                    owned: true,
+                })
             }
-            Expr::AsvBin { op, a, b, lane_bits } => {
+            Expr::AsvBin {
+                op,
+                a,
+                b,
+                lane_bits,
+            } => {
                 let va = self.eval(a)?;
                 let vb = self.eval(b)?;
                 let rd = self.reuse_or_temp(va, "asv")?;
@@ -642,18 +911,28 @@ impl<'a> Codegen<'a> {
                     })?)
                 };
                 match (op, lanes) {
-                    (BinOp::Add, Some(lanes)) => {
-                        self.builder.push(Instr::AddAsv { rd, rn: va.reg, rm: vb.reg, lanes })
-                    }
-                    (BinOp::Sub, Some(lanes)) => {
-                        self.builder.push(Instr::SubAsv { rd, rn: va.reg, rm: vb.reg, lanes })
-                    }
-                    (BinOp::Add, None) => {
-                        self.builder.push(Instr::Add { rd, rn: va.reg, rm: vb.reg })
-                    }
-                    (BinOp::Sub, None) => {
-                        self.builder.push(Instr::Sub { rd, rn: va.reg, rm: vb.reg })
-                    }
+                    (BinOp::Add, Some(lanes)) => self.builder.push(Instr::AddAsv {
+                        rd,
+                        rn: va.reg,
+                        rm: vb.reg,
+                        lanes,
+                    }),
+                    (BinOp::Sub, Some(lanes)) => self.builder.push(Instr::SubAsv {
+                        rd,
+                        rn: va.reg,
+                        rm: vb.reg,
+                        lanes,
+                    }),
+                    (BinOp::Add, None) => self.builder.push(Instr::Add {
+                        rd,
+                        rn: va.reg,
+                        rm: vb.reg,
+                    }),
+                    (BinOp::Sub, None) => self.builder.push(Instr::Sub {
+                        rd,
+                        rn: va.reg,
+                        rm: vb.reg,
+                    }),
                     (other, _) => {
                         return Err(CompileError::Internal(format!(
                             "ASV op {other:?} should have been lowered as a plain logical op"
@@ -661,20 +940,37 @@ impl<'a> Codegen<'a> {
                     }
                 };
                 self.release(vb);
-                Ok(Value { reg: rd, owned: true })
+                Ok(Value {
+                    reg: rd,
+                    owned: true,
+                })
             }
             Expr::HSum { value, lane_bits } => self.eval_hsum(value, *lane_bits),
             Expr::Shl(x, sh) => {
                 let v = self.eval(x)?;
                 let rd = self.reuse_or_temp(v, "shl")?;
-                self.builder.push(Instr::LslImm { rd, rn: v.reg, sh: *sh });
-                Ok(Value { reg: rd, owned: true })
+                self.builder.push(Instr::LslImm {
+                    rd,
+                    rn: v.reg,
+                    sh: *sh,
+                });
+                Ok(Value {
+                    reg: rd,
+                    owned: true,
+                })
             }
             Expr::Shr(x, sh) => {
                 let v = self.eval(x)?;
                 let rd = self.reuse_or_temp(v, "shr")?;
-                self.builder.push(Instr::LsrImm { rd, rn: v.reg, sh: *sh });
-                Ok(Value { reg: rd, owned: true })
+                self.builder.push(Instr::LsrImm {
+                    rd,
+                    rn: v.reg,
+                    sh: *sh,
+                });
+                Ok(Value {
+                    reg: rd,
+                    owned: true,
+                })
             }
         }
     }
@@ -687,13 +983,19 @@ impl<'a> Codegen<'a> {
                 let v = self.eval(a)?;
                 let rd = self.reuse_or_temp(v, "mul-const")?;
                 self.emit_mul_by_const(rd, v.reg, *c)?;
-                return Ok(Value { reg: rd, owned: true });
+                return Ok(Value {
+                    reg: rd,
+                    owned: true,
+                });
             }
             if let Expr::Const(c) = a {
                 let v = self.eval(b)?;
                 let rd = self.reuse_or_temp(v, "mul-const")?;
                 self.emit_mul_by_const(rd, v.reg, *c)?;
-                return Ok(Value { reg: rd, owned: true });
+                return Ok(Value {
+                    reg: rd,
+                    owned: true,
+                });
             }
         }
         // Immediate forms for add/sub/and with a constant right operand.
@@ -703,12 +1005,27 @@ impl<'a> Codegen<'a> {
                     let v = self.eval(a)?;
                     let rd = self.reuse_or_temp(v, "bin-imm")?;
                     let instr = match op {
-                        BinOp::Add => Instr::AddImm { rd, rn: v.reg, imm: *c },
-                        BinOp::Sub => Instr::SubImm { rd, rn: v.reg, imm: *c },
-                        _ => Instr::AndImm { rd, rn: v.reg, imm: *c },
+                        BinOp::Add => Instr::AddImm {
+                            rd,
+                            rn: v.reg,
+                            imm: *c,
+                        },
+                        BinOp::Sub => Instr::SubImm {
+                            rd,
+                            rn: v.reg,
+                            imm: *c,
+                        },
+                        _ => Instr::AndImm {
+                            rd,
+                            rn: v.reg,
+                            imm: *c,
+                        },
                     };
                     self.builder.push(instr);
-                    return Ok(Value { reg: rd, owned: true });
+                    return Ok(Value {
+                        reg: rd,
+                        owned: true,
+                    });
                 }
                 _ => {}
             }
@@ -717,16 +1034,43 @@ impl<'a> Codegen<'a> {
         let vb = self.eval(b)?;
         let rd = self.reuse_or_temp(va, "bin")?;
         let instr = match op {
-            BinOp::Add => Instr::Add { rd, rn: va.reg, rm: vb.reg },
-            BinOp::Sub => Instr::Sub { rd, rn: va.reg, rm: vb.reg },
-            BinOp::Mul => Instr::Mul { rd, rn: va.reg, rm: vb.reg },
-            BinOp::And => Instr::And { rd, rn: va.reg, rm: vb.reg },
-            BinOp::Or => Instr::Orr { rd, rn: va.reg, rm: vb.reg },
-            BinOp::Xor => Instr::Eor { rd, rn: va.reg, rm: vb.reg },
+            BinOp::Add => Instr::Add {
+                rd,
+                rn: va.reg,
+                rm: vb.reg,
+            },
+            BinOp::Sub => Instr::Sub {
+                rd,
+                rn: va.reg,
+                rm: vb.reg,
+            },
+            BinOp::Mul => Instr::Mul {
+                rd,
+                rn: va.reg,
+                rm: vb.reg,
+            },
+            BinOp::And => Instr::And {
+                rd,
+                rn: va.reg,
+                rm: vb.reg,
+            },
+            BinOp::Or => Instr::Orr {
+                rd,
+                rn: va.reg,
+                rm: vb.reg,
+            },
+            BinOp::Xor => Instr::Eor {
+                rd,
+                rn: va.reg,
+                rm: vb.reg,
+            },
         };
         self.builder.push(instr);
         self.release(vb);
-        Ok(Value { reg: rd, owned: true })
+        Ok(Value {
+            reg: rd,
+            owned: true,
+        })
     }
 
     fn eval_load_sub(
@@ -747,15 +1091,29 @@ impl<'a> Codegen<'a> {
                     // base immediate (or the pointer's offset field).
                     if let Some((preg, _)) = self.find_ptr(array, index, None) {
                         let rt = self.temp("sub load")?;
-                        self.builder.push(Instr::Ldrb { rt, rn: preg, off: (shift / 8) as i32 });
-                        return Ok(Value { reg: rt, owned: true });
+                        self.builder.push(Instr::Ldrb {
+                            rt,
+                            rn: preg,
+                            off: (shift / 8) as i32,
+                        });
+                        return Ok(Value {
+                            reg: rt,
+                            owned: true,
+                        });
                     }
                     let (base, off, _) = self.elem_access(array, index, shift / 8)?;
                     let rt = self.temp("sub load")?;
-                    self.builder.push(Instr::LdrbReg { rt, rn: base, rm: off });
+                    self.builder.push(Instr::LdrbReg {
+                        rt,
+                        rn: base,
+                        rm: off,
+                    });
                     self.regs.free(base);
                     self.regs.free(off);
-                    Ok(Value { reg: rt, owned: true })
+                    Ok(Value {
+                        reg: rt,
+                        owned: true,
+                    })
                 } else {
                     // General extraction: load the element, shift, mask.
                     let v = self.eval(&Expr::Load {
@@ -764,19 +1122,34 @@ impl<'a> Codegen<'a> {
                     })?;
                     let rd = self.reuse_or_temp(v, "sub extract")?;
                     if shift > 0 {
-                        self.builder.push(Instr::LsrImm { rd, rn: v.reg, sh: shift as u8 });
+                        self.builder.push(Instr::LsrImm {
+                            rd,
+                            rn: v.reg,
+                            sh: shift as u8,
+                        });
                     } else if rd != v.reg {
                         self.builder.push(Instr::Mov { rd, rm: v.reg });
                     }
                     // Zero-extended loads make the top subword mask-free.
                     if shift + (bits as u32) < elem.bits as u32 {
                         let mask = ((1u32 << bits) - 1) as i32;
-                        self.builder.push(Instr::AndImm { rd, rn: rd, imm: mask });
+                        self.builder.push(Instr::AndImm {
+                            rd,
+                            rn: rd,
+                            imm: mask,
+                        });
                     }
-                    Ok(Value { reg: rd, owned: true })
+                    Ok(Value {
+                        reg: rd,
+                        owned: true,
+                    })
                 }
             }
-            ArrayLayout::SubwordMajor { sub_bits, lane_bits, .. } => {
+            ArrayLayout::SubwordMajor {
+                sub_bits,
+                lane_bits,
+                ..
+            } => {
                 // Element access on a transposed array (correctness path
                 // when vectorized loads could not rewrite a use): locate
                 // the packed word, then extract the lane dynamically.
@@ -797,7 +1170,11 @@ impl<'a> Codegen<'a> {
                 });
                 // lane shift = (index % lanes) * lane_bits
                 let lane_sh = self.temp("lane shift")?;
-                self.builder.push(Instr::AndImm { rd: lane_sh, rn: idx.reg, imm: (lanes - 1) as i32 });
+                self.builder.push(Instr::AndImm {
+                    rd: lane_sh,
+                    rn: idx.reg,
+                    imm: (lanes - 1) as i32,
+                });
                 self.builder.push(Instr::LslImm {
                     rd: lane_sh,
                     rn: lane_sh,
@@ -806,13 +1183,28 @@ impl<'a> Codegen<'a> {
                 self.release(idx);
                 let addr = self.packed_addr_reg(array, pos, word)?;
                 let rt = self.temp("sub packed load")?;
-                self.builder.push(Instr::Ldr { rt, rn: addr, off: 0 });
+                self.builder.push(Instr::Ldr {
+                    rt,
+                    rn: addr,
+                    off: 0,
+                });
                 self.regs.free(addr);
-                self.builder.push(Instr::LsrReg { rd: rt, rn: rt, rm: lane_sh });
+                self.builder.push(Instr::LsrReg {
+                    rd: rt,
+                    rn: rt,
+                    rm: lane_sh,
+                });
                 self.regs.free(lane_sh);
                 let mask = ((1u64 << bits) - 1) as i32;
-                self.builder.push(Instr::AndImm { rd: rt, rn: rt, imm: mask });
-                Ok(Value { reg: rt, owned: true })
+                self.builder.push(Instr::AndImm {
+                    rd: rt,
+                    rn: rt,
+                    imm: mask,
+                });
+                Ok(Value {
+                    reg: rt,
+                    owned: true,
+                })
             }
             other => Err(CompileError::Internal(format!(
                 "subword load from array `{array}` with layout {other:?}"
@@ -825,18 +1217,33 @@ impl<'a> Codegen<'a> {
     fn packed_addr_reg(&mut self, array: &str, level: u8, word: Reg) -> Result<Reg, CompileError> {
         let layout = *self.layout(array)?;
         let wpl = layout.words_per_level();
-        self.builder.push(Instr::LslImm { rd: word, rn: word, sh: 2 });
+        self.builder.push(Instr::LslImm {
+            rd: word,
+            rn: word,
+            sh: 2,
+        });
         let level_off = 4 * level as i32 * wpl as i32;
         if level_off != 0 {
-            self.builder.push(Instr::AddImm { rd: word, rn: word, imm: level_off });
+            self.builder.push(Instr::AddImm {
+                rd: word,
+                rn: word,
+                imm: level_off,
+            });
         }
         let base = self.temp("packed base")?;
         let base_addr = self
             .builder
             .data_symbol(array)
             .ok_or_else(|| CompileError::Internal(format!("no data symbol for `{array}`")))?;
-        self.builder.push(Instr::MovImm { rd: base, imm: base_addr as i32 });
-        self.builder.push(Instr::Add { rd: word, rn: word, rm: base });
+        self.builder.push(Instr::MovImm {
+            rd: base,
+            imm: base_addr as i32,
+        });
+        self.builder.push(Instr::Add {
+            rd: word,
+            rn: word,
+            rm: base,
+        });
         self.regs.free(base);
         Ok(word)
     }
@@ -846,18 +1253,37 @@ impl<'a> Codegen<'a> {
         let lanes = 32 / lane_bits as u32;
         let mask = ((1u64 << lane_bits) - 1) as i32;
         let acc = self.temp("hsum acc")?;
-        self.builder.push(Instr::AndImm { rd: acc, rn: v.reg, imm: mask });
+        self.builder.push(Instr::AndImm {
+            rd: acc,
+            rn: v.reg,
+            imm: mask,
+        });
         let scratch = self.temp("hsum scratch")?;
         for l in 1..lanes {
-            self.builder.push(Instr::LsrImm { rd: scratch, rn: v.reg, sh: (l * lane_bits as u32) as u8 });
+            self.builder.push(Instr::LsrImm {
+                rd: scratch,
+                rn: v.reg,
+                sh: (l * lane_bits as u32) as u8,
+            });
             if l < lanes - 1 {
-                self.builder.push(Instr::AndImm { rd: scratch, rn: scratch, imm: mask });
+                self.builder.push(Instr::AndImm {
+                    rd: scratch,
+                    rn: scratch,
+                    imm: mask,
+                });
             }
-            self.builder.push(Instr::Add { rd: acc, rn: acc, rm: scratch });
+            self.builder.push(Instr::Add {
+                rd: acc,
+                rn: acc,
+                rm: scratch,
+            });
         }
         self.regs.free(scratch);
         self.release(v);
-        Ok(Value { reg: acc, owned: true })
+        Ok(Value {
+            reg: acc,
+            owned: true,
+        })
     }
 
     /// rd = rs * c via shifts and adds. `rd` may alias `rs`.
@@ -878,7 +1304,11 @@ impl<'a> Codegen<'a> {
         let negative = c < 0;
         let mag = c.unsigned_abs();
         if mag.is_power_of_two() {
-            self.builder.push(Instr::LslImm { rd, rn: rs, sh: mag.trailing_zeros() as u8 });
+            self.builder.push(Instr::LslImm {
+                rd,
+                rn: rs,
+                sh: mag.trailing_zeros() as u8,
+            });
         } else {
             // Binary decomposition: acc = Σ rs << bit_i.
             let acc = self.temp("mul-const acc")?;
@@ -889,13 +1319,25 @@ impl<'a> Codegen<'a> {
                         if bit == 0 {
                             self.builder.push(Instr::Mov { rd: acc, rm: rs });
                         } else {
-                            self.builder.push(Instr::LslImm { rd: acc, rn: rs, sh: bit });
+                            self.builder.push(Instr::LslImm {
+                                rd: acc,
+                                rn: rs,
+                                sh: bit,
+                            });
                         }
                         first = false;
                     } else {
                         let t = self.temp("mul-const term")?;
-                        self.builder.push(Instr::LslImm { rd: t, rn: rs, sh: bit });
-                        self.builder.push(Instr::Add { rd: acc, rn: acc, rm: t });
+                        self.builder.push(Instr::LslImm {
+                            rd: t,
+                            rn: rs,
+                            sh: bit,
+                        });
+                        self.builder.push(Instr::Add {
+                            rd: acc,
+                            rn: acc,
+                            rm: t,
+                        });
                         self.regs.free(t);
                     }
                 }
@@ -911,7 +1353,6 @@ impl<'a> Codegen<'a> {
         Ok(())
     }
 }
-
 
 /// Decomposes `index` as a linear form in `var`: a sum of
 /// `var`-independent terms plus `coeff * var` (from bare `var` uses and
@@ -933,22 +1374,25 @@ fn split_affine(index: &Expr, var: &str) -> Option<(Option<Expr>, u32)> {
     Some((inv, coeff))
 }
 
-fn decompose_linear(
-    e: &Expr,
-    var: &str,
-    inv_terms: &mut Vec<Expr>,
-    coeff: &mut u32,
-) -> Option<()> {
+fn decompose_linear(e: &Expr, var: &str, inv_terms: &mut Vec<Expr>, coeff: &mut u32) -> Option<()> {
     match e {
         Expr::Var(v) if v == var => {
             *coeff = coeff.checked_add(1)?;
             Some(())
         }
-        Expr::Bin { op: BinOp::Add, a, b } => {
+        Expr::Bin {
+            op: BinOp::Add,
+            a,
+            b,
+        } => {
             decompose_linear(a, var, inv_terms, coeff)?;
             decompose_linear(b, var, inv_terms, coeff)
         }
-        Expr::Bin { op: BinOp::Mul, a, b } => {
+        Expr::Bin {
+            op: BinOp::Mul,
+            a,
+            b,
+        } => {
             match (a.as_ref(), b.as_ref()) {
                 (Expr::Var(v), Expr::Const(c)) | (Expr::Const(c), Expr::Var(v))
                     if v == var && *c > 0 =>
@@ -1003,13 +1447,18 @@ fn consider(
     assigned: &[&str],
     out: &mut Vec<(String, Expr, Option<u8>)>,
 ) {
-    let Some((inv, _coeff)) = split_affine(index, var) else { return };
+    let Some((inv, _coeff)) = split_affine(index, var) else {
+        return;
+    };
     if let Some(inv) = &inv {
         if !induction_invariant(inv, assigned) {
             return;
         }
     }
-    if !out.iter().any(|(a, i, l)| a == array && i == index && *l == level) {
+    if !out
+        .iter()
+        .any(|(a, i, l)| a == array && i == index && *l == level)
+    {
         out.push((array.to_string(), index.clone(), level));
     }
 }
@@ -1024,9 +1473,11 @@ fn collect_candidates_expr(
         Expr::Load { array, index } | Expr::LoadSub { array, index, .. } => {
             consider(array, index, None, var, assigned, out)
         }
-        Expr::LoadPacked { array, level, word_index } => {
-            consider(array, word_index, Some(*level), var, assigned, out)
-        }
+        Expr::LoadPacked {
+            array,
+            level,
+            word_index,
+        } => consider(array, word_index, Some(*level), var, assigned, out),
         _ => {}
     });
 }
@@ -1038,17 +1489,33 @@ fn collect_candidates(
     out: &mut Vec<(String, Expr, Option<u8>)>,
 ) {
     match stmt {
-        Stmt::Store { array, index, value } | Stmt::AccumStore { array, index, value } => {
+        Stmt::Store {
+            array,
+            index,
+            value,
+        }
+        | Stmt::AccumStore {
+            array,
+            index,
+            value,
+        } => {
             consider(array, index, None, var, assigned, out);
             collect_candidates_expr(index, var, assigned, out);
             collect_candidates_expr(value, var, assigned, out);
         }
-        Stmt::StorePacked { array, level, word_index, value } => {
+        Stmt::StorePacked {
+            array,
+            level,
+            word_index,
+            value,
+        } => {
             consider(array, word_index, Some(*level), var, assigned, out);
             collect_candidates_expr(word_index, var, assigned, out);
             collect_candidates_expr(value, var, assigned, out);
         }
-        Stmt::StoreComponent { elem_index, value, .. } => {
+        Stmt::StoreComponent {
+            elem_index, value, ..
+        } => {
             collect_candidates_expr(elem_index, var, assigned, out);
             collect_candidates_expr(value, var, assigned, out);
         }
@@ -1067,7 +1534,15 @@ mod tests {
         kernel
             .arrays
             .iter()
-            .map(|a| (a.name.clone(), ArrayLayout::RowMajor { elem: a.elem, len: a.len }))
+            .map(|a| {
+                (
+                    a.name.clone(),
+                    ArrayLayout::RowMajor {
+                        elem: a.elem,
+                        len: a.len,
+                    },
+                )
+            })
             .collect()
     }
 
@@ -1079,7 +1554,11 @@ mod tests {
                 "i",
                 0,
                 4,
-                vec![Stmt::store("X", Expr::var("i"), Expr::load("A", Expr::var("i")))],
+                vec![Stmt::store(
+                    "X",
+                    Expr::var("i"),
+                    Expr::load("A", Expr::var("i")),
+                )],
             )])
     }
 
@@ -1093,10 +1572,14 @@ mod tests {
         assert!(p.code_symbol(END_LABEL).is_some());
         assert!(matches!(p.instrs.last(), Some(Instr::Halt)));
         // Contains a loop: a backward branch.
-        assert!(p.instrs.iter().enumerate().any(|(i, ins)| match ins.branch_target() {
-            Some(t) => (t as usize) < i && matches!(ins, Instr::B { .. }),
-            None => false,
-        }));
+        assert!(p
+            .instrs
+            .iter()
+            .enumerate()
+            .any(|(i, ins)| match ins.branch_target() {
+                Some(t) => (t as usize) < i && matches!(ins, Instr::B { .. }),
+                None => false,
+            }));
     }
 
     #[test]
@@ -1156,17 +1639,29 @@ mod tests {
                 Expr::load("A", Expr::c(0)) * Expr::load("B", Expr::c(0)),
             )]);
         let p = lower(&k, &layouts_for(&k)).unwrap();
-        assert_eq!(p.instrs.iter().filter(|i| matches!(i, Instr::Mul { .. })).count(), 1);
+        assert_eq!(
+            p.instrs
+                .iter()
+                .filter(|i| matches!(i, Instr::Mul { .. }))
+                .count(),
+            1
+        );
     }
 
     #[test]
     fn skim_point_targets_end() {
         let k = KernelIr::new("skim")
             .array(ArrayBuilder::output("X", 1))
-            .body(vec![Stmt::store("X", Expr::c(0), Expr::c(1)), Stmt::SkimPoint]);
+            .body(vec![
+                Stmt::store("X", Expr::c(0), Expr::c(1)),
+                Stmt::SkimPoint,
+            ]);
         let p = lower(&k, &layouts_for(&k)).unwrap();
         let end = p.code_symbol(END_LABEL).unwrap();
-        assert!(p.instrs.iter().any(|i| matches!(i, Instr::Skm { target } if *target == end)));
+        assert!(p
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::Skm { target } if *target == end)));
     }
 
     #[test]
@@ -1189,7 +1684,10 @@ mod tests {
         p.validate().unwrap();
         // 2 words per level, level 3 → the +24 byte level displacement is
         // folded into the base-address immediate (P sits at address 0).
-        assert!(p.instrs.iter().any(|i| matches!(i, Instr::MovImm { imm: 24, .. })));
+        assert!(p
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::MovImm { imm: 24, .. })));
     }
 
     #[test]
@@ -1201,11 +1699,18 @@ mod tests {
                 Stmt::store(
                     "X",
                     Expr::c(0),
-                    Expr::HSum { value: Box::new(Expr::var("acc")), lane_bits: 8 },
+                    Expr::HSum {
+                        value: Box::new(Expr::var("acc")),
+                        lane_bits: 8,
+                    },
                 ),
             ]);
         let p = lower(&k, &layouts_for(&k)).unwrap();
-        let adds = p.instrs.iter().filter(|i| matches!(i, Instr::Add { .. })).count();
+        let adds = p
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::Add { .. }))
+            .count();
         assert!(adds >= 3, "4 lanes need 3 adds, found {adds}");
     }
 

@@ -113,7 +113,10 @@ pub fn compile_with(
     kernel.validate()?;
     let mut transformed: TransformedKernel = match technique {
         Technique::Precise => TransformedKernel::identity(kernel),
-        Technique::Swp { bits, vectorized_loads } => swp::apply(kernel, bits, vectorized_loads)?,
+        Technique::Swp {
+            bits,
+            vectorized_loads,
+        } => swp::apply(kernel, bits, vectorized_loads)?,
         Technique::Swv { bits, provisioned } => swv::apply(kernel, bits, provisioned)?,
     };
     // -O1-style loop-invariant hoisting, applied to every build so that
@@ -130,7 +133,10 @@ pub fn compile_with(
     for a in &kernel.arrays {
         layouts
             .entry(a.name.clone())
-            .or_insert(ArrayLayout::RowMajor { elem: a.elem, len: a.len });
+            .or_insert(ArrayLayout::RowMajor {
+                elem: a.elem,
+                len: a.len,
+            });
     }
 
     let program = codegen::lower(&transformed.kernel, &layouts)?;
@@ -139,8 +145,18 @@ pub fn compile_with(
         technique,
         program,
         layouts,
-        outputs: kernel.arrays.iter().filter(|a| a.is_output).map(|a| a.name.clone()).collect(),
-        inputs: kernel.arrays.iter().filter(|a| !a.is_output).map(|a| a.name.clone()).collect(),
+        outputs: kernel
+            .arrays
+            .iter()
+            .filter(|a| a.is_output)
+            .map(|a| a.name.clone())
+            .collect(),
+        inputs: kernel
+            .arrays
+            .iter()
+            .filter(|a| !a.is_output)
+            .map(|a| a.name.clone())
+            .collect(),
     })
 }
 
@@ -196,7 +212,9 @@ mod tests {
         let baseline = count_skm(&all);
         assert_eq!(baseline, 3, "4 levels of 16-bit data emit 3 skim points");
         for min in 1..=3u32 {
-            let opts = CompileOptions { skim_min_level: min };
+            let opts = CompileOptions {
+                skim_min_level: min,
+            };
             let c = compile_with(&listing1(), Technique::swp(4), &opts).unwrap();
             assert_eq!(count_skm(&c) as u32, baseline as u32 - min);
             c.program.validate().unwrap();
@@ -273,9 +291,9 @@ mod tests {
 
     #[test]
     fn swp_on_unannotated_kernel_fails() {
-        let k = KernelIr::new("plain").array(ArrayBuilder::output("X", 1)).body(vec![
-            Stmt::store("X", Expr::c(0), Expr::c(1)),
-        ]);
+        let k = KernelIr::new("plain")
+            .array(ArrayBuilder::output("X", 1))
+            .body(vec![Stmt::store("X", Expr::c(0), Expr::c(1))]);
         assert!(matches!(
             compile(&k, Technique::swp(8)),
             Err(CompileError::NothingToTransform { .. })

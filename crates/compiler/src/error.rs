@@ -38,7 +38,9 @@ impl fmt::Display for CompileError {
             CompileError::BadElemWidth { name, bits } => {
                 write!(f, "array `{name}` has unsupported element width {bits}")
             }
-            CompileError::UnknownArray { name } => write!(f, "reference to undeclared array `{name}`"),
+            CompileError::UnknownArray { name } => {
+                write!(f, "reference to undeclared array `{name}`")
+            }
             CompileError::ShadowedLoopVar { var } => {
                 write!(f, "loop variable `{var}` shadows an enclosing loop")
             }
@@ -49,10 +51,16 @@ impl fmt::Display for CompileError {
                 write!(f, "subword geometry error: {detail}")
             }
             CompileError::NothingToTransform { technique, kernel } => {
-                write!(f, "technique {technique} found nothing to transform in kernel `{kernel}`")
+                write!(
+                    f,
+                    "technique {technique} found nothing to transform in kernel `{kernel}`"
+                )
             }
             CompileError::OutOfRegisters { at } => {
-                write!(f, "expression too complex, out of scratch registers at {at}")
+                write!(
+                    f,
+                    "expression too complex, out of scratch registers at {at}"
+                )
             }
             CompileError::UndefinedVar { var } => {
                 write!(f, "variable `{var}` read before assignment")
@@ -72,7 +80,10 @@ mod tests {
     fn display_names_the_problem() {
         let e = CompileError::UnknownArray { name: "Q".into() };
         assert!(e.to_string().contains('Q'));
-        let e = CompileError::NothingToTransform { technique: "swp(8)".into(), kernel: "var".into() };
+        let e = CompileError::NothingToTransform {
+            technique: "swp(8)".into(),
+            kernel: "var".into(),
+        };
         assert!(e.to_string().contains("swp(8)"));
     }
 }

@@ -34,9 +34,19 @@ impl Interp {
         let mut layouts = HashMap::new();
         for a in &kernel.arrays {
             arrays.insert(a.name.clone(), vec![0u32; a.len as usize]);
-            layouts.insert(a.name.clone(), ArrayLayout::RowMajor { elem: a.elem, len: a.len });
+            layouts.insert(
+                a.name.clone(),
+                ArrayLayout::RowMajor {
+                    elem: a.elem,
+                    len: a.len,
+                },
+            );
         }
-        Interp { arrays, layouts, vars: HashMap::new() }
+        Interp {
+            arrays,
+            layouts,
+            vars: HashMap::new(),
+        }
     }
 
     /// Sets an input array from host values (truncated to the element
@@ -46,7 +56,10 @@ impl Interp {
     ///
     /// Panics on unknown arrays or length mismatch.
     pub fn set_input(&mut self, name: &str, values: &[i64]) {
-        let layout = *self.layouts.get(name).unwrap_or_else(|| panic!("unknown array `{name}`"));
+        let layout = *self
+            .layouts
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown array `{name}`"));
         let arr = self.arrays.get_mut(name).expect("array exists");
         assert_eq!(arr.len(), values.len(), "length mismatch for `{name}`");
         for (slot, &v) in arr.iter_mut().zip(values) {
@@ -61,9 +74,15 @@ impl Interp {
     ///
     /// Panics on unknown arrays.
     pub fn output(&self, name: &str) -> Vec<i64> {
-        let layout = self.layouts.get(name).unwrap_or_else(|| panic!("unknown array `{name}`"));
+        let layout = self
+            .layouts
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown array `{name}`"));
         let elem = layout.elem();
-        self.arrays[name].iter().map(|&raw| elem.interpret(elem.truncate(raw as i64))).collect()
+        self.arrays[name]
+            .iter()
+            .map(|&raw| elem.interpret(elem.truncate(raw as i64)))
+            .collect()
     }
 
     /// Runs the kernel body.
@@ -87,7 +106,12 @@ impl Interp {
 
     fn stmt(&mut self, stmt: &Stmt) -> Result<(), CompileError> {
         match stmt {
-            Stmt::For { var, start, end, body } => {
+            Stmt::For {
+                var,
+                start,
+                end,
+                body,
+            } => {
                 for i in *start..*end {
                     self.vars.insert(var.clone(), i as u32);
                     self.stmts(body)?;
@@ -95,12 +119,20 @@ impl Interp {
                 self.vars.remove(var);
                 Ok(())
             }
-            Stmt::Store { array, index, value } => {
+            Stmt::Store {
+                array,
+                index,
+                value,
+            } => {
                 let v = self.eval(value)?;
                 let i = self.eval(index)? as usize;
                 self.store_elem(array, i, v)
             }
-            Stmt::AccumStore { array, index, value } => {
+            Stmt::AccumStore {
+                array,
+                index,
+                value,
+            } => {
                 let v = self.eval(value)?;
                 let i = self.eval(index)? as usize;
                 let old = self.load_elem(array, i)?;
@@ -111,12 +143,10 @@ impl Interp {
                 self.vars.insert(var.clone(), v);
                 Ok(())
             }
-            Stmt::StorePacked { .. } | Stmt::StoreComponent { .. } => {
-                Err(CompileError::Internal(
-                    "packed stores require device layouts; interpret the untransformed kernel"
-                        .to_string(),
-                ))
-            }
+            Stmt::StorePacked { .. } | Stmt::StoreComponent { .. } => Err(CompileError::Internal(
+                "packed stores require device layouts; interpret the untransformed kernel"
+                    .to_string(),
+            )),
             Stmt::SkimPoint => Ok(()),
         }
     }
@@ -125,7 +155,9 @@ impl Interp {
         let arr = self
             .arrays
             .get(array)
-            .ok_or_else(|| CompileError::UnknownArray { name: array.to_string() })?;
+            .ok_or_else(|| CompileError::UnknownArray {
+                name: array.to_string(),
+            })?;
         arr.get(index).copied().ok_or_else(|| {
             CompileError::Internal(format!("index {index} out of bounds for `{array}`"))
         })
@@ -135,7 +167,9 @@ impl Interp {
         let layout = *self
             .layouts
             .get(array)
-            .ok_or_else(|| CompileError::UnknownArray { name: array.to_string() })?;
+            .ok_or_else(|| CompileError::UnknownArray {
+                name: array.to_string(),
+            })?;
         let arr = self.arrays.get_mut(array).expect("checked above");
         let slot = arr.get_mut(index).ok_or_else(|| {
             CompileError::Internal(format!("index {index} out of bounds for `{array}`"))
@@ -156,10 +190,19 @@ impl Interp {
                 let i = self.eval(index)? as usize;
                 self.load_elem(array, i)?
             }
-            Expr::LoadSub { array, index, width, shift } => {
+            Expr::LoadSub {
+                array,
+                index,
+                width,
+                shift,
+            } => {
                 let i = self.eval(index)? as usize;
                 let v = self.load_elem(array, i)?;
-                let mask = if *width >= 32 { u32::MAX } else { (1u32 << width) - 1 };
+                let mask = if *width >= 32 {
+                    u32::MAX
+                } else {
+                    (1u32 << width) - 1
+                };
                 (v >> shift) & mask
             }
             Expr::Bin { op, a, b } => {
@@ -176,10 +219,19 @@ impl Interp {
             }
             Expr::Shl(x, sh) => self.eval(x)? << sh,
             Expr::Shr(x, sh) => self.eval(x)? >> sh,
-            Expr::MulAsp { full, sub, width, shift } => {
+            Expr::MulAsp {
+                full,
+                sub,
+                width,
+                shift,
+            } => {
                 let f = self.eval(full)?;
                 let s = self.eval(sub)?;
-                let mask = if *width >= 32 { u32::MAX } else { (1u32 << width) - 1 };
+                let mask = if *width >= 32 {
+                    u32::MAX
+                } else {
+                    (1u32 << width) - 1
+                };
                 f.wrapping_mul((s & mask) << shift)
             }
             Expr::AsvBin { .. } | Expr::HSum { .. } | Expr::LoadPacked { .. } => {
@@ -208,7 +260,10 @@ pub fn interpret(
         interp.set_input(name, values);
     }
     interp.run(kernel)?;
-    Ok(outputs.iter().map(|&o| (o.to_string(), interp.output(o))).collect())
+    Ok(outputs
+        .iter()
+        .map(|&o| (o.to_string(), interp.output(o)))
+        .collect())
 }
 
 #[cfg(test)]
@@ -238,7 +293,10 @@ mod tests {
         let k = mac_kernel(4);
         let out = interpret(
             &k,
-            &[("A".into(), vec![1, 2, 3, 4]), ("F".into(), vec![10, 20, 30, 40])],
+            &[
+                ("A".into(), vec![1, 2, 3, 4]),
+                ("F".into(), vec![10, 20, 30, 40]),
+            ],
             &["X"],
         )
         .unwrap();
@@ -251,7 +309,10 @@ mod tests {
         // same result as the original.
         let k = mac_kernel(4);
         let t = crate::passes::swp::apply(&k, 8, false).unwrap();
-        let inputs = [("A".to_string(), vec![300i64, 70, 9999, 1]), ("F".to_string(), vec![7i64, 8, 9, 10])];
+        let inputs = [
+            ("A".to_string(), vec![300i64, 70, 9999, 1]),
+            ("F".to_string(), vec![7i64, 8, 9, 10]),
+        ];
         let precise = interpret(&k, &inputs, &["X"]).unwrap();
         let anytime = interpret(&t.kernel, &inputs, &["X"]).unwrap();
         assert_eq!(precise, anytime);

@@ -94,14 +94,20 @@ impl ArrayBuilder {
 
     /// 8-bit unsigned elements.
     pub fn elem8(mut self) -> ArrayBuilder {
-        self.decl.elem = ElemType { bits: 8, signed: false };
+        self.decl.elem = ElemType {
+            bits: 8,
+            signed: false,
+        };
         self.decl.value_bits = 8;
         self
     }
 
     /// 16-bit unsigned elements (the paper's fixed-point sensor data).
     pub fn elem16(mut self) -> ArrayBuilder {
-        self.decl.elem = ElemType { bits: 16, signed: false };
+        self.decl.elem = ElemType {
+            bits: 16,
+            signed: false,
+        };
         self.decl.value_bits = 16;
         self
     }
@@ -272,7 +278,10 @@ impl Expr {
 
     /// Array element load.
     pub fn load(array: &str, index: Expr) -> Expr {
-        Expr::Load { array: array.to_string(), index: Box::new(index) }
+        Expr::Load {
+            array: array.to_string(),
+            index: Box::new(index),
+        }
     }
 
     /// Left shift by constant. (Deliberately named like `ops::Shl::shl`:
@@ -289,7 +298,11 @@ impl Expr {
     }
 
     fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
-        Expr::Bin { op, a: Box::new(a), b: Box::new(b) }
+        Expr::Bin {
+            op,
+            a: Box::new(a),
+            b: Box::new(b),
+        }
     }
 
     /// Bitwise XOR.
@@ -422,22 +435,38 @@ pub enum Stmt {
 impl Stmt {
     /// Builds a counted loop.
     pub fn for_loop(var: &str, start: i32, end: i32, body: Vec<Stmt>) -> Stmt {
-        Stmt::For { var: var.to_string(), start, end, body }
+        Stmt::For {
+            var: var.to_string(),
+            start,
+            end,
+            body,
+        }
     }
 
     /// Builds `array[index] = value`.
     pub fn store(array: &str, index: Expr, value: Expr) -> Stmt {
-        Stmt::Store { array: array.to_string(), index, value }
+        Stmt::Store {
+            array: array.to_string(),
+            index,
+            value,
+        }
     }
 
     /// Builds `array[index] += value`.
     pub fn accum_store(array: &str, index: Expr, value: Expr) -> Stmt {
-        Stmt::AccumStore { array: array.to_string(), index, value }
+        Stmt::AccumStore {
+            array: array.to_string(),
+            index,
+            value,
+        }
     }
 
     /// Builds `var = value`.
     pub fn assign(var: &str, value: Expr) -> Stmt {
-        Stmt::Assign { var: var.to_string(), value }
+        Stmt::Assign {
+            var: var.to_string(),
+            value,
+        }
     }
 }
 
@@ -455,7 +484,11 @@ pub struct KernelIr {
 impl KernelIr {
     /// Starts a kernel with no arrays and an empty body.
     pub fn new(name: &str) -> KernelIr {
-        KernelIr { name: name.to_string(), arrays: Vec::new(), body: Vec::new() }
+        KernelIr {
+            name: name.to_string(),
+            arrays: Vec::new(),
+            body: Vec::new(),
+        }
     }
 
     /// Adds an array declaration.
@@ -486,13 +519,20 @@ impl KernelIr {
         let mut names = HashSet::new();
         for a in &self.arrays {
             if !names.insert(a.name.as_str()) {
-                return Err(CompileError::DuplicateArray { name: a.name.clone() });
+                return Err(CompileError::DuplicateArray {
+                    name: a.name.clone(),
+                });
             }
             if a.len == 0 {
-                return Err(CompileError::EmptyArray { name: a.name.clone() });
+                return Err(CompileError::EmptyArray {
+                    name: a.name.clone(),
+                });
             }
             if ![8, 16, 32].contains(&a.elem.bits) {
-                return Err(CompileError::BadElemWidth { name: a.name.clone(), bits: a.elem.bits });
+                return Err(CompileError::BadElemWidth {
+                    name: a.name.clone(),
+                    bits: a.elem.bits,
+                });
             }
             if a.value_bits == 0 || a.value_bits > a.elem.bits {
                 return Err(CompileError::BadSubwordGeometry {
@@ -507,10 +547,19 @@ impl KernelIr {
         self.validate_stmts(&self.body, &mut loop_vars)
     }
 
-    fn validate_stmts(&self, stmts: &[Stmt], loop_vars: &mut Vec<String>) -> Result<(), CompileError> {
+    fn validate_stmts(
+        &self,
+        stmts: &[Stmt],
+        loop_vars: &mut Vec<String>,
+    ) -> Result<(), CompileError> {
         for s in stmts {
             match s {
-                Stmt::For { var, start, end, body } => {
+                Stmt::For {
+                    var,
+                    start,
+                    end,
+                    body,
+                } => {
                     if loop_vars.iter().any(|v| v == var) {
                         return Err(CompileError::ShadowedLoopVar { var: var.clone() });
                     }
@@ -525,17 +574,36 @@ impl KernelIr {
                     self.validate_stmts(body, loop_vars)?;
                     loop_vars.pop();
                 }
-                Stmt::Store { array, index, value } | Stmt::AccumStore { array, index, value } => {
+                Stmt::Store {
+                    array,
+                    index,
+                    value,
+                }
+                | Stmt::AccumStore {
+                    array,
+                    index,
+                    value,
+                } => {
                     self.check_array(array)?;
                     self.validate_expr(index)?;
                     self.validate_expr(value)?;
                 }
-                Stmt::StorePacked { array, word_index, value, .. } => {
+                Stmt::StorePacked {
+                    array,
+                    word_index,
+                    value,
+                    ..
+                } => {
                     self.check_array(array)?;
                     self.validate_expr(word_index)?;
                     self.validate_expr(value)?;
                 }
-                Stmt::StoreComponent { array, elem_index, value, .. } => {
+                Stmt::StoreComponent {
+                    array,
+                    elem_index,
+                    value,
+                    ..
+                } => {
                     self.check_array(array)?;
                     self.validate_expr(elem_index)?;
                     self.validate_expr(value)?;
@@ -558,7 +626,9 @@ impl KernelIr {
 
     fn check_array(&self, name: &str) -> Result<(), CompileError> {
         if self.find_array(name).is_none() {
-            return Err(CompileError::UnknownArray { name: name.to_string() });
+            return Err(CompileError::UnknownArray {
+                name: name.to_string(),
+            });
         }
         Ok(())
     }
@@ -574,7 +644,9 @@ impl KernelIr {
             | Expr::LoadPacked { array, .. } = node
             {
                 if self.find_array(array).is_none() {
-                    err = Some(CompileError::UnknownArray { name: array.clone() });
+                    err = Some(CompileError::UnknownArray {
+                        name: array.clone(),
+                    });
                 }
             }
         });
@@ -621,7 +693,11 @@ mod tests {
                 "i",
                 0,
                 4,
-                vec![Stmt::accum_store("X", Expr::var("i"), Expr::load("A", Expr::var("i")))],
+                vec![Stmt::accum_store(
+                    "X",
+                    Expr::var("i"),
+                    Expr::load("A", Expr::var("i")),
+                )],
             )])
     }
 
@@ -635,17 +711,30 @@ mod tests {
         let k = KernelIr::new("k")
             .array(ArrayBuilder::input("A", 4))
             .array(ArrayBuilder::input("A", 8));
-        assert!(matches!(k.validate(), Err(CompileError::DuplicateArray { .. })));
+        assert!(matches!(
+            k.validate(),
+            Err(CompileError::DuplicateArray { .. })
+        ));
     }
 
     #[test]
     fn unknown_array_rejected() {
         let k = KernelIr::new("k").body(vec![Stmt::store("Z", Expr::c(0), Expr::c(1))]);
-        assert!(matches!(k.validate(), Err(CompileError::UnknownArray { .. })));
+        assert!(matches!(
+            k.validate(),
+            Err(CompileError::UnknownArray { .. })
+        ));
         let k2 = KernelIr::new("k")
             .array(ArrayBuilder::output("X", 1))
-            .body(vec![Stmt::store("X", Expr::c(0), Expr::load("Q", Expr::c(0)))]);
-        assert!(matches!(k2.validate(), Err(CompileError::UnknownArray { .. })));
+            .body(vec![Stmt::store(
+                "X",
+                Expr::c(0),
+                Expr::load("Q", Expr::c(0)),
+            )]);
+        assert!(matches!(
+            k2.validate(),
+            Err(CompileError::UnknownArray { .. })
+        ));
     }
 
     #[test]
@@ -656,26 +745,35 @@ mod tests {
             2,
             vec![Stmt::for_loop("i", 0, 2, vec![])],
         )]);
-        assert!(matches!(k.validate(), Err(CompileError::ShadowedLoopVar { .. })));
+        assert!(matches!(
+            k.validate(),
+            Err(CompileError::ShadowedLoopVar { .. })
+        ));
     }
 
     #[test]
     fn assigning_loop_variable_rejected() {
-        let k = KernelIr::new("k").array(ArrayBuilder::output("X", 4)).body(vec![
-            Stmt::for_loop(
+        let k = KernelIr::new("k")
+            .array(ArrayBuilder::output("X", 4))
+            .body(vec![Stmt::for_loop(
                 "i",
                 0,
                 4,
                 vec![Stmt::assign("i", Expr::var("i") + Expr::c(1))],
-            ),
-        ]);
-        assert!(matches!(k.validate(), Err(CompileError::ShadowedLoopVar { .. })));
+            )]);
+        assert!(matches!(
+            k.validate(),
+            Err(CompileError::ShadowedLoopVar { .. })
+        ));
     }
 
     #[test]
     fn bad_bounds_rejected() {
         let k = KernelIr::new("k").body(vec![Stmt::for_loop("i", 5, 2, vec![])]);
-        assert!(matches!(k.validate(), Err(CompileError::BadLoopBounds { .. })));
+        assert!(matches!(
+            k.validate(),
+            Err(CompileError::BadLoopBounds { .. })
+        ));
     }
 
     #[test]
@@ -688,7 +786,9 @@ mod tests {
     fn operator_sugar_builds_bins() {
         let e = Expr::var("a") * Expr::var("b") + Expr::c(3);
         match e {
-            Expr::Bin { op: BinOp::Add, a, .. } => match *a {
+            Expr::Bin {
+                op: BinOp::Add, a, ..
+            } => match *a {
                 Expr::Bin { op: BinOp::Mul, .. } => {}
                 other => panic!("expected Mul, got {other:?}"),
             },

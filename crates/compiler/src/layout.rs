@@ -22,17 +22,26 @@ pub struct ElemType {
 impl ElemType {
     /// Unsigned 32-bit.
     pub const fn u32() -> ElemType {
-        ElemType { bits: 32, signed: false }
+        ElemType {
+            bits: 32,
+            signed: false,
+        }
     }
 
     /// Signed 32-bit.
     pub const fn i32() -> ElemType {
-        ElemType { bits: 32, signed: true }
+        ElemType {
+            bits: 32,
+            signed: true,
+        }
     }
 
     /// Unsigned 16-bit.
     pub const fn u16() -> ElemType {
-        ElemType { bits: 16, signed: false }
+        ElemType {
+            bits: 16,
+            signed: false,
+        }
     }
 
     /// Element size in bytes.
@@ -42,7 +51,11 @@ impl ElemType {
 
     /// Truncates a host value to the element width (two's complement).
     pub fn truncate(self, v: i64) -> u64 {
-        let mask = if self.bits == 32 { u32::MAX as u64 } else { (1u64 << self.bits) - 1 };
+        let mask = if self.bits == 32 {
+            u32::MAX as u64
+        } else {
+            (1u64 << self.bits) - 1
+        };
         (v as u64) & mask
     }
 
@@ -120,7 +133,10 @@ impl ArrayLayout {
         let lane_bits = if provisioned { sub_bits * 2 } else { sub_bits };
         if sub_bits == 0 || !elem.bits.is_multiple_of(sub_bits) {
             return Err(CompileError::BadSubwordGeometry {
-                detail: format!("sub_bits {sub_bits} does not divide element width {}", elem.bits),
+                detail: format!(
+                    "sub_bits {sub_bits} does not divide element width {}",
+                    elem.bits
+                ),
             });
         }
         if lane_bits == 0 || 32 % lane_bits as u32 != 0 {
@@ -134,7 +150,13 @@ impl ArrayLayout {
                 detail: format!("array length {len} is not a multiple of {lanes} lanes"),
             });
         }
-        Ok(ArrayLayout::SubwordMajor { elem, len, sub_bits, lane_bits, lane_signed: false })
+        Ok(ArrayLayout::SubwordMajor {
+            elem,
+            len,
+            sub_bits,
+            lane_bits,
+            lane_signed: false,
+        })
     }
 
     /// Returns this layout with signed lane decoding enabled (see
@@ -145,9 +167,19 @@ impl ArrayLayout {
     /// Panics when applied to a non-subword-major layout.
     pub fn with_signed_lanes(self) -> ArrayLayout {
         match self {
-            ArrayLayout::SubwordMajor { elem, len, sub_bits, lane_bits, .. } => {
-                ArrayLayout::SubwordMajor { elem, len, sub_bits, lane_bits, lane_signed: true }
-            }
+            ArrayLayout::SubwordMajor {
+                elem,
+                len,
+                sub_bits,
+                lane_bits,
+                ..
+            } => ArrayLayout::SubwordMajor {
+                elem,
+                len,
+                sub_bits,
+                lane_bits,
+                lane_signed: true,
+            },
             other => panic!("with_signed_lanes on non-subword-major layout {other:?}"),
         }
     }
@@ -179,7 +211,13 @@ impl ArrayLayout {
     pub fn byte_size(&self) -> u32 {
         match *self {
             ArrayLayout::RowMajor { elem, len } => len * elem.bytes(),
-            ArrayLayout::SubwordMajor { elem, len, sub_bits, lane_bits, .. } => {
+            ArrayLayout::SubwordMajor {
+                elem,
+                len,
+                sub_bits,
+                lane_bits,
+                ..
+            } => {
                 let n_sub = (elem.bits / sub_bits) as u32;
                 let lanes = 32 / lane_bits as u32;
                 n_sub * (len / lanes) * 4
@@ -238,7 +276,12 @@ impl ArrayLayout {
                     }
                 }
             }
-            ArrayLayout::SubwordMajor { elem, sub_bits, lane_bits, .. } => {
+            ArrayLayout::SubwordMajor {
+                elem,
+                sub_bits,
+                lane_bits,
+                ..
+            } => {
                 let n_sub = (elem.bits / sub_bits) as u32;
                 let lanes = 32 / lane_bits as u32;
                 let wpl = self.words_per_level();
@@ -257,7 +300,12 @@ impl ArrayLayout {
                     }
                 }
             }
-            ArrayLayout::ComponentMajor { elem, sub_bits, n_sub, .. } => {
+            ArrayLayout::ComponentMajor {
+                elem,
+                sub_bits,
+                n_sub,
+                ..
+            } => {
                 let sub_mask = (1u64 << sub_bits) - 1;
                 for (e, &v) in values.iter().enumerate() {
                     let raw = elem.truncate(v);
@@ -306,11 +354,21 @@ impl ArrayLayout {
                     elem.interpret(raw)
                 })
                 .collect(),
-            ArrayLayout::SubwordMajor { elem, len, sub_bits, lane_bits, lane_signed } => {
+            ArrayLayout::SubwordMajor {
+                elem,
+                len,
+                sub_bits,
+                lane_bits,
+                lane_signed,
+            } => {
                 let n_sub = (elem.bits / sub_bits) as u32;
                 let lanes = 32 / lane_bits as u32;
                 let wpl = self.words_per_level();
-                let lane_mask = if lane_bits == 32 { u32::MAX } else { (1u32 << lane_bits) - 1 };
+                let lane_mask = if lane_bits == 32 {
+                    u32::MAX
+                } else {
+                    (1u32 << lane_bits) - 1
+                };
                 (0..len as usize)
                     .map(|e| {
                         let j = e as u32 / lanes;
@@ -331,7 +389,12 @@ impl ArrayLayout {
                     })
                     .collect()
             }
-            ArrayLayout::ComponentMajor { elem, len, sub_bits, n_sub } => (0..len as usize)
+            ArrayLayout::ComponentMajor {
+                elem,
+                len,
+                sub_bits,
+                n_sub,
+            } => (0..len as usize)
                 .map(|e| {
                     let mut acc = 0u64;
                     for k in 0..n_sub as usize {
@@ -359,7 +422,10 @@ mod tests {
         let u16t = ElemType::u16();
         assert_eq!(u16t.truncate(-1), 0xFFFF);
         assert_eq!(u16t.interpret(0xFFFF), 0xFFFF);
-        let i16t = ElemType { bits: 16, signed: true };
+        let i16t = ElemType {
+            bits: 16,
+            signed: true,
+        };
         assert_eq!(i16t.interpret(0xFFFF), -1);
         let i32t = ElemType::i32();
         assert_eq!(i32t.interpret(0xFFFF_FFFF), -1);
@@ -367,7 +433,10 @@ mod tests {
 
     #[test]
     fn row_major_roundtrip() {
-        let layout = ArrayLayout::RowMajor { elem: ElemType::u16(), len: 4 };
+        let layout = ArrayLayout::RowMajor {
+            elem: ElemType::u16(),
+            len: 4,
+        };
         let values = [1i64, 0xABCD, 0, 0x7FFF];
         let bytes = layout.encode(&values);
         assert_eq!(bytes.len(), 8);
@@ -396,7 +465,11 @@ mod tests {
     #[test]
     fn provisioned_lanes_are_double_width() {
         let layout = ArrayLayout::subword_major(ElemType::u16(), 4, 8, true).unwrap();
-        assert_eq!(layout.lanes(), 2, "16-bit lanes for provisioned 8-bit subwords");
+        assert_eq!(
+            layout.lanes(),
+            2,
+            "16-bit lanes for provisioned 8-bit subwords"
+        );
         assert_eq!(layout.levels(), 2);
         let values = [0x1234i64, 0x00FF, 0xFF00, 0xABCD];
         let bytes = layout.encode(&values);
@@ -463,7 +536,10 @@ mod tests {
         // 16-bit signed elements in component-major form must round-trip
         // negatives through the element width, not the 32-bit accumulator.
         let layout = ArrayLayout::ComponentMajor {
-            elem: ElemType { bits: 16, signed: true },
+            elem: ElemType {
+                bits: 16,
+                signed: true,
+            },
             len: 2,
             sub_bits: 8,
             n_sub: 2,

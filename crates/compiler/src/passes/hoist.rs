@@ -37,11 +37,21 @@ fn hoist_block(body: Vec<Stmt>, counter: &mut usize) -> Vec<Stmt> {
     let mut out = Vec::with_capacity(body.len());
     for s in body {
         match s {
-            Stmt::For { var, start, end, body } => {
+            Stmt::For {
+                var,
+                start,
+                end,
+                body,
+            } => {
                 let body = hoist_block(body, counter);
                 let (prelude, body) = hoist_from_loop(&var, body, counter);
                 out.extend(prelude);
-                out.push(Stmt::For { var, start, end, body });
+                out.push(Stmt::For {
+                    var,
+                    start,
+                    end,
+                    body,
+                });
             }
             other => out.push(other),
         }
@@ -51,11 +61,7 @@ fn hoist_block(body: Vec<Stmt>, counter: &mut usize) -> Vec<Stmt> {
 
 /// Hoists invariant subexpressions out of one loop's body. Returns the
 /// `Assign` prelude and the rewritten body.
-fn hoist_from_loop(
-    var: &str,
-    body: Vec<Stmt>,
-    counter: &mut usize,
-) -> (Vec<Stmt>, Vec<Stmt>) {
+fn hoist_from_loop(var: &str, body: Vec<Stmt>, counter: &mut usize) -> (Vec<Stmt>, Vec<Stmt>) {
     // Variables whose value changes inside the loop: the loop variable
     // and every Assign / nested-loop variable in the body.
     let mut mutated: HashSet<String> = HashSet::new();
@@ -63,8 +69,10 @@ fn hoist_from_loop(
     collect_assigned(&body, &mut mutated);
 
     let mut hoisted: Vec<(Expr, String)> = Vec::new();
-    let body: Vec<Stmt> =
-        body.into_iter().map(|s| hoist_stmt(s, &mutated, &mut hoisted, counter)).collect();
+    let body: Vec<Stmt> = body
+        .into_iter()
+        .map(|s| hoist_stmt(s, &mutated, &mut hoisted, counter))
+        .collect();
 
     let prelude = hoisted
         .into_iter()
@@ -96,26 +104,65 @@ fn hoist_stmt(
 ) -> Stmt {
     let mut h = |e: Expr| hoist_expr(e, mutated, hoisted, counter);
     match stmt {
-        Stmt::Store { array, index, value } => {
+        Stmt::Store {
+            array,
+            index,
+            value,
+        } => {
             let index = h(index);
             let value = hoist_expr(value, mutated, hoisted, counter);
-            Stmt::Store { array, index, value }
+            Stmt::Store {
+                array,
+                index,
+                value,
+            }
         }
-        Stmt::AccumStore { array, index, value } => {
+        Stmt::AccumStore {
+            array,
+            index,
+            value,
+        } => {
             let index = h(index);
             let value = hoist_expr(value, mutated, hoisted, counter);
-            Stmt::AccumStore { array, index, value }
+            Stmt::AccumStore {
+                array,
+                index,
+                value,
+            }
         }
-        Stmt::Assign { var, value } => Stmt::Assign { var, value: h(value) },
-        Stmt::StorePacked { array, level, word_index, value } => {
+        Stmt::Assign { var, value } => Stmt::Assign {
+            var,
+            value: h(value),
+        },
+        Stmt::StorePacked {
+            array,
+            level,
+            word_index,
+            value,
+        } => {
             let word_index = h(word_index);
             let value = hoist_expr(value, mutated, hoisted, counter);
-            Stmt::StorePacked { array, level, word_index, value }
+            Stmt::StorePacked {
+                array,
+                level,
+                word_index,
+                value,
+            }
         }
-        Stmt::StoreComponent { array, elem_index, level, value } => {
+        Stmt::StoreComponent {
+            array,
+            elem_index,
+            level,
+            value,
+        } => {
             let elem_index = h(elem_index);
             let value = hoist_expr(value, mutated, hoisted, counter);
-            Stmt::StoreComponent { array, elem_index, level, value }
+            Stmt::StoreComponent {
+                array,
+                elem_index,
+                level,
+                value,
+            }
         }
         // Nested loops were already processed innermost-first; anything
         // still inside them depends on their loop variables.
@@ -149,24 +196,43 @@ fn hoist_expr(
             array,
             index: Box::new(hoist_expr(*index, mutated, hoisted, counter)),
         },
-        Expr::LoadSub { array, index, width, shift } => Expr::LoadSub {
+        Expr::LoadSub {
+            array,
+            index,
+            width,
+            shift,
+        } => Expr::LoadSub {
             array,
             index: Box::new(hoist_expr(*index, mutated, hoisted, counter)),
             width,
             shift,
         },
-        Expr::LoadPacked { array, level, word_index } => Expr::LoadPacked {
+        Expr::LoadPacked {
+            array,
+            level,
+            word_index,
+        } => Expr::LoadPacked {
             array,
             level,
             word_index: Box::new(hoist_expr(*word_index, mutated, hoisted, counter)),
         },
-        Expr::MulAsp { full, sub, width, shift } => Expr::MulAsp {
+        Expr::MulAsp {
+            full,
+            sub,
+            width,
+            shift,
+        } => Expr::MulAsp {
             full: Box::new(hoist_expr(*full, mutated, hoisted, counter)),
             sub: Box::new(hoist_expr(*sub, mutated, hoisted, counter)),
             width,
             shift,
         },
-        Expr::AsvBin { op, a, b, lane_bits } => Expr::AsvBin {
+        Expr::AsvBin {
+            op,
+            a,
+            b,
+            lane_bits,
+        } => Expr::AsvBin {
             op,
             a: Box::new(hoist_expr(*a, mutated, hoisted, counter)),
             b: Box::new(hoist_expr(*b, mutated, hoisted, counter)),
@@ -260,7 +326,10 @@ mod tests {
         let plain = nest_kernel();
         let mut hoisted = nest_kernel();
         apply(&mut hoisted);
-        let inputs = [("A".to_string(), (0..36).map(|v| (v * 37 + 5) as i64 & 0xFFFF).collect())];
+        let inputs = [(
+            "A".to_string(),
+            (0..36).map(|v| (v * 37 + 5) as i64 & 0xFFFF).collect(),
+        )];
         let a = interpret(&plain, &inputs, &["X"]).unwrap();
         let b = interpret(&hoisted, &inputs, &["X"]).unwrap();
         assert_eq!(a, b);
@@ -303,7 +372,11 @@ mod tests {
                 "i",
                 0,
                 4,
-                vec![Stmt::store("X", Expr::var("i"), Expr::load("A", Expr::c(0)))],
+                vec![Stmt::store(
+                    "X",
+                    Expr::var("i"),
+                    Expr::load("A", Expr::c(0)),
+                )],
             )]);
         let mut h = k.clone();
         apply(&mut h);
@@ -331,8 +404,16 @@ mod tests {
         let mut counter = 0;
         h.body = hoist_block(std::mem::take(&mut h.body), &mut counter);
         // `acc + base` uses acc (mutated) — not hoisted.
-        let Stmt::For { body, .. } = &h.body[1] else { panic!("expected loop") };
-        assert!(matches!(&body[0], Stmt::Assign { value: Expr::Bin { op: BinOp::Add, .. }, .. }));
+        let Stmt::For { body, .. } = &h.body[1] else {
+            panic!("expected loop")
+        };
+        assert!(matches!(
+            &body[0],
+            Stmt::Assign {
+                value: Expr::Bin { op: BinOp::Add, .. },
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -35,6 +35,9 @@ pub struct TransformedKernel {
 impl TransformedKernel {
     /// An identity transformation (precise compilation).
     pub fn identity(kernel: &KernelIr) -> TransformedKernel {
-        TransformedKernel { kernel: kernel.clone(), layouts: HashMap::new() }
+        TransformedKernel {
+            kernel: kernel.clone(),
+            layouts: HashMap::new(),
+        }
     }
 }

@@ -45,8 +45,11 @@ pub fn apply(
     let elem_bits = asp_input.elem.bits;
     // Levels top-align to the declared significant width so the first
     // level carries real signal; vectorized loads need the storage grid.
-    let effective_bits =
-        if vectorized_loads { elem_bits } else { asp_input.value_bits.min(elem_bits) };
+    let effective_bits = if vectorized_loads {
+        elem_bits
+    } else {
+        asp_input.value_bits.min(elem_bits)
+    };
     if bits > effective_bits {
         return Err(CompileError::BadSubwordGeometry {
             detail: format!("subword size {bits} exceeds significant width {effective_bits}"),
@@ -120,7 +123,10 @@ pub fn apply(
 
     let mut out = kernel.clone();
     out.body = body;
-    Ok(TransformedKernel { kernel: out, layouts })
+    Ok(TransformedKernel {
+        kernel: out,
+        layouts,
+    })
 }
 
 fn nothing(kernel: &KernelIr, bits: u8) -> CompileError {
@@ -154,7 +160,12 @@ fn stmt_contains_candidate(stmt: &Stmt, asp_array: &str) -> bool {
 fn expr_contains_candidate(e: &Expr, asp_array: &str) -> bool {
     let mut found = false;
     e.visit(&mut |node| {
-        if let Expr::Bin { op: BinOp::Mul, a, b } = node {
+        if let Expr::Bin {
+            op: BinOp::Mul,
+            a,
+            b,
+        } = node
+        {
             if is_asp_load(a, asp_array) || is_asp_load(b, asp_array) {
                 found = true;
             }
@@ -169,18 +180,34 @@ fn is_asp_load(e: &Expr, asp_array: &str) -> bool {
 
 fn rewrite_stmt(stmt: &Stmt, asp_array: &str, width: u8, shift: u8) -> Stmt {
     match stmt {
-        Stmt::For { var, start, end, body } => Stmt::For {
+        Stmt::For {
+            var,
+            start,
+            end,
+            body,
+        } => Stmt::For {
             var: var.clone(),
             start: *start,
             end: *end,
-            body: body.iter().map(|s| rewrite_stmt(s, asp_array, width, shift)).collect(),
+            body: body
+                .iter()
+                .map(|s| rewrite_stmt(s, asp_array, width, shift))
+                .collect(),
         },
-        Stmt::Store { array, index, value } => Stmt::Store {
+        Stmt::Store {
+            array,
+            index,
+            value,
+        } => Stmt::Store {
             array: array.clone(),
             index: rewrite_expr(index, asp_array, width, shift),
             value: rewrite_expr(value, asp_array, width, shift),
         },
-        Stmt::AccumStore { array, index, value } => Stmt::AccumStore {
+        Stmt::AccumStore {
+            array,
+            index,
+            value,
+        } => Stmt::AccumStore {
             array: array.clone(),
             index: rewrite_expr(index, asp_array, width, shift),
             value: rewrite_expr(value, asp_array, width, shift),
@@ -197,7 +224,11 @@ fn rewrite_stmt(stmt: &Stmt, asp_array: &str, width: u8, shift: u8) -> Stmt {
 /// subword equivalent for the level at `shift`; everything else is cloned.
 fn rewrite_expr(e: &Expr, asp_array: &str, width: u8, shift: u8) -> Expr {
     match e {
-        Expr::Bin { op: BinOp::Mul, a, b } => {
+        Expr::Bin {
+            op: BinOp::Mul,
+            a,
+            b,
+        } => {
             // Prefer taking the subword from the right operand; fall back
             // to the left (covers `x * x` squares with a single pragma).
             if let Expr::Load { array, index } = b.as_ref() {
@@ -257,14 +288,14 @@ fn rewrite_expr(e: &Expr, asp_array: &str, width: u8, shift: u8) -> Expr {
 /// index is affine `base + i` in the loop variable: unrolls by `lanes`,
 /// hoisting one packed `LoadPacked` per group into a scalar, and extracts
 /// each lane with shift/mask.
-fn vectorize_loads_in(
-    stmt: Stmt,
-    array: &str,
-    bits: u8,
-    lanes: u32,
-) -> Result<Stmt, CompileError> {
+fn vectorize_loads_in(stmt: Stmt, array: &str, bits: u8, lanes: u32) -> Result<Stmt, CompileError> {
     match stmt {
-        Stmt::For { var, start, end, body } => {
+        Stmt::For {
+            var,
+            start,
+            end,
+            body,
+        } => {
             // Does this loop directly contain the subword load in `var`?
             let direct = body.iter().any(|s| stmt_has_loadsub_in_var(s, array, &var));
             if direct {
@@ -274,7 +305,12 @@ fn vectorize_loads_in(
                     .into_iter()
                     .map(|s| vectorize_loads_in(s, array, bits, lanes))
                     .collect::<Result<_, _>>()?;
-                Ok(Stmt::For { var, start, end, body })
+                Ok(Stmt::For {
+                    var,
+                    start,
+                    end,
+                    body,
+                })
             }
         }
         other => Ok(other),
@@ -285,7 +321,10 @@ fn stmt_has_loadsub_in_var(stmt: &Stmt, array: &str, var: &str) -> bool {
     let check_expr = |e: &Expr| {
         let mut found = false;
         e.visit(&mut |node| {
-            if let Expr::LoadSub { array: a, index, .. } = node {
+            if let Expr::LoadSub {
+                array: a, index, ..
+            } = node
+            {
                 if a == array && affine_base(index, var).is_some() {
                     found = true;
                 }
@@ -308,7 +347,11 @@ fn stmt_has_loadsub_in_var(stmt: &Stmt, array: &str, var: &str) -> bool {
 fn affine_base(index: &Expr, var: &str) -> Option<Expr> {
     match index {
         Expr::Var(v) if v == var => Some(Expr::Const(0)),
-        Expr::Bin { op: BinOp::Add, a, b } => {
+        Expr::Bin {
+            op: BinOp::Add,
+            a,
+            b,
+        } => {
             if matches!(b.as_ref(), Expr::Var(v) if v == var) && !uses_var(a, var) {
                 Some((**a).clone())
             } else if matches!(a.as_ref(), Expr::Var(v) if v == var) && !uses_var(b, var) {
@@ -337,7 +380,11 @@ fn uses_var(e: &Expr, var: &str) -> bool {
 fn divide_by_lanes(e: &Expr, lanes: u32) -> Option<Expr> {
     match e {
         Expr::Const(c) if (*c as u32).is_multiple_of(lanes) => Some(Expr::Const(c / lanes as i32)),
-        Expr::Bin { op: BinOp::Mul, a, b } => {
+        Expr::Bin {
+            op: BinOp::Mul,
+            a,
+            b,
+        } => {
             if let Expr::Const(c) = b.as_ref() {
                 if *c >= 0 && (*c as u32).is_multiple_of(lanes) {
                     return Some(Expr::Bin {
@@ -381,7 +428,11 @@ fn unroll_loop(
     }
     let outer_var = format!("{var}__vec");
     let packed_var = format!("{var}__pw");
-    let mask = if bits >= 32 { -1 } else { ((1u32 << bits) - 1) as i32 };
+    let mask = if bits >= 32 {
+        -1
+    } else {
+        ((1u32 << bits) - 1) as i32
+    };
 
     // Identify the subword stream. All LoadSubs in one fission replica
     // share a level; vectorized loads additionally require a SINGLE
@@ -407,9 +458,11 @@ fn unroll_loop(
             })
         }
     };
-    let word_base = divide_by_lanes(&base, lanes).ok_or_else(|| CompileError::BadSubwordGeometry {
-        detail: "vectorized loads need the load base to be a multiple of the lane count".to_string(),
-    })?;
+    let word_base =
+        divide_by_lanes(&base, lanes).ok_or_else(|| CompileError::BadSubwordGeometry {
+            detail: "vectorized loads need the load base to be a multiple of the lane count"
+                .to_string(),
+        })?;
 
     let mut new_body = Vec::new();
     // One packed load per group of `lanes` iterations.
@@ -440,9 +493,16 @@ fn unroll_loop(
             let shifted = if l == 0 {
                 Expr::Var(packed_var.clone())
             } else {
-                Expr::Shr(Box::new(Expr::Var(packed_var.clone())), (l * bits as u32) as u8)
+                Expr::Shr(
+                    Box::new(Expr::Var(packed_var.clone())),
+                    (l * bits as u32) as u8,
+                )
             };
-            Expr::Bin { op: BinOp::And, a: Box::new(shifted), b: Box::new(Expr::Const(mask)) }
+            Expr::Bin {
+                op: BinOp::And,
+                a: Box::new(shifted),
+                b: Box::new(Expr::Const(mask)),
+            }
         };
         for s in &body {
             new_body.push(substitute_unrolled(s, var, &idx_expr, array, &extract));
@@ -459,7 +519,13 @@ fn unroll_loop(
 fn find_loadsub(stmt: &Stmt, array: &str, var: &str, streams: &mut Vec<(u8, Expr)>) {
     let mut check = |e: &Expr| {
         e.visit(&mut |node| {
-            if let Expr::LoadSub { array: a, index, width, shift } = node {
+            if let Expr::LoadSub {
+                array: a,
+                index,
+                width,
+                shift,
+            } = node
+            {
                 if a == array {
                     if let Some(b) = affine_base(index, var) {
                         // Vectorized loads require dividing geometry, so
@@ -491,22 +557,51 @@ fn find_loadsub(stmt: &Stmt, array: &str, var: &str, streams: &mut Vec<(u8, Expr
 
 /// Replaces `Var(var)` with `idx_expr` and the `LoadSub` of `array` with
 /// the lane-extraction expression.
-fn substitute_unrolled(stmt: &Stmt, var: &str, idx_expr: &Expr, array: &str, extract: &Expr) -> Stmt {
+fn substitute_unrolled(
+    stmt: &Stmt,
+    var: &str,
+    idx_expr: &Expr,
+    array: &str,
+    extract: &Expr,
+) -> Stmt {
     let sub = |e: &Expr| substitute_expr(e, var, idx_expr, array, extract);
     match stmt {
-        Stmt::For { var: v, start, end, body } => Stmt::For {
+        Stmt::For {
+            var: v,
+            start,
+            end,
+            body,
+        } => Stmt::For {
             var: v.clone(),
             start: *start,
             end: *end,
-            body: body.iter().map(|s| substitute_unrolled(s, var, idx_expr, array, extract)).collect(),
+            body: body
+                .iter()
+                .map(|s| substitute_unrolled(s, var, idx_expr, array, extract))
+                .collect(),
         },
-        Stmt::Store { array: a, index, value } => {
-            Stmt::Store { array: a.clone(), index: sub(index), value: sub(value) }
-        }
-        Stmt::AccumStore { array: a, index, value } => {
-            Stmt::AccumStore { array: a.clone(), index: sub(index), value: sub(value) }
-        }
-        Stmt::Assign { var: v, value } => Stmt::Assign { var: v.clone(), value: sub(value) },
+        Stmt::Store {
+            array: a,
+            index,
+            value,
+        } => Stmt::Store {
+            array: a.clone(),
+            index: sub(index),
+            value: sub(value),
+        },
+        Stmt::AccumStore {
+            array: a,
+            index,
+            value,
+        } => Stmt::AccumStore {
+            array: a.clone(),
+            index: sub(index),
+            value: sub(value),
+        },
+        Stmt::Assign { var: v, value } => Stmt::Assign {
+            var: v.clone(),
+            value: sub(value),
+        },
         other => other.clone(),
     }
 }
@@ -519,7 +614,12 @@ fn substitute_expr(e: &Expr, var: &str, idx_expr: &Expr, array: &str, extract: &
             array: a.clone(),
             index: Box::new(substitute_expr(index, var, idx_expr, array, extract)),
         },
-        Expr::LoadSub { array: a, index, width, shift } => Expr::LoadSub {
+        Expr::LoadSub {
+            array: a,
+            index,
+            width,
+            shift,
+        } => Expr::LoadSub {
             array: a.clone(),
             index: Box::new(substitute_expr(index, var, idx_expr, array, extract)),
             width: *width,
@@ -530,14 +630,25 @@ fn substitute_expr(e: &Expr, var: &str, idx_expr: &Expr, array: &str, extract: &
             a: Box::new(substitute_expr(a, var, idx_expr, array, extract)),
             b: Box::new(substitute_expr(b, var, idx_expr, array, extract)),
         },
-        Expr::MulAsp { full, sub, width, shift } => Expr::MulAsp {
+        Expr::MulAsp {
+            full,
+            sub,
+            width,
+            shift,
+        } => Expr::MulAsp {
             full: Box::new(substitute_expr(full, var, idx_expr, array, extract)),
             sub: Box::new(substitute_expr(sub, var, idx_expr, array, extract)),
             width: *width,
             shift: *shift,
         },
-        Expr::Shl(x, sh) => Expr::Shl(Box::new(substitute_expr(x, var, idx_expr, array, extract)), *sh),
-        Expr::Shr(x, sh) => Expr::Shr(Box::new(substitute_expr(x, var, idx_expr, array, extract)), *sh),
+        Expr::Shl(x, sh) => Expr::Shl(
+            Box::new(substitute_expr(x, var, idx_expr, array, extract)),
+            *sh,
+        ),
+        Expr::Shr(x, sh) => Expr::Shr(
+            Box::new(substitute_expr(x, var, idx_expr, array, extract)),
+            *sh,
+        ),
         other => other.clone(),
     }
 }
@@ -595,10 +706,14 @@ mod tests {
                 Stmt::Store { index, value, .. } | Stmt::AccumStore { index, value, .. } => {
                     n += check(index) + check(value);
                 }
-                Stmt::StorePacked { word_index, value, .. } => {
+                Stmt::StorePacked {
+                    word_index, value, ..
+                } => {
                     n += check(word_index) + check(value);
                 }
-                Stmt::StoreComponent { elem_index, value, .. } => {
+                Stmt::StoreComponent {
+                    elem_index, value, ..
+                } => {
                     n += check(elem_index) + check(value);
                 }
                 Stmt::Assign { value, .. } => n += check(value),
@@ -616,7 +731,10 @@ mod tests {
         assert_eq!(loops, 2);
         let skims = count_stmts(&t.kernel.body, &|s| matches!(s, Stmt::SkimPoint));
         assert_eq!(skims, 1, "one skim point between the two levels");
-        assert!(t.layouts.is_empty(), "no layout change without vectorized loads");
+        assert!(
+            t.layouts.is_empty(),
+            "no layout change without vectorized loads"
+        );
     }
 
     #[test]
@@ -677,10 +795,14 @@ mod tests {
                 )],
             )]);
         let t = apply(&k, 8, false).unwrap();
-        let plain_loads =
-            count_exprs(&t.kernel.body, &|e| matches!(e, Expr::Load { array, .. } if array == "D"));
-        let sub_loads =
-            count_exprs(&t.kernel.body, &|e| matches!(e, Expr::LoadSub { array, .. } if array == "D"));
+        let plain_loads = count_exprs(
+            &t.kernel.body,
+            &|e| matches!(e, Expr::Load { array, .. } if array == "D"),
+        );
+        let sub_loads = count_exprs(
+            &t.kernel.body,
+            &|e| matches!(e, Expr::LoadSub { array, .. } if array == "D"),
+        );
         assert_eq!(plain_loads, 2, "one full-precision load per level");
         assert_eq!(sub_loads, 2, "one subword load per level");
     }
@@ -708,7 +830,10 @@ mod tests {
                 Stmt::store("OUT", Expr::c(0), Expr::load("ACC", Expr::c(0)).shr(3)),
             ]);
         let t = apply(&k, 8, false).unwrap();
-        let finalizes = count_stmts(&t.kernel.body, &|s| matches!(s, Stmt::Store { array, .. } if array == "OUT"));
+        let finalizes = count_stmts(
+            &t.kernel.body,
+            &|s| matches!(s, Stmt::Store { array, .. } if array == "OUT"),
+        );
         assert_eq!(finalizes, 2, "finalize replicated once per level");
     }
 
@@ -733,7 +858,10 @@ mod tests {
                 ),
             ]);
         let t = apply(&k, 4, false).unwrap();
-        let pres = count_stmts(&t.kernel.body, &|s| matches!(s, Stmt::Store { array, .. } if array == "PRE"));
+        let pres = count_stmts(
+            &t.kernel.body,
+            &|s| matches!(s, Stmt::Store { array, .. } if array == "PRE"),
+        );
         assert_eq!(pres, 1);
     }
 
@@ -746,9 +874,16 @@ mod tests {
                 "i",
                 0,
                 8,
-                vec![Stmt::store("X", Expr::var("i"), Expr::load("A", Expr::var("i")))],
+                vec![Stmt::store(
+                    "X",
+                    Expr::var("i"),
+                    Expr::load("A", Expr::var("i")),
+                )],
             )]);
-        assert!(matches!(apply(&k, 8, false), Err(CompileError::NothingToTransform { .. })));
+        assert!(matches!(
+            apply(&k, 8, false),
+            Err(CompileError::NothingToTransform { .. })
+        ));
     }
 
     #[test]
@@ -770,16 +905,23 @@ mod tests {
     #[test]
     fn vectorized_loads_unroll_and_transpose() {
         let t = apply(&listing1_kernel(), 8, true).unwrap();
-        assert!(t.layouts.contains_key("A"), "asp input transposed to subword-major");
-        let packed =
-            count_exprs(&t.kernel.body, &|e| matches!(e, Expr::LoadPacked { array, .. } if array == "A"));
+        assert!(
+            t.layouts.contains_key("A"),
+            "asp input transposed to subword-major"
+        );
+        let packed = count_exprs(
+            &t.kernel.body,
+            &|e| matches!(e, Expr::LoadPacked { array, .. } if array == "A"),
+        );
         assert_eq!(packed, 2, "one packed load per level loop");
         // The unrolled loop runs 8/4 = 2 iterations with 4 MulAsps each.
         let mulasps = count_exprs(&t.kernel.body, &|e| matches!(e, Expr::MulAsp { .. }));
         assert_eq!(mulasps, 8, "4 unrolled multiplies x 2 levels");
         // No subword loads remain for A.
-        let sub_loads =
-            count_exprs(&t.kernel.body, &|e| matches!(e, Expr::LoadSub { array, .. } if array == "A"));
+        let sub_loads = count_exprs(
+            &t.kernel.body,
+            &|e| matches!(e, Expr::LoadSub { array, .. } if array == "A"),
+        );
         assert_eq!(sub_loads, 0);
     }
 
@@ -807,10 +949,17 @@ mod tests {
                     "j",
                     0,
                     8,
-                    vec![Stmt::accum_store("Y", Expr::var("j"), Expr::load("X", Expr::var("j")))],
+                    vec![Stmt::accum_store(
+                        "Y",
+                        Expr::var("j"),
+                        Expr::load("X", Expr::var("j")),
+                    )],
                 ),
             ]);
-        assert!(matches!(apply(&k, 8, false), Err(CompileError::BadSubwordGeometry { .. })));
+        assert!(matches!(
+            apply(&k, 8, false),
+            Err(CompileError::BadSubwordGeometry { .. })
+        ));
     }
 
     #[test]
@@ -837,7 +986,10 @@ mod tests {
         // Plain SWP is fine…
         apply(&k, 8, false).unwrap();
         // …vectorized loads are refused.
-        assert!(matches!(apply(&k, 8, true), Err(CompileError::BadSubwordGeometry { .. })));
+        assert!(matches!(
+            apply(&k, 8, true),
+            Err(CompileError::BadSubwordGeometry { .. })
+        ));
     }
 
     #[test]
@@ -856,6 +1008,9 @@ mod tests {
                     Expr::load("A", Expr::var("i")) * Expr::load("F", Expr::var("i")),
                 )],
             )]);
-        assert!(apply(&k, 8, true).is_err(), "6 elements, 4 lanes: not divisible");
+        assert!(
+            apply(&k, 8, true).is_err(),
+            "6 elements, 4 lanes: not divisible"
+        );
     }
 }

@@ -65,16 +65,36 @@ struct MapMatch {
 }
 
 fn match_map(kernel: &KernelIr, stmt: &Stmt) -> Option<MapMatch> {
-    let Stmt::For { var, start, end, body } = stmt else { return None };
+    let Stmt::For {
+        var,
+        start,
+        end,
+        body,
+    } = stmt
+    else {
+        return None;
+    };
     if *start != 0 || body.len() != 1 {
         return None;
     }
-    let Stmt::Store { array: out, index, value } = &body[0] else { return None };
+    let Stmt::Store {
+        array: out,
+        index,
+        value,
+    } = &body[0]
+    else {
+        return None;
+    };
     if !matches!(index, Expr::Var(v) if v == var) {
         return None;
     }
-    let Expr::Bin { op, a, b } = value else { return None };
-    if !matches!(op, BinOp::Add | BinOp::Sub | BinOp::And | BinOp::Or | BinOp::Xor) {
+    let Expr::Bin { op, a, b } = value else {
+        return None;
+    };
+    if !matches!(
+        op,
+        BinOp::Add | BinOp::Sub | BinOp::And | BinOp::Or | BinOp::Xor
+    ) {
         return None;
     }
     let load_of = |e: &Expr| -> Option<String> {
@@ -195,7 +215,10 @@ fn build_map(
     }
     let mut out = kernel.clone();
     out.body = body;
-    Ok(TransformedKernel { kernel: out, layouts })
+    Ok(TransformedKernel {
+        kernel: out,
+        layouts,
+    })
 }
 
 // ---- reduce pattern --------------------------------------------------------
@@ -214,27 +237,51 @@ struct ReduceMatch {
 fn match_reduce(kernel: &KernelIr, stmt: &Stmt) -> Option<ReduceMatch> {
     // Shape 1 (register accumulator — what a real compiler produces):
     //   For w { acc = 0; For i { acc = acc + A[w*K + i] }; OUT[w] += acc }
-    if let Stmt::For { var: w, start: 0, end: w_end, body } = stmt {
+    if let Stmt::For {
+        var: w,
+        start: 0,
+        end: w_end,
+        body,
+    } = stmt
+    {
         if body.len() == 3 {
             if let (
-                Stmt::Assign { var: acc0, value: Expr::Const(0) },
-                Stmt::For { var: i, start: 0, end: k_end, body: inner },
-                Stmt::AccumStore { array: out, index, value: Expr::Var(accv) },
+                Stmt::Assign {
+                    var: acc0,
+                    value: Expr::Const(0),
+                },
+                Stmt::For {
+                    var: i,
+                    start: 0,
+                    end: k_end,
+                    body: inner,
+                },
+                Stmt::AccumStore {
+                    array: out,
+                    index,
+                    value: Expr::Var(accv),
+                },
             ) = (&body[0], &body[1], &body[2])
             {
-                if acc0 == accv
-                    && matches!(index, Expr::Var(v) if v == w)
-                    && inner.len() == 1
-                {
+                if acc0 == accv && matches!(index, Expr::Var(v) if v == w) && inner.len() == 1 {
                     if let Stmt::Assign { var: acc1, value } = &inner[0] {
                         if acc1 == acc0 {
-                            if let Expr::Bin { op: BinOp::Add, a, b } = value {
+                            if let Expr::Bin {
+                                op: BinOp::Add,
+                                a,
+                                b,
+                            } = value
+                            {
                                 let load = match (a.as_ref(), b.as_ref()) {
                                     (Expr::Var(v), l) if v == acc0 => Some(l),
                                     (l, Expr::Var(v)) if v == acc0 => Some(l),
                                     _ => None,
                                 };
-                                if let Some(Expr::Load { array: input, index: load_idx }) = load {
+                                if let Some(Expr::Load {
+                                    array: input,
+                                    index: load_idx,
+                                }) = load
+                                {
                                     if load_index_is_wk_plus_i(load_idx, w, *k_end as u32, i) {
                                         if let Some(m) = finish_reduce_match(
                                             kernel,
@@ -256,19 +303,41 @@ fn match_reduce(kernel: &KernelIr, stmt: &Stmt) -> Option<ReduceMatch> {
     }
     // Shape 2: For w { For i { OUT[w] += A[w*K + i] } } (direct memory
     // accumulation).
-    if let Stmt::For { var: w, start: 0, end: w_end, body } = stmt {
+    if let Stmt::For {
+        var: w,
+        start: 0,
+        end: w_end,
+        body,
+    } = stmt
+    {
         if body.len() == 1 {
-            if let Stmt::For { var: i, start: 0, end: k_end, body: inner } = &body[0] {
-                if let Some(m) =
-                    match_reduce_core(kernel, inner, i, Some((w.as_str(), *w_end as u32)), *k_end as u32)
-                {
+            if let Stmt::For {
+                var: i,
+                start: 0,
+                end: k_end,
+                body: inner,
+            } = &body[0]
+            {
+                if let Some(m) = match_reduce_core(
+                    kernel,
+                    inner,
+                    i,
+                    Some((w.as_str(), *w_end as u32)),
+                    *k_end as u32,
+                ) {
                     return Some(m);
                 }
             }
         }
     }
     // Shape 3: For i { OUT[0] += A[i] }
-    if let Stmt::For { var: i, start: 0, end: k_end, body } = stmt {
+    if let Stmt::For {
+        var: i,
+        start: 0,
+        end: k_end,
+        body,
+    } = stmt
+    {
         if let Some(m) = match_reduce_core(kernel, body, i, None, *k_end as u32) {
             return Some(m);
         }
@@ -278,7 +347,14 @@ fn match_reduce(kernel: &KernelIr, stmt: &Stmt) -> Option<ReduceMatch> {
 
 /// Is `idx` the affine form `w*K + i` (in either operand order)?
 fn load_index_is_wk_plus_i(idx: &Expr, w: &str, k: u32, i: &str) -> bool {
-    let Expr::Bin { op: BinOp::Add, a, b } = idx else { return false };
+    let Expr::Bin {
+        op: BinOp::Add,
+        a,
+        b,
+    } = idx
+    else {
+        return false;
+    };
     let is_wk = |e: &Expr| {
         matches!(e, Expr::Bin { op: BinOp::Mul, a, b }
             if (matches!(a.as_ref(), Expr::Var(v) if v == w) && matches!(b.as_ref(), Expr::Const(c) if *c as u32 == k))
@@ -319,8 +395,21 @@ fn match_reduce_core(
     if inner.len() != 1 {
         return None;
     }
-    let Stmt::AccumStore { array: out, index, value } = &inner[0] else { return None };
-    let Expr::Load { array: input, index: load_idx } = value else { return None };
+    let Stmt::AccumStore {
+        array: out,
+        index,
+        value,
+    } = &inner[0]
+    else {
+        return None;
+    };
+    let Expr::Load {
+        array: input,
+        index: load_idx,
+    } = value
+    else {
+        return None;
+    };
 
     // Output index: Var(w) with a window, Const(0) without.
     match window {
@@ -357,7 +446,12 @@ fn build_reduce(
             detail: format!("subword size {bits} exceeds element width {}", r.elem.bits),
         });
     }
-    let in_layout = ArrayLayout::subword_major(r.elem, kernel.find_array(&r.input).map(|a| a.len).unwrap_or(0), bits, provisioned)?;
+    let in_layout = ArrayLayout::subword_major(
+        r.elem,
+        kernel.find_array(&r.input).map(|a| a.len).unwrap_or(0),
+        bits,
+        provisioned,
+    )?;
     let lane_bits = match in_layout {
         ArrayLayout::SubwordMajor { lane_bits, .. } => lane_bits,
         _ => unreachable!("subword_major always returns SubwordMajor"),
@@ -412,7 +506,10 @@ fn build_reduce(
             b: Box::new(Expr::Var(j.clone())),
         };
         let inner = vec![
-            Stmt::Assign { var: acc.to_string(), value: Expr::Const(0) },
+            Stmt::Assign {
+                var: acc.to_string(),
+                value: Expr::Const(0),
+            },
             Stmt::For {
                 var: j,
                 start: 0,
@@ -441,7 +538,12 @@ fn build_reduce(
                 },
             },
         ];
-        body.push(Stmt::For { var: w, start: 0, end: windows as i32, body: inner });
+        body.push(Stmt::For {
+            var: w,
+            start: 0,
+            end: windows as i32,
+            body: inner,
+        });
         body.extend(region.iter().cloned());
         if level > 0 {
             body.push(Stmt::SkimPoint);
@@ -453,7 +555,10 @@ fn build_reduce(
     layouts.insert(r.out.clone(), out_layout);
     let mut out = kernel.clone();
     out.body = body;
-    Ok(TransformedKernel { kernel: out, layouts })
+    Ok(TransformedKernel {
+        kernel: out,
+        layouts,
+    })
 }
 
 #[cfg(test)]
@@ -495,10 +600,7 @@ mod tests {
                     vec![Stmt::accum_store(
                         "OUT",
                         Expr::var("w"),
-                        Expr::load(
-                            "S",
-                            Expr::var("w") * Expr::c(8) + Expr::var("i"),
-                        ),
+                        Expr::load("S", Expr::var("w") * Expr::c(8) + Expr::var("i")),
                     )],
                 )],
             )])
@@ -511,7 +613,12 @@ mod tests {
     #[test]
     fn map_8bit_on_32bit_elements_makes_four_levels() {
         let t = apply(&matadd_kernel(false), 8, true).unwrap();
-        let loops = t.kernel.body.iter().filter(|s| matches!(s, Stmt::For { .. })).count();
+        let loops = t
+            .kernel
+            .body
+            .iter()
+            .filter(|s| matches!(s, Stmt::For { .. }))
+            .count();
         assert_eq!(loops, 4, "32-bit elements / 8-bit subwords = 4 levels");
         assert_eq!(count_skims(&t.kernel.body), 3);
         assert_eq!(t.layouts.len(), 3, "A, B and X all transposed");
@@ -521,9 +628,17 @@ mod tests {
     fn provisioned_map_has_double_lanes() {
         let t = apply(&matadd_kernel(false), 8, true).unwrap();
         let layout = t.layouts["X"];
-        assert_eq!(layout.lanes(), 2, "provisioned 8-bit subwords → 16-bit lanes");
+        assert_eq!(
+            layout.lanes(),
+            2,
+            "provisioned 8-bit subwords → 16-bit lanes"
+        );
         let t = apply(&matadd_kernel(false), 8, false).unwrap();
-        assert_eq!(t.layouts["X"].lanes(), 4, "unprovisioned 8-bit → 8-bit lanes");
+        assert_eq!(
+            t.layouts["X"].lanes(),
+            4,
+            "unprovisioned 8-bit → 8-bit lanes"
+        );
     }
 
     #[test]
@@ -543,14 +658,21 @@ mod tests {
         let t = apply(&matadd_kernel(true), 8, true).unwrap();
         match t.layouts["X"] {
             ArrayLayout::SubwordMajor { lane_signed, .. } => {
-                assert!(lane_signed, "provisioned subtraction decodes lanes as signed")
+                assert!(
+                    lane_signed,
+                    "provisioned subtraction decodes lanes as signed"
+                )
             }
             other => panic!("expected SubwordMajor, got {other:?}"),
         }
         let mut has_sub_asv = false;
         for s in &t.kernel.body {
             if let Stmt::For { body, .. } = s {
-                if let Stmt::StorePacked { value: Expr::AsvBin { op: BinOp::Sub, .. }, .. } = &body[0] {
+                if let Stmt::StorePacked {
+                    value: Expr::AsvBin { op: BinOp::Sub, .. },
+                    ..
+                } = &body[0]
+                {
                     has_sub_asv = true;
                 }
             }
@@ -595,7 +717,9 @@ mod tests {
         // 16-bit elements / 8-bit subwords = 2 levels.
         assert_eq!(count_skims(&t.kernel.body), 1);
         match t.layouts["OUT"] {
-            ArrayLayout::ComponentMajor { n_sub, sub_bits, .. } => {
+            ArrayLayout::ComponentMajor {
+                n_sub, sub_bits, ..
+            } => {
                 assert_eq!(n_sub, 2);
                 assert_eq!(sub_bits, 8);
             }
@@ -625,7 +749,11 @@ mod tests {
                 "i",
                 0,
                 16,
-                vec![Stmt::accum_store("T", Expr::c(0), Expr::load("A", Expr::var("i")))],
+                vec![Stmt::accum_store(
+                    "T",
+                    Expr::c(0),
+                    Expr::load("A", Expr::var("i")),
+                )],
             )]);
         let t = apply(&k, 8, true).unwrap();
         assert!(matches!(t.layouts["T"], ArrayLayout::ComponentMajor { .. }));
@@ -649,7 +777,10 @@ mod tests {
                     Expr::load("A", Expr::var("i")) + Expr::load("B", Expr::var("i")),
                 )],
             )]);
-        assert!(matches!(apply(&k, 8, true), Err(CompileError::NothingToTransform { .. })));
+        assert!(matches!(
+            apply(&k, 8, true),
+            Err(CompileError::NothingToTransform { .. })
+        ));
     }
 
     #[test]
@@ -663,9 +794,16 @@ mod tests {
                 "i",
                 0,
                 1024,
-                vec![Stmt::accum_store("OUT", Expr::c(0), Expr::load("S", Expr::var("i")))],
+                vec![Stmt::accum_store(
+                    "OUT",
+                    Expr::c(0),
+                    Expr::load("S", Expr::var("i")),
+                )],
             )]);
-        assert!(matches!(apply(&k, 8, true), Err(CompileError::BadSubwordGeometry { .. })));
+        assert!(matches!(
+            apply(&k, 8, true),
+            Err(CompileError::BadSubwordGeometry { .. })
+        ));
         // 64-sample windows are fine.
         let k2 = KernelIr::new("small")
             .array(ArrayBuilder::input("S", 64).elem16().asv_input())
@@ -674,7 +812,11 @@ mod tests {
                 "i",
                 0,
                 64,
-                vec![Stmt::accum_store("OUT", Expr::c(0), Expr::load("S", Expr::var("i")))],
+                vec![Stmt::accum_store(
+                    "OUT",
+                    Expr::c(0),
+                    Expr::load("S", Expr::var("i")),
+                )],
             )]);
         assert!(apply(&k2, 8, true).is_ok());
     }
@@ -721,7 +863,10 @@ mod tests {
                     Expr::load("A", Expr::var("i")) + Expr::load("B", Expr::var("i")),
                 )],
             )]);
-        assert!(matches!(apply(&k, 8, true), Err(CompileError::NothingToTransform { .. })));
+        assert!(matches!(
+            apply(&k, 8, true),
+            Err(CompileError::NothingToTransform { .. })
+        ));
     }
 
     #[test]
@@ -753,6 +898,9 @@ mod tests {
                     Expr::load("A", Expr::var("i")) * Expr::load("B", Expr::var("i")),
                 )],
             )]);
-        assert!(matches!(apply(&k, 8, true), Err(CompileError::NothingToTransform { .. })));
+        assert!(matches!(
+            apply(&k, 8, true),
+            Err(CompileError::NothingToTransform { .. })
+        ));
     }
 }

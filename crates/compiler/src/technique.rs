@@ -34,23 +34,35 @@ pub enum Technique {
 impl Technique {
     /// Subword pipelining with plain subword loads.
     pub const fn swp(bits: u8) -> Technique {
-        Technique::Swp { bits, vectorized_loads: false }
+        Technique::Swp {
+            bits,
+            vectorized_loads: false,
+        }
     }
 
     /// Subword pipelining with vectorized subword loads (Fig. 12).
     pub const fn swp_vectorized(bits: u8) -> Technique {
-        Technique::Swp { bits, vectorized_loads: true }
+        Technique::Swp {
+            bits,
+            vectorized_loads: true,
+        }
     }
 
     /// Provisioned subword vectorization (the paper's default for its
     /// headline results, §V-A).
     pub const fn swv(bits: u8) -> Technique {
-        Technique::Swv { bits, provisioned: true }
+        Technique::Swv {
+            bits,
+            provisioned: true,
+        }
     }
 
     /// Unprovisioned subword vectorization (drops inter-subword carries).
     pub const fn swv_unprovisioned(bits: u8) -> Technique {
-        Technique::Swv { bits, provisioned: false }
+        Technique::Swv {
+            bits,
+            provisioned: false,
+        }
     }
 
     /// The subword width, if the technique is anytime.
@@ -71,10 +83,22 @@ impl fmt::Display for Technique {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Technique::Precise => write!(f, "precise"),
-            Technique::Swp { bits, vectorized_loads: false } => write!(f, "swp{bits}"),
-            Technique::Swp { bits, vectorized_loads: true } => write!(f, "swp{bits}+vld"),
-            Technique::Swv { bits, provisioned: true } => write!(f, "swv{bits}"),
-            Technique::Swv { bits, provisioned: false } => write!(f, "swv{bits}-unprov"),
+            Technique::Swp {
+                bits,
+                vectorized_loads: false,
+            } => write!(f, "swp{bits}"),
+            Technique::Swp {
+                bits,
+                vectorized_loads: true,
+            } => write!(f, "swp{bits}+vld"),
+            Technique::Swv {
+                bits,
+                provisioned: true,
+            } => write!(f, "swv{bits}"),
+            Technique::Swv {
+                bits,
+                provisioned: false,
+            } => write!(f, "swv{bits}-unprov"),
         }
     }
 }
@@ -85,11 +109,26 @@ mod tests {
 
     #[test]
     fn constructors() {
-        assert_eq!(Technique::swp(8), Technique::Swp { bits: 8, vectorized_loads: false });
-        assert_eq!(Technique::swv(4), Technique::Swv { bits: 4, provisioned: true });
+        assert_eq!(
+            Technique::swp(8),
+            Technique::Swp {
+                bits: 8,
+                vectorized_loads: false
+            }
+        );
+        assert_eq!(
+            Technique::swv(4),
+            Technique::Swv {
+                bits: 4,
+                provisioned: true
+            }
+        );
         assert_eq!(
             Technique::swv_unprovisioned(8),
-            Technique::Swv { bits: 8, provisioned: false }
+            Technique::Swv {
+                bits: 8,
+                provisioned: false
+            }
         );
     }
 

@@ -45,7 +45,11 @@ impl GenExpr {
                     4 => BinOp::Or,
                     _ => BinOp::Xor,
                 };
-                Expr::Bin { op, a: Box::new(a), b: Box::new(b) }
+                Expr::Bin {
+                    op,
+                    a: Box::new(a),
+                    b: Box::new(b),
+                }
             }
             GenExpr::Shift(left, sh, x) => {
                 let x = x.to_expr(vars);
@@ -73,10 +77,16 @@ fn arb_genexpr(depth: u32) -> BoxedStrategy<GenExpr> {
         prop_oneof![
             inner.clone().prop_map(|i| GenExpr::LoadA(Box::new(i))),
             inner.clone().prop_map(|i| GenExpr::LoadB(Box::new(i))),
-            (any::<u8>(), inner.clone(), inner.clone())
-                .prop_map(|(op, a, b)| GenExpr::Bin(op, Box::new(a), Box::new(b))),
-            (any::<bool>(), any::<u8>(), inner)
-                .prop_map(|(l, sh, x)| GenExpr::Shift(l, sh, Box::new(x))),
+            (any::<u8>(), inner.clone(), inner.clone()).prop_map(|(op, a, b)| GenExpr::Bin(
+                op,
+                Box::new(a),
+                Box::new(b)
+            )),
+            (any::<bool>(), any::<u8>(), inner).prop_map(|(l, sh, x)| GenExpr::Shift(
+                l,
+                sh,
+                Box::new(x)
+            )),
         ]
     })
     .boxed()
@@ -148,7 +158,10 @@ fn build_kernel(shape: &Shape) -> KernelIr {
                     "j",
                     0,
                     4,
-                    vec![Stmt::assign("acc", Expr::var("acc") + e.to_expr(&["i", "j"]))],
+                    vec![Stmt::assign(
+                        "acc",
+                        Expr::var("acc") + e.to_expr(&["i", "j"]),
+                    )],
                 ),
                 Stmt::accum_store("X", Expr::var("i"), Expr::var("acc")),
             ],
@@ -161,7 +174,11 @@ fn build_kernel(shape: &Shape) -> KernelIr {
 /// X[i] += A[perm(i)] * F[i] over n elements, A subworded.
 fn mac_kernel(n: u32, stride: u32, offset: u32) -> KernelIr {
     KernelIr::new("fuzzmac")
-        .array(ArrayBuilder::input("A", n * stride + offset).elem16().asp_input())
+        .array(
+            ArrayBuilder::input("A", n * stride + offset)
+                .elem16()
+                .asp_input(),
+        )
         .array(ArrayBuilder::input("F", n).elem16())
         .array(ArrayBuilder::output("X", n).asp_output())
         .body(vec![Stmt::for_loop(

@@ -9,10 +9,7 @@ use wn_sim::{Core, CoreConfig};
 
 /// Runs a compiled kernel with the given inputs to completion, returning
 /// decoded outputs (one vec per output array) and the cycle count.
-fn run(
-    compiled: &CompiledKernel,
-    inputs: &[(&str, Vec<i64>)],
-) -> (Vec<(String, Vec<i64>)>, u64) {
+fn run(compiled: &CompiledKernel, inputs: &[(&str, Vec<i64>)]) -> (Vec<(String, Vec<i64>)>, u64) {
     let mut core = Core::new(&compiled.program, CoreConfig::default()).expect("core");
     for (name, values) in inputs {
         let (addr, bytes) = compiled.encode_input(name, values);
@@ -24,7 +21,10 @@ fn run(
         .iter()
         .map(|name| {
             let layout = compiled.layout(name);
-            let bytes = core.mem.slice(compiled.addr(name), layout.byte_size()).expect("output");
+            let bytes = core
+                .mem
+                .slice(compiled.addr(name), layout.byte_size())
+                .expect("output");
             (name.clone(), layout.decode(bytes))
         })
         .collect();
@@ -88,7 +88,9 @@ fn reduce_kernel(windows: u32, k: u32) -> KernelIr {
 }
 
 fn inputs_16(n: u32, seed: u64) -> Vec<i64> {
-    (0..n as i64).map(|i| ((i * 2654435761u32 as i64 + seed as i64 * 7919) >> 3) & 0xFFFF).collect()
+    (0..n as i64)
+        .map(|i| ((i * 2654435761u32 as i64 + seed as i64 * 7919) >> 3) & 0xFFFF)
+        .collect()
 }
 
 #[test]
@@ -115,7 +117,10 @@ fn swp_reaches_precise_result_at_all_granularities() {
     for bits in [1u8, 2, 3, 4, 8, 16] {
         let compiled = compile(&k, Technique::swp(bits)).unwrap();
         let (outputs, _) = run(&compiled, &[("A", a.clone()), ("F", f.clone())]);
-        assert_eq!(outputs[0].1, expect, "swp({bits}) must be exact at completion");
+        assert_eq!(
+            outputs[0].1, expect,
+            "swp({bits}) must be exact at completion"
+        );
     }
 }
 
@@ -153,8 +158,14 @@ fn swp_cycle_cost_ordering() {
         let (_, c) = run(&compiled, &[("A", a.clone()), ("F", f.clone())]);
         cycles.push((t, c));
     }
-    assert!(cycles[0].1 < cycles[1].1, "precise faster than swp8 overall: {cycles:?}");
-    assert!(cycles[1].1 < cycles[2].1, "swp8 faster than swp4 overall: {cycles:?}");
+    assert!(
+        cycles[0].1 < cycles[1].1,
+        "precise faster than swp8 overall: {cycles:?}"
+    );
+    assert!(
+        cycles[1].1 < cycles[2].1,
+        "swp8 faster than swp4 overall: {cycles:?}"
+    );
 }
 
 #[test]
@@ -188,7 +199,11 @@ fn swv_map_unprovisioned_drops_carries() {
     let (outputs, _) = run(&compiled, &[("A", a), ("B", b)]);
     // 0xFF + 0x01 = 0x100; the carry into the second subword is dropped,
     // leaving 0.
-    assert!(outputs[0].1.iter().all(|&v| v == 0), "carries must be dropped: {:?}", outputs[0].1);
+    assert!(
+        outputs[0].1.iter().all(|&v| v == 0),
+        "carries must be dropped: {:?}",
+        outputs[0].1
+    );
 }
 
 #[test]
@@ -225,7 +240,11 @@ fn swv_reduce_is_exact_when_provisioned() {
     let k = reduce_kernel(w, kk);
     let s = inputs_16(w * kk, 5);
     let expect: Vec<i64> = (0..w as usize)
-        .map(|wi| s[wi * kk as usize..(wi + 1) * kk as usize].iter().sum::<i64>())
+        .map(|wi| {
+            s[wi * kk as usize..(wi + 1) * kk as usize]
+                .iter()
+                .sum::<i64>()
+        })
         .collect();
     for bits in [4u8, 8] {
         let compiled = compile(&k, Technique::swv(bits)).unwrap();
@@ -242,7 +261,11 @@ fn swv_reduce_msb_first_approximation_improves() {
     let k = reduce_kernel(w, kk);
     let s: Vec<i64> = (0..(w * kk) as i64).map(|i| 0x0101 * (i % 200)).collect();
     let expect: Vec<i64> = (0..w as usize)
-        .map(|wi| s[wi * kk as usize..(wi + 1) * kk as usize].iter().sum::<i64>())
+        .map(|wi| {
+            s[wi * kk as usize..(wi + 1) * kk as usize]
+                .iter()
+                .sum::<i64>()
+        })
         .collect();
 
     let compiled = compile(&k, Technique::swv(8)).unwrap();

@@ -22,7 +22,10 @@ pub fn quality_curve(
     baseline_cycles: u64,
     sample_interval: u64,
 ) -> Result<QualityCurve, WnError> {
-    assert!(baseline_cycles > 0, "baseline must be a positive cycle count");
+    assert!(
+        baseline_cycles > 0,
+        "baseline must be a positive cycle count"
+    );
     assert!(sample_interval > 0, "sample interval must be positive");
     let label = format!("{}-{}", prepared.instance.ir.name, prepared.technique());
     let mut curve = QualityCurve::new(label);
@@ -69,9 +72,7 @@ pub struct EarliestOutput {
 /// # Errors
 ///
 /// Propagates simulation errors.
-pub fn run_to_first_skim(
-    prepared: &PreparedRun,
-) -> Result<(wn_sim::Core, u64, bool), WnError> {
+pub fn run_to_first_skim(prepared: &PreparedRun) -> Result<(wn_sim::Core, u64, bool), WnError> {
     let mut core = prepared.fresh_core()?;
     let mut cycles = 0u64;
     loop {
@@ -94,7 +95,11 @@ pub fn run_to_first_skim(
 pub fn earliest_output(prepared: &PreparedRun) -> Result<EarliestOutput, WnError> {
     let (core, cycles, at_skim_point) = run_to_first_skim(prepared)?;
     let error_percent = prepared.error_percent(&core)?;
-    Ok(EarliestOutput { cycles, error_percent, at_skim_point })
+    Ok(EarliestOutput {
+        cycles,
+        error_percent,
+        at_skim_point,
+    })
 }
 
 #[cfg(test)]
@@ -111,8 +116,15 @@ mod tests {
         let wn = PreparedRun::new(&inst, Technique::swv(8)).unwrap();
         let curve = quality_curve(&wn, baseline, baseline / 50).unwrap();
         assert!(curve.len() > 5);
-        assert_eq!(curve.final_error(), Some(0.0), "provisioned SWV reaches precise");
-        assert!(curve.final_runtime().unwrap() > 1.0, "WN overhead to precise result");
+        assert_eq!(
+            curve.final_error(),
+            Some(0.0),
+            "provisioned SWV reaches precise"
+        );
+        assert!(
+            curve.final_runtime().unwrap() > 1.0,
+            "WN overhead to precise result"
+        );
         // Early samples have higher error than late ones.
         let first_err = curve.points()[1].nrmse_percent;
         assert!(first_err >= curve.final_error().unwrap());
@@ -127,7 +139,10 @@ mod tests {
         // Huge interval: samples come only from skim points + completion.
         let curve = quality_curve(&wn, baseline, u64::MAX / 2).unwrap();
         assert_eq!(curve.len(), 2, "one skim point + completion");
-        assert!(curve.points()[0].nrmse_percent < 5.0, "MSB level already close");
+        assert!(
+            curve.points()[0].nrmse_percent < 5.0,
+            "MSB level already close"
+        );
     }
 
     #[test]
@@ -140,8 +155,15 @@ mod tests {
         assert!(!p.at_skim_point);
         assert_eq!(p.error_percent, 0.0);
         assert!(w.at_skim_point);
-        assert!(w.cycles < p.cycles, "4-bit first output earlier than precise completion");
-        assert!(w.error_percent > 0.0 && w.error_percent < 25.0, "err = {}", w.error_percent);
+        assert!(
+            w.cycles < p.cycles,
+            "4-bit first output earlier than precise completion"
+        );
+        assert!(
+            w.error_percent > 0.0 && w.error_percent < 25.0,
+            "err = {}",
+            w.error_percent
+        );
     }
 
     #[test]

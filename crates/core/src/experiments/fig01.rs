@@ -13,6 +13,7 @@ use wn_kernels::{Benchmark, KernelInstance};
 use crate::error::WnError;
 use crate::experiments::ExperimentConfig;
 use crate::intermittent::SubstrateKind;
+use crate::jobs::run_jobs;
 use crate::stream::{run_stream, StreamConfig, StreamOutcome};
 
 /// Number of arriving inputs.
@@ -68,10 +69,22 @@ pub fn run(config: &ExperimentConfig) -> Result<Fig1, WnError> {
         wall_limit_s: config.wall_limit_s,
     };
 
+    // The two builds see the identical environment (same `supply(12)`)
+    // and never interact — run them as a parallel pair.
+    let mut streams = run_jobs(2, |i| {
+        let technique = if i == 0 {
+            Technique::Precise
+        } else {
+            Benchmark::Var.technique(4)
+        };
+        run_stream(&make, technique, supply(12), &stream_cfg)
+    })?
+    .into_iter();
+
     Ok(Fig1 {
         arrival_interval_s,
-        conventional: run_stream(&make, Technique::Precise, supply(12), &stream_cfg)?,
-        wn: run_stream(&make, Benchmark::Var.technique(4), supply(12), &stream_cfg)?,
+        conventional: streams.next().expect("two stream jobs"),
+        wn: streams.next().expect("two stream jobs"),
     })
 }
 
@@ -82,7 +95,10 @@ impl fmt::Display for Fig1 {
             "{INPUTS} inputs arriving every {:.2}s on harvested power:",
             self.arrival_interval_s
         )?;
-        for (name, s) in [("conventional", &self.conventional), ("whats-next", &self.wn)] {
+        for (name, s) in [
+            ("conventional", &self.conventional),
+            ("whats-next", &self.wn),
+        ] {
             writeln!(
                 f,
                 "  {name:<13} processed {:>2}, dropped {:>2}, mean latency {:>6.2}s, mean error {:>6.3}%",
@@ -101,11 +117,20 @@ impl Fig1 {
     pub fn to_csv(&self) -> String {
         let mut out =
             String::from("variant,input,arrived_s,started_s,completed_s,skimmed,error_percent\n");
-        for (name, s) in [("conventional", &self.conventional), ("whats-next", &self.wn)] {
+        for (name, s) in [
+            ("conventional", &self.conventional),
+            ("whats-next", &self.wn),
+        ] {
             for p in &s.processed {
                 out.push_str(&format!(
                     "{},{},{:.4},{:.4},{:.4},{},{:.4}\n",
-                    name, p.index, p.arrived_s, p.started_s, p.completed_s, p.skimmed, p.error_percent
+                    name,
+                    p.index,
+                    p.arrived_s,
+                    p.started_s,
+                    p.completed_s,
+                    p.skimmed,
+                    p.error_percent
                 ));
             }
         }
@@ -126,7 +151,10 @@ mod tests {
             fig.wn.processed.len(),
             fig.conventional.processed.len()
         );
-        assert!(fig.conventional.dropped > 0, "arrival rate must outpace precise processing");
+        assert!(
+            fig.conventional.dropped > 0,
+            "arrival rate must outpace precise processing"
+        );
         assert!(fig.wn.mean_error_percent() < 15.0);
         let csv = fig.to_csv();
         assert!(csv.lines().count() > fig.wn.processed.len());

@@ -132,7 +132,10 @@ impl Fig2 {
     pub fn to_csv(&self) -> String {
         let mut out = String::from("label,coverage,nrmse_percent\n");
         for o in &self.outcomes {
-            out.push_str(&format!("{},{:.4},{:.4}\n", o.label, o.coverage, o.nrmse_percent));
+            out.push_str(&format!(
+                "{},{:.4},{:.4}\n",
+                o.label, o.coverage, o.nrmse_percent
+            ));
         }
         out
     }

@@ -17,9 +17,12 @@ use wn_compiler::Technique;
 use wn_kernels::glucose;
 use wn_quality::metrics::mape_percent;
 
+use wn_sim::CoreConfig;
+
 use crate::continuous::earliest_output;
 use crate::error::WnError;
 use crate::experiments::ExperimentConfig;
+use crate::jobs::run_jobs;
 use crate::prepared::PreparedRun;
 
 /// One processed reading.
@@ -79,18 +82,26 @@ pub fn run(config: &ExperimentConfig) -> Result<Fig3, WnError> {
     // Per-slot budget = one anytime reading. The precise device banks
     // budget across slots.
     let sampling_period = (precise_cycles as f64 / anytime_cycles as f64).ceil() as usize;
-    assert!(sampling_period >= 2, "precise processing must be at least 2x an anytime level");
+    assert!(
+        sampling_period >= 2,
+        "precise processing must be at least 2x an anytime level"
+    );
 
-    let mut readings = Vec::new();
-    let mut anytime_outputs = Vec::new();
-    let mut clinical_values = Vec::new();
-    for (slot, &(minute, clinical_mgdl)) in clinical.iter().enumerate() {
+    // Every slot is an independent reading on a fresh core, and the
+    // program depends only on (kernel, technique) — so reuse the two
+    // calibration compilations and fan the slots out.
+    let readings = run_jobs(clinical.len(), |slot| {
+        let (minute, clinical_mgdl) = clinical[slot];
         let raw = glucose::adc_window(&signal, minute, config.seed);
         let inst = glucose::reading_kernel(&raw);
 
         // Sampling device: one precise reading per period, drops the rest.
         let sampled_mgdl = if slot % sampling_period == 0 {
-            let p = PreparedRun::new(&inst, Technique::Precise)?;
+            let p = PreparedRun::from_compiled(
+                precise0.compiled.clone(),
+                inst.clone(),
+                CoreConfig::default(),
+            );
             let mut core = p.fresh_core()?;
             core.run(u64::MAX)?;
             Some(glucose::to_mgdl(p.decode(&core, "OUT")?[0]))
@@ -99,14 +110,19 @@ pub fn run(config: &ExperimentConfig) -> Result<Fig3, WnError> {
         };
 
         // Anytime device: every reading to the first 4-bit level.
-        let a = PreparedRun::new(&inst, Technique::swp(4))?;
+        let a = PreparedRun::from_compiled(anytime0.compiled.clone(), inst, CoreConfig::default());
         let (core, _, _) = crate::continuous::run_to_first_skim(&a)?;
         let anytime_mgdl = glucose::to_mgdl(a.decode(&core, "OUT")?[0]);
 
-        anytime_outputs.push(anytime_mgdl);
-        clinical_values.push(clinical_mgdl);
-        readings.push(Reading { minute, clinical_mgdl, sampled_mgdl, anytime_mgdl });
-    }
+        Ok::<_, WnError>(Reading {
+            minute,
+            clinical_mgdl,
+            sampled_mgdl,
+            anytime_mgdl,
+        })
+    })?;
+    let anytime_outputs: Vec<f64> = readings.iter().map(|r| r.anytime_mgdl).collect();
+    let clinical_values: Vec<f64> = readings.iter().map(|r| r.clinical_mgdl).collect();
 
     let is_critical = |m: u32| critical_minutes.contains(&m);
     let sampled_caught = readings
@@ -122,8 +138,7 @@ pub fn run(config: &ExperimentConfig) -> Result<Fig3, WnError> {
         .filter(|r| is_critical(r.minute))
         .filter(|r| r.anytime_mgdl < glucose::CRITICAL_MGDL)
         .count();
-    let anytime_mape_percent =
-        mape_percent(&clinical_values, &anytime_outputs).unwrap_or(f64::NAN);
+    let anytime_mape_percent = mape_percent(&clinical_values, &anytime_outputs).unwrap_or(f64::NAN);
 
     Ok(Fig3 {
         readings,
@@ -152,7 +167,11 @@ impl fmt::Display for Fig3 {
             self.sampled_caught,
             self.anytime_caught
         )?;
-        writeln!(f, "anytime mean error: {:.2}% (ISO band: ±20%)", self.anytime_mape_percent)
+        writeln!(
+            f,
+            "anytime mean error: {:.2}% (ISO band: ±20%)",
+            self.anytime_mape_percent
+        )
     }
 }
 

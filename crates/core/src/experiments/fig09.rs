@@ -10,6 +10,7 @@ use wn_quality::QualityCurve;
 use crate::continuous::quality_curve;
 use crate::error::WnError;
 use crate::experiments::ExperimentConfig;
+use crate::jobs::run_jobs;
 use crate::prepared::PreparedRun;
 
 /// The curves of one benchmark's sub-figure.
@@ -41,21 +42,24 @@ const SAMPLES: u64 = 60;
 ///
 /// Propagates compilation and simulation errors.
 pub fn run(config: &ExperimentConfig) -> Result<Fig9, WnError> {
-    let mut panels = Vec::new();
-    for benchmark in Benchmark::ALL {
-        let instance = benchmark.instance(config.scale, config.seed);
-        let precise = PreparedRun::new(&instance, Technique::Precise)?;
+    // Panels are independent; build them in parallel, Table I order.
+    let panels = run_jobs(Benchmark::ALL.len(), |i| {
+        let benchmark = Benchmark::ALL[i];
+        let precise =
+            PreparedRun::cached(benchmark, config.scale, config.seed, Technique::Precise)?;
         let (baseline_cycles, _) = precise.run_to_completion()?;
         let interval = (baseline_cycles / SAMPLES).max(1);
-        let wn4 = PreparedRun::new(&instance, benchmark.technique(4))?;
-        let wn8 = PreparedRun::new(&instance, benchmark.technique(8))?;
-        panels.push(Fig9Panel {
+        let wn4 =
+            PreparedRun::cached(benchmark, config.scale, config.seed, benchmark.technique(4))?;
+        let wn8 =
+            PreparedRun::cached(benchmark, config.scale, config.seed, benchmark.technique(8))?;
+        Ok::<_, WnError>(Fig9Panel {
             benchmark,
             baseline_cycles,
             curve_4bit: quality_curve(&wn4, baseline_cycles, interval)?,
             curve_8bit: quality_curve(&wn8, baseline_cycles, interval)?,
-        });
-    }
+        })
+    })?;
     Ok(Fig9 { panels })
 }
 
@@ -84,7 +88,12 @@ impl Fig9 {
 impl fmt::Display for Fig9 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for p in &self.panels {
-            writeln!(f, "— {} (baseline {} cycles) —", p.benchmark.name(), p.baseline_cycles)?;
+            writeln!(
+                f,
+                "— {} (baseline {} cycles) —",
+                p.benchmark.name(),
+                p.baseline_cycles
+            )?;
             for (bits, curve) in [(4u8, &p.curve_4bit), (8, &p.curve_8bit)] {
                 let first = curve.points().first();
                 writeln!(

@@ -15,7 +15,8 @@ use wn_kernels::Benchmark;
 
 use crate::error::WnError;
 use crate::experiments::ExperimentConfig;
-use crate::intermittent::{median, run_intermittent, IntermittentOutcome, SubstrateKind};
+use crate::intermittent::{median, run_intermittent, SubstrateKind};
+use crate::jobs::run_jobs;
 use crate::prepared::PreparedRun;
 
 /// Results for one benchmark at one subword size.
@@ -44,18 +45,35 @@ pub struct SpeedupFigure {
 
 impl SpeedupFigure {
     /// Geometric-mean speedup at a subword size (the paper quotes
-    /// averages: 1.78×/3.02× on Clank, 1.41×/2.26× on NVP).
-    pub fn mean_speedup(&self, bits: u8) -> f64 {
-        let v: Vec<f64> =
-            self.rows.iter().filter(|r| r.bits == bits).map(|r| r.speedup.ln()).collect();
-        (v.iter().sum::<f64>() / v.len() as f64).exp()
+    /// averages: 1.78×/3.02× on Clank, 1.41×/2.26× on NVP), or `None`
+    /// when no row has that subword size — previously this silently
+    /// produced NaN.
+    pub fn mean_speedup(&self, bits: u8) -> Option<f64> {
+        let v: Vec<f64> = self
+            .rows
+            .iter()
+            .filter(|r| r.bits == bits)
+            .map(|r| r.speedup.ln())
+            .collect();
+        if v.is_empty() {
+            return None;
+        }
+        Some((v.iter().sum::<f64>() / v.len() as f64).exp())
     }
 
-    /// Arithmetic-mean NRMSE at a subword size.
-    pub fn mean_error(&self, bits: u8) -> f64 {
-        let v: Vec<f64> =
-            self.rows.iter().filter(|r| r.bits == bits).map(|r| r.nrmse_percent).collect();
-        v.iter().sum::<f64>() / v.len() as f64
+    /// Arithmetic-mean NRMSE at a subword size, or `None` when no row
+    /// has that subword size.
+    pub fn mean_error(&self, bits: u8) -> Option<f64> {
+        let v: Vec<f64> = self
+            .rows
+            .iter()
+            .filter(|r| r.bits == bits)
+            .map(|r| r.nrmse_percent)
+            .collect();
+        if v.is_empty() {
+            return None;
+        }
+        Some(v.iter().sum::<f64>() / v.len() as f64)
     }
 
     /// CSV rendering.
@@ -78,7 +96,11 @@ impl SpeedupFigure {
 
 impl fmt::Display for SpeedupFigure {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "WN speedup and quality on {} (median over traces)", self.substrate)?;
+        writeln!(
+            f,
+            "WN speedup and quality on {} (median over traces)",
+            self.substrate
+        )?;
         writeln!(
             f,
             "{:<10} {:>4} {:>9} {:>10} {:>9}",
@@ -98,8 +120,8 @@ impl fmt::Display for SpeedupFigure {
         writeln!(
             f,
             "mean: {:.2}x (8-bit), {:.2}x (4-bit)",
-            self.mean_speedup(8),
-            self.mean_speedup(4)
+            self.mean_speedup(8).unwrap_or(f64::NAN),
+            self.mean_speedup(4).unwrap_or(f64::NAN)
         )
     }
 }
@@ -111,25 +133,40 @@ impl fmt::Display for SpeedupFigure {
 /// Propagates compilation, supply and simulation errors.
 pub fn run(config: &ExperimentConfig, substrate: SubstrateKind) -> Result<SpeedupFigure, WnError> {
     let traces = config.trace_ensemble();
+    let n_traces = traces.len();
+    // The whole figure is a flat grid of independent intermittent runs:
+    // benchmark × {precise, 8-bit, 4-bit} × trace. Fan it out and
+    // reassemble in grid order, so the rows (and their medians) are
+    // identical to a serial run at any worker count.
+    const VARIANTS: usize = 3;
+    let outcomes = run_jobs(Benchmark::ALL.len() * VARIANTS * n_traces, |i| {
+        let benchmark = Benchmark::ALL[i / (VARIANTS * n_traces)];
+        let technique = match (i / n_traces) % VARIANTS {
+            0 => Technique::Precise,
+            1 => benchmark.technique(8),
+            _ => benchmark.technique(4),
+        };
+        let prepared = PreparedRun::cached(benchmark, config.scale, config.seed, technique)?;
+        run_intermittent(
+            &prepared,
+            substrate,
+            &traces[i % n_traces],
+            config.supply,
+            config.wall_limit_s,
+        )
+    })?;
+
     let mut rows = Vec::new();
-    for benchmark in Benchmark::ALL {
-        let instance = benchmark.instance(config.scale, config.seed);
-        let precise = PreparedRun::new(&instance, Technique::Precise)?;
-        let precise_times: Vec<f64> = traces
-            .iter()
-            .map(|t| {
-                run_intermittent(&precise, substrate, t, config.supply, config.wall_limit_s)
-                    .map(|o| o.time_s)
-            })
-            .collect::<Result<_, _>>()?;
+    for (b, benchmark) in Benchmark::ALL.into_iter().enumerate() {
+        let variant = |v: usize| {
+            let start = (b * VARIANTS + v) * n_traces;
+            &outcomes[start..start + n_traces]
+        };
+        let precise_times: Vec<f64> = variant(0).iter().map(|o| o.time_s).collect();
         let precise_median = median(&precise_times);
 
-        for bits in [8u8, 4] {
-            let wn = PreparedRun::new(&instance, benchmark.technique(bits))?;
-            let outcomes: Vec<IntermittentOutcome> = traces
-                .iter()
-                .map(|t| run_intermittent(&wn, substrate, t, config.supply, config.wall_limit_s))
-                .collect::<Result<_, _>>()?;
+        for (v, bits) in [(1usize, 8u8), (2, 4)] {
+            let outcomes = variant(v);
             let times: Vec<f64> = outcomes.iter().map(|o| o.time_s).collect();
             let errors: Vec<f64> = outcomes.iter().map(|o| o.error_percent).collect();
             let skims = outcomes.iter().filter(|o| o.skimmed).count();
@@ -167,4 +204,48 @@ pub fn run_fig10(config: &ExperimentConfig) -> Result<SpeedupFigure, WnError> {
 /// See [`run`].
 pub fn run_fig11(config: &ExperimentConfig) -> Result<SpeedupFigure, WnError> {
     run(config, SubstrateKind::nvp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(benchmark: Benchmark, bits: u8, speedup: f64, nrmse_percent: f64) -> SpeedupRow {
+        SpeedupRow {
+            benchmark,
+            bits,
+            speedup,
+            nrmse_percent,
+            skim_rate: 1.0,
+        }
+    }
+
+    #[test]
+    fn empty_figure_has_no_means() {
+        let fig = SpeedupFigure {
+            substrate: "clank",
+            rows: Vec::new(),
+        };
+        assert_eq!(fig.mean_speedup(8), None);
+        assert_eq!(fig.mean_error(4), None);
+        // Display must survive an empty figure rather than panic.
+        assert!(fig.to_string().contains("mean:"));
+    }
+
+    #[test]
+    fn means_cover_only_matching_rows() {
+        let fig = SpeedupFigure {
+            substrate: "nvp",
+            rows: vec![
+                row(Benchmark::MatAdd, 8, 2.0, 1.0),
+                row(Benchmark::MatMul, 8, 8.0, 3.0),
+                row(Benchmark::MatAdd, 4, 3.0, 5.0),
+            ],
+        };
+        // Geometric mean of 2 and 8 is 4.
+        assert!((fig.mean_speedup(8).unwrap() - 4.0).abs() < 1e-12);
+        assert_eq!(fig.mean_error(8), Some(2.0));
+        assert!((fig.mean_speedup(4).unwrap() - 3.0).abs() < 1e-12);
+        assert_eq!(fig.mean_speedup(2), None, "no 2-bit rows");
+    }
 }

@@ -12,6 +12,7 @@ use wn_kernels::Benchmark;
 use crate::continuous::{earliest_output, quality_curve};
 use crate::error::WnError;
 use crate::experiments::ExperimentConfig;
+use crate::jobs::run_jobs;
 use crate::prepared::PreparedRun;
 use wn_quality::QualityCurve;
 
@@ -46,29 +47,43 @@ pub struct Fig12 {
 ///
 /// Propagates compilation and simulation errors.
 pub fn run(config: &ExperimentConfig) -> Result<Fig12, WnError> {
-    let instance = Benchmark::MatMul.instance(config.scale, config.seed);
-    let precise = PreparedRun::new(&instance, Technique::Precise)?;
+    let precise = PreparedRun::cached(
+        Benchmark::MatMul,
+        config.scale,
+        config.seed,
+        Technique::Precise,
+    )?;
     let (baseline, _) = precise.run_to_completion()?;
     let interval = (baseline / 50).max(1);
 
+    // Four independent builds: {8, 4} bits × {scalar, vectorized} loads.
+    let grid = [
+        Technique::swp(8),
+        Technique::swp_vectorized(8),
+        Technique::swp(4),
+        Technique::swp_vectorized(4),
+    ];
+    let measured = run_jobs(grid.len(), |i| {
+        let prepared = PreparedRun::cached(Benchmark::MatMul, config.scale, config.seed, grid[i])?;
+        let first = earliest_output(&prepared)?;
+        // Every build must be exact at completion (correctness of the
+        // unroll).
+        let (_, err) = prepared.run_to_completion()?;
+        debug_assert_eq!(err, 0.0);
+        Ok::<_, WnError>((first.cycles, quality_curve(&prepared, baseline, interval)?))
+    })?;
+
     let mut rows = Vec::new();
-    for bits in [8u8, 4] {
-        let scalar = PreparedRun::new(&instance, Technique::swp(bits))?;
-        let vectorized = PreparedRun::new(&instance, Technique::swp_vectorized(bits))?;
-        let s = earliest_output(&scalar)?;
-        let v = earliest_output(&vectorized)?;
-        // Both must be exact at completion (correctness of the unroll).
-        let (_, serr) = scalar.run_to_completion()?;
-        let (_, verr) = vectorized.run_to_completion()?;
-        debug_assert_eq!(serr, 0.0);
-        debug_assert_eq!(verr, 0.0);
+    for (pair, bits) in measured.chunks_exact(2).zip([8u8, 4]) {
+        let (scalar_cycles, scalar_curve) = pair[0].clone();
+        let (vectorized_cycles, vectorized_curve) = pair[1].clone();
         rows.push(Fig12Row {
             bits,
-            scalar_cycles: s.cycles,
-            vectorized_cycles: v.cycles,
-            earlier_factor: s.cycles as f64 / v.cycles as f64,
-            scalar_curve: quality_curve(&scalar, baseline, interval)?,
-            vectorized_curve: quality_curve(&vectorized, baseline, interval)?,
+            scalar_cycles,
+            vectorized_cycles,
+            earlier_factor: scalar_cycles as f64 / vectorized_cycles as f64,
+            scalar_curve,
+            vectorized_curve,
         });
     }
     Ok(Fig12 { rows })

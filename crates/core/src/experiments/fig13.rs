@@ -13,6 +13,7 @@ use wn_sim::{CoreConfig, MemoConfig};
 
 use crate::error::WnError;
 use crate::experiments::ExperimentConfig;
+use crate::jobs::run_jobs;
 use crate::prepared::PreparedRun;
 
 /// One bar of the figure.
@@ -42,11 +43,18 @@ fn earliest_with(
     technique: Technique,
     memo: Option<MemoConfig>,
 ) -> Result<(u64, f64), WnError> {
-    let cfg = CoreConfig { memo, ..CoreConfig::default() };
+    let cfg = CoreConfig {
+        memo,
+        ..CoreConfig::default()
+    };
     let prepared = PreparedRun::with_core_config(instance, technique, cfg)?;
     // Earliest output: first skim point for WN, completion for precise.
     let (core, cycles, _) = crate::continuous::run_to_first_skim(&prepared)?;
-    let rate = core.memo.as_ref().map(|m| m.stats.short_circuit_rate()).unwrap_or(0.0);
+    let rate = core
+        .memo
+        .as_ref()
+        .map(|m| m.stats.short_circuit_rate())
+        .unwrap_or(0.0);
     Ok((cycles, rate))
 }
 
@@ -62,28 +70,35 @@ pub fn run(config: &ExperimentConfig) -> Result<Fig13, WnError> {
         ("8-bit", Technique::swp(8)),
         ("4-bit", Technique::swp(4)),
     ];
-    let (norm, _) = earliest_with(&instance, Technique::Precise, None)?;
-    let mut bars = Vec::new();
-    for (variant, technique) in variants {
-        for memo in [false, true] {
-            let memo_cfg = memo.then(MemoConfig::default);
-            let (cycles, rate) = earliest_with(&instance, technique, memo_cfg)?;
-            bars.push(Fig13Bar {
-                variant,
-                memo,
-                cycles,
-                speedup: norm as f64 / cycles as f64,
-                short_circuit_rate: rate,
-            });
-        }
-    }
+    // Six independent bars; the normalizer is the first bar itself
+    // (precise, no memo table), so one fan-out covers the whole figure.
+    let measured = run_jobs(variants.len() * 2, |i| {
+        let (_, technique) = variants[i / 2];
+        let memo_cfg = (i % 2 == 1).then(MemoConfig::default);
+        earliest_with(&instance, technique, memo_cfg)
+    })?;
+    let (norm, _) = measured[0];
+    let bars = measured
+        .iter()
+        .enumerate()
+        .map(|(i, &(cycles, rate))| Fig13Bar {
+            variant: variants[i / 2].0,
+            memo: i % 2 == 1,
+            cycles,
+            speedup: norm as f64 / cycles as f64,
+            short_circuit_rate: rate,
+        })
+        .collect();
     Ok(Fig13 { bars })
 }
 
 impl Fig13 {
     /// The bar for a variant/memo combination.
     pub fn bar(&self, variant: &str, memo: bool) -> Option<Fig13Bar> {
-        self.bars.iter().copied().find(|b| b.variant == variant && b.memo == memo)
+        self.bars
+            .iter()
+            .copied()
+            .find(|b| b.variant == variant && b.memo == memo)
     }
 
     /// CSV rendering.
@@ -105,7 +120,10 @@ impl Fig13 {
 
 impl fmt::Display for Fig13 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Conv2d earliest-output speedup (normalized to precise, no memo):")?;
+        writeln!(
+            f,
+            "Conv2d earliest-output speedup (normalized to precise, no memo):"
+        )?;
         for b in &self.bars {
             writeln!(
                 f,

@@ -12,6 +12,7 @@ use wn_quality::QualityCurve;
 use crate::continuous::quality_curve;
 use crate::error::WnError;
 use crate::experiments::ExperimentConfig;
+use crate::jobs::run_jobs;
 use crate::prepared::PreparedRun;
 
 /// The Fig. 14 curves (8-bit subwords, like the paper's figure).
@@ -31,17 +32,27 @@ pub struct Fig14 {
 ///
 /// Propagates compilation and simulation errors.
 pub fn run(config: &ExperimentConfig) -> Result<Fig14, WnError> {
-    let instance = Benchmark::MatAdd.instance(config.scale, config.seed);
-    let precise = PreparedRun::new(&instance, Technique::Precise)?;
+    let precise = PreparedRun::cached(
+        Benchmark::MatAdd,
+        config.scale,
+        config.seed,
+        Technique::Precise,
+    )?;
     let (baseline_cycles, _) = precise.run_to_completion()?;
     let interval = (baseline_cycles / 50).max(1);
 
-    let unprov = PreparedRun::new(&instance, Technique::swv_unprovisioned(8))?;
-    let prov = PreparedRun::new(&instance, Technique::swv(8))?;
+    // The two curves are independent builds of the same instance.
+    let techniques = [Technique::swv_unprovisioned(8), Technique::swv(8)];
+    let mut curves = run_jobs(techniques.len(), |i| {
+        let prepared =
+            PreparedRun::cached(Benchmark::MatAdd, config.scale, config.seed, techniques[i])?;
+        quality_curve(&prepared, baseline_cycles, interval)
+    })?
+    .into_iter();
     Ok(Fig14 {
         baseline_cycles,
-        unprovisioned: quality_curve(&unprov, baseline_cycles, interval)?,
-        provisioned: quality_curve(&prov, baseline_cycles, interval)?,
+        unprovisioned: curves.next().expect("two curve jobs"),
+        provisioned: curves.next().expect("two curve jobs"),
     })
 }
 
@@ -66,9 +77,10 @@ impl Fig14 {
     /// CSV rendering (long format).
     pub fn to_csv(&self) -> String {
         let mut out = String::from("variant,cycles,normalized_runtime,nrmse_percent\n");
-        for (name, curve) in
-            [("unprovisioned", &self.unprovisioned), ("provisioned", &self.provisioned)]
-        {
+        for (name, curve) in [
+            ("unprovisioned", &self.unprovisioned),
+            ("provisioned", &self.provisioned),
+        ] {
             for p in curve.points() {
                 out.push_str(&format!(
                     "{},{},{:.6},{:.6}\n",
@@ -91,7 +103,10 @@ mod tests {
         assert_eq!(fig.provisioned.final_error(), Some(0.0));
         // Unprovisioned plateaus at nonzero error (dropped carries).
         let plateau = fig.unprovisioned.final_error().unwrap();
-        assert!(plateau > 0.01, "unprovisioned must not converge, got {plateau}%");
+        assert!(
+            plateau > 0.01,
+            "unprovisioned must not converge, got {plateau}%"
+        );
         // And its error does not meaningfully improve across the last
         // levels (the paper: "does not decrease when subsequent subwords
         // are processed").

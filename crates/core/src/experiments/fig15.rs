@@ -10,6 +10,7 @@ use wn_kernels::Benchmark;
 
 use crate::error::WnError;
 use crate::experiments::ExperimentConfig;
+use crate::jobs::run_jobs;
 use crate::prepared::PreparedRun;
 
 /// One subword size's earliest-output result.
@@ -48,28 +49,45 @@ pub struct Fig15 {
 ///
 /// Propagates compilation and simulation errors.
 pub fn run(config: &ExperimentConfig) -> Result<Fig15, WnError> {
-    let instance = Benchmark::Conv2d.instance(config.scale, config.seed);
     let (h, w) = match config.scale {
         wn_kernels::Scale::Quick => (24u32, 24u32),
         wn_kernels::Scale::Paper => (128, 128),
     };
-    let precise = PreparedRun::new(&instance, Technique::Precise)?;
+    let precise = PreparedRun::cached(
+        Benchmark::Conv2d,
+        config.scale,
+        config.seed,
+        Technique::Precise,
+    )?;
     let (reference_core, baseline_cycles, _) = precise.run_to_completion_core()?;
     let reference = precise.decode(&reference_core, "OUT")?;
 
-    let mut rows = Vec::new();
-    for bits in [1u8, 2, 3, 4] {
-        let prepared = PreparedRun::new(&instance, Technique::swp(bits))?;
+    // One independent earliest-output run per subword width.
+    let widths = [1u8, 2, 3, 4];
+    let rows = run_jobs(widths.len(), |i| {
+        let bits = widths[i];
+        let prepared = PreparedRun::cached(
+            Benchmark::Conv2d,
+            config.scale,
+            config.seed,
+            Technique::swp(bits),
+        )?;
         let (cycles, image, err) = earliest_image(&prepared)?;
-        rows.push(Fig15Row {
+        Ok::<_, WnError>(Fig15Row {
             bits,
             cycles,
             speedup: baseline_cycles as f64 / cycles as f64,
             nrmse_percent: err,
             image,
-        });
-    }
-    Ok(Fig15 { baseline_cycles, height: h, width: w, rows, reference })
+        })
+    })?;
+    Ok(Fig15 {
+        baseline_cycles,
+        height: h,
+        width: w,
+        rows,
+        reference,
+    })
 }
 
 fn earliest_image(prepared: &PreparedRun) -> Result<(u64, Vec<i64>, f64), WnError> {
@@ -91,7 +109,10 @@ impl Fig15 {
     pub fn to_csv(&self) -> String {
         let mut out = String::from("bits,cycles,speedup,nrmse_percent\n");
         for r in &self.rows {
-            out.push_str(&format!("{},{},{:.4},{:.4}\n", r.bits, r.cycles, r.speedup, r.nrmse_percent));
+            out.push_str(&format!(
+                "{},{},{:.4},{:.4}\n",
+                r.bits, r.cycles, r.speedup, r.nrmse_percent
+            ));
         }
         out
     }
@@ -99,7 +120,11 @@ impl Fig15 {
 
 impl fmt::Display for Fig15 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Conv2d small-subword earliest outputs (baseline {} cycles):", self.baseline_cycles)?;
+        writeln!(
+            f,
+            "Conv2d small-subword earliest outputs (baseline {} cycles):",
+            self.baseline_cycles
+        )?;
         for r in &self.rows {
             writeln!(
                 f,

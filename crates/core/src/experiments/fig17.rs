@@ -12,6 +12,7 @@ use wn_quality::metrics::mape_percent;
 
 use crate::error::WnError;
 use crate::experiments::ExperimentConfig;
+use crate::jobs::run_jobs;
 use crate::prepared::PreparedRun;
 
 /// Number of datasets, as in the paper's figure.
@@ -49,35 +50,48 @@ pub struct Fig17 {
 ///
 /// Propagates compilation and simulation errors.
 pub fn run(config: &ExperimentConfig) -> Result<Fig17, WnError> {
-    let params = VarParams { windows: 1, samples: 32 };
-    let mut points = Vec::new();
-    let mut precise_vals = Vec::new();
-    let mut wn_vals = Vec::new();
-    let mut precise_cycles = 0;
-    let mut wn_cycles = 0;
-    for dataset in 0..DATASETS {
+    let params = VarParams {
+        windows: 1,
+        samples: 32,
+    };
+    // Every dataset is processed independently on both devices.
+    let measured = run_jobs(DATASETS, |dataset| {
         let instance = var::build(&params, config.seed.wrapping_add(dataset as u64));
         let truth = instance.golden[0].1[0] as f64;
 
         let precise = PreparedRun::new(&instance, Technique::Precise)?;
-        let (pc, _) = precise.run_to_completion()?;
-        precise_cycles = pc;
+        let (precise_cycles, _) = precise.run_to_completion()?;
 
         // WN: first 4-bit level.
         let wn = PreparedRun::new(&instance, Technique::swp(4))?;
-        let (core, cycles, _) = crate::continuous::run_to_first_skim(&wn)?;
-        wn_cycles = cycles;
+        let (core, wn_cycles, _) = crate::continuous::run_to_first_skim(&wn)?;
         let wn_out = wn.decode(&core, "VAR")?[0] as f64;
 
         // The sampling device processes every other dataset precisely.
         let sampled = (dataset % 2 == 0).then_some(truth);
 
-        precise_vals.push(truth);
-        wn_vals.push(wn_out);
-        points.push(Fig17Point { dataset, precise: truth, sampled, wn: wn_out });
-    }
+        let point = Fig17Point {
+            dataset,
+            precise: truth,
+            sampled,
+            wn: wn_out,
+        };
+        Ok::<_, WnError>((point, precise_cycles, wn_cycles))
+    })?;
+
+    let points: Vec<Fig17Point> = measured.iter().map(|(p, _, _)| *p).collect();
+    let precise_vals: Vec<f64> = points.iter().map(|p| p.precise).collect();
+    let wn_vals: Vec<f64> = points.iter().map(|p| p.wn).collect();
     let wn_mape_percent = mape_percent(&precise_vals, &wn_vals).unwrap_or(f64::NAN);
-    Ok(Fig17 { points, wn_mape_percent, precise_cycles, wn_cycles })
+    // As in the serial loop, report the (identical) per-dataset costs of
+    // the last dataset.
+    let &(_, precise_cycles, wn_cycles) = measured.last().expect("DATASETS > 0");
+    Ok(Fig17 {
+        points,
+        wn_mape_percent,
+        precise_cycles,
+        wn_cycles,
+    })
 }
 
 impl Fig17 {
@@ -153,9 +167,17 @@ mod tests {
         // WN processes all of them within the per-dataset budget that
         // lets it run at twice the sampling device's rate (ceil ratio 2).
         let period = (fig.precise_cycles as f64 / fig.wn_cycles as f64).ceil() as usize;
-        assert_eq!(period, 2, "wn {} vs precise {}", fig.wn_cycles, fig.precise_cycles);
+        assert_eq!(
+            period, 2,
+            "wn {} vs precise {}",
+            fig.wn_cycles, fig.precise_cycles
+        );
         // Small average error and faithful peak/trough tracking.
         assert!(fig.wn_mape_percent < 12.0, "error {}%", fig.wn_mape_percent);
-        assert!(fig.tracking_fidelity() > 0.85, "fidelity {}", fig.tracking_fidelity());
+        assert!(
+            fig.tracking_fidelity() > 0.85,
+            "fidelity {}",
+            fig.tracking_fidelity()
+        );
     }
 }

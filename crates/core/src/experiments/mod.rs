@@ -32,7 +32,11 @@ pub(crate) fn render_pgm(image: &[i64], width: u32, max: i64) -> String {
     for (i, &v) in image.iter().enumerate() {
         let gray = (v.max(0) * 255 / max).min(255);
         s.push_str(&gray.to_string());
-        s.push(if (i + 1) % width as usize == 0 { '\n' } else { ' ' });
+        s.push(if (i + 1) % width as usize == 0 {
+            '\n'
+        } else {
+            ' '
+        });
     }
     s
 }

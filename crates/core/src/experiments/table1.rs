@@ -9,6 +9,7 @@ use wn_sim::InstrClass;
 
 use crate::error::WnError;
 use crate::experiments::ExperimentConfig;
+use crate::jobs::run_jobs;
 use crate::prepared::PreparedRun;
 
 /// One row of Table I.
@@ -44,10 +45,12 @@ pub struct Table1 {
 ///
 /// Propagates compilation and simulation errors.
 pub fn run(config: &ExperimentConfig) -> Result<Table1, WnError> {
-    let mut rows = Vec::new();
-    for benchmark in Benchmark::ALL {
-        let instance = benchmark.instance(config.scale, config.seed);
-        let prepared = PreparedRun::new(&instance, Technique::Precise)?;
+    // One independent precise run per benchmark; rows come back in
+    // Table I order regardless of the worker count.
+    let rows = run_jobs(Benchmark::ALL.len(), |i| {
+        let benchmark = Benchmark::ALL[i];
+        let prepared =
+            PreparedRun::cached(benchmark, config.scale, config.seed, Technique::Precise)?;
         let mut core = prepared.fresh_core()?;
         core.run(u64::MAX)?;
         let stats = &core.stats;
@@ -56,18 +59,18 @@ pub fn run(config: &ExperimentConfig) -> Result<Table1, WnError> {
         } else {
             // The element-wise data ops SWV targets: one per processed
             // input element.
-            let elements: usize = instance.inputs.iter().map(|(_, v)| v.len()).sum();
+            let elements: usize = prepared.instance.inputs.iter().map(|(_, v)| v.len()).sum();
             elements as f64 / stats.instructions as f64
         };
-        rows.push(Table1Row {
+        Ok::<_, WnError>(Table1Row {
             benchmark,
             area: benchmark.area(),
             amenable_percent: 100.0 * amenable,
             runtime_ms: stats.cycles as f64 / 24_000.0,
             instructions: stats.instructions,
             swp: benchmark.uses_swp(),
-        });
-    }
+        })
+    })?;
     Ok(Table1 { rows })
 }
 
@@ -97,7 +100,8 @@ impl fmt::Display for Table1 {
 impl Table1 {
     /// CSV rendering.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("benchmark,area,amenable_percent,runtime_ms,instructions,technique\n");
+        let mut out =
+            String::from("benchmark,area,amenable_percent,runtime_ms,instructions,technique\n");
         for r in &self.rows {
             out.push_str(&format!(
                 "{},{},{:.3},{:.3},{},{}\n",

@@ -64,7 +64,10 @@ pub struct IntermittentOutcome {
 /// paper's workloads run 15–750 on-periods; quick kernels land in the
 /// same band here).
 pub fn quick_supply() -> SupplyConfig {
-    SupplyConfig { capacitance_f: 1e-6, ..SupplyConfig::default() }
+    SupplyConfig {
+        capacitance_f: 1e-6,
+        ..SupplyConfig::default()
+    }
 }
 
 /// Runs one prepared kernel on a substrate under a power trace.
@@ -86,37 +89,27 @@ pub fn run_intermittent(
     wall_limit_s: f64,
 ) -> Result<IntermittentOutcome, WnError> {
     let core = prepared.fresh_core()?;
-    match substrate {
+    let (run, error_percent) = match substrate {
         SubstrateKind::Clank(cfg) => {
-            let mut exec =
-                IntermittentExecutor::new(core, trace.clone(), supply, Clank::new(cfg));
+            let mut exec = IntermittentExecutor::new(core, trace, supply, Clank::new(cfg));
             let run = exec.run(wall_limit_s)?;
-            let error_percent = prepared.error_percent(exec.core())?;
-            Ok(IntermittentOutcome {
-                time_s: run.total_time_s,
-                on_time_s: run.on_time_s,
-                active_cycles: run.active_cycles,
-                outages: run.outages,
-                skimmed: run.skimmed,
-                error_percent,
-                substrate: run.substrate,
-            })
+            (run, prepared.error_percent(exec.core())?)
         }
         SubstrateKind::Nvp(cfg) => {
-            let mut exec = IntermittentExecutor::new(core, trace.clone(), supply, Nvp::new(cfg));
+            let mut exec = IntermittentExecutor::new(core, trace, supply, Nvp::new(cfg));
             let run = exec.run(wall_limit_s)?;
-            let error_percent = prepared.error_percent(exec.core())?;
-            Ok(IntermittentOutcome {
-                time_s: run.total_time_s,
-                on_time_s: run.on_time_s,
-                active_cycles: run.active_cycles,
-                outages: run.outages,
-                skimmed: run.skimmed,
-                error_percent,
-                substrate: run.substrate,
-            })
+            (run, prepared.error_percent(exec.core())?)
         }
-    }
+    };
+    Ok(IntermittentOutcome {
+        time_s: run.total_time_s,
+        on_time_s: run.on_time_s,
+        active_cycles: run.active_cycles,
+        outages: run.outages,
+        skimmed: run.skimmed,
+        error_percent,
+        substrate: run.substrate,
+    })
 }
 
 /// The median of a slice (averaging the middle pair for even lengths).
@@ -158,9 +151,14 @@ mod tests {
     fn precise_run_is_exact_but_slow() {
         let inst = Benchmark::Home.instance(Scale::Quick, 30);
         let run = PreparedRun::new(&inst, Technique::Precise).unwrap();
-        let out =
-            run_intermittent(&run, SubstrateKind::nvp(), &trace(1), quick_supply(), 3600.0)
-                .unwrap();
+        let out = run_intermittent(
+            &run,
+            SubstrateKind::nvp(),
+            &trace(1),
+            quick_supply(),
+            3600.0,
+        )
+        .unwrap();
         assert_eq!(out.error_percent, 0.0);
         assert!(!out.skimmed);
     }
@@ -170,13 +168,24 @@ mod tests {
         let inst = Benchmark::Conv2d.instance(Scale::Quick, 31);
         let precise = PreparedRun::new(&inst, Technique::Precise).unwrap();
         let wn = PreparedRun::new(&inst, Technique::swp(4)).unwrap();
-        let p = run_intermittent(&precise, SubstrateKind::nvp(), &trace(2), quick_supply(), 3600.0)
-            .unwrap();
-        let w = run_intermittent(&wn, SubstrateKind::nvp(), &trace(2), quick_supply(), 3600.0)
-            .unwrap();
+        let p = run_intermittent(
+            &precise,
+            SubstrateKind::nvp(),
+            &trace(2),
+            quick_supply(),
+            3600.0,
+        )
+        .unwrap();
+        let w =
+            run_intermittent(&wn, SubstrateKind::nvp(), &trace(2), quick_supply(), 3600.0).unwrap();
         assert!(p.outages > 0, "precise run must span outages");
         assert!(w.skimmed, "WN run should finish via skim");
-        assert!(w.time_s < p.time_s, "skimmed WN faster: {} vs {}", w.time_s, p.time_s);
+        assert!(
+            w.time_s < p.time_s,
+            "skimmed WN faster: {} vs {}",
+            w.time_s,
+            p.time_s
+        );
         assert!(w.error_percent > 0.0 && w.error_percent < 30.0);
     }
 
@@ -184,10 +193,22 @@ mod tests {
     fn clank_pays_reexecution_nvp_does_not() {
         let inst = Benchmark::Home.instance(Scale::Quick, 32);
         let run = PreparedRun::new(&inst, Technique::Precise).unwrap();
-        let c = run_intermittent(&run, SubstrateKind::clank(), &trace(3), quick_supply(), 3600.0)
-            .unwrap();
-        let n = run_intermittent(&run, SubstrateKind::nvp(), &trace(3), quick_supply(), 3600.0)
-            .unwrap();
+        let c = run_intermittent(
+            &run,
+            SubstrateKind::clank(),
+            &trace(3),
+            quick_supply(),
+            3600.0,
+        )
+        .unwrap();
+        let n = run_intermittent(
+            &run,
+            SubstrateKind::nvp(),
+            &trace(3),
+            quick_supply(),
+            3600.0,
+        )
+        .unwrap();
         assert!(c.active_cycles > n.active_cycles);
         assert_eq!(c.error_percent, 0.0);
         assert_eq!(n.error_percent, 0.0);

@@ -1,0 +1,239 @@
+//! A small fork–join pool for experiment fan-out.
+//!
+//! Every figure/table of the evaluation decomposes into independent jobs
+//! (one intermittent run per trace, one row per configuration). The pool
+//! runs those jobs on scoped worker threads and reassembles results **in
+//! job-index order**, so parallel output is bit-identical to a serial
+//! run: the jobs themselves are deterministic, and only the assembly
+//! order could differ — which the index ordering pins down.
+//!
+//! Parallelism is chosen per [`JobPool`], defaulting to (in priority
+//! order) the process-wide override set by [`set_global_jobs`] (the
+//! `experiments` binary's `--jobs N`), the `WN_JOBS` environment
+//! variable, and finally [`std::thread::available_parallelism`].
+
+use std::env;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread;
+
+/// Process-wide jobs override; 0 means "not set".
+static GLOBAL_JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide worker count used by [`JobPool::global`]
+/// (`0` clears the override, falling back to `WN_JOBS` / core count).
+pub fn set_global_jobs(jobs: usize) {
+    GLOBAL_JOBS.store(jobs, Ordering::Relaxed);
+}
+
+/// The worker count [`JobPool::global`] would use right now.
+pub fn global_jobs() -> usize {
+    let explicit = GLOBAL_JOBS.load(Ordering::Relaxed);
+    if explicit > 0 {
+        return explicit;
+    }
+    if let Some(jobs) = env::var("WN_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        if jobs > 0 {
+            return jobs;
+        }
+    }
+    thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(1)
+}
+
+/// A fixed-width pool that fans `0..count` job indices out to scoped
+/// worker threads.
+#[derive(Debug, Clone, Copy)]
+pub struct JobPool {
+    jobs: usize,
+}
+
+impl JobPool {
+    /// A pool at the process-wide width (see [`global_jobs`]).
+    pub fn global() -> JobPool {
+        JobPool {
+            jobs: global_jobs(),
+        }
+    }
+
+    /// A pool with an explicit worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs` is 0.
+    pub fn with_jobs(jobs: usize) -> JobPool {
+        assert!(jobs > 0, "a job pool needs at least one worker");
+        JobPool { jobs }
+    }
+
+    /// This pool's worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Runs `job(0), …, job(count - 1)` and returns their results in
+    /// index order — identical to the serial `(0..count).map(job)` run,
+    /// whatever the worker count.
+    ///
+    /// Workers claim indices from a shared counter; a failing job stops
+    /// further claims (in-flight jobs still finish), and the error of the
+    /// **lowest** failing index is returned, again matching the serial
+    /// run. With one worker (or fewer than two jobs) everything runs
+    /// inline on the caller's thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (lowest-index) error any job produced.
+    pub fn run<T, E, F>(&self, count: usize, job: F) -> Result<Vec<T>, E>
+    where
+        T: Send,
+        E: Send,
+        F: Fn(usize) -> Result<T, E> + Sync,
+    {
+        if self.jobs == 1 || count <= 1 {
+            return (0..count).map(job).collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
+        // Unbounded channel: workers never block on send, and the results
+        // are drained after the scope joins every worker, so the pool
+        // cannot deadlock even when jobs fail.
+        let (tx, rx) = mpsc::channel::<(usize, Result<T, E>)>();
+
+        thread::scope(|scope| {
+            let next = &next;
+            let stop = &stop;
+            let job = &job;
+            for _ in 0..self.jobs.min(count) {
+                let tx = tx.clone();
+                scope.spawn(move || loop {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= count {
+                        break;
+                    }
+                    let result = job(index);
+                    let failed = result.is_err();
+                    if failed {
+                        stop.store(true, Ordering::Relaxed);
+                    }
+                    if tx.send((index, result)).is_err() || failed {
+                        break;
+                    }
+                });
+            }
+        });
+        drop(tx);
+
+        let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+        let mut first_error: Option<(usize, E)> = None;
+        for (index, result) in rx {
+            match result {
+                Ok(value) => slots[index] = Some(value),
+                Err(e) => {
+                    if first_error.as_ref().is_none_or(|(i, _)| index < *i) {
+                        first_error = Some((index, e));
+                    }
+                }
+            }
+        }
+        if let Some((_, e)) = first_error {
+            return Err(e);
+        }
+        Ok(slots
+            .into_iter()
+            .map(|slot| slot.expect("every job index was claimed and completed"))
+            .collect())
+    }
+}
+
+/// Fans jobs out on the process-wide pool (see [`JobPool::global`]).
+///
+/// # Errors
+///
+/// Returns the first (lowest-index) error any job produced.
+pub fn run_jobs<T, E, F>(count: usize, job: F) -> Result<Vec<T>, E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize) -> Result<T, E> + Sync,
+{
+    JobPool::global().run(count, job)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        for jobs in [1, 2, 8, 32] {
+            let pool = JobPool::with_jobs(jobs);
+            let out: Vec<usize> = pool.run(100, |i| Ok::<_, ()>(i * i)).unwrap();
+            assert_eq!(
+                out,
+                (0..100).map(|i| i * i).collect::<Vec<_>>(),
+                "jobs = {jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        let serial: Result<Vec<u64>, ()> = JobPool::with_jobs(1).run(37, |i| Ok(i as u64 * 7919));
+        let parallel = JobPool::with_jobs(6).run(37, |i| Ok(i as u64 * 7919));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn lowest_index_error_wins_without_deadlock() {
+        let pool = JobPool::with_jobs(4);
+        let err = pool
+            .run(64, |i| {
+                if i % 2 == 1 {
+                    Err(format!("job {i} failed"))
+                } else {
+                    Ok(i)
+                }
+            })
+            .unwrap_err();
+        assert_eq!(err, "job 1 failed");
+    }
+
+    #[test]
+    fn empty_and_single_job_runs_are_fine() {
+        let pool = JobPool::with_jobs(8);
+        assert_eq!(pool.run(0, |_| Ok::<u8, ()>(0)).unwrap(), Vec::<u8>::new());
+        assert_eq!(pool.run(1, |i| Ok::<_, ()>(i + 1)).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn panic_in_a_job_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            JobPool::with_jobs(2).run(4, |i| {
+                if i == 2 {
+                    panic!("boom");
+                }
+                Ok::<_, ()>(i)
+            })
+        });
+        assert!(result.is_err(), "worker panic must propagate to the caller");
+    }
+
+    #[test]
+    fn global_width_resolves_to_something_positive() {
+        assert!(global_jobs() >= 1);
+        set_global_jobs(3);
+        assert_eq!(global_jobs(), 3);
+        assert_eq!(JobPool::global().jobs(), 3);
+        set_global_jobs(0);
+        assert!(global_jobs() >= 1);
+    }
+}

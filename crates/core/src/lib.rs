@@ -26,7 +26,9 @@
 //! * [`intermittent`] — runs on harvested power over Clank/NVP (Figs. 10
 //!   and 11);
 //! * [`experiments`] — one entry point per table and figure in the paper,
-//!   each returning a typed, printable, CSV-able result.
+//!   each returning a typed, printable, CSV-able result;
+//! * [`jobs`] — the deterministic fork–join pool the experiments fan out
+//!   on (`--jobs N` / `WN_JOBS`, default: all cores).
 //!
 //! ## Quickstart
 //!
@@ -49,6 +51,7 @@ pub mod continuous;
 pub mod error;
 pub mod experiments;
 pub mod intermittent;
+pub mod jobs;
 pub mod prepared;
 pub mod stream;
 

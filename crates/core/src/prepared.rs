@@ -1,11 +1,24 @@
 //! A compiled kernel instance ready to run and score.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
 use wn_compiler::{compile, CompiledKernel, Technique};
-use wn_kernels::KernelInstance;
+use wn_kernels::{Benchmark, KernelInstance, Scale};
 use wn_quality::metrics::nrmse_percent;
 use wn_sim::{Core, CoreConfig};
 
 use crate::error::WnError;
+
+/// Benchmark instances are pure functions of `(benchmark, scale, seed)`
+/// and compilation of `(instance, technique)`, so prepared runs built
+/// from them can be shared across every figure of one process (several
+/// experiments compile the exact same precise/8-bit/4-bit builds).
+/// Custom core configurations (e.g. Fig. 13's memo table) bypass this
+/// cache.
+type PreparedKey = (Benchmark, Scale, u64, Technique);
+
+static PREPARED_CACHE: OnceLock<Mutex<HashMap<PreparedKey, Arc<PreparedRun>>>> = OnceLock::new();
 
 /// A kernel instance compiled at one technique: spins up cores with the
 /// instance's inputs injected and scores outputs against the instance's
@@ -34,6 +47,33 @@ impl PreparedRun {
         PreparedRun::with_core_config(instance, technique, CoreConfig::default())
     }
 
+    /// The shared compilation of `benchmark` at `(scale, seed)` with
+    /// `technique` under the default core configuration — cached for the
+    /// lifetime of the process, since experiments across figures keep
+    /// recompiling the same handful of builds.
+    ///
+    /// # Errors
+    ///
+    /// Returns a compile error if the technique does not apply.
+    pub fn cached(
+        benchmark: Benchmark,
+        scale: Scale,
+        seed: u64,
+        technique: Technique,
+    ) -> Result<Arc<PreparedRun>, WnError> {
+        let cache = PREPARED_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        let key = (benchmark, scale, seed, technique);
+        if let Some(hit) = cache.lock().expect("prepared cache poisoned").get(&key) {
+            return Ok(Arc::clone(hit));
+        }
+        // Compile outside the lock: races rebuild identical values, and
+        // the first insert wins so every caller shares one Arc.
+        let instance = benchmark.instance(scale, seed);
+        let built = Arc::new(PreparedRun::new(&instance, technique)?);
+        let mut cache = cache.lock().expect("prepared cache poisoned");
+        Ok(Arc::clone(cache.entry(key).or_insert(built)))
+    }
+
     /// Compiles with an explicit core configuration (e.g. memoization
     /// enabled).
     ///
@@ -46,7 +86,11 @@ impl PreparedRun {
         core_config: CoreConfig,
     ) -> Result<PreparedRun, WnError> {
         let compiled = compile(&instance.ir, technique)?;
-        Ok(PreparedRun::from_compiled(compiled, instance.clone(), core_config))
+        Ok(PreparedRun::from_compiled(
+            compiled,
+            instance.clone(),
+            core_config,
+        ))
     }
 
     /// Builds a prepared run from an already-compiled kernel — the
@@ -62,7 +106,12 @@ impl PreparedRun {
             .iter()
             .flat_map(|(_, gold)| gold.iter().map(|&v| v as f64))
             .collect();
-        PreparedRun { compiled, instance, core_config, golden_f64 }
+        PreparedRun {
+            compiled,
+            instance,
+            core_config,
+            golden_f64,
+        }
     }
 
     /// The technique this run was compiled with.
@@ -91,7 +140,9 @@ impl PreparedRun {
     /// Returns a simulation error if the output region is unreadable.
     pub fn decode(&self, core: &Core, array: &str) -> Result<Vec<i64>, WnError> {
         let layout = self.compiled.layout(array);
-        let bytes = core.mem.slice(self.compiled.addr(array), layout.byte_size())?;
+        let bytes = core
+            .mem
+            .slice(self.compiled.addr(array), layout.byte_size())?;
         Ok(layout.decode(bytes))
     }
 
@@ -193,6 +244,24 @@ mod tests {
             let (wc, _) = wn.run_to_completion().unwrap();
             assert!(wc > pc, "{b}: wn {wc} <= precise {pc}");
         }
+    }
+
+    #[test]
+    fn cached_runs_are_shared_and_match_fresh_compilations() {
+        let a =
+            PreparedRun::cached(Benchmark::MatAdd, Scale::Quick, 77, Technique::swv(8)).unwrap();
+        let b =
+            PreparedRun::cached(Benchmark::MatAdd, Scale::Quick, 77, Technique::swv(8)).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same key must share one compilation");
+
+        let inst = Benchmark::MatAdd.instance(Scale::Quick, 77);
+        let fresh = PreparedRun::new(&inst, Technique::swv(8)).unwrap();
+        assert_eq!(a.compiled.program, fresh.compiled.program);
+        assert_eq!(a.instance.inputs, fresh.instance.inputs);
+
+        let other =
+            PreparedRun::cached(Benchmark::MatAdd, Scale::Quick, 78, Technique::swv(8)).unwrap();
+        assert!(!Arc::ptr_eq(&a, &other), "different seed, different entry");
     }
 
     #[test]

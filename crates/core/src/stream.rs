@@ -73,7 +73,10 @@ impl StreamOutcome {
         if self.processed.is_empty() {
             return f64::NAN;
         }
-        self.processed.iter().map(ProcessedInput::latency_s).sum::<f64>()
+        self.processed
+            .iter()
+            .map(ProcessedInput::latency_s)
+            .sum::<f64>()
             / self.processed.len() as f64
     }
 
@@ -102,7 +105,10 @@ pub fn run_stream(
     config: &StreamConfig,
 ) -> Result<StreamOutcome, WnError> {
     assert!(config.num_inputs > 0, "stream needs at least one input");
-    assert!(config.arrival_interval_s > 0.0, "arrivals need a positive interval");
+    assert!(
+        config.arrival_interval_s > 0.0,
+        "arrivals need a positive interval"
+    );
 
     let mut supply = supply;
     let mut processed = Vec::new();
@@ -119,8 +125,8 @@ pub fn run_stream(
         }
         // Arrivals up to `now`; the device takes the newest, dropping the
         // rest of the backlog.
-        let arrived = ((now / config.arrival_interval_s).floor() as usize + 1)
-            .min(config.num_inputs);
+        let arrived =
+            ((now / config.arrival_interval_s).floor() as usize + 1).min(config.num_inputs);
         if next_unprocessed >= config.num_inputs {
             break;
         }
@@ -139,8 +145,7 @@ pub fn run_stream(
             compiled = Some(wn_compiler::compile(&instance.ir, technique)?);
         }
         let shared = compiled.as_ref().expect("compiled above");
-        let prepared =
-            PreparedRun::from_compiled(shared.clone(), instance, CoreConfig::default());
+        let prepared = PreparedRun::from_compiled(shared.clone(), instance, CoreConfig::default());
         let core = prepared.fresh_core()?;
         let started_s = supply.time_s();
         let (outcome, returned_supply, error_percent) = match config.substrate {
@@ -170,7 +175,11 @@ pub fn run_stream(
 
     // Arrivals that never got picked up count as dropped.
     dropped += config.num_inputs.saturating_sub(next_unprocessed);
-    Ok(StreamOutcome { processed, dropped, total_time_s: supply.time_s() })
+    Ok(StreamOutcome {
+        processed,
+        dropped,
+        total_time_s: supply.time_s(),
+    })
 }
 
 #[cfg(test)]
@@ -204,7 +213,10 @@ mod tests {
             &make,
             Technique::Precise,
             supply(1),
-            &StreamConfig { num_inputs: 1, ..stream_config(1000.0) },
+            &StreamConfig {
+                num_inputs: 1,
+                ..stream_config(1000.0)
+            },
         )
         .unwrap();
         let precise_time = probe.processed[0].completed_s;
@@ -219,9 +231,18 @@ mod tests {
             wn.processed.len(),
             precise.processed.len()
         );
-        assert!(wn.dropped < precise.dropped, "WN {} dropped vs {}", wn.dropped, precise.dropped);
+        assert!(
+            wn.dropped < precise.dropped,
+            "WN {} dropped vs {}",
+            wn.dropped,
+            precise.dropped
+        );
         assert!(precise.processed.iter().all(|p| p.error_percent == 0.0));
-        assert!(wn.mean_error_percent() < 15.0, "{}", wn.mean_error_percent());
+        assert!(
+            wn.mean_error_percent() < 15.0,
+            "{}",
+            wn.mean_error_percent()
+        );
         // Fresher answers too.
         assert!(wn.mean_latency_s() < precise.mean_latency_s());
     }
@@ -230,7 +251,10 @@ mod tests {
     fn slow_arrivals_let_both_keep_up() {
         let make = |i: usize| Benchmark::Var.instance(Scale::Quick, 600 + i as u64);
         // Very slow arrivals: nothing is dropped even precisely.
-        let cfg = StreamConfig { num_inputs: 3, ..stream_config(30.0) };
+        let cfg = StreamConfig {
+            num_inputs: 3,
+            ..stream_config(30.0)
+        };
         let precise = run_stream(&make, Technique::Precise, supply(3), &cfg).unwrap();
         assert_eq!(precise.processed.len(), 3);
         assert_eq!(precise.dropped, 0);

@@ -28,7 +28,11 @@ impl Capacitor {
     pub fn new(capacitance_f: f64, v_max: f64) -> Capacitor {
         assert!(capacitance_f > 0.0, "capacitance must be positive");
         assert!(v_max > 0.0, "rail voltage must be positive");
-        Capacitor { capacitance_f, v_max, energy_j: 0.0 }
+        Capacitor {
+            capacitance_f,
+            v_max,
+            energy_j: 0.0,
+        }
     }
 
     /// Capacitance in farads.

@@ -37,8 +37,9 @@ impl TraceStats {
     /// Computes statistics with the burst threshold at 25 % of peak.
     pub fn of(trace: &PowerTrace) -> TraceStats {
         let n = trace.len();
-        let samples: Vec<f64> =
-            (0..n).map(|i| trace.power_at(i as f64 / SAMPLE_HZ)).collect();
+        let samples: Vec<f64> = (0..n)
+            .map(|i| trace.power_at(i as f64 / SAMPLE_HZ))
+            .collect();
         let peak = samples.iter().cloned().fold(0.0, f64::max);
         let threshold = 0.25 * peak;
         let mean = samples.iter().sum::<f64>() / n as f64;
@@ -163,14 +164,25 @@ mod tests {
         let t = PowerTrace::generate(TraceKind::RfBursty, 7, 60.0);
         let s = TraceStats::of(&t);
         // Bursty: duty between 20% and 80%, gaps of tens of ms.
-        assert!(s.duty_cycle > 0.2 && s.duty_cycle < 0.8, "duty {}", s.duty_cycle);
-        assert!(s.mean_gap_s > 0.01 && s.mean_gap_s < 0.2, "gap {}", s.mean_gap_s);
+        assert!(
+            s.duty_cycle > 0.2 && s.duty_cycle < 0.8,
+            "duty {}",
+            s.duty_cycle
+        );
+        assert!(
+            s.mean_gap_s > 0.01 && s.mean_gap_s < 0.2,
+            "gap {}",
+            s.mean_gap_s
+        );
         // Recharge time on the paper supply: tens to hundreds of ms —
         // frequent outages relative to millisecond on-periods.
         let recharge = s.expected_recharge_s(&SupplyConfig::default());
         assert!(recharge > 0.02 && recharge < 0.5, "recharge {recharge}");
         let on_period = 1.0 / s.outage_rate_per_on_second(&SupplyConfig::default());
-        assert!(on_period > 5e-4 && on_period < 5e-3, "on period {on_period}");
+        assert!(
+            on_period > 5e-4 && on_period < 5e-3,
+            "on period {on_period}"
+        );
     }
 
     #[test]

@@ -83,7 +83,10 @@ impl fmt::Display for SupplyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SupplyError::Starved { waited_s } => {
-                write!(f, "harvester starved: v_on not reached after {waited_s:.1}s")
+                write!(
+                    f,
+                    "harvester starved: v_on not reached after {waited_s:.1}s"
+                )
             }
             SupplyError::NotPowered => write!(f, "cycles consumed while powered off"),
         }
@@ -265,7 +268,10 @@ mod tests {
 
     fn constant_supply() -> EnergySupply {
         let trace = PowerTrace::generate(TraceKind::Constant, 0, 10.0);
-        let cfg = SupplyConfig { start_charged: false, ..SupplyConfig::default() };
+        let cfg = SupplyConfig {
+            start_charged: false,
+            ..SupplyConfig::default()
+        };
         EnergySupply::new(trace, cfg)
     }
 
@@ -320,7 +326,10 @@ mod tests {
     fn power_cycle_loop_makes_progress() {
         // Repeated outage/recover cycles across a bursty trace.
         let trace = PowerTrace::generate(TraceKind::RfBursty, 11, 60.0);
-        let cfg = SupplyConfig { start_charged: false, ..SupplyConfig::default() };
+        let cfg = SupplyConfig {
+            start_charged: false,
+            ..SupplyConfig::default()
+        };
         let mut s = EnergySupply::new(trace, cfg);
         let mut executed = 0u64;
         for _ in 0..5 {
@@ -349,7 +358,10 @@ mod tests {
             ..SupplyConfig::default()
         };
         let mut s = EnergySupply::new(trace, cfg);
-        assert!(matches!(s.wait_for_power(), Err(SupplyError::Starved { .. })));
+        assert!(matches!(
+            s.wait_for_power(),
+            Err(SupplyError::Starved { .. })
+        ));
     }
 
     #[test]

@@ -35,8 +35,12 @@ pub enum TraceKind {
 
 impl TraceKind {
     /// The synthetic kinds (excluding [`TraceKind::Imported`]).
-    pub const ALL: [TraceKind; 4] =
-        [TraceKind::RfBursty, TraceKind::Solar, TraceKind::Periodic, TraceKind::Constant];
+    pub const ALL: [TraceKind; 4] = [
+        TraceKind::RfBursty,
+        TraceKind::Solar,
+        TraceKind::Periodic,
+        TraceKind::Constant,
+    ];
 }
 
 /// A harvested-power trace sampled at 1 kHz, in watts.
@@ -120,7 +124,11 @@ impl PowerTrace {
                 panic!("imported traces come from from_samples/from_csv, not generate")
             }
         }
-        PowerTrace { samples_w: Arc::new(samples), kind, seed }
+        PowerTrace {
+            samples_w: Arc::new(samples),
+            kind,
+            seed,
+        }
     }
 
     /// Wraps measured 1 kHz power samples (watts) as a trace — the hook
@@ -132,8 +140,15 @@ impl PowerTrace {
     /// Panics on an empty sample vector or negative power.
     pub fn from_samples(samples_w: Vec<f32>) -> PowerTrace {
         assert!(!samples_w.is_empty(), "a trace needs at least one sample");
-        assert!(samples_w.iter().all(|&p| p >= 0.0), "power must be non-negative");
-        PowerTrace { samples_w: Arc::new(samples_w), kind: TraceKind::Imported, seed: 0 }
+        assert!(
+            samples_w.iter().all(|&p| p >= 0.0),
+            "power must be non-negative"
+        );
+        PowerTrace {
+            samples_w: Arc::new(samples_w),
+            kind: TraceKind::Imported,
+            seed: 0,
+        }
     }
 
     /// Parses a trace from CSV: one power-in-watts value per line
@@ -185,11 +200,15 @@ impl PowerTrace {
 
     /// Renders the trace as CSV (`time_ms,power_w`).
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("time_ms,power_w
-");
+        let mut out = String::from(
+            "time_ms,power_w
+",
+        );
         for (i, &p) in self.samples_w.iter().enumerate() {
-            out.push_str(&format!("{i},{p:e}
-"));
+            out.push_str(&format!(
+                "{i},{p:e}
+"
+            ));
         }
         out
     }
@@ -201,8 +220,16 @@ impl PowerTrace {
         let mut traces: Vec<PowerTrace> = (0..7)
             .map(|i| PowerTrace::generate(TraceKind::RfBursty, base_seed + i, duration_s))
             .collect();
-        traces.push(PowerTrace::generate(TraceKind::Solar, base_seed + 7, duration_s));
-        traces.push(PowerTrace::generate(TraceKind::Periodic, base_seed + 8, duration_s));
+        traces.push(PowerTrace::generate(
+            TraceKind::Solar,
+            base_seed + 7,
+            duration_s,
+        ));
+        traces.push(PowerTrace::generate(
+            TraceKind::Periodic,
+            base_seed + 8,
+            duration_s,
+        ));
         traces
     }
 
@@ -383,16 +410,22 @@ mod tests {
 
     #[test]
     fn csv_accepts_single_column_and_comments() {
-        let t = PowerTrace::from_csv("# comment
+        let t = PowerTrace::from_csv(
+            "# comment
 0.001
 0.002
 0.0
-").unwrap();
+",
+        )
+        .unwrap();
         assert_eq!(t.len(), 3);
         assert!(PowerTrace::from_csv("").is_err());
-        assert!(PowerTrace::from_csv("h
+        assert!(PowerTrace::from_csv(
+            "h
 -1.0
-").is_err());
+"
+        )
+        .is_err());
     }
 
     #[test]

@@ -82,6 +82,25 @@ proptest! {
     }
 }
 
+/// Pinned regression from `trace_props.proptest-regressions`: the old
+/// float-time sample walk in `energy_between` drifted at window
+/// boundaries, and this exact case (RfBursty, seed 0, t0 ≈ 1.754) broke
+/// additivity. The integer-sample walk must keep it exact; the shrunk
+/// inputs stay as an explicit test because the vendored proptest shim
+/// does not replay regression files.
+#[test]
+fn energy_additivity_regression_rf_seed0() {
+    let (t0, a, b) = (1.7542079124780807, 0.8850275038717319, 1.9249148864291092);
+    let trace = PowerTrace::generate(TraceKind::RfBursty, 0, 12.0);
+    let whole = trace.energy_between(t0, a + b);
+    let split = trace.energy_between(t0, a) + trace.energy_between(t0 + a, b);
+    assert!(
+        (whole - split).abs() <= 1e-9 + 1e-6 * whole.abs(),
+        "E({t0},{}) = {whole} vs split {split}",
+        a + b
+    );
+}
+
 #[test]
 fn csv_accepts_headers_comments_and_two_columns() {
     let text = "# scope export\ntime_ms,power_w\n0,0.001\n1,0.002\n\n2,0.0\n";

@@ -236,9 +236,21 @@ impl AreaPowerReport {
 impl fmt::Display for AreaPowerReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "adder Fmax:                {:>7.2} GHz", self.fmax_ghz)?;
-        writeln!(f, "mux area vs core:          {:>7.3} %", self.core_area_overhead_percent)?;
-        writeln!(f, "mux power vs adder:        {:>7.2} %", self.adder_power_overhead_percent)?;
-        writeln!(f, "memo table vs multiplier:  {:>7.1} %", self.memo_vs_multiplier_percent)?;
+        writeln!(
+            f,
+            "mux area vs core:          {:>7.3} %",
+            self.core_area_overhead_percent
+        )?;
+        writeln!(
+            f,
+            "mux power vs adder:        {:>7.2} %",
+            self.adder_power_overhead_percent
+        )?;
+        writeln!(
+            f,
+            "memo table vs multiplier:  {:>7.1} %",
+            self.memo_vs_multiplier_percent
+        )?;
         Ok(())
     }
 }
@@ -286,8 +298,14 @@ mod tests {
 
     #[test]
     fn memo_area_scales_with_entries() {
-        let small = MemoTableModel { entries: 16, ..MemoTableModel::default() };
-        let big = MemoTableModel { entries: 64, ..MemoTableModel::default() };
+        let small = MemoTableModel {
+            entries: 16,
+            ..MemoTableModel::default()
+        };
+        let big = MemoTableModel {
+            entries: 64,
+            ..MemoTableModel::default()
+        };
         assert!(big.area_ge() > 3.0 * small.area_ge());
     }
 
@@ -302,8 +320,14 @@ mod tests {
 
     #[test]
     fn wider_spacing_fewer_muxes_faster() {
-        let fine = SwvAdderModel { mux_spacing: 4, ..SwvAdderModel::default() };
-        let coarse = SwvAdderModel { mux_spacing: 8, ..SwvAdderModel::default() };
+        let fine = SwvAdderModel {
+            mux_spacing: 4,
+            ..SwvAdderModel::default()
+        };
+        let coarse = SwvAdderModel {
+            mux_spacing: 8,
+            ..SwvAdderModel::default()
+        };
         assert!(coarse.mux_count() < fine.mux_count());
         assert!(coarse.fmax_ghz() > fine.fmax_ghz());
         assert!(coarse.energy_per_add_fj() < fine.energy_per_add_fj());

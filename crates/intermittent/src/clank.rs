@@ -127,7 +127,10 @@ impl Clank {
     ///
     /// Panics if the write-back buffer capacity is zero.
     pub fn new(config: ClankConfig) -> Clank {
-        assert!(config.wb_entries > 0, "write-back buffer needs at least one entry");
+        assert!(
+            config.wb_entries > 0,
+            "write-back buffer needs at least one entry"
+        );
         Clank {
             config,
             checkpoint: None,
@@ -162,7 +165,10 @@ impl Clank {
                 2 => core.mem.store_u16(access.addr, access.prev as u16),
                 _ => core.mem.store_u32(access.addr, access.prev),
             };
-            debug_assert!(r.is_ok(), "rollback of a previously successful store cannot fail");
+            debug_assert!(
+                r.is_ok(),
+                "rollback of a previously successful store cannot fail"
+            );
         }
         self.buffered_words.clear();
         self.read_words.clear();
@@ -275,7 +281,8 @@ mod tests {
     #[test]
     fn write_after_checkpoint_is_not_a_violation() {
         // A store to a never-read address does not checkpoint.
-        let mut c = core(".data\nbuf: .space 8\n.text\nMOV r0, =buf\nMOV r1, #5\nSTR r1, [r0, #0]\nHALT");
+        let mut c =
+            core(".data\nbuf: .space 8\n.text\nMOV r0, =buf\nMOV r1, #5\nSTR r1, [r0, #0]\nHALT");
         let mut clank = Clank::default();
         for _ in 0..4 {
             step(&mut c, &mut clank);
@@ -293,7 +300,10 @@ mod tests {
         }
         src.push_str("HALT");
         let mut c = core(&src);
-        let cfg = ClankConfig { wb_entries: 3, ..ClankConfig::default() };
+        let cfg = ClankConfig {
+            wb_entries: 3,
+            ..ClankConfig::default()
+        };
         let mut clank = Clank::new(cfg);
         while !c.is_halted() {
             step(&mut c, &mut clank);
@@ -304,7 +314,10 @@ mod tests {
     #[test]
     fn watchdog_checkpoints_periodically() {
         let mut c = core("top:\nADD r0, r0, #1\nCMP r0, #100000\nBLT top\nHALT");
-        let cfg = ClankConfig { watchdog_cycles: 100, ..ClankConfig::default() };
+        let cfg = ClankConfig {
+            watchdog_cycles: 100,
+            ..ClankConfig::default()
+        };
         let mut clank = Clank::new(cfg);
         let mut cycles = 0;
         while cycles < 2_000 {
@@ -312,7 +325,11 @@ mod tests {
         }
         // ~2000 cycles at a 100-cycle watchdog (checkpoint costs inflate
         // the denominator): at least a dozen checkpoints.
-        assert!(clank.stats().watchdog_checkpoints >= 12, "{:?}", clank.stats());
+        assert!(
+            clank.stats().watchdog_checkpoints >= 12,
+            "{:?}",
+            clank.stats()
+        );
     }
 
     #[test]
@@ -337,7 +354,11 @@ mod tests {
         assert_eq!(c.mem.load_u32(4).unwrap(), 2);
         clank.on_outage(&mut c);
         assert_eq!(c.mem.load_u32(0).unwrap(), 1, "committed store survives");
-        assert_eq!(c.mem.load_u32(4).unwrap(), 0, "uncommitted store rolled back");
+        assert_eq!(
+            c.mem.load_u32(4).unwrap(),
+            0,
+            "uncommitted store rolled back"
+        );
         clank.on_restore(&mut c);
         assert_eq!(c.cpu.pc, pc_at_checkpoint, "restored to checkpoint PC");
         assert_eq!(c.cpu.reg(wn_isa::Reg::R1), 1, "registers restored");
@@ -361,7 +382,10 @@ mod tests {
         let mut c = core(src);
         // Watchdog must fire within an on-period for progress: outages
         // arrive every 9 instructions (>= 9 cycles), watchdog every 6.
-        let mut clank = Clank::new(ClankConfig { watchdog_cycles: 6, ..ClankConfig::default() });
+        let mut clank = Clank::new(ClankConfig {
+            watchdog_cycles: 6,
+            ..ClankConfig::default()
+        });
         let mut steps = 0u64;
         loop {
             let info = c.step().unwrap();
@@ -383,6 +407,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one entry")]
     fn zero_capacity_rejected() {
-        Clank::new(ClankConfig { wb_entries: 0, ..ClankConfig::default() });
+        Clank::new(ClankConfig {
+            wb_entries: 0,
+            ..ClankConfig::default()
+        });
     }
 }

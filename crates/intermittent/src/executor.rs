@@ -90,16 +90,28 @@ pub struct IntermittentExecutor<S: Substrate> {
 }
 
 impl<S: Substrate> IntermittentExecutor<S> {
-    /// Creates an executor over a fresh supply built from `trace`.
-    pub fn new(core: Core, trace: PowerTrace, supply_config: SupplyConfig, substrate: S) -> Self {
-        IntermittentExecutor::with_supply(core, EnergySupply::new(trace, supply_config), substrate)
+    /// Creates an executor over a fresh supply built from `trace`. The
+    /// trace is borrowed — its samples are behind an `Arc`, so the supply
+    /// shares them instead of copying (experiment fan-out runs many
+    /// executors over one ensemble concurrently).
+    pub fn new(core: Core, trace: &PowerTrace, supply_config: SupplyConfig, substrate: S) -> Self {
+        IntermittentExecutor::with_supply(
+            core,
+            EnergySupply::new(trace.clone(), supply_config),
+            substrate,
+        )
     }
 
     /// Creates an executor over an existing supply — used by the stream
     /// harness, where one energy environment persists across many input
     /// invocations (paper Fig. 1).
     pub fn with_supply(core: Core, supply: EnergySupply, substrate: S) -> Self {
-        IntermittentExecutor { core, supply, substrate, skim_enabled: true }
+        IntermittentExecutor {
+            core,
+            supply,
+            substrate,
+            skim_enabled: true,
+        }
     }
 
     /// Consumes the executor and returns its supply (time and capacitor
@@ -260,7 +272,7 @@ mod tests {
     fn clank_completes_across_outages() {
         let core = Core::new(&long_program(200_000), CoreConfig::default()).unwrap();
         let mut exec =
-            IntermittentExecutor::new(core, rf_trace(3), supply_config(), Clank::default());
+            IntermittentExecutor::new(core, &rf_trace(3), supply_config(), Clank::default());
         let run = exec.run(3600.0).unwrap();
         assert!(run.completed);
         assert!(!run.skimmed, "no SKM instructions in this program");
@@ -277,11 +289,11 @@ mod tests {
         let mk = |sub: bool| -> IntermittentRun {
             let core = Core::new(&program, CoreConfig::default()).unwrap();
             if sub {
-                IntermittentExecutor::new(core, rf_trace(4), supply_config(), Clank::default())
+                IntermittentExecutor::new(core, &rf_trace(4), supply_config(), Clank::default())
                     .run(3600.0)
                     .unwrap()
             } else {
-                IntermittentExecutor::new(core, rf_trace(4), supply_config(), Nvp::default())
+                IntermittentExecutor::new(core, &rf_trace(4), supply_config(), Nvp::default())
                     .run(3600.0)
                     .unwrap()
             }
@@ -304,12 +316,8 @@ mod tests {
         // only finish by skimming.
         let src = ".data\nout: .space 4\n.text\nMOV r0, =out\nMOV r1, #1\nSTR r1, [r0, #0]\nSKM end\nspin:\nADD r2, r2, #1\nSTR r2, [r0, #0]\nLDR r3, [r0, #0]\nB spin\nend:\nHALT";
         let core = Core::new(&assemble(src).unwrap(), CoreConfig::default()).unwrap();
-        let mut exec = IntermittentExecutor::new(
-            core,
-            rf_trace(5),
-            supply_config(),
-            Nvp::default(),
-        );
+        let mut exec =
+            IntermittentExecutor::new(core, &rf_trace(5), supply_config(), Nvp::default());
         let run = exec.run(3600.0).unwrap();
         assert!(run.completed);
         assert!(run.skimmed, "completion must come from the skim path");
@@ -323,8 +331,11 @@ mod tests {
         let src = "spin:\nADD r0, r0, #1\nB spin";
         let core = Core::new(&assemble(src).unwrap(), CoreConfig::default()).unwrap();
         let strong = PowerTrace::generate(TraceKind::Constant, 0, 10.0);
-        let cfg = SupplyConfig { pj_per_cycle: 0.0, ..SupplyConfig::default() };
-        let mut exec = IntermittentExecutor::new(core, strong, cfg, Nvp::default());
+        let cfg = SupplyConfig {
+            pj_per_cycle: 0.0,
+            ..SupplyConfig::default()
+        };
+        let mut exec = IntermittentExecutor::new(core, &strong, cfg, Nvp::default());
         assert!(matches!(exec.run(0.5), Err(ExecError::WallClock { .. })));
     }
 
@@ -333,7 +344,7 @@ mod tests {
         let src = "SKM end\nspin:\nADD r2, r2, #1\nB spin\nend:\nHALT";
         let core = Core::new(&assemble(src).unwrap(), CoreConfig::default()).unwrap();
         let mut exec =
-            IntermittentExecutor::new(core, rf_trace(6), supply_config(), Nvp::default());
+            IntermittentExecutor::new(core, &rf_trace(6), supply_config(), Nvp::default());
         exec.set_skim_enabled(false);
         assert!(matches!(exec.run(2.0), Err(ExecError::WallClock { .. })));
     }
@@ -343,7 +354,7 @@ mod tests {
         let src = ".data\nout: .space 4\n.text\nSKM end\nspin:\nADD r2, r2, #1\nB spin\nend:\nHALT";
         let core = Core::new(&assemble(src).unwrap(), CoreConfig::default()).unwrap();
         let mut exec =
-            IntermittentExecutor::new(core, rf_trace(7), supply_config(), Nvp::default());
+            IntermittentExecutor::new(core, &rf_trace(7), supply_config(), Nvp::default());
         let run = exec.run(3600.0).unwrap();
         assert!(run.skimmed);
         assert_eq!(exec.core().cpu.skm, None, "one-shot skim register");
@@ -358,7 +369,7 @@ mod tests {
             watchdog_cycles: u64::MAX,
             ..ClankConfig::default()
         });
-        let mut exec = IntermittentExecutor::new(core, rf_trace(8), supply_config(), clank);
+        let mut exec = IntermittentExecutor::new(core, &rf_trace(8), supply_config(), clank);
         let run = exec.run(3600.0).unwrap();
         assert!(run.completed);
         assert!(run.substrate.violation_checkpoints > 0);
@@ -368,7 +379,7 @@ mod tests {
     fn precise_and_wn_track_time_budgets() {
         let core = Core::new(&long_program(10_000), CoreConfig::default()).unwrap();
         let mut exec =
-            IntermittentExecutor::new(core, rf_trace(9), supply_config(), Nvp::default());
+            IntermittentExecutor::new(core, &rf_trace(9), supply_config(), Nvp::default());
         let run = exec.run(3600.0).unwrap();
         assert!(run.on_time_s > 0.0);
         assert!(run.active_cycles > 10_000);

@@ -29,7 +29,7 @@
 //! let trace = PowerTrace::generate(TraceKind::RfBursty, 1, 60.0);
 //! let mut exec = IntermittentExecutor::new(
 //!     core,
-//!     trace,
+//!     &trace,
 //!     SupplyConfig::default(),
 //!     Clank::default(),
 //! );

@@ -25,7 +25,10 @@ pub struct NvpConfig {
 
 impl Default for NvpConfig {
     fn default() -> NvpConfig {
-        NvpConfig { wakeup_cycles: 10, backup_cycles_per_instr: 0 }
+        NvpConfig {
+            wakeup_cycles: 10,
+            backup_cycles_per_instr: 0,
+        }
     }
 }
 
@@ -47,7 +50,11 @@ impl Default for Nvp {
 impl Nvp {
     /// Creates an NVP substrate.
     pub fn new(config: NvpConfig) -> Nvp {
-        Nvp { config, nv_state: None, stats: SubstrateStats::default() }
+        Nvp {
+            config,
+            nv_state: None,
+            stats: SubstrateStats::default(),
+        }
     }
 
     /// The configuration.
@@ -115,11 +122,19 @@ mod tests {
         }
         let pc_before = core.cpu.pc;
         nvp.on_outage(&mut core);
-        assert_eq!(core.cpu.reg(wn_isa::Reg::R0), 0, "volatile pipeline cleared");
+        assert_eq!(
+            core.cpu.reg(wn_isa::Reg::R0),
+            0,
+            "volatile pipeline cleared"
+        );
         let cost = nvp.on_restore(&mut core);
         assert_eq!(cost, NvpConfig::default().wakeup_cycles);
         assert_eq!(core.cpu.pc, pc_before, "resumes exactly where it stopped");
-        assert_eq!(core.cpu.reg(wn_isa::Reg::R1), 2, "registers restored from NV state");
+        assert_eq!(
+            core.cpu.reg(wn_isa::Reg::R1),
+            2,
+            "registers restored from NV state"
+        );
 
         // Finishing produces the correct result: no re-execution happened.
         while !core.is_halted() {
@@ -143,7 +158,10 @@ mod tests {
     fn backup_overhead_is_chargeable() {
         let p = assemble("NOP\nNOP\nHALT").unwrap();
         let mut core = Core::new(&p, CoreConfig::default()).unwrap();
-        let mut nvp = Nvp::new(NvpConfig { backup_cycles_per_instr: 2, wakeup_cycles: 10 });
+        let mut nvp = Nvp::new(NvpConfig {
+            backup_cycles_per_instr: 2,
+            wakeup_cycles: 10,
+        });
         let info = core.step().unwrap();
         assert_eq!(nvp.after_step(&mut core, &info), 2);
         assert_eq!(nvp.stats().overhead_cycles, 2);

@@ -40,11 +40,7 @@ fn reference_memory(n: u32) -> (u32, u32) {
 /// Runs the workload with outages injected after the instruction counts
 /// in `outage_points` (relative to retired instructions since the last
 /// injection), returning final (out[0], out[1]).
-fn run_with_outages<S: Substrate>(
-    mut substrate: S,
-    n: u32,
-    outage_gaps: &[u16],
-) -> (u32, u32) {
+fn run_with_outages<S: Substrate>(mut substrate: S, n: u32, outage_gaps: &[u16]) -> (u32, u32) {
     let program = workload(n);
     let mut core = Core::new(&program, CoreConfig::default()).unwrap();
     let mut gap_iter = outage_gaps.iter();

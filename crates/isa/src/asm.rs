@@ -44,7 +44,10 @@ pub struct AsmError {
 
 impl AsmError {
     fn new(line: usize, message: impl Into<String>) -> AsmError {
-        AsmError { line, message: message.into() }
+        AsmError {
+            line,
+            message: message.into(),
+        }
     }
 }
 
@@ -109,7 +112,10 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
         }
         if let Some((label, rest)) = split_label(line) {
             if builder.data_symbol(label).is_some() {
-                return Err(AsmError::new(line_no, format!("duplicate data label `{label}`")));
+                return Err(AsmError::new(
+                    line_no,
+                    format!("duplicate data label `{label}`"),
+                ));
             }
             let rest = rest.trim();
             if rest.is_empty() {
@@ -132,11 +138,17 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
             let label = pending_label.take().map(|(_, l)| l);
             parse_data_directive(&mut builder, line_no, line, label)?;
         } else {
-            return Err(AsmError::new(line_no, "expected a label or directive in .data"));
+            return Err(AsmError::new(
+                line_no,
+                "expected a label or directive in .data",
+            ));
         }
     }
     if let Some((line_no, label)) = pending_label {
-        return Err(AsmError::new(line_no, format!("data label `{label}` has no directive")));
+        return Err(AsmError::new(
+            line_no,
+            format!("data label `{label}` has no directive"),
+        ));
     }
 
     // Pass 2: assemble the text sections.
@@ -161,7 +173,10 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
         }
         while let Some((label, rest)) = split_label(line) {
             if builder.is_bound(label) {
-                return Err(AsmError::new(line_no, format!("duplicate code label `{label}`")));
+                return Err(AsmError::new(
+                    line_no,
+                    format!("duplicate code label `{label}`"),
+                ));
             }
             builder.bind_label(label);
             line = rest.trim();
@@ -227,7 +242,10 @@ fn parse_data_directive(
             let mut halves = Vec::with_capacity(vals.len());
             for v in vals {
                 if !(i16::MIN as i32..=u16::MAX as i32).contains(&v) {
-                    return Err(AsmError::new(line_no, format!("halfword out of range: {v}")));
+                    return Err(AsmError::new(
+                        line_no,
+                        format!("halfword out of range: {v}"),
+                    ));
                 }
                 halves.push(v as i16);
             }
@@ -251,7 +269,12 @@ fn parse_data_directive(
             }
             DataItem::Space(n as u32)
         }
-        other => return Err(AsmError::new(line_no, format!("unknown data directive `{other}`"))),
+        other => {
+            return Err(AsmError::new(
+                line_no,
+                format!("unknown data directive `{other}`"),
+            ))
+        }
     };
     let name = label.unwrap_or_else(|| format!("__anon_{line_no}"));
     builder.data(&name, item);
@@ -262,7 +285,9 @@ fn parse_int_list(line_no: usize, args: &str) -> Result<Vec<i32>, AsmError> {
     if args.trim().is_empty() {
         return Err(AsmError::new(line_no, "directive needs at least one value"));
     }
-    args.split(',').map(|a| parse_int(line_no, a.trim())).collect()
+    args.split(',')
+        .map(|a| parse_int(line_no, a.trim()))
+        .collect()
 }
 
 fn parse_int(line_no: usize, text: &str) -> Result<i32, AsmError> {
@@ -271,17 +296,21 @@ fn parse_int(line_no: usize, text: &str) -> Result<i32, AsmError> {
         Some(rest) => (true, rest),
         None => (false, text),
     };
-    let value: Option<i64> = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
-        u32::from_str_radix(hex, 16).ok().map(i64::from)
-    } else if let Some(bin) = body.strip_prefix("0b").or_else(|| body.strip_prefix("0B")) {
-        u32::from_str_radix(bin, 2).ok().map(i64::from)
-    } else {
-        body.parse::<i64>().ok()
-    };
+    let value: Option<i64> =
+        if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+            u32::from_str_radix(hex, 16).ok().map(i64::from)
+        } else if let Some(bin) = body.strip_prefix("0b").or_else(|| body.strip_prefix("0B")) {
+            u32::from_str_radix(bin, 2).ok().map(i64::from)
+        } else {
+            body.parse::<i64>().ok()
+        };
     let value = value.ok_or_else(|| AsmError::new(line_no, format!("invalid integer `{text}`")))?;
     let value = if neg { -value } else { value };
     if !(i32::MIN as i64..=u32::MAX as i64).contains(&value) {
-        return Err(AsmError::new(line_no, format!("integer out of range: `{text}`")));
+        return Err(AsmError::new(
+            line_no,
+            format!("integer out of range: `{text}`"),
+        ));
     }
     Ok(value as i32)
 }
@@ -314,7 +343,11 @@ impl<'a> Operands<'a> {
         if !last.is_empty() {
             parts.push(last);
         }
-        Operands { line_no, parts, at: 0 }
+        Operands {
+            line_no,
+            parts,
+            at: 0,
+        }
     }
 
     fn len(&self) -> usize {
@@ -333,7 +366,8 @@ impl<'a> Operands<'a> {
     fn reg(&mut self) -> Result<Reg, AsmError> {
         let line = self.line_no;
         let t = self.next()?;
-        t.parse().map_err(|_| AsmError::new(line, format!("expected register, found `{t}`")))
+        t.parse()
+            .map_err(|_| AsmError::new(line, format!("expected register, found `{t}`")))
     }
 
     fn imm(&mut self) -> Result<i32, AsmError> {
@@ -365,7 +399,9 @@ fn parse_mem(line_no: usize, text: &str) -> Result<MemOperand, AsmError> {
     let inner = text
         .strip_prefix('[')
         .and_then(|t| t.strip_suffix(']'))
-        .ok_or_else(|| AsmError::new(line_no, format!("expected memory operand, found `{text}`")))?;
+        .ok_or_else(|| {
+            AsmError::new(line_no, format!("expected memory operand, found `{text}`"))
+        })?;
     let mut parts = inner.splitn(2, ',');
     let base: Reg = parts
         .next()
@@ -399,27 +435,35 @@ fn parse_instruction(
     let upper = mnemonic.to_ascii_uppercase();
     let mut ops = Operands::new(line_no, rest);
 
-    let err_operands = |line_no: usize, m: &str| {
-        AsmError::new(line_no, format!("wrong operands for `{m}`"))
-    };
+    let err_operands =
+        |line_no: usize, m: &str| AsmError::new(line_no, format!("wrong operands for `{m}`"));
 
     let instr = match upper.as_str() {
         "MOV" => {
             let rd = ops.reg()?;
             let t = ops.next()?;
             if let Some(label) = t.strip_prefix('=') {
-                let addr = builder
-                    .data_symbol(label)
-                    .ok_or_else(|| AsmError::new(line_no, format!("unknown data label `{label}`")))?;
-                Instr::MovImm { rd, imm: addr as i32 }
+                let addr = builder.data_symbol(label).ok_or_else(|| {
+                    AsmError::new(line_no, format!("unknown data label `{label}`"))
+                })?;
+                Instr::MovImm {
+                    rd,
+                    imm: addr as i32,
+                }
             } else if let Ok(rm) = t.parse::<Reg>() {
                 Instr::Mov { rd, rm }
             } else {
                 let body = t.strip_prefix('#').unwrap_or(t);
-                Instr::MovImm { rd, imm: parse_int(line_no, body)? }
+                Instr::MovImm {
+                    rd,
+                    imm: parse_int(line_no, body)?,
+                }
             }
         }
-        "MVN" => Instr::Mvn { rd: ops.reg()?, rm: ops.reg()? },
+        "MVN" => Instr::Mvn {
+            rd: ops.reg()?,
+            rm: ops.reg()?,
+        },
         "ADD" | "SUB" | "AND" => {
             let rd = ops.reg()?;
             let rn = ops.reg()?;
@@ -440,11 +484,30 @@ fn parse_instruction(
                 }
             }
         }
-        "RSB" | "NEG" => Instr::Rsb { rd: ops.reg()?, rn: ops.reg()? },
-        "MUL" => Instr::Mul { rd: ops.reg()?, rn: ops.reg()?, rm: ops.reg()? },
-        "ORR" => Instr::Orr { rd: ops.reg()?, rn: ops.reg()?, rm: ops.reg()? },
-        "EOR" => Instr::Eor { rd: ops.reg()?, rn: ops.reg()?, rm: ops.reg()? },
-        "BIC" => Instr::Bic { rd: ops.reg()?, rn: ops.reg()?, rm: ops.reg()? },
+        "RSB" | "NEG" => Instr::Rsb {
+            rd: ops.reg()?,
+            rn: ops.reg()?,
+        },
+        "MUL" => Instr::Mul {
+            rd: ops.reg()?,
+            rn: ops.reg()?,
+            rm: ops.reg()?,
+        },
+        "ORR" => Instr::Orr {
+            rd: ops.reg()?,
+            rn: ops.reg()?,
+            rm: ops.reg()?,
+        },
+        "EOR" => Instr::Eor {
+            rd: ops.reg()?,
+            rn: ops.reg()?,
+            rm: ops.reg()?,
+        },
+        "BIC" => Instr::Bic {
+            rd: ops.reg()?,
+            rn: ops.reg()?,
+            rm: ops.reg()?,
+        },
         "LSL" | "LSR" | "ASR" => {
             let rd = ops.reg()?;
             let rn = ops.reg()?;
@@ -476,10 +539,16 @@ fn parse_instruction(
                 Instr::Cmp { rn, rm }
             } else {
                 let body = t.strip_prefix('#').unwrap_or(t);
-                Instr::CmpImm { rn, imm: parse_int(line_no, body)? }
+                Instr::CmpImm {
+                    rn,
+                    imm: parse_int(line_no, body)?,
+                }
             }
         }
-        "TST" => Instr::Tst { rn: ops.reg()?, rm: ops.reg()? },
+        "TST" => Instr::Tst {
+            rn: ops.reg()?,
+            rm: ops.reg()?,
+        },
         "LDR" | "LDRH" | "LDRSH" | "LDRB" | "STR" | "STRH" | "STRB" => {
             let rt = ops.reg()?;
             let mem = parse_mem(line_no, ops.next()?)?;
@@ -529,8 +598,7 @@ fn parse_instruction(
             if let Some(cond_txt) = upper.strip_prefix('B') {
                 if let Ok(cond) = cond_txt.parse::<Cond>() {
                     let label = ops.next()?;
-                    let instr =
-                        builder.with_label_target(Instr::BCond { cond, target: 0 }, label);
+                    let instr = builder.with_label_target(Instr::BCond { cond, target: 0 }, label);
                     ops.done()?;
                     return Ok(instr);
                 }
@@ -540,11 +608,14 @@ fn parse_instruction(
             // the subword's significance in bits — the paper's position
             // notation times the subword size.
             if let Some(bits_txt) = upper.strip_prefix("MUL_ASP") {
-                let bits: u8 = bits_txt
-                    .parse()
-                    .map_err(|_| AsmError::new(line_no, format!("bad subword size `{bits_txt}`")))?;
+                let bits: u8 = bits_txt.parse().map_err(|_| {
+                    AsmError::new(line_no, format!("bad subword size `{bits_txt}`"))
+                })?;
                 if bits == 0 || bits > crate::MAX_ASP_BITS {
-                    return Err(AsmError::new(line_no, format!("subword size out of range: {bits}")));
+                    return Err(AsmError::new(
+                        line_no,
+                        format!("subword size out of range: {bits}"),
+                    ));
                 }
                 let (rd, rn, rm, shift) = if ops.len() == 4 {
                     let rd = ops.reg()?;
@@ -557,10 +628,19 @@ fn parse_instruction(
                     (rd, rd, rm, ops.imm()?)
                 };
                 if shift < 0 || shift as u32 + bits as u32 > 32 {
-                    return Err(AsmError::new(line_no, format!("subword shift out of range: {shift}")));
+                    return Err(AsmError::new(
+                        line_no,
+                        format!("subword shift out of range: {shift}"),
+                    ));
                 }
                 ops.done()?;
-                return Ok(Instr::MulAsp { rd, rn, rm, bits, shift: shift as u8 });
+                return Ok(Instr::MulAsp {
+                    rd,
+                    rn,
+                    rm,
+                    bits,
+                    shift: shift as u8,
+                });
             }
             // ADD_ASV<bits> / SUB_ASV<bits>, 2- or 3-operand.
             for (prefix, is_add) in [("ADD_ASV", true), ("SUB_ASV", false)] {
@@ -569,7 +649,10 @@ fn parse_instruction(
                         AsmError::new(line_no, format!("bad lane width `{bits_txt}`"))
                     })?;
                     let lanes = LaneWidth::from_bits(bits).ok_or_else(|| {
-                        AsmError::new(line_no, format!("unsupported lane width {bits} (use 4, 8 or 16)"))
+                        AsmError::new(
+                            line_no,
+                            format!("unsupported lane width {bits} (use 4, 8 or 16)"),
+                        )
                     })?;
                     let (rd, rn, rm) = if ops.len() == 3 {
                         (ops.reg()?, ops.reg()?, ops.reg()?)
@@ -586,7 +669,10 @@ fn parse_instruction(
                     });
                 }
             }
-            return Err(AsmError::new(line_no, format!("unknown mnemonic `{mnemonic}`")));
+            return Err(AsmError::new(
+                line_no,
+                format!("unknown mnemonic `{mnemonic}`"),
+            ));
         }
     };
     ops.done().map_err(|_| err_operands(line_no, mnemonic))?;
@@ -627,10 +713,23 @@ mod tests {
         assert_eq!(p.data_symbol("F"), Some(64));
         assert_eq!(p.data_symbol("A"), Some(128));
         let loop_idx = p.code_symbol("LOOP_MSb").unwrap();
-        assert_eq!(p.instrs[3], Instr::Ldr { rt: Reg::R3, rn: Reg::R0, off: 0 });
+        assert_eq!(
+            p.instrs[3],
+            Instr::Ldr {
+                rt: Reg::R3,
+                rn: Reg::R0,
+                off: 0
+            }
+        );
         assert_eq!(
             p.instrs[6],
-            Instr::MulAsp { rd: Reg::R4, rn: Reg::R4, rm: Reg::R5, bits: 8, shift: 8 }
+            Instr::MulAsp {
+                rd: Reg::R4,
+                rn: Reg::R4,
+                rm: Reg::R5,
+                bits: 8,
+                shift: 8
+            }
         );
         assert_eq!(p.instrs[9], Instr::B { target: loop_idx });
         let end = p.code_symbol("END").unwrap();
@@ -639,30 +738,42 @@ mod tests {
 
     #[test]
     fn assembles_asv() {
-        let p = assemble(
-            "ADD_ASV8 r3, r4\nSUB_ASV4 r1, r2, r3\nADD_ASV16 r0, r1, r2\nHALT",
-        )
-        .unwrap();
+        let p =
+            assemble("ADD_ASV8 r3, r4\nSUB_ASV4 r1, r2, r3\nADD_ASV16 r0, r1, r2\nHALT").unwrap();
         assert_eq!(
             p.instrs[0],
-            Instr::AddAsv { rd: Reg::R3, rn: Reg::R3, rm: Reg::R4, lanes: LaneWidth::W8 }
+            Instr::AddAsv {
+                rd: Reg::R3,
+                rn: Reg::R3,
+                rm: Reg::R4,
+                lanes: LaneWidth::W8
+            }
         );
         assert_eq!(
             p.instrs[1],
-            Instr::SubAsv { rd: Reg::R1, rn: Reg::R2, rm: Reg::R3, lanes: LaneWidth::W4 }
+            Instr::SubAsv {
+                rd: Reg::R1,
+                rn: Reg::R2,
+                rm: Reg::R3,
+                lanes: LaneWidth::W4
+            }
         );
         assert_eq!(
             p.instrs[2],
-            Instr::AddAsv { rd: Reg::R0, rn: Reg::R1, rm: Reg::R2, lanes: LaneWidth::W16 }
+            Instr::AddAsv {
+                rd: Reg::R0,
+                rn: Reg::R1,
+                rm: Reg::R2,
+                lanes: LaneWidth::W16
+            }
         );
     }
 
     #[test]
     fn data_initializers() {
-        let p = assemble(
-            ".data\nK: .word 1, -2, 0x10\nH: .half 256, -1\nB: .byte 1, 255\n.text\nHALT",
-        )
-        .unwrap();
+        let p =
+            assemble(".data\nK: .word 1, -2, 0x10\nH: .half 256, -1\nB: .byte 1, 255\n.text\nHALT")
+                .unwrap();
         assert_eq!(p.data_symbol("K"), Some(0));
         assert_eq!(&p.initial_data[0..4], &1i32.to_le_bytes());
         assert_eq!(&p.initial_data[4..8], &(-2i32).to_le_bytes());
@@ -677,19 +788,66 @@ mod tests {
     #[test]
     fn conditional_branches() {
         let p = assemble("top:\nCMP r0, #10\nBLT top\nBNE top\nBHS top\nHALT").unwrap();
-        assert_eq!(p.instrs[1], Instr::BCond { cond: Cond::Lt, target: 0 });
-        assert_eq!(p.instrs[2], Instr::BCond { cond: Cond::Ne, target: 0 });
-        assert_eq!(p.instrs[3], Instr::BCond { cond: Cond::Hs, target: 0 });
+        assert_eq!(
+            p.instrs[1],
+            Instr::BCond {
+                cond: Cond::Lt,
+                target: 0
+            }
+        );
+        assert_eq!(
+            p.instrs[2],
+            Instr::BCond {
+                cond: Cond::Ne,
+                target: 0
+            }
+        );
+        assert_eq!(
+            p.instrs[3],
+            Instr::BCond {
+                cond: Cond::Hs,
+                target: 0
+            }
+        );
     }
 
     #[test]
     fn memory_operand_forms() {
-        let p = assemble("LDR r0, [r1]\nLDR r0, [r1, #8]\nLDR r0, [r1, r2]\nSTRH r3, [r4, #2]\nHALT")
-            .unwrap();
-        assert_eq!(p.instrs[0], Instr::Ldr { rt: Reg::R0, rn: Reg::R1, off: 0 });
-        assert_eq!(p.instrs[1], Instr::Ldr { rt: Reg::R0, rn: Reg::R1, off: 8 });
-        assert_eq!(p.instrs[2], Instr::LdrReg { rt: Reg::R0, rn: Reg::R1, rm: Reg::R2 });
-        assert_eq!(p.instrs[3], Instr::Strh { rt: Reg::R3, rn: Reg::R4, off: 2 });
+        let p =
+            assemble("LDR r0, [r1]\nLDR r0, [r1, #8]\nLDR r0, [r1, r2]\nSTRH r3, [r4, #2]\nHALT")
+                .unwrap();
+        assert_eq!(
+            p.instrs[0],
+            Instr::Ldr {
+                rt: Reg::R0,
+                rn: Reg::R1,
+                off: 0
+            }
+        );
+        assert_eq!(
+            p.instrs[1],
+            Instr::Ldr {
+                rt: Reg::R0,
+                rn: Reg::R1,
+                off: 8
+            }
+        );
+        assert_eq!(
+            p.instrs[2],
+            Instr::LdrReg {
+                rt: Reg::R0,
+                rn: Reg::R1,
+                rm: Reg::R2
+            }
+        );
+        assert_eq!(
+            p.instrs[3],
+            Instr::Strh {
+                rt: Reg::R3,
+                rn: Reg::R4,
+                off: 2
+            }
+        );
     }
 
     #[test]
@@ -701,7 +859,10 @@ mod tests {
 
     #[test]
     fn rejects_duplicate_labels() {
-        assert!(assemble("x:\nNOP\nx:\nHALT").unwrap_err().message.contains("duplicate"));
+        assert!(assemble("x:\nNOP\nx:\nHALT")
+            .unwrap_err()
+            .message
+            .contains("duplicate"));
         assert!(assemble(".data\nd: .word 1\nd: .word 2\n.text\nHALT")
             .unwrap_err()
             .message
@@ -723,7 +884,10 @@ mod tests {
     #[test]
     fn rejects_bad_subword_params() {
         assert!(assemble("MUL_ASP32 r0, r1, #0").is_err());
-        assert!(assemble("MUL_ASP8 r0, r1, #25").is_err(), "shift 25 + 8 bits exceeds 32 bits");
+        assert!(
+            assemble("MUL_ASP8 r0, r1, #25").is_err(),
+            "shift 25 + 8 bits exceeds 32 bits"
+        );
         assert!(assemble("ADD_ASV5 r0, r1").is_err());
     }
 
@@ -737,15 +901,40 @@ mod tests {
     fn mov_equals_label_forward_data() {
         // .data after .text still resolves because of the data pre-pass.
         let p = assemble(".text\nMOV r0, =TBL\nHALT\n.data\nTBL: .word 7").unwrap();
-        assert_eq!(p.instrs[0], Instr::MovImm { rd: Reg::R0, imm: 0 });
+        assert_eq!(
+            p.instrs[0],
+            Instr::MovImm {
+                rd: Reg::R0,
+                imm: 0
+            }
+        );
     }
 
     #[test]
     fn negative_and_hex_immediates() {
         let p = assemble("MOV r0, #-5\nMOV r1, #0xff\nADD r2, r2, #0b101\nHALT").unwrap();
-        assert_eq!(p.instrs[0], Instr::MovImm { rd: Reg::R0, imm: -5 });
-        assert_eq!(p.instrs[1], Instr::MovImm { rd: Reg::R1, imm: 255 });
-        assert_eq!(p.instrs[2], Instr::AddImm { rd: Reg::R2, rn: Reg::R2, imm: 5 });
+        assert_eq!(
+            p.instrs[0],
+            Instr::MovImm {
+                rd: Reg::R0,
+                imm: -5
+            }
+        );
+        assert_eq!(
+            p.instrs[1],
+            Instr::MovImm {
+                rd: Reg::R1,
+                imm: 255
+            }
+        );
+        assert_eq!(
+            p.instrs[2],
+            Instr::AddImm {
+                rd: Reg::R2,
+                rn: Reg::R2,
+                imm: 5
+            }
+        );
     }
 
     #[test]

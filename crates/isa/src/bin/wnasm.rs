@@ -76,9 +76,11 @@ fn run() -> Result<(), String> {
                 .chunks_exact(8)
                 .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8")))
                 .collect();
-            let instrs =
-                decode_program(&words).map_err(|(i, e)| format!("word {i}: {e}"))?;
-            let program = wn_isa::Program { instrs, ..wn_isa::Program::default() };
+            let instrs = decode_program(&words).map_err(|(i, e)| format!("word {i}: {e}"))?;
+            let program = wn_isa::Program {
+                instrs,
+                ..wn_isa::Program::default()
+            };
             print!("{}", program.disassemble());
             Ok(())
         }
@@ -92,7 +94,11 @@ fn run() -> Result<(), String> {
             println!("  data size    : {} bytes", program.initial_data.len());
             println!("  code symbols : {}", program.code_symbols.len());
             println!("  data symbols : {}", program.data_symbols.len());
-            let wn = program.instrs.iter().filter(|i| i.is_wn_extension()).count();
+            let wn = program
+                .instrs
+                .iter()
+                .filter(|i| i.is_wn_extension())
+                .count();
             println!("  WN extension instructions: {wn}");
             Ok(())
         }

@@ -206,7 +206,9 @@ impl FromStr for Cond {
             "lt" => Ok(Cond::Lt),
             "gt" => Ok(Cond::Gt),
             "le" => Ok(Cond::Le),
-            _ => Err(ParseCondError { text: s.to_string() }),
+            _ => Err(ParseCondError {
+                text: s.to_string(),
+            }),
         }
     }
 }

@@ -131,7 +131,13 @@ pub fn encode(instr: &Instr) -> u64 {
         SubImm { rd, rn, imm } => pack(op::SUB_IMM, r(rd), r(rn), 0, 0, 0, imm as u32),
         Rsb { rd, rn } => pack(op::RSB, r(rd), r(rn), 0, 0, 0, 0),
         Mul { rd, rn, rm } => pack(op::MUL, r(rd), r(rn), r(rm), 0, 0, 0),
-        MulAsp { rd, rn, rm, bits, shift } => pack(op::MUL_ASP, r(rd), r(rn), r(rm), bits, shift, 0),
+        MulAsp {
+            rd,
+            rn,
+            rm,
+            bits,
+            shift,
+        } => pack(op::MUL_ASP, r(rd), r(rn), r(rm), bits, shift, 0),
         AddAsv { rd, rn, rm, lanes } => {
             pack(op::ADD_ASV, r(rd), r(rn), r(rm), lanes.bits() as u8, 0, 0)
         }
@@ -201,19 +207,45 @@ pub fn decode(word: u64) -> Result<Instr, DecodeError> {
         op::MOV_IMM => MovImm { rd: rd?, imm },
         op::MOV => Mov { rd: rd?, rm: rm? },
         op::MVN => Mvn { rd: rd?, rm: rm? },
-        op::ADD => Add { rd: rd?, rn: rn?, rm: rm? },
-        op::ADD_IMM => AddImm { rd: rd?, rn: rn?, imm },
-        op::SUB => Sub { rd: rd?, rn: rn?, rm: rm? },
-        op::SUB_IMM => SubImm { rd: rd?, rn: rn?, imm },
+        op::ADD => Add {
+            rd: rd?,
+            rn: rn?,
+            rm: rm?,
+        },
+        op::ADD_IMM => AddImm {
+            rd: rd?,
+            rn: rn?,
+            imm,
+        },
+        op::SUB => Sub {
+            rd: rd?,
+            rn: rn?,
+            rm: rm?,
+        },
+        op::SUB_IMM => SubImm {
+            rd: rd?,
+            rn: rn?,
+            imm,
+        },
         op::RSB => Rsb { rd: rd?, rn: rn? },
-        op::MUL => Mul { rd: rd?, rn: rn?, rm: rm? },
+        op::MUL => Mul {
+            rd: rd?,
+            rn: rn?,
+            rm: rm?,
+        },
         op::MUL_ASP => {
             let bits = aux;
             let shift = aux2;
             if bits == 0 || bits > crate::MAX_ASP_BITS || shift as u32 + bits as u32 > 32 {
                 return Err(DecodeError::BadSubword { bits, pos: shift });
             }
-            MulAsp { rd: rd?, rn: rn?, rm: rm?, bits, shift }
+            MulAsp {
+                rd: rd?,
+                rn: rn?,
+                rm: rm?,
+                bits,
+                shift,
+            }
         }
         op::ADD_ASV => AddAsv {
             rd: rd?,
@@ -227,40 +259,136 @@ pub fn decode(word: u64) -> Result<Instr, DecodeError> {
             rm: rm?,
             lanes: LaneWidth::from_bits(aux).ok_or(DecodeError::BadLaneWidth(aux))?,
         },
-        op::AND => And { rd: rd?, rn: rn?, rm: rm? },
-        op::ORR => Orr { rd: rd?, rn: rn?, rm: rm? },
-        op::EOR => Eor { rd: rd?, rn: rn?, rm: rm? },
-        op::BIC => Bic { rd: rd?, rn: rn?, rm: rm? },
-        op::AND_IMM => AndImm { rd: rd?, rn: rn?, imm },
+        op::AND => And {
+            rd: rd?,
+            rn: rn?,
+            rm: rm?,
+        },
+        op::ORR => Orr {
+            rd: rd?,
+            rn: rn?,
+            rm: rm?,
+        },
+        op::EOR => Eor {
+            rd: rd?,
+            rn: rn?,
+            rm: rm?,
+        },
+        op::BIC => Bic {
+            rd: rd?,
+            rn: rn?,
+            rm: rm?,
+        },
+        op::AND_IMM => AndImm {
+            rd: rd?,
+            rn: rn?,
+            imm,
+        },
         op::LSL_IMM | op::LSR_IMM | op::ASR_IMM => {
             if aux > 31 {
                 return Err(DecodeError::BadShift(aux));
             }
             match opcode {
-                op::LSL_IMM => LslImm { rd: rd?, rn: rn?, sh: aux },
-                op::LSR_IMM => LsrImm { rd: rd?, rn: rn?, sh: aux },
-                _ => AsrImm { rd: rd?, rn: rn?, sh: aux },
+                op::LSL_IMM => LslImm {
+                    rd: rd?,
+                    rn: rn?,
+                    sh: aux,
+                },
+                op::LSR_IMM => LsrImm {
+                    rd: rd?,
+                    rn: rn?,
+                    sh: aux,
+                },
+                _ => AsrImm {
+                    rd: rd?,
+                    rn: rn?,
+                    sh: aux,
+                },
             }
         }
-        op::LSL_REG => LslReg { rd: rd?, rn: rn?, rm: rm? },
-        op::LSR_REG => LsrReg { rd: rd?, rn: rn?, rm: rm? },
-        op::ASR_REG => AsrReg { rd: rd?, rn: rn?, rm: rm? },
+        op::LSL_REG => LslReg {
+            rd: rd?,
+            rn: rn?,
+            rm: rm?,
+        },
+        op::LSR_REG => LsrReg {
+            rd: rd?,
+            rn: rn?,
+            rm: rm?,
+        },
+        op::ASR_REG => AsrReg {
+            rd: rd?,
+            rn: rn?,
+            rm: rm?,
+        },
         op::CMP => Cmp { rn: rn?, rm: rm? },
         op::CMP_IMM => CmpImm { rn: rn?, imm },
         op::TST => Tst { rn: rn?, rm: rm? },
-        op::LDR => Ldr { rt: rd?, rn: rn?, off: imm },
-        op::LDR_REG => LdrReg { rt: rd?, rn: rn?, rm: rm? },
-        op::LDRH => Ldrh { rt: rd?, rn: rn?, off: imm },
-        op::LDRH_REG => LdrhReg { rt: rd?, rn: rn?, rm: rm? },
-        op::LDRSH_REG => LdrshReg { rt: rd?, rn: rn?, rm: rm? },
-        op::LDRB => Ldrb { rt: rd?, rn: rn?, off: imm },
-        op::LDRB_REG => LdrbReg { rt: rd?, rn: rn?, rm: rm? },
-        op::STR => Str { rt: rd?, rn: rn?, off: imm },
-        op::STR_REG => StrReg { rt: rd?, rn: rn?, rm: rm? },
-        op::STRH => Strh { rt: rd?, rn: rn?, off: imm },
-        op::STRH_REG => StrhReg { rt: rd?, rn: rn?, rm: rm? },
-        op::STRB => Strb { rt: rd?, rn: rn?, off: imm },
-        op::STRB_REG => StrbReg { rt: rd?, rn: rn?, rm: rm? },
+        op::LDR => Ldr {
+            rt: rd?,
+            rn: rn?,
+            off: imm,
+        },
+        op::LDR_REG => LdrReg {
+            rt: rd?,
+            rn: rn?,
+            rm: rm?,
+        },
+        op::LDRH => Ldrh {
+            rt: rd?,
+            rn: rn?,
+            off: imm,
+        },
+        op::LDRH_REG => LdrhReg {
+            rt: rd?,
+            rn: rn?,
+            rm: rm?,
+        },
+        op::LDRSH_REG => LdrshReg {
+            rt: rd?,
+            rn: rn?,
+            rm: rm?,
+        },
+        op::LDRB => Ldrb {
+            rt: rd?,
+            rn: rn?,
+            off: imm,
+        },
+        op::LDRB_REG => LdrbReg {
+            rt: rd?,
+            rn: rn?,
+            rm: rm?,
+        },
+        op::STR => Str {
+            rt: rd?,
+            rn: rn?,
+            off: imm,
+        },
+        op::STR_REG => StrReg {
+            rt: rd?,
+            rn: rn?,
+            rm: rm?,
+        },
+        op::STRH => Strh {
+            rt: rd?,
+            rn: rn?,
+            off: imm,
+        },
+        op::STRH_REG => StrhReg {
+            rt: rd?,
+            rn: rn?,
+            rm: rm?,
+        },
+        op::STRB => Strb {
+            rt: rd?,
+            rn: rn?,
+            off: imm,
+        },
+        op::STRB_REG => StrbReg {
+            rt: rd?,
+            rn: rn?,
+            rm: rm?,
+        },
         op::B => B { target: imm32 },
         op::B_COND => BCond {
             cond: Cond::from_index(aux).ok_or(DecodeError::BadCondition(aux))?,
@@ -334,18 +462,33 @@ mod tests {
 
     #[test]
     fn negative_immediates_roundtrip() {
-        let i = Instr::MovImm { rd: Reg::R3, imm: -123456 };
+        let i = Instr::MovImm {
+            rd: Reg::R3,
+            imm: -123456,
+        };
         assert_eq!(decode(encode(&i)).unwrap(), i);
-        let i = Instr::Ldr { rt: Reg::R1, rn: Reg::R2, off: -8 };
+        let i = Instr::Ldr {
+            rt: Reg::R1,
+            rn: Reg::R2,
+            off: -8,
+        };
         assert_eq!(decode(encode(&i)).unwrap(), i);
     }
 
     #[test]
     fn program_roundtrip() {
         let instrs = vec![
-            Instr::MovImm { rd: Reg::R0, imm: 7 },
+            Instr::MovImm {
+                rd: Reg::R0,
+                imm: 7,
+            },
             Instr::Skm { target: 3 },
-            Instr::AddAsv { rd: Reg::R1, rn: Reg::R1, rm: Reg::R2, lanes: LaneWidth::W8 },
+            Instr::AddAsv {
+                rd: Reg::R1,
+                rn: Reg::R1,
+                rm: Reg::R2,
+                lanes: LaneWidth::W8,
+            },
             Instr::Halt,
         ];
         let words = encode_program(&instrs);
@@ -371,7 +514,11 @@ mod tests {
     }
 
     fn any_lanes() -> impl Strategy<Value = LaneWidth> {
-        prop_oneof![Just(LaneWidth::W4), Just(LaneWidth::W8), Just(LaneWidth::W16)]
+        prop_oneof![
+            Just(LaneWidth::W4),
+            Just(LaneWidth::W8),
+            Just(LaneWidth::W16)
+        ]
     }
 
     fn any_subword() -> impl Strategy<Value = (u8, u8)> {
@@ -392,8 +539,11 @@ mod tests {
             (any_reg(), any::<i32>()).prop_map(|(rd, imm)| Instr::MovImm { rd, imm }),
             (any_reg(), any_reg()).prop_map(|(rd, rm)| Instr::Mov { rd, rm }),
             rrr().prop_map(|(rd, rn, rm)| Instr::Add { rd, rn, rm }),
-            (any_reg(), any_reg(), any::<i32>())
-                .prop_map(|(rd, rn, imm)| Instr::AddImm { rd, rn, imm }),
+            (any_reg(), any_reg(), any::<i32>()).prop_map(|(rd, rn, imm)| Instr::AddImm {
+                rd,
+                rn,
+                imm
+            }),
             rrr().prop_map(|(rd, rn, rm)| Instr::Sub { rd, rn, rm }),
             rrr().prop_map(|(rd, rn, rm)| Instr::Mul { rd, rn, rm }),
             (rrr(), any_subword()).prop_map(|((rd, rn, rm), (bits, shift))| Instr::MulAsp {
@@ -403,19 +553,33 @@ mod tests {
                 bits,
                 shift
             }),
-            (rrr(), any_lanes())
-                .prop_map(|((rd, rn, rm), lanes)| Instr::AddAsv { rd, rn, rm, lanes }),
-            (rrr(), any_lanes())
-                .prop_map(|((rd, rn, rm), lanes)| Instr::SubAsv { rd, rn, rm, lanes }),
+            (rrr(), any_lanes()).prop_map(|((rd, rn, rm), lanes)| Instr::AddAsv {
+                rd,
+                rn,
+                rm,
+                lanes
+            }),
+            (rrr(), any_lanes()).prop_map(|((rd, rn, rm), lanes)| Instr::SubAsv {
+                rd,
+                rn,
+                rm,
+                lanes
+            }),
             rrr().prop_map(|(rd, rn, rm)| Instr::Eor { rd, rn, rm }),
             (any_reg(), any_reg(), 0u8..32).prop_map(|(rd, rn, sh)| Instr::LslImm { rd, rn, sh }),
             (any_reg(), any_reg(), 0u8..32).prop_map(|(rd, rn, sh)| Instr::AsrImm { rd, rn, sh }),
             (any_reg(), any::<i32>()).prop_map(|(rn, imm)| Instr::CmpImm { rn, imm }),
-            (any_reg(), any_reg(), any::<i32>())
-                .prop_map(|(rt, rn, off)| Instr::Ldr { rt, rn, off }),
+            (any_reg(), any_reg(), any::<i32>()).prop_map(|(rt, rn, off)| Instr::Ldr {
+                rt,
+                rn,
+                off
+            }),
             rrr().prop_map(|(rt, rn, rm)| Instr::LdrbReg { rt, rn, rm }),
-            (any_reg(), any_reg(), any::<i32>())
-                .prop_map(|(rt, rn, off)| Instr::Strh { rt, rn, off }),
+            (any_reg(), any_reg(), any::<i32>()).prop_map(|(rt, rn, off)| Instr::Strh {
+                rt,
+                rn,
+                off
+            }),
             any::<u32>().prop_map(|target| Instr::B { target }),
             (any_cond(), any::<u32>()).prop_map(|(cond, target)| Instr::BCond { cond, target }),
             any::<u32>().prop_map(|target| Instr::Skm { target }),

@@ -111,15 +111,31 @@ pub enum Instr {
     /// operand is the raw shift (`#8`), which also expresses the
     /// top-aligned levels used for subword sizes that do not divide the
     /// data width (Fig. 15's 3-bit subwords).
-    MulAsp { rd: Reg, rn: Reg, rm: Reg, bits: u8, shift: u8 },
+    MulAsp {
+        rd: Reg,
+        rn: Reg,
+        rm: Reg,
+        bits: u8,
+        shift: u8,
+    },
 
     // ---- anytime subword vectorization ------------------------------------
     /// `ADD_ASV<BITS> rd, rn, rm` — lane-wise addition; carries do not cross
     /// lane boundaries (paper Fig. 8).
-    AddAsv { rd: Reg, rn: Reg, rm: Reg, lanes: LaneWidth },
+    AddAsv {
+        rd: Reg,
+        rn: Reg,
+        rm: Reg,
+        lanes: LaneWidth,
+    },
     /// `SUB_ASV<BITS> rd, rn, rm` — lane-wise subtraction; borrows do not
     /// cross lane boundaries.
-    SubAsv { rd: Reg, rn: Reg, rm: Reg, lanes: LaneWidth },
+    SubAsv {
+        rd: Reg,
+        rn: Reg,
+        rm: Reg,
+        lanes: LaneWidth,
+    },
 
     // ---- logical / shifts --------------------------------------------------
     /// `AND rd, rn, rm`.
@@ -335,7 +351,13 @@ impl fmt::Display for Instr {
             Instr::SubImm { rd, rn, imm } => write!(f, "SUB {rd}, {rn}, #{imm}"),
             Instr::Rsb { rd, rn } => write!(f, "RSB {rd}, {rn}"),
             Instr::Mul { rd, rn, rm } => write!(f, "MUL {rd}, {rn}, {rm}"),
-            Instr::MulAsp { rd, rn, rm, bits, shift } => {
+            Instr::MulAsp {
+                rd,
+                rn,
+                rm,
+                bits,
+                shift,
+            } => {
                 write!(f, "MUL_ASP{bits} {rd}, {rn}, {rm}, #{shift}")
             }
             Instr::AddAsv { rd, rn, rm, lanes } => write!(f, "ADD_ASV{lanes} {rd}, {rn}, {rm}"),
@@ -400,14 +422,28 @@ mod tests {
 
     #[test]
     fn classification() {
-        let mul_asp = Instr::MulAsp { rd: Reg::R0, rn: Reg::R1, rm: Reg::R2, bits: 8, shift: 8 };
+        let mul_asp = Instr::MulAsp {
+            rd: Reg::R0,
+            rn: Reg::R1,
+            rm: Reg::R2,
+            bits: 8,
+            shift: 8,
+        };
         assert!(mul_asp.is_wn_extension());
         assert!(!mul_asp.is_memory());
 
-        let ldr = Instr::Ldr { rt: Reg::R0, rn: Reg::R1, off: 0 };
+        let ldr = Instr::Ldr {
+            rt: Reg::R0,
+            rn: Reg::R1,
+            off: 0,
+        };
         assert!(ldr.is_load() && ldr.is_memory() && !ldr.is_store());
 
-        let strb = Instr::Strb { rt: Reg::R0, rn: Reg::R1, off: 4 };
+        let strb = Instr::Strb {
+            rt: Reg::R0,
+            rn: Reg::R1,
+            off: 4,
+        };
         assert!(strb.is_store() && strb.is_memory() && !strb.is_load());
 
         let b = Instr::B { target: 3 };
@@ -423,27 +459,84 @@ mod tests {
     #[test]
     fn size_accounting() {
         assert_eq!(Instr::Nop.size_bytes(), 2);
-        assert_eq!(Instr::MovImm { rd: Reg::R0, imm: 200 }.size_bytes(), 2);
-        assert_eq!(Instr::MovImm { rd: Reg::R0, imm: 70000 }.size_bytes(), 4);
-        assert_eq!(Instr::MovImm { rd: Reg::R0, imm: -1 }.size_bytes(), 4);
-        assert_eq!(Instr::Skm { target: 0 }.size_bytes(), 4);
-        assert_eq!(Instr::Ldr { rt: Reg::R0, rn: Reg::R1, off: 64 }.size_bytes(), 2);
-        assert_eq!(Instr::Ldr { rt: Reg::R0, rn: Reg::R1, off: 1024 }.size_bytes(), 4);
-        assert_eq!(Instr::Str { rt: Reg::R0, rn: Reg::R1, off: -8 }.size_bytes(), 4);
         assert_eq!(
-            Instr::AddAsv { rd: Reg::R0, rn: Reg::R1, rm: Reg::R2, lanes: LaneWidth::W8 }
-                .size_bytes(),
+            Instr::MovImm {
+                rd: Reg::R0,
+                imm: 200
+            }
+            .size_bytes(),
+            2
+        );
+        assert_eq!(
+            Instr::MovImm {
+                rd: Reg::R0,
+                imm: 70000
+            }
+            .size_bytes(),
+            4
+        );
+        assert_eq!(
+            Instr::MovImm {
+                rd: Reg::R0,
+                imm: -1
+            }
+            .size_bytes(),
+            4
+        );
+        assert_eq!(Instr::Skm { target: 0 }.size_bytes(), 4);
+        assert_eq!(
+            Instr::Ldr {
+                rt: Reg::R0,
+                rn: Reg::R1,
+                off: 64
+            }
+            .size_bytes(),
+            2
+        );
+        assert_eq!(
+            Instr::Ldr {
+                rt: Reg::R0,
+                rn: Reg::R1,
+                off: 1024
+            }
+            .size_bytes(),
+            4
+        );
+        assert_eq!(
+            Instr::Str {
+                rt: Reg::R0,
+                rn: Reg::R1,
+                off: -8
+            }
+            .size_bytes(),
+            4
+        );
+        assert_eq!(
+            Instr::AddAsv {
+                rd: Reg::R0,
+                rn: Reg::R1,
+                rm: Reg::R2,
+                lanes: LaneWidth::W8
+            }
+            .size_bytes(),
             4
         );
     }
 
     #[test]
     fn retarget() {
-        let mut b = Instr::BCond { cond: Cond::Ne, target: 1 };
+        let mut b = Instr::BCond {
+            cond: Cond::Ne,
+            target: 1,
+        };
         b.set_branch_target(42);
         assert_eq!(b.branch_target(), Some(42));
 
-        let mut add = Instr::Add { rd: Reg::R0, rn: Reg::R0, rm: Reg::R0 };
+        let mut add = Instr::Add {
+            rd: Reg::R0,
+            rn: Reg::R0,
+            rm: Reg::R0,
+        };
         add.set_branch_target(42); // no-op
         assert_eq!(add.branch_target(), None);
     }
@@ -451,17 +544,33 @@ mod tests {
     #[test]
     fn display_formats() {
         assert_eq!(
-            Instr::MulAsp { rd: Reg::R4, rn: Reg::R4, rm: Reg::R5, bits: 8, shift: 8 }.to_string(),
+            Instr::MulAsp {
+                rd: Reg::R4,
+                rn: Reg::R4,
+                rm: Reg::R5,
+                bits: 8,
+                shift: 8
+            }
+            .to_string(),
             "MUL_ASP8 r4, r4, r5, #8"
         );
         assert_eq!(
-            Instr::AddAsv { rd: Reg::R3, rn: Reg::R3, rm: Reg::R4, lanes: LaneWidth::W8 }
-                .to_string(),
+            Instr::AddAsv {
+                rd: Reg::R3,
+                rn: Reg::R3,
+                rm: Reg::R4,
+                lanes: LaneWidth::W8
+            }
+            .to_string(),
             "ADD_ASV8 r3, r3, r4"
         );
         assert_eq!(Instr::Skm { target: 17 }.to_string(), "SKM 17");
         assert_eq!(
-            Instr::BCond { cond: Cond::Lt, target: 2 }.to_string(),
+            Instr::BCond {
+                cond: Cond::Lt,
+                target: 2
+            }
+            .to_string(),
             "BLT 2"
         );
     }

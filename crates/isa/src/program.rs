@@ -91,18 +91,29 @@ impl Program {
     pub fn validate(&self) -> Result<(), ProgramError> {
         let len = self.instrs.len() as u32;
         if self.entry >= len && len > 0 {
-            return Err(ProgramError::EntryOutOfRange { entry: self.entry, len });
+            return Err(ProgramError::EntryOutOfRange {
+                entry: self.entry,
+                len,
+            });
         }
         for (i, instr) in self.instrs.iter().enumerate() {
             if let Some(target) = instr.branch_target() {
                 if target >= len {
-                    return Err(ProgramError::TargetOutOfRange { at: i as u32, target, len });
+                    return Err(ProgramError::TargetOutOfRange {
+                        at: i as u32,
+                        target,
+                        len,
+                    });
                 }
             }
         }
         for (name, &idx) in &self.code_symbols {
             if idx > len {
-                return Err(ProgramError::SymbolOutOfRange { name: name.clone(), index: idx, len });
+                return Err(ProgramError::SymbolOutOfRange {
+                    name: name.clone(),
+                    index: idx,
+                    len,
+                });
             }
         }
         Ok(())
@@ -126,7 +137,10 @@ impl Program {
         let label_for = |idx: u32| -> String {
             let mut names = by_index.get(&idx).cloned().unwrap_or_default();
             names.sort_unstable();
-            names.into_iter().next().unwrap_or_else(|| format!("L{idx}"))
+            names
+                .into_iter()
+                .next()
+                .unwrap_or_else(|| format!("L{idx}"))
         };
         let mut out = String::new();
         for (i, instr) in self.instrs.iter().enumerate() {
@@ -176,7 +190,10 @@ impl fmt::Display for ProgramError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ProgramError::EntryOutOfRange { entry, len } => {
-                write!(f, "entry point {entry} outside program of {len} instructions")
+                write!(
+                    f,
+                    "entry point {entry} outside program of {len} instructions"
+                )
             }
             ProgramError::TargetOutOfRange { at, target, len } => write!(
                 f,
@@ -318,7 +335,10 @@ impl ProgramBuilder {
             let target = *self
                 .code_symbols
                 .get(name)
-                .ok_or_else(|| BuildError::UnboundLabel { name: name.clone(), at: *at as u32 })?;
+                .ok_or_else(|| BuildError::UnboundLabel {
+                    name: name.clone(),
+                    at: *at as u32,
+                })?;
             self.instrs[*at].set_branch_target(target);
         }
         let program = Program {
@@ -442,7 +462,10 @@ mod tests {
             instrs: vec![Instr::B { target: 10 }],
             ..Program::default()
         };
-        assert!(matches!(p.validate(), Err(ProgramError::TargetOutOfRange { .. })));
+        assert!(matches!(
+            p.validate(),
+            Err(ProgramError::TargetOutOfRange { .. })
+        ));
     }
 
     #[test]
@@ -452,16 +475,22 @@ mod tests {
             entry: 5,
             ..Program::default()
         };
-        assert!(matches!(p.validate(), Err(ProgramError::EntryOutOfRange { .. })));
+        assert!(matches!(
+            p.validate(),
+            Err(ProgramError::EntryOutOfRange { .. })
+        ));
     }
 
     #[test]
     fn code_size_sums_instruction_sizes() {
         let p = Program {
             instrs: vec![
-                Instr::Nop,                                  // 2
-                Instr::Skm { target: 2 },                    // 4
-                Instr::MovImm { rd: Reg::R0, imm: 100_000 }, // 4
+                Instr::Nop,               // 2
+                Instr::Skm { target: 2 }, // 4
+                Instr::MovImm {
+                    rd: Reg::R0,
+                    imm: 100_000,
+                }, // 4
             ],
             ..Program::default()
         };

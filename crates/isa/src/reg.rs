@@ -132,13 +132,15 @@ impl FromStr for Reg {
             "pc" | "r15" => return Ok(Reg::PC),
             _ => {}
         }
-        let rest = lower
-            .strip_prefix('r')
-            .ok_or_else(|| ParseRegError { text: s.to_string() })?;
-        let index: usize = rest
-            .parse()
-            .map_err(|_| ParseRegError { text: s.to_string() })?;
-        Reg::from_index(index).ok_or_else(|| ParseRegError { text: s.to_string() })
+        let rest = lower.strip_prefix('r').ok_or_else(|| ParseRegError {
+            text: s.to_string(),
+        })?;
+        let index: usize = rest.parse().map_err(|_| ParseRegError {
+            text: s.to_string(),
+        })?;
+        Reg::from_index(index).ok_or_else(|| ParseRegError {
+            text: s.to_string(),
+        })
     }
 }
 

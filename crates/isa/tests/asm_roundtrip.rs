@@ -20,7 +20,11 @@ fn any_cond() -> impl Strategy<Value = Cond> {
 }
 
 fn any_lanes() -> impl Strategy<Value = LaneWidth> {
-    prop_oneof![Just(LaneWidth::W4), Just(LaneWidth::W8), Just(LaneWidth::W16)]
+    prop_oneof![
+        Just(LaneWidth::W4),
+        Just(LaneWidth::W8),
+        Just(LaneWidth::W16)
+    ]
 }
 
 /// Immediates within the assembler's printable/parsable range.
@@ -50,10 +54,15 @@ fn any_straightline() -> impl Strategy<Value = Instr> {
         (any_reg(), any_reg(), any_imm()).prop_map(|(rd, rn, imm)| Instr::SubImm { rd, rn, imm }),
         (any_reg(), any_reg()).prop_map(|(rd, rn)| Instr::Rsb { rd, rn }),
         r3().prop_map(|(rd, rn, rm)| Instr::Mul { rd, rn, rm }),
-        (r3(), 1u8..=16).prop_flat_map(|((rd, rn, rm), bits)| {
-            (Just((rd, rn, rm, bits)), 0u8..=(32 - bits))
-        })
-        .prop_map(|((rd, rn, rm, bits), shift)| Instr::MulAsp { rd, rn, rm, bits, shift }),
+        (r3(), 1u8..=16)
+            .prop_flat_map(|((rd, rn, rm), bits)| { (Just((rd, rn, rm, bits)), 0u8..=(32 - bits)) })
+            .prop_map(|((rd, rn, rm, bits), shift)| Instr::MulAsp {
+                rd,
+                rn,
+                rm,
+                bits,
+                shift
+            }),
         (r3(), any_lanes()).prop_map(|((rd, rn, rm), lanes)| Instr::AddAsv { rd, rn, rm, lanes }),
         (r3(), any_lanes()).prop_map(|((rd, rn, rm), lanes)| Instr::SubAsv { rd, rn, rm, lanes }),
         r3().prop_map(|(rd, rn, rm)| Instr::And { rd, rn, rm }),
@@ -115,7 +124,10 @@ fn build_program(straight: Vec<Instr>, flows: Vec<(usize, Flow)>) -> Program {
         let target = |f: f64| ((f * len_with_flow as f64) as u32).min(len_with_flow as u32 - 1);
         let instr = match flow {
             Flow::B(f) => Instr::B { target: target(f) },
-            Flow::BCond(cond, f) => Instr::BCond { cond, target: target(f) },
+            Flow::BCond(cond, f) => Instr::BCond {
+                cond,
+                target: target(f),
+            },
             Flow::Bl(f) => Instr::Bl { target: target(f) },
             Flow::Skm(f) => Instr::Skm { target: target(f) },
         };

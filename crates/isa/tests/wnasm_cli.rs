@@ -6,7 +6,10 @@ use std::path::PathBuf;
 use std::process::{Command, Output};
 
 fn wnasm(args: &[&str]) -> Output {
-    Command::new(env!("CARGO_BIN_EXE_wnasm")).args(args).output().expect("spawn wnasm")
+    Command::new(env!("CARGO_BIN_EXE_wnasm"))
+        .args(args)
+        .output()
+        .expect("spawn wnasm")
 }
 
 fn tmpdir(tag: &str) -> PathBuf {
@@ -43,13 +46,21 @@ fn build_disasm_rebuild_roundtrip() {
     fs::write(&src, PROGRAM).unwrap();
 
     let out = wnasm(&["build", src.to_str().unwrap(), "-o", bin.to_str().unwrap()]);
-    assert!(out.status.success(), "build failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "build failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(bin.exists());
     let image = fs::read(&bin).unwrap();
     assert_eq!(image.len() % 8, 0, "packed 8-byte words");
 
     let out = wnasm(&["disasm", bin.to_str().unwrap()]);
-    assert!(out.status.success(), "disasm failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "disasm failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("MUL_ASP8"), "{text}");
     assert!(text.contains("ADD_ASV8"), "{text}");
@@ -58,8 +69,17 @@ fn build_disasm_rebuild_roundtrip() {
     let src2 = dir.join("p2.s");
     let bin2 = dir.join("p2.wnb");
     fs::write(&src2, &text).unwrap();
-    let out = wnasm(&["build", src2.to_str().unwrap(), "-o", bin2.to_str().unwrap()]);
-    assert!(out.status.success(), "rebuild failed: {}\n---\n{text}", String::from_utf8_lossy(&out.stderr));
+    let out = wnasm(&[
+        "build",
+        src2.to_str().unwrap(),
+        "-o",
+        bin2.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "rebuild failed: {}\n---\n{text}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert_eq!(fs::read(&bin2).unwrap(), image, "rebuilt image differs");
 }
 

@@ -85,12 +85,24 @@ impl Benchmark {
     /// Builds a deterministic instance at a scale.
     pub fn instance(&self, scale: Scale, seed: u64) -> KernelInstance {
         match (self, scale) {
-            (Benchmark::Conv2d, Scale::Quick) => conv2d::build(&conv2d::Conv2dParams::quick(), seed),
-            (Benchmark::Conv2d, Scale::Paper) => conv2d::build(&conv2d::Conv2dParams::paper(), seed),
-            (Benchmark::MatMul, Scale::Quick) => matmul::build(&matmul::MatMulParams::quick(), seed),
-            (Benchmark::MatMul, Scale::Paper) => matmul::build(&matmul::MatMulParams::paper(), seed),
-            (Benchmark::MatAdd, Scale::Quick) => matadd::build(&matadd::MatAddParams::quick(), seed),
-            (Benchmark::MatAdd, Scale::Paper) => matadd::build(&matadd::MatAddParams::paper(), seed),
+            (Benchmark::Conv2d, Scale::Quick) => {
+                conv2d::build(&conv2d::Conv2dParams::quick(), seed)
+            }
+            (Benchmark::Conv2d, Scale::Paper) => {
+                conv2d::build(&conv2d::Conv2dParams::paper(), seed)
+            }
+            (Benchmark::MatMul, Scale::Quick) => {
+                matmul::build(&matmul::MatMulParams::quick(), seed)
+            }
+            (Benchmark::MatMul, Scale::Paper) => {
+                matmul::build(&matmul::MatMulParams::paper(), seed)
+            }
+            (Benchmark::MatAdd, Scale::Quick) => {
+                matadd::build(&matadd::MatAddParams::quick(), seed)
+            }
+            (Benchmark::MatAdd, Scale::Paper) => {
+                matadd::build(&matadd::MatAddParams::paper(), seed)
+            }
             (Benchmark::Home, Scale::Quick) => home::build(&home::HomeParams::quick(), seed),
             (Benchmark::Home, Scale::Paper) => home::build(&home::HomeParams::paper(), seed),
             (Benchmark::Var, Scale::Quick) => var::build(&var::VarParams::quick(), seed),

@@ -32,12 +32,18 @@ pub struct Conv2dParams {
 impl Conv2dParams {
     /// Quick (CI-friendly) scale: 24×24 output.
     pub fn quick() -> Conv2dParams {
-        Conv2dParams { height: 24, width: 24 }
+        Conv2dParams {
+            height: 24,
+            width: 24,
+        }
     }
 
     /// The paper's scale: 128×128 image.
     pub fn paper() -> Conv2dParams {
-        Conv2dParams { height: 128, width: 128 }
+        Conv2dParams {
+            height: 128,
+            width: 128,
+        }
     }
 
     /// Padded input width (the input carries a `TAPS-1` apron).
@@ -84,9 +90,7 @@ pub fn generate_image(params: &Conv2dParams, seed: u64) -> Vec<i64> {
     let mut img = Vec::with_capacity((ph * pw) as usize);
     for i in 0..ph {
         for j in 0..pw {
-            let mut v = 40.0
-                + 60.0 * ((i as f64) / ph as f64)
-                + 40.0 * ((j as f64) / pw as f64);
+            let mut v = 40.0 + 60.0 * ((i as f64) / ph as f64) + 40.0 * ((j as f64) / pw as f64);
             for &(ci, cj, r) in &blobs {
                 let d2 = (i as f64 - ci).powi(2) + (j as f64 - cj).powi(2);
                 v += 155.0 * (-d2 / (2.0 * r * r)).exp();
@@ -149,12 +153,14 @@ pub fn build(params: &Conv2dParams, seed: u64) -> KernelInstance {
                             vec![Stmt::assign(
                                 "acc",
                                 Expr::var("acc")
-                                    + Expr::load("COEF", Expr::var("ki") * Expr::c(TAPS as i32) + Expr::var("kj"))
-                                        * Expr::load(
-                                            "IMG",
-                                            (Expr::var("i") + Expr::var("ki")) * Expr::c(pw as i32)
-                                                + (Expr::var("j") + Expr::var("kj")),
-                                        ),
+                                    + Expr::load(
+                                        "COEF",
+                                        Expr::var("ki") * Expr::c(TAPS as i32) + Expr::var("kj"),
+                                    ) * Expr::load(
+                                        "IMG",
+                                        (Expr::var("i") + Expr::var("ki")) * Expr::c(pw as i32)
+                                            + (Expr::var("j") + Expr::var("kj")),
+                                    ),
                             )],
                         )],
                     ),

@@ -106,7 +106,10 @@ pub fn reading_kernel(raw: &[i64]) -> KernelInstance {
         )]);
     KernelInstance {
         ir,
-        inputs: vec![("RAW".into(), raw.to_vec()), ("COEF".into(), FILTER.to_vec())],
+        inputs: vec![
+            ("RAW".into(), raw.to_vec()),
+            ("COEF".into(), FILTER.to_vec()),
+        ],
         golden: vec![("OUT".into(), vec![golden])],
     }
 }

@@ -26,12 +26,18 @@ impl HomeParams {
     /// Quick scale: 256 windows of 64 readings (spans dozens of power
     /// cycles on the quick-supply configuration, so skim points matter).
     pub fn quick() -> HomeParams {
-        HomeParams { windows: 256, readings: 64 }
+        HomeParams {
+            windows: 256,
+            readings: 64,
+        }
     }
 
     /// Paper-runtime scale: 512 windows of 64 readings.
     pub fn paper() -> HomeParams {
-        HomeParams { windows: 512, readings: 64 }
+        HomeParams {
+            windows: 512,
+            readings: 64,
+        }
     }
 }
 
@@ -58,7 +64,11 @@ pub fn build(params: &HomeParams, seed: u64) -> KernelInstance {
     let (w, k) = (params.windows, params.readings);
     let readings = generate_readings(params, seed);
     let golden: Vec<i64> = (0..w as usize)
-        .map(|wi| readings[wi * k as usize..(wi + 1) * k as usize].iter().sum())
+        .map(|wi| {
+            readings[wi * k as usize..(wi + 1) * k as usize]
+                .iter()
+                .sum()
+        })
         .collect();
 
     let ir = KernelIr::new("home")
@@ -97,7 +107,10 @@ mod tests {
 
     #[test]
     fn golden_sums_windows() {
-        let p = HomeParams { windows: 2, readings: 4 };
+        let p = HomeParams {
+            windows: 2,
+            readings: 4,
+        };
         let inst = build(&p, 0);
         let s = inst.input("S");
         assert_eq!(inst.golden[0].1[0], s[0] + s[1] + s[2] + s[3]);

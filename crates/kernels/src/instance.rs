@@ -43,7 +43,11 @@ impl KernelInstance {
     ///
     /// Panics if the kernel has no outputs.
     pub fn primary_output(&self) -> &str {
-        &self.golden.first().expect("kernel has at least one output").0
+        &self
+            .golden
+            .first()
+            .expect("kernel has at least one output")
+            .0
     }
 
     /// Input values of one array.

@@ -42,7 +42,9 @@ impl MatAddParams {
 /// positive in `i32` while still exercising subword carries).
 pub fn generate_matrix(len: u32, seed: u64) -> Vec<i64> {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x4D41_5444);
-    (0..len).map(|_| rng.gen_range(0..=0x3FFF_FFFFi64)).collect()
+    (0..len)
+        .map(|_| rng.gen_range(0..=0x3FFF_FFFFi64))
+        .collect()
 }
 
 /// Builds the MatAdd kernel instance.
@@ -91,7 +93,10 @@ mod tests {
     #[test]
     fn sums_fit_u32() {
         let inst = build(&MatAddParams::paper(), 1);
-        assert!(inst.golden[0].1.iter().all(|&v| v >= 0 && v <= u32::MAX as i64));
+        assert!(inst.golden[0]
+            .1
+            .iter()
+            .all(|&v| v >= 0 && v <= u32::MAX as i64));
     }
 
     #[test]

@@ -53,7 +53,9 @@ pub fn generate_weights(n: u32, seed: u64) -> Vec<i64> {
 /// Generates a deterministic activation matrix (full 16-bit entries).
 pub fn generate_activations(n: u32, seed: u64) -> Vec<i64> {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x4D41_5441);
-    (0..n * n).map(|_| rng.gen_range(0..=MAX_ACTIVATION)).collect()
+    (0..n * n)
+        .map(|_| rng.gen_range(0..=MAX_ACTIVATION))
+        .collect()
 }
 
 /// Builds the MatMul kernel instance.
@@ -97,11 +99,13 @@ pub fn build(params: &MatMulParams, seed: u64) -> KernelInstance {
                         vec![Stmt::assign(
                             "acc",
                             Expr::var("acc")
-                                + Expr::load("A", Expr::var("i") * Expr::c(n as i32) + Expr::var("k"))
-                                    * Expr::load(
-                                        "BT",
-                                        Expr::var("j") * Expr::c(n as i32) + Expr::var("k"),
-                                    ),
+                                + Expr::load(
+                                    "A",
+                                    Expr::var("i") * Expr::c(n as i32) + Expr::var("k"),
+                                ) * Expr::load(
+                                    "BT",
+                                    Expr::var("j") * Expr::c(n as i32) + Expr::var("k"),
+                                ),
                         )],
                     ),
                     Stmt::accum_store(
@@ -142,10 +146,15 @@ mod tests {
 
     #[test]
     fn value_ranges() {
-        assert!(generate_weights(16, 3).iter().all(|&v| (0..=MAX_WEIGHT).contains(&v)));
+        assert!(generate_weights(16, 3)
+            .iter()
+            .all(|&v| (0..=MAX_WEIGHT).contains(&v)));
         let acts = generate_activations(16, 3);
         assert!(acts.iter().all(|&v| (0..=MAX_ACTIVATION).contains(&v)));
-        assert!(acts.iter().any(|&v| v > 0x8000), "activations fill the top bits");
+        assert!(
+            acts.iter().any(|&v| v > 0x8000),
+            "activations fill the top bits"
+        );
     }
 
     #[test]

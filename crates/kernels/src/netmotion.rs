@@ -26,12 +26,18 @@ pub struct NetMotionParams {
 impl NetMotionParams {
     /// Quick scale: 256 animals × 64 intervals.
     pub fn quick() -> NetMotionParams {
-        NetMotionParams { animals: 256, intervals: 64 }
+        NetMotionParams {
+            animals: 256,
+            intervals: 64,
+        }
     }
 
     /// Paper-runtime scale: 512 animals × 64 intervals.
     pub fn paper() -> NetMotionParams {
-        NetMotionParams { animals: 512, intervals: 64 }
+        NetMotionParams {
+            animals: 512,
+            intervals: 64,
+        }
     }
 }
 
@@ -59,7 +65,11 @@ pub fn build(params: &NetMotionParams, seed: u64) -> KernelInstance {
     let (w, k) = (params.animals, params.intervals);
     let movement = generate_movement(params, seed);
     let golden: Vec<i64> = (0..w as usize)
-        .map(|wi| movement[wi * k as usize..(wi + 1) * k as usize].iter().sum())
+        .map(|wi| {
+            movement[wi * k as usize..(wi + 1) * k as usize]
+                .iter()
+                .sum()
+        })
         .collect();
 
     let ir = KernelIr::new("netmotion")
@@ -98,7 +108,10 @@ mod tests {
 
     #[test]
     fn golden_sums_per_animal() {
-        let p = NetMotionParams { animals: 2, intervals: 8 };
+        let p = NetMotionParams {
+            animals: 2,
+            intervals: 8,
+        };
         let inst = build(&p, 0);
         let m = inst.input("M");
         assert_eq!(inst.golden[0].1[0], m[..8].iter().sum::<i64>());

@@ -35,16 +35,25 @@ pub struct VarParams {
 impl VarParams {
     /// Quick scale: 192 windows of 32 samples.
     pub fn quick() -> VarParams {
-        VarParams { windows: 192, samples: 32 }
+        VarParams {
+            windows: 192,
+            samples: 32,
+        }
     }
 
     /// Paper-runtime scale: 384 windows of 32 samples.
     pub fn paper() -> VarParams {
-        VarParams { windows: 384, samples: 32 }
+        VarParams {
+            windows: 384,
+            samples: 32,
+        }
     }
 
     fn log2_samples(&self) -> u8 {
-        assert!(self.samples.is_power_of_two(), "samples must be a power of two");
+        assert!(
+            self.samples.is_power_of_two(),
+            "samples must be a power of two"
+        );
         self.samples.trailing_zeros() as u8
     }
 }
@@ -114,7 +123,8 @@ pub fn build(params: &VarParams, seed: u64) -> KernelInstance {
                         k as i32,
                         vec![Stmt::assign(
                             "q",
-                            Expr::var("q") + Expr::load("D", idx("wq")) * Expr::load("D", idx("wq")),
+                            Expr::var("q")
+                                + Expr::load("D", idx("wq")) * Expr::load("D", idx("wq")),
                         )],
                     ),
                     Stmt::accum_store("SQ", Expr::var("wq"), Expr::var("q")),
@@ -125,7 +135,11 @@ pub fn build(params: &VarParams, seed: u64) -> KernelInstance {
                 "wf",
                 0,
                 w as i32,
-                vec![Stmt::store("VAR", Expr::var("wf"), Expr::load("SQ", Expr::var("wf")).shr(lg))],
+                vec![Stmt::store(
+                    "VAR",
+                    Expr::var("wf"),
+                    Expr::load("SQ", Expr::var("wf")).shr(lg),
+                )],
             ),
         ]);
 
@@ -182,6 +196,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_samples_rejected() {
-        build(&VarParams { windows: 2, samples: 60 }, 0);
+        build(
+            &VarParams {
+                windows: 2,
+                samples: 60,
+            },
+            0,
+        );
     }
 }

@@ -37,7 +37,10 @@ pub struct QualityCurve {
 impl QualityCurve {
     /// Creates an empty curve with a display label.
     pub fn new(label: impl Into<String>) -> QualityCurve {
-        QualityCurve { label: label.into(), points: Vec::new() }
+        QualityCurve {
+            label: label.into(),
+            points: Vec::new(),
+        }
     }
 
     /// The curve's label.
@@ -55,7 +58,11 @@ impl QualityCurve {
         if let Some(last) = self.points.last() {
             assert!(cycles >= last.cycles, "curve samples must be time-ordered");
         }
-        self.points.push(CurvePoint { cycles, normalized_runtime, nrmse_percent });
+        self.points.push(CurvePoint {
+            cycles,
+            normalized_runtime,
+            nrmse_percent,
+        });
     }
 
     /// All samples in time order.
@@ -87,7 +94,10 @@ impl QualityCurve {
     /// The earliest sample whose error is at most `target_percent` — "how
     /// soon is an acceptable output available?".
     pub fn earliest_at_most(&self, target_percent: f64) -> Option<CurvePoint> {
-        self.points.iter().copied().find(|p| p.nrmse_percent <= target_percent)
+        self.points
+            .iter()
+            .copied()
+            .find(|p| p.nrmse_percent <= target_percent)
     }
 
     /// The error if execution were halted after `cycles` — the error of
@@ -108,14 +118,19 @@ impl QualityCurve {
     /// True when error never increases from sample to sample (a property
     /// of provisioned/SWP curves at subword boundaries).
     pub fn is_monotone_nonincreasing(&self) -> bool {
-        self.points.windows(2).all(|w| w[1].nrmse_percent <= w[0].nrmse_percent + 1e-9)
+        self.points
+            .windows(2)
+            .all(|w| w[1].nrmse_percent <= w[0].nrmse_percent + 1e-9)
     }
 
     /// Renders the curve as CSV (`cycles,normalized_runtime,nrmse_percent`).
     pub fn to_csv(&self) -> String {
         let mut out = String::from("cycles,normalized_runtime,nrmse_percent\n");
         for p in &self.points {
-            out.push_str(&format!("{},{:.6},{:.6}\n", p.cycles, p.normalized_runtime, p.nrmse_percent));
+            out.push_str(&format!(
+                "{},{:.6},{:.6}\n",
+                p.cycles, p.normalized_runtime, p.nrmse_percent
+            ));
         }
         out
     }
@@ -123,7 +138,12 @@ impl QualityCurve {
 
 impl fmt::Display for QualityCurve {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "quality curve `{}` ({} points)", self.label, self.points.len())?;
+        writeln!(
+            f,
+            "quality curve `{}` ({} points)",
+            self.label,
+            self.points.len()
+        )?;
         for p in &self.points {
             writeln!(
                 f,

@@ -71,7 +71,9 @@ pub fn max_abs_error(golden: &[f64], approx: &[f64]) -> Option<f64> {
         .iter()
         .zip(approx)
         .map(|(g, a)| (g - a).abs())
-        .fold(None, |acc: Option<f64>, d| Some(acc.map_or(d, |m| m.max(d))))
+        .fold(None, |acc: Option<f64>, d| {
+            Some(acc.map_or(d, |m| m.max(d)))
+        })
 }
 
 /// Mean absolute *percentage* error relative to the golden values, used

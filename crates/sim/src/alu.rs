@@ -36,7 +36,11 @@ pub fn lane_sub(a: u32, b: u32, lanes: LaneWidth) -> u32 {
 #[inline]
 fn lane_op(a: u32, b: u32, lanes: LaneWidth, f: impl Fn(u32, u32, u32) -> u32) -> u32 {
     let bits = lanes.bits();
-    let mask = if bits == 32 { u32::MAX } else { (1u32 << bits) - 1 };
+    let mask = if bits == 32 {
+        u32::MAX
+    } else {
+        (1u32 << bits) - 1
+    };
     let mut out = 0u32;
     let mut shift = 0;
     while shift < 32 {
@@ -58,7 +62,11 @@ fn lane_op(a: u32, b: u32, lanes: LaneWidth, f: impl Fn(u32, u32, u32) -> u32) -
 pub fn asp_operand(rm: u32, bits: u8, shift: u8) -> u32 {
     debug_assert!((1..=32).contains(&bits));
     debug_assert!(shift as u32 + bits as u32 <= 32);
-    let mask = if bits == 32 { u32::MAX } else { (1u32 << bits) - 1 };
+    let mask = if bits == 32 {
+        u32::MAX
+    } else {
+        (1u32 << bits) - 1
+    };
     (rm & mask) << shift
 }
 
@@ -72,22 +80,38 @@ pub fn asp_operand(rm: u32, bits: u8, shift: u8) -> u32 {
 pub fn split_subwords(value: u32, width: u8, bits: u8) -> Vec<u32> {
     assert!((1..=32).contains(&bits), "subword size out of range");
     assert!((1..=32).contains(&width), "width out of range");
-    let mask = if bits == 32 { u32::MAX } else { (1u32 << bits) - 1 };
-    let value = if width == 32 { value } else { value & ((1u32 << width) - 1) };
+    let mask = if bits == 32 {
+        u32::MAX
+    } else {
+        (1u32 << bits) - 1
+    };
+    let value = if width == 32 {
+        value
+    } else {
+        value & ((1u32 << width) - 1)
+    };
     let n = (width as u32).div_ceil(bits as u32);
-    (0..n).map(|k| (value >> (k * bits as u32)) & mask).collect()
+    (0..n)
+        .map(|k| (value >> (k * bits as u32)) & mask)
+        .collect()
 }
 
 /// Inverse of [`split_subwords`]: recombines subwords (least-significant
 /// first) into a value. Subwords whose position lies entirely beyond
 /// bit 31 are ignored rather than wrapping around.
 pub fn join_subwords(subwords: &[u32], bits: u8) -> u32 {
-    let mask = if bits == 32 { u32::MAX } else { (1u32 << bits) - 1 };
+    let mask = if bits == 32 {
+        u32::MAX
+    } else {
+        (1u32 << bits) - 1
+    };
     subwords
         .iter()
         .enumerate()
         .take_while(|&(k, _)| k * (bits as usize) < 32)
-        .fold(0u32, |acc, (k, &s)| acc | ((s & mask) << (k * bits as usize)))
+        .fold(0u32, |acc, (k, &s)| {
+            acc | ((s & mask) << (k * bits as usize))
+        })
 }
 
 #[cfg(test)]
@@ -106,18 +130,27 @@ mod tests {
     #[test]
     fn lane_add_w4() {
         // 0xF + 0x1 wraps in every nibble.
-        assert_eq!(lane_add(0xFFFF_FFFF, 0x1111_1111, LaneWidth::W4), 0x0000_0000);
+        assert_eq!(
+            lane_add(0xFFFF_FFFF, 0x1111_1111, LaneWidth::W4),
+            0x0000_0000
+        );
     }
 
     #[test]
     fn lane_add_w16() {
-        assert_eq!(lane_add(0xFFFF_0001, 0x0001_0001, LaneWidth::W16), 0x0000_0002);
+        assert_eq!(
+            lane_add(0xFFFF_0001, 0x0001_0001, LaneWidth::W16),
+            0x0000_0002
+        );
     }
 
     #[test]
     fn lane_sub_isolates_borrows() {
         // 0x00 - 0x01 wraps to 0xFF inside the lane only.
-        assert_eq!(lane_sub(0x0000_0100, 0x0000_0001, LaneWidth::W8), 0x0000_01FF);
+        assert_eq!(
+            lane_sub(0x0000_0100, 0x0000_0001, LaneWidth::W8),
+            0x0000_01FF
+        );
     }
 
     #[test]
@@ -131,7 +164,8 @@ mod tests {
         // products reproduces the full product.
         let f: u32 = 37;
         let full = f.wrapping_mul(a);
-        let partial = f.wrapping_mul(asp_operand(0xAB, 8, 8)) + f.wrapping_mul(asp_operand(0xCD, 8, 0));
+        let partial =
+            f.wrapping_mul(asp_operand(0xAB, 8, 8)) + f.wrapping_mul(asp_operand(0xCD, 8, 0));
         assert_eq!(partial, full);
     }
 

@@ -27,7 +27,11 @@ impl Default for CoreConfig {
         // up to 2x their row-major size, and quick-scale experiment
         // instances are sized for outage statistics rather than a real
         // device's RAM budget.
-        CoreConfig { cycle_model: CycleModel::default(), mem_size: 1024 * 1024, memo: None }
+        CoreConfig {
+            cycle_model: CycleModel::default(),
+            mem_size: 1024 * 1024,
+            memo: None,
+        }
     }
 }
 
@@ -95,7 +99,9 @@ impl Core {
     /// validation, or [`SimError::DataImageTooLarge`] if its data image
     /// exceeds `config.mem_size`.
     pub fn new(program: &Program, config: CoreConfig) -> Result<Core, SimError> {
-        program.validate().map_err(|e| SimError::InvalidProgram(e.to_string()))?;
+        program
+            .validate()
+            .map_err(|e| SimError::InvalidProgram(e.to_string()))?;
         let mem = Memory::with_image(config.mem_size, &program.initial_data)?;
         let mut cpu = Cpu::new();
         cpu.pc = program.entry;
@@ -148,7 +154,11 @@ impl Core {
     /// for memory faults only in the sense that no partial store occurs.
     pub fn step(&mut self) -> Result<StepInfo, SimError> {
         if self.cpu.halted {
-            return Ok(StepInfo { cycles: 0, access: None, event: StepEvent::Halted });
+            return Ok(StepInfo {
+                cycles: 0,
+                access: None,
+                event: StepEvent::Halted,
+            });
         }
         let pc = self.cpu.pc;
         let len = self.program.instrs.len() as u32;
@@ -201,7 +211,13 @@ impl Core {
                     cycles = cost;
                     self.cpu.set_reg(rd, product);
                 }
-                Instr::MulAsp { rd, rn, rm, bits, shift } => {
+                Instr::MulAsp {
+                    rd,
+                    rn,
+                    rm,
+                    bits,
+                    shift,
+                } => {
                     let a = cpu.reg(rn);
                     let b = alu::asp_operand(cpu.reg(rm), bits, shift);
                     let (product, cost) = self.multiply_asp(a, b, bits);
@@ -347,7 +363,11 @@ impl Core {
             self.cpu.pc = next_pc;
         }
         self.stats.record(&instr, cycles);
-        Ok(StepInfo { cycles, access, event })
+        Ok(StepInfo {
+            cycles,
+            access,
+            event,
+        })
     }
 
     /// Runs until `HALT`. The budget is checked before each instruction,
@@ -369,7 +389,11 @@ impl Core {
             cycles += info.cycles;
             instructions += 1;
         }
-        Ok(RunOutcome { halted: true, cycles, instructions })
+        Ok(RunOutcome {
+            halted: true,
+            cycles,
+            instructions,
+        })
     }
 
     /// ARM-style flag computation for `a - b`.
@@ -458,7 +482,8 @@ mod tests {
 
     #[test]
     fn arithmetic_basics() {
-        let core = run_asm("MOV r0, #10\nMOV r1, #3\nSUB r2, r0, r1\nADD r3, r2, #5\nRSB r4, r1\nHALT");
+        let core =
+            run_asm("MOV r0, #10\nMOV r1, #3\nSUB r2, r0, r1\nADD r3, r2, #5\nRSB r4, r1\nHALT");
         assert_eq!(core.cpu.reg(Reg::R2), 7);
         assert_eq!(core.cpu.reg(Reg::R3), 12);
         assert_eq!(core.cpu.reg_i32(Reg::R4), -3);
@@ -518,9 +543,8 @@ mod tests {
 
     #[test]
     fn bl_and_bx_call_return() {
-        let core = run_asm(
-            "MOV r0, #1\nBL func\nADD r0, r0, #10\nHALT\nfunc:\nADD r0, r0, #100\nBX lr",
-        );
+        let core =
+            run_asm("MOV r0, #1\nBL func\nADD r0, r0, #10\nHALT\nfunc:\nADD r0, r0, #100\nBX lr");
         assert_eq!(core.cpu.reg(Reg::R0), 111);
     }
 
@@ -576,11 +600,11 @@ mod tests {
 
     #[test]
     fn memoization_reduces_mul_cycles() {
-        let p = assemble(
-            "MOV r0, #6\nMOV r1, #7\nMUL r2, r0, r1\nMUL r3, r0, r1\nHALT",
-        )
-        .unwrap();
-        let cfg = CoreConfig { memo: Some(MemoConfig::default()), ..CoreConfig::default() };
+        let p = assemble("MOV r0, #6\nMOV r1, #7\nMUL r2, r0, r1\nMUL r3, r0, r1\nHALT").unwrap();
+        let cfg = CoreConfig {
+            memo: Some(MemoConfig::default()),
+            ..CoreConfig::default()
+        };
         let mut core = Core::new(&p, cfg).unwrap();
         core.run(100).unwrap();
         assert_eq!(core.cpu.reg(Reg::R2), 42);
@@ -595,7 +619,10 @@ mod tests {
     #[test]
     fn zero_skipping_single_cycle() {
         let p = assemble("MOV r0, #0\nMOV r1, #7\nMUL r2, r0, r1\nHALT").unwrap();
-        let cfg = CoreConfig { memo: Some(MemoConfig::default()), ..CoreConfig::default() };
+        let cfg = CoreConfig {
+            memo: Some(MemoConfig::default()),
+            ..CoreConfig::default()
+        };
         let mut core = Core::new(&p, cfg).unwrap();
         core.run(100).unwrap();
         assert_eq!(core.cpu.reg(Reg::R2), 0);
@@ -641,7 +668,10 @@ mod tests {
 
     #[test]
     fn step_reports_accesses() {
-        let p = assemble(".data\nb: .space 8\n.text\nMOV r0, =b\nSTR r0, [r0, #0]\nLDR r1, [r0, #0]\nHALT").unwrap();
+        let p = assemble(
+            ".data\nb: .space 8\n.text\nMOV r0, =b\nSTR r0, [r0, #0]\nLDR r1, [r0, #0]\nHALT",
+        )
+        .unwrap();
         let mut core = Core::new(&p, CoreConfig::default()).unwrap();
         core.step().unwrap();
         let w = core.step().unwrap();

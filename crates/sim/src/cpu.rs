@@ -74,7 +74,11 @@ impl Cpu {
     /// checkpointing. The SKM register is deliberately *not* included: it
     /// lives in non-volatile storage.
     pub fn snapshot(&self) -> CpuSnapshot {
-        CpuSnapshot { regs: self.regs, flags: self.flags, pc: self.pc }
+        CpuSnapshot {
+            regs: self.regs,
+            flags: self.flags,
+            pc: self.pc,
+        }
     }
 
     /// Restores volatile state from a checkpoint snapshot.
@@ -154,7 +158,11 @@ mod tests {
         let snap = cpu.snapshot();
         cpu.skm = Some(2);
         cpu.restore(&snap);
-        assert_eq!(cpu.skm, Some(2), "restore must not clobber the NV skim register");
+        assert_eq!(
+            cpu.skm,
+            Some(2),
+            "restore must not clobber the NV skim register"
+        );
     }
 
     #[test]

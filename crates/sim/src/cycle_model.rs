@@ -97,7 +97,9 @@ impl Default for EnergyModel {
     fn default() -> EnergyModel {
         // ~250 pJ/cycle keeps on-periods in the few-millisecond regime the
         // paper describes for RF harvesting with a 10 µF capacitor.
-        EnergyModel { pj_per_cycle: 250.0 }
+        EnergyModel {
+            pj_per_cycle: 250.0,
+        }
     }
 }
 
@@ -117,21 +119,60 @@ mod tests {
     #[test]
     fn default_costs_match_paper() {
         let m = CycleModel::default();
-        let mul = Instr::Mul { rd: Reg::R0, rn: Reg::R1, rm: Reg::R2 };
-        assert_eq!(m.base_cost(&mul), 16, "16x16 iterative multiply takes 16 cycles");
-        let asp8 = Instr::MulAsp { rd: Reg::R0, rn: Reg::R1, rm: Reg::R2, bits: 8, shift: 8 };
+        let mul = Instr::Mul {
+            rd: Reg::R0,
+            rn: Reg::R1,
+            rm: Reg::R2,
+        };
+        assert_eq!(
+            m.base_cost(&mul),
+            16,
+            "16x16 iterative multiply takes 16 cycles"
+        );
+        let asp8 = Instr::MulAsp {
+            rd: Reg::R0,
+            rn: Reg::R1,
+            rm: Reg::R2,
+            bits: 8,
+            shift: 8,
+        };
         assert_eq!(m.base_cost(&asp8), 8);
-        let asp4 = Instr::MulAsp { rd: Reg::R0, rn: Reg::R1, rm: Reg::R2, bits: 4, shift: 0 };
+        let asp4 = Instr::MulAsp {
+            rd: Reg::R0,
+            rn: Reg::R1,
+            rm: Reg::R2,
+            bits: 4,
+            shift: 0,
+        };
         assert_eq!(m.base_cost(&asp4), 4);
-        let asv = Instr::AddAsv { rd: Reg::R0, rn: Reg::R1, rm: Reg::R2, lanes: LaneWidth::W8 };
+        let asv = Instr::AddAsv {
+            rd: Reg::R0,
+            rn: Reg::R1,
+            rm: Reg::R2,
+            lanes: LaneWidth::W8,
+        };
         assert_eq!(m.base_cost(&asv), 1, "vectorized add is single-cycle");
     }
 
     #[test]
     fn memory_and_branch_costs() {
         let m = CycleModel::default();
-        assert_eq!(m.base_cost(&Instr::Ldr { rt: Reg::R0, rn: Reg::R1, off: 0 }), 2);
-        assert_eq!(m.base_cost(&Instr::Strb { rt: Reg::R0, rn: Reg::R1, off: 0 }), 2);
+        assert_eq!(
+            m.base_cost(&Instr::Ldr {
+                rt: Reg::R0,
+                rn: Reg::R1,
+                off: 0
+            }),
+            2
+        );
+        assert_eq!(
+            m.base_cost(&Instr::Strb {
+                rt: Reg::R0,
+                rn: Reg::R1,
+                off: 0
+            }),
+            2
+        );
         assert_eq!(m.base_cost(&Instr::B { target: 0 }), 2);
         assert_eq!(m.base_cost(&Instr::Skm { target: 0 }), 2);
         assert_eq!(m.base_cost(&Instr::Nop), 1);
@@ -147,7 +188,9 @@ mod tests {
 
     #[test]
     fn energy_scales_linearly() {
-        let e = EnergyModel { pj_per_cycle: 100.0 };
+        let e = EnergyModel {
+            pj_per_cycle: 100.0,
+        };
         assert!((e.energy_j(10) - 1e-9).abs() < 1e-18);
         assert_eq!(e.energy_j(0), 0.0);
     }

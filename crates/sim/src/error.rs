@@ -25,14 +25,24 @@ impl fmt::Display for SimError {
             SimError::PcOutOfRange { pc, len } => {
                 write!(f, "pc {pc} outside program of {len} instructions")
             }
-            SimError::MemOutOfRange { addr, size, mem_size } => {
-                write!(f, "{size}-byte access at {addr:#x} outside {mem_size}-byte data memory")
+            SimError::MemOutOfRange {
+                addr,
+                size,
+                mem_size,
+            } => {
+                write!(
+                    f,
+                    "{size}-byte access at {addr:#x} outside {mem_size}-byte data memory"
+                )
             }
             SimError::Unaligned { addr, required } => {
                 write!(f, "unaligned {required}-byte access at {addr:#x}")
             }
             SimError::DataImageTooLarge { image, mem_size } => {
-                write!(f, "initial data image of {image} bytes exceeds {mem_size}-byte memory")
+                write!(
+                    f,
+                    "initial data image of {image} bytes exceeds {mem_size}-byte memory"
+                )
             }
             SimError::CycleLimit { limit } => {
                 write!(f, "program did not halt within {limit} cycles")
@@ -50,7 +60,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = SimError::Unaligned { addr: 0x13, required: 4 };
+        let e = SimError::Unaligned {
+            addr: 0x13,
+            required: 4,
+        };
         assert!(e.to_string().contains("0x13"));
         let e = SimError::CycleLimit { limit: 10 };
         assert!(e.to_string().contains("10"));

@@ -24,14 +24,22 @@ pub struct MemoConfig {
 
 impl Default for MemoConfig {
     fn default() -> MemoConfig {
-        MemoConfig { entries: 16, memoize: true, zero_skip: true }
+        MemoConfig {
+            entries: 16,
+            memoize: true,
+            zero_skip: true,
+        }
     }
 }
 
 impl MemoConfig {
     /// A configuration with only zero skipping (no table).
     pub fn zero_skip_only() -> MemoConfig {
-        MemoConfig { entries: 0, memoize: false, zero_skip: true }
+        MemoConfig {
+            entries: 0,
+            memoize: false,
+            zero_skip: true,
+        }
     }
 }
 
@@ -121,7 +129,11 @@ impl MemoUnit {
     fn index_and_tags(&self, a: u32, b: u32) -> (usize, u32, u32) {
         let mask = (1u32 << self.index_bits_per_operand) - 1;
         let idx = (((a & mask) << self.index_bits_per_operand) | (b & mask)) as usize;
-        (idx, a >> self.index_bits_per_operand, b >> self.index_bits_per_operand)
+        (
+            idx,
+            a >> self.index_bits_per_operand,
+            b >> self.index_bits_per_operand,
+        )
     }
 
     /// Looks up a product, counting a zero skip, a hit, or a miss.
@@ -158,7 +170,11 @@ impl MemoUnit {
             return;
         }
         let (idx, tag_a, tag_b) = self.index_and_tags(a, b);
-        self.table[idx] = Some(Entry { tag_a, tag_b, product });
+        self.table[idx] = Some(Entry {
+            tag_a,
+            tag_b,
+            product,
+        });
     }
 
     /// Clears the table (e.g. across kernel invocations). Counters are kept.
@@ -183,14 +199,20 @@ mod tests {
 
     #[test]
     fn zero_products_are_not_cached() {
-        let mut m = MemoUnit::new(MemoConfig { zero_skip: false, ..MemoConfig::default() });
+        let mut m = MemoUnit::new(MemoConfig {
+            zero_skip: false,
+            ..MemoConfig::default()
+        });
         m.insert(0, 9, 0);
         assert_eq!(m.lookup(0, 9), None, "zero operands bypass the table");
     }
 
     #[test]
     fn direct_mapped_conflict_evicts() {
-        let mut m = MemoUnit::new(MemoConfig { entries: 16, ..MemoConfig::default() });
+        let mut m = MemoUnit::new(MemoConfig {
+            entries: 16,
+            ..MemoConfig::default()
+        });
         // Same low-2-bits on both operands → same set.
         m.insert(0b0101, 0b0110, 30);
         assert_eq!(m.lookup(0b0101, 0b0110), Some(30));
@@ -211,7 +233,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of four")]
     fn rejects_non_power_of_four() {
-        MemoUnit::new(MemoConfig { entries: 8, ..MemoConfig::default() });
+        MemoUnit::new(MemoConfig {
+            entries: 8,
+            ..MemoConfig::default()
+        });
     }
 
     #[test]

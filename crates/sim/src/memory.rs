@@ -36,12 +36,22 @@ pub struct MemAccess {
 impl MemAccess {
     /// A read access.
     pub fn read(addr: u32, size: u32) -> MemAccess {
-        MemAccess { addr, size, kind: AccessKind::Read, prev: 0 }
+        MemAccess {
+            addr,
+            size,
+            kind: AccessKind::Read,
+            prev: 0,
+        }
     }
 
     /// A write access recording the overwritten value.
     pub fn write(addr: u32, size: u32, prev: u32) -> MemAccess {
-        MemAccess { addr, size, kind: AccessKind::Write, prev }
+        MemAccess {
+            addr,
+            size,
+            kind: AccessKind::Write,
+            prev,
+        }
     }
 }
 
@@ -54,7 +64,9 @@ pub struct Memory {
 impl Memory {
     /// Creates a zeroed memory of `size` bytes.
     pub fn new(size: usize) -> Memory {
-        Memory { bytes: vec![0; size] }
+        Memory {
+            bytes: vec![0; size],
+        }
     }
 
     /// Creates a memory of `size` bytes initialized from `image` at
@@ -65,7 +77,10 @@ impl Memory {
     /// Returns [`SimError::DataImageTooLarge`] if the image does not fit.
     pub fn with_image(size: usize, image: &[u8]) -> Result<Memory, SimError> {
         if image.len() > size {
-            return Err(SimError::DataImageTooLarge { image: image.len(), mem_size: size });
+            return Err(SimError::DataImageTooLarge {
+                image: image.len(),
+                mem_size: size,
+            });
         }
         let mut mem = Memory::new(size);
         mem.bytes[..image.len()].copy_from_slice(image);
@@ -79,11 +94,18 @@ impl Memory {
 
     fn check(&self, addr: u32, size: u32) -> Result<usize, SimError> {
         if size > 1 && !addr.is_multiple_of(size) {
-            return Err(SimError::Unaligned { addr, required: size });
+            return Err(SimError::Unaligned {
+                addr,
+                required: size,
+            });
         }
         let end = addr as u64 + size as u64;
         if end > self.bytes.len() as u64 {
-            return Err(SimError::MemOutOfRange { addr, size, mem_size: self.bytes.len() as u32 });
+            return Err(SimError::MemOutOfRange {
+                addr,
+                size,
+                mem_size: self.bytes.len() as u32,
+            });
         }
         Ok(addr as usize)
     }
@@ -164,7 +186,11 @@ impl Memory {
     pub fn slice(&self, addr: u32, len: u32) -> Result<&[u8], SimError> {
         let end = addr as u64 + len as u64;
         if end > self.bytes.len() as u64 {
-            return Err(SimError::MemOutOfRange { addr, size: len, mem_size: self.bytes.len() as u32 });
+            return Err(SimError::MemOutOfRange {
+                addr,
+                size: len,
+                mem_size: self.bytes.len() as u32,
+            });
         }
         Ok(&self.bytes[addr as usize..(addr + len) as usize])
     }
@@ -218,9 +244,27 @@ mod tests {
     #[test]
     fn rejects_unaligned() {
         let mut m = Memory::new(16);
-        assert_eq!(m.load_u32(2), Err(SimError::Unaligned { addr: 2, required: 4 }));
-        assert_eq!(m.load_u16(1), Err(SimError::Unaligned { addr: 1, required: 2 }));
-        assert_eq!(m.store_u32(6, 0), Err(SimError::Unaligned { addr: 6, required: 4 }));
+        assert_eq!(
+            m.load_u32(2),
+            Err(SimError::Unaligned {
+                addr: 2,
+                required: 4
+            })
+        );
+        assert_eq!(
+            m.load_u16(1),
+            Err(SimError::Unaligned {
+                addr: 1,
+                required: 2
+            })
+        );
+        assert_eq!(
+            m.store_u32(6, 0),
+            Err(SimError::Unaligned {
+                addr: 6,
+                required: 4
+            })
+        );
     }
 
     #[test]

@@ -151,7 +151,11 @@ impl ExecStats {
 
 impl fmt::Display for ExecStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{} instructions, {} cycles", self.instructions, self.cycles)?;
+        writeln!(
+            f,
+            "{} instructions, {} cycles",
+            self.instructions, self.cycles
+        )?;
         for class in InstrClass::ALL {
             let n = self.count(class);
             if n > 0 {
@@ -175,29 +179,71 @@ mod tests {
     #[test]
     fn classify() {
         assert_eq!(
-            InstrClass::of(&Instr::Mul { rd: Reg::R0, rn: Reg::R1, rm: Reg::R2 }),
+            InstrClass::of(&Instr::Mul {
+                rd: Reg::R0,
+                rn: Reg::R1,
+                rm: Reg::R2
+            }),
             InstrClass::Mul
         );
         assert_eq!(
-            InstrClass::of(&Instr::MulAsp { rd: Reg::R0, rn: Reg::R1, rm: Reg::R2, bits: 4, shift: 0 }),
+            InstrClass::of(&Instr::MulAsp {
+                rd: Reg::R0,
+                rn: Reg::R1,
+                rm: Reg::R2,
+                bits: 4,
+                shift: 0
+            }),
             InstrClass::MulAsp
         );
         assert_eq!(
-            InstrClass::of(&Instr::AddAsv { rd: Reg::R0, rn: Reg::R1, rm: Reg::R2, lanes: LaneWidth::W8 }),
+            InstrClass::of(&Instr::AddAsv {
+                rd: Reg::R0,
+                rn: Reg::R1,
+                rm: Reg::R2,
+                lanes: LaneWidth::W8
+            }),
             InstrClass::Asv
         );
-        assert_eq!(InstrClass::of(&Instr::Ldrb { rt: Reg::R0, rn: Reg::R1, off: 0 }), InstrClass::Load);
-        assert_eq!(InstrClass::of(&Instr::Str { rt: Reg::R0, rn: Reg::R1, off: 0 }), InstrClass::Store);
+        assert_eq!(
+            InstrClass::of(&Instr::Ldrb {
+                rt: Reg::R0,
+                rn: Reg::R1,
+                off: 0
+            }),
+            InstrClass::Load
+        );
+        assert_eq!(
+            InstrClass::of(&Instr::Str {
+                rt: Reg::R0,
+                rn: Reg::R1,
+                off: 0
+            }),
+            InstrClass::Store
+        );
         assert_eq!(InstrClass::of(&Instr::B { target: 0 }), InstrClass::Branch);
         assert_eq!(InstrClass::of(&Instr::Skm { target: 0 }), InstrClass::Skm);
         assert_eq!(InstrClass::of(&Instr::Halt), InstrClass::Other);
-        assert_eq!(InstrClass::of(&Instr::CmpImm { rn: Reg::R0, imm: 0 }), InstrClass::Alu);
+        assert_eq!(
+            InstrClass::of(&Instr::CmpImm {
+                rn: Reg::R0,
+                imm: 0
+            }),
+            InstrClass::Alu
+        );
     }
 
     #[test]
     fn record_and_fractions() {
         let mut s = ExecStats::new();
-        s.record(&Instr::Mul { rd: Reg::R0, rn: Reg::R1, rm: Reg::R2 }, 16);
+        s.record(
+            &Instr::Mul {
+                rd: Reg::R0,
+                rn: Reg::R1,
+                rm: Reg::R2,
+            },
+            16,
+        );
         s.record(&Instr::Nop, 1);
         s.record(&Instr::Nop, 1);
         s.record(&Instr::Skm { target: 0 }, 2);
@@ -220,7 +266,14 @@ mod tests {
     fn display_contains_classes() {
         let mut s = ExecStats::new();
         s.record(&Instr::Nop, 1);
-        s.record(&Instr::Mul { rd: Reg::R0, rn: Reg::R1, rm: Reg::R2 }, 16);
+        s.record(
+            &Instr::Mul {
+                rd: Reg::R0,
+                rn: Reg::R1,
+                rm: Reg::R2,
+            },
+            16,
+        );
         let text = s.to_string();
         assert!(text.contains("mul"));
         assert!(text.contains("2 instructions"));

@@ -71,7 +71,11 @@ impl ExecTrace {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> ExecTrace {
         assert!(capacity > 0, "trace capacity must be positive");
-        ExecTrace { entries: VecDeque::with_capacity(capacity), capacity, recorded: 0 }
+        ExecTrace {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            recorded: 0,
+        }
     }
 
     /// Records one retired instruction. `pc` is the instruction index
@@ -159,7 +163,11 @@ impl ExecTrace {
             let _ = write!(
                 out,
                 "{:>8}  {:04}{label}  {:<28} ; {} cy, total {}",
-                e.seq, e.pc, e.instr.to_string(), e.cycles, e.total_cycles
+                e.seq,
+                e.pc,
+                e.instr.to_string(),
+                e.cycles,
+                e.total_cycles
             );
             if let Some(acc) = e.access {
                 let kind = match acc.kind {
@@ -231,7 +239,10 @@ mod tests {
         assert_eq!(seqs, vec![0, 1, 2, 3]);
         let pcs: Vec<u32> = trace.entries().map(|e| e.pc).collect();
         assert_eq!(pcs, vec![0, 1, 2, 3]);
-        assert!(matches!(trace.entries().last().unwrap().event, StepEvent::Halted));
+        assert!(matches!(
+            trace.entries().last().unwrap().event,
+            StepEvent::Halted
+        ));
     }
 
     #[test]
@@ -271,10 +282,15 @@ HALT
 
     #[test]
     fn render_reports_omitted_prefix() {
-        let (program, trace) =
-            traced("MOV r0, #8\nloop:\nSUB r0, r0, #1\nCMP r0, #0\nBNE loop\nHALT", 2);
+        let (program, trace) = traced(
+            "MOV r0, #8\nloop:\nSUB r0, r0, #1\nCMP r0, #0\nBNE loop\nHALT",
+            2,
+        );
         let text = trace.render(&program);
-        assert!(text.starts_with("... 24 earlier instructions omitted"), "{text}");
+        assert!(
+            text.starts_with("... 24 earlier instructions omitted"),
+            "{text}"
+        );
     }
 
     #[test]
@@ -284,7 +300,9 @@ HALT
         assert_eq!(entries[2].cycles, 16, "full multiply is iterative");
         assert_eq!(entries[3].total_cycles, 19);
         // Monotone non-decreasing.
-        assert!(entries.windows(2).all(|w| w[0].total_cycles <= w[1].total_cycles));
+        assert!(entries
+            .windows(2)
+            .all(|w| w[0].total_cycles <= w[1].total_cycles));
     }
 
     #[test]

@@ -7,7 +7,10 @@ use std::path::PathBuf;
 use std::process::{Command, Output};
 
 fn wnrun(args: &[&str]) -> Output {
-    Command::new(env!("CARGO_BIN_EXE_wnrun")).args(args).output().expect("spawn wnrun")
+    Command::new(env!("CARGO_BIN_EXE_wnrun"))
+        .args(args)
+        .output()
+        .expect("spawn wnrun")
 }
 
 fn write_program(tag: &str, text: &str) -> PathBuf {
@@ -34,7 +37,11 @@ HALT
 fn runs_and_reports_stats_and_dump() {
     let src = write_program("sum", SUM_PROGRAM);
     let out = wnrun(&[src.to_str().unwrap(), "--dump", "OUT:1"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("halted after 6 instructions"), "{text}");
     assert!(text.contains("42"), "dump should show 6*7: {text}");
@@ -88,17 +95,17 @@ fn max_cycles_stops_runaway_programs() {
 fn trace_does_not_mask_the_cycle_cap() {
     let src = write_program("spin-traced", "loop:\nB loop\n");
     let out = wnrun(&[src.to_str().unwrap(), "--trace", "4", "--max-cycles", "100"]);
-    assert!(!out.status.success(), "cap exhaustion must fail with --trace too");
+    assert!(
+        !out.status.success(),
+        "cap exhaustion must fail with --trace too"
+    );
     let err = String::from_utf8(out.stderr).unwrap();
     assert!(err.contains("without halting"), "{err}");
 }
 
 #[test]
 fn faulting_program_with_trace_shows_the_path() {
-    let src = write_program(
-        "fault",
-        "MOV r0, #0\nSUB r0, r0, #4\nLDR r1, [r0]\nHALT\n",
-    );
+    let src = write_program("fault", "MOV r0, #0\nSUB r0, r0, #4\nLDR r1, [r0]\nHALT\n");
     let out = wnrun(&[src.to_str().unwrap(), "--trace", "8"]);
     assert!(!out.status.success());
     let err = String::from_utf8(out.stderr).unwrap();

@@ -13,18 +13,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{fig}");
     println!("time    clinical   sampled    anytime");
     for r in &fig.readings {
-        let critical = if r.clinical_mgdl < wn_kernels::glucose::CRITICAL_MGDL { "  << CRITICAL" } else { "" };
+        let critical = if r.clinical_mgdl < wn_kernels::glucose::CRITICAL_MGDL {
+            "  << CRITICAL"
+        } else {
+            ""
+        };
         println!(
             "{:>3}min  {:>7.1}   {:>8}  {:>8.1}{critical}",
             r.minute,
             r.clinical_mgdl,
-            r.sampled_mgdl.map_or("   --  ".to_string(), |v| format!("{v:>7.1}")),
+            r.sampled_mgdl
+                .map_or("   --  ".to_string(), |v| format!("{v:>7.1}")),
             r.anytime_mgdl,
         );
     }
 
     println!();
-    if fig.anytime_caught == fig.critical_minutes.len() && fig.sampled_caught < fig.critical_minutes.len() {
+    if fig.anytime_caught == fig.critical_minutes.len()
+        && fig.sampled_caught < fig.critical_minutes.len()
+    {
         println!(
             "anytime processing caught all {} critical readings; input sampling caught {}.",
             fig.critical_minutes.len(),

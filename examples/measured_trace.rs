@@ -34,7 +34,9 @@ fn synthesize_capture() -> Vec<f32> {
     let mut v = 0.0f32;
     let mut lcg = 0x2545F491_4F6CDD1Du64;
     let mut rand01 = move || {
-        lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        lcg = lcg
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((lcg >> 33) as f32) / (u32::MAX >> 1) as f32
     };
     let mut burst_left = 0i32;
@@ -65,16 +67,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4: characterize the harvesting environment.
     let stats = TraceStats::of(&trace);
-    println!("imported trace: {} samples, {:.1}s", trace.len(), trace.duration_s());
+    println!(
+        "imported trace: {} samples, {:.1}s",
+        trace.len(),
+        trace.duration_s()
+    );
     println!("  mean power   {:>8.1} uW", stats.mean_power_w * 1e6);
     println!("  peak power   {:>8.1} uW", stats.peak_power_w * 1e6);
     println!("  duty cycle   {:>8.1} %", stats.duty_cycle * 100.0);
     println!("  bursts       {:>8}", stats.bursts);
     println!("  mean burst   {:>8.2} s", stats.mean_burst_s);
     println!("  mean gap     {:>8.2} s", stats.mean_gap_s);
-    println!("  max gap      {:>8.2} s  (capacitor must ride this out)", stats.max_gap_s);
+    println!(
+        "  max gap      {:>8.2} s  (capacitor must ride this out)",
+        stats.max_gap_s
+    );
     let supply = quick_supply();
-    println!("  expected recharge: {:.3} s per outage\n", stats.expected_recharge_s(&supply));
+    println!(
+        "  expected recharge: {:.3} s per outage\n",
+        stats.expected_recharge_s(&supply)
+    );
 
     // 5: run the Home benchmark on the imported trace.
     let instance = Benchmark::Home.instance(Scale::Quick, 11);

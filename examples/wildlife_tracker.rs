@@ -17,17 +17,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let instance = Benchmark::NetMotion.instance(Scale::Quick, 7);
     let trace = PowerTrace::generate(TraceKind::RfBursty, 99, 120.0);
 
-    println!("tracking {} animals on harvested RF power\n", instance.golden[0].1.len());
+    println!(
+        "tracking {} animals on harvested RF power\n",
+        instance.golden[0].1.len()
+    );
 
     let precise = PreparedRun::new(&instance, Technique::Precise)?;
-    let p = run_intermittent(&precise, SubstrateKind::clank(), &trace, quick_supply(), 3600.0)?;
+    let p = run_intermittent(
+        &precise,
+        SubstrateKind::clank(),
+        &trace,
+        quick_supply(),
+        3600.0,
+    )?;
     println!(
         "precise:  {:>7.2}s wall clock, {} outages, error {:.3}%",
         p.time_s, p.outages, p.error_percent
     );
 
     let anytime = PreparedRun::new(&instance, Technique::swv(8))?;
-    let a = run_intermittent(&anytime, SubstrateKind::clank(), &trace, quick_supply(), 3600.0)?;
+    let a = run_intermittent(
+        &anytime,
+        SubstrateKind::clank(),
+        &trace,
+        quick_supply(),
+        3600.0,
+    )?;
     println!(
         "swv(8):   {:>7.2}s wall clock, {} outages, error {:.3}%, skimmed: {}",
         a.time_s, a.outages, a.error_percent, a.skimmed

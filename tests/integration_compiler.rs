@@ -73,7 +73,11 @@ fn swp_quality_is_monotone_at_skim_points() {
     let wn = PreparedRun::new(&inst, Technique::swp(4)).unwrap();
     // Huge interval → samples only at skim points and completion.
     let curve = quality_curve(&wn, baseline, u64::MAX / 2).unwrap();
-    assert_eq!(curve.len(), 4, "4-bit on 16-bit data: 3 skim points + completion");
+    assert_eq!(
+        curve.len(),
+        4,
+        "4-bit on 16-bit data: 3 skim points + completion"
+    );
     assert!(curve.is_monotone_nonincreasing(), "{curve}");
     assert_eq!(curve.final_error(), Some(0.0));
 }
@@ -118,7 +122,12 @@ fn vectorized_loads_agree_with_scalar_swp() {
         assert_eq!(ve, 0.0);
         let s = earliest_output(&scalar).unwrap();
         let v = earliest_output(&vectorized).unwrap();
-        assert!(v.cycles < s.cycles, "swp({bits})+vld: {} !< {}", v.cycles, s.cycles);
+        assert!(
+            v.cycles < s.cycles,
+            "swp({bits})+vld: {} !< {}",
+            v.cycles,
+            s.cycles
+        );
         assert!((v.error_percent - s.error_percent).abs() < 1.0);
     }
 }

@@ -19,14 +19,18 @@ fn precise_results_are_exact_on_both_substrates() {
         let inst = b.instance(Scale::Quick, 77);
         let run = PreparedRun::new(&inst, Technique::Precise).unwrap();
         for substrate in [SubstrateKind::clank(), SubstrateKind::nvp()] {
-            let out =
-                run_intermittent(&run, substrate, &trace(3), quick_supply(), 3600.0).unwrap();
+            let out = run_intermittent(&run, substrate, &trace(3), quick_supply(), 3600.0).unwrap();
             assert_eq!(
-                out.error_percent, 0.0,
+                out.error_percent,
+                0.0,
                 "{b} on {}: outages must not corrupt the result",
                 substrate.name()
             );
-            assert!(out.outages > 0, "{b} on {}: workload must span outages", substrate.name());
+            assert!(
+                out.outages > 0,
+                "{b} on {}: workload must span outages",
+                substrate.name()
+            );
         }
     }
 }
@@ -42,7 +46,11 @@ fn anytime_build_skims_and_wins_on_both_substrates() {
     for substrate in [SubstrateKind::clank(), SubstrateKind::nvp()] {
         let p = run_intermittent(&precise, substrate, &trace(4), quick_supply(), 3600.0).unwrap();
         let w = run_intermittent(&wn, substrate, &trace(4), quick_supply(), 3600.0).unwrap();
-        assert!(w.skimmed, "{}: WN should complete via skim", substrate.name());
+        assert!(
+            w.skimmed,
+            "{}: WN should complete via skim",
+            substrate.name()
+        );
         assert!(
             w.time_s < p.time_s,
             "{}: WN {:.2}s should beat precise {:.2}s",
@@ -61,10 +69,22 @@ fn anytime_build_skims_and_wins_on_both_substrates() {
 fn clank_reexecutes_nvp_resumes() {
     let inst = Benchmark::MatMul.instance(Scale::Quick, 79);
     let run = PreparedRun::new(&inst, Technique::Precise).unwrap();
-    let c = run_intermittent(&run, SubstrateKind::clank(), &trace(5), quick_supply(), 3600.0)
-        .unwrap();
-    let n =
-        run_intermittent(&run, SubstrateKind::nvp(), &trace(5), quick_supply(), 3600.0).unwrap();
+    let c = run_intermittent(
+        &run,
+        SubstrateKind::clank(),
+        &trace(5),
+        quick_supply(),
+        3600.0,
+    )
+    .unwrap();
+    let n = run_intermittent(
+        &run,
+        SubstrateKind::nvp(),
+        &trace(5),
+        quick_supply(),
+        3600.0,
+    )
+    .unwrap();
     assert!(
         c.active_cycles > n.active_cycles,
         "clank {} cycles should exceed nvp {}",
@@ -72,7 +92,10 @@ fn clank_reexecutes_nvp_resumes() {
         n.active_cycles
     );
     assert!(c.substrate.checkpoints > 0);
-    assert!(c.substrate.lost_cycles > 0, "outages must have discarded work");
+    assert!(
+        c.substrate.lost_cycles > 0,
+        "outages must have discarded work"
+    );
 }
 
 /// Disabling skim points turns the WN binary back into an all-or-nothing
@@ -84,7 +107,7 @@ fn skim_disabled_runs_to_precise_completion() {
     let core = prepared.fresh_core().unwrap();
     let mut exec = wn_intermittent::IntermittentExecutor::new(
         core,
-        trace(6),
+        &trace(6),
         quick_supply(),
         wn_intermittent::Nvp::default(),
     );
@@ -102,17 +125,20 @@ fn skim_floor_trades_latency_for_quality() {
     let inst = Benchmark::Conv2d.instance(Scale::Quick, 81);
     let mut results = Vec::new();
     for min_level in 0..=3u32 {
-        let opts = wn_compiler::CompileOptions { skim_min_level: min_level };
-        let compiled =
-            wn_compiler::compile_with(&inst.ir, Technique::swp(4), &opts).unwrap();
-        let prepared = PreparedRun::from_compiled(
-            compiled,
-            inst.clone(),
-            wn_core::CoreConfig::default(),
-        );
-        let run =
-            run_intermittent(&prepared, SubstrateKind::clank(), &trace(8), quick_supply(), 3600.0)
-                .unwrap();
+        let opts = wn_compiler::CompileOptions {
+            skim_min_level: min_level,
+        };
+        let compiled = wn_compiler::compile_with(&inst.ir, Technique::swp(4), &opts).unwrap();
+        let prepared =
+            PreparedRun::from_compiled(compiled, inst.clone(), wn_core::CoreConfig::default());
+        let run = run_intermittent(
+            &prepared,
+            SubstrateKind::clank(),
+            &trace(8),
+            quick_supply(),
+            3600.0,
+        )
+        .unwrap();
         results.push((min_level, run.time_s, run.error_percent));
     }
     for pair in results.windows(2) {
@@ -133,7 +159,12 @@ fn skim_floor_trades_latency_for_quality() {
 fn all_trace_kinds_make_progress() {
     let inst = Benchmark::Var.instance(Scale::Quick, 81);
     let run = PreparedRun::new(&inst, Technique::Precise).unwrap();
-    for kind in [TraceKind::RfBursty, TraceKind::Solar, TraceKind::Periodic, TraceKind::Constant] {
+    for kind in [
+        TraceKind::RfBursty,
+        TraceKind::Solar,
+        TraceKind::Periodic,
+        TraceKind::Constant,
+    ] {
         let t = PowerTrace::generate(kind, 11, 120.0);
         let out = run_intermittent(&run, SubstrateKind::nvp(), &t, quick_supply(), 3600.0)
             .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
@@ -147,9 +178,21 @@ fn all_trace_kinds_make_progress() {
 fn intermittent_runs_are_deterministic() {
     let inst = Benchmark::NetMotion.instance(Scale::Quick, 82);
     let run = PreparedRun::new(&inst, Technique::swv(4)).unwrap();
-    let a = run_intermittent(&run, SubstrateKind::clank(), &trace(7), quick_supply(), 3600.0)
-        .unwrap();
-    let b = run_intermittent(&run, SubstrateKind::clank(), &trace(7), quick_supply(), 3600.0)
-        .unwrap();
+    let a = run_intermittent(
+        &run,
+        SubstrateKind::clank(),
+        &trace(7),
+        quick_supply(),
+        3600.0,
+    )
+    .unwrap();
+    let b = run_intermittent(
+        &run,
+        SubstrateKind::clank(),
+        &trace(7),
+        quick_supply(),
+        3600.0,
+    )
+    .unwrap();
     assert_eq!(a, b);
 }

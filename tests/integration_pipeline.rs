@@ -31,7 +31,10 @@ fn compiled_kernels_survive_disassembly_roundtrip() {
             let text = run.compiled.program.disassemble();
             let reassembled = wn_isa::asm::assemble(&text)
                 .unwrap_or_else(|e| panic!("{b} {technique} disasm did not reassemble: {e}"));
-            assert_eq!(reassembled.instrs, run.compiled.program.instrs, "{b} {technique}");
+            assert_eq!(
+                reassembled.instrs, run.compiled.program.instrs,
+                "{b} {technique}"
+            );
         }
     }
 }
@@ -86,12 +89,21 @@ fn instruction_mix_separates_precise_from_anytime() {
         let wn = PreparedRun::new(&inst, b.technique(8)).unwrap();
         let mut core = wn.fresh_core().unwrap();
         core.run(u64::MAX).unwrap();
-        let wn_ops =
-            core.stats.count(InstrClass::MulAsp) + core.stats.count(InstrClass::Asv);
-        assert!(wn_ops > 0, "{b}: anytime build must execute WN instructions");
-        assert!(core.stats.count(InstrClass::Skm) >= 1, "{b}: skim points present");
+        let wn_ops = core.stats.count(InstrClass::MulAsp) + core.stats.count(InstrClass::Asv);
+        assert!(
+            wn_ops > 0,
+            "{b}: anytime build must execute WN instructions"
+        );
+        assert!(
+            core.stats.count(InstrClass::Skm) >= 1,
+            "{b}: skim points present"
+        );
         if b.uses_swp() {
-            assert_eq!(core.stats.count(InstrClass::Mul), 0, "{b}: all data muls subworded");
+            assert_eq!(
+                core.stats.count(InstrClass::Mul),
+                0,
+                "{b}: all data muls subworded"
+            );
         }
     }
 }

@@ -1,0 +1,38 @@
+//! The parallel experiment engine must be invisible in the output: any
+//! worker count produces byte-identical CSVs, because every experiment
+//! enumerates its job grid in serial order and reassembles results by
+//! job index.
+
+use wn_core::experiments::{fig10, ExperimentConfig};
+use wn_core::jobs::{set_global_jobs, JobPool};
+
+/// The one test allowed to mutate the global jobs override: it compares
+/// the same experiment at width 1 and width 8 sequentially, then resets.
+#[test]
+fn csvs_are_byte_identical_at_any_worker_count() {
+    let config = ExperimentConfig::quick();
+
+    set_global_jobs(1);
+    let serial = fig10::run_fig10(&config).unwrap().to_csv();
+
+    set_global_jobs(8);
+    let parallel = fig10::run_fig10(&config).unwrap().to_csv();
+
+    set_global_jobs(0); // back to WN_JOBS / available_parallelism
+    assert_eq!(serial, parallel, "fig10 CSV must not depend on --jobs");
+}
+
+#[test]
+fn failing_jobs_surface_the_first_error_without_hanging() {
+    // A pool with more in-flight work than workers, where a mid-grid job
+    // fails: the run must return the lowest-index error and join cleanly.
+    let pool = JobPool::with_jobs(4);
+    let result: Result<Vec<u64>, String> = pool.run(100, |i| {
+        if i % 7 == 3 {
+            Err(format!("job {i} failed"))
+        } else {
+            Ok(i as u64)
+        }
+    });
+    assert_eq!(result.unwrap_err(), "job 3 failed");
+}

@@ -1,0 +1,284 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of the criterion 0.5 API its benches use:
+//! `Criterion::benchmark_group`, `sample_size`, `throughput`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId::from_parameter`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! It is a real timing harness — each benchmark runs one warmup
+//! iteration plus `sample_size` timed iterations and reports min /
+//! mean / max wall-clock per iteration (and element throughput when
+//! configured) — but it performs no statistical analysis, produces no
+//! HTML reports, and ignores CLI filters.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation; only used to derive an elements/sec figure.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A parameterised benchmark name, printed as part of the report line.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Anything acceptable as a benchmark name.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self.into() }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// Passed to the benchmark routine; `iter` times the closure.
+pub struct Bencher {
+    samples: usize,
+    timings: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warmup: one untimed call so lazy initialisation (allocator
+        // pools, page faults) doesn't land in the first sample.
+        black_box(routine());
+        self.timings.clear();
+        self.timings.reserve(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.timings.push(start.elapsed());
+        }
+    }
+}
+
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        run_bench(None, id.into_benchmark_id(), sample_size, None, routine);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(
+            Some(&self.name),
+            id.into_benchmark_id(),
+            self.sample_size,
+            self.throughput,
+            routine,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_bench(
+            Some(&self.name),
+            id,
+            self.sample_size,
+            self.throughput,
+            |b| routine(b, input),
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    group: Option<&str>,
+    id: BenchmarkId,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut routine: F,
+) {
+    let full_name = match group {
+        Some(g) => format!("{g}/{}", id.id),
+        None => id.id,
+    };
+    let mut bencher = Bencher {
+        samples: sample_size,
+        timings: Vec::new(),
+    };
+    routine(&mut bencher);
+    if bencher.timings.is_empty() {
+        println!("{full_name:<44} (no samples: routine never called iter)");
+        return;
+    }
+    let total: Duration = bencher.timings.iter().sum();
+    let mean = total / bencher.timings.len() as u32;
+    let min = *bencher.timings.iter().min().unwrap();
+    let max = *bencher.timings.iter().max().unwrap();
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if mean.as_secs_f64() > 0.0 => {
+            format!("  {:>12.0} elem/s", n as f64 / mean.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) if mean.as_secs_f64() > 0.0 => {
+            format!("  {:>12.0} B/s", n as f64 / mean.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{full_name:<44} time: [{} {} {}]{rate}",
+        fmt_duration(min),
+        fmt_duration(mean),
+        fmt_duration(max),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Collects benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_routine_expected_number_of_times() {
+        let mut calls = 0u32;
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(5);
+        g.bench_function("counter", |b| b.iter(|| calls += 1));
+        g.finish();
+        // one warmup + five samples
+        assert_eq!(calls, 6);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input_through() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(2);
+        let mut seen = 0u64;
+        g.bench_with_input(BenchmarkId::from_parameter(7), &21u64, |b, &x| {
+            b.iter(|| seen = x * 2)
+        });
+        g.finish();
+        assert_eq!(seen, 42);
+    }
+}
