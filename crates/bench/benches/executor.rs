@@ -1,0 +1,64 @@
+//! Executor-throughput bench: simulated instructions per second of a full
+//! intermittent run on the fixed reference workload the epoch scheduler
+//! is judged against — the matmul kernel on Clank under an RF-bursty
+//! trace (quick supply, so the run spans many power cycles).
+//!
+//! The throughput annotation is the *dynamic instruction count* of the
+//! run (including re-execution after outages), measured once up front —
+//! the run is deterministic, so every timed iteration retires exactly
+//! that many instructions.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use wn_compiler::Technique;
+use wn_core::intermittent::{quick_supply, run_intermittent, SubstrateKind};
+use wn_core::prepared::PreparedRun;
+use wn_energy::{PowerTrace, TraceKind};
+use wn_kernels::{Benchmark, Scale};
+
+/// The fixed workload: matmul + Clank + RfBursty.
+fn workload() -> (PreparedRun, PowerTrace) {
+    let instance = Benchmark::MatMul.instance(Scale::Quick, 42);
+    let prepared = PreparedRun::new(&instance, Technique::Precise).unwrap();
+    let trace = PowerTrace::generate(TraceKind::RfBursty, 42, 120.0);
+    (prepared, trace)
+}
+
+fn run_once(prepared: &PreparedRun, trace: &PowerTrace) -> u64 {
+    let core = prepared.fresh_core().unwrap();
+    let mut exec = wn_intermittent::IntermittentExecutor::new(
+        core,
+        trace,
+        quick_supply(),
+        wn_intermittent::Clank::default(),
+    );
+    exec.run(3600.0).unwrap();
+    exec.core().stats.instructions
+}
+
+fn executor_throughput(c: &mut Criterion) {
+    let (prepared, trace) = workload();
+    // Dynamic instruction count of the deterministic run.
+    let instructions = run_once(&prepared, &trace);
+    assert!(instructions > 100_000, "workload too small to time");
+
+    let mut g = c.benchmark_group("executor");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(instructions));
+    g.bench_function("matmul_clank_rf_bursty", |b| {
+        b.iter(|| {
+            run_intermittent(
+                &prepared,
+                SubstrateKind::clank(),
+                &trace,
+                quick_supply(),
+                3600.0,
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, executor_throughput);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Min-of-30 wall-clock timer for the executor-throughput workload
+//! (matmul + Clank + RfBursty — the same fixed workload as
+//! `benches/executor.rs`). On noisy shared machines the minimum of many
+//! short runs is a far more stable throughput estimate than a mean, so
+//! this is the tool for before/after comparisons; pass `--reference` to
+//! time the per-instruction reference engine instead of the epoch
+//! scheduler.
+//!
+//! ```text
+//! cargo run --release -p wn-bench --example wl_time [-- --reference]
+//! ```
+
+use std::time::Instant;
+
+use wn_compiler::Technique;
+use wn_core::intermittent::quick_supply;
+use wn_core::prepared::PreparedRun;
+use wn_energy::{PowerTrace, TraceKind};
+use wn_intermittent::{Clank, IntermittentExecutor};
+use wn_kernels::{Benchmark, Scale};
+
+fn main() {
+    let reference = std::env::args().any(|a| a == "--reference");
+    let instance = Benchmark::MatMul.instance(Scale::Quick, 42);
+    let prepared = PreparedRun::new(&instance, Technique::Precise).unwrap();
+    let trace = PowerTrace::generate(TraceKind::RfBursty, 42, 120.0);
+    let mut best = f64::INFINITY;
+    let mut instructions = 0u64;
+    for _ in 0..30 {
+        let core = prepared.fresh_core().unwrap();
+        let mut exec = IntermittentExecutor::new(core, &trace, quick_supply(), Clank::default());
+        let t0 = Instant::now();
+        let run = if reference {
+            exec.run_reference(3600.0).unwrap()
+        } else {
+            exec.run(3600.0).unwrap()
+        };
+        let dt = t0.elapsed().as_secs_f64();
+        let _ = run;
+        instructions = exec.core().stats.instructions;
+        if dt < best {
+            best = dt;
+        }
+    }
+    println!(
+        "engine={} min={:.3} ms  {:.1} M instr/s",
+        if reference { "reference" } else { "epoch" },
+        best * 1e3,
+        instructions as f64 / best / 1e6
+    );
+}

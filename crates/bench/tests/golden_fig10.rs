@@ -1,0 +1,19 @@
+//! Regression pin: the epoch-scheduler refactor must not move a single
+//! byte of experiment output. The golden file is the quick-scale
+//! `fig10.csv` produced by the pre-refactor per-instruction engine
+//! (commit 65c7b7f); `run_fig10` under the lease engine must reproduce
+//! it exactly — same speedups, same error percentages, same skim rates,
+//! same formatting.
+
+use wn_core::experiments::{fig10, ExperimentConfig};
+
+#[test]
+fn fig10_quick_csv_is_byte_identical_to_pre_refactor() {
+    let golden = include_str!("golden/fig10_quick.csv");
+    let fig = fig10::run_fig10(&ExperimentConfig::quick()).unwrap();
+    assert_eq!(
+        fig.to_csv(),
+        golden,
+        "fig10 quick CSV drifted from the pre-refactor engine's output"
+    );
+}

@@ -1,8 +1,10 @@
 //! Continuous-power runs: runtime–quality curves (paper Fig. 9) and
 //! earliest-output measurements (§V-E).
 
+use std::ops::ControlFlow;
+
 use wn_quality::QualityCurve;
-use wn_sim::StepEvent;
+use wn_sim::{StepEvent, StopReason};
 
 use crate::error::WnError;
 use crate::prepared::PreparedRun;
@@ -32,8 +34,10 @@ pub fn quality_curve(
     let mut core = prepared.fresh_core()?;
     let mut cycles = 0u64;
     let mut next_sample = sample_interval;
-    loop {
-        let info = core.step()?;
+    // The bulk loop can't propagate quality errors through the hook;
+    // stash the first one and re-raise it after the run returns.
+    let mut sample_err: Option<WnError> = None;
+    core.run_steps(u64::MAX, |core, info| {
         cycles += info.cycles;
         let sample_now = cycles >= next_sample
             || matches!(info.event, StepEvent::SkimSet(_))
@@ -42,14 +46,20 @@ pub fn quality_curve(
             while next_sample <= cycles {
                 next_sample += sample_interval;
             }
-            let err = prepared.error_percent(&core)?;
-            curve.push(cycles, cycles as f64 / baseline_cycles as f64, err);
+            match prepared.error_percent(core) {
+                Ok(err) => curve.push(cycles, cycles as f64 / baseline_cycles as f64, err),
+                Err(e) => {
+                    sample_err = Some(e);
+                    return ControlFlow::Break(());
+                }
+            }
         }
-        if core.is_halted() {
-            break;
-        }
+        ControlFlow::Continue(0)
+    })?;
+    match sample_err {
+        Some(e) => Err(e),
+        None => Ok(curve),
     }
-    Ok(curve)
 }
 
 /// Result of running until the first skim point: how soon an acceptable
@@ -74,17 +84,15 @@ pub struct EarliestOutput {
 /// Propagates simulation errors.
 pub fn run_to_first_skim(prepared: &PreparedRun) -> Result<(wn_sim::Core, u64, bool), WnError> {
     let mut core = prepared.fresh_core()?;
-    let mut cycles = 0u64;
-    loop {
-        let info = core.step()?;
-        cycles += info.cycles;
+    let outcome = core.run_steps(u64::MAX, |_, info| {
         if let StepEvent::SkimSet(_) = info.event {
-            return Ok((core, cycles, true));
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(0)
         }
-        if core.is_halted() {
-            return Ok((core, cycles, false));
-        }
-    }
+    })?;
+    let at_skim = outcome.stop == StopReason::Hook;
+    Ok((core, outcome.cycles, at_skim))
 }
 
 /// Runs until the first skim point (or completion) and scores the output.

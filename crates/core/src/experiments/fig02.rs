@@ -52,10 +52,7 @@ pub struct Fig2 {
 
 fn run_for_cycles(prepared: &PreparedRun, budget: u64) -> Result<Vec<i64>, WnError> {
     let mut core = prepared.fresh_core()?;
-    let mut cycles = 0u64;
-    while cycles < budget && !core.is_halted() {
-        cycles += core.step()?.cycles;
-    }
+    core.run_steps(budget, |_, _| std::ops::ControlFlow::Continue(0))?;
     prepared.decode(&core, "OUT")
 }
 

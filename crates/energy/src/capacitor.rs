@@ -17,6 +17,9 @@ pub struct Capacitor {
     capacitance_f: f64,
     v_max: f64,
     energy_j: f64,
+    /// Cached `energy_at(v_max)`: [`Capacitor::add_energy`] clamps against
+    /// it on the per-instruction hot path of every intermittent run.
+    max_energy_j: f64,
 }
 
 impl Capacitor {
@@ -28,10 +31,14 @@ impl Capacitor {
     pub fn new(capacitance_f: f64, v_max: f64) -> Capacitor {
         assert!(capacitance_f > 0.0, "capacitance must be positive");
         assert!(v_max > 0.0, "rail voltage must be positive");
+        // Same expression (and evaluation order) as `energy_at`, so the
+        // cached clamp is bit-identical to computing it per call.
+        let max_energy_j = 0.5 * capacitance_f * v_max * v_max;
         Capacitor {
             capacitance_f,
             v_max,
             energy_j: 0.0,
+            max_energy_j,
         }
     }
 
@@ -46,6 +53,7 @@ impl Capacitor {
     }
 
     /// Stored energy in joules.
+    #[inline]
     pub fn energy(&self) -> f64 {
         self.energy_j
     }
@@ -61,19 +69,36 @@ impl Capacitor {
     }
 
     /// Adds harvested energy, clamping at the rail voltage.
+    ///
+    /// The clamp is a branch rather than `f64::min`: the inputs are never
+    /// NaN (so both forms produce identical bits), and a predicted branch
+    /// keeps the compare off the per-instruction energy dependency chain
+    /// that paces [`settle`](../supply/struct.EnergySupply.html#method.settle).
+    #[inline]
     pub fn add_energy(&mut self, joules: f64) {
         debug_assert!(joules >= 0.0);
-        let max = self.energy_at(self.v_max);
-        self.energy_j = (self.energy_j + joules).min(max);
+        let sum = self.energy_j + joules;
+        self.energy_j = if sum > self.max_energy_j {
+            self.max_energy_j
+        } else {
+            sum
+        };
     }
 
     /// Drains energy for execution; clamps at zero and returns the energy
-    /// actually removed.
+    /// actually removed. Branch-form clamp for the same reason as
+    /// [`Capacitor::add_energy`].
+    #[inline]
     pub fn drain(&mut self, joules: f64) -> f64 {
         debug_assert!(joules >= 0.0);
-        let removed = joules.min(self.energy_j);
-        self.energy_j -= removed;
-        removed
+        if joules <= self.energy_j {
+            self.energy_j -= joules;
+            joules
+        } else {
+            let removed = self.energy_j;
+            self.energy_j = 0.0;
+            removed
+        }
     }
 
     /// Sets the capacitor to an exact voltage (used by tests and to model

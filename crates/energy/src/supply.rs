@@ -3,7 +3,7 @@
 use std::fmt;
 
 use crate::capacitor::Capacitor;
-use crate::trace::PowerTrace;
+use crate::trace::{PowerTrace, SAMPLE_HZ};
 
 /// Electrical configuration of the supply.
 ///
@@ -48,6 +48,40 @@ impl Default for SupplyConfig {
 }
 
 impl SupplyConfig {
+    /// Checks the configuration for electrical sanity: thresholds must be
+    /// ordered `0 < v_off < v_on <= v_max`, and capacitance, clock and
+    /// per-cycle energy must be positive finite numbers (energy may be
+    /// zero). A config that fails this would otherwise produce NaN or
+    /// infinite energy budgets deep inside a run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SupplyError::InvalidConfig`] naming the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), SupplyError> {
+        let invalid = |reason: &str| {
+            Err(SupplyError::InvalidConfig {
+                reason: reason.to_string(),
+            })
+        };
+        if !(self.capacitance_f.is_finite() && self.capacitance_f > 0.0) {
+            return invalid("capacitance must be positive and finite");
+        }
+        if !(self.clock_hz.is_finite() && self.clock_hz > 0.0) {
+            return invalid("clock must be positive and finite");
+        }
+        if !(self.pj_per_cycle.is_finite() && self.pj_per_cycle >= 0.0) {
+            return invalid("energy per cycle must be non-negative and finite");
+        }
+        if !self.v_max.is_finite() || !self.v_on.is_finite() || !self.v_off.is_finite() {
+            return invalid("voltage thresholds must be finite");
+        }
+        if !(self.v_off > 0.0 && self.v_off < self.v_on && self.v_on <= self.v_max) {
+            return invalid("voltage thresholds must satisfy 0 < v_off < v_on <= v_max");
+        }
+        Ok(())
+    }
+
     /// Usable energy per power cycle (between `v_on` and `v_off`), joules.
     pub fn usable_energy_j(&self) -> f64 {
         0.5 * self.capacitance_f * (self.v_on * self.v_on - self.v_off * self.v_off)
@@ -77,6 +111,12 @@ pub enum SupplyError {
     Starved { waited_s: f64 },
     /// `consume_cycles` was called while the device was off.
     NotPowered,
+    /// The electrical configuration is inconsistent (see
+    /// [`SupplyConfig::validate`]).
+    InvalidConfig {
+        /// The violated constraint.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SupplyError {
@@ -89,6 +129,9 @@ impl fmt::Display for SupplyError {
                 )
             }
             SupplyError::NotPowered => write!(f, "cycles consumed while powered off"),
+            SupplyError::InvalidConfig { reason } => {
+                write!(f, "invalid supply configuration: {reason}")
+            }
         }
     }
 }
@@ -110,22 +153,50 @@ pub struct EnergySupply {
     on: bool,
     outages: u64,
     on_time_s: f64,
+    /// Cached `cap.energy_at(v_off)`: the brown-out energy floor used to
+    /// size leases in [`EnergySupply::grant_cycles`].
+    e_off_j: f64,
+    /// Cached `pj_per_cycle * 1e-12` — the exact first factor of the
+    /// drain expression in [`EnergySupply::consume_cycles`], so
+    /// [`EnergySupply::settle`] reproduces its rounding bit-for-bit.
+    drain_per_cycle_j: f64,
+    /// Harvested power of the trace sample `t_s` currently sits in, in
+    /// watts — valid while `seg_budget_cycles > 0`.
+    seg_power_w: f64,
+    /// Conservative number of cycles that can elapse from `t_s` while
+    /// provably staying strictly inside the cached sample. Decremented by
+    /// [`EnergySupply::settle`]'s fast path; zeroed whenever time
+    /// advances through any other path.
+    seg_budget_cycles: u64,
+    /// `dt_table[c]` = `c as f64 / clock_hz`, bit-identical to computing
+    /// the division per call — settles are 1–300 cycles, so the hot path
+    /// never divides.
+    dt_table: Vec<f64>,
 }
 
 impl EnergySupply {
-    /// Creates a supply with a discharged capacitor (device off).
+    /// Safety margin subtracted from every lease, in cycles. Covers the
+    /// accumulated float rounding of splitting one lease into thousands
+    /// of per-instruction settles (≈1 ulp each, ~6 orders of magnitude
+    /// below one cycle's drain) with an enormous cushion.
+    pub const LEASE_MARGIN_CYCLES: u64 = 64;
+
+    /// Creates a supply, validating the configuration first.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics unless `0 < v_off < v_on <= v_max` and the clock is positive.
-    pub fn new(trace: PowerTrace, config: SupplyConfig) -> EnergySupply {
-        assert!(config.v_off > 0.0 && config.v_off < config.v_on && config.v_on <= config.v_max);
-        assert!(config.clock_hz > 0.0 && config.pj_per_cycle >= 0.0);
+    /// Returns [`SupplyError::InvalidConfig`] if
+    /// [`SupplyConfig::validate`] rejects `config`.
+    pub fn try_new(trace: PowerTrace, config: SupplyConfig) -> Result<EnergySupply, SupplyError> {
+        config.validate()?;
         let mut cap = Capacitor::new(config.capacitance_f, config.v_max);
         if config.start_charged {
             cap.set_voltage(config.v_on);
         }
-        EnergySupply {
+        let e_off_j = cap.energy_at(config.v_off);
+        let drain_per_cycle_j = config.pj_per_cycle * 1e-12;
+        let dt_table = (0..256).map(|c| c as f64 / config.clock_hz).collect();
+        Ok(EnergySupply {
             cap,
             trace,
             config,
@@ -133,6 +204,23 @@ impl EnergySupply {
             on: false,
             outages: 0,
             on_time_s: 0.0,
+            e_off_j,
+            drain_per_cycle_j,
+            seg_power_w: 0.0,
+            seg_budget_cycles: 0,
+            dt_table,
+        })
+    }
+
+    /// Creates a supply with a discharged capacitor (device off).
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`SupplyConfig::validate`] rejects `config`.
+    pub fn new(trace: PowerTrace, config: SupplyConfig) -> EnergySupply {
+        match EnergySupply::try_new(trace, config) {
+            Ok(supply) => supply,
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -178,6 +266,7 @@ impl EnergySupply {
         if self.on {
             return Ok(0.0);
         }
+        self.seg_budget_cycles = 0;
         const STEP_S: f64 = 1e-3;
         const MAX_WAIT_S: f64 = 3600.0;
         let target = self.cap.energy_at(self.config.v_on);
@@ -214,6 +303,8 @@ impl EnergySupply {
         if cycles == 0 {
             return Ok(PowerStatus::On);
         }
+        // Time advances outside `settle`: the segment cache goes stale.
+        self.seg_budget_cycles = 0;
         let dt = cycles as f64 / self.config.clock_hz;
         let harvested = self.trace.energy_between(self.t_s, dt);
         let drained = self.config.pj_per_cycle * 1e-12 * cycles as f64;
@@ -230,12 +321,121 @@ impl EnergySupply {
         }
     }
 
+    /// Grants an **energy lease**: the number of cycles guaranteed to
+    /// execute without a brown-out even if the harvester delivers nothing,
+    /// capped at `cap`. Solved analytically from the capacitor state:
+    /// `floor((E − E_off) / drain_per_cycle)` minus
+    /// [`EnergySupply::LEASE_MARGIN_CYCLES`].
+    ///
+    /// The zero-harvest assumption makes this a lower bound — harvest
+    /// income only adds energy (`Capacitor::add_energy` never removes
+    /// any), so the real post-lease energy is at least the granted
+    /// bound. Returns 0 when the device is off or hugging the brown-out
+    /// threshold (callers fall back to per-instruction accounting), and
+    /// `cap` when execution is free (`pj_per_cycle == 0`).
+    #[inline]
+    pub fn grant_cycles(&self, cap: u64) -> u64 {
+        if !self.on {
+            return 0;
+        }
+        let headroom_j = self.cap.energy() - self.e_off_j;
+        if headroom_j <= 0.0 {
+            return 0;
+        }
+        if self.drain_per_cycle_j <= 0.0 {
+            return cap;
+        }
+        let cycles = (headroom_j / self.drain_per_cycle_j).floor();
+        if cycles < 1.0 {
+            return 0;
+        }
+        let cycles = if cycles >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            cycles as u64
+        };
+        cycles
+            .saturating_sub(EnergySupply::LEASE_MARGIN_CYCLES)
+            .min(cap)
+    }
+
+    /// Settles `cycles` of execution inside a granted lease: advances
+    /// time, credits harvest, drains execution energy — exactly
+    /// [`EnergySupply::consume_cycles`] minus the brown-out check (the
+    /// lease already guarantees no outage, so the `sqrt` in
+    /// `Capacitor::voltage` is skipped on the hot path).
+    ///
+    /// Every float operation here reproduces `consume_cycles`' expression
+    /// order bit-for-bit; the epoch scheduler's equivalence to the
+    /// per-instruction reference engine (and the byte-identity of
+    /// experiment CSVs) depends on it. The only shortcut is a cached
+    /// trace segment: when the interval stays inside the 1 kHz sample the
+    /// cache holds, harvest is `power * dt` with the same `power` that
+    /// `PowerTrace::energy_between`'s single-sample fast path would read,
+    /// skipping the index math and modulo.
+    #[inline]
+    pub fn settle(&mut self, cycles: u64) {
+        debug_assert!(self.on, "settle called while powered off");
+        if cycles == 0 {
+            return;
+        }
+        let dt = if cycles < 256 {
+            self.dt_table[cycles as usize]
+        } else {
+            cycles as f64 / self.config.clock_hz
+        };
+        if cycles <= self.seg_budget_cycles {
+            // The interval provably stays inside the cached 1 kHz sample,
+            // so `energy_between` would take its single-sample fast path
+            // and read exactly `seg_power_w`: `power * dt` reproduces its
+            // result bit-for-bit without the index math.
+            self.seg_budget_cycles -= cycles;
+            self.cap.add_energy(self.seg_power_w * dt);
+        } else {
+            self.settle_segment_miss(dt);
+        }
+        self.cap.drain(self.drain_per_cycle_j * cycles as f64);
+        self.t_s += dt;
+        self.on_time_s += dt;
+    }
+
+    /// Segment-cache miss: fall back to the reference harvest integral
+    /// and re-point the cache. Out of line — it runs once per 1 kHz trace
+    /// sample, not per instruction, and inlining it would bloat
+    /// [`EnergySupply::settle`]'s footprint inside the bulk loop.
+    #[inline(never)]
+    fn settle_segment_miss(&mut self, dt: f64) {
+        let harvested = self.trace.energy_between(self.t_s, dt);
+        self.cap.add_energy(harvested);
+        self.refresh_segment_cache(dt);
+    }
+
+    /// Re-points the segment cache at the sample `t_s + dt` lands in and
+    /// computes a conservative cycle budget to its boundary. The margin
+    /// absorbs float drift from summing many per-instruction `dt`s (≤ a
+    /// hundredth of a cycle over a full 1 ms sample), so the fast path's
+    /// in-sample claim is airtight.
+    fn refresh_segment_cache(&mut self, dt: f64) {
+        const MARGIN_CYCLES: u64 = 32;
+        let new_t = self.t_s + dt;
+        let idx = (new_t * SAMPLE_HZ).floor() as u64;
+        self.seg_power_w = self.trace.power_at_sample(idx);
+        let boundary_s = (idx + 1) as f64 / SAMPLE_HZ;
+        let left = (boundary_s - new_t) * self.config.clock_hz;
+        self.seg_budget_cycles = if left <= 0.0 {
+            0
+        } else {
+            (left as u64).saturating_sub(MARGIN_CYCLES)
+        };
+    }
+
     /// Idles for `duration_s` seconds: time advances and harvest charges
     /// the capacitor, but no execution energy is drawn (a clock-gated
     /// wait for the next input). The on/off state is re-evaluated at the
     /// end: an idle device with a charged capacitor is ready to run.
     pub fn idle(&mut self, duration_s: f64) {
         debug_assert!(duration_s >= 0.0);
+        self.seg_budget_cycles = 0;
         const STEP_S: f64 = 1e-3;
         let mut remaining = duration_s;
         while remaining > 0.0 {
@@ -401,5 +601,152 @@ mod tests {
         let t = s.time_s();
         assert_eq!(s.consume_cycles(0).unwrap(), PowerStatus::On);
         assert_eq!(s.time_s(), t);
+    }
+
+    #[test]
+    fn validate_rejects_bad_configs() {
+        let ok = SupplyConfig::default();
+        assert_eq!(ok.validate(), Ok(()));
+        let bad = [
+            SupplyConfig { v_off: 0.0, ..ok },
+            SupplyConfig {
+                v_off: 2.5,
+                v_on: 2.4,
+                ..ok
+            },
+            SupplyConfig { v_on: 5.0, ..ok }, // above v_max
+            SupplyConfig {
+                capacitance_f: 0.0,
+                ..ok
+            },
+            SupplyConfig {
+                capacitance_f: f64::NAN,
+                ..ok
+            },
+            SupplyConfig {
+                clock_hz: 0.0,
+                ..ok
+            },
+            SupplyConfig {
+                clock_hz: f64::INFINITY,
+                ..ok
+            },
+            SupplyConfig {
+                pj_per_cycle: -1.0,
+                ..ok
+            },
+            SupplyConfig {
+                v_max: f64::NAN,
+                ..ok
+            },
+        ];
+        for cfg in bad {
+            assert!(
+                matches!(cfg.validate(), Err(SupplyError::InvalidConfig { .. })),
+                "accepted {cfg:?}"
+            );
+            let trace = PowerTrace::generate(TraceKind::Constant, 0, 1.0);
+            assert!(EnergySupply::try_new(trace, cfg).is_err());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid supply configuration")]
+    fn new_panics_on_invalid_config() {
+        let trace = PowerTrace::generate(TraceKind::Constant, 0, 1.0);
+        EnergySupply::new(
+            trace,
+            SupplyConfig {
+                v_off: 0.0,
+                ..SupplyConfig::default()
+            },
+        );
+    }
+
+    #[test]
+    fn grant_is_zero_while_dark_and_positive_when_on() {
+        let mut s = constant_supply();
+        assert_eq!(s.grant_cycles(u64::MAX), 0);
+        s.wait_for_power().unwrap();
+        let grant = s.grant_cycles(u64::MAX);
+        // Roughly a full on-period of cycles, minus the margin.
+        let expect = s.config().cycles_per_on_period();
+        assert!(grant > expect / 2, "grant {grant} vs {expect}");
+        assert!(grant < expect * 2, "grant {grant} vs {expect}");
+        // The cap is honored.
+        assert_eq!(s.grant_cycles(100), 100);
+    }
+
+    #[test]
+    fn granted_lease_never_browns_out() {
+        // Settle an entire maximal lease, then confirm the device is
+        // still above the brown-out threshold: the grant's zero-harvest
+        // bound plus margin must hold.
+        for seed in 0..8 {
+            let trace = PowerTrace::generate(TraceKind::RfBursty, seed, 30.0);
+            let mut s = EnergySupply::new(trace, SupplyConfig::default());
+            s.wait_for_power().unwrap();
+            let grant = s.grant_cycles(u64::MAX);
+            assert!(grant > 0);
+            // Settle in uneven per-instruction chunks, like the executor.
+            let mut left = grant;
+            let mut k = 1u64;
+            while left > 0 {
+                let step = (k % 23 + 1).min(left);
+                s.settle(step);
+                left -= step;
+                k += 1;
+            }
+            assert!(
+                s.voltage() >= s.config().v_off,
+                "seed {seed}: browned out inside lease ({} V)",
+                s.voltage()
+            );
+            assert!(s.is_on());
+        }
+    }
+
+    #[test]
+    fn settle_matches_consume_cycles_bitwise() {
+        // The epoch engine's equivalence argument needs `settle` to
+        // reproduce `consume_cycles`' float results exactly, including
+        // through the cached-segment fast path and across segment
+        // boundaries.
+        for seed in [0u64, 3, 9] {
+            let trace = PowerTrace::generate(TraceKind::RfBursty, seed, 10.0);
+            let mut a = EnergySupply::new(trace.clone(), SupplyConfig::default());
+            let mut b = EnergySupply::new(trace, SupplyConfig::default());
+            a.wait_for_power().unwrap();
+            b.wait_for_power().unwrap();
+            let mut settles = 0u64;
+            for k in 0..50_000u64 {
+                let cycles = k % 37 + 1;
+                if a.grant_cycles(cycles) < cycles {
+                    break; // near brown-out: epoch engine would hand off
+                }
+                a.settle(cycles);
+                settles += 1;
+                assert_eq!(b.consume_cycles(cycles), Ok(PowerStatus::On));
+                assert_eq!(a.time_s().to_bits(), b.time_s().to_bits(), "k={k}");
+                assert_eq!(a.on_time_s().to_bits(), b.on_time_s().to_bits());
+                assert_eq!(a.voltage().to_bits(), b.voltage().to_bits(), "k={k}");
+            }
+            // The default supply holds ~50k usable cycles, so at ~19
+            // cycles per settle the lease sustains a few thousand —
+            // enough to cross many 1 ms trace segments.
+            assert!(settles > 1_000, "seed {seed}: only {settles} settles");
+        }
+    }
+
+    #[test]
+    fn free_execution_grants_the_cap() {
+        let trace = PowerTrace::generate(TraceKind::Constant, 0, 1.0);
+        let cfg = SupplyConfig {
+            pj_per_cycle: 0.0,
+            ..SupplyConfig::default()
+        };
+        let mut s = EnergySupply::new(trace, cfg);
+        s.wait_for_power().unwrap();
+        assert_eq!(s.grant_cycles(1 << 40), 1 << 40);
     }
 }

@@ -259,14 +259,26 @@ impl PowerTrace {
     }
 
     /// Instantaneous harvested power at time `t_s`, wrapping past the end.
+    #[inline]
     pub fn power_at(&self, t_s: f64) -> f64 {
         debug_assert!(t_s >= 0.0);
         let idx = (t_s * SAMPLE_HZ) as usize % self.samples_w.len();
         self.samples_w[idx] as f64
     }
 
+    /// Harvested power of the sample at absolute (unwrapped) index
+    /// `index`, in watts — the value [`PowerTrace::power_at`] reads for
+    /// any time inside that 1 ms sample. Used by the supply's segment
+    /// cache to avoid re-deriving the index (and its modulo) on every
+    /// retired instruction.
+    #[inline]
+    pub fn power_at_sample(&self, index: u64) -> f64 {
+        self.samples_w[(index % self.samples_w.len() as u64) as usize] as f64
+    }
+
     /// Energy harvested over `[t0, t0+dt)` in joules (piecewise-constant
     /// integration over the 1 kHz samples).
+    #[inline]
     pub fn energy_between(&self, t0_s: f64, dt_s: f64) -> f64 {
         debug_assert!(dt_s >= 0.0);
         if dt_s <= 0.0 {

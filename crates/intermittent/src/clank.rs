@@ -65,12 +65,14 @@ struct WordSet {
 }
 
 impl WordSet {
+    #[inline]
     fn contains(&self, word: u32) -> bool {
         let i = (word >> 2) as usize;
         self.epochs.get(i).copied() == Some(self.epoch)
     }
 
     /// Inserts; returns true when the word was new.
+    #[inline]
     fn insert(&mut self, word: u32) -> bool {
         let i = (word >> 2) as usize;
         if i >= self.epochs.len() {
@@ -147,6 +149,10 @@ impl Clank {
         self.config
     }
 
+    /// Kept out of line: checkpoints are rare (hundreds per run against
+    /// hundreds of thousands of retirements), and inlining the snapshot
+    /// copy into [`Substrate::after_step`] bloats the bulk-loop hot path.
+    #[inline(never)]
     fn take_checkpoint(&mut self, core: &Core) -> u64 {
         self.checkpoint = Some(core.cpu.snapshot());
         self.undo_log.clear();
@@ -175,9 +181,13 @@ impl Clank {
     }
 }
 
-impl Substrate for Clank {
-    fn after_step(&mut self, core: &mut Core, info: &StepInfo) -> u64 {
-        self.cycles_since_checkpoint += info.cycles;
+impl Clank {
+    /// The non-trivial tail of [`Substrate::after_step`], reached only
+    /// for memory accesses, skim points, and watchdog expiry. Kept out of
+    /// line so the common case (a register-only instruction between
+    /// checkpoints) inlines into the bulk loop as a few compares.
+    #[inline(never)]
+    fn after_step_slow(&mut self, core: &mut Core, info: &StepInfo) -> u64 {
         let mut overhead = 0;
 
         // A skim point declares the current output acceptable (§III-C:
@@ -215,6 +225,36 @@ impl Substrate for Clank {
             overhead += self.take_checkpoint(core);
         }
         overhead
+    }
+}
+
+impl Substrate for Clank {
+    #[inline]
+    fn after_step(&mut self, core: &mut Core, info: &StepInfo) -> u64 {
+        self.cycles_since_checkpoint += info.cycles;
+        if self.cycles_since_checkpoint < self.config.watchdog_cycles
+            && !matches!(info.event, StepEvent::SkimSet(_))
+        {
+            match info.access {
+                None => return 0,
+                // Loads only mark the read set; no checkpoint can fire.
+                // (A load's event is never `SkimSet`, so the order against
+                // the slow path's skim checkpoint is preserved.)
+                Some(access) if access.kind == AccessKind::Read => {
+                    self.read_words.insert(access.addr & !3);
+                    return 0;
+                }
+                Some(_) => {}
+            }
+        }
+        self.after_step_slow(core, info)
+    }
+
+    fn lease_cap(&self) -> u64 {
+        // At most two checkpoints can fire on one step (skim + store
+        // trigger, or a trigger + watchdog); budget three for a safety
+        // margin — the slack only trims a lease by ~0.2%.
+        3 * self.config.checkpoint_cycles
     }
 
     fn on_outage(&mut self, core: &mut Core) {

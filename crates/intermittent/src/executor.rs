@@ -8,11 +8,11 @@ use wn_sim::{Core, SimError};
 
 use crate::substrate::{Substrate, SubstrateStats};
 
-/// Outcome of one intermittent run.
+/// Outcome of one intermittent run. Produced only for runs that reached
+/// `HALT` (naturally or by skim jump) — incomplete runs surface as
+/// [`ExecError`]s instead.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IntermittentRun {
-    /// The program reached `HALT` (naturally or by skim jump).
-    pub completed: bool,
     /// Completion happened via a skim jump after an outage: the output is
     /// the approximate result as-is (§III-C).
     pub skimmed: bool,
@@ -149,7 +149,26 @@ impl<S: Substrate> IntermittentExecutor<S> {
     }
 
     /// Runs until the program halts or `limit_s` of simulated wall-clock
-    /// time passes.
+    /// time passes, scheduling execution in **energy leases** (epochs).
+    ///
+    /// Each iteration asks the supply for a lease
+    /// ([`EnergySupply::grant_cycles`]) — the cycles guaranteed free of
+    /// brown-outs even with zero harvest. When the lease comfortably
+    /// exceeds the worst case of one instruction plus the substrate's
+    /// [`Substrate::lease_cap`] overhead, execution proceeds in bulk
+    /// through [`Core::run_steps`] with no per-instruction voltage check:
+    /// the hook charges substrate overhead and settles energy
+    /// ([`EnergySupply::settle`]) as pure bookkeeping. Near the brown-out
+    /// threshold (or the wall-clock limit) it falls back to the exact
+    /// per-instruction checked path, so outages land on precisely the
+    /// same instruction as the per-cycle reference engine
+    /// ([`IntermittentExecutor::run_reference`]) — `settle` reproduces
+    /// `consume_cycles`' float arithmetic bit-for-bit.
+    ///
+    /// The wall-clock guard is folded into the lease math (leases are
+    /// capped at the cycles remaining until `limit_s`) instead of the
+    /// reference engine's periodic polling; `limit_s` is also checked on
+    /// entry, before the initial [`EnergySupply::wait_for_power`].
     ///
     /// # Errors
     ///
@@ -161,6 +180,120 @@ impl<S: Substrate> IntermittentExecutor<S> {
         let mut had_outage = false;
         // Report per-run deltas even when the supply is shared across
         // inputs (the stream harness reuses one energy environment).
+        let outages0 = self.supply.outage_count();
+        let time0 = self.supply.time_s();
+        let on_time0 = self.supply.on_time_s();
+        let max_instr_cycles = self.core.config().cycle_model.max_instr_cycles();
+
+        'power_cycles: loop {
+            if self.supply.time_s() > limit_s {
+                return Err(ExecError::WallClock { limit_s });
+            }
+            self.supply.wait_for_power()?;
+
+            // Restore path — checked: a weak checkpoint restore can brown
+            // out before the first instruction.
+            let restore_cost = self.substrate.on_restore(&mut self.core);
+            if self.consume(restore_cost, &mut active_cycles)? == PowerStatus::Outage {
+                self.substrate.on_outage(&mut self.core);
+                had_outage = true;
+                continue 'power_cycles;
+            }
+            // Skim check (§III-C): only meaningful after an outage — on
+            // first boot the register is clear anyway. The register is
+            // cleared as part of acting on it; if a second outage hits
+            // before the post-skim commit reaches HALT, the device simply
+            // resumes refinement from its checkpoint — a lost skim is a
+            // missed shortcut, never a wrong result.
+            if self.skim_enabled && had_outage {
+                if let Some(target) = self.core.cpu.skm {
+                    self.core.cpu.pc = target;
+                    self.core.cpu.skm = None;
+                    skimmed = true;
+                }
+            }
+
+            // Lease loop: execute until outage or completion.
+            loop {
+                if self.core.is_halted() {
+                    break 'power_cycles;
+                }
+                if self.supply.time_s() > limit_s {
+                    return Err(ExecError::WallClock { limit_s });
+                }
+                // Slack reserved at the end of a lease: the final retired
+                // instruction may overshoot the bulk budget by its own
+                // cost plus the worst-case substrate overhead.
+                let slack = max_instr_cycles + self.substrate.lease_cap();
+                let grant = self
+                    .supply
+                    .grant_cycles(cycles_until_limit(&self.supply, limit_s));
+                if grant > slack {
+                    let supply = &mut self.supply;
+                    let substrate = &mut self.substrate;
+                    let cap = substrate.lease_cap();
+                    let bulk = self.core.run_steps(grant - slack, |core, info| {
+                        let overhead = substrate.after_step(core, info);
+                        debug_assert!(
+                            overhead <= cap,
+                            "substrate overhead {overhead} exceeds its lease_cap {cap}"
+                        );
+                        supply.settle(info.cycles + overhead);
+                        std::ops::ControlFlow::Continue(overhead)
+                    })?;
+                    active_cycles += bulk.cycles;
+                    debug_assert!(
+                        self.supply.voltage() >= self.supply.config().v_off,
+                        "brown-out inside an energy lease"
+                    );
+                } else {
+                    // Near the brown-out threshold or the wall-clock
+                    // limit: the exact checked path of the reference
+                    // engine, one instruction at a time.
+                    let info = self.core.step()?;
+                    let overhead = self.substrate.after_step(&mut self.core, &info);
+                    if self.consume(info.cycles + overhead, &mut active_cycles)?
+                        == PowerStatus::Outage
+                    {
+                        // Even when the outage coincides with the HALT
+                        // step, the substrate decides what survives: on
+                        // Clank the uncommitted write-back buffer is lost
+                        // and the tail re-executes from the last
+                        // checkpoint after restore (HALT keeps its PC, so
+                        // the restored run halts again); on NVP
+                        // everything is already durable.
+                        self.substrate.on_outage(&mut self.core);
+                        had_outage = true;
+                        continue 'power_cycles;
+                    }
+                }
+            }
+        }
+
+        Ok(IntermittentRun {
+            skimmed,
+            total_time_s: self.supply.time_s() - time0,
+            on_time_s: self.supply.on_time_s() - on_time0,
+            active_cycles,
+            outages: self.supply.outage_count() - outages0,
+            substrate: self.substrate.stats(),
+        })
+    }
+
+    /// The pre-epoch **reference engine**: consumes energy and checks for
+    /// brown-out after every single instruction, polling the wall clock
+    /// every 65 536 instructions. Kept verbatim as the oracle for the
+    /// differential test suite — [`IntermittentExecutor::run`] must be
+    /// observably equivalent (same results, same outage placement, same
+    /// supply arithmetic) while running an order of magnitude faster.
+    ///
+    /// # Errors
+    ///
+    /// As [`IntermittentExecutor::run`].
+    pub fn run_reference(&mut self, limit_s: f64) -> Result<IntermittentRun, ExecError> {
+        let mut active_cycles = 0u64;
+        let mut skimmed = false;
+        let mut had_outage = false;
         let outages0 = self.supply.outage_count();
         let time0 = self.supply.time_s();
         let on_time0 = self.supply.on_time_s();
@@ -178,12 +311,7 @@ impl<S: Substrate> IntermittentExecutor<S> {
                 had_outage = true;
                 continue 'power_cycles;
             }
-            // Skim check (§III-C): only meaningful after an outage — on
-            // first boot the register is clear anyway. The register is
-            // cleared as part of acting on it; if a second outage hits
-            // before the post-skim commit reaches HALT, the device simply
-            // resumes refinement from its checkpoint — a lost skim is a
-            // missed shortcut, never a wrong result.
+            // Skim check (§III-C), as in `run`.
             if self.skim_enabled && had_outage {
                 if let Some(target) = self.core.cpu.skm {
                     self.core.cpu.pc = target;
@@ -211,12 +339,6 @@ impl<S: Substrate> IntermittentExecutor<S> {
                 let overhead = self.substrate.after_step(&mut self.core, &info);
                 if self.consume(info.cycles + overhead, &mut active_cycles)? == PowerStatus::Outage
                 {
-                    // Even when the outage coincides with the HALT step,
-                    // the substrate decides what survives: on Clank the
-                    // uncommitted write-back buffer is lost and the tail
-                    // re-executes from the last checkpoint after restore
-                    // (HALT keeps its PC, so the restored run halts
-                    // again); on NVP everything is already durable.
                     self.substrate.on_outage(&mut self.core);
                     had_outage = true;
                     continue 'power_cycles;
@@ -225,7 +347,6 @@ impl<S: Substrate> IntermittentExecutor<S> {
         }
 
         Ok(IntermittentRun {
-            completed: true,
             skimmed,
             total_time_s: self.supply.time_s() - time0,
             on_time_s: self.supply.on_time_s() - on_time0,
@@ -238,6 +359,22 @@ impl<S: Substrate> IntermittentExecutor<S> {
     fn consume(&mut self, cycles: u64, active: &mut u64) -> Result<PowerStatus, ExecError> {
         *active += cycles;
         Ok(self.supply.consume_cycles(cycles)?)
+    }
+}
+
+/// Cycles of execution remaining until the wall-clock limit (rounded up
+/// so the final lease can actually cross the limit), saturating for
+/// far-away limits.
+fn cycles_until_limit(supply: &EnergySupply, limit_s: f64) -> u64 {
+    let left_s = limit_s - supply.time_s();
+    if left_s <= 0.0 {
+        return 0;
+    }
+    let cycles = left_s * supply.config().clock_hz;
+    if cycles >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        (cycles as u64).saturating_add(1)
     }
 }
 
@@ -274,7 +411,6 @@ mod tests {
         let mut exec =
             IntermittentExecutor::new(core, &rf_trace(3), supply_config(), Clank::default());
         let run = exec.run(3600.0).unwrap();
-        assert!(run.completed);
         assert!(!run.skimmed, "no SKM instructions in this program");
         assert!(run.outages > 0, "program must span multiple power cycles");
         assert!(run.total_time_s > run.on_time_s);
@@ -319,7 +455,6 @@ mod tests {
         let mut exec =
             IntermittentExecutor::new(core, &rf_trace(5), supply_config(), Nvp::default());
         let run = exec.run(3600.0).unwrap();
-        assert!(run.completed);
         assert!(run.skimmed, "completion must come from the skim path");
         assert_eq!(run.outages, 1, "finishes at the first outage");
     }
@@ -371,8 +506,60 @@ mod tests {
         });
         let mut exec = IntermittentExecutor::new(core, &rf_trace(8), supply_config(), clank);
         let run = exec.run(3600.0).unwrap();
-        assert!(run.completed);
         assert!(run.substrate.violation_checkpoints > 0);
+    }
+
+    #[test]
+    fn epoch_engine_matches_reference_engine() {
+        // The same program, trace and substrate through both engines:
+        // outage placement, cycle accounting, timing and final memory
+        // must agree exactly (times bitwise — the lease scheduler's
+        // settle path reproduces the reference float arithmetic).
+        for seed in 0..4 {
+            let program = long_program(120_000);
+            let mut epoch = IntermittentExecutor::new(
+                Core::new(&program, CoreConfig::default()).unwrap(),
+                &rf_trace(seed),
+                supply_config(),
+                Clank::default(),
+            );
+            let mut reference = IntermittentExecutor::new(
+                Core::new(&program, CoreConfig::default()).unwrap(),
+                &rf_trace(seed),
+                supply_config(),
+                Clank::default(),
+            );
+            let a = epoch.run(3600.0).unwrap();
+            let b = reference.run_reference(3600.0).unwrap();
+            assert!(a.outages > 0, "seed {seed}: must span outages");
+            assert_eq!(a.outages, b.outages, "seed {seed}");
+            assert_eq!(a.active_cycles, b.active_cycles, "seed {seed}");
+            assert_eq!(a.skimmed, b.skimmed, "seed {seed}");
+            assert_eq!(a.substrate, b.substrate, "seed {seed}");
+            assert_eq!(
+                a.total_time_s.to_bits(),
+                b.total_time_s.to_bits(),
+                "seed {seed}"
+            );
+            assert_eq!(a.on_time_s.to_bits(), b.on_time_s.to_bits(), "seed {seed}");
+            assert_eq!(
+                epoch.core().mem.load_u32(0).unwrap(),
+                reference.core().mem.load_u32(0).unwrap(),
+                "seed {seed}"
+            );
+            assert_eq!(epoch.core().stats, reference.core().stats, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn wall_clock_checked_before_first_wait() {
+        // A supply whose clock already sits past the limit must error
+        // without waiting for power at all.
+        let core = Core::new(&long_program(10), CoreConfig::default()).unwrap();
+        let mut supply = EnergySupply::new(rf_trace(1), supply_config());
+        supply.idle(2.0); // advance past the limit while dark
+        let mut exec = IntermittentExecutor::with_supply(core, supply, Nvp::default());
+        assert!(matches!(exec.run(1.0), Err(ExecError::WallClock { .. })));
     }
 
     #[test]

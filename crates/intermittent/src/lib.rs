@@ -33,8 +33,10 @@
 //!     SupplyConfig::default(),
 //!     Clank::default(),
 //! );
+//! // `run` returns Ok only for completed runs; a short program under a
+//! // fresh supply finishes without skimming.
 //! let run = exec.run(600.0)?;
-//! assert!(run.completed);
+//! assert!(!run.skimmed);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 

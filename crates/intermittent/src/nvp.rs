@@ -64,12 +64,18 @@ impl Nvp {
 }
 
 impl Substrate for Nvp {
+    #[inline]
     fn after_step(&mut self, _core: &mut Core, _info: &StepInfo) -> u64 {
         // Backup every cycle: architecturally the NV flip-flops always
         // hold the latest state, so the simulation can defer the actual
         // snapshot to the outage — the state captured there is exactly
         // what per-cycle backup would have left.
         self.stats.overhead_cycles += self.config.backup_cycles_per_instr;
+        self.config.backup_cycles_per_instr
+    }
+
+    fn lease_cap(&self) -> u64 {
+        // `after_step` charges exactly the per-instruction backup cost.
         self.config.backup_cycles_per_instr
     }
 

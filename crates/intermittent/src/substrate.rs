@@ -34,6 +34,14 @@ pub trait Substrate {
     /// extra cycles charged to the supply (e.g. a checkpoint).
     fn after_step(&mut self, core: &mut Core, info: &StepInfo) -> u64;
 
+    /// Upper bound on the cycles [`Substrate::after_step`] can return
+    /// from a *single* call. The epoch scheduler reserves this much slack
+    /// per instruction when sizing an energy lease, so the bound must
+    /// hold for every possible step; a too-small bound could let a
+    /// brown-out land inside a lease (the executor debug-asserts it).
+    /// Over-estimating merely shortens leases slightly.
+    fn lease_cap(&self) -> u64;
+
     /// Power was lost *after* the last completed instruction.
     fn on_outage(&mut self, core: &mut Core);
 

@@ -1,0 +1,219 @@
+//! Differential harness: the epoch (lease) engine must be
+//! indistinguishable from the per-instruction reference engine.
+//!
+//! `IntermittentExecutor::run` schedules execution in analytically
+//! granted energy leases; `IntermittentExecutor::run_reference` is the
+//! seed's per-instruction loop kept as the oracle. Equivalence is exact,
+//! not approximate: outage placement, cycle accounting, substrate
+//! statistics, skim outcomes, final memory/register state, and even the
+//! accumulated float times must match bit-for-bit, because the lease
+//! scheduler's `settle` path reproduces the reference engine's float
+//! arithmetic operation-for-operation.
+
+use proptest::prelude::*;
+
+use wn_energy::{PowerTrace, SupplyConfig, TraceKind};
+use wn_intermittent::{Clank, ClankConfig, IntermittentExecutor, Nvp, NvpConfig, Substrate};
+use wn_isa::asm::assemble;
+use wn_sim::{Core, CoreConfig};
+
+/// Knobs for a randomized terminating program. The template is a
+/// read-modify-write loop — the worst case for Clank (every store is a
+/// WAR violation) — with optional multiplies, a second WAR word, and an
+/// optional skim point that outage-restores commit early.
+#[derive(Debug, Clone, Copy)]
+struct ProgramKnobs {
+    iters: u32,
+    use_mul: bool,
+    second_word: bool,
+    use_skm: bool,
+}
+
+fn build_program(k: ProgramKnobs) -> wn_isa::Program {
+    let mut src = String::from(".data\nout: .space 64\n.text\nMOV r0, =out\nMOV r2, #0\n");
+    if k.use_skm {
+        src.push_str("SKM end\n");
+    }
+    src.push_str("loop:\nLDR r1, [r0, #0]\n");
+    if k.use_mul {
+        src.push_str("MUL r4, r2, r2\n");
+    } else {
+        src.push_str("ADD r4, r2, r2\n");
+    }
+    src.push_str("ADD r1, r1, r4\nSTR r1, [r0, #0]\n");
+    if k.second_word {
+        src.push_str("LDR r5, [r0, #4]\nADD r5, r5, #1\nSTR r5, [r0, #4]\n");
+    }
+    src.push_str(&format!("ADD r2, r2, #1\nCMP r2, #{}\nBLT loop\n", k.iters));
+    src.push_str("end:\nHALT");
+    assemble(&src).unwrap()
+}
+
+fn knobs() -> impl Strategy<Value = ProgramKnobs> {
+    (200u32..12_000, any::<bool>(), any::<bool>(), any::<bool>()).prop_map(
+        |(iters, use_mul, second_word, use_skm)| ProgramKnobs {
+            iters,
+            use_mul,
+            second_word,
+            use_skm,
+        },
+    )
+}
+
+fn trace_kind() -> impl Strategy<Value = TraceKind> {
+    prop_oneof![
+        Just(TraceKind::RfBursty),
+        Just(TraceKind::Solar),
+        Just(TraceKind::Periodic),
+        Just(TraceKind::Constant),
+    ]
+}
+
+/// Supply variations stay inside an envelope where one charge always
+/// covers a watchdog period plus checkpoint/restore overheads, so every
+/// generated run makes forward progress and terminates well inside the
+/// wall-clock limit.
+fn supply() -> impl Strategy<Value = SupplyConfig> {
+    (5e-7f64..2e-6, 10.0f64..40.0, any::<bool>()).prop_map(
+        |(capacitance_f, pj_per_cycle, start_charged)| SupplyConfig {
+            capacitance_f,
+            pj_per_cycle,
+            start_charged,
+            ..SupplyConfig::default()
+        },
+    )
+}
+
+#[derive(Debug, Clone)]
+enum SubstrateChoice {
+    Clank(ClankConfig),
+    Nvp(NvpConfig),
+}
+
+fn substrate() -> impl Strategy<Value = SubstrateChoice> {
+    prop_oneof![
+        (500u64..8_000, 4usize..32, 10u64..80).prop_map(|(watchdog, wb, ckpt)| {
+            SubstrateChoice::Clank(ClankConfig {
+                watchdog_cycles: watchdog,
+                wb_entries: wb,
+                checkpoint_cycles: ckpt,
+                restore_cycles: ckpt,
+            })
+        }),
+        (5u64..50, 0u64..3).prop_map(|(wakeup, backup)| {
+            SubstrateChoice::Nvp(NvpConfig {
+                wakeup_cycles: wakeup,
+                backup_cycles_per_instr: backup,
+            })
+        }),
+    ]
+}
+
+/// Runs both engines on identical inputs and asserts exact agreement.
+fn assert_engines_agree<S: Substrate + Clone>(
+    program: &wn_isa::Program,
+    trace: &PowerTrace,
+    config: SupplyConfig,
+    substrate: S,
+) {
+    let mut epoch = IntermittentExecutor::new(
+        Core::new(program, CoreConfig::default()).unwrap(),
+        trace,
+        config,
+        substrate.clone(),
+    );
+    let mut reference = IntermittentExecutor::new(
+        Core::new(program, CoreConfig::default()).unwrap(),
+        trace,
+        config,
+        substrate,
+    );
+    let a = epoch.run(3600.0).unwrap();
+    let b = reference.run_reference(3600.0).unwrap();
+
+    assert_eq!(a.outages, b.outages, "outage count");
+    assert_eq!(a.active_cycles, b.active_cycles, "active cycles");
+    assert_eq!(a.skimmed, b.skimmed, "skim outcome");
+    assert_eq!(a.substrate, b.substrate, "substrate stats");
+    assert_eq!(
+        a.total_time_s.to_bits(),
+        b.total_time_s.to_bits(),
+        "total time (bitwise)"
+    );
+    assert_eq!(
+        a.on_time_s.to_bits(),
+        b.on_time_s.to_bits(),
+        "on time (bitwise)"
+    );
+    assert_eq!(epoch.core().stats, reference.core().stats, "exec stats");
+    assert_eq!(epoch.core().cpu.pc, reference.core().cpu.pc, "final pc");
+    for r in [wn_isa::Reg::R1, wn_isa::Reg::R2, wn_isa::Reg::R5] {
+        assert_eq!(
+            epoch.core().cpu.reg(r),
+            reference.core().cpu.reg(r),
+            "final {r:?}"
+        );
+    }
+    for word in 0..8u32 {
+        assert_eq!(
+            epoch.core().mem.load_u32(word * 4).unwrap(),
+            reference.core().mem.load_u32(word * 4).unwrap(),
+            "output word {word}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Randomized (program, trace, supply, substrate): the lease engine
+    /// and the per-instruction reference must agree exactly.
+    #[test]
+    fn epoch_engine_is_indistinguishable_from_reference(
+        k in knobs(),
+        kind in trace_kind(),
+        seed in 0u64..1_000,
+        config in supply(),
+        sub in substrate(),
+    ) {
+        let program = build_program(k);
+        let trace = PowerTrace::generate(kind, seed, 60.0);
+        match sub {
+            SubstrateChoice::Clank(c) => {
+                assert_engines_agree(&program, &trace, config, Clank::new(c));
+            }
+            SubstrateChoice::Nvp(c) => {
+                assert_engines_agree(&program, &trace, config, Nvp::new(c));
+            }
+        }
+    }
+}
+
+/// A pinned case that must always span outages *and* skim: an RF-bursty
+/// trace, the WAR-heavy loop with a skim point, and Clank defaults. This
+/// guards the differential suite itself against silently degenerating
+/// into outage-free runs.
+#[test]
+fn pinned_case_spans_outages_and_skims() {
+    let program = build_program(ProgramKnobs {
+        iters: 12_000,
+        use_mul: true,
+        second_word: true,
+        use_skm: true,
+    });
+    let trace = PowerTrace::generate(TraceKind::RfBursty, 7, 60.0);
+    let config = SupplyConfig {
+        capacitance_f: 1e-6,
+        ..SupplyConfig::default()
+    };
+    let mut probe = IntermittentExecutor::new(
+        Core::new(&program, CoreConfig::default()).unwrap(),
+        &trace,
+        config,
+        Clank::default(),
+    );
+    let run = probe.run(3600.0).unwrap();
+    assert!(run.outages > 0, "pinned case must cross power cycles");
+    assert!(run.skimmed, "pinned case must commit via its skim point");
+    assert_engines_agree(&program, &trace, config, Clank::default());
+}

@@ -8,7 +8,7 @@ use crate::cycle_model::CycleModel;
 use crate::error::SimError;
 use crate::memo::{MemoConfig, MemoUnit};
 use crate::memory::{MemAccess, Memory};
-use crate::stats::ExecStats;
+use crate::stats::{ExecStats, InstrClass};
 
 /// Configuration of a [`Core`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -72,6 +72,43 @@ pub struct RunOutcome {
     pub instructions: u64,
 }
 
+/// Why a [`Core::run_steps`] call returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The core is halted (either it executed `HALT` during this call or
+    /// was already halted on entry).
+    Halted,
+    /// The cycle budget was exhausted.
+    Budget,
+    /// The per-step hook broke out of the loop.
+    Hook,
+}
+
+/// Result of a [`Core::run_steps`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BulkRun {
+    /// Cycles consumed during this call, including any extra cycles the
+    /// hook charged.
+    pub cycles: u64,
+    /// Instructions retired during this call.
+    pub instructions: u64,
+    /// Why the loop stopped.
+    pub stop: StopReason,
+}
+
+/// A predecoded instruction: the [`Instr`] itself plus the facts the hot
+/// step loop would otherwise re-derive every retirement — the base cycle
+/// cost and the statistics class. Both depend only on the instruction and
+/// the (immutable) cycle model, so they are computed once at load time,
+/// and fusing them with the instruction makes fetch a single indexed
+/// load.
+#[derive(Debug, Clone, Copy)]
+struct Decoded {
+    instr: Instr,
+    base_cost: u64,
+    class_idx: u8,
+}
+
 /// A cycle-accurate WN-RISC core bound to one program.
 ///
 /// See the crate-level docs for an end-to-end example.
@@ -87,6 +124,8 @@ pub struct Core {
     pub memo: Option<MemoUnit>,
     program: Program,
     config: CoreConfig,
+    /// Parallel to `program.instrs`.
+    decoded: Vec<Decoded>,
 }
 
 impl Core {
@@ -105,6 +144,15 @@ impl Core {
         let mem = Memory::with_image(config.mem_size, &program.initial_data)?;
         let mut cpu = Cpu::new();
         cpu.pc = program.entry;
+        let decoded = program
+            .instrs
+            .iter()
+            .map(|i| Decoded {
+                instr: *i,
+                base_cost: config.cycle_model.base_cost(i),
+                class_idx: InstrClass::of(i).idx() as u8,
+            })
+            .collect();
         Ok(Core {
             cpu,
             mem,
@@ -112,6 +160,7 @@ impl Core {
             memo: config.memo.map(MemoUnit::new),
             program: program.clone(),
             config,
+            decoded,
         })
     }
 
@@ -152,6 +201,7 @@ impl Core {
     /// Returns a [`SimError`] if the PC leaves the program or a memory
     /// access is invalid. The core is left in the pre-instruction state
     /// for memory faults only in the sense that no partial store occurs.
+    #[inline]
     pub fn step(&mut self) -> Result<StepInfo, SimError> {
         if self.cpu.halted {
             return Ok(StepInfo {
@@ -161,14 +211,18 @@ impl Core {
             });
         }
         let pc = self.cpu.pc;
-        let len = self.program.instrs.len() as u32;
+        let len = self.decoded.len() as u32;
         if pc >= len {
             return Err(SimError::PcOutOfRange { pc, len });
         }
-        let instr = self.program.instrs[pc as usize];
+        let Decoded {
+            instr,
+            base_cost,
+            class_idx,
+        } = self.decoded[pc as usize];
         let m = self.config.cycle_model;
         let mut next_pc = pc + 1;
-        let mut cycles = m.base_cost(&instr);
+        let mut cycles = base_cost;
         let mut access = None;
         let mut event = StepEvent::None;
 
@@ -362,12 +416,71 @@ impl Core {
         } else {
             self.cpu.pc = next_pc;
         }
-        self.stats.record(&instr, cycles);
+        self.stats.record_class(class_idx as usize, cycles);
         Ok(StepInfo {
             cycles,
             access,
             event,
         })
+    }
+
+    /// Runs instructions in bulk until the core halts, `budget` cycles
+    /// are spent, or `hook` breaks out of the loop. This is the engine
+    /// under both [`Core::run`] and the intermittent executor's epoch
+    /// scheduler: callers that have pre-computed how long execution may
+    /// proceed (an energy lease, a sampling interval) run here without
+    /// per-instruction bookkeeping of their own.
+    ///
+    /// `hook` is called after every retired instruction with the core
+    /// and the [`StepInfo`]; it returns
+    /// `ControlFlow::Continue(extra_cycles)` to keep going (the extra
+    /// cycles — e.g. checkpoint overhead charged by a substrate — count
+    /// against `budget`), or `ControlFlow::Break(())` to stop.
+    ///
+    /// The budget is checked *before* each instruction, so the loop may
+    /// overshoot `budget` by at most one instruction plus whatever the
+    /// hook charges for it — instructions are atomic. A `budget` of 0
+    /// retires nothing.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`] from [`Core::step`]; the hook is not called for
+    /// the faulting instruction.
+    pub fn run_steps<F>(&mut self, budget: u64, mut hook: F) -> Result<BulkRun, SimError>
+    where
+        F: FnMut(&mut Core, &StepInfo) -> std::ops::ControlFlow<(), u64>,
+    {
+        let mut cycles = 0u64;
+        let mut instructions = 0u64;
+        loop {
+            if self.cpu.halted {
+                return Ok(BulkRun {
+                    cycles,
+                    instructions,
+                    stop: StopReason::Halted,
+                });
+            }
+            if cycles >= budget {
+                return Ok(BulkRun {
+                    cycles,
+                    instructions,
+                    stop: StopReason::Budget,
+                });
+            }
+            let info = self.step()?;
+            cycles += info.cycles;
+            instructions += 1;
+            match hook(self, &info) {
+                std::ops::ControlFlow::Continue(extra) => cycles += extra,
+                std::ops::ControlFlow::Break(()) => {
+                    return Ok(BulkRun {
+                        cycles,
+                        instructions,
+                        stop: StopReason::Hook,
+                    })
+                }
+            }
+        }
     }
 
     /// Runs until `HALT`. The budget is checked before each instruction,
@@ -379,21 +492,15 @@ impl Core {
     /// Returns [`SimError::CycleLimit`] if the budget is exhausted first,
     /// or any execution error.
     pub fn run(&mut self, max_cycles: u64) -> Result<RunOutcome, SimError> {
-        let mut cycles = 0u64;
-        let mut instructions = 0u64;
-        while !self.cpu.halted {
-            if cycles >= max_cycles {
-                return Err(SimError::CycleLimit { limit: max_cycles });
-            }
-            let info = self.step()?;
-            cycles += info.cycles;
-            instructions += 1;
+        let out = self.run_steps(max_cycles, |_, _| std::ops::ControlFlow::Continue(0))?;
+        match out.stop {
+            StopReason::Budget => Err(SimError::CycleLimit { limit: max_cycles }),
+            StopReason::Halted | StopReason::Hook => Ok(RunOutcome {
+                halted: true,
+                cycles: out.cycles,
+                instructions: out.instructions,
+            }),
         }
-        Ok(RunOutcome {
-            halted: true,
-            cycles,
-            instructions,
-        })
     }
 
     /// ARM-style flag computation for `a - b`.
@@ -686,6 +793,82 @@ mod tests {
         let core = run_asm("MOV r0, #4\nMOV pc, r0\nMOV r1, #1\nMOV r2, #2\nHALT\nHALT");
         assert_eq!(core.cpu.reg(Reg::R1), 0, "skipped by the PC write");
         assert_eq!(core.cpu.reg(Reg::R2), 0, "skipped by the PC write");
+    }
+
+    #[test]
+    fn run_steps_halts_with_exact_accounting() {
+        let p = assemble("MOV r0, #6\nMOV r1, #7\nMUL r2, r0, r1\nHALT").unwrap();
+        let mut core = Core::new(&p, CoreConfig::default()).unwrap();
+        let out = core
+            .run_steps(1_000, |_, _| std::ops::ControlFlow::Continue(0))
+            .unwrap();
+        assert_eq!(out.stop, StopReason::Halted);
+        assert_eq!(out.instructions, 4);
+        assert_eq!(out.cycles, 19); // 1 + 1 + 16 + 1
+        assert!(core.is_halted());
+        // A further call is a no-op returning Halted immediately.
+        let again = core
+            .run_steps(1_000, |_, _| std::ops::ControlFlow::Continue(0))
+            .unwrap();
+        assert_eq!(again.stop, StopReason::Halted);
+        assert_eq!(again.instructions, 0);
+    }
+
+    #[test]
+    fn run_steps_budget_checked_before_step() {
+        let p = assemble("loop:\nB loop").unwrap();
+        let mut core = Core::new(&p, CoreConfig::default()).unwrap();
+        let out = core
+            .run_steps(10, |_, _| std::ops::ControlFlow::Continue(0))
+            .unwrap();
+        assert_eq!(out.stop, StopReason::Budget);
+        // Taken branch costs 2: 5 fit under the budget of 10 exactly,
+        // and the pre-step check stops the sixth.
+        assert_eq!(out.cycles, 10);
+        assert_eq!(out.instructions, 5);
+        // Zero budget retires nothing.
+        let none = core
+            .run_steps(0, |_, _| std::ops::ControlFlow::Continue(0))
+            .unwrap();
+        assert_eq!(none.stop, StopReason::Budget);
+        assert_eq!(none.instructions, 0);
+    }
+
+    #[test]
+    fn run_steps_hook_extra_cycles_count_against_budget() {
+        let p = assemble("loop:\nB loop").unwrap();
+        let mut core = Core::new(&p, CoreConfig::default()).unwrap();
+        // Each branch costs 2, hook charges 3 more: 5 per instruction.
+        let out = core
+            .run_steps(10, |_, _| std::ops::ControlFlow::Continue(3))
+            .unwrap();
+        assert_eq!(out.stop, StopReason::Budget);
+        assert_eq!(out.instructions, 2);
+        assert_eq!(out.cycles, 10);
+    }
+
+    #[test]
+    fn run_steps_hook_break_stops_the_loop() {
+        let p = assemble("SKM end\nMOV r0, #1\nend:\nHALT").unwrap();
+        let mut core = Core::new(&p, CoreConfig::default()).unwrap();
+        let out = core
+            .run_steps(1_000, |_, info| match info.event {
+                StepEvent::SkimSet(_) => std::ops::ControlFlow::Break(()),
+                _ => std::ops::ControlFlow::Continue(0),
+            })
+            .unwrap();
+        assert_eq!(out.stop, StopReason::Hook);
+        assert_eq!(out.instructions, 1);
+        assert!(!core.is_halted());
+        assert!(core.cpu.skm.is_some());
+    }
+
+    #[test]
+    fn run_steps_surfaces_step_errors() {
+        let p = assemble("MOV r0, #2\nLDR r1, [r0, #0]\nHALT").unwrap();
+        let mut core = Core::new(&p, CoreConfig::default()).unwrap();
+        let res = core.run_steps(1_000, |_, _| std::ops::ControlFlow::Continue(0));
+        assert!(matches!(res, Err(SimError::Unaligned { .. })));
     }
 
     #[test]

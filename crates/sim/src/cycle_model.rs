@@ -64,6 +64,25 @@ impl CycleModel {
         bits as u64
     }
 
+    /// Upper bound on the cycle cost of any single instruction under
+    /// this model. The epoch scheduler uses it to size the slack it
+    /// reserves at the end of an energy lease, so over-estimating only
+    /// shortens leases slightly while under-estimating could place a
+    /// brown-out late. `MUL_ASP<bits>` costs `bits` cycles with `bits`
+    /// a `u8`, hence the `u8::MAX` floor.
+    pub fn max_instr_cycles(&self) -> u64 {
+        self.alu
+            .max(self.mul)
+            .max(self.asv)
+            .max(self.mem)
+            .max(self.branch_taken)
+            .max(self.branch_not_taken)
+            .max(self.call)
+            .max(self.skm)
+            .max(self.memo_hit)
+            .max(u8::MAX as u64)
+    }
+
     /// Base cost of an instruction, before memoization/zero-skip effects
     /// and before branch resolution (use `branch_taken`/`branch_not_taken`
     /// for conditional branches once the direction is known).

@@ -44,7 +44,7 @@ pub mod memory;
 pub mod stats;
 pub mod trace;
 
-pub use crate::core::{Core, CoreConfig, RunOutcome, StepEvent, StepInfo};
+pub use crate::core::{BulkRun, Core, CoreConfig, RunOutcome, StepEvent, StepInfo, StopReason};
 pub use crate::cpu::Cpu;
 pub use crate::cycle_model::CycleModel;
 pub use crate::error::SimError;

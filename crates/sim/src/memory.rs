@@ -92,6 +92,7 @@ impl Memory {
         self.bytes.len()
     }
 
+    #[inline]
     fn check(&self, addr: u32, size: u32) -> Result<usize, SimError> {
         if size > 1 && !addr.is_multiple_of(size) {
             return Err(SimError::Unaligned {
@@ -115,6 +116,7 @@ impl Memory {
     /// # Errors
     ///
     /// Returns [`SimError::MemOutOfRange`] for addresses past the end.
+    #[inline]
     pub fn load_u8(&self, addr: u32) -> Result<u8, SimError> {
         let i = self.check(addr, 1)?;
         Ok(self.bytes[i])
@@ -125,6 +127,7 @@ impl Memory {
     /// # Errors
     ///
     /// Returns [`SimError::Unaligned`] or [`SimError::MemOutOfRange`].
+    #[inline]
     pub fn load_u16(&self, addr: u32) -> Result<u16, SimError> {
         let i = self.check(addr, 2)?;
         Ok(u16::from_le_bytes([self.bytes[i], self.bytes[i + 1]]))
@@ -135,6 +138,7 @@ impl Memory {
     /// # Errors
     ///
     /// Returns [`SimError::Unaligned`] or [`SimError::MemOutOfRange`].
+    #[inline]
     pub fn load_u32(&self, addr: u32) -> Result<u32, SimError> {
         let i = self.check(addr, 4)?;
         Ok(u32::from_le_bytes([
@@ -150,6 +154,7 @@ impl Memory {
     /// # Errors
     ///
     /// Returns [`SimError::MemOutOfRange`] for addresses past the end.
+    #[inline]
     pub fn store_u8(&mut self, addr: u32, value: u8) -> Result<(), SimError> {
         let i = self.check(addr, 1)?;
         self.bytes[i] = value;
@@ -161,6 +166,7 @@ impl Memory {
     /// # Errors
     ///
     /// Returns [`SimError::Unaligned`] or [`SimError::MemOutOfRange`].
+    #[inline]
     pub fn store_u16(&mut self, addr: u32, value: u16) -> Result<(), SimError> {
         let i = self.check(addr, 2)?;
         self.bytes[i..i + 2].copy_from_slice(&value.to_le_bytes());
@@ -172,6 +178,7 @@ impl Memory {
     /// # Errors
     ///
     /// Returns [`SimError::Unaligned`] or [`SimError::MemOutOfRange`].
+    #[inline]
     pub fn store_u32(&mut self, addr: u32, value: u32) -> Result<(), SimError> {
         let i = self.check(addr, 4)?;
         self.bytes[i..i + 4].copy_from_slice(&value.to_le_bytes());

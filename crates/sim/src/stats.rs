@@ -56,7 +56,7 @@ impl InstrClass {
         }
     }
 
-    const fn idx(self) -> usize {
+    pub(crate) const fn idx(self) -> usize {
         match self {
             InstrClass::Alu => 0,
             InstrClass::Mul => 1,
@@ -109,11 +109,17 @@ impl ExecStats {
 
     /// Records one retired instruction.
     pub fn record(&mut self, instr: &Instr, cycles: u64) {
+        self.record_class(InstrClass::of(instr).idx(), cycles);
+    }
+
+    /// Records one retired instruction whose class index was precomputed
+    /// (the core classifies each static instruction once at load time).
+    #[inline]
+    pub(crate) fn record_class(&mut self, class_idx: usize, cycles: u64) {
         self.instructions += 1;
         self.cycles += cycles;
-        let class = InstrClass::of(instr);
-        self.counts[class.idx()] += 1;
-        self.cycle_counts[class.idx()] += cycles;
+        self.counts[class_idx] += 1;
+        self.cycle_counts[class_idx] += cycles;
     }
 
     /// Dynamic instruction count of one class.
