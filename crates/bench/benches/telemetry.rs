@@ -1,0 +1,106 @@
+//! Telemetry overhead guard: the disabled-sink (NullSink) executor path
+//! must stay at epoch-scheduler throughput — the sink plumbing is
+//! monomorphized away when `enabled()` is constant-false, so `run()` and
+//! the pre-telemetry engine compile to the same hot loop. This bench
+//! times the fixed executor workload (matmul + Clank + RF-bursty, as
+//! `benches/executor.rs`) under three sinks:
+//!
+//! * `disabled` — `run()`, i.e. `run_with_sink(&mut NullSink)`;
+//! * `report` — a [`RunReport`] aggregating sink (what `--telemetry`
+//!   and the `report` subcommand use);
+//! * `ring` — a [`RingBufferSink`] capturing the last 4096 events.
+//!
+//! The min-of-30 comparison line at the end is the guard: an emission
+//! site added outside an `if sink.enabled()` check shows up as the
+//! disabled time drifting toward the enabled times. The <2 %
+//! disabled-sink acceptance vs the pre-telemetry engine was measured
+//! with `examples/wl_time.rs` (interleaved min-of-30 against the PR 2
+//! binary); numbers are recorded in EXPERIMENTS.md. Absolute thresholds
+//! are not enforced here — shared runners are too noisy for that.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use wn_compiler::Technique;
+use wn_core::intermittent::quick_supply;
+use wn_core::prepared::PreparedRun;
+use wn_energy::{PowerTrace, TraceKind};
+use wn_intermittent::{Clank, IntermittentExecutor};
+use wn_kernels::{Benchmark, Scale};
+use wn_telemetry::{EventSink, RingBufferSink, RunReport};
+
+/// The fixed workload: matmul + Clank + RfBursty.
+fn workload() -> (PreparedRun, PowerTrace) {
+    let instance = Benchmark::MatMul.instance(Scale::Quick, 42);
+    let prepared = PreparedRun::new(&instance, Technique::Precise).unwrap();
+    let trace = PowerTrace::generate(TraceKind::RfBursty, 42, 120.0);
+    (prepared, trace)
+}
+
+fn run_disabled(prepared: &PreparedRun, trace: &PowerTrace) -> u64 {
+    let core = prepared.fresh_core().unwrap();
+    let mut exec = IntermittentExecutor::new(core, trace, quick_supply(), Clank::default());
+    exec.run(3600.0).unwrap();
+    exec.core().stats.instructions
+}
+
+fn run_traced<K: EventSink>(prepared: &PreparedRun, trace: &PowerTrace, sink: &mut K) -> u64 {
+    let core = prepared.fresh_core().unwrap();
+    let mut exec = IntermittentExecutor::new(core, trace, quick_supply(), Clank::default());
+    exec.run_with_sink(3600.0, sink).unwrap();
+    exec.core().stats.instructions
+}
+
+fn telemetry_overhead(c: &mut Criterion) {
+    let (prepared, trace) = workload();
+    let instructions = run_disabled(&prepared, &trace);
+    assert!(instructions > 100_000, "workload too small to time");
+
+    let mut g = c.benchmark_group("telemetry");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(instructions));
+    g.bench_function("disabled", |b| b.iter(|| run_disabled(&prepared, &trace)));
+    g.bench_function("report", |b| {
+        b.iter(|| {
+            let mut sink = RunReport::new("bench");
+            run_traced(&prepared, &trace, &mut sink)
+        })
+    });
+    g.bench_function("ring", |b| {
+        b.iter(|| {
+            let mut sink = RingBufferSink::new(4096);
+            run_traced(&prepared, &trace, &mut sink)
+        })
+    });
+    g.finish();
+
+    // The guard line: min-of-30 each way, overhead relative to disabled.
+    let min_of = |mut f: Box<dyn FnMut() -> u64>| {
+        let mut best = f64::INFINITY;
+        for _ in 0..30 {
+            let t0 = Instant::now();
+            criterion::black_box(f());
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        best
+    };
+    let disabled = min_of(Box::new(|| run_disabled(&prepared, &trace)));
+    let report = min_of(Box::new(|| {
+        let mut sink = RunReport::new("bench");
+        run_traced(&prepared, &trace, &mut sink)
+    }));
+    let ring = min_of(Box::new(|| {
+        let mut sink = RingBufferSink::new(4096);
+        run_traced(&prepared, &trace, &mut sink)
+    }));
+    println!(
+        "telemetry overhead (min-of-30 vs disabled {:.3} ms): report {:+.1}%, ring {:+.1}%",
+        disabled * 1e3,
+        (report / disabled - 1.0) * 100.0,
+        (ring / disabled - 1.0) * 100.0,
+    );
+}
+
+criterion_group!(benches, telemetry_overhead);
+criterion_main!(benches);

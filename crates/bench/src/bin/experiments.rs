@@ -6,26 +6,40 @@
 //!
 //! # One experiment at the paper's methodology (full sizes, 9 traces x 3):
 //! cargo run --release -p wn-bench --bin experiments -- fig10 --paper
+//!
+//! # Same, with the telemetry collector on (adds results/run_report.json):
+//! cargo run --release -p wn-bench --bin experiments -- all --telemetry
+//!
+//! # Provenance of the last run (reads results/manifest.json):
+//! cargo run --release -p wn-bench --bin experiments -- report
+//!
+//! # Refresh the BENCH_executor.json perf-trajectory record:
+//! cargo run --release -p wn-bench --bin experiments -- bench
 //! ```
 //!
 //! Results are printed in the paper's terms and written as CSV (plus PGM
-//! images for Figs. 2/16) under `results/`.
+//! images for Figs. 2/16) under `results/`; every invocation also writes
+//! a `results/manifest.json` provenance record (config, seed, jobs,
+//! wall-clock, artifact list).
 
 use std::env;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use wn_bench::write_artifact;
+use wn_bench::manifest::{BenchRecord, RunManifest, MANIFEST_FILE};
+use wn_bench::{read_artifact, write_artifact};
 use wn_core::experiments::{
     fig01, fig02, fig03, fig09, fig10, fig12, fig13, fig14, fig15, fig17, table1, ExperimentConfig,
 };
-use wn_core::jobs;
+use wn_core::{jobs, telemetry};
+use wn_telemetry::json;
 
-const USAGE: &str = "usage: experiments <all|table1|fig01|fig02|fig03|fig09|fig10|fig11|fig12|fig13|fig14|fig15|fig17|area_power> [--paper] [--jobs N]";
+const USAGE: &str = "usage: experiments <all|table1|fig01|fig02|fig03|fig09|fig10|fig11|fig12|fig13|fig14|fig15|fig17|area_power|report|bench> [--paper] [--jobs N] [--telemetry]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     let paper = args.iter().any(|a| a == "--paper");
+    let telemetry_on = args.iter().any(|a| a == "--telemetry");
     match parse_jobs(&args) {
         Ok(Some(n)) => jobs::set_global_jobs(n),
         Ok(None) => {}
@@ -42,17 +56,27 @@ fn main() -> ExitCode {
         .collect();
     let which = if which.is_empty() { vec!["all"] } else { which };
 
+    // Provenance-only subcommands bypass the experiment loop.
+    if which == ["report"] {
+        return report();
+    }
+    if which == ["bench"] {
+        return bench();
+    }
+
+    telemetry::set_enabled(telemetry_on);
     let config = if paper {
         ExperimentConfig::paper()
     } else {
         ExperimentConfig::quick()
     };
     println!(
-        "configuration: {:?} scale, {} traces x {} invocations, {} jobs{}\n",
+        "configuration: {:?} scale, {} traces x {} invocations, {} jobs{}{}\n",
         config.scale,
         config.traces,
         config.invocations,
         jobs::global_jobs(),
+        if telemetry_on { ", telemetry on" } else { "" },
         if paper {
             " (paper methodology — this takes a while)"
         } else {
@@ -62,8 +86,9 @@ fn main() -> ExitCode {
 
     let total = Instant::now();
     let mut failed = false;
-    for name in which {
-        let run_all = name == "all";
+    let mut artifacts: Vec<String> = Vec::new();
+    for name in &which {
+        let run_all = *name == "all";
         let names: Vec<&str> = if run_all {
             vec![
                 "table1",
@@ -86,14 +111,36 @@ fn main() -> ExitCode {
         for n in names {
             println!("==== {n} ====");
             let start = Instant::now();
-            if let Err(e) = run_one(n, &config) {
+            if let Err(e) = run_one(n, &config, &mut artifacts) {
                 eprintln!("{n} failed: {e}");
                 failed = true;
             }
             println!("({n}: {:.2}s)\n", start.elapsed().as_secs_f64());
         }
     }
-    println!("total: {:.2}s", total.elapsed().as_secs_f64());
+    if telemetry_on {
+        if let Err(e) = save_telemetry(&mut artifacts) {
+            eprintln!("telemetry report failed: {e}");
+            failed = true;
+        }
+    }
+    let wall_s = total.elapsed().as_secs_f64();
+    let manifest = RunManifest {
+        command: args.join(" "),
+        scale: format!("{:?}", config.scale).to_lowercase(),
+        traces: config.traces as u64,
+        invocations: config.invocations as u64,
+        seed: config.seed,
+        jobs: jobs::global_jobs() as u64,
+        telemetry: telemetry_on,
+        wall_s,
+        artifacts,
+    };
+    if let Err(e) = save(MANIFEST_FILE, &manifest.to_json(), &mut Vec::new()) {
+        eprintln!("manifest write failed: {e}");
+        failed = true;
+    }
+    println!("total: {wall_s:.2}s");
     if failed {
         ExitCode::FAILURE
     } else {
@@ -121,79 +168,83 @@ fn parse_jobs(args: &[String]) -> Result<Option<usize>, String> {
     Ok(None)
 }
 
-fn run_one(name: &str, config: &ExperimentConfig) -> Result<(), Box<dyn std::error::Error>> {
+fn run_one(
+    name: &str,
+    config: &ExperimentConfig,
+    artifacts: &mut Vec<String>,
+) -> Result<(), Box<dyn std::error::Error>> {
     match name {
         "table1" => {
             let t = table1::run(config)?;
             println!("{t}");
-            save("table1.csv", &t.to_csv())?;
+            save("table1.csv", &t.to_csv(), artifacts)?;
         }
         "fig01" => {
             let f = fig01::run(config)?;
             println!("{f}");
-            save("fig01.csv", &f.to_csv())?;
+            save("fig01.csv", &f.to_csv(), artifacts)?;
         }
         "fig02" => {
             let f = fig02::run(config)?;
             println!("{f}");
-            save("fig02.csv", &f.to_csv())?;
+            save("fig02.csv", &f.to_csv(), artifacts)?;
             for (i, o) in f.outcomes.iter().enumerate() {
-                save(&format!("fig02-{}.pgm", o.label), &f.to_pgm(i))?;
+                save(&format!("fig02-{}.pgm", o.label), &f.to_pgm(i), artifacts)?;
             }
         }
         "fig03" => {
             let f = fig03::run(config)?;
             println!("{f}");
-            save("fig03.csv", &f.to_csv())?;
+            save("fig03.csv", &f.to_csv(), artifacts)?;
         }
         "fig09" => {
             let f = fig09::run(config)?;
             println!("{f}");
-            save("fig09.csv", &f.to_csv())?;
+            save("fig09.csv", &f.to_csv(), artifacts)?;
         }
         "fig10" => {
             let f = fig10::run_fig10(config)?;
             println!("{f}");
             println!("paper: 1.78x (8-bit), 3.02x (4-bit) average on the volatile processor");
-            save("fig10.csv", &f.to_csv())?;
+            save("fig10.csv", &f.to_csv(), artifacts)?;
         }
         "fig11" => {
             let f = fig10::run_fig11(config)?;
             println!("{f}");
             println!("paper: 1.41x (8-bit), 2.26x (4-bit) average on the NVP");
-            save("fig11.csv", &f.to_csv())?;
+            save("fig11.csv", &f.to_csv(), artifacts)?;
         }
         "fig12" => {
             let f = fig12::run(config)?;
             println!("{f}");
             println!("paper: outputs 1.08x (8-bit) / 1.24x (4-bit) earlier with vectorized loads");
-            save("fig12.csv", &f.to_csv())?;
+            save("fig12.csv", &f.to_csv(), artifacts)?;
         }
         "fig13" => {
             let f = fig13::run(config)?;
             println!("{f}");
             println!("paper: 1.31->1.42x (8-bit), 1.7->1.97x (4-bit), 1.11x precise");
-            save("fig13.csv", &f.to_csv())?;
+            save("fig13.csv", &f.to_csv(), artifacts)?;
         }
         "fig14" => {
             let f = fig14::run(config)?;
             println!("{f}");
-            save("fig14.csv", &f.to_csv())?;
+            save("fig14.csv", &f.to_csv(), artifacts)?;
         }
         "fig15" => {
             let f = fig15::run(config)?;
             println!("{f}");
-            save("fig15.csv", &f.to_csv())?;
+            save("fig15.csv", &f.to_csv(), artifacts)?;
             for bits in [1u8, 2, 3, 4] {
                 if let Some(pgm) = f.to_pgm(bits) {
-                    save(&format!("fig16-{bits}bit.pgm"), &pgm)?;
+                    save(&format!("fig16-{bits}bit.pgm"), &pgm, artifacts)?;
                 }
             }
         }
         "fig17" => {
             let f = fig17::run(config)?;
             println!("{f}");
-            save("fig17.csv", &f.to_csv())?;
+            save("fig17.csv", &f.to_csv(), artifacts)?;
         }
         "area_power" => {
             let got = wn_hwmodel::AreaPowerReport::from_defaults();
@@ -209,6 +260,7 @@ fn run_one(name: &str, config: &ExperimentConfig) -> Result<(), Box<dyn std::err
                     got.adder_power_overhead_percent, paper.adder_power_overhead_percent,
                     got.memo_vs_multiplier_percent, paper.memo_vs_multiplier_percent,
                 ),
+                artifacts,
             )?;
         }
         other => return Err(format!("unknown experiment `{other}`\n{USAGE}").into()),
@@ -216,8 +268,158 @@ fn run_one(name: &str, config: &ExperimentConfig) -> Result<(), Box<dyn std::err
     Ok(())
 }
 
-fn save(name: &str, contents: &str) -> std::io::Result<()> {
+/// Drains the global telemetry collector into `run_report.json` /
+/// `run_report.csv` artifacts.
+fn save_telemetry(artifacts: &mut Vec<String>) -> std::io::Result<()> {
+    println!("==== telemetry ====");
+    match telemetry::take() {
+        Some(report) => {
+            println!(
+                "{} intermittent runs: {} outages, {} checkpoints, {} events",
+                report.runs,
+                report.outages,
+                report.checkpoint_causes.iter().sum::<u64>(),
+                report.counts.total(),
+            );
+            save("run_report.json", &report.to_json(), artifacts)?;
+            save("run_report.csv", &report.to_csv(), artifacts)?;
+        }
+        None => println!("no intermittent runs traced"),
+    }
+    println!();
+    Ok(())
+}
+
+/// `experiments report`: prints the provenance of the last invocation
+/// from `results/manifest.json`, plus the aggregate run report when one
+/// was emitted.
+fn report() -> ExitCode {
+    let doc = match read_artifact(MANIFEST_FILE) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!(
+                "no manifest ({e}): run `experiments all --telemetry` (or any experiment) first"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(m) = RunManifest::from_json(&doc) else {
+        eprintln!("results/{MANIFEST_FILE} is not a run-manifest document");
+        return ExitCode::FAILURE;
+    };
+    println!("last run: experiments {}", m.command);
+    println!(
+        "  config:    {} scale, {} traces x {} invocations, seed {}, {} jobs",
+        m.scale, m.traces, m.invocations, m.seed, m.jobs
+    );
+    println!(
+        "  telemetry: {}",
+        if m.telemetry { "enabled" } else { "disabled" }
+    );
+    println!("  wall:      {:.2}s", m.wall_s);
+    println!("  artifacts: {}", m.artifacts.len());
+    for a in &m.artifacts {
+        println!("    {a}");
+    }
+    match read_artifact("run_report.json") {
+        Ok(doc) if json::extract_str(&doc, "schema") == Some("wn-run-report-v1") => {
+            println!(
+                "run report ({}):",
+                json::extract_str(&doc, "label").unwrap_or("?")
+            );
+            for key in ["runs", "outages", "active_cycles", "events_recorded"] {
+                if let Some(v) = json::extract_f64(&doc, key) {
+                    println!("  {key}: {v}");
+                }
+            }
+            for key in ["completed", "skimmed"] {
+                if let Some(v) = json::extract_raw(&doc, key) {
+                    println!("  {key}: {v}");
+                }
+            }
+            for key in ["total_time_s", "on_time_s"] {
+                if let Some(v) = json::extract_f64(&doc, key) {
+                    println!("  {key}: {v:.4}");
+                }
+            }
+        }
+        Ok(_) => {
+            eprintln!("results/run_report.json exists but is not a wn-run-report-v1 document");
+            return ExitCode::FAILURE;
+        }
+        Err(_) => println!("no run report (re-run with --telemetry to emit one)"),
+    }
+    ExitCode::SUCCESS
+}
+
+/// `experiments bench`: min-of-30 wall-clock of the fixed executor
+/// workload (matmul + Clank + RF-bursty, as `benches/executor.rs` and
+/// `examples/wl_time.rs`), untraced vs traced, written to
+/// `BENCH_executor.json` at the workspace root so the perf trajectory
+/// accumulates across commits.
+fn bench() -> ExitCode {
+    use wn_core::intermittent::quick_supply;
+    use wn_core::prepared::PreparedRun;
+    use wn_energy::{PowerTrace, TraceKind};
+    use wn_intermittent::{Clank, IntermittentExecutor};
+    use wn_kernels::{Benchmark, Scale};
+    use wn_telemetry::RunReport;
+
+    let instance = Benchmark::MatMul.instance(Scale::Quick, 42);
+    let prepared = PreparedRun::new(&instance, wn_core::Technique::Precise).unwrap();
+    let trace = PowerTrace::generate(TraceKind::RfBursty, 42, 120.0);
+    let mut instructions = 0u64;
+    let mut time = |traced: bool| {
+        let mut best = f64::INFINITY;
+        for _ in 0..30 {
+            let core = prepared.fresh_core().unwrap();
+            let mut exec =
+                IntermittentExecutor::new(core, &trace, quick_supply(), Clank::default());
+            let t0 = Instant::now();
+            if traced {
+                let mut sink = RunReport::new("bench");
+                exec.run_with_sink(3600.0, &mut sink).unwrap();
+            } else {
+                exec.run(3600.0).unwrap();
+            }
+            best = best.min(t0.elapsed().as_secs_f64());
+            instructions = exec.core().stats.instructions;
+        }
+        best
+    };
+    let untraced_s = time(false);
+    let traced_s = time(true);
+    let overhead_percent = (traced_s / untraced_s - 1.0) * 100.0;
+    println!(
+        "untraced min {:.3} ms ({:.1} M instr/s), traced min {:.3} ms ({overhead_percent:+.1}%)",
+        untraced_s * 1e3,
+        instructions as f64 / untraced_s / 1e6,
+        traced_s * 1e3,
+    );
+    let mut record = BenchRecord::new("executor");
+    record.push("untraced_min_ms", untraced_s * 1e3, "ms");
+    record.push(
+        "untraced_minstr_per_s",
+        instructions as f64 / untraced_s / 1e6,
+        "M instr/s",
+    );
+    record.push("traced_min_ms", traced_s * 1e3, "ms");
+    record.push("traced_overhead_percent", overhead_percent, "%");
+    match record.write() {
+        Ok(path) => {
+            println!("wrote {}", path.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("BENCH record write failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn save(name: &str, contents: &str, artifacts: &mut Vec<String>) -> std::io::Result<()> {
     let path = write_artifact(name, contents)?;
     println!("wrote {}", path.display());
+    artifacts.push(name.to_string());
     Ok(())
 }

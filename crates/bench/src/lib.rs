@@ -8,12 +8,19 @@
 //!   and writing CSVs under `results/`;
 //! * the **Criterion benches** (`cargo bench`) time each experiment
 //!   regeneration (`benches/figures.rs`), sweep the design space the
-//!   paper calls out (`benches/ablations.rs`), and measure raw substrate
-//!   throughput (`benches/simulator.rs`).
+//!   paper calls out (`benches/ablations.rs`), measure raw substrate
+//!   throughput (`benches/simulator.rs`), and guard the disabled-sink
+//!   telemetry overhead (`benches/telemetry.rs`).
+//!
+//! The [`manifest`] module carries run provenance: the
+//! `results/manifest.json` written after every `experiments` invocation
+//! and the `BENCH_*.json` perf-trajectory records.
 
 use std::env;
 use std::fs;
 use std::path::{Path, PathBuf};
+
+pub mod manifest;
 
 /// Where experiment artifacts (CSV series, PGM images) are written:
 /// `$WN_RESULTS_DIR` when set, otherwise `results/` under the workspace
@@ -28,7 +35,7 @@ pub fn results_dir() -> PathBuf {
 
 /// The workspace root: the nearest ancestor of this crate's manifest
 /// whose `Cargo.toml` declares `[workspace]`.
-fn workspace_root() -> PathBuf {
+pub fn workspace_root() -> PathBuf {
     let manifest_dir = Path::new(env!("CARGO_MANIFEST_DIR"));
     manifest_dir
         .ancestors()

@@ -1,0 +1,224 @@
+//! Provenance for experiment runs: the run manifest written next to the
+//! artifacts, and the `BENCH_*.json` perf-trajectory records.
+//!
+//! Both are flat JSON documents built with [`wn_telemetry::json`] and
+//! read back with its naive extractors — exactly the provenance-reader
+//! contract those extractors document.
+
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use wn_telemetry::json::{self, Obj};
+
+/// Schema tag stamped into every manifest.
+pub const MANIFEST_SCHEMA: &str = "wn-run-manifest-v1";
+
+/// Schema tag stamped into every `BENCH_*.json` record.
+pub const BENCH_SCHEMA: &str = "wn-bench-record-v1";
+
+/// File name the manifest is written under (in the results directory).
+pub const MANIFEST_FILE: &str = "manifest.json";
+
+/// What one `experiments` invocation did: the command line, the
+/// effective configuration, wall-clock, and every artifact written.
+/// Serialized to `results/manifest.json` after each run and consumed by
+/// the `experiments report` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunManifest {
+    /// The command line as invoked (program name elided).
+    pub command: String,
+    /// Benchmark scale (`quick` / `paper`).
+    pub scale: String,
+    /// Voltage traces per configuration.
+    pub traces: u64,
+    /// Invocations per trace.
+    pub invocations: u64,
+    /// Master seed for inputs and traces.
+    pub seed: u64,
+    /// Worker threads the job pool fanned out on.
+    pub jobs: u64,
+    /// Whether the global telemetry collector was enabled.
+    pub telemetry: bool,
+    /// Host wall-clock of the whole invocation, in seconds.
+    pub wall_s: f64,
+    /// Artifact file names written, in order.
+    pub artifacts: Vec<String>,
+}
+
+impl RunManifest {
+    /// Serializes the manifest as one flat JSON object.
+    pub fn to_json(&self) -> String {
+        Obj::new()
+            .str("schema", MANIFEST_SCHEMA)
+            .str("command", &self.command)
+            .f64("unix_time_s", unix_time_s())
+            .str("scale", &self.scale)
+            .u64("traces", self.traces)
+            .u64("invocations", self.invocations)
+            .u64("seed", self.seed)
+            .u64("jobs", self.jobs)
+            .bool("telemetry", self.telemetry)
+            .f64("wall_s", self.wall_s)
+            .raw(
+                "artifacts",
+                json::array(
+                    self.artifacts
+                        .iter()
+                        .map(|a| format!("\"{}\"", json::escape(a))),
+                ),
+            )
+            .finish()
+    }
+
+    /// Reads a manifest back from its JSON rendering. `None` when the
+    /// document is not a manifest (wrong/missing schema) or a required
+    /// field is absent.
+    pub fn from_json(doc: &str) -> Option<RunManifest> {
+        if json::extract_str(doc, "schema")? != MANIFEST_SCHEMA {
+            return None;
+        }
+        let artifacts_raw = json::extract_raw(doc, "artifacts")?;
+        let artifacts = artifacts_raw
+            .trim_start_matches('[')
+            .trim_end_matches(']')
+            .split(',')
+            .filter_map(|s| {
+                let s = s.trim();
+                s.strip_prefix('"')?.strip_suffix('"').map(String::from)
+            })
+            .collect();
+        Some(RunManifest {
+            command: json::extract_str(doc, "command")?.to_string(),
+            scale: json::extract_str(doc, "scale")?.to_string(),
+            traces: json::extract_f64(doc, "traces")? as u64,
+            invocations: json::extract_f64(doc, "invocations")? as u64,
+            seed: json::extract_f64(doc, "seed")? as u64,
+            jobs: json::extract_f64(doc, "jobs")? as u64,
+            telemetry: json::extract_raw(doc, "telemetry")? == "true",
+            wall_s: json::extract_f64(doc, "wall_s")?,
+            artifacts,
+        })
+    }
+}
+
+/// One `BENCH_*.json` record: a named set of scalar metrics from a
+/// timing run, written to the workspace root so successive commits
+/// accumulate a machine-readable perf trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Record name; the file is written as `BENCH_<name>.json`.
+    pub name: String,
+    /// `(metric, value, unit)` rows.
+    pub metrics: Vec<(String, f64, String)>,
+}
+
+impl BenchRecord {
+    /// A new, empty record.
+    pub fn new(name: &str) -> BenchRecord {
+        BenchRecord {
+            name: name.to_string(),
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Appends one metric row.
+    pub fn push(&mut self, metric: &str, value: f64, unit: &str) {
+        self.metrics
+            .push((metric.to_string(), value, unit.to_string()));
+    }
+
+    /// Serializes the record: metric values at the top level (so naive
+    /// extraction by metric name works), units in a parallel object.
+    pub fn to_json(&self) -> String {
+        let mut obj = Obj::new()
+            .str("schema", BENCH_SCHEMA)
+            .str("name", &self.name)
+            .f64("unix_time_s", unix_time_s());
+        for (metric, value, _) in &self.metrics {
+            obj = obj.f64(metric, *value);
+        }
+        let mut units = Obj::new();
+        for (metric, _, unit) in &self.metrics {
+            units = units.str(metric, unit);
+        }
+        obj.raw("units", units.finish()).finish()
+    }
+
+    /// Writes the record as `BENCH_<name>.json` at the workspace root
+    /// and returns the path.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from writing the file.
+    pub fn write(&self) -> std::io::Result<std::path::PathBuf> {
+        let path = crate::workspace_root().join(format!("BENCH_{}.json", self.name));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+/// Seconds since the Unix epoch (0.0 if the clock is before it).
+fn unix_time_s() -> f64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs_f64())
+        .unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manifest() -> RunManifest {
+        RunManifest {
+            command: "all --jobs 4".to_string(),
+            scale: "quick".to_string(),
+            traces: 3,
+            invocations: 1,
+            seed: 42,
+            jobs: 4,
+            telemetry: true,
+            wall_s: 12.5,
+            artifacts: vec!["fig10.csv".to_string(), "table1.csv".to_string()],
+        }
+    }
+
+    #[test]
+    fn manifest_json_round_trips() {
+        let m = manifest();
+        let doc = m.to_json();
+        assert!(doc.contains("\"schema\":\"wn-run-manifest-v1\""));
+        assert_eq!(RunManifest::from_json(&doc), Some(m));
+    }
+
+    #[test]
+    fn manifest_rejects_foreign_documents() {
+        assert_eq!(RunManifest::from_json("{}"), None);
+        assert_eq!(
+            RunManifest::from_json("{\"schema\":\"wn-run-report-v1\"}"),
+            None
+        );
+    }
+
+    #[test]
+    fn empty_artifact_list_round_trips() {
+        let m = RunManifest {
+            artifacts: vec![],
+            ..manifest()
+        };
+        assert_eq!(RunManifest::from_json(&m.to_json()), Some(m));
+    }
+
+    #[test]
+    fn bench_record_exposes_metrics_at_top_level() {
+        let mut r = BenchRecord::new("executor");
+        r.push("epoch_min_ms", 2.065, "ms");
+        r.push("epoch_minstr_per_s", 93.4, "M instr/s");
+        let doc = r.to_json();
+        assert!(doc.contains("\"schema\":\"wn-bench-record-v1\""));
+        assert_eq!(
+            wn_telemetry::json::extract_f64(&doc, "epoch_min_ms"),
+            Some(2.065)
+        );
+        assert!(doc.contains("\"epoch_min_ms\":\"ms\""));
+    }
+}

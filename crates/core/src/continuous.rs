@@ -102,7 +102,11 @@ pub fn run_to_first_skim(prepared: &PreparedRun) -> Result<(wn_sim::Core, u64, b
 /// Propagates simulation and quality errors.
 pub fn earliest_output(prepared: &PreparedRun) -> Result<EarliestOutput, WnError> {
     let (core, cycles, at_skim_point) = run_to_first_skim(prepared)?;
-    let error_percent = prepared.error_percent(&core)?;
+    // Constant-golden outputs (e.g. the single-value glucose reading
+    // kernel) have no NRMSE scale: record the score as NaN rather than
+    // failing — callers like Fig. 3 use the cycle count and score
+    // quality with their own metric (MAPE).
+    let error_percent = prepared.error_percent_checked(&core)?.unwrap_or(f64::NAN);
     Ok(EarliestOutput {
         cycles,
         error_percent,

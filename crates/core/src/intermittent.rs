@@ -1,11 +1,13 @@
 //! Intermittent-power runs over Clank and NVP (paper §V-B, §V-C).
 
 use wn_energy::{PowerTrace, SupplyConfig};
-use wn_intermittent::substrate::SubstrateStats;
+use wn_intermittent::substrate::{Substrate, SubstrateStats};
 use wn_intermittent::{Clank, ClankConfig, IntermittentExecutor, Nvp, NvpConfig};
+use wn_telemetry::RunReport;
 
 use crate::error::WnError;
 use crate::prepared::PreparedRun;
+use crate::telemetry;
 
 /// Which substrate an intermittent run executes on.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -88,6 +90,14 @@ pub fn run_intermittent(
     supply: SupplyConfig,
     wall_limit_s: f64,
 ) -> Result<IntermittentOutcome, WnError> {
+    // When the global collector is on, trace the run and fold its
+    // report in; execution is identical either way (tracing observes).
+    if telemetry::is_enabled() {
+        let (outcome, report) =
+            run_intermittent_reported(prepared, substrate, trace, supply, wall_limit_s)?;
+        telemetry::record(&report);
+        return Ok(outcome);
+    }
     let core = prepared.fresh_core()?;
     let (run, error_percent) = match substrate {
         SubstrateKind::Clank(cfg) => {
@@ -110,6 +120,75 @@ pub fn run_intermittent(
         error_percent,
         substrate: run.substrate,
     })
+}
+
+/// [`run_intermittent`] with telemetry: traces the run into a fresh
+/// [`RunReport`] (labelled `benchmark/technique/substrate`) and returns
+/// it alongside the outcome. Used by the `experiments report`
+/// subcommand and whenever the global collector is enabled.
+///
+/// # Errors
+///
+/// As [`run_intermittent`].
+pub fn run_intermittent_reported(
+    prepared: &PreparedRun,
+    substrate: SubstrateKind,
+    trace: &PowerTrace,
+    supply: SupplyConfig,
+    wall_limit_s: f64,
+) -> Result<(IntermittentOutcome, RunReport), WnError> {
+    let label = format!(
+        "{}/{}/{}",
+        prepared.instance.ir.name,
+        prepared.technique(),
+        substrate.name()
+    );
+    let core = prepared.fresh_core()?;
+    match substrate {
+        SubstrateKind::Clank(cfg) => {
+            let exec = IntermittentExecutor::new(core, trace, supply, Clank::new(cfg));
+            reported_run(prepared, exec, wall_limit_s, label)
+        }
+        SubstrateKind::Nvp(cfg) => {
+            let exec = IntermittentExecutor::new(core, trace, supply, Nvp::new(cfg));
+            reported_run(prepared, exec, wall_limit_s, label)
+        }
+    }
+}
+
+fn reported_run<S: Substrate>(
+    prepared: &PreparedRun,
+    mut exec: IntermittentExecutor<S>,
+    wall_limit_s: f64,
+    label: String,
+) -> Result<(IntermittentOutcome, RunReport), WnError> {
+    let mut report = RunReport::new(&label);
+    let run = exec.run_with_sink(wall_limit_s, &mut report)?;
+    report.set_totals(
+        run.total_time_s,
+        run.on_time_s,
+        run.active_cycles,
+        run.outages,
+    );
+    report.set_classes(
+        exec.core()
+            .stats
+            .classes()
+            .map(|(class, instructions, cycles)| (class.name(), instructions, cycles)),
+    );
+    let error_percent = prepared.error_percent(exec.core())?;
+    Ok((
+        IntermittentOutcome {
+            time_s: run.total_time_s,
+            on_time_s: run.on_time_s,
+            active_cycles: run.active_cycles,
+            outages: run.outages,
+            skimmed: run.skimmed,
+            error_percent,
+            substrate: run.substrate,
+        },
+        report,
+    ))
 }
 
 /// The median of a slice (averaging the middle pair for even lengths).
@@ -161,6 +240,40 @@ mod tests {
         .unwrap();
         assert_eq!(out.error_percent, 0.0);
         assert!(!out.skimmed);
+    }
+
+    #[test]
+    fn reported_run_matches_plain_run() {
+        let inst = Benchmark::Home.instance(Scale::Quick, 30);
+        let run = PreparedRun::new(&inst, Technique::Precise).unwrap();
+        let plain = run_intermittent(
+            &run,
+            SubstrateKind::clank(),
+            &trace(1),
+            quick_supply(),
+            3600.0,
+        )
+        .unwrap();
+        let (reported, report) = run_intermittent_reported(
+            &run,
+            SubstrateKind::clank(),
+            &trace(1),
+            quick_supply(),
+            3600.0,
+        )
+        .unwrap();
+        // Tracing only observes: identical outcome.
+        assert_eq!(plain, reported);
+        // The report is coherent with the outcome and labelled.
+        assert_eq!(report.label, "home/precise/clank");
+        assert_eq!(report.outages, reported.outages);
+        assert_eq!(report.active_cycles, reported.active_cycles);
+        assert!(report.completed && !report.skimmed);
+        assert!(report.lease.grants > 0);
+        assert!(report.classes.iter().any(|r| r.class == "alu"));
+        let doc = report.to_json();
+        assert!(doc.contains("\"schema\":\"wn-run-report-v1\""));
+        assert!(doc.contains("\"label\":\"home/precise/clank\""));
     }
 
     #[test]

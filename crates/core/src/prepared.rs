@@ -152,8 +152,30 @@ impl PreparedRun {
     ///
     /// # Errors
     ///
-    /// Returns [`WnError::Quality`] if outputs cannot be scored.
+    /// Returns [`WnError::Quality`] if outputs cannot be scored —
+    /// including the unnormalizable constant-golden case; use
+    /// [`PreparedRun::error_percent_checked`] to observe that case as a
+    /// value instead.
     pub fn error_percent(&self, core: &Core) -> Result<f64, WnError> {
+        self.error_percent_checked(core)?.ok_or_else(|| {
+            WnError::Quality(
+                "output not scorable: constant golden output disagrees with the \
+                 actual (NRMSE has no range to normalize by)"
+                    .to_string(),
+            )
+        })
+    }
+
+    /// As [`PreparedRun::error_percent`], but the degenerate
+    /// constant-golden case (NRMSE unnormalizable — e.g. the
+    /// single-value glucose reading kernel) comes back as `Ok(None)`
+    /// instead of an error, for callers that can carry "no score".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WnError::Quality`] if outputs cannot be decoded, have
+    /// the wrong shape, or the golden output is empty.
+    pub fn error_percent_checked(&self, core: &Core) -> Result<Option<f64>, WnError> {
         let mut actual = Vec::with_capacity(self.golden_f64.len());
         for (name, gold) in &self.instance.golden {
             let decoded = self.decode(core, name)?;
@@ -166,8 +188,10 @@ impl PreparedRun {
             }
             actual.extend(decoded.iter().map(|&v| v as f64));
         }
-        nrmse_percent(&self.golden_f64, &actual)
-            .ok_or_else(|| WnError::Quality("empty golden output".to_string()))
+        if self.golden_f64.is_empty() {
+            return Err(WnError::Quality("empty golden output".to_string()));
+        }
+        Ok(nrmse_percent(&self.golden_f64, &actual))
     }
 
     /// Runs a fresh core to completion and returns `(cycles, error %)`.

@@ -1,0 +1,94 @@
+//! Process-wide telemetry collection for experiment runs.
+//!
+//! Experiments fan their runs out across [`crate::jobs::JobPool`]
+//! threads, so per-run plumbing of a sink through every experiment
+//! signature would be invasive. Instead this module holds one global
+//! collector: when enabled (the `experiments` bin's `--telemetry`
+//! flag), [`crate::intermittent::run_intermittent`] traces each run
+//! into a [`RunReport`] and folds it in here; when disabled — the
+//! default — the only cost on the hot path is one relaxed atomic load
+//! per *run* (not per instruction).
+//!
+//! The aggregate is diagnostic: event counts and histograms are
+//! order-independent sums, so the merged report is deterministic
+//! regardless of job scheduling (float totals may differ in final bits
+//! across thread interleavings; figure CSVs never come from here, and
+//! the byte-identity regression tests cover telemetry-on runs).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use wn_telemetry::RunReport;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static AGGREGATE: Mutex<Option<RunReport>> = Mutex::new(None);
+
+/// Turn global collection on or off. Enabling does not clear a
+/// previous aggregate; call [`take`] first for a fresh window.
+pub fn set_enabled(enabled: bool) {
+    ENABLED.store(enabled, Ordering::Release);
+}
+
+/// Whether runs should trace into the global collector.
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Fold one run's report into the aggregate (no-op while disabled).
+pub fn record(report: &RunReport) {
+    if !is_enabled() {
+        return;
+    }
+    let mut agg = AGGREGATE.lock().expect("telemetry aggregate poisoned");
+    match agg.as_mut() {
+        Some(a) => a.merge(report),
+        None => {
+            let mut first = report.clone();
+            first.label = "aggregate".to_string();
+            *agg = Some(first);
+        }
+    }
+}
+
+/// Take the aggregate accumulated so far, leaving the collector empty.
+/// Returns `None` if no run was recorded.
+pub fn take() -> Option<RunReport> {
+    AGGREGATE
+        .lock()
+        .expect("telemetry aggregate poisoned")
+        .take()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wn_telemetry::{Event, EventKind, EventSink};
+
+    #[test]
+    fn collector_round_trip_and_disabled_noop() {
+        // Runs serially within this test; other tests in this binary
+        // don't touch the collector.
+        let mut r = RunReport::new("one");
+        r.record(Event {
+            t_s: 0.0,
+            kind: EventKind::Outage,
+        });
+        r.set_totals(1.0, 0.5, 10, 1);
+
+        // Disabled: records are dropped.
+        set_enabled(false);
+        record(&r);
+        assert!(take().is_none());
+
+        // Enabled: two reports merge into one aggregate.
+        set_enabled(true);
+        record(&r);
+        record(&r);
+        set_enabled(false);
+        let agg = take().expect("aggregate present");
+        assert_eq!(agg.label, "aggregate");
+        assert_eq!(agg.runs, 2);
+        assert_eq!(agg.outages, 2);
+        assert_eq!(take().map(|a| a.runs), None, "take drains");
+    }
+}

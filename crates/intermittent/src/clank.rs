@@ -287,6 +287,12 @@ impl Substrate for Clank {
     fn name(&self) -> &'static str {
         "clank"
     }
+
+    // Clank's only untagged checkpoints are the ones armed when the
+    // program sets a skim point (`StepEvent::SkimSet`).
+    fn untagged_checkpoint_cause(&self) -> wn_telemetry::CheckpointCause {
+        wn_telemetry::CheckpointCause::Skim
+    }
 }
 
 #[cfg(test)]

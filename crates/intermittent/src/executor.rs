@@ -5,6 +5,7 @@ use std::fmt;
 
 use wn_energy::{EnergySupply, PowerStatus, PowerTrace, SupplyConfig, SupplyError};
 use wn_sim::{Core, SimError};
+use wn_telemetry::{Event, EventKind, EventSink, NullSink};
 
 use crate::substrate::{Substrate, SubstrateStats};
 
@@ -37,6 +38,11 @@ pub enum ExecError {
     Sim(SimError),
     /// The wall-clock budget expired before completion.
     WallClock { limit_s: f64 },
+    /// The caller passed a NaN or negative wall-clock budget. Rejected
+    /// up front: NaN poisons every comparison the loop uses to
+    /// terminate (`time > limit` and `limit - time > 0` are both false
+    /// for NaN), so such a budget could otherwise spin forever.
+    InvalidLimit { limit_s: f64 },
 }
 
 impl fmt::Display for ExecError {
@@ -46,6 +52,12 @@ impl fmt::Display for ExecError {
             ExecError::Sim(e) => write!(f, "simulation error: {e}"),
             ExecError::WallClock { limit_s } => {
                 write!(f, "run did not complete within {limit_s} simulated seconds")
+            }
+            ExecError::InvalidLimit { limit_s } => {
+                write!(
+                    f,
+                    "invalid wall-clock limit {limit_s}: must be a non-negative number of seconds"
+                )
             }
         }
     }
@@ -172,9 +184,30 @@ impl<S: Substrate> IntermittentExecutor<S> {
     ///
     /// # Errors
     ///
-    /// Returns [`ExecError::WallClock`] on timeout, or a wrapped supply /
-    /// simulator error.
+    /// Returns [`ExecError::InvalidLimit`] for a NaN or negative
+    /// `limit_s`, [`ExecError::WallClock`] on timeout, or a wrapped
+    /// supply / simulator error.
     pub fn run(&mut self, limit_s: f64) -> Result<IntermittentRun, ExecError> {
+        // NullSink's `enabled()` is a constant false, so this
+        // monomorphizes to exactly the untraced lease loop.
+        self.run_with_sink(limit_s, &mut NullSink)
+    }
+
+    /// [`IntermittentExecutor::run`] with lifecycle tracing: lifecycle
+    /// events (run start/end, power-on/outage, checkpoint/restore, skim
+    /// taken/skipped, lease grant/settle) are recorded into `sink`,
+    /// timestamped with the supply's simulated clock. Execution is
+    /// identical to the untraced run — tracing only observes.
+    ///
+    /// # Errors
+    ///
+    /// As [`IntermittentExecutor::run`].
+    pub fn run_with_sink<K: EventSink>(
+        &mut self,
+        limit_s: f64,
+        sink: &mut K,
+    ) -> Result<IntermittentRun, ExecError> {
+        validate_limit(limit_s)?;
         let mut active_cycles = 0u64;
         let mut skimmed = false;
         let mut had_outage = false;
@@ -185,17 +218,32 @@ impl<S: Substrate> IntermittentExecutor<S> {
         let on_time0 = self.supply.on_time_s();
         let max_instr_cycles = self.core.config().cycle_model.max_instr_cycles();
 
+        if sink.enabled() {
+            sink.record(Event {
+                t_s: self.supply.time_s(),
+                kind: EventKind::RunStart,
+            });
+        }
+
         'power_cycles: loop {
             if self.supply.time_s() > limit_s {
                 return Err(ExecError::WallClock { limit_s });
             }
-            self.supply.wait_for_power()?;
+            self.supply.wait_for_power_traced(sink)?;
 
             // Restore path — checked: a weak checkpoint restore can brown
             // out before the first instruction.
             let restore_cost = self.substrate.on_restore(&mut self.core);
-            if self.consume(restore_cost, &mut active_cycles)? == PowerStatus::Outage {
-                self.substrate.on_outage(&mut self.core);
+            if sink.enabled() {
+                sink.record(Event {
+                    t_s: self.supply.time_s(),
+                    kind: EventKind::Restore {
+                        cost_cycles: restore_cost,
+                    },
+                });
+            }
+            if self.consume_traced(restore_cost, &mut active_cycles, sink)? == PowerStatus::Outage {
+                self.outage(sink);
                 had_outage = true;
                 continue 'power_cycles;
             }
@@ -210,7 +258,25 @@ impl<S: Substrate> IntermittentExecutor<S> {
                     self.core.cpu.pc = target;
                     self.core.cpu.skm = None;
                     skimmed = true;
+                    if sink.enabled() {
+                        sink.record(Event {
+                            t_s: self.supply.time_s(),
+                            kind: EventKind::SkimTaken { target },
+                        });
+                    }
+                } else if sink.enabled() {
+                    sink.record(Event {
+                        t_s: self.supply.time_s(),
+                        kind: EventKind::SkimSkipped,
+                    });
                 }
+            } else if had_outage && sink.enabled() {
+                // Skimming disabled: the restore deliberately ignored
+                // any armed skim point.
+                sink.record(Event {
+                    t_s: self.supply.time_s(),
+                    kind: EventKind::SkimSkipped,
+                });
             }
 
             // Lease loop: execute until outage or completion.
@@ -232,16 +298,41 @@ impl<S: Substrate> IntermittentExecutor<S> {
                     let supply = &mut self.supply;
                     let substrate = &mut self.substrate;
                     let cap = substrate.lease_cap();
+                    if sink.enabled() {
+                        sink.record(Event {
+                            t_s: supply.time_s(),
+                            kind: EventKind::LeaseGrant { cycles: grant },
+                        });
+                    }
                     let bulk = self.core.run_steps(grant - slack, |core, info| {
+                        // Snapshot only when tracing: with a NullSink
+                        // this folds to the PR 2 hook verbatim.
+                        let before = if sink.enabled() {
+                            Some(substrate.stats())
+                        } else {
+                            None
+                        };
                         let overhead = substrate.after_step(core, info);
                         debug_assert!(
                             overhead <= cap,
                             "substrate overhead {overhead} exceeds its lease_cap {cap}"
                         );
                         supply.settle(info.cycles + overhead);
+                        if let Some(b) = before {
+                            substrate.record_checkpoint_events(&b, supply.time_s(), sink);
+                        }
                         std::ops::ControlFlow::Continue(overhead)
                     })?;
                     active_cycles += bulk.cycles;
+                    if sink.enabled() {
+                        sink.record(Event {
+                            t_s: self.supply.time_s(),
+                            kind: EventKind::LeaseSettled {
+                                cycles: bulk.cycles,
+                                instructions: bulk.instructions,
+                            },
+                        });
+                    }
                     debug_assert!(
                         self.supply.voltage() >= self.supply.config().v_off,
                         "brown-out inside an energy lease"
@@ -251,8 +342,17 @@ impl<S: Substrate> IntermittentExecutor<S> {
                     // limit: the exact checked path of the reference
                     // engine, one instruction at a time.
                     let info = self.core.step()?;
+                    let before = if sink.enabled() {
+                        Some(self.substrate.stats())
+                    } else {
+                        None
+                    };
                     let overhead = self.substrate.after_step(&mut self.core, &info);
-                    if self.consume(info.cycles + overhead, &mut active_cycles)?
+                    if let Some(b) = before {
+                        self.substrate
+                            .record_checkpoint_events(&b, self.supply.time_s(), sink);
+                    }
+                    if self.consume_traced(info.cycles + overhead, &mut active_cycles, sink)?
                         == PowerStatus::Outage
                     {
                         // Even when the outage coincides with the HALT
@@ -262,12 +362,19 @@ impl<S: Substrate> IntermittentExecutor<S> {
                         // checkpoint after restore (HALT keeps its PC, so
                         // the restored run halts again); on NVP
                         // everything is already durable.
-                        self.substrate.on_outage(&mut self.core);
+                        self.outage(sink);
                         had_outage = true;
                         continue 'power_cycles;
                     }
                 }
             }
+        }
+
+        if sink.enabled() {
+            sink.record(Event {
+                t_s: self.supply.time_s(),
+                kind: EventKind::RunEnd { skimmed },
+            });
         }
 
         Ok(IntermittentRun {
@@ -291,6 +398,7 @@ impl<S: Substrate> IntermittentExecutor<S> {
     ///
     /// As [`IntermittentExecutor::run`].
     pub fn run_reference(&mut self, limit_s: f64) -> Result<IntermittentRun, ExecError> {
+        validate_limit(limit_s)?;
         let mut active_cycles = 0u64;
         let mut skimmed = false;
         let mut had_outage = false;
@@ -360,6 +468,43 @@ impl<S: Substrate> IntermittentExecutor<S> {
         *active += cycles;
         Ok(self.supply.consume_cycles(cycles)?)
     }
+
+    fn consume_traced<K: EventSink>(
+        &mut self,
+        cycles: u64,
+        active: &mut u64,
+        sink: &mut K,
+    ) -> Result<PowerStatus, ExecError> {
+        *active += cycles;
+        Ok(self.supply.consume_cycles_traced(cycles, sink)?)
+    }
+
+    /// Outage handling: let the substrate react, then (when tracing)
+    /// attribute any checkpoints it took — NVP snapshots on the outage
+    /// itself, which is exactly this window.
+    fn outage<K: EventSink>(&mut self, sink: &mut K) {
+        let before = if sink.enabled() {
+            Some(self.substrate.stats())
+        } else {
+            None
+        };
+        self.substrate.on_outage(&mut self.core);
+        if let Some(b) = before {
+            self.substrate
+                .record_checkpoint_events(&b, self.supply.time_s(), sink);
+        }
+    }
+}
+
+/// Rejects wall-clock budgets the loop cannot terminate under (NaN
+/// makes every limit comparison false) or that are nonsensical
+/// (negative). `+∞` is allowed and means "no limit".
+fn validate_limit(limit_s: f64) -> Result<(), ExecError> {
+    if limit_s.is_nan() || limit_s < 0.0 {
+        Err(ExecError::InvalidLimit { limit_s })
+    } else {
+        Ok(())
+    }
 }
 
 /// Cycles of execution remaining until the wall-clock limit (rounded up
@@ -367,7 +512,10 @@ impl<S: Substrate> IntermittentExecutor<S> {
 /// far-away limits.
 fn cycles_until_limit(supply: &EnergySupply, limit_s: f64) -> u64 {
     let left_s = limit_s - supply.time_s();
-    if left_s <= 0.0 {
+    // A NaN limit (rejected by `validate_limit`, but guarded here too)
+    // must grant zero cycles instead of falling through to the cast
+    // below, which would round NaN to a 1-cycle lease forever.
+    if left_s <= 0.0 || left_s.is_nan() {
         return 0;
     }
     let cycles = left_s * supply.config().clock_hz;
@@ -560,6 +708,172 @@ mod tests {
         supply.idle(2.0); // advance past the limit while dark
         let mut exec = IntermittentExecutor::with_supply(core, supply, Nvp::default());
         assert!(matches!(exec.run(1.0), Err(ExecError::WallClock { .. })));
+    }
+
+    #[test]
+    fn nan_and_negative_limits_are_rejected_up_front() {
+        let mk = || {
+            let core = Core::new(&long_program(10), CoreConfig::default()).unwrap();
+            IntermittentExecutor::new(core, &rf_trace(1), supply_config(), Nvp::default())
+        };
+        for bad in [f64::NAN, -1.0, f64::NEG_INFINITY] {
+            assert!(
+                matches!(mk().run(bad), Err(ExecError::InvalidLimit { .. })),
+                "run({bad}) must be rejected"
+            );
+            assert!(
+                matches!(mk().run_reference(bad), Err(ExecError::InvalidLimit { .. })),
+                "run_reference({bad}) must be rejected"
+            );
+            let mut sink = wn_telemetry::RingBufferSink::new(4);
+            assert!(
+                matches!(
+                    mk().run_with_sink(bad, &mut sink),
+                    Err(ExecError::InvalidLimit { .. })
+                ),
+                "run_with_sink({bad}) must be rejected"
+            );
+            assert_eq!(sink.recorded(), 0, "rejected before any event");
+        }
+        // Zero and +infinity are legitimate budgets: zero times out
+        // (rather than erroring as invalid), infinity means "no limit".
+        assert!(matches!(mk().run(0.0), Err(ExecError::WallClock { .. })));
+        assert!(mk().run(f64::INFINITY).is_ok());
+    }
+
+    #[test]
+    fn cycles_until_limit_saturation_boundaries() {
+        let supply = EnergySupply::new(rf_trace(1), supply_config());
+        assert_eq!(supply.time_s(), 0.0);
+        let clock = supply.config().clock_hz;
+
+        // Expired or exactly-met limits grant nothing.
+        assert_eq!(cycles_until_limit(&supply, 0.0), 0);
+        assert_eq!(cycles_until_limit(&supply, -1.0), 0);
+        // NaN reaches the guard (not the cast) and grants nothing —
+        // the cast would turn NaN into an eternal 1-cycle lease.
+        assert_eq!(cycles_until_limit(&supply, f64::NAN), 0);
+
+        // Far-away limits saturate at u64::MAX instead of overflowing.
+        assert_eq!(cycles_until_limit(&supply, f64::MAX), u64::MAX);
+        assert_eq!(cycles_until_limit(&supply, f64::INFINITY), u64::MAX);
+        // The saturation threshold itself: a limit of exactly
+        // u64::MAX cycles (as f64) takes the saturating branch...
+        assert_eq!(
+            cycles_until_limit(&supply, (u64::MAX as f64) / clock),
+            u64::MAX
+        );
+        // ...while just below it the cast+round-up path stays in range.
+        let below = (u64::MAX as f64) * 0.999 / clock;
+        let c = cycles_until_limit(&supply, below);
+        assert!(c < u64::MAX, "non-saturating path must not clamp");
+        assert!(c > (u64::MAX / 2), "but must still be astronomically large");
+
+        // A subnormal sliver of remaining time still rounds up to a
+        // 1-cycle lease, so the final lease can cross the limit.
+        assert_eq!(cycles_until_limit(&supply, f64::MIN_POSITIVE), 1);
+        assert_eq!(cycles_until_limit(&supply, 5e-324), 1);
+        // One cycle's worth of time leases one cycle plus round-up.
+        assert_eq!(cycles_until_limit(&supply, 1.0 / clock), 2);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_captures_lifecycle() {
+        use wn_telemetry::RingBufferSink;
+
+        let program = long_program(120_000);
+        let mut plain = IntermittentExecutor::new(
+            Core::new(&program, CoreConfig::default()).unwrap(),
+            &rf_trace(3),
+            supply_config(),
+            Clank::default(),
+        );
+        let untraced = plain.run(3600.0).unwrap();
+
+        let mut traced = IntermittentExecutor::new(
+            Core::new(&program, CoreConfig::default()).unwrap(),
+            &rf_trace(3),
+            supply_config(),
+            Clank::default(),
+        );
+        let mut sink = RingBufferSink::new(1 << 16);
+        let run = traced.run_with_sink(3600.0, &mut sink).unwrap();
+
+        // Tracing only observes: bit-identical outcome.
+        assert_eq!(run.outages, untraced.outages);
+        assert_eq!(run.active_cycles, untraced.active_cycles);
+        assert_eq!(run.substrate, untraced.substrate);
+        assert_eq!(run.total_time_s.to_bits(), untraced.total_time_s.to_bits());
+        assert_eq!(run.on_time_s.to_bits(), untraced.on_time_s.to_bits());
+        assert_eq!(
+            traced.core().mem.load_u32(0).unwrap(),
+            plain.core().mem.load_u32(0).unwrap()
+        );
+
+        // The event stream is coherent with the scalar outcome.
+        let count = |kind: &EventKind| sink.count_of(kind.index());
+        assert_eq!(count(&EventKind::RunStart), 1);
+        assert_eq!(count(&EventKind::RunEnd { skimmed: false }), 1);
+        assert_eq!(count(&EventKind::Outage), run.outages);
+        // One power-on per boot: the initial one plus one per outage.
+        assert_eq!(
+            count(&EventKind::PowerOn { waited_s: 0.0 }),
+            run.outages + 1
+        );
+        // Every checkpoint the substrate counted was attributed.
+        assert_eq!(
+            count(&EventKind::Checkpoint {
+                cause: wn_telemetry::CheckpointCause::Other,
+            }),
+            run.substrate.checkpoints
+        );
+        assert!(run.substrate.checkpoints > 0);
+        // Restores: one per power-on (none browned out mid-restore here).
+        assert_eq!(
+            count(&EventKind::Restore { cost_cycles: 0 }),
+            run.outages + 1
+        );
+        // This program never arms a skim point, so every post-outage
+        // restore reports the skim path as skipped.
+        assert_eq!(count(&EventKind::SkimTaken { target: 0 }), 0);
+        assert_eq!(count(&EventKind::SkimSkipped), run.outages);
+        // Lease accounting: grants happened, and the bulk path retired
+        // no more than the core's total instructions.
+        assert!(count(&EventKind::LeaseGrant { cycles: 0 }) > 0);
+        let settled: u64 = sink
+            .events()
+            .filter_map(|e| match e.kind {
+                EventKind::LeaseSettled { instructions, .. } => Some(instructions),
+                _ => None,
+            })
+            .sum();
+        assert!(settled > 0);
+        assert!(settled <= traced.core().stats.instructions);
+        // Timestamps are monotonically non-decreasing.
+        let mut last = 0.0;
+        for e in sink.events() {
+            assert!(e.t_s >= last, "event {e:?} went back in time");
+            last = e.t_s;
+        }
+    }
+
+    #[test]
+    fn traced_skim_run_emits_skim_taken() {
+        use wn_telemetry::RingBufferSink;
+
+        let src = ".data\nout: .space 4\n.text\nMOV r0, =out\nMOV r1, #1\nSTR r1, [r0, #0]\nSKM end\nspin:\nADD r2, r2, #1\nSTR r2, [r0, #0]\nLDR r3, [r0, #0]\nB spin\nend:\nHALT";
+        let core = Core::new(&wn_isa::asm::assemble(src).unwrap(), CoreConfig::default()).unwrap();
+        let mut exec =
+            IntermittentExecutor::new(core, &rf_trace(5), supply_config(), Nvp::default());
+        let mut sink = RingBufferSink::new(4096);
+        let run = exec.run_with_sink(3600.0, &mut sink).unwrap();
+        assert!(run.skimmed);
+        assert_eq!(sink.count_of(EventKind::SkimTaken { target: 0 }.index()), 1);
+        let end = sink
+            .events()
+            .find(|e| matches!(e.kind, EventKind::RunEnd { .. }))
+            .unwrap();
+        assert_eq!(end.kind, EventKind::RunEnd { skimmed: true });
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The substrate abstraction: how a processor survives power outages.
 
 use wn_sim::{Core, StepInfo};
+use wn_telemetry::{CheckpointCause, Event, EventKind, EventSink};
 
 /// Counters shared by every substrate implementation.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -54,4 +55,54 @@ pub trait Substrate {
 
     /// Short human-readable name ("clank", "nvp").
     fn name(&self) -> &'static str;
+
+    /// Telemetry cause attributed to checkpoints that carry no hazard
+    /// tag in [`SubstrateStats`]. Clank overrides this: its untagged
+    /// checkpoints are the ones armed by skim points. The default
+    /// covers substrates whose snapshots sit outside the Clank hazard
+    /// taxonomy (e.g. NVP's per-outage backup).
+    fn untagged_checkpoint_cause(&self) -> CheckpointCause {
+        CheckpointCause::Other
+    }
+
+    /// Emit one [`EventKind::Checkpoint`] per checkpoint taken since
+    /// `before` (a [`Substrate::stats`] snapshot), attributing causes
+    /// from the tagged counters and
+    /// [`Substrate::untagged_checkpoint_cause`] for the rest.
+    ///
+    /// The executor calls this only when its sink is enabled, so the
+    /// diffing cost never touches the untraced hot path.
+    fn record_checkpoint_events(
+        &self,
+        before: &SubstrateStats,
+        t_s: f64,
+        sink: &mut dyn EventSink,
+    ) {
+        let after = self.stats();
+        let mut emit = |cause: CheckpointCause, n: u64| {
+            for _ in 0..n {
+                sink.record(Event {
+                    t_s,
+                    kind: EventKind::Checkpoint { cause },
+                });
+            }
+        };
+        emit(
+            CheckpointCause::Violation,
+            after.violation_checkpoints - before.violation_checkpoints,
+        );
+        emit(
+            CheckpointCause::Capacity,
+            after.capacity_checkpoints - before.capacity_checkpoints,
+        );
+        emit(
+            CheckpointCause::Watchdog,
+            after.watchdog_checkpoints - before.watchdog_checkpoints,
+        );
+        let tagged = (after.violation_checkpoints - before.violation_checkpoints)
+            + (after.capacity_checkpoints - before.capacity_checkpoints)
+            + (after.watchdog_checkpoints - before.watchdog_checkpoints);
+        let total = after.checkpoints - before.checkpoints;
+        emit(self.untagged_checkpoint_cause(), total - tagged);
+    }
 }

@@ -21,11 +21,14 @@ pub fn rmse(golden: &[f64], approx: &[f64]) -> Option<f64> {
 /// Normalized RMSE as a percentage — the paper's quality metric (§IV).
 ///
 /// Normalization is by the *range* of the golden output
-/// (`max − min`). When the golden output is constant, the error is 0 % if
-/// the outputs agree exactly and 100 % otherwise (a degenerate case the
-/// benchmarks never hit, handled for robustness).
+/// (`max − min`). When the golden output is constant its range is zero,
+/// so no normalization exists: exact agreement is still 0 %, but any
+/// disagreement is unnormalizable and reported as `None` rather than an
+/// arbitrary flat percentage that would hide the disagreement's
+/// magnitude (a degenerate case the benchmarks never hit).
 ///
-/// Returns `None` when the slices are empty or of different lengths.
+/// Returns `None` when the slices are empty, of different lengths, or a
+/// constant golden output disagrees with the approximation.
 ///
 /// ```
 /// use wn_quality::metrics::nrmse_percent;
@@ -44,7 +47,9 @@ pub fn nrmse_percent(golden: &[f64], approx: &[f64]) -> Option<f64> {
     }
     let range = max - min;
     if range == 0.0 {
-        return Some(if rmse == 0.0 { 0.0 } else { 100.0 });
+        // Constant golden: 0 % on exact agreement, otherwise there is
+        // no scale to normalize by — unnormalizable, not "100 %".
+        return if rmse == 0.0 { Some(0.0) } else { None };
     }
     Some(100.0 * rmse / range)
 }
@@ -133,8 +138,12 @@ mod tests {
 
     #[test]
     fn nrmse_constant_golden() {
+        // Exact agreement on a constant golden is a clean 0 %…
         assert_eq!(nrmse_percent(&[5.0, 5.0], &[5.0, 5.0]), Some(0.0));
-        assert_eq!(nrmse_percent(&[5.0, 5.0], &[5.0, 6.0]), Some(100.0));
+        // …but disagreement has no range to normalize by: `None`, and
+        // independent of the disagreement's magnitude.
+        assert_eq!(nrmse_percent(&[5.0, 5.0], &[5.0, 6.0]), None);
+        assert_eq!(nrmse_percent(&[5.0, 5.0], &[5.0, 1e9]), None);
     }
 
     #[test]

@@ -56,6 +56,21 @@ impl InstrClass {
         }
     }
 
+    /// Stable lowercase name (also the `Display` rendering).
+    pub const fn name(self) -> &'static str {
+        match self {
+            InstrClass::Alu => "alu",
+            InstrClass::Mul => "mul",
+            InstrClass::MulAsp => "mul_asp",
+            InstrClass::Asv => "asv",
+            InstrClass::Load => "load",
+            InstrClass::Store => "store",
+            InstrClass::Branch => "branch",
+            InstrClass::Skm => "skm",
+            InstrClass::Other => "other",
+        }
+    }
+
     pub(crate) const fn idx(self) -> usize {
         match self {
             InstrClass::Alu => 0,
@@ -73,18 +88,7 @@ impl InstrClass {
 
 impl fmt::Display for InstrClass {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let name = match self {
-            InstrClass::Alu => "alu",
-            InstrClass::Mul => "mul",
-            InstrClass::MulAsp => "mul_asp",
-            InstrClass::Asv => "asv",
-            InstrClass::Load => "load",
-            InstrClass::Store => "store",
-            InstrClass::Branch => "branch",
-            InstrClass::Skm => "skm",
-            InstrClass::Other => "other",
-        };
-        write!(f, "{name}")
+        write!(f, "{}", self.name())
     }
 }
 
@@ -130,6 +134,15 @@ impl ExecStats {
     /// Cycles consumed by one class.
     pub fn cycles_of(&self, class: InstrClass) -> u64 {
         self.cycle_counts[class.idx()]
+    }
+
+    /// Per-class `(class, instructions, cycles)` rows over every
+    /// [`InstrClass`], in [`InstrClass::ALL`] order — the breakdown
+    /// telemetry run reports serialize.
+    pub fn classes(&self) -> impl Iterator<Item = (InstrClass, u64, u64)> + '_ {
+        InstrClass::ALL
+            .iter()
+            .map(move |&class| (class, self.count(class), self.cycles_of(class)))
     }
 
     /// Fraction of dynamic instructions in `class`.
@@ -259,6 +272,29 @@ mod tests {
         assert_eq!(s.cycles_of(InstrClass::Mul), 16);
         assert!((s.fraction(InstrClass::Other) - 0.5).abs() < 1e-12);
         assert!((s.wn_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn classes_rows_cover_all_classes_in_order() {
+        let mut s = ExecStats::new();
+        s.record(
+            &Instr::Mul {
+                rd: Reg::R0,
+                rn: Reg::R1,
+                rm: Reg::R2,
+            },
+            16,
+        );
+        s.record(&Instr::Nop, 1);
+        let rows: Vec<(InstrClass, u64, u64)> = s.classes().collect();
+        assert_eq!(rows.len(), InstrClass::ALL.len());
+        for (i, (class, count, cycles)) in rows.iter().enumerate() {
+            assert_eq!(*class, InstrClass::ALL[i]);
+            assert_eq!(*count, s.count(*class));
+            assert_eq!(*cycles, s.cycles_of(*class));
+        }
+        assert_eq!(rows.iter().map(|r| r.1).sum::<u64>(), s.instructions);
+        assert_eq!(rows.iter().map(|r| r.2).sum::<u64>(), s.cycles);
     }
 
     #[test]

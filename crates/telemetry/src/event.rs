@@ -1,0 +1,158 @@
+//! Event vocabulary: what can happen during an intermittent run.
+
+/// Why a substrate took a checkpoint.
+///
+/// Clank tags checkpoints with the hazard that forced them; a
+/// checkpoint provoked by arming a skim point carries no hazard tag and
+/// is reported as [`CheckpointCause::Skim`]. NVP's per-outage backup
+/// snapshots are [`CheckpointCause::Capacity`]-free and arrive as
+/// [`CheckpointCause::Other`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointCause {
+    /// A write-after-read violation forced the checkpoint (Clank).
+    Violation,
+    /// The write-back buffer filled up (Clank).
+    Capacity,
+    /// The checkpoint watchdog expired (Clank).
+    Watchdog,
+    /// Arming a skim point snapshotted state (Clank, untagged in stats).
+    Skim,
+    /// Substrate-specific cause outside the Clank hazard taxonomy.
+    Other,
+}
+
+impl CheckpointCause {
+    /// Stable lowercase name used in serialized reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            CheckpointCause::Violation => "violation",
+            CheckpointCause::Capacity => "capacity",
+            CheckpointCause::Watchdog => "watchdog",
+            CheckpointCause::Skim => "skim",
+            CheckpointCause::Other => "other",
+        }
+    }
+}
+
+/// One lifecycle event. Timestamps are *simulated* seconds — the
+/// supply's `time_s()` at emission — so traces are deterministic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Simulated time of the event, in seconds since run start.
+    pub t_s: f64,
+    pub kind: EventKind,
+}
+
+/// The kinds of lifecycle events the stack emits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// The executor entered its lease loop.
+    RunStart,
+    /// The executor finished (halt, skim hit, or wall-clock expiry).
+    RunEnd { skimmed: bool },
+    /// The supply (re)charged past the turn-on threshold after being
+    /// off for `waited_s` simulated seconds.
+    PowerOn { waited_s: f64 },
+    /// The capacitor browned out; execution state is lost.
+    Outage,
+    /// A substrate checkpointed, spending `cost_cycles` of overhead.
+    Checkpoint { cause: CheckpointCause },
+    /// The substrate restored architectural state after an outage.
+    Restore { cost_cycles: u64 },
+    /// A restore was redirected to an armed skim point.
+    SkimTaken { target: u32 },
+    /// A post-outage restore found no armed skim point (or skimming
+    /// was disabled) and resumed from the last checkpoint instead.
+    SkimSkipped,
+    /// The supply granted an energy lease of `cycles` cycles.
+    LeaseGrant { cycles: u64 },
+    /// A bulk lease segment retired and settled with the supply.
+    LeaseSettled { cycles: u64, instructions: u64 },
+}
+
+/// Number of distinct [`EventKind`] variants (payloads ignored).
+pub const KIND_COUNT: usize = 10;
+
+/// Stable lowercase names, indexed by [`EventKind::index`].
+pub const KIND_NAMES: [&str; KIND_COUNT] = [
+    "run_start",
+    "run_end",
+    "power_on",
+    "outage",
+    "checkpoint",
+    "restore",
+    "skim_taken",
+    "skim_skipped",
+    "lease_grant",
+    "lease_settled",
+];
+
+impl EventKind {
+    /// Dense index of the variant, for count arrays.
+    pub fn index(&self) -> usize {
+        match self {
+            EventKind::RunStart => 0,
+            EventKind::RunEnd { .. } => 1,
+            EventKind::PowerOn { .. } => 2,
+            EventKind::Outage => 3,
+            EventKind::Checkpoint { .. } => 4,
+            EventKind::Restore { .. } => 5,
+            EventKind::SkimTaken { .. } => 6,
+            EventKind::SkimSkipped => 7,
+            EventKind::LeaseGrant { .. } => 8,
+            EventKind::LeaseSettled { .. } => 9,
+        }
+    }
+
+    /// Stable lowercase name used in serialized reports.
+    pub fn name(&self) -> &'static str {
+        KIND_NAMES[self.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_indices_are_dense_and_named() {
+        let kinds = [
+            EventKind::RunStart,
+            EventKind::RunEnd { skimmed: false },
+            EventKind::PowerOn { waited_s: 0.0 },
+            EventKind::Outage,
+            EventKind::Checkpoint {
+                cause: CheckpointCause::Violation,
+            },
+            EventKind::Restore { cost_cycles: 0 },
+            EventKind::SkimTaken { target: 0 },
+            EventKind::SkimSkipped,
+            EventKind::LeaseGrant { cycles: 0 },
+            EventKind::LeaseSettled {
+                cycles: 0,
+                instructions: 0,
+            },
+        ];
+        assert_eq!(kinds.len(), KIND_COUNT);
+        for (i, k) in kinds.iter().enumerate() {
+            assert_eq!(k.index(), i);
+            assert_eq!(k.name(), KIND_NAMES[i]);
+        }
+    }
+
+    #[test]
+    fn cause_names_are_distinct() {
+        let causes = [
+            CheckpointCause::Violation,
+            CheckpointCause::Capacity,
+            CheckpointCause::Watchdog,
+            CheckpointCause::Skim,
+            CheckpointCause::Other,
+        ];
+        for (i, a) in causes.iter().enumerate() {
+            for b in &causes[i + 1..] {
+                assert_ne!(a.name(), b.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Hand-rolled JSON encoding (the container has no serde; everything
+//! we serialize is flat enough that a tiny builder suffices), plus the
+//! naive field extraction the `report` subcommand uses to consume run
+//! manifests.
+
+use crate::event::{Event, EventKind};
+
+/// Escape a string for inclusion inside JSON quotes.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render an `f64` as a JSON value. JSON has no NaN/infinity, so those
+/// become `null`.
+pub fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Incremental JSON object builder: `Obj::new().field(...).finish()`.
+#[derive(Debug, Default)]
+pub struct Obj {
+    parts: Vec<String>,
+}
+
+impl Obj {
+    pub fn new() -> Self {
+        Obj::default()
+    }
+
+    /// Add a field whose value is already-valid JSON text.
+    pub fn raw(mut self, key: &str, value: impl AsRef<str>) -> Self {
+        self.parts
+            .push(format!("\"{}\":{}", escape(key), value.as_ref()));
+        self
+    }
+
+    pub fn str(self, key: &str, value: &str) -> Self {
+        let quoted = format!("\"{}\"", escape(value));
+        self.raw(key, quoted)
+    }
+
+    pub fn u64(self, key: &str, value: u64) -> Self {
+        self.raw(key, value.to_string())
+    }
+
+    pub fn f64(self, key: &str, value: f64) -> Self {
+        self.raw(key, num(value))
+    }
+
+    pub fn bool(self, key: &str, value: bool) -> Self {
+        self.raw(key, if value { "true" } else { "false" })
+    }
+
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.parts.join(","))
+    }
+}
+
+/// Render a sequence of already-encoded JSON values as an array.
+pub fn array<I: IntoIterator<Item = String>>(items: I) -> String {
+    let items: Vec<String> = items.into_iter().collect();
+    format!("[{}]", items.join(","))
+}
+
+/// One event as a flat JSON object (used for JSON Lines traces).
+pub fn event_to_json(e: &Event) -> String {
+    let obj = Obj::new().f64("t_s", e.t_s).str("kind", e.kind.name());
+    match e.kind {
+        EventKind::RunEnd { skimmed } => obj.bool("skimmed", skimmed),
+        EventKind::PowerOn { waited_s } => obj.f64("waited_s", waited_s),
+        EventKind::Checkpoint { cause } => obj.str("cause", cause.name()),
+        EventKind::Restore { cost_cycles } => obj.u64("cost_cycles", cost_cycles),
+        EventKind::SkimTaken { target } => obj.u64("target", target as u64),
+        EventKind::LeaseGrant { cycles } => obj.u64("cycles", cycles),
+        EventKind::LeaseSettled {
+            cycles,
+            instructions,
+        } => obj.u64("cycles", cycles).u64("instructions", instructions),
+        EventKind::RunStart | EventKind::Outage | EventKind::SkimSkipped => obj,
+    }
+    .finish()
+}
+
+/// Extract the raw text of a top-level `"key": value` pair from a JSON
+/// document produced by this module. This is a provenance-reader, not
+/// a general parser: it assumes the key occurs once and that string
+/// values contain no escaped quotes — both true for our manifests.
+pub fn extract_raw<'a>(doc: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{}\":", escape(key));
+    let start = doc.find(&needle)? + needle.len();
+    let rest = doc[start..].trim_start();
+    let end = if let Some(inner) = rest.strip_prefix('"') {
+        inner.find('"')? + 2
+    } else if rest.starts_with('[') {
+        rest.find(']')? + 1
+    } else {
+        rest.find([',', '}'])?
+    };
+    Some(rest[..end].trim())
+}
+
+/// Extract a string field's unescaped-enough contents (no quotes).
+pub fn extract_str<'a>(doc: &'a str, key: &str) -> Option<&'a str> {
+    let raw = extract_raw(doc, key)?;
+    raw.strip_prefix('"')?.strip_suffix('"')
+}
+
+/// Extract a numeric field.
+pub fn extract_f64(doc: &str, key: &str) -> Option<f64> {
+    extract_raw(doc, key)?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::CheckpointCause;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(num(f64::INFINITY), "null");
+        assert_eq!(num(1.5), "1.5");
+    }
+
+    #[test]
+    fn obj_builder_round_trip() {
+        let doc = Obj::new()
+            .str("name", "fig10")
+            .u64("jobs", 4)
+            .f64("wall_s", 0.5)
+            .bool("telemetry", false)
+            .raw("artifacts", array(vec!["\"a.csv\"".to_string()]))
+            .finish();
+        assert_eq!(extract_str(&doc, "name"), Some("fig10"));
+        assert_eq!(extract_f64(&doc, "jobs"), Some(4.0));
+        assert_eq!(extract_f64(&doc, "wall_s"), Some(0.5));
+        assert_eq!(extract_raw(&doc, "telemetry"), Some("false"));
+        assert_eq!(extract_raw(&doc, "artifacts"), Some("[\"a.csv\"]"));
+        assert_eq!(extract_raw(&doc, "missing"), None);
+    }
+
+    #[test]
+    fn event_json_carries_payloads() {
+        let e = Event {
+            t_s: 0.125,
+            kind: EventKind::Checkpoint {
+                cause: CheckpointCause::Watchdog,
+            },
+        };
+        assert_eq!(
+            event_to_json(&e),
+            "{\"t_s\":0.125,\"kind\":\"checkpoint\",\"cause\":\"watchdog\"}"
+        );
+    }
+}

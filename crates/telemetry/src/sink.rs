@@ -1,0 +1,176 @@
+//! Event sinks: where emitted events go.
+
+use crate::event::{Event, KIND_COUNT};
+use crate::json;
+
+/// Receiver for lifecycle events.
+///
+/// Emission sites are written as
+/// `if sink.enabled() { sink.record(...) }` so that a sink whose
+/// `enabled()` is a constant `false` ([`NullSink`]) compiles the whole
+/// site away under monomorphization — the hot lease loop pays nothing
+/// when tracing is off.
+pub trait EventSink {
+    /// Whether this sink wants events. Emission sites skip event
+    /// construction entirely when this returns `false`.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Record one event. Only called when [`EventSink::enabled`] is true.
+    fn record(&mut self, event: Event);
+}
+
+/// The no-op sink: tracing off. `enabled()` is `false`, so generic
+/// emission sites vanish at compile time.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline(always)]
+    fn record(&mut self, _event: Event) {}
+}
+
+// Allow `&mut sink` to be passed down through helper layers.
+impl<S: EventSink + ?Sized> EventSink for &mut S {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    #[inline(always)]
+    fn record(&mut self, event: Event) {
+        (**self).record(event)
+    }
+}
+
+/// Bounded raw-event recorder: keeps the most recent `capacity` events
+/// verbatim, plus exact per-kind counts that are never dropped. The
+/// ring overwrites oldest-first, so long runs keep the interesting
+/// tail without unbounded memory.
+#[derive(Debug, Clone)]
+pub struct RingBufferSink {
+    buf: Vec<Event>,
+    capacity: usize,
+    /// Index of the oldest retained event once the ring has wrapped.
+    head: usize,
+    recorded: u64,
+    counts: [u64; KIND_COUNT],
+}
+
+impl RingBufferSink {
+    /// A ring retaining at most `capacity` events (`capacity >= 1`).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        RingBufferSink {
+            buf: Vec::with_capacity(capacity.min(1024)),
+            capacity,
+            head: 0,
+            recorded: 0,
+            counts: [0; KIND_COUNT],
+        }
+    }
+
+    /// Total events ever recorded, including overwritten ones.
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events that were overwritten by newer ones.
+    pub fn dropped(&self) -> u64 {
+        self.recorded - self.buf.len() as u64
+    }
+
+    /// Exact count of events of the given [`crate::EventKind::index`],
+    /// unaffected by ring overwrites.
+    pub fn count_of(&self, kind_index: usize) -> u64 {
+        self.counts[kind_index]
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        let (tail, head) = self.buf.split_at(self.head);
+        head.iter().chain(tail.iter())
+    }
+
+    /// Serialize the retained events as JSON Lines, one object per
+    /// event, oldest first: `{"t_s":…,"kind":"…",…}`.
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for e in self.events() {
+            out.push_str(&json::event_to_json(e));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl EventSink for RingBufferSink {
+    fn record(&mut self, event: Event) {
+        self.recorded += 1;
+        self.counts[event.kind.index()] += 1;
+        if self.buf.len() < self.capacity {
+            self.buf.push(event);
+        } else {
+            self.buf[self.head] = event;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(t_s: f64, kind: EventKind) -> Event {
+        Event { t_s, kind }
+    }
+
+    #[test]
+    fn null_sink_is_disabled() {
+        assert!(!NullSink.enabled());
+    }
+
+    #[test]
+    fn mut_ref_forwards() {
+        fn feed<K: EventSink>(sink: &mut K, event: Event) {
+            if sink.enabled() {
+                sink.record(event);
+            }
+        }
+        let mut ring = RingBufferSink::new(4);
+        feed(&mut &mut ring, ev(0.0, EventKind::RunStart));
+        assert_eq!(ring.recorded(), 1);
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_and_exact_counts() {
+        let mut ring = RingBufferSink::new(3);
+        for i in 0..5 {
+            ring.record(ev(i as f64, EventKind::Outage));
+        }
+        assert_eq!(ring.recorded(), 5);
+        assert_eq!(ring.dropped(), 2);
+        assert_eq!(ring.count_of(EventKind::Outage.index()), 5);
+        let kept: Vec<f64> = ring.events().map(|e| e.t_s).collect();
+        assert_eq!(kept, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn ring_json_lines_are_one_per_event() {
+        let mut ring = RingBufferSink::new(8);
+        ring.record(ev(0.0, EventKind::RunStart));
+        ring.record(ev(0.25, EventKind::LeaseGrant { cycles: 99 }));
+        let dump = ring.to_json_lines();
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"run_start\""));
+        assert!(lines[1].contains("\"cycles\":99"));
+    }
+}
