@@ -25,6 +25,8 @@ fn workload() -> (PreparedRun, PowerTrace) {
 }
 
 fn run_once(prepared: &PreparedRun, trace: &PowerTrace) -> u64 {
+    use wn_intermittent::Substrate;
+
     let core = prepared.fresh_core().unwrap();
     let mut exec = wn_intermittent::IntermittentExecutor::new(
         core,
@@ -33,7 +35,18 @@ fn run_once(prepared: &PreparedRun, trace: &PowerTrace) -> u64 {
         wn_intermittent::Clank::default(),
     );
     exec.run(3600.0).unwrap();
-    exec.core().stats.instructions
+    let instructions = exec.core().stats.instructions;
+    let fused = exec.core().fused_instructions();
+    let stats = exec.substrate().stats();
+    let bytes_saved = 4 * stats
+        .checkpoint_words_full
+        .saturating_sub(stats.checkpoint_words_saved);
+    eprintln!(
+        "executor workload: {instructions} instructions, block dispatch {:.1}%, \
+         checkpoint bytes saved {bytes_saved}",
+        fused as f64 / instructions as f64 * 100.0,
+    );
+    instructions
 }
 
 fn executor_throughput(c: &mut Criterion) {

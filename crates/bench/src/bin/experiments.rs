@@ -361,7 +361,7 @@ fn bench() -> ExitCode {
     use wn_core::intermittent::quick_supply;
     use wn_core::prepared::PreparedRun;
     use wn_energy::{PowerTrace, TraceKind};
-    use wn_intermittent::{Clank, IntermittentExecutor};
+    use wn_intermittent::{Clank, IntermittentExecutor, Substrate};
     use wn_kernels::{Benchmark, Scale};
     use wn_telemetry::RunReport;
 
@@ -369,6 +369,9 @@ fn bench() -> ExitCode {
     let prepared = PreparedRun::new(&instance, wn_core::Technique::Precise).unwrap();
     let trace = PowerTrace::generate(TraceKind::RfBursty, 42, 120.0);
     let mut instructions = 0u64;
+    let mut fused_instructions = 0u64;
+    let mut ckpt_words_saved = 0u64;
+    let mut ckpt_words_full = 0u64;
     let mut time = |traced: bool| {
         let mut best = f64::INFINITY;
         for _ in 0..30 {
@@ -384,17 +387,38 @@ fn bench() -> ExitCode {
             }
             best = best.min(t0.elapsed().as_secs_f64());
             instructions = exec.core().stats.instructions;
+            if !traced {
+                fused_instructions = exec.core().fused_instructions();
+                let stats = exec.substrate().stats();
+                ckpt_words_saved = stats.checkpoint_words_saved;
+                ckpt_words_full = stats.checkpoint_words_full;
+            }
         }
         best
     };
     let untraced_s = time(false);
     let traced_s = time(true);
     let overhead_percent = (traced_s / untraced_s - 1.0) * 100.0;
+    // Share of dynamic instructions retired through the fused
+    // block-dispatch fast path (vs single-stepped at block boundaries,
+    // lease tails, and watchdog horizons).
+    let block_dispatch_percent = if instructions > 0 {
+        fused_instructions as f64 / instructions as f64 * 100.0
+    } else {
+        0.0
+    };
+    // Differential checkpointing: NV words actually written vs what full
+    // snapshots would have written, reported as bytes saved.
+    let ckpt_bytes_saved = 4.0 * ckpt_words_full.saturating_sub(ckpt_words_saved) as f64;
     println!(
         "untraced min {:.3} ms ({:.1} M instr/s), traced min {:.3} ms ({overhead_percent:+.1}%)",
         untraced_s * 1e3,
         instructions as f64 / untraced_s / 1e6,
         traced_s * 1e3,
+    );
+    println!(
+        "block dispatch {block_dispatch_percent:.1}% of instructions, \
+         checkpoint bytes saved {ckpt_bytes_saved:.0} ({ckpt_words_saved} of {ckpt_words_full} words written)",
     );
     let mut record = BenchRecord::new("executor");
     record.push("untraced_min_ms", untraced_s * 1e3, "ms");
@@ -405,13 +429,24 @@ fn bench() -> ExitCode {
     );
     record.push("traced_min_ms", traced_s * 1e3, "ms");
     record.push("traced_overhead_percent", overhead_percent, "%");
+    record.push("block_dispatch_percent", block_dispatch_percent, "%");
+    record.push("checkpoint_words_saved", ckpt_words_saved as f64, "words");
+    record.push("checkpoint_words_full", ckpt_words_full as f64, "words");
+    record.push("checkpoint_bytes_saved", ckpt_bytes_saved, "bytes");
     match record.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("BENCH record write failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match record.append_history() {
         Ok(path) => {
-            println!("wrote {}", path.display());
+            println!("appended {}", path.display());
             ExitCode::SUCCESS
         }
         Err(e) => {
-            eprintln!("BENCH record write failed: {e}");
+            eprintln!("bench history append failed: {e}");
             ExitCode::FAILURE
         }
     }

@@ -15,6 +15,11 @@ pub const MANIFEST_SCHEMA: &str = "wn-run-manifest-v1";
 /// Schema tag stamped into every `BENCH_*.json` record.
 pub const BENCH_SCHEMA: &str = "wn-bench-record-v1";
 
+/// File name the append-only bench history lives under (in the results
+/// directory). One JSON line per `experiments bench` run, never
+/// truncated, so the perf trajectory survives `BENCH_*.json` overwrites.
+pub const HISTORY_FILE: &str = "bench_history.jsonl";
+
 /// File name the manifest is written under (in the results directory).
 pub const MANIFEST_FILE: &str = "manifest.json";
 
@@ -154,6 +159,36 @@ impl BenchRecord {
         std::fs::write(&path, self.to_json())?;
         Ok(path)
     }
+
+    /// Appends the record as one line to `bench_history.jsonl` in the
+    /// given directory (created on demand) and returns the path.
+    /// `BENCH_<name>.json` is overwritten per run; the history file is
+    /// append-only, so successive runs on one checkout accumulate.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the directory or appending.
+    pub fn append_history_at(&self, dir: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
+        use std::io::Write;
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(HISTORY_FILE);
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        writeln!(file, "{}", self.to_json())?;
+        Ok(path)
+    }
+
+    /// Appends to the history file in the results directory
+    /// (`$WN_RESULTS_DIR` or `results/`).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the directory or appending.
+    pub fn append_history(&self) -> std::io::Result<std::path::PathBuf> {
+        self.append_history_at(&crate::results_dir())
+    }
 }
 
 /// Seconds since the Unix epoch (0.0 if the clock is before it).
@@ -220,5 +255,29 @@ mod tests {
             Some(2.065)
         );
         assert!(doc.contains("\"epoch_min_ms\":\"ms\""));
+    }
+
+    #[test]
+    fn bench_history_appends_one_line_per_run() {
+        let dir = std::env::temp_dir().join(format!("wn-bench-history-{}", std::process::id()));
+        let mut r = BenchRecord::new("executor");
+        r.push("untraced_min_ms", 1.5, "ms");
+        let path = r.append_history_at(&dir).unwrap();
+        r.append_history_at(&dir).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "append-only: one line per run");
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+            assert_eq!(
+                wn_telemetry::json::extract_str(line, "schema"),
+                Some(BENCH_SCHEMA)
+            );
+            assert_eq!(
+                wn_telemetry::json::extract_f64(line, "untraced_min_ms"),
+                Some(1.5)
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

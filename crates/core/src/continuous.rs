@@ -4,7 +4,7 @@
 use std::ops::ControlFlow;
 
 use wn_quality::QualityCurve;
-use wn_sim::{StepEvent, StopReason};
+use wn_sim::{Core, HookKind, StepEvent, StepHook, StepInfo, StopReason};
 
 use crate::error::WnError;
 use crate::prepared::PreparedRun;
@@ -83,14 +83,30 @@ pub struct EarliestOutput {
 ///
 /// Propagates simulation errors.
 pub fn run_to_first_skim(prepared: &PreparedRun) -> Result<(wn_sim::Core, u64, bool), WnError> {
-    let mut core = prepared.fresh_core()?;
-    let outcome = core.run_steps(u64::MAX, |_, info| {
-        if let StepEvent::SkimSet(_) = info.event {
-            ControlFlow::Break(())
-        } else {
-            ControlFlow::Continue(0)
+    /// `SKM` always terminates a fused block, so a memory-op-granular
+    /// hook still observes every skim point; straight-line stretches
+    /// between them retire through the block-dispatch fast path.
+    struct StopAtSkim;
+
+    impl StepHook for StopAtSkim {
+        const KIND: HookKind = HookKind::MemoryOps;
+
+        #[inline]
+        fn on_step(&mut self, _core: &mut Core, info: &StepInfo) -> ControlFlow<(), u64> {
+            if let StepEvent::SkimSet(_) = info.event {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(0)
+            }
         }
-    })?;
+
+        fn block_budget(&self) -> u64 {
+            u64::MAX
+        }
+    }
+
+    let mut core = prepared.fresh_core()?;
+    let outcome = core.run_steps_hooked(u64::MAX, &mut StopAtSkim)?;
     let at_skim = outcome.stop == StopReason::Hook;
     Ok((core, outcome.cycles, at_skim))
 }

@@ -437,13 +437,96 @@ impl EnergySupply {
             // and read exactly `seg_power_w`: `power * dt` reproduces its
             // result bit-for-bit without the index math.
             self.seg_budget_cycles -= cycles;
-            self.cap.add_energy(self.seg_power_w * dt);
+            let harvest_j = self.seg_power_w * dt;
+            // Skipping a zero harvest is bit-identical: the stored energy
+            // is never negative (drain clamps at +0.0), and `x + 0.0 == x`
+            // for every non-negative `x`. Harvesting traces spend whole
+            // segments at zero power, so this keeps the dependent
+            // add-and-clamp off the energy chain for all of them.
+            if harvest_j != 0.0 {
+                self.cap.add_energy(harvest_j);
+            }
         } else {
             self.settle_segment_miss(dt);
         }
         self.cap.drain(self.drain_per_cycle_j * cycles as f64);
         self.t_s += dt;
         self.on_time_s += dt;
+    }
+
+    /// Settles a run of per-instruction costs, each plus `overhead`
+    /// cycles, with `tail_extra` folded into the final element (a fused
+    /// block's taken-branch refill) — the fused-block form of calling
+    /// [`EnergySupply::settle`] once per element. The per-element float
+    /// operations and their order are *identical* to the one-at-a-time
+    /// path (that is the epoch engine's bit-equivalence contract); this
+    /// form only hoists the segment-cache bookkeeping and clock
+    /// accumulators into locals so they stay in registers across the
+    /// block.
+    #[inline]
+    pub fn settle_run(&mut self, costs: &[u64], overhead: u64, tail_extra: u64) {
+        debug_assert!(self.on, "settle_run called while powered off");
+        let Some((&tail_base, rest)) = costs.split_last() else {
+            return;
+        };
+        let mut seg_budget = self.seg_budget_cycles;
+        let mut seg_power = self.seg_power_w;
+        let drain_per_cycle = self.drain_per_cycle_j;
+        let mut t_s = self.t_s;
+        let mut on_time_s = self.on_time_s;
+        let mut energy_j = self.cap.energy();
+        for &base in rest {
+            let cycles = base + overhead;
+            if cycles != 0 && cycles < 256 && cycles <= seg_budget {
+                let dt = self.dt_table[cycles as usize];
+                seg_budget -= cycles;
+                energy_j = self.cap.add_then_drain_local(
+                    energy_j,
+                    seg_power * dt,
+                    drain_per_cycle * cycles as f64,
+                );
+                t_s += dt;
+                on_time_s += dt;
+            } else {
+                // Segment-cache miss (or an oversized/zero cost): write
+                // the locals back, take the reference path, reload.
+                self.seg_budget_cycles = seg_budget;
+                self.t_s = t_s;
+                self.on_time_s = on_time_s;
+                self.cap.set_energy_raw(energy_j);
+                self.settle(cycles);
+                seg_budget = self.seg_budget_cycles;
+                seg_power = self.seg_power_w;
+                t_s = self.t_s;
+                on_time_s = self.on_time_s;
+                energy_j = self.cap.energy();
+            }
+        }
+        // The tail element, at its actual (refilled) cost — same body
+        // as the loop above so the settle stays hoisted.
+        let cycles = tail_base + tail_extra + overhead;
+        if cycles != 0 && cycles < 256 && cycles <= seg_budget {
+            let dt = self.dt_table[cycles as usize];
+            seg_budget -= cycles;
+            energy_j = self.cap.add_then_drain_local(
+                energy_j,
+                seg_power * dt,
+                drain_per_cycle * cycles as f64,
+            );
+            t_s += dt;
+            on_time_s += dt;
+        } else {
+            self.seg_budget_cycles = seg_budget;
+            self.t_s = t_s;
+            self.on_time_s = on_time_s;
+            self.cap.set_energy_raw(energy_j);
+            self.settle(cycles);
+            return;
+        }
+        self.seg_budget_cycles = seg_budget;
+        self.t_s = t_s;
+        self.on_time_s = on_time_s;
+        self.cap.set_energy_raw(energy_j);
     }
 
     /// Segment-cache miss: fall back to the reference harvest integral
@@ -832,6 +915,44 @@ mod tests {
             // cycles per settle the lease sustains a few thousand —
             // enough to cross many 1 ms trace segments.
             assert!(settles > 1_000, "seed {seed}: only {settles} settles");
+        }
+    }
+
+    #[test]
+    fn settle_run_matches_per_element_settles_bitwise() {
+        // The fused-block path batches a block's per-instruction costs
+        // into one `settle_run`; its float state must be bit-identical
+        // to calling `settle` once per element, across segment-cache
+        // misses included. `tail_extra` models a taken-`BCond` tail: it
+        // lands on the final element only.
+        for seed in [0u64, 3, 9] {
+            for overhead in [0u64, 2] {
+                let trace = PowerTrace::generate(TraceKind::RfBursty, seed, 10.0);
+                let mut a = EnergySupply::new(trace.clone(), SupplyConfig::default());
+                let mut b = EnergySupply::new(trace, SupplyConfig::default());
+                a.wait_for_power().unwrap();
+                b.wait_for_power().unwrap();
+                let mut blocks = 0u64;
+                'outer: for k in 0..8_000u64 {
+                    let costs: Vec<u64> = (0..(k % 7 + 1)).map(|i| (k + i) % 17 + 1).collect();
+                    let tail_extra = k % 3;
+                    let worst: u64 = costs.iter().map(|c| c + overhead).sum::<u64>() + tail_extra;
+                    if a.grant_cycles(worst) < worst {
+                        break 'outer;
+                    }
+                    a.settle_run(&costs, overhead, tail_extra);
+                    let (last, rest) = costs.split_last().unwrap();
+                    for &c in rest {
+                        b.settle(c + overhead);
+                    }
+                    b.settle(last + tail_extra + overhead);
+                    blocks += 1;
+                    assert_eq!(a.time_s().to_bits(), b.time_s().to_bits(), "k={k}");
+                    assert_eq!(a.on_time_s().to_bits(), b.on_time_s().to_bits());
+                    assert_eq!(a.voltage().to_bits(), b.voltage().to_bits(), "k={k}");
+                }
+                assert!(blocks > 500, "seed {seed}: only {blocks} blocks");
+            }
         }
     }
 

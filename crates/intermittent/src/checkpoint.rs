@@ -1,0 +1,182 @@
+//! Differential CPU checkpoints: a base snapshot plus a dirty-word log.
+//!
+//! Full-snapshot checkpointing copies every register, the PC, and the
+//! flags on every checkpoint, even though consecutive checkpoints in a
+//! loop typically differ in a handful of words. DiCA-style differential
+//! checkpointing (see PAPERS.md) stores a *base* snapshot once and then
+//! logs only the words that changed since the previous checkpoint;
+//! restore replays the log over the base. The log is rebased back onto a
+//! fresh full snapshot when it grows past a threshold, bounding both
+//! replay time and memory.
+//!
+//! The words-written count returned by [`DiffCheckpoint::capture`] feeds
+//! two consumers: the substrate stats (`checkpoint_words_saved` vs
+//! `checkpoint_words_full`, from which benches derive checkpoint bytes
+//! saved) and the optional DiCA-style cost model
+//! (`cycles_per_checkpoint_word`), which scales checkpoint cost by words
+//! actually persisted instead of charging a flat fee.
+
+use wn_sim::CpuSnapshot;
+
+/// Word-granular differential checkpoint storage for one CPU.
+#[derive(Debug, Clone)]
+pub struct DiffCheckpoint {
+    /// The last full snapshot written to "non-volatile storage".
+    base: Option<CpuSnapshot>,
+    /// Dirty-word log since `base`: `(word index, new value)`, in
+    /// capture order. Replaying over `base` yields `current`.
+    log: Vec<(u8, u32)>,
+    /// The logical checkpoint state (base + log applied) — kept
+    /// materialized so capture can diff in O(WORDS) and restore is
+    /// checkable.
+    current: Option<CpuSnapshot>,
+    /// Log length that triggers a rebase onto a fresh full snapshot.
+    rebase_limit: usize,
+}
+
+impl Default for DiffCheckpoint {
+    fn default() -> DiffCheckpoint {
+        DiffCheckpoint::new()
+    }
+}
+
+impl DiffCheckpoint {
+    // Word indices fit in a u8 log entry.
+    const _WORDS_FIT_U8: () = assert!(CpuSnapshot::WORDS <= u8::MAX as usize);
+
+    /// Creates empty storage with the default rebase threshold (four
+    /// full snapshots' worth of log entries).
+    pub fn new() -> DiffCheckpoint {
+        DiffCheckpoint {
+            base: None,
+            log: Vec::new(),
+            current: None,
+            rebase_limit: 4 * CpuSnapshot::WORDS,
+        }
+    }
+
+    /// Whether any checkpoint has been captured.
+    pub fn is_some(&self) -> bool {
+        self.current.is_some()
+    }
+
+    /// Discards all checkpoint state (cold boot).
+    pub fn clear(&mut self) {
+        self.base = None;
+        self.log.clear();
+        self.current = None;
+    }
+
+    /// Captures `snap` as the newest checkpoint and returns the number
+    /// of words written to storage: the full [`CpuSnapshot::WORDS`] for
+    /// the first capture or a rebase, otherwise just the words that
+    /// differ from the previous checkpoint.
+    pub fn capture(&mut self, snap: CpuSnapshot) -> u64 {
+        let prev = match self.current {
+            Some(prev) => prev,
+            None => {
+                self.base = Some(snap);
+                self.current = Some(snap);
+                return CpuSnapshot::WORDS as u64;
+            }
+        };
+        let mut changed = 0usize;
+        for i in 0..CpuSnapshot::WORDS {
+            if snap.word(i) != prev.word(i) {
+                changed += 1;
+            }
+        }
+        if self.log.len() + changed > self.rebase_limit {
+            // Log replay would cost more than a fresh snapshot saves:
+            // rebase and pay the full write once.
+            self.base = Some(snap);
+            self.log.clear();
+            self.current = Some(snap);
+            return CpuSnapshot::WORDS as u64;
+        }
+        for i in 0..CpuSnapshot::WORDS {
+            let v = snap.word(i);
+            if v != prev.word(i) {
+                self.log.push((i as u8, v));
+            }
+        }
+        self.current = Some(snap);
+        changed as u64
+    }
+
+    /// Reconstructs the newest checkpoint by replaying the dirty-word
+    /// log over the base snapshot, or `None` if nothing was captured.
+    pub fn restore(&self) -> Option<CpuSnapshot> {
+        let mut snap = self.base?;
+        for &(idx, value) in &self.log {
+            snap.set_word(idx as usize, value);
+        }
+        debug_assert_eq!(
+            Some(snap),
+            self.current,
+            "log replay must reproduce the captured snapshot"
+        );
+        Some(snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wn_isa::Reg;
+    use wn_sim::Cpu;
+
+    fn snap_with(r0: u32, pc: u32) -> CpuSnapshot {
+        let mut cpu = Cpu::new();
+        cpu.set_reg(Reg::R0, r0);
+        cpu.pc = pc;
+        cpu.snapshot()
+    }
+
+    #[test]
+    fn first_capture_is_full_and_restores() {
+        let mut d = DiffCheckpoint::new();
+        assert!(!d.is_some());
+        let s = snap_with(7, 3);
+        assert_eq!(d.capture(s), CpuSnapshot::WORDS as u64);
+        assert!(d.is_some());
+        assert_eq!(d.restore(), Some(s));
+    }
+
+    #[test]
+    fn subsequent_captures_log_only_dirty_words() {
+        let mut d = DiffCheckpoint::new();
+        d.capture(snap_with(7, 3));
+        // r0 unchanged, pc changed: exactly one dirty word.
+        let s2 = snap_with(7, 9);
+        assert_eq!(d.capture(s2), 1);
+        assert_eq!(d.restore(), Some(s2));
+        // Identical snapshot: zero words written.
+        assert_eq!(d.capture(s2), 0);
+        assert_eq!(d.restore(), Some(s2));
+    }
+
+    #[test]
+    fn log_growth_triggers_rebase() {
+        let mut d = DiffCheckpoint::new();
+        d.rebase_limit = 4;
+        d.capture(snap_with(0, 0));
+        assert_eq!(d.capture(snap_with(1, 1)), 2);
+        assert_eq!(d.capture(snap_with(2, 2)), 2);
+        // Log is at 4; two more dirty words exceed the limit → rebase
+        // pays the full snapshot and empties the log.
+        let s = snap_with(3, 3);
+        assert_eq!(d.capture(s), CpuSnapshot::WORDS as u64);
+        assert!(d.log.is_empty());
+        assert_eq!(d.restore(), Some(s));
+    }
+
+    #[test]
+    fn clear_forgets_everything() {
+        let mut d = DiffCheckpoint::new();
+        d.capture(snap_with(1, 1));
+        d.clear();
+        assert!(!d.is_some());
+        assert_eq!(d.restore(), None);
+    }
+}

@@ -20,6 +20,7 @@
 use wn_sim::cpu::CpuSnapshot;
 use wn_sim::{AccessKind, Core, MemAccess, StepEvent, StepInfo};
 
+use crate::checkpoint::DiffCheckpoint;
 use crate::substrate::{Substrate, SubstrateStats};
 
 /// Clank configuration.
@@ -35,6 +36,11 @@ pub struct ClankConfig {
     pub checkpoint_cycles: u64,
     /// Cycles to restore a checkpoint after an outage.
     pub restore_cycles: u64,
+    /// DiCA-style differential cost model: extra cycles per word
+    /// actually written by a checkpoint (dirty CPU words plus the
+    /// buffered-store flush). 0 — the default — keeps the flat
+    /// `checkpoint_cycles` fee and byte-identical figure outputs.
+    pub cycles_per_checkpoint_word: u64,
 }
 
 impl Default for ClankConfig {
@@ -49,6 +55,7 @@ impl Default for ClankConfig {
             // buffer flush amortized.
             checkpoint_cycles: 40,
             restore_cycles: 40,
+            cycles_per_checkpoint_word: 0,
         }
     }
 }
@@ -105,7 +112,7 @@ impl WordSet {
 #[derive(Debug, Clone)]
 pub struct Clank {
     config: ClankConfig,
-    checkpoint: Option<CpuSnapshot>,
+    checkpoint: DiffCheckpoint,
     /// Pre-write values since the last checkpoint, in program order.
     undo_log: Vec<MemAccess>,
     /// Distinct buffered word addresses (capacity accounting).
@@ -135,7 +142,7 @@ impl Clank {
         );
         Clank {
             config,
-            checkpoint: None,
+            checkpoint: DiffCheckpoint::new(),
             undo_log: Vec::new(),
             buffered_words: WordSet::default(),
             read_words: WordSet::default(),
@@ -154,14 +161,21 @@ impl Clank {
     /// copy into [`Substrate::after_step`] bloats the bulk-loop hot path.
     #[inline(never)]
     fn take_checkpoint(&mut self, core: &Core) -> u64 {
-        self.checkpoint = Some(core.cpu.snapshot());
+        // Differential capture: only CPU words dirty since the previous
+        // checkpoint hit storage; the buffered stores flush either way.
+        let cpu_words = self.checkpoint.capture(core.cpu.snapshot());
+        let mem_words = self.buffered_words.len() as u64;
+        self.stats.checkpoint_words_saved += cpu_words + mem_words;
+        self.stats.checkpoint_words_full += CpuSnapshot::WORDS as u64 + mem_words;
         self.undo_log.clear();
         self.buffered_words.clear();
         self.read_words.clear();
         self.cycles_since_checkpoint = 0;
         self.stats.checkpoints += 1;
-        self.stats.overhead_cycles += self.config.checkpoint_cycles;
-        self.config.checkpoint_cycles
+        let cost = self.config.checkpoint_cycles
+            + self.config.cycles_per_checkpoint_word * (cpu_words + mem_words);
+        self.stats.overhead_cycles += cost;
+        cost
     }
 
     fn rollback_memory(&mut self, core: &mut Core) {
@@ -253,8 +267,37 @@ impl Substrate for Clank {
     fn lease_cap(&self) -> u64 {
         // At most two checkpoints can fire on one step (skim + store
         // trigger, or a trigger + watchdog); budget three for a safety
-        // margin — the slack only trims a lease by ~0.2%.
-        3 * self.config.checkpoint_cycles
+        // margin — the slack only trims a lease by ~0.2%. With the
+        // differential cost model on, each checkpoint is bounded by a
+        // full rebase (all CPU words) plus a full buffer flush (the
+        // capacity trigger admits one overflowing word).
+        let worst_words = (CpuSnapshot::WORDS + self.config.wb_entries + 1) as u64;
+        3 * (self.config.checkpoint_cycles + self.config.cycles_per_checkpoint_word * worst_words)
+    }
+
+    fn fused_headroom(&self) -> u64 {
+        // A fused block is store-free, so the only checkpoint it could
+        // provoke is the watchdog (loads never checkpoint — they only
+        // mark the read set). Admitting at most `watchdog - csc - 1`
+        // cycles guarantees no prefix of the block reaches the horizon,
+        // so the per-instruction engine would not have checkpointed
+        // mid-block either.
+        self.config
+            .watchdog_cycles
+            .saturating_sub(self.cycles_since_checkpoint)
+            .saturating_sub(1)
+    }
+
+    fn after_fused(&mut self, _instructions: u64, cycles: u64, reads: &[u32]) -> u64 {
+        self.cycles_since_checkpoint += cycles;
+        // The block's loads, wholesale. Set insertion commutes and no
+        // checkpoint can fire between a block's loads (admission keeps
+        // the watchdog out of reach), so marking them here leaves the
+        // read set exactly as per-instruction stepping would.
+        for &addr in reads {
+            self.read_words.insert(addr & !3);
+        }
+        0
     }
 
     fn on_outage(&mut self, core: &mut Core) {
@@ -267,8 +310,8 @@ impl Substrate for Clank {
     }
 
     fn on_restore(&mut self, core: &mut Core) -> u64 {
-        match &self.checkpoint {
-            Some(snap) => core.cpu.restore(snap),
+        match self.checkpoint.restore() {
+            Some(snap) => core.cpu.restore(&snap),
             None => {
                 // Never checkpointed: cold boot from the entry point.
                 let entry = core.program().entry;
@@ -457,5 +500,66 @@ mod tests {
             wb_entries: 0,
             ..ClankConfig::default()
         });
+    }
+
+    #[test]
+    fn differential_checkpoints_track_words_saved() {
+        let mut c = core("MOV r0, #1\nMOV r1, #2\nHALT");
+        let mut clank = Clank::default();
+        // First checkpoint: full snapshot, empty buffer.
+        clank.take_checkpoint(&c);
+        let s1 = clank.stats();
+        assert_eq!(s1.checkpoint_words_saved, CpuSnapshot::WORDS as u64);
+        assert_eq!(s1.checkpoint_words_full, CpuSnapshot::WORDS as u64);
+        // One MOV retires (r0 and pc change), second checkpoint logs
+        // exactly those two dirty words against a full-snapshot cost.
+        step(&mut c, &mut clank);
+        clank.take_checkpoint(&c);
+        let s2 = clank.stats();
+        assert_eq!(s2.checkpoint_words_saved - s1.checkpoint_words_saved, 2);
+        assert_eq!(
+            s2.checkpoint_words_full - s1.checkpoint_words_full,
+            CpuSnapshot::WORDS as u64
+        );
+    }
+
+    #[test]
+    fn word_cost_scaling_charges_by_words_written() {
+        let mut c = core("MOV r0, #1\nMOV r1, #2\nHALT");
+        let mut clank = Clank::new(ClankConfig {
+            cycles_per_checkpoint_word: 2,
+            ..ClankConfig::default()
+        });
+        let flat = clank.config.checkpoint_cycles;
+        // Full first capture: flat + 2 per word.
+        assert_eq!(
+            clank.take_checkpoint(&c),
+            flat + 2 * CpuSnapshot::WORDS as u64
+        );
+        step(&mut c, &mut clank);
+        // Differential second capture: two dirty words (r0, pc).
+        assert_eq!(clank.take_checkpoint(&c), flat + 2 * 2);
+        // The lease cap still bounds a single worst-case checkpoint.
+        assert!(clank.lease_cap() >= flat + 2 * CpuSnapshot::WORDS as u64);
+    }
+
+    #[test]
+    fn fused_headroom_stops_short_of_the_watchdog() {
+        let mut c = core("MOV r0, #1\nHALT");
+        let mut clank = Clank::new(ClankConfig {
+            watchdog_cycles: 100,
+            ..ClankConfig::default()
+        });
+        assert_eq!(clank.fused_headroom(), 99);
+        // A fused block consuming 40 cycles moves the horizon closer.
+        assert_eq!(clank.after_fused(40, 40, &[]), 0);
+        assert_eq!(clank.fused_headroom(), 59);
+        // At the horizon, headroom saturates at zero (no fusion) and the
+        // next single-stepped instruction checkpoints as usual.
+        clank.after_fused(59, 59, &[]);
+        assert_eq!(clank.fused_headroom(), 0);
+        let info = c.step().unwrap();
+        clank.after_step(&mut c, &info);
+        assert_eq!(clank.stats().watchdog_checkpoints, 1);
     }
 }

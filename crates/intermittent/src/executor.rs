@@ -3,11 +3,64 @@
 
 use std::fmt;
 
+use std::ops::ControlFlow;
+
 use wn_energy::{EnergySupply, PowerStatus, PowerTrace, SupplyConfig, SupplyError};
-use wn_sim::{Core, SimError};
-use wn_telemetry::{Event, EventKind, EventSink, NullSink};
+use wn_sim::{Core, HookKind, SimError, StepHook, StepInfo};
+use wn_telemetry::{Event, EventKind, EventSink};
 
 use crate::substrate::{Substrate, SubstrateStats};
+
+/// The untraced lease hook: charges substrate overhead and settles
+/// energy as pure bookkeeping, and — because it needs only memory-op
+/// granularity — lets straight-line blocks retire fused. Block
+/// admission is bounded by the substrate's own headroom (watchdog
+/// distance for Clank, unlimited for NVP) and per-instruction overhead,
+/// so fused dispatch can neither cross a substrate intervention point
+/// nor overshoot the energy lease.
+struct FusedLeaseHook<'a, S: Substrate> {
+    supply: &'a mut EnergySupply,
+    substrate: &'a mut S,
+    cap: u64,
+}
+
+impl<S: Substrate> StepHook for FusedLeaseHook<'_, S> {
+    const KIND: HookKind = HookKind::MemoryOps;
+
+    #[inline]
+    fn on_step(&mut self, core: &mut Core, info: &StepInfo) -> ControlFlow<(), u64> {
+        let overhead = self.substrate.after_step(core, info);
+        debug_assert!(
+            overhead <= self.cap,
+            "substrate overhead {overhead} exceeds its lease_cap {}",
+            self.cap
+        );
+        self.supply.settle(info.cycles + overhead);
+        ControlFlow::Continue(overhead)
+    }
+
+    fn block_budget(&self) -> u64 {
+        self.substrate.fused_headroom()
+    }
+
+    fn block_instr_overhead(&self) -> u64 {
+        self.substrate.fused_instr_overhead()
+    }
+
+    fn on_block(&mut self, costs: &[u64], cycles: u64, tail_extra: u64, reads: &[u32]) -> u64 {
+        // Settle per instruction: the supply must see the same float
+        // operation sequence as the per-instruction engines so its
+        // arithmetic stays bit-identical. `settle_run` performs exactly
+        // one `settle`'s operations per element, with the bookkeeping
+        // hoisted out of the loop. The fused win is skipping
+        // per-instruction dispatch, budget checks, stats recording and
+        // hook indirection — not the energy bookkeeping.
+        let overhead = self.substrate.fused_instr_overhead();
+        self.supply.settle_run(costs, overhead, tail_extra);
+        self.substrate
+            .after_fused(costs.len() as u64, cycles + tail_extra, reads)
+    }
+}
 
 /// Outcome of one intermittent run. Produced only for runs that reached
 /// `HALT` (naturally or by skim jump) — incomplete runs surface as
@@ -182,15 +235,103 @@ impl<S: Substrate> IntermittentExecutor<S> {
     /// reference engine's periodic polling; `limit_s` is also checked on
     /// entry, before the initial [`EnergySupply::wait_for_power`].
     ///
+    /// On top of the epoch scheduling, the untraced path runs the
+    /// **block-fused engine**: inside a lease, straight-line basic
+    /// blocks retire through [`Core::run_steps_hooked`] with one
+    /// admission check per block instead of per-instruction dispatch
+    /// (see [`wn_sim::StepHook`] for the granularity contract). The
+    /// traced path ([`IntermittentExecutor::run_with_sink`]) observes
+    /// every instruction and is the differential cover for this fast
+    /// path: both must produce bit-identical outcomes.
+    ///
     /// # Errors
     ///
     /// Returns [`ExecError::InvalidLimit`] for a NaN or negative
     /// `limit_s`, [`ExecError::WallClock`] on timeout, or a wrapped
     /// supply / simulator error.
     pub fn run(&mut self, limit_s: f64) -> Result<IntermittentRun, ExecError> {
-        // NullSink's `enabled()` is a constant false, so this
-        // monomorphizes to exactly the untraced lease loop.
-        self.run_with_sink(limit_s, &mut NullSink)
+        validate_limit(limit_s)?;
+        let mut active_cycles = 0u64;
+        let mut skimmed = false;
+        let mut had_outage = false;
+        let outages0 = self.supply.outage_count();
+        let time0 = self.supply.time_s();
+        let on_time0 = self.supply.on_time_s();
+        let max_instr_cycles = self.core.config().cycle_model.max_instr_cycles();
+
+        'power_cycles: loop {
+            if self.supply.time_s() > limit_s {
+                return Err(ExecError::WallClock { limit_s });
+            }
+            self.supply.wait_for_power()?;
+
+            // Restore path — checked: a weak checkpoint restore can brown
+            // out before the first instruction.
+            let restore_cost = self.substrate.on_restore(&mut self.core);
+            if self.consume(restore_cost, &mut active_cycles)? == PowerStatus::Outage {
+                self.substrate.on_outage(&mut self.core);
+                had_outage = true;
+                continue 'power_cycles;
+            }
+            // Skim check (§III-C), as in `run_with_sink`.
+            if self.skim_enabled && had_outage {
+                if let Some(target) = self.core.cpu.skm {
+                    self.core.cpu.pc = target;
+                    self.core.cpu.skm = None;
+                    skimmed = true;
+                }
+            }
+
+            // Lease loop: execute until outage or completion.
+            loop {
+                if self.core.is_halted() {
+                    break 'power_cycles;
+                }
+                if self.supply.time_s() > limit_s {
+                    return Err(ExecError::WallClock { limit_s });
+                }
+                let slack = max_instr_cycles + self.substrate.lease_cap();
+                let grant = self
+                    .supply
+                    .grant_cycles(cycles_until_limit(&self.supply, limit_s));
+                if grant > slack {
+                    let cap = self.substrate.lease_cap();
+                    let mut hook = FusedLeaseHook {
+                        supply: &mut self.supply,
+                        substrate: &mut self.substrate,
+                        cap,
+                    };
+                    let bulk = self.core.run_steps_hooked(grant - slack, &mut hook)?;
+                    active_cycles += bulk.cycles;
+                    debug_assert!(
+                        self.supply.voltage() >= self.supply.config().v_off,
+                        "brown-out inside an energy lease"
+                    );
+                } else {
+                    // Near the brown-out threshold or the wall-clock
+                    // limit: the exact checked path of the reference
+                    // engine, one instruction at a time.
+                    let info = self.core.step()?;
+                    let overhead = self.substrate.after_step(&mut self.core, &info);
+                    if self.consume(info.cycles + overhead, &mut active_cycles)?
+                        == PowerStatus::Outage
+                    {
+                        self.substrate.on_outage(&mut self.core);
+                        had_outage = true;
+                        continue 'power_cycles;
+                    }
+                }
+            }
+        }
+
+        Ok(IntermittentRun {
+            skimmed,
+            total_time_s: self.supply.time_s() - time0,
+            on_time_s: self.supply.on_time_s() - on_time0,
+            active_cycles,
+            outages: self.supply.outage_count() - outages0,
+            substrate: self.substrate.stats(),
+        })
     }
 
     /// [`IntermittentExecutor::run`] with lifecycle tracing: lifecycle
@@ -824,6 +965,7 @@ mod tests {
         assert_eq!(
             count(&EventKind::Checkpoint {
                 cause: wn_telemetry::CheckpointCause::Other,
+                words: 0,
             }),
             run.substrate.checkpoints
         );

@@ -40,11 +40,13 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod checkpoint;
 pub mod clank;
 pub mod executor;
 pub mod nvp;
 pub mod substrate;
 
+pub use checkpoint::DiffCheckpoint;
 pub use clank::{Clank, ClankConfig};
 pub use executor::{ExecError, IntermittentExecutor, IntermittentRun};
 pub use nvp::{Nvp, NvpConfig};

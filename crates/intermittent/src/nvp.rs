@@ -10,6 +10,7 @@
 use wn_sim::cpu::CpuSnapshot;
 use wn_sim::{Core, StepInfo};
 
+use crate::checkpoint::DiffCheckpoint;
 use crate::substrate::{Substrate, SubstrateStats};
 
 /// NVP configuration.
@@ -36,8 +37,9 @@ impl Default for NvpConfig {
 #[derive(Debug, Clone)]
 pub struct Nvp {
     config: NvpConfig,
-    /// State of the NV flip-flops as of the last completed instruction.
-    nv_state: Option<CpuSnapshot>,
+    /// State of the NV flip-flops as of the last completed instruction,
+    /// stored differentially across outages.
+    nv_state: DiffCheckpoint,
     stats: SubstrateStats,
 }
 
@@ -52,7 +54,7 @@ impl Nvp {
     pub fn new(config: NvpConfig) -> Nvp {
         Nvp {
             config,
-            nv_state: None,
+            nv_state: DiffCheckpoint::new(),
             stats: SubstrateStats::default(),
         }
     }
@@ -79,17 +81,35 @@ impl Substrate for Nvp {
         self.config.backup_cycles_per_instr
     }
 
+    fn fused_headroom(&self) -> u64 {
+        // NVP never intervenes mid-run — no watchdog, no hazards — so
+        // any straight-line block may fuse.
+        u64::MAX
+    }
+
+    fn fused_instr_overhead(&self) -> u64 {
+        self.config.backup_cycles_per_instr
+    }
+
+    fn after_fused(&mut self, instructions: u64, _cycles: u64, _reads: &[u32]) -> u64 {
+        let overhead = instructions * self.config.backup_cycles_per_instr;
+        self.stats.overhead_cycles += overhead;
+        overhead
+    }
+
     fn on_outage(&mut self, core: &mut Core) {
         // Nothing is lost: capture what the NV flip-flops hold, then
         // clear the (conceptually volatile) pipeline.
-        self.nv_state = Some(core.cpu.snapshot());
+        let words = self.nv_state.capture(core.cpu.snapshot());
+        self.stats.checkpoint_words_saved += words;
+        self.stats.checkpoint_words_full += CpuSnapshot::WORDS as u64;
         self.stats.checkpoints += 1;
         core.cpu.power_loss();
     }
 
     fn on_restore(&mut self, core: &mut Core) -> u64 {
-        match &self.nv_state {
-            Some(snap) => core.cpu.restore(snap),
+        match self.nv_state.restore() {
+            Some(snap) => core.cpu.restore(&snap),
             None => {
                 let entry = core.program().entry;
                 core.cpu.pc = entry;
@@ -171,5 +191,37 @@ mod tests {
         let info = core.step().unwrap();
         assert_eq!(nvp.after_step(&mut core, &info), 2);
         assert_eq!(nvp.stats().overhead_cycles, 2);
+    }
+
+    #[test]
+    fn fused_blocks_charge_backup_per_instruction() {
+        let mut nvp = Nvp::new(NvpConfig {
+            backup_cycles_per_instr: 2,
+            wakeup_cycles: 10,
+        });
+        assert_eq!(nvp.fused_instr_overhead(), 2);
+        assert_eq!(nvp.fused_headroom(), u64::MAX);
+        // A 5-instruction fused block charges exactly 5 backups, same as
+        // five after_step calls would.
+        assert_eq!(nvp.after_fused(5, 5, &[]), 10);
+        assert_eq!(nvp.stats().overhead_cycles, 10);
+    }
+
+    #[test]
+    fn repeated_outages_store_words_differentially() {
+        let p = assemble("MOV r0, #1\nMOV r1, #2\nADD r2, r0, r1\nHALT").unwrap();
+        let mut core = Core::new(&p, CoreConfig::default()).unwrap();
+        let mut nvp = Nvp::default();
+        core.step().unwrap();
+        nvp.on_outage(&mut core);
+        nvp.on_restore(&mut core);
+        let s1 = nvp.stats();
+        assert_eq!(s1.checkpoint_words_saved, CpuSnapshot::WORDS as u64);
+        // One more instruction (r1 + pc dirty) → two words logged.
+        core.step().unwrap();
+        nvp.on_outage(&mut core);
+        let s2 = nvp.stats();
+        assert_eq!(s2.checkpoint_words_saved - s1.checkpoint_words_saved, 2);
+        assert_eq!(s2.checkpoint_words_full, 2 * CpuSnapshot::WORDS as u64);
     }
 }

@@ -18,6 +18,12 @@ pub struct SubstrateStats {
     pub overhead_cycles: u64,
     /// Cycles of work discarded by outages (to be re-executed).
     pub lost_cycles: u64,
+    /// Words actually written by differential checkpoints (CPU dirty
+    /// words plus buffered memory words).
+    pub checkpoint_words_saved: u64,
+    /// Words the same checkpoints would have written as full snapshots —
+    /// `4 * (full - saved)` is the checkpoint bytes saved by diffing.
+    pub checkpoint_words_full: u64,
 }
 
 /// A checkpointing/persistence policy for an intermittently powered core.
@@ -42,6 +48,37 @@ pub trait Substrate {
     /// brown-out land inside a lease (the executor debug-asserts it).
     /// Over-estimating merely shortens leases slightly.
     fn lease_cap(&self) -> u64;
+
+    /// Cycles of fused execution the substrate can currently absorb
+    /// without per-instruction observation — the distance to its next
+    /// forced intervention (e.g. a watchdog horizon). The block engine
+    /// consults this before every fused dispatch; blocks that don't fit
+    /// single-step through [`Substrate::after_step`] instead. The
+    /// default of 0 disables fusion for substrates that haven't audited
+    /// their invariants against wholesale retirement.
+    fn fused_headroom(&self) -> u64 {
+        0
+    }
+
+    /// Extra cycles the substrate charges per instruction inside a fused
+    /// block (e.g. NVP's per-instruction backup); used in block
+    /// admission so fused dispatch cannot overshoot an energy lease.
+    fn fused_instr_overhead(&self) -> u64 {
+        0
+    }
+
+    /// A fused block of `instructions` straight-line instructions (no
+    /// stores, no `SKM`, no control flow) retired for `cycles` base
+    /// cycles. `reads` is the block's memory-op summary: the byte
+    /// address of every load it retired, in order — substrates that
+    /// track read sets (Clank's WAR detection) consume it here instead
+    /// of observing loads one [`Substrate::after_step`] at a time.
+    /// Returns the extra cycles charged, which must not exceed
+    /// `instructions * fused_instr_overhead()`.
+    fn after_fused(&mut self, instructions: u64, cycles: u64, reads: &[u32]) -> u64 {
+        let _ = (instructions, cycles, reads);
+        0
+    }
 
     /// Power was lost *after* the last completed instruction.
     fn on_outage(&mut self, core: &mut Core);
@@ -79,12 +116,17 @@ pub trait Substrate {
         sink: &mut dyn EventSink,
     ) {
         let after = self.stats();
+        // Words written are tracked per-window, not per-checkpoint; the
+        // first event emitted in the window carries the whole delta so
+        // report totals stay exact.
+        let mut words = after.checkpoint_words_saved - before.checkpoint_words_saved;
         let mut emit = |cause: CheckpointCause, n: u64| {
             for _ in 0..n {
                 sink.record(Event {
                     t_s,
-                    kind: EventKind::Checkpoint { cause },
+                    kind: EventKind::Checkpoint { cause, words },
                 });
+                words = 0;
             }
         };
         emit(

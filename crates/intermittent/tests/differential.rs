@@ -98,6 +98,7 @@ fn substrate() -> impl Strategy<Value = SubstrateChoice> {
                 wb_entries: wb,
                 checkpoint_cycles: ckpt,
                 restore_cycles: ckpt,
+                ..ClankConfig::default()
             })
         }),
         (5u64..50, 0u64..3).prop_map(|(wakeup, backup)| {
@@ -163,6 +164,52 @@ fn assert_engines_agree<S: Substrate + Clone>(
     }
 }
 
+/// Knobs for a branch/`SKM`-dense program — the worst case for block
+/// formation. Every loop body interleaves compares, taken/untaken
+/// branches, and optional skim points so the fused-block table degrades
+/// to many 1-instruction blocks and the engine must constantly fall
+/// back to per-instruction stepping.
+#[derive(Debug, Clone, Copy)]
+struct DenseKnobs {
+    iters: u32,
+    segments: u8,
+    skm_every_segment: bool,
+    store_every_segment: bool,
+}
+
+fn build_dense_program(k: DenseKnobs) -> wn_isa::Program {
+    let mut src = String::from(".data\nout: .space 64\n.text\nMOV r0, =out\nMOV r2, #0\n");
+    src.push_str("loop:\n");
+    for seg in 0..k.segments {
+        // One real instruction, then an (untaken) guard branch: a
+        // 1-instruction block followed by a terminator.
+        src.push_str(&format!("ADD r3, r2, #{seg}\nCMP r3, #0\nBLT end\n"));
+        if k.skm_every_segment {
+            src.push_str(&format!("SKM seg{seg}\nseg{seg}:\n"));
+        }
+        if k.store_every_segment {
+            let word = 4 * (u32::from(seg) % 8);
+            src.push_str(&format!(
+                "LDR r4, [r0, #{word}]\nADD r4, r4, #1\nSTR r4, [r0, #{word}]\n"
+            ));
+        }
+    }
+    src.push_str(&format!("ADD r2, r2, #1\nCMP r2, #{}\nBLT loop\n", k.iters));
+    src.push_str("end:\nHALT");
+    assemble(&src).unwrap()
+}
+
+fn dense_knobs() -> impl Strategy<Value = DenseKnobs> {
+    (200u32..6_000, 1u8..6, any::<bool>(), any::<bool>()).prop_map(
+        |(iters, segments, skm_every_segment, store_every_segment)| DenseKnobs {
+            iters,
+            segments,
+            skm_every_segment,
+            store_every_segment,
+        },
+    )
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -177,6 +224,29 @@ proptest! {
         sub in substrate(),
     ) {
         let program = build_program(k);
+        let trace = PowerTrace::generate(kind, seed, 60.0);
+        match sub {
+            SubstrateChoice::Clank(c) => {
+                assert_engines_agree(&program, &trace, config, Clank::new(c));
+            }
+            SubstrateChoice::Nvp(c) => {
+                assert_engines_agree(&program, &trace, config, Nvp::new(c));
+            }
+        }
+    }
+
+    /// Branch/`SKM`-dense programs (many 1-instruction blocks): the
+    /// fused engine must degrade gracefully to single-stepping with
+    /// correctness and cycle accounting identical to the reference.
+    #[test]
+    fn dense_branch_programs_never_regress_vs_reference(
+        k in dense_knobs(),
+        kind in trace_kind(),
+        seed in 0u64..1_000,
+        config in supply(),
+        sub in substrate(),
+    ) {
+        let program = build_dense_program(k);
         let trace = PowerTrace::generate(kind, seed, 60.0);
         match sub {
             SubstrateChoice::Clank(c) => {

@@ -1,5 +1,7 @@
 //! The executing core: fetch, execute, account.
 
+use std::ops::ControlFlow;
+
 use wn_isa::{Instr, Program, Reg};
 
 use crate::alu;
@@ -8,7 +10,7 @@ use crate::cycle_model::CycleModel;
 use crate::error::SimError;
 use crate::memo::{MemoConfig, MemoUnit};
 use crate::memory::{MemAccess, Memory};
-use crate::stats::{ExecStats, InstrClass};
+use crate::stats::{ClassDelta, ExecStats, InstrClass};
 
 /// Configuration of a [`Core`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -109,6 +111,249 @@ struct Decoded {
     class_idx: u8,
 }
 
+/// Aggregate facts about the straight-line run starting at one pc: how
+/// many instructions can retire as a single fused block, their summed
+/// base cycle cost, and the per-class stats deltas — everything the
+/// bulk loop would otherwise accumulate one retirement at a time.
+///
+/// The table is built once at load time by a backward scan, so every pc
+/// indexes its own *tail run*: branching into the middle of a block
+/// simply finds a shorter, equally valid block.
+#[derive(Debug, Clone, Copy)]
+struct FusedBlock {
+    /// Fusable instructions starting here (including the control-flow
+    /// tail, if any); 0 = must single-step.
+    len: u32,
+    /// Sum of base cycle costs over the run (a `BCond` tail counted at
+    /// its not-taken cost).
+    cycles: u64,
+    /// Worst-case cycles the tail can add over its base cost (a taken
+    /// `BCond`'s pipeline refill); used in admission so a fused
+    /// dispatch can never overshoot the budget.
+    tail_extra_max: u64,
+    /// The block ends in a branch (`B`/`BL`/`BX`/`BCond`) that
+    /// [`Core::exec_fused`] executes as its control-flow tail.
+    has_tail: bool,
+    /// Valid prefix of `classes`.
+    n_classes: u8,
+    /// Sparse per-class stats deltas over the run.
+    classes: [ClassDelta; FusedBlock::MAX_CLASSES],
+}
+
+impl FusedBlock {
+    /// Blocks span at most seven classes (`Alu`, `Mul`, `MulAsp`,
+    /// `Asv`, `Load`, `Other`, plus `Branch` for the tail) — stores,
+    /// `SKM` and `HALT` all terminate blocks.
+    const MAX_CLASSES: usize = 7;
+
+    const EMPTY: FusedBlock = FusedBlock {
+        len: 0,
+        cycles: 0,
+        tail_extra_max: 0,
+        has_tail: false,
+        n_classes: 0,
+        classes: [ClassDelta {
+            idx: 0,
+            count: 0,
+            cycles: 0,
+        }; FusedBlock::MAX_CLASSES],
+    };
+
+    /// The sparse class-delta list.
+    fn class_deltas(&self) -> &[ClassDelta] {
+        &self.classes[..self.n_classes as usize]
+    }
+}
+
+/// True when `instr` statically writes the PC through its destination
+/// register (e.g. `MOV pc, rX` or `LDR pc, [rX]`) — an indirect control
+/// transfer that the block builder must treat as a terminator.
+fn writes_pc(instr: &Instr) -> bool {
+    let rd = match *instr {
+        Instr::Ldr { rt, .. }
+        | Instr::Ldrh { rt, .. }
+        | Instr::Ldrb { rt, .. }
+        | Instr::LdrReg { rt, .. }
+        | Instr::LdrhReg { rt, .. }
+        | Instr::LdrshReg { rt, .. }
+        | Instr::LdrbReg { rt, .. } => rt,
+        Instr::MovImm { rd, .. }
+        | Instr::Mov { rd, .. }
+        | Instr::Mvn { rd, .. }
+        | Instr::Add { rd, .. }
+        | Instr::AddImm { rd, .. }
+        | Instr::Sub { rd, .. }
+        | Instr::SubImm { rd, .. }
+        | Instr::Rsb { rd, .. }
+        | Instr::Mul { rd, .. }
+        | Instr::MulAsp { rd, .. }
+        | Instr::AddAsv { rd, .. }
+        | Instr::SubAsv { rd, .. }
+        | Instr::And { rd, .. }
+        | Instr::Orr { rd, .. }
+        | Instr::Eor { rd, .. }
+        | Instr::Bic { rd, .. }
+        | Instr::AndImm { rd, .. }
+        | Instr::LslImm { rd, .. }
+        | Instr::LsrImm { rd, .. }
+        | Instr::AsrImm { rd, .. }
+        | Instr::LslReg { rd, .. }
+        | Instr::LsrReg { rd, .. }
+        | Instr::AsrReg { rd, .. } => rd,
+        _ => return false,
+    };
+    rd == Reg::PC
+}
+
+/// True when `instr` must end a fused block: anything a hook or
+/// substrate must *act on* per retirement (stores, `SKM`, `HALT`), any
+/// control transfer (branches, static PC writes), and — when the memo
+/// unit is enabled — multiplies, whose cost then depends on runtime
+/// operands instead of the static table. Loads are block-interior:
+/// their cost is static, they cannot trigger a checkpoint, and the
+/// addresses they touch reach the hook as the block's memory-op
+/// summary ([`StepHook::on_block`]'s `reads`).
+fn ends_block(instr: &Instr, memo_enabled: bool) -> bool {
+    instr.is_store()
+        || instr.is_branch()
+        || matches!(instr, Instr::Skm { .. } | Instr::Halt)
+        || (memo_enabled && matches!(instr, Instr::Mul { .. } | Instr::MulAsp { .. }))
+        || writes_pc(instr)
+}
+
+/// Classifies `instr` as a fusable control-flow tail, returning the
+/// worst-case cycles it can add over its base cost (`Some(0)` for
+/// branches whose cost is static). A `BCond` qualifies only while its
+/// taken cost is at least the not-taken base the block is priced at —
+/// otherwise it stays a single-step terminator so fused cycle
+/// accounting never undershoots.
+fn fused_tail_extra(instr: &Instr, m: &CycleModel) -> Option<u64> {
+    match instr {
+        Instr::B { .. } | Instr::Bl { .. } | Instr::Bx { .. } => Some(0),
+        Instr::BCond { .. } => m.branch_taken.checked_sub(m.branch_not_taken),
+        _ => None,
+    }
+}
+
+/// The read half of a block-interior load: the value `instr` reads at
+/// `addr`, with the instruction's width and extension. Must match the
+/// width dispatch of [`Core::step`]'s load path exactly.
+#[inline]
+fn fused_load_value(mem: &Memory, instr: &Instr, addr: u32) -> Result<u32, SimError> {
+    match instr {
+        Instr::Ldr { .. } | Instr::LdrReg { .. } => mem.load_u32(addr),
+        Instr::Ldrh { .. } | Instr::LdrhReg { .. } => Ok(mem.load_u16(addr)? as u32),
+        Instr::LdrshReg { .. } => Ok(mem.load_u16(addr)? as i16 as i32 as u32),
+        Instr::Ldrb { .. } | Instr::LdrbReg { .. } => Ok(mem.load_u8(addr)? as u32),
+        other => unreachable!("fused_load_value() called for non-load {other}"),
+    }
+}
+
+/// How much granularity a [`Core::run_steps_hooked`] hook needs,
+/// declared as an associated const so the block-dispatch fast path is
+/// compiled in (or out) per hook type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HookKind {
+    /// The hook must observe every retired instruction: tracing sinks,
+    /// sampling harnesses, and all plain-closure hooks.
+    EveryInstruction,
+    /// The hook only needs store / control-flow granularity plus exact
+    /// cost accounting: straight-line runs (including loads, whose
+    /// addresses arrive as a per-block summary) may retire as one fused
+    /// block through [`StepHook::on_block`].
+    MemoryOps,
+}
+
+/// A typed [`Core::run_steps_hooked`] hook.
+///
+/// The granularity contract: with [`HookKind::MemoryOps`], the engine
+/// may retire a whole straight-line block (no stores, no `SKM`/`HALT`,
+/// no memoized multiplies) in one dispatch. Loads are allowed inside a
+/// block — the byte addresses they read arrive in retirement order as
+/// [`StepHook::on_block`]'s memory-op summary — and a block may close
+/// with a branch tail, whose dynamic cost (a taken `BCond`'s refill)
+/// arrives as `tail_extra`. A block is dispatched only when its
+/// worst-case cost — base cycles plus the tail's maximum extra plus
+/// `len * block_instr_overhead()` — fits inside both the remaining
+/// budget and [`StepHook::block_budget`]; otherwise it falls back to
+/// per-instruction stepping, where [`StepHook::on_step`] sees every
+/// retirement exactly as an [`HookKind::EveryInstruction`] hook would.
+/// Fused or not, the retired instruction sequence and all cycle
+/// accounting are identical; only the observation points differ.
+pub trait StepHook {
+    /// The granularity this hook needs.
+    const KIND: HookKind;
+
+    /// Called after each individually retired instruction. Returns
+    /// `ControlFlow::Continue(extra_cycles)` to keep going (the extra
+    /// cycles count against the budget) or `ControlFlow::Break(())` to
+    /// stop.
+    fn on_step(&mut self, core: &mut Core, info: &StepInfo) -> ControlFlow<(), u64>;
+
+    /// Cycles of fused execution the hook can currently absorb without
+    /// per-instruction observation (e.g. cycles left before a
+    /// substrate's watchdog horizon). Consulted before every block
+    /// dispatch; a block that does not fit single-steps instead. Only
+    /// meaningful for [`HookKind::MemoryOps`] hooks.
+    fn block_budget(&self) -> u64 {
+        0
+    }
+
+    /// Extra cycles the hook will charge per fused instruction (e.g.
+    /// NVP's per-instruction backup). Used in block admission so a
+    /// fused dispatch can never overshoot the caller's budget.
+    fn block_instr_overhead(&self) -> u64 {
+        0
+    }
+
+    /// Called once after a fused block retires; `costs` lists the
+    /// per-instruction base cycle costs, `cycles` is their sum,
+    /// `tail_extra` is what the block's branch tail cost beyond its
+    /// base (a taken `BCond`'s refill — it belongs to the final
+    /// element of `costs`), and `reads` is the block's memory-op
+    /// summary — the byte address of every load in the block, in
+    /// retirement order. Returns the total extra cycles charged, which
+    /// must not exceed `costs.len() * block_instr_overhead()`.
+    fn on_block(&mut self, costs: &[u64], cycles: u64, tail_extra: u64, reads: &[u32]) -> u64 {
+        let _ = (costs, cycles, tail_extra, reads);
+        0
+    }
+}
+
+/// Adapts a plain closure to [`StepHook`] at instruction granularity —
+/// the compatibility shim behind [`Core::run_steps`].
+struct EveryStep<F>(F);
+
+impl<F> StepHook for EveryStep<F>
+where
+    F: FnMut(&mut Core, &StepInfo) -> ControlFlow<(), u64>,
+{
+    const KIND: HookKind = HookKind::EveryInstruction;
+
+    #[inline]
+    fn on_step(&mut self, core: &mut Core, info: &StepInfo) -> ControlFlow<(), u64> {
+        (self.0)(core, info)
+    }
+}
+
+/// Hook for free-running execution ([`Core::run`]): observes nothing,
+/// charges nothing, and lets every block fuse.
+struct FreeRun;
+
+impl StepHook for FreeRun {
+    const KIND: HookKind = HookKind::MemoryOps;
+
+    #[inline]
+    fn on_step(&mut self, _core: &mut Core, _info: &StepInfo) -> ControlFlow<(), u64> {
+        ControlFlow::Continue(0)
+    }
+
+    #[inline]
+    fn block_budget(&self) -> u64 {
+        u64::MAX
+    }
+}
+
 /// A cycle-accurate WN-RISC core bound to one program.
 ///
 /// See the crate-level docs for an end-to-end example.
@@ -126,6 +371,18 @@ pub struct Core {
     config: CoreConfig,
     /// Parallel to `program.instrs`.
     decoded: Vec<Decoded>,
+    /// Parallel to `program.instrs`: the fused tail-run starting at each pc.
+    fused: Vec<FusedBlock>,
+    /// Parallel to `program.instrs`: base cycle cost per pc, sliced per
+    /// fused block for [`StepHook::on_block`].
+    base_costs: Vec<u64>,
+    /// Instructions retired through the block-dispatch fast path (a
+    /// subset of `stats.instructions`).
+    fused_instructions: u64,
+    /// Scratch for the current fused block's memory-op summary: the
+    /// byte address of every load retired in the block, in order.
+    /// Reused across dispatches so the fast path never allocates.
+    fused_reads: Vec<u32>,
 }
 
 impl Core {
@@ -144,7 +401,7 @@ impl Core {
         let mem = Memory::with_image(config.mem_size, &program.initial_data)?;
         let mut cpu = Cpu::new();
         cpu.pc = program.entry;
-        let decoded = program
+        let decoded: Vec<Decoded> = program
             .instrs
             .iter()
             .map(|i| Decoded {
@@ -153,6 +410,63 @@ impl Core {
                 class_idx: InstrClass::of(i).idx() as u8,
             })
             .collect();
+        let base_costs: Vec<u64> = decoded.iter().map(|d| d.base_cost).collect();
+        // Backward scan: each pc's block is itself plus the block at
+        // pc + 1, unless the instruction here terminates a block.
+        let memo_enabled = config.memo.is_some();
+        let mut fused = vec![FusedBlock::EMPTY; decoded.len()];
+        for (pc, d) in decoded.iter().enumerate().rev() {
+            if let Some(extra) = fused_tail_extra(&d.instr, &config.cycle_model) {
+                // A branch seeds a one-instruction block with itself as
+                // the control-flow tail; straight-line predecessors
+                // prepend onto it below, absorbing the branch that
+                // closes their loop body.
+                let mut b = FusedBlock::EMPTY;
+                b.len = 1;
+                b.cycles = d.base_cost;
+                b.tail_extra_max = extra;
+                b.has_tail = true;
+                b.classes[0] = ClassDelta {
+                    idx: d.class_idx,
+                    count: 1,
+                    cycles: d.base_cost,
+                };
+                b.n_classes = 1;
+                fused[pc] = b;
+                continue;
+            }
+            if ends_block(&d.instr, memo_enabled) {
+                continue;
+            }
+            let mut b = match fused.get(pc + 1) {
+                Some(t) => *t,
+                None => FusedBlock::EMPTY,
+            };
+            b.len += 1;
+            b.cycles += d.base_cost;
+            match b
+                .classes
+                .iter_mut()
+                .take(b.n_classes as usize)
+                .find(|c| c.idx == d.class_idx)
+            {
+                Some(c) => {
+                    c.count += 1;
+                    c.cycles += d.base_cost;
+                }
+                None => {
+                    // Indexing panics (rather than corrupting stats) if a
+                    // future interior class overflows MAX_CLASSES.
+                    b.classes[b.n_classes as usize] = ClassDelta {
+                        idx: d.class_idx,
+                        count: 1,
+                        cycles: d.base_cost,
+                    };
+                    b.n_classes += 1;
+                }
+            }
+            fused[pc] = b;
+        }
         Ok(Core {
             cpu,
             mem,
@@ -161,7 +475,18 @@ impl Core {
             program: program.clone(),
             config,
             decoded,
+            fused,
+            base_costs,
+            fused_instructions: 0,
+            fused_reads: Vec::new(),
         })
+    }
+
+    /// Instructions retired through the block-dispatch fast path so far
+    /// (a subset of `stats.instructions`); the block-dispatch rate is
+    /// this over total retirements.
+    pub fn fused_instructions(&self) -> u64 {
+        self.fused_instructions
     }
 
     /// The program this core executes.
@@ -424,6 +749,221 @@ impl Core {
         })
     }
 
+    /// Retires the fused block `[pc, pc + len)` — straight-line
+    /// instructions (registers and loads), optionally closed by a
+    /// branch tail — already admitted against the budget. The
+    /// cpu/memory effects must match [`Core::step`] exactly; stats
+    /// recording is the caller's (aggregated) job. Load addresses are
+    /// appended to `fused_reads` in retirement order as the block's
+    /// memory-op summary. Returns the cycles the tail added over its
+    /// base cost (a taken `BCond`'s refill; 0 otherwise).
+    ///
+    /// # Errors
+    ///
+    /// A faulting load returns `(retired, error)` where `retired`
+    /// instructions completed before the fault. Architectural state then
+    /// matches per-instruction stepping exactly: the prefix has retired,
+    /// the PC sits on the faulting load, and `fused_reads` holds only
+    /// the prefix's loads — the caller settles the prefix and
+    /// propagates.
+    fn exec_fused(
+        &mut self,
+        pc: usize,
+        len: usize,
+        has_tail: bool,
+    ) -> Result<u64, (usize, SimError)> {
+        let m = self.config.cycle_model;
+        let Core {
+            cpu,
+            mem,
+            decoded,
+            fused_reads: reads,
+            ..
+        } = self;
+        reads.clear();
+        let interior = len - has_tail as usize;
+        for (i, d) in decoded[pc..pc + interior].iter().enumerate() {
+            match d.instr {
+                Instr::MovImm { rd, imm } => cpu.set_reg(rd, imm as u32),
+                Instr::Mov { rd, rm } => {
+                    let v = cpu.reg(rm);
+                    cpu.set_reg(rd, v);
+                }
+                Instr::Mvn { rd, rm } => {
+                    let v = !cpu.reg(rm);
+                    cpu.set_reg(rd, v);
+                }
+                Instr::Add { rd, rn, rm } => {
+                    let v = cpu.reg(rn).wrapping_add(cpu.reg(rm));
+                    cpu.set_reg(rd, v);
+                }
+                Instr::AddImm { rd, rn, imm } => {
+                    let v = cpu.reg(rn).wrapping_add(imm as u32);
+                    cpu.set_reg(rd, v);
+                }
+                Instr::Sub { rd, rn, rm } => {
+                    let v = cpu.reg(rn).wrapping_sub(cpu.reg(rm));
+                    cpu.set_reg(rd, v);
+                }
+                Instr::SubImm { rd, rn, imm } => {
+                    let v = cpu.reg(rn).wrapping_sub(imm as u32);
+                    cpu.set_reg(rd, v);
+                }
+                Instr::Rsb { rd, rn } => {
+                    let v = 0u32.wrapping_sub(cpu.reg(rn));
+                    cpu.set_reg(rd, v);
+                }
+                // Multiplies are only interior to a block when the memo
+                // unit is off, so the plain product and static cost apply.
+                Instr::Mul { rd, rn, rm } => {
+                    let v = cpu.reg(rn).wrapping_mul(cpu.reg(rm));
+                    cpu.set_reg(rd, v);
+                }
+                Instr::MulAsp {
+                    rd,
+                    rn,
+                    rm,
+                    bits,
+                    shift,
+                } => {
+                    let b = alu::asp_operand(cpu.reg(rm), bits, shift);
+                    let v = cpu.reg(rn).wrapping_mul(b);
+                    cpu.set_reg(rd, v);
+                }
+                Instr::AddAsv { rd, rn, rm, lanes } => {
+                    let v = alu::lane_add(cpu.reg(rn), cpu.reg(rm), lanes);
+                    cpu.set_reg(rd, v);
+                }
+                Instr::SubAsv { rd, rn, rm, lanes } => {
+                    let v = alu::lane_sub(cpu.reg(rn), cpu.reg(rm), lanes);
+                    cpu.set_reg(rd, v);
+                }
+                Instr::And { rd, rn, rm } => {
+                    let v = cpu.reg(rn) & cpu.reg(rm);
+                    cpu.set_reg(rd, v);
+                }
+                Instr::Orr { rd, rn, rm } => {
+                    let v = cpu.reg(rn) | cpu.reg(rm);
+                    cpu.set_reg(rd, v);
+                }
+                Instr::Eor { rd, rn, rm } => {
+                    let v = cpu.reg(rn) ^ cpu.reg(rm);
+                    cpu.set_reg(rd, v);
+                }
+                Instr::Bic { rd, rn, rm } => {
+                    let v = cpu.reg(rn) & !cpu.reg(rm);
+                    cpu.set_reg(rd, v);
+                }
+                Instr::AndImm { rd, rn, imm } => {
+                    let v = cpu.reg(rn) & imm as u32;
+                    cpu.set_reg(rd, v);
+                }
+                Instr::LslImm { rd, rn, sh } => {
+                    let v = cpu.reg(rn) << sh;
+                    cpu.set_reg(rd, v);
+                }
+                Instr::LsrImm { rd, rn, sh } => {
+                    let v = cpu.reg(rn) >> sh;
+                    cpu.set_reg(rd, v);
+                }
+                Instr::AsrImm { rd, rn, sh } => {
+                    let v = ((cpu.reg(rn) as i32) >> sh) as u32;
+                    cpu.set_reg(rd, v);
+                }
+                Instr::LslReg { rd, rn, rm } => {
+                    let sh = cpu.reg(rm) & 31;
+                    let v = cpu.reg(rn) << sh;
+                    cpu.set_reg(rd, v);
+                }
+                Instr::LsrReg { rd, rn, rm } => {
+                    let sh = cpu.reg(rm) & 31;
+                    let v = cpu.reg(rn) >> sh;
+                    cpu.set_reg(rd, v);
+                }
+                Instr::AsrReg { rd, rn, rm } => {
+                    let sh = cpu.reg(rm) & 31;
+                    let v = ((cpu.reg(rn) as i32) >> sh) as u32;
+                    cpu.set_reg(rd, v);
+                }
+                Instr::Cmp { rn, rm } => {
+                    let a = cpu.reg(rn);
+                    let b = cpu.reg(rm);
+                    Self::set_cmp_flags(cpu, a, b);
+                }
+                Instr::CmpImm { rn, imm } => {
+                    let a = cpu.reg(rn);
+                    Self::set_cmp_flags(cpu, a, imm as u32);
+                }
+                Instr::Tst { rn, rm } => {
+                    let v = cpu.reg(rn) & cpu.reg(rm);
+                    cpu.flags.set_nz(v);
+                }
+                Instr::Ldr { rt, rn, off }
+                | Instr::Ldrh { rt, rn, off }
+                | Instr::Ldrb { rt, rn, off } => {
+                    let addr = cpu.reg(rn).wrapping_add(off as u32);
+                    match fused_load_value(mem, &d.instr, addr) {
+                        Ok(v) => {
+                            cpu.set_reg(rt, v);
+                            reads.push(addr);
+                        }
+                        Err(e) => {
+                            cpu.pc = (pc + i) as u32;
+                            return Err((i, e));
+                        }
+                    }
+                }
+                Instr::LdrReg { rt, rn, rm }
+                | Instr::LdrhReg { rt, rn, rm }
+                | Instr::LdrshReg { rt, rn, rm }
+                | Instr::LdrbReg { rt, rn, rm } => {
+                    let addr = cpu.reg(rn).wrapping_add(cpu.reg(rm));
+                    match fused_load_value(mem, &d.instr, addr) {
+                        Ok(v) => {
+                            cpu.set_reg(rt, v);
+                            reads.push(addr);
+                        }
+                        Err(e) => {
+                            cpu.pc = (pc + i) as u32;
+                            return Err((i, e));
+                        }
+                    }
+                }
+                Instr::Nop => {}
+                ref other => unreachable!("terminator {other} inside a fused block"),
+            }
+        }
+        if has_tail {
+            // The control-flow tail. Effects and cycle accounting must
+            // match the corresponding [`Core::step`] arms: the caller
+            // priced the block with the tail at its base cost, so only
+            // a taken `BCond`'s refill is reported back as extra.
+            let t = pc + interior;
+            match decoded[t].instr {
+                Instr::B { target } => cpu.pc = target,
+                Instr::Bl { target } => {
+                    cpu.set_reg(Reg::LR, t as u32 + 1);
+                    cpu.pc = target;
+                }
+                Instr::Bx { rm } => cpu.pc = cpu.reg(rm),
+                Instr::BCond { cond, target } => {
+                    if cond.holds(cpu.flags) {
+                        cpu.pc = target;
+                        return Ok(m.branch_taken - m.branch_not_taken);
+                    }
+                    cpu.pc = (t + 1) as u32;
+                }
+                ref other => unreachable!("non-branch tail {other} in a fused block"),
+            }
+        } else {
+            // Interior instructions never write the PC (blocks end at
+            // any instruction that could, including loads targeting
+            // it), so a tail-less block falls through.
+            cpu.pc = (pc + len) as u32;
+        }
+        Ok(0)
+    }
+
     /// Runs instructions in bulk until the core halts, `budget` cycles
     /// are spent, or `hook` breaks out of the loop. This is the engine
     /// under both [`Core::run`] and the intermittent executor's epoch
@@ -431,25 +971,30 @@ impl Core {
     /// proceed (an energy lease, a sampling interval) run here without
     /// per-instruction bookkeeping of their own.
     ///
-    /// `hook` is called after every retired instruction with the core
-    /// and the [`StepInfo`]; it returns
-    /// `ControlFlow::Continue(extra_cycles)` to keep going (the extra
-    /// cycles — e.g. checkpoint overhead charged by a substrate — count
-    /// against `budget`), or `ControlFlow::Break(())` to stop.
+    /// When `H::KIND` is [`HookKind::MemoryOps`], straight-line blocks
+    /// retire through a fused fast path: one admission check covers the
+    /// whole block (base cycles plus `len * block_instr_overhead()`
+    /// against both the remaining budget and
+    /// [`StepHook::block_budget`]), then [`StepHook::on_block`] observes
+    /// it wholesale. Everything else — and every instruction for
+    /// [`HookKind::EveryInstruction`] hooks — goes through
+    /// [`Core::step`] and [`StepHook::on_step`].
     ///
-    /// The budget is checked *before* each instruction, so the loop may
-    /// overshoot `budget` by at most one instruction plus whatever the
-    /// hook charges for it — instructions are atomic. A `budget` of 0
-    /// retires nothing.
+    /// The budget is checked *before* each instruction or block, and a
+    /// block is only fused when it fits entirely, so the loop may
+    /// overshoot `budget` by at most one single-stepped instruction plus
+    /// whatever the hook charges for it — instructions are atomic. A
+    /// `budget` of 0 retires nothing.
     ///
     /// # Errors
     ///
     /// Any [`SimError`] from [`Core::step`]; the hook is not called for
     /// the faulting instruction.
-    pub fn run_steps<F>(&mut self, budget: u64, mut hook: F) -> Result<BulkRun, SimError>
-    where
-        F: FnMut(&mut Core, &StepInfo) -> std::ops::ControlFlow<(), u64>,
-    {
+    pub fn run_steps_hooked<H: StepHook>(
+        &mut self,
+        budget: u64,
+        hook: &mut H,
+    ) -> Result<BulkRun, SimError> {
         let mut cycles = 0u64;
         let mut instructions = 0u64;
         loop {
@@ -467,12 +1012,73 @@ impl Core {
                     stop: StopReason::Budget,
                 });
             }
+            if matches!(H::KIND, HookKind::MemoryOps) {
+                let pc = self.cpu.pc as usize;
+                if let Some(b) = self.fused.get(pc) {
+                    let len = b.len as usize;
+                    if len > 0 {
+                        let cost = b.cycles;
+                        let tail_extra_max = b.tail_extra_max;
+                        let has_tail = b.has_tail;
+                        let overhead = hook.block_instr_overhead();
+                        let worst = cost
+                            .saturating_add(tail_extra_max)
+                            .saturating_add((len as u64).saturating_mul(overhead));
+                        if worst <= (budget - cycles).min(hook.block_budget()) {
+                            let tail_extra = match self.exec_fused(pc, len, has_tail) {
+                                Ok(extra) => extra,
+                                Err((retired, e)) => {
+                                    // A load faulted at block offset
+                                    // `retired`. Mirror per-instruction
+                                    // accounting for the retired prefix —
+                                    // stats, hook observation, read summary
+                                    // — then propagate; the PC already
+                                    // sits on the faulting load.
+                                    let stats = &mut self.stats;
+                                    for d in &self.decoded[pc..pc + retired] {
+                                        stats.record_class(d.class_idx as usize, d.base_cost);
+                                    }
+                                    let prefix = &self.base_costs[pc..pc + retired];
+                                    let prefix_cost: u64 = prefix.iter().sum();
+                                    hook.on_block(prefix, prefix_cost, 0, &self.fused_reads);
+                                    return Err(e);
+                                }
+                            };
+                            // Re-index the entry (the table is immutable
+                            // after load) instead of copying the block
+                            // around the `&mut self` call above.
+                            let b = &self.fused[pc];
+                            self.stats.record_block(len as u64, cost, b.class_deltas());
+                            if tail_extra > 0 {
+                                // A taken `BCond` tail: charge the refill
+                                // to the branch class, exactly as a
+                                // single-stepped taken branch would.
+                                self.stats.add_cycles(InstrClass::Branch.idx(), tail_extra);
+                            }
+                            self.fused_instructions += len as u64;
+                            instructions += len as u64;
+                            let extra = hook.on_block(
+                                &self.base_costs[pc..pc + len],
+                                cost,
+                                tail_extra,
+                                &self.fused_reads,
+                            );
+                            debug_assert!(
+                                extra <= (len as u64) * overhead,
+                                "on_block charged more than block_instr_overhead admitted"
+                            );
+                            cycles += cost + tail_extra + extra;
+                            continue;
+                        }
+                    }
+                }
+            }
             let info = self.step()?;
             cycles += info.cycles;
             instructions += 1;
-            match hook(self, &info) {
-                std::ops::ControlFlow::Continue(extra) => cycles += extra,
-                std::ops::ControlFlow::Break(()) => {
+            match hook.on_step(self, &info) {
+                ControlFlow::Continue(extra) => cycles += extra,
+                ControlFlow::Break(()) => {
                     return Ok(BulkRun {
                         cycles,
                         instructions,
@@ -481,6 +1087,25 @@ impl Core {
                 }
             }
         }
+    }
+
+    /// Closure-hook form of [`Core::run_steps_hooked`]: `hook` is called
+    /// after every retired instruction with the core and the
+    /// [`StepInfo`]; it returns `ControlFlow::Continue(extra_cycles)` to
+    /// keep going (the extra cycles — e.g. checkpoint overhead charged
+    /// by a substrate — count against `budget`), or
+    /// `ControlFlow::Break(())` to stop. Closure hooks observe every
+    /// instruction, so this path never fuses blocks.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`] from [`Core::step`]; the hook is not called for
+    /// the faulting instruction.
+    pub fn run_steps<F>(&mut self, budget: u64, hook: F) -> Result<BulkRun, SimError>
+    where
+        F: FnMut(&mut Core, &StepInfo) -> std::ops::ControlFlow<(), u64>,
+    {
+        self.run_steps_hooked(budget, &mut EveryStep(hook))
     }
 
     /// Runs until `HALT`. The budget is checked before each instruction,
@@ -492,7 +1117,7 @@ impl Core {
     /// Returns [`SimError::CycleLimit`] if the budget is exhausted first,
     /// or any execution error.
     pub fn run(&mut self, max_cycles: u64) -> Result<RunOutcome, SimError> {
-        let out = self.run_steps(max_cycles, |_, _| std::ops::ControlFlow::Continue(0))?;
+        let out = self.run_steps_hooked(max_cycles, &mut FreeRun)?;
         match out.stop {
             StopReason::Budget => Err(SimError::CycleLimit { limit: max_cycles }),
             StopReason::Halted | StopReason::Hook => Ok(RunOutcome {
@@ -875,5 +1500,155 @@ mod tests {
     fn sub_asv_lanes() {
         let core = run_asm("MOV r0, #0x01000100\nMOV r1, #0x00010001\nSUB_ASV16 r2, r0, r1\nHALT");
         assert_eq!(core.cpu.reg(Reg::R2), 0x00FF_00FF);
+    }
+
+    #[test]
+    fn fused_blocks_are_tail_runs() {
+        // MOV, MOV, ADD, B: three ALU ops closed by a branch tail. The
+        // block table is a backward scan, so pc 0 sees len 4 (branch
+        // included), pc 1 len 3, …, the branch alone len 1, and the
+        // HALT (a true terminator) len 0.
+        let p = assemble("MOV r0, #1\nMOV r1, #2\nADD r2, r0, r1\nB out\nout:\nHALT").unwrap();
+        let core = Core::new(&p, CoreConfig::default()).unwrap();
+        let lens: Vec<u32> = core.fused.iter().map(|b| b.len).collect();
+        assert_eq!(lens, vec![4, 3, 2, 1, 0]);
+        assert!(core.fused[0].has_tail);
+        let m = CoreConfig::default().cycle_model;
+        assert_eq!(core.fused[0].cycles, 3 + m.branch_taken);
+        let deltas = core.fused[0].class_deltas();
+        assert_eq!(deltas.len(), 2, "ALU interior plus the branch tail");
+        assert_eq!(deltas[0].idx as usize, InstrClass::Branch.idx());
+        assert_eq!(deltas[0].count, 1);
+        assert_eq!(deltas[1].idx as usize, InstrClass::Alu.idx());
+        assert_eq!(deltas[1].count, 3);
+        assert_eq!(deltas[1].cycles, 3);
+    }
+
+    #[test]
+    fn memo_unit_demotes_multiplies_to_terminators() {
+        let src = "MOV r0, #6\nMUL r1, r0, r0\nMOV r2, #1\nHALT";
+        let p = assemble(src).unwrap();
+        let without = Core::new(&p, CoreConfig::default()).unwrap();
+        // Memo off: the multiply's cost is static, so it fuses.
+        assert_eq!(without.fused[0].len, 3);
+        let with = Core::new(
+            &p,
+            CoreConfig {
+                memo: Some(MemoConfig::default()),
+                ..CoreConfig::default()
+            },
+        )
+        .unwrap();
+        // Memo on: cost depends on runtime operands — must single-step.
+        assert_eq!(with.fused[0].len, 1);
+        assert_eq!(with.fused[1].len, 0);
+    }
+
+    #[test]
+    fn pc_writes_terminate_blocks() {
+        let p = assemble("MOV r0, #4\nMOV pc, r0\nMOV r1, #1\nMOV r2, #2\nHALT\nHALT").unwrap();
+        let core = Core::new(&p, CoreConfig::default()).unwrap();
+        assert_eq!(core.fused[0].len, 1, "block ends before the PC write");
+        assert_eq!(core.fused[1].len, 0, "PC write is a terminator");
+    }
+
+    #[test]
+    fn fused_run_matches_per_instruction_run() {
+        // Straight-line + loop mix: run once fused (run -> FreeRun) and
+        // once per-instruction (closure hook), compare all state.
+        let src = "MOV r0, #0\nMOV r1, #1\nloop:\nADD r0, r0, r1\nADD r1, r1, #1\n\
+                   AND r4, r0, r1\nEOR r5, r4, r0\nCMP r1, #20\nBLT loop\nHALT";
+        let p = assemble(src).unwrap();
+        let mut fused = Core::new(&p, CoreConfig::default()).unwrap();
+        let mut stepped = Core::new(&p, CoreConfig::default()).unwrap();
+        let out_f = fused.run(1_000_000).unwrap();
+        let out_s = stepped
+            .run_steps(1_000_000, |_, _| std::ops::ControlFlow::Continue(0))
+            .unwrap();
+        assert_eq!(out_f.cycles, out_s.cycles);
+        assert_eq!(out_f.instructions, out_s.instructions);
+        assert_eq!(fused.stats, stepped.stats);
+        assert_eq!(fused.cpu.snapshot(), stepped.cpu.snapshot());
+        assert!(fused.fused_instructions() > 0, "fast path exercised");
+        assert_eq!(stepped.fused_instructions(), 0, "closure hooks never fuse");
+    }
+
+    #[test]
+    fn fused_budget_is_never_overshot_beyond_one_instruction() {
+        // 4-instruction straight-line block of cost 4; budget 2 cannot
+        // admit it, so the engine single-steps and stops exactly like
+        // the per-instruction loop.
+        let p = assemble("MOV r0, #1\nMOV r1, #2\nMOV r2, #3\nMOV r3, #4\nHALT").unwrap();
+        let mut core = Core::new(&p, CoreConfig::default()).unwrap();
+        let out = core.run_steps_hooked(2, &mut FreeRun).unwrap();
+        assert_eq!(out.stop, StopReason::Budget);
+        assert_eq!(out.instructions, 2);
+        assert_eq!(out.cycles, 2);
+        assert_eq!(core.fused_instructions(), 0, "partial blocks single-step");
+    }
+
+    #[test]
+    fn block_instr_overhead_counts_in_admission() {
+        // Hook charges 2 extra cycles per fused instruction. A 3-wide
+        // block (cost 3) under budget 5 must NOT fuse (3 + 3*2 = 9 > 5):
+        // the engine single-steps instead and on_step charges apply.
+        struct Backup {
+            fused_calls: u64,
+        }
+        impl StepHook for Backup {
+            const KIND: HookKind = HookKind::MemoryOps;
+            fn on_step(&mut self, _c: &mut Core, _i: &StepInfo) -> ControlFlow<(), u64> {
+                ControlFlow::Continue(2)
+            }
+            fn block_budget(&self) -> u64 {
+                u64::MAX
+            }
+            fn block_instr_overhead(&self) -> u64 {
+                2
+            }
+            fn on_block(&mut self, costs: &[u64], _cycles: u64, _tail: u64, _reads: &[u32]) -> u64 {
+                self.fused_calls += 1;
+                costs.len() as u64 * 2
+            }
+        }
+        let p = assemble("MOV r0, #1\nMOV r1, #2\nMOV r2, #3\nHALT").unwrap();
+        let mut core = Core::new(&p, CoreConfig::default()).unwrap();
+        let mut hook = Backup { fused_calls: 0 };
+        let out = core.run_steps_hooked(5, &mut hook).unwrap();
+        assert_eq!(hook.fused_calls, 0, "block + overhead exceeds budget");
+        assert_eq!(out.stop, StopReason::Budget);
+        assert_eq!(out.instructions, 2); // 1+2, then 3+2 ≥ budget 5
+        assert_eq!(out.cycles, 6);
+
+        // With budget 20 the whole block fuses and overhead is charged
+        // through on_block: 3 base + 6 overhead.
+        let mut core = Core::new(&p, CoreConfig::default()).unwrap();
+        let mut hook = Backup { fused_calls: 0 };
+        let out = core.run_steps_hooked(20, &mut hook).unwrap();
+        assert_eq!(hook.fused_calls, 1);
+        assert_eq!(core.fused_instructions(), 3);
+        assert_eq!(out.stop, StopReason::Halted);
+        // Fused block 3+6, then HALT (1) + on_step 2.
+        assert_eq!(out.cycles, 12);
+    }
+
+    #[test]
+    fn block_budget_forces_single_stepping() {
+        // A hook whose block_budget is 0 (the default) never fuses even
+        // at MemoryOps granularity — e.g. a substrate at its watchdog
+        // horizon.
+        struct NoRoom;
+        impl StepHook for NoRoom {
+            const KIND: HookKind = HookKind::MemoryOps;
+            fn on_step(&mut self, _c: &mut Core, _i: &StepInfo) -> ControlFlow<(), u64> {
+                ControlFlow::Continue(0)
+            }
+        }
+        let p = assemble("MOV r0, #1\nMOV r1, #2\nMOV r2, #3\nHALT").unwrap();
+        let mut core = Core::new(&p, CoreConfig::default()).unwrap();
+        let out = core.run_steps_hooked(1_000, &mut NoRoom).unwrap();
+        assert_eq!(out.stop, StopReason::Halted);
+        assert_eq!(core.fused_instructions(), 0);
+        assert_eq!(out.cycles, 4);
     }
 }

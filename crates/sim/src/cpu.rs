@@ -107,6 +107,55 @@ pub struct CpuSnapshot {
     pub pc: u32,
 }
 
+impl CpuSnapshot {
+    /// Machine words a full snapshot occupies: the register file plus
+    /// one word for the PC and one for the packed NZCV flags. This is
+    /// the unit differential checkpoints count dirty state in.
+    pub const WORDS: usize = wn_isa::NUM_REGS + 2;
+
+    /// Reads word `idx` of the snapshot's flat word image: registers
+    /// first, then the PC, then the flags packed as `N<<3|Z<<2|C<<1|V`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= Self::WORDS`.
+    pub fn word(&self, idx: usize) -> u32 {
+        if idx < wn_isa::NUM_REGS {
+            self.regs[idx]
+        } else if idx == wn_isa::NUM_REGS {
+            self.pc
+        } else if idx == wn_isa::NUM_REGS + 1 {
+            (self.flags.n as u32) << 3
+                | (self.flags.z as u32) << 2
+                | (self.flags.c as u32) << 1
+                | (self.flags.v as u32)
+        } else {
+            panic!("snapshot word index {idx} out of range");
+        }
+    }
+
+    /// Writes word `idx` of the flat word image (see
+    /// [`CpuSnapshot::word`] for the layout).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= Self::WORDS`.
+    pub fn set_word(&mut self, idx: usize, value: u32) {
+        if idx < wn_isa::NUM_REGS {
+            self.regs[idx] = value;
+        } else if idx == wn_isa::NUM_REGS {
+            self.pc = value;
+        } else if idx == wn_isa::NUM_REGS + 1 {
+            self.flags.n = value & 0b1000 != 0;
+            self.flags.z = value & 0b0100 != 0;
+            self.flags.c = value & 0b0010 != 0;
+            self.flags.v = value & 0b0001 != 0;
+        } else {
+            panic!("snapshot word index {idx} out of range");
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,5 +219,32 @@ mod tests {
         let mut cpu = Cpu::new();
         cpu.set_reg(Reg::R0, (-5i32) as u32);
         assert_eq!(cpu.reg_i32(Reg::R0), -5);
+    }
+
+    #[test]
+    fn snapshot_word_image_roundtrips() {
+        let mut cpu = Cpu::new();
+        cpu.set_reg(Reg::R0, 0xDEAD_BEEF);
+        cpu.set_reg(Reg::R7, 7);
+        cpu.pc = 123;
+        cpu.flags.n = true;
+        cpu.flags.c = true;
+        let snap = cpu.snapshot();
+
+        // Rebuild a snapshot word-by-word and compare for equality.
+        let mut rebuilt = Cpu::new().snapshot();
+        for i in 0..CpuSnapshot::WORDS {
+            rebuilt.set_word(i, snap.word(i));
+        }
+        assert_eq!(rebuilt, snap);
+        assert_eq!(rebuilt.word(wn_isa::NUM_REGS), 123);
+        assert_eq!(rebuilt.word(wn_isa::NUM_REGS + 1), 0b1010);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn snapshot_word_index_out_of_range_panics() {
+        let snap = Cpu::new().snapshot();
+        snap.word(CpuSnapshot::WORDS);
     }
 }

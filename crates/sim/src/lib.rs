@@ -44,8 +44,10 @@ pub mod memory;
 pub mod stats;
 pub mod trace;
 
-pub use crate::core::{BulkRun, Core, CoreConfig, RunOutcome, StepEvent, StepInfo, StopReason};
-pub use crate::cpu::Cpu;
+pub use crate::core::{
+    BulkRun, Core, CoreConfig, HookKind, RunOutcome, StepEvent, StepHook, StepInfo, StopReason,
+};
+pub use crate::cpu::{Cpu, CpuSnapshot};
 pub use crate::cycle_model::CycleModel;
 pub use crate::error::SimError;
 pub use crate::memo::{MemoConfig, MemoStats, MemoUnit};

@@ -92,6 +92,21 @@ impl fmt::Display for InstrClass {
     }
 }
 
+/// One per-class stats delta of a fused block: class index plus the
+/// dynamic instruction and cycle counts that class contributes to the
+/// block. Blocks carry a short sparse list of these instead of full
+/// 9-wide arrays — block interiors span at most six classes (`Alu`,
+/// `Mul`, `MulAsp`, `Asv`, `Load`, `Other`).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ClassDelta {
+    /// [`InstrClass::idx`] of the class.
+    pub(crate) idx: u8,
+    /// Instructions of this class in the block.
+    pub(crate) count: u32,
+    /// Cycles this class contributes to the block.
+    pub(crate) cycles: u64,
+}
+
 /// Counters accumulated while the core executes.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ExecStats {
@@ -123,6 +138,29 @@ impl ExecStats {
         self.instructions += 1;
         self.cycles += cycles;
         self.counts[class_idx] += 1;
+        self.cycle_counts[class_idx] += cycles;
+    }
+
+    /// Records a fused basic block of `instructions` retirements at
+    /// once, with per-class deltas precomputed at block-formation time.
+    /// Equivalent to `instructions` calls to [`ExecStats::record_class`].
+    #[inline]
+    pub(crate) fn record_block(&mut self, instructions: u64, cycles: u64, classes: &[ClassDelta]) {
+        self.instructions += instructions;
+        self.cycles += cycles;
+        for d in classes {
+            self.counts[d.idx as usize] += d.count as u64;
+            self.cycle_counts[d.idx as usize] += d.cycles;
+        }
+    }
+
+    /// Adds cycles to one class without a retirement — the dynamic
+    /// cycle correction for a fused block's taken-branch tail, whose
+    /// retirement [`ExecStats::record_block`] already counted at the
+    /// not-taken base cost.
+    #[inline]
+    pub(crate) fn add_cycles(&mut self, class_idx: usize, cycles: u64) {
+        self.cycles += cycles;
         self.cycle_counts[class_idx] += cycles;
     }
 

@@ -55,8 +55,11 @@ pub enum EventKind {
     PowerOn { waited_s: f64 },
     /// The capacitor browned out; execution state is lost.
     Outage,
-    /// A substrate checkpointed, spending `cost_cycles` of overhead.
-    Checkpoint { cause: CheckpointCause },
+    /// A substrate checkpointed. `words` is the number of state words
+    /// written to checkpoint storage, attributed to the first checkpoint
+    /// event of each settlement window (differential checkpoints track
+    /// words per window, not per checkpoint); 0 for the rest.
+    Checkpoint { cause: CheckpointCause, words: u64 },
     /// The substrate restored architectural state after an outage.
     Restore { cost_cycles: u64 },
     /// A restore was redirected to an armed skim point.
@@ -123,6 +126,7 @@ mod tests {
             EventKind::Outage,
             EventKind::Checkpoint {
                 cause: CheckpointCause::Violation,
+                words: 0,
             },
             EventKind::Restore { cost_cycles: 0 },
             EventKind::SkimTaken { target: 0 },

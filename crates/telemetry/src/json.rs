@@ -84,7 +84,9 @@ pub fn event_to_json(e: &Event) -> String {
     match e.kind {
         EventKind::RunEnd { skimmed } => obj.bool("skimmed", skimmed),
         EventKind::PowerOn { waited_s } => obj.f64("waited_s", waited_s),
-        EventKind::Checkpoint { cause } => obj.str("cause", cause.name()),
+        EventKind::Checkpoint { cause, words } => {
+            obj.str("cause", cause.name()).u64("words", words)
+        }
         EventKind::Restore { cost_cycles } => obj.u64("cost_cycles", cost_cycles),
         EventKind::SkimTaken { target } => obj.u64("target", target as u64),
         EventKind::LeaseGrant { cycles } => obj.u64("cycles", cycles),
@@ -167,11 +169,12 @@ mod tests {
             t_s: 0.125,
             kind: EventKind::Checkpoint {
                 cause: CheckpointCause::Watchdog,
+                words: 7,
             },
         };
         assert_eq!(
             event_to_json(&e),
-            "{\"t_s\":0.125,\"kind\":\"checkpoint\",\"cause\":\"watchdog\"}"
+            "{\"t_s\":0.125,\"kind\":\"checkpoint\",\"cause\":\"watchdog\",\"words\":7}"
         );
     }
 }

@@ -197,6 +197,10 @@ pub struct RunReport {
     pub counts: EventCounts,
     /// Checkpoint counts by cause: violation, capacity, watchdog, skim, other.
     pub checkpoint_causes: [u64; 5],
+    /// State words written to checkpoint storage (differential
+    /// checkpoints log only dirty words, so this is typically far below
+    /// `checkpoints * CpuSnapshot::WORDS`).
+    pub checkpoint_words: u64,
     pub restore_cycles: u64,
     pub lease: LeaseStats,
     /// Durations of powered-on periods (power-on → outage).
@@ -282,6 +286,7 @@ impl RunReport {
         {
             *a += b;
         }
+        self.checkpoint_words += other.checkpoint_words;
         self.restore_cycles += other.restore_cycles;
         self.lease.merge(&other.lease);
         self.on_periods.merge(&other.on_periods);
@@ -316,6 +321,7 @@ impl RunReport {
             .u64("events_recorded", self.counts.total())
             .raw("event_counts", self.counts.to_json())
             .raw("checkpoint_causes", causes.finish())
+            .u64("checkpoint_words", self.checkpoint_words)
             .u64("restore_cycles", self.restore_cycles)
             .raw("lease", self.lease.to_json())
             .raw("on_periods", self.on_periods.to_json())
@@ -359,6 +365,7 @@ impl RunReport {
         for (name, count) in CAUSE_NAMES.iter().zip(self.checkpoint_causes.iter()) {
             push(&format!("checkpoints.{name}"), count.to_string());
         }
+        push("checkpoint_words", self.checkpoint_words.to_string());
         push("restore_cycles", self.restore_cycles.to_string());
         push("lease.grants", self.lease.grants.to_string());
         push(
@@ -406,8 +413,9 @@ impl EventSink for RunReport {
                 }
                 self.last_outage_s = Some(event.t_s);
             }
-            EventKind::Checkpoint { cause } => {
+            EventKind::Checkpoint { cause, words } => {
                 self.checkpoint_causes[cause_slot(cause)] += 1;
+                self.checkpoint_words += words;
             }
             EventKind::Restore { cost_cycles } => {
                 self.restore_cycles += cost_cycles;
@@ -466,6 +474,26 @@ mod tests {
     }
 
     #[test]
+    fn zero_event_report_serializes_without_nan() {
+        // A run that recorded nothing (e.g. a workload that halts before
+        // the first event) must still produce valid JSON/CSV: empty
+        // histograms become null stats, never NaN or bare infinities.
+        let r = RunReport::new("empty");
+        let doc = r.to_json();
+        for poison in ["NaN", "nan", "inf"] {
+            assert!(!doc.contains(poison), "JSON contains {poison}: {doc}");
+        }
+        assert!(doc.contains("\"events_recorded\":0"));
+        assert!(doc.contains("\"checkpoint_words\":0"));
+        assert!(doc.contains("\"mean_s\":null"));
+        let csv = r.to_csv();
+        for poison in ["NaN", "nan", "inf"] {
+            assert!(!csv.contains(poison), "CSV contains {poison}: {csv}");
+        }
+        assert!(csv.contains("events_recorded,0\n"));
+    }
+
+    #[test]
     fn report_accumulates_power_cycle_geometry() {
         let mut r = RunReport::new("test");
         r.record(ev(0.0, EventKind::RunStart));
@@ -494,12 +522,14 @@ mod tests {
             0.0,
             EventKind::Checkpoint {
                 cause: CheckpointCause::Watchdog,
+                words: 18,
             },
         ));
         r.record(ev(
             0.0,
             EventKind::Checkpoint {
                 cause: CheckpointCause::Skim,
+                words: 2,
             },
         ));
         r.record(ev(0.0, EventKind::LeaseGrant { cycles: 100 }));
@@ -518,6 +548,7 @@ mod tests {
         assert_eq!(r.checkpoints_of(CheckpointCause::Skim), 1);
         assert_eq!(r.lease.grants, 1);
         assert_eq!(r.lease.settled_instructions, 40);
+        assert_eq!(r.checkpoint_words, 20);
         assert_eq!(r.restore_cycles, 40);
         // Zero-instruction class rows are dropped.
         assert_eq!(r.classes.len(), 2);

@@ -1,0 +1,67 @@
+#!/usr/bin/env sh
+# Compare two wn-bench-record-v1 files on untraced_min_ms.
+#
+# Usage: scripts/bench_compare.sh BASELINE.json CANDIDATE.json [THRESHOLD_PCT]
+#
+# Exits 0 when the candidate's untraced_min_ms is within THRESHOLD_PCT
+# (default 10) of the baseline's, 1 on a larger regression, 2 on bad
+# input. Improvements always pass. POSIX sh + awk only, so it runs in CI
+# and locally without any extra tooling.
+set -eu
+
+if [ "$#" -lt 2 ] || [ "$#" -gt 3 ]; then
+    echo "usage: $0 BASELINE.json CANDIDATE.json [THRESHOLD_PCT]" >&2
+    exit 2
+fi
+
+baseline_file=$1
+candidate_file=$2
+threshold=${3:-10}
+
+extract() {
+    # Naive flat-JSON field extraction, mirroring wn_telemetry::json's
+    # provenance-reader contract: the key occurs once, value is numeric.
+    file=$1
+    key=$2
+    value=$(awk -v key="\"$2\":" '
+        {
+            i = index($0, key)
+            if (i > 0) {
+                rest = substr($0, i + length(key))
+                sub(/[,}].*/, "", rest)
+                print rest
+                exit
+            }
+        }' "$file")
+    if [ -z "$value" ]; then
+        echo "error: $key not found in $file" >&2
+        exit 2
+    fi
+    echo "$value"
+}
+
+for f in "$baseline_file" "$candidate_file"; do
+    if [ ! -f "$f" ]; then
+        echo "error: no such file: $f" >&2
+        exit 2
+    fi
+    schema=$(awk '{ if (index($0, "\"schema\":\"wn-bench-record-v1\"") > 0) print "ok" }' "$f")
+    if [ "$schema" != "ok" ]; then
+        echo "error: $f is not a wn-bench-record-v1 document" >&2
+        exit 2
+    fi
+done
+
+base=$(extract "$baseline_file" untraced_min_ms)
+cand=$(extract "$candidate_file" untraced_min_ms)
+
+awk -v base="$base" -v cand="$cand" -v threshold="$threshold" 'BEGIN {
+    if (base <= 0) { print "error: baseline untraced_min_ms must be positive" > "/dev/stderr"; exit 2 }
+    delta = (cand / base - 1.0) * 100.0
+    printf "untraced_min_ms: baseline %.3f ms, candidate %.3f ms (%+.1f%%, threshold +%s%%)\n", base, cand, delta, threshold
+    if (delta > threshold) {
+        printf "REGRESSION: candidate is %.1f%% slower than baseline\n", delta
+        exit 1
+    }
+    print "OK"
+}'
