@@ -26,15 +26,15 @@ use std::env;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use wn_bench::manifest::{BenchRecord, RunManifest, MANIFEST_FILE};
-use wn_bench::{read_artifact, write_artifact};
+use wn_bench::manifest::{self, BenchRecord, RunManifest, MANIFEST_FILE};
+use wn_bench::{read_artifact, results_dir, write_artifact};
 use wn_core::experiments::{
     fig01, fig02, fig03, fig09, fig10, fig12, fig13, fig14, fig15, fig17, table1, ExperimentConfig,
 };
 use wn_core::{jobs, telemetry};
 use wn_telemetry::json;
 
-const USAGE: &str = "usage: experiments <all|table1|fig01|fig02|fig03|fig09|fig10|fig11|fig12|fig13|fig14|fig15|fig17|area_power|report|bench> [--paper] [--jobs N] [--telemetry]";
+const USAGE: &str = "usage: experiments <all|table1|fig01|fig02|fig03|fig09|fig10|fig11|fig12|fig13|fig14|fig15|fig17|area_power|report|bench> [--paper] [--jobs N] [--telemetry] [--epoch N]\n       experiments fleet <scenario.toml|.json> [--jobs N] [--resume] [--shard-jsonl] [--stop-after-shards N] [--epoch N]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
@@ -48,11 +48,25 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    match parse_flag_value(&args, "--epoch") {
+        Ok(Some(v)) => match v.parse::<f64>() {
+            Ok(epoch) if epoch.is_finite() => manifest::set_epoch_override(epoch),
+            _ => {
+                eprintln!("--epoch needs a finite number of seconds, got `{v}`\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    }
     let which: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
         .map(String::as_str)
-        .filter(|a| a.parse::<usize>().is_err()) // skip `--jobs N`'s operand
+        .filter(|a| a.parse::<usize>().is_err()) // skip flag operands (`--jobs N`)
         .collect();
     let which = if which.is_empty() { vec!["all"] } else { which };
 
@@ -62,6 +76,9 @@ fn main() -> ExitCode {
     }
     if which == ["bench"] {
         return bench();
+    }
+    if which.first() == Some(&"fleet") {
+        return fleet(&args, &which[1..]);
     }
 
     telemetry::set_enabled(telemetry_on);
@@ -146,6 +163,23 @@ fn main() -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// Parses `--flag VALUE` / `--flag=VALUE` from the argument list.
+fn parse_flag_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
+    let prefix = format!("{flag}=");
+    for (i, arg) in args.iter().enumerate() {
+        if let Some(v) = arg.strip_prefix(&prefix) {
+            return Ok(Some(v.to_string()));
+        }
+        if arg == flag {
+            return match args.get(i + 1) {
+                Some(v) => Ok(Some(v.clone())),
+                None => Err(format!("{flag} needs a value")),
+            };
+        }
+    }
+    Ok(None)
 }
 
 /// Parses `--jobs N` / `--jobs=N` from the argument list.
@@ -449,6 +483,161 @@ fn bench() -> ExitCode {
             eprintln!("bench history append failed: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// `experiments fleet <scenario>`: sharded multi-device population
+/// sweep. Reads a TOML/JSON scenario, runs it through
+/// [`wn_fleet::run_fleet`] (checkpointing after every shard), and
+/// writes `fleet_<name>.json` / `fleet_<name>.csv` artifacts plus the
+/// usual manifest. `--resume` picks up from the checkpoint; the report
+/// bytes are identical to an uninterrupted run at any `--jobs` width.
+fn fleet(args: &[String], operands: &[&str]) -> ExitCode {
+    use wn_fleet::{run_fleet, FleetOptions, FleetScenario, FleetStatus};
+
+    let [path] = operands else {
+        eprintln!("fleet needs exactly one scenario file\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("cannot read scenario `{path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let scenario = match FleetScenario::parse(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Deterministic kill point for resume tests: flag wins, then env.
+    let stop_after_shards = match parse_flag_value(args, "--stop-after-shards") {
+        Ok(v) => match v.or_else(|| env::var("WN_FLEET_STOP_AFTER_SHARDS").ok()) {
+            Some(v) => match v.parse::<usize>() {
+                Ok(n) if n > 0 => Some(n),
+                _ => {
+                    eprintln!("--stop-after-shards needs a positive integer, got `{v}`");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => None,
+        },
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let results = results_dir();
+    if let Err(e) = std::fs::create_dir_all(&results) {
+        eprintln!("cannot create {}: {e}", results.display());
+        return ExitCode::FAILURE;
+    }
+    let stem: String = scenario
+        .name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect();
+    let shard_jsonl = args.iter().any(|a| a == "--shard-jsonl");
+    let options = FleetOptions {
+        jobs: None, // the global pool, already sized by --jobs / WN_JOBS
+        checkpoint: Some(results.join(format!("fleet_{stem}.ckpt.json"))),
+        resume: args.iter().any(|a| a == "--resume"),
+        shard_log: shard_jsonl.then(|| results.join(format!("fleet_{stem}.shards.jsonl"))),
+        stop_after_shards,
+    };
+    println!(
+        "fleet `{}`: {} devices in {} cohorts, {} shards of {}, {} jobs",
+        scenario.name,
+        scenario.total_devices(),
+        scenario.cohorts.len(),
+        scenario.shard_count(),
+        scenario.shard_size,
+        jobs::global_jobs(),
+    );
+
+    let total = Instant::now();
+    let report = match run_fleet(&scenario, &options) {
+        Err(e) => {
+            eprintln!("fleet run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        Ok(FleetStatus::Paused {
+            shards_done,
+            shard_count,
+        }) => {
+            println!(
+                "paused after shard {shards_done}/{shard_count} \
+                 (checkpoint written; rerun with --resume to finish)"
+            );
+            return ExitCode::SUCCESS;
+        }
+        Ok(FleetStatus::Complete(report)) => report,
+    };
+
+    let agg = report.fleet_aggregate();
+    println!(
+        "fleet: {}/{} devices completed ({:.1}%), {} skimmed, {} starved, {} timed out",
+        agg.completed,
+        agg.devices,
+        agg.completion_rate() * 100.0,
+        agg.skimmed,
+        agg.starved,
+        agg.timed_out,
+    );
+    if let (Some(p50), Some(p99)) = (
+        agg.time.sketch.quantile(0.5),
+        agg.time.sketch.quantile(0.99),
+    ) {
+        println!("completion time p50 {p50:.3}s, p99 {p99:.3}s");
+    }
+    for (spec, c) in report.specs.iter().zip(report.cohorts.iter()) {
+        println!(
+            "  {}: {}/{} completed, mean time {}",
+            spec.name,
+            c.completed,
+            c.devices,
+            c.time
+                .stats
+                .mean()
+                .map_or("n/a".to_string(), |m| format!("{m:.3}s")),
+        );
+    }
+
+    let mut artifacts = Vec::new();
+    let mut failed = false;
+    for (name, contents) in [
+        (format!("fleet_{stem}.json"), report.to_json()),
+        (format!("fleet_{stem}.csv"), report.to_csv()),
+    ] {
+        if let Err(e) = save(&name, &contents, &mut artifacts) {
+            eprintln!("artifact write failed: {e}");
+            failed = true;
+        }
+    }
+    let wall_s = total.elapsed().as_secs_f64();
+    let manifest = RunManifest {
+        command: args.join(" "),
+        scale: format!("{:?}", scenario.scale).to_lowercase(),
+        traces: scenario.total_devices(), // one synthesized trace per device
+        invocations: 1,
+        seed: scenario.seed,
+        jobs: jobs::global_jobs() as u64,
+        telemetry: false,
+        wall_s,
+        artifacts,
+    };
+    if let Err(e) = save(MANIFEST_FILE, &manifest.to_json(), &mut Vec::new()) {
+        eprintln!("manifest write failed: {e}");
+        failed = true;
+    }
+    println!("total: {wall_s:.2}s");
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 

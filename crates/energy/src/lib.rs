@@ -28,11 +28,13 @@
 //! ```
 
 pub mod capacitor;
+pub mod environment;
 pub mod stats;
 pub mod supply;
 pub mod trace;
 
 pub use capacitor::Capacitor;
+pub use environment::EnvModel;
 pub use stats::TraceStats;
 pub use supply::{EnergySupply, PowerStatus, SupplyConfig, SupplyError};
 pub use trace::{PowerTrace, TraceKind};

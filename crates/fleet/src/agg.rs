@@ -1,0 +1,491 @@
+//! Mergeable streaming aggregates for fleet sweeps.
+//!
+//! A 100k-device run must never hold 100k `RunReport`s: every per-device
+//! outcome is folded into constant-size accumulators the moment it comes
+//! back from the job pool, and shard accumulators merge associatively so
+//! a resumed sweep (or a future distributed one) reduces to the same
+//! state. Three building blocks:
+//!
+//! * [`StreamStats`] — Welford/Chan running mean + variance with
+//!   min/max, mergeable without the raw samples;
+//! * [`FixedSketch`] — a fixed-bucket log-spaced quantile sketch
+//!   (constant memory, exact-count merges, ~12 % relative value error
+//!   at 20 buckets/decade) for completion-time / QoR / forward-progress
+//!   quantiles;
+//! * [`MetricAgg`] — the pair of them exposed as one named metric.
+//!
+//! All merges are deterministic: the fleet runner folds devices in
+//! index order and shards in shard order, so any `--jobs` width (and a
+//! checkpoint-resumed run) produces bit-identical aggregate state.
+
+use wn_telemetry::json::Obj;
+
+use crate::codec::{StateReader, StateWriter};
+
+/// Running mean/variance/min/max over a stream, mergeable pairwise
+/// (Chan et al.'s parallel variance update).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl StreamStats {
+    pub fn new() -> StreamStats {
+        StreamStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one sample. Non-finite samples are ignored (they would
+    /// poison every downstream mean).
+    pub fn record(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Fold another accumulator in (order matters only in float
+    /// rounding; the fleet runner always merges in shard order).
+    pub fn merge(&mut self, other: &StreamStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.mean)
+    }
+
+    /// Population variance.
+    pub fn variance(&self) -> Option<f64> {
+        (self.count > 0).then(|| (self.m2 / self.count as f64).max(0.0))
+    }
+
+    pub fn std_dev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    pub(crate) fn save(&self, w: &mut StateWriter) {
+        w.u64(self.count);
+        w.f64(self.mean);
+        w.f64(self.m2);
+        w.f64(self.min);
+        w.f64(self.max);
+    }
+
+    pub(crate) fn load(r: &mut StateReader) -> Option<StreamStats> {
+        Some(StreamStats {
+            count: r.u64()?,
+            mean: r.f64()?,
+            m2: r.f64()?,
+            min: r.f64()?,
+            max: r.f64()?,
+        })
+    }
+}
+
+impl Default for StreamStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Fixed-bucket log-spaced quantile sketch.
+///
+/// Non-negative values land in one of [`FixedSketch::BUCKETS`] buckets:
+/// an underflow bucket below [`FixedSketch::LO`], then
+/// [`FixedSketch::PER_DECADE`] log-spaced buckets per decade across
+/// `[LO, HI)`, then an overflow bucket. Quantile queries walk the
+/// cumulative counts and answer with the bucket's geometric midpoint,
+/// clamped into the exact observed `[min, max]` — a constant-memory,
+/// exactly-mergeable sketch whose relative value error is bounded by
+/// the bucket width (`10^(1/20) ≈ 1.12`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FixedSketch {
+    counts: Vec<u64>,
+    stats: StreamStats,
+}
+
+impl FixedSketch {
+    /// Smallest resolvable value (seconds / percent / ratio scales all
+    /// fit comfortably above it).
+    pub const LO: f64 = 1e-9;
+    /// Largest resolvable value.
+    pub const HI: f64 = 1e9;
+    /// Log buckets per decade.
+    pub const PER_DECADE: usize = 20;
+    /// 18 decades between `LO` and `HI`, plus underflow and overflow.
+    pub const BUCKETS: usize = 18 * Self::PER_DECADE + 2;
+
+    pub fn new() -> FixedSketch {
+        FixedSketch {
+            counts: vec![0; Self::BUCKETS],
+            stats: StreamStats::new(),
+        }
+    }
+
+    fn bucket(x: f64) -> usize {
+        if x < Self::LO {
+            return 0;
+        }
+        if x >= Self::HI {
+            return Self::BUCKETS - 1;
+        }
+        let pos = (x / Self::LO).log10() * Self::PER_DECADE as f64;
+        // `x >= LO` makes pos non-negative; clamp against float edge
+        // cases at the top boundary.
+        1 + (pos as usize).min(Self::BUCKETS - 3)
+    }
+
+    /// Record one value. Negative and non-finite values are ignored
+    /// (every fleet metric is non-negative by construction).
+    pub fn record(&mut self, x: f64) {
+        if !x.is_finite() || x < 0.0 {
+            return;
+        }
+        self.counts[Self::bucket(x)] += 1;
+        self.stats.record(x);
+    }
+
+    pub fn merge(&mut self, other: &FixedSketch) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.stats.merge(&other.stats);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.stats.count()
+    }
+
+    /// The value at quantile `q ∈ [0, 1]`, or `None` on an empty
+    /// sketch. `q = 0` is the exact min, `q = 1` the exact max.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let n = self.count();
+        if n == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let (min, max) = (self.stats.min()?, self.stats.max()?);
+        // The extremes are tracked exactly; don't answer them with a
+        // bucket midpoint.
+        if q == 0.0 {
+            return Some(min);
+        }
+        if q == 1.0 {
+            return Some(max);
+        }
+        // Nearest-rank on the cumulative bucket counts.
+        let rank = ((q * (n - 1) as f64).round() as u64).min(n - 1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            seen += c;
+            if seen > rank {
+                let mid = if i == 0 {
+                    min
+                } else if i == Self::BUCKETS - 1 {
+                    max
+                } else {
+                    // Geometric midpoint of the bucket's edges.
+                    let lo = Self::LO * 10f64.powf((i - 1) as f64 / Self::PER_DECADE as f64);
+                    lo * 10f64.powf(0.5 / Self::PER_DECADE as f64)
+                };
+                return Some(mid.clamp(min, max));
+            }
+        }
+        Some(max)
+    }
+
+    pub(crate) fn save(&self, w: &mut StateWriter) {
+        self.stats.save(w);
+        // Sparse: most buckets are empty for clustered metrics.
+        let nonzero: Vec<(usize, u64)> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+            .collect();
+        w.u64(nonzero.len() as u64);
+        for (i, c) in nonzero {
+            w.u64(i as u64);
+            w.u64(c);
+        }
+    }
+
+    pub(crate) fn load(r: &mut StateReader) -> Option<FixedSketch> {
+        let stats = StreamStats::load(r)?;
+        let mut counts = vec![0u64; Self::BUCKETS];
+        let pairs = r.u64()?;
+        for _ in 0..pairs {
+            let i = r.u64()? as usize;
+            let c = r.u64()?;
+            *counts.get_mut(i)? = c;
+        }
+        Some(FixedSketch { counts, stats })
+    }
+}
+
+impl Default for FixedSketch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One named fleet metric: streaming moments plus quantile sketch.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricAgg {
+    pub stats: StreamStats,
+    pub sketch: FixedSketch,
+}
+
+impl MetricAgg {
+    pub fn new() -> MetricAgg {
+        MetricAgg::default()
+    }
+
+    pub fn record(&mut self, x: f64) {
+        self.stats.record(x);
+        self.sketch.record(x);
+    }
+
+    pub fn merge(&mut self, other: &MetricAgg) {
+        self.stats.merge(&other.stats);
+        self.sketch.merge(&other.sketch);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.stats.count()
+    }
+
+    /// Flat JSON object: count, mean, std, min, max, p50/p90/p99.
+    pub fn to_json(&self) -> String {
+        Obj::new()
+            .u64("count", self.stats.count())
+            .f64("mean", self.stats.mean().unwrap_or(f64::NAN))
+            .f64("std", self.stats.std_dev().unwrap_or(f64::NAN))
+            .f64("min", self.stats.min().unwrap_or(f64::NAN))
+            .f64("max", self.stats.max().unwrap_or(f64::NAN))
+            .f64("p50", self.sketch.quantile(0.50).unwrap_or(f64::NAN))
+            .f64("p90", self.sketch.quantile(0.90).unwrap_or(f64::NAN))
+            .f64("p99", self.sketch.quantile(0.99).unwrap_or(f64::NAN))
+            .finish()
+    }
+
+    /// `key,value` CSV rows under a metric prefix (empty metrics emit
+    /// only their count row, keeping the column set stable).
+    pub fn csv_rows(&self, prefix: &str, out: &mut String) {
+        let mut push = |suffix: &str, v: String| {
+            out.push_str(prefix);
+            out.push('.');
+            out.push_str(suffix);
+            out.push(',');
+            out.push_str(&v);
+            out.push('\n');
+        };
+        push("count", self.stats.count().to_string());
+        if let (Some(mean), Some(min), Some(max)) =
+            (self.stats.mean(), self.stats.min(), self.stats.max())
+        {
+            push("mean", format!("{mean}"));
+            push("min", format!("{min}"));
+            push("max", format!("{max}"));
+            for (name, q) in [("p50", 0.5), ("p90", 0.9), ("p99", 0.99)] {
+                if let Some(v) = self.sketch.quantile(q) {
+                    push(name, format!("{v}"));
+                }
+            }
+        }
+    }
+
+    pub(crate) fn save(&self, w: &mut StateWriter) {
+        self.stats.save(w);
+        self.sketch.save(w);
+    }
+
+    pub(crate) fn load(r: &mut StateReader) -> Option<MetricAgg> {
+        Some(MetricAgg {
+            stats: StreamStats::load(r)?,
+            sketch: FixedSketch::load(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive_moments() {
+        let xs = [3.0, 1.5, 4.25, 1.125, 5.5, 9.0, 2.625];
+        let mut s = StreamStats::new();
+        for &x in &xs {
+            s.record(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        assert_eq!(s.count(), xs.len() as u64);
+        assert!((s.mean().unwrap() - mean).abs() < 1e-12);
+        assert!((s.variance().unwrap() - var).abs() < 1e-12);
+        assert_eq!(s.min(), Some(1.125));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn merged_stats_match_single_stream() {
+        let xs: Vec<f64> = (0..100)
+            .map(|i| (i as f64 * 0.7).sin().abs() * 10.0)
+            .collect();
+        let mut whole = StreamStats::new();
+        for &x in &xs {
+            whole.record(x);
+        }
+        let mut a = StreamStats::new();
+        let mut b = StreamStats::new();
+        for &x in &xs[..37] {
+            a.record(x);
+        }
+        for &x in &xs[37..] {
+            b.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean().unwrap() - whole.mean().unwrap()).abs() < 1e-12);
+        assert!((a.variance().unwrap() - whole.variance().unwrap()).abs() < 1e-9);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn nonfinite_samples_are_ignored() {
+        let mut s = StreamStats::new();
+        s.record(f64::NAN);
+        s.record(f64::INFINITY);
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), None);
+        let mut q = FixedSketch::new();
+        q.record(f64::NAN);
+        q.record(-1.0);
+        assert_eq!(q.count(), 0);
+        assert_eq!(q.quantile(0.5), None);
+    }
+
+    #[test]
+    fn sketch_quantiles_bound_relative_error() {
+        let mut s = FixedSketch::new();
+        let xs: Vec<f64> = (1..=1000).map(|i| i as f64 * 1e-3).collect();
+        for &x in &xs {
+            s.record(x);
+        }
+        for (q, exact) in [(0.5, 0.5), (0.9, 0.9), (0.99, 0.99)] {
+            let got = s.quantile(q).unwrap();
+            assert!(
+                (got / exact).log10().abs() <= 1.0 / FixedSketch::PER_DECADE as f64,
+                "q{q}: got {got} vs {exact}"
+            );
+        }
+        // Extremes are exact.
+        assert_eq!(s.quantile(0.0), Some(1e-3));
+        assert_eq!(s.quantile(1.0), Some(1.0));
+    }
+
+    #[test]
+    fn sketch_merge_equals_single_pass_exactly() {
+        // Bucket counts are integers, so the merged sketch is *exactly*
+        // the single-pass sketch (not just approximately).
+        let xs: Vec<f64> = (0..500).map(|i| ((i * 37) % 997) as f64 * 1e-2).collect();
+        let mut whole = FixedSketch::new();
+        let mut parts: Vec<FixedSketch> = (0..5).map(|_| FixedSketch::new()).collect();
+        for (i, &x) in xs.iter().enumerate() {
+            whole.record(x);
+            parts[i / 100].record(x);
+        }
+        let mut merged = FixedSketch::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        assert_eq!(merged.counts, whole.counts);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(merged.quantile(q), whole.quantile(q), "q = {q}");
+        }
+    }
+
+    #[test]
+    fn underflow_and_overflow_answer_with_exact_extremes() {
+        let mut s = FixedSketch::new();
+        s.record(1e-12);
+        s.record(1e12);
+        assert_eq!(s.quantile(0.0), Some(1e-12));
+        assert_eq!(s.quantile(1.0), Some(1e12));
+    }
+
+    #[test]
+    fn metric_state_round_trips_bit_exactly() {
+        let mut m = MetricAgg::new();
+        for i in 0..200 {
+            m.record((i as f64 * 0.137).fract() * 3.5 + 1e-4);
+        }
+        let mut w = StateWriter::new();
+        m.save(&mut w);
+        let mut r = StateReader::new(w.as_str());
+        let back = MetricAgg::load(&mut r).unwrap();
+        assert_eq!(back, m, "state codec must be lossless");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn empty_metric_serializes_without_poison() {
+        let m = MetricAgg::new();
+        let doc = m.to_json();
+        assert!(doc.contains("\"count\":0"));
+        assert!(doc.contains("\"mean\":null"));
+        for poison in ["NaN", "inf"] {
+            assert!(!doc.contains(poison), "{doc}");
+        }
+        let mut csv = String::new();
+        m.csv_rows("x", &mut csv);
+        assert_eq!(csv, "x.count,0\n");
+    }
+}

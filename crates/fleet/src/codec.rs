@@ -1,0 +1,117 @@
+//! Exact state serialization for fleet checkpoints.
+//!
+//! A resumed sweep must finish **bit-identical** to the uninterrupted
+//! one, so aggregate state crosses the checkpoint file without any
+//! decimal round-trip: every `f64` travels as the hex of its IEEE-754
+//! bit pattern. The encoding is a flat space-separated token stream
+//! (alphanumerics only), safe to embed as a JSON string field.
+
+/// Token-stream writer.
+#[derive(Debug, Default)]
+pub struct StateWriter {
+    buf: String,
+}
+
+impl StateWriter {
+    pub fn new() -> StateWriter {
+        StateWriter::default()
+    }
+
+    fn push(&mut self, token: &str) {
+        if !self.buf.is_empty() {
+            self.buf.push(' ');
+        }
+        self.buf.push_str(token);
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.push(&v.to_string());
+    }
+
+    /// Exact: the IEEE-754 bit pattern in hex (`fHHHH…`).
+    pub fn f64(&mut self, v: f64) {
+        self.push(&format!("f{:016x}", v.to_bits()));
+    }
+
+    pub fn as_str(&self) -> &str {
+        &self.buf
+    }
+
+    pub fn into_string(self) -> String {
+        self.buf
+    }
+}
+
+/// Token-stream reader; every accessor returns `None` on malformed or
+/// exhausted input (a truncated checkpoint is rejected, never guessed).
+#[derive(Debug)]
+pub struct StateReader<'a> {
+    tokens: std::str::SplitAsciiWhitespace<'a>,
+}
+
+impl<'a> StateReader<'a> {
+    pub fn new(text: &'a str) -> StateReader<'a> {
+        StateReader {
+            tokens: text.split_ascii_whitespace(),
+        }
+    }
+
+    pub fn u64(&mut self) -> Option<u64> {
+        self.tokens.next()?.parse().ok()
+    }
+
+    pub fn f64(&mut self) -> Option<f64> {
+        let token = self.tokens.next()?;
+        let hex = token.strip_prefix('f')?;
+        u64::from_str_radix(hex, 16).ok().map(f64::from_bits)
+    }
+
+    /// True when every token has been consumed.
+    pub fn is_empty(&mut self) -> bool {
+        self.tokens.clone().next().is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floats_round_trip_bit_exactly() {
+        let values = [
+            0.0,
+            -0.0,
+            1.5,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MIN_POSITIVE,
+            1.0 / 3.0,
+            f64::NAN,
+        ];
+        let mut w = StateWriter::new();
+        for &v in &values {
+            w.f64(v);
+        }
+        w.u64(u64::MAX);
+        let text = w.into_string();
+        let mut r = StateReader::new(&text);
+        for &v in &values {
+            let back = r.f64().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{v} must round-trip exactly");
+        }
+        assert_eq!(r.u64(), Some(u64::MAX));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn malformed_and_truncated_input_is_rejected() {
+        let mut r = StateReader::new("42 fnotahexvalue");
+        assert_eq!(r.u64(), Some(42));
+        assert_eq!(r.f64(), None);
+        let mut r = StateReader::new("7");
+        assert_eq!(r.f64(), None, "u64 token is not an f64 token");
+        let mut r = StateReader::new("");
+        assert_eq!(r.u64(), None);
+        assert!(r.is_empty());
+    }
+}

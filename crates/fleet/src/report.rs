@@ -1,0 +1,210 @@
+//! Fleet sweep reports (`wn-fleet-report-v1`).
+//!
+//! A report carries only scenario-derived provenance (name, seed,
+//! fingerprint, population shape) and aggregate results — never host
+//! timestamps or worker counts — so the same scenario always renders
+//! byte-identical JSON and CSV whatever machine, `--jobs` width, or
+//! resume history produced it. Wall-clock provenance belongs in the run
+//! manifest, which records it separately.
+
+use wn_telemetry::json::{self, Obj};
+
+use crate::runner::CohortAggregate;
+use crate::scenario::{CohortSpec, FleetScenario};
+
+pub const REPORT_SCHEMA: &str = "wn-fleet-report-v1";
+
+/// Results of a completed fleet sweep: one aggregate per cohort plus
+/// the fleet-wide merge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Scenario display name.
+    pub scenario: String,
+    pub seed: u64,
+    /// Scenario fingerprint (checkpoint/report provenance link).
+    pub fingerprint: u64,
+    pub shard_size: usize,
+    pub shard_count: usize,
+    /// Cohort descriptions, parallel to `cohorts`.
+    pub specs: Vec<CohortSpec>,
+    /// Per-cohort aggregates in scenario cohort order.
+    pub cohorts: Vec<CohortAggregate>,
+}
+
+impl FleetReport {
+    pub fn new(scenario: &FleetScenario, cohorts: Vec<CohortAggregate>) -> FleetReport {
+        assert_eq!(scenario.cohorts.len(), cohorts.len());
+        FleetReport {
+            scenario: scenario.name.clone(),
+            seed: scenario.seed,
+            fingerprint: scenario.fingerprint(),
+            shard_size: scenario.shard_size,
+            shard_count: scenario.shard_count(),
+            specs: scenario.cohorts.clone(),
+            cohorts,
+        }
+    }
+
+    /// The fleet-wide aggregate: cohort aggregates merged in cohort
+    /// order (deterministic, like every other fold in the runner).
+    pub fn fleet_aggregate(&self) -> CohortAggregate {
+        let mut total = CohortAggregate::new();
+        for c in &self.cohorts {
+            total.merge(c);
+        }
+        total
+    }
+
+    pub fn to_json(&self) -> String {
+        let cohorts = json::array(
+            self.specs
+                .iter()
+                .zip(self.cohorts.iter())
+                .map(|(spec, agg)| cohort_json(spec, agg)),
+        );
+        Obj::new()
+            .str("schema", REPORT_SCHEMA)
+            .str("scenario", &self.scenario)
+            .u64("seed", self.seed)
+            .str("fingerprint", &format!("{:016x}", self.fingerprint))
+            .u64("shard_size", self.shard_size as u64)
+            .u64("shard_count", self.shard_count as u64)
+            .raw("fleet", aggregate_json(&self.fleet_aggregate()))
+            .raw("cohorts", cohorts)
+            .finish()
+    }
+
+    /// Long-format CSV: `cohort,key,value` rows, fleet-wide rows under
+    /// cohort name `_fleet`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("cohort,key,value\n");
+        aggregate_csv("_fleet", &self.fleet_aggregate(), &mut out);
+        for (spec, agg) in self.specs.iter().zip(self.cohorts.iter()) {
+            aggregate_csv(&spec.name, agg, &mut out);
+        }
+        out
+    }
+}
+
+fn cohort_json(spec: &CohortSpec, agg: &CohortAggregate) -> String {
+    Obj::new()
+        .str("name", &spec.name)
+        .str("benchmark", spec.benchmark.name())
+        .str("technique", &spec.technique.to_string())
+        .str("substrate", spec.substrate.name())
+        .f64("capacitance_uf", spec.capacitance_uf)
+        .str("environment", spec.env.name())
+        .f64("env_mean_power_w", spec.env.expected_mean_power_w())
+        .raw("results", aggregate_json(agg))
+        .finish()
+}
+
+fn aggregate_json(agg: &CohortAggregate) -> String {
+    Obj::new()
+        .u64("devices", agg.devices)
+        .u64("completed", agg.completed)
+        .u64("skimmed", agg.skimmed)
+        .u64("starved", agg.starved)
+        .u64("timed_out", agg.timed_out)
+        .f64("completion_rate", agg.completion_rate())
+        .raw("time_s", agg.time.to_json())
+        .raw("on_time_s", agg.on_time.to_json())
+        .raw("error_percent", agg.qor.to_json())
+        .raw("forward_progress", agg.progress.to_json())
+        .raw("outages", agg.outages.to_json())
+        .raw("time_hist", agg.time_hist.to_json())
+        .finish()
+}
+
+fn aggregate_csv(name: &str, agg: &CohortAggregate, out: &mut String) {
+    let mut push = |key: &str, value: String| {
+        out.push_str(name);
+        out.push(',');
+        out.push_str(key);
+        out.push(',');
+        out.push_str(&value);
+        out.push('\n');
+    };
+    push("devices", agg.devices.to_string());
+    push("completed", agg.completed.to_string());
+    push("skimmed", agg.skimmed.to_string());
+    push("starved", agg.starved.to_string());
+    push("timed_out", agg.timed_out.to_string());
+    push("completion_rate", format!("{}", agg.completion_rate()));
+    let mut rows = String::new();
+    agg.time.csv_rows("time_s", &mut rows);
+    agg.on_time.csv_rows("on_time_s", &mut rows);
+    agg.qor.csv_rows("error_percent", &mut rows);
+    agg.progress.csv_rows("forward_progress", &mut rows);
+    agg.outages.csv_rows("outages", &mut rows);
+    for row in rows.lines() {
+        if let Some((key, value)) = row.split_once(',') {
+            push(key, value.to_string());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_fleet, FleetOptions};
+
+    fn report() -> FleetReport {
+        let s = FleetScenario::parse(
+            r#"
+[fleet]
+name = "report-test"
+seed = 9
+shard_size = 16
+wall_limit_s = 600.0
+trace_duration_s = 20.0
+
+[[cohort]]
+count = 10
+benchmark = "matadd"
+technique = "anytime8"
+environment = "rf-bursty"
+"#,
+        )
+        .unwrap();
+        run_fleet(&s, &FleetOptions::default())
+            .unwrap()
+            .report()
+            .unwrap()
+    }
+
+    #[test]
+    fn json_has_schema_and_per_cohort_results() {
+        let r = report();
+        let doc = r.to_json();
+        assert!(doc.contains(&format!("\"schema\":\"{REPORT_SCHEMA}\"")));
+        assert!(doc.contains("\"scenario\":\"report-test\""));
+        assert!(doc.contains("\"fleet\":{"));
+        assert!(doc.contains("\"benchmark\":\"matadd\""));
+        assert!(doc.contains("\"time_hist\""));
+        // Non-finite never leaks into the document.
+        assert!(!doc.contains("NaN") && !doc.contains("inf"), "{doc}");
+    }
+
+    #[test]
+    fn csv_is_long_format_with_fleet_rows() {
+        let r = report();
+        let csv = r.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("cohort,key,value"));
+        assert!(csv.contains("_fleet,devices,10"));
+        assert!(csv.contains("matadd-swv8-clank-rf-bursty,devices,10"));
+        assert!(csv.contains(",time_s.count,"));
+        for line in csv.lines().skip(1) {
+            assert_eq!(line.matches(',').count(), 2, "bad row: {line}");
+        }
+    }
+
+    #[test]
+    fn fleet_aggregate_is_the_cohort_merge() {
+        let r = report();
+        let total = r.fleet_aggregate();
+        assert_eq!(total.devices, r.cohorts.iter().map(|c| c.devices).sum());
+        assert_eq!(total.completed, r.cohorts.iter().map(|c| c.completed).sum());
+    }
+}

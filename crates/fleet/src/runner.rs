@@ -1,0 +1,587 @@
+//! The sharded fleet runner.
+//!
+//! Devices are numbered `0..total` across the scenario's cohorts and
+//! processed in shards of `shard_size`. Each shard fans its devices
+//! across a [`JobPool`]; results come back in device-index order (the
+//! pool's contract), are folded into per-cohort aggregates in that
+//! order, and shards run strictly sequentially — so the aggregate state
+//! after shard *k* is a pure function of the scenario, whatever the
+//! `--jobs` width. A checkpoint written after each shard carries that
+//! state bit-exactly (see [`crate::codec`]), which makes a killed and
+//! resumed sweep byte-identical to an uninterrupted one.
+//!
+//! Memory stays bounded by the shard: a device's power trace is
+//! synthesized inside its job and dropped with it, and only one shard's
+//! outcome vector is ever alive.
+
+use std::fmt;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use wn_core::error::WnError;
+use wn_core::intermittent::run_intermittent;
+use wn_core::jobs::JobPool;
+use wn_core::prepared::PreparedRun;
+use wn_energy::SupplyError;
+use wn_intermittent::ExecError;
+use wn_telemetry::json::Obj;
+use wn_telemetry::Histogram;
+
+use crate::agg::MetricAgg;
+use crate::checkpoint::{self, Checkpoint};
+use crate::codec::{StateReader, StateWriter};
+use crate::report::FleetReport;
+use crate::scenario::FleetScenario;
+
+/// How one device's run ended.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeviceFate {
+    /// Produced an output (possibly via a skim jump).
+    Completed,
+    /// The harvester never delivered enough energy to finish charging.
+    Starved,
+    /// The simulated wall-clock budget expired first.
+    TimedOut,
+}
+
+/// One device's outcome, as folded into cohort aggregates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceOutcome {
+    /// Global device index.
+    pub device: u64,
+    /// Index into the scenario's cohorts.
+    pub cohort: usize,
+    pub fate: DeviceFate,
+    /// Completed via skim jump (approximate output committed).
+    pub skimmed: bool,
+    /// Wall-clock completion time, seconds (completed devices only).
+    pub time_s: f64,
+    /// Powered-on execution time, seconds.
+    pub on_time_s: f64,
+    /// Output NRMSE (%) against golden.
+    pub error_percent: f64,
+    /// Power outages survived.
+    pub outages: u64,
+    /// Useful fraction of executed cycles:
+    /// `1 − (lost + overhead) / active`.
+    pub forward_progress: f64,
+}
+
+/// Per-cohort mergeable aggregate: outcome counters plus streaming
+/// metrics over the completed devices.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CohortAggregate {
+    pub devices: u64,
+    pub completed: u64,
+    pub skimmed: u64,
+    pub starved: u64,
+    pub timed_out: u64,
+    /// Completion time, seconds.
+    pub time: MetricAgg,
+    /// Powered-on time, seconds.
+    pub on_time: MetricAgg,
+    /// Output NRMSE, percent.
+    pub qor: MetricAgg,
+    /// Forward-progress ratio in `[0, 1]`.
+    pub progress: MetricAgg,
+    /// Outages per completed run.
+    pub outages: MetricAgg,
+    /// Completion times on wn-telemetry's decade buckets (comparable
+    /// with run-report duration histograms).
+    pub time_hist: Histogram,
+}
+
+impl CohortAggregate {
+    pub fn new() -> CohortAggregate {
+        CohortAggregate::default()
+    }
+
+    /// Folds one device in (the runner calls this in device-index
+    /// order).
+    pub fn record(&mut self, d: &DeviceOutcome) {
+        self.devices += 1;
+        match d.fate {
+            DeviceFate::Starved => self.starved += 1,
+            DeviceFate::TimedOut => self.timed_out += 1,
+            DeviceFate::Completed => {
+                self.completed += 1;
+                if d.skimmed {
+                    self.skimmed += 1;
+                }
+                self.time.record(d.time_s);
+                self.on_time.record(d.on_time_s);
+                self.qor.record(d.error_percent);
+                self.progress.record(d.forward_progress);
+                self.outages.record(d.outages as f64);
+                self.time_hist.record(d.time_s);
+            }
+        }
+    }
+
+    /// Merges another aggregate in (shard order for determinism).
+    pub fn merge(&mut self, other: &CohortAggregate) {
+        self.devices += other.devices;
+        self.completed += other.completed;
+        self.skimmed += other.skimmed;
+        self.starved += other.starved;
+        self.timed_out += other.timed_out;
+        self.time.merge(&other.time);
+        self.on_time.merge(&other.on_time);
+        self.qor.merge(&other.qor);
+        self.progress.merge(&other.progress);
+        self.outages.merge(&other.outages);
+        self.time_hist.merge(&other.time_hist);
+    }
+
+    /// Fraction of devices that produced an output.
+    pub fn completion_rate(&self) -> f64 {
+        if self.devices == 0 {
+            0.0
+        } else {
+            self.completed as f64 / self.devices as f64
+        }
+    }
+
+    pub(crate) fn save(&self, w: &mut StateWriter) {
+        w.u64(self.devices);
+        w.u64(self.completed);
+        w.u64(self.skimmed);
+        w.u64(self.starved);
+        w.u64(self.timed_out);
+        self.time.save(w);
+        self.on_time.save(w);
+        self.qor.save(w);
+        self.progress.save(w);
+        self.outages.save(w);
+        let (counts, count, sum_s, min_s, max_s) = self.time_hist.raw_parts();
+        for c in counts {
+            w.u64(c);
+        }
+        w.u64(count);
+        w.f64(sum_s);
+        w.f64(min_s);
+        w.f64(max_s);
+    }
+
+    pub(crate) fn load(r: &mut StateReader) -> Option<CohortAggregate> {
+        let devices = r.u64()?;
+        let completed = r.u64()?;
+        let skimmed = r.u64()?;
+        let starved = r.u64()?;
+        let timed_out = r.u64()?;
+        let time = MetricAgg::load(r)?;
+        let on_time = MetricAgg::load(r)?;
+        let qor = MetricAgg::load(r)?;
+        let progress = MetricAgg::load(r)?;
+        let outages = MetricAgg::load(r)?;
+        let mut counts = [0u64; Histogram::BUCKETS];
+        for c in &mut counts {
+            *c = r.u64()?;
+        }
+        let time_hist = Histogram::from_raw_parts(counts, r.u64()?, r.f64()?, r.f64()?, r.f64()?);
+        Some(CohortAggregate {
+            devices,
+            completed,
+            skimmed,
+            starved,
+            timed_out,
+            time,
+            on_time,
+            qor,
+            progress,
+            outages,
+            time_hist,
+        })
+    }
+}
+
+/// Fleet runner options.
+#[derive(Debug, Clone, Default)]
+pub struct FleetOptions {
+    /// Worker count; `None` uses the global pool width (`WN_JOBS`).
+    pub jobs: Option<usize>,
+    /// Checkpoint file: written atomically after every shard, consumed
+    /// by `resume`.
+    pub checkpoint: Option<PathBuf>,
+    /// Resume from `checkpoint` if it exists and matches the scenario
+    /// fingerprint (a stale or foreign checkpoint is an error, not a
+    /// silent restart).
+    pub resume: bool,
+    /// Append one JSON line per completed shard (progress stream).
+    pub shard_log: Option<PathBuf>,
+    /// Stop after this many *newly run* shards — deterministic stand-in
+    /// for a mid-sweep kill in tests and CI.
+    pub stop_after_shards: Option<usize>,
+}
+
+/// What a fleet run produced.
+#[derive(Debug)]
+pub enum FleetStatus {
+    /// All shards done.
+    Complete(FleetReport),
+    /// Stopped early by [`FleetOptions::stop_after_shards`]; the
+    /// checkpoint (if configured) holds `shards_done` shards of state.
+    Paused {
+        shards_done: usize,
+        shard_count: usize,
+    },
+}
+
+impl FleetStatus {
+    /// The report, if the run completed.
+    pub fn report(self) -> Option<FleetReport> {
+        match self {
+            FleetStatus::Complete(r) => Some(r),
+            FleetStatus::Paused { .. } => None,
+        }
+    }
+}
+
+/// Errors from the fleet runner.
+#[derive(Debug)]
+pub enum FleetError {
+    /// A device hit a fatal (non-population) error: compile failure,
+    /// simulator fault, bad configuration.
+    Device { device: u64, source: WnError },
+    /// Checkpoint file problems: unreadable, unparsable, or from a
+    /// different scenario.
+    Checkpoint(String),
+    /// Shard-log or checkpoint I/O failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::Device { device, source } => {
+                write!(f, "device {device} failed: {source}")
+            }
+            FleetError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
+            FleetError::Io(e) => write!(f, "fleet i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FleetError::Device { source, .. } => Some(source),
+            FleetError::Io(e) => Some(e),
+            FleetError::Checkpoint(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for FleetError {
+    fn from(e: std::io::Error) -> FleetError {
+        FleetError::Io(e)
+    }
+}
+
+/// Runs (or resumes) a fleet sweep.
+///
+/// # Errors
+///
+/// Returns [`FleetError::Device`] on the first fatal device error,
+/// [`FleetError::Checkpoint`] on a mismatched resume file, or an I/O
+/// error from checkpoint/shard-log writes. Starved and timed-out
+/// devices are *outcomes*, not errors.
+pub fn run_fleet(
+    scenario: &FleetScenario,
+    options: &FleetOptions,
+) -> Result<FleetStatus, FleetError> {
+    let shard_count = scenario.shard_count();
+    let total = scenario.total_devices();
+    let fingerprint = scenario.fingerprint();
+
+    let mut cohorts: Vec<CohortAggregate> = vec![CohortAggregate::new(); scenario.cohorts.len()];
+    let mut next_shard = 0usize;
+    if options.resume {
+        let path = options.checkpoint.as_ref().ok_or_else(|| {
+            FleetError::Checkpoint("resume requested without a checkpoint path".into())
+        })?;
+        if path.exists() {
+            let ckpt = checkpoint::load(path)?;
+            if ckpt.fingerprint != fingerprint {
+                return Err(FleetError::Checkpoint(format!(
+                    "checkpoint {} is from a different scenario \
+                     (fingerprint {:016x}, expected {:016x})",
+                    path.display(),
+                    ckpt.fingerprint,
+                    fingerprint
+                )));
+            }
+            if ckpt.cohorts.len() != cohorts.len() {
+                return Err(FleetError::Checkpoint(
+                    "checkpoint cohort count does not match scenario".into(),
+                ));
+            }
+            cohorts = ckpt.cohorts;
+            next_shard = ckpt.shards_done;
+        }
+    }
+
+    let pool = match options.jobs {
+        Some(n) => JobPool::with_jobs(n),
+        None => JobPool::global(),
+    };
+
+    for (ran, shard) in (next_shard..shard_count).enumerate() {
+        let lo = shard as u64 * scenario.shard_size as u64;
+        let hi = (lo + scenario.shard_size as u64).min(total);
+        let outcomes = pool
+            .run((hi - lo) as usize, |i| {
+                simulate_device(scenario, lo + i as u64)
+            })
+            .map_err(|(device, source)| FleetError::Device { device, source })?;
+        // Index order: the pool returns job-index order, which is
+        // device order within the shard.
+        for d in &outcomes {
+            cohorts[d.cohort].record(d);
+        }
+        if let Some(log) = &options.shard_log {
+            append_shard_line(log, scenario, shard, &outcomes)?;
+        }
+        if let Some(path) = &options.checkpoint {
+            checkpoint::store(
+                path,
+                &Checkpoint {
+                    fingerprint,
+                    shards_done: shard + 1,
+                    shard_count,
+                    cohorts: cohorts.clone(),
+                },
+            )?;
+        }
+        if options.stop_after_shards.is_some_and(|n| ran + 1 >= n) && shard + 1 < shard_count {
+            return Ok(FleetStatus::Paused {
+                shards_done: shard + 1,
+                shard_count,
+            });
+        }
+    }
+
+    Ok(FleetStatus::Complete(FleetReport::new(scenario, cohorts)))
+}
+
+/// Simulates one device end to end: derive its seeds, synthesize its
+/// environment, run it on its cohort's substrate.
+///
+/// # Errors
+///
+/// Fatal errors only (tagged with the device index); starvation and
+/// wall-clock expiry are outcomes.
+fn simulate_device(scenario: &FleetScenario, device: u64) -> Result<DeviceOutcome, (u64, WnError)> {
+    let cohort = scenario.cohort_of(device);
+    let spec = &scenario.cohorts[cohort];
+    // One compilation per cohort (inputs are a cohort-level property;
+    // the population varies the *environment* per device).
+    let prepared = PreparedRun::cached(
+        spec.benchmark,
+        scenario.scale,
+        scenario.cohort_input_seed(cohort),
+        spec.technique,
+    )
+    .map_err(|e| (device, e))?;
+    let trace = spec
+        .env
+        .synthesize(scenario.device_seed(device), scenario.trace_duration_s);
+    let incomplete = |fate| DeviceOutcome {
+        device,
+        cohort,
+        fate,
+        skimmed: false,
+        time_s: 0.0,
+        on_time_s: 0.0,
+        error_percent: 0.0,
+        outages: 0,
+        forward_progress: 0.0,
+    };
+    match run_intermittent(
+        &prepared,
+        spec.substrate.kind(),
+        &trace,
+        spec.supply(),
+        scenario.wall_limit_s,
+    ) {
+        Ok(out) => {
+            let wasted = out.substrate.lost_cycles + out.substrate.overhead_cycles;
+            let forward_progress = if out.active_cycles == 0 {
+                0.0
+            } else {
+                1.0 - wasted as f64 / out.active_cycles as f64
+            };
+            Ok(DeviceOutcome {
+                device,
+                cohort,
+                fate: DeviceFate::Completed,
+                skimmed: out.skimmed,
+                time_s: out.time_s,
+                on_time_s: out.on_time_s,
+                error_percent: out.error_percent,
+                outages: out.outages,
+                forward_progress,
+            })
+        }
+        // Population phenomena, not failures: a dark environment or a
+        // too-small budget is exactly what fleet sweeps measure.
+        Err(WnError::Exec(ExecError::WallClock { .. })) => Ok(incomplete(DeviceFate::TimedOut)),
+        Err(WnError::Exec(ExecError::Supply(SupplyError::Starved { .. }))) => {
+            Ok(incomplete(DeviceFate::Starved))
+        }
+        Err(e) => Err((device, e)),
+    }
+}
+
+/// Appends one `wn-fleet-shard-v1` JSON line summarizing a shard.
+fn append_shard_line(
+    path: &std::path::Path,
+    scenario: &FleetScenario,
+    shard: usize,
+    outcomes: &[DeviceOutcome],
+) -> Result<(), FleetError> {
+    let completed = outcomes
+        .iter()
+        .filter(|d| d.fate == DeviceFate::Completed)
+        .count() as u64;
+    let line = Obj::new()
+        .str("schema", "wn-fleet-shard-v1")
+        .str("scenario", &scenario.name)
+        .u64("shard", shard as u64)
+        .u64("devices", outcomes.len() as u64)
+        .u64("first_device", outcomes.first().map_or(0, |d| d.device))
+        .u64("completed", completed)
+        .u64(
+            "starved",
+            outcomes
+                .iter()
+                .filter(|d| d.fate == DeviceFate::Starved)
+                .count() as u64,
+        )
+        .u64(
+            "timed_out",
+            outcomes
+                .iter()
+                .filter(|d| d.fate == DeviceFate::TimedOut)
+                .count() as u64,
+        )
+        .finish();
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(file, "{line}")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_scenario() -> FleetScenario {
+        FleetScenario::parse(
+            r#"
+[fleet]
+name = "tiny"
+seed = 5
+shard_size = 8
+wall_limit_s = 600.0
+trace_duration_s = 20.0
+
+[[cohort]]
+count = 12
+benchmark = "matadd"
+technique = "anytime8"
+substrate = "clank"
+environment = "rf-bursty"
+
+[[cohort]]
+count = 6
+benchmark = "home"
+technique = "precise"
+substrate = "nvp"
+environment = "solar"
+"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fleet_runs_and_counts_every_device() {
+        let s = tiny_scenario();
+        let report = run_fleet(&s, &FleetOptions::default())
+            .unwrap()
+            .report()
+            .unwrap();
+        let total: u64 = report.cohorts.iter().map(|c| c.devices).sum();
+        assert_eq!(total, 18);
+        for c in &report.cohorts {
+            assert_eq!(
+                c.completed + c.starved + c.timed_out,
+                c.devices,
+                "every device has exactly one fate"
+            );
+        }
+        // The RF default environment powers quick kernels: someone
+        // must finish, and completed metrics must be populated.
+        let c0 = &report.cohorts[0];
+        assert!(c0.completed > 0, "rf cohort completed none");
+        assert_eq!(c0.time.count(), c0.completed);
+        assert_eq!(c0.time_hist.count(), c0.completed);
+    }
+
+    #[test]
+    fn jobs_width_does_not_change_aggregates() {
+        let s = tiny_scenario();
+        let one = run_fleet(
+            &s,
+            &FleetOptions {
+                jobs: Some(1),
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .report()
+        .unwrap();
+        let four = run_fleet(
+            &s,
+            &FleetOptions {
+                jobs: Some(4),
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .report()
+        .unwrap();
+        assert_eq!(one.cohorts, four.cohorts);
+        assert_eq!(one.to_json(), four.to_json());
+        assert_eq!(one.to_csv(), four.to_csv());
+    }
+
+    #[test]
+    fn device_outcomes_are_deterministic() {
+        let s = tiny_scenario();
+        let a = simulate_device(&s, 3).unwrap();
+        let b = simulate_device(&s, 3).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.cohort, 0);
+        assert_eq!(simulate_device(&s, 14).unwrap().cohort, 1);
+    }
+
+    #[test]
+    fn aggregate_state_round_trips_through_codec() {
+        let s = tiny_scenario();
+        let report = run_fleet(&s, &FleetOptions::default())
+            .unwrap()
+            .report()
+            .unwrap();
+        for c in &report.cohorts {
+            let mut w = StateWriter::new();
+            c.save(&mut w);
+            let mut r = StateReader::new(w.as_str());
+            let back = CohortAggregate::load(&mut r).unwrap();
+            assert_eq!(&back, c);
+            assert!(r.is_empty());
+        }
+    }
+}

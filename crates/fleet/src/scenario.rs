@@ -1,0 +1,930 @@
+//! Fleet scenarios: who is in the population and what world they live in.
+//!
+//! A scenario is a device population — cohorts of `count` devices, each
+//! cohort fixing a benchmark × technique × substrate × capacitor ×
+//! harvesting environment — plus the sweep parameters (master seed,
+//! shard size, wall-clock limit). Everything a device does is a pure
+//! function of the scenario and its global device index: input data is
+//! seeded per cohort, the power trace per device (splitmix64 over the
+//! master seed), so any device can be re-simulated bit-identically in
+//! isolation — the property shard resume and `--jobs` invariance rest
+//! on.
+//!
+//! Scenarios parse from a small TOML subset (`[fleet]` + `[[cohort]]`
+//! tables, string/number/bool values) or from JSON with the same shape
+//! (`{"fleet": {...}, "cohorts": [...]}`); the two lower into one
+//! document model. No external parser crates exist in this container,
+//! so both grammars are hand-rolled here and deliberately tiny.
+
+use std::fmt;
+
+use wn_compiler::Technique;
+use wn_core::intermittent::SubstrateKind;
+use wn_energy::{EnvModel, SupplyConfig};
+use wn_kernels::{Benchmark, Scale};
+
+/// Default shard size: bounds peak memory at ~512 per-device outcome
+/// structs regardless of fleet size, while keeping the job pool fed.
+pub const DEFAULT_SHARD_SIZE: usize = 512;
+
+/// Which substrate a cohort's devices run on (default configurations;
+/// the paper's Clank and NVP models).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubstrateChoice {
+    Clank,
+    Nvp,
+}
+
+impl SubstrateChoice {
+    pub fn name(&self) -> &'static str {
+        match self {
+            SubstrateChoice::Clank => "clank",
+            SubstrateChoice::Nvp => "nvp",
+        }
+    }
+
+    /// The executor-facing substrate kind (default parameters).
+    pub fn kind(&self) -> SubstrateKind {
+        match self {
+            SubstrateChoice::Clank => SubstrateKind::clank(),
+            SubstrateChoice::Nvp => SubstrateKind::nvp(),
+        }
+    }
+
+    fn parse(s: &str) -> Option<SubstrateChoice> {
+        match s {
+            "clank" => Some(SubstrateChoice::Clank),
+            "nvp" => Some(SubstrateChoice::Nvp),
+            _ => None,
+        }
+    }
+}
+
+/// One cohort: `count` devices sharing a workload and an environment
+/// family (each device still sees its own seeded trace).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CohortSpec {
+    /// Display name (defaults to `bench-technique-substrate-env`).
+    pub name: String,
+    /// Devices in this cohort.
+    pub count: u64,
+    pub benchmark: Benchmark,
+    pub technique: Technique,
+    pub substrate: SubstrateChoice,
+    /// Storage capacitance in microfarads.
+    pub capacitance_uf: f64,
+    /// The harvesting environment family (per-device traces are seeded
+    /// from the master seed and the global device index).
+    pub env: EnvModel,
+}
+
+impl CohortSpec {
+    /// The cohort's supply configuration: its capacitor on the default
+    /// electrical model.
+    pub fn supply(&self) -> SupplyConfig {
+        SupplyConfig {
+            capacitance_f: self.capacitance_uf * 1e-6,
+            ..SupplyConfig::default()
+        }
+    }
+}
+
+/// A full fleet scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetScenario {
+    pub name: String,
+    /// Master seed: cohort inputs and device traces derive from it.
+    pub seed: u64,
+    /// Devices per shard (bounds peak memory; does not change results).
+    pub shard_size: usize,
+    /// Per-device simulated wall-clock budget, seconds.
+    pub wall_limit_s: f64,
+    /// Length of each synthesized power trace, seconds (traces wrap).
+    pub trace_duration_s: f64,
+    /// Kernel scale for every cohort.
+    pub scale: Scale,
+    pub cohorts: Vec<CohortSpec>,
+}
+
+impl FleetScenario {
+    /// Total devices across cohorts.
+    pub fn total_devices(&self) -> u64 {
+        self.cohorts.iter().map(|c| c.count).sum()
+    }
+
+    /// Number of shards the sweep runs in.
+    pub fn shard_count(&self) -> usize {
+        let total = self.total_devices();
+        if total == 0 {
+            0
+        } else {
+            ((total - 1) / self.shard_size as u64 + 1) as usize
+        }
+    }
+
+    /// The cohort a global device index belongs to. Panics if out of
+    /// range (the runner only hands in valid indices).
+    pub fn cohort_of(&self, device: u64) -> usize {
+        let mut start = 0u64;
+        for (i, c) in self.cohorts.iter().enumerate() {
+            if device < start + c.count {
+                return i;
+            }
+            start += c.count;
+        }
+        panic!("device index {device} beyond fleet of {}", start)
+    }
+
+    /// Per-device trace seed: splitmix64 over the master seed and the
+    /// global index, so neighbouring devices get decorrelated streams.
+    pub fn device_seed(&self, device: u64) -> u64 {
+        splitmix64(self.seed ^ splitmix64(device.wrapping_add(0x9e37_79b9_7f4a_7c15)))
+    }
+
+    /// Per-cohort kernel-input seed (one compiled instance per cohort;
+    /// compilation is the expensive step, and population statistics are
+    /// about environments, not input data).
+    pub fn cohort_input_seed(&self, cohort: usize) -> u64 {
+        splitmix64(self.seed ^ splitmix64(0x5bf0_3635 + cohort as u64))
+    }
+
+    /// A canonical, order-stable rendering of everything that affects
+    /// results — the fingerprint input for checkpoint compatibility.
+    pub fn canonical(&self) -> String {
+        let mut s = format!(
+            "wn-fleet-scenario-v1|name={}|seed={}|shard={}|limit={}|trace={}|scale={:?}",
+            self.name,
+            self.seed,
+            self.shard_size,
+            bits(self.wall_limit_s),
+            bits(self.trace_duration_s),
+            self.scale,
+        );
+        for c in &self.cohorts {
+            s.push_str(&format!(
+                "|cohort:{}:{}:{}:{}:{}:{}:{}",
+                c.name,
+                c.count,
+                c.benchmark.name(),
+                c.technique,
+                c.substrate.name(),
+                bits(c.capacitance_uf),
+                env_canonical(&c.env),
+            ));
+        }
+        s
+    }
+
+    /// FNV-1a 64 fingerprint of [`FleetScenario::canonical`]: two
+    /// scenarios with the same fingerprint produce the same sweep, so a
+    /// checkpoint from one resumes the other.
+    pub fn fingerprint(&self) -> u64 {
+        fnv1a64(self.canonical().as_bytes())
+    }
+
+    /// Parses a scenario from TOML (default) or JSON (first
+    /// non-whitespace byte `{`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line/field.
+    pub fn parse(text: &str) -> Result<FleetScenario, ScenarioError> {
+        let doc = if text.trim_start().starts_with('{') {
+            doc_from_json(text)?
+        } else {
+            doc_from_toml(text)?
+        };
+        FleetScenario::from_doc(doc)
+    }
+
+    fn from_doc(doc: ScenarioDoc) -> Result<FleetScenario, ScenarioError> {
+        let f = &doc.fleet;
+        let scenario_name = f.str_or("name", "fleet");
+        let seed = f.u64_or("seed", 42)?;
+        let shard_size = f.u64_or("shard_size", DEFAULT_SHARD_SIZE as u64)? as usize;
+        if shard_size == 0 {
+            return Err(err("fleet.shard_size must be positive"));
+        }
+        let wall_limit_s = f.f64_or("wall_limit_s", 3600.0)?;
+        if !wall_limit_s.is_finite() || wall_limit_s <= 0.0 {
+            return Err(err("fleet.wall_limit_s must be positive"));
+        }
+        let trace_duration_s = f.f64_or("trace_duration_s", 60.0)?;
+        if !trace_duration_s.is_finite() || trace_duration_s <= 0.0 {
+            return Err(err("fleet.trace_duration_s must be positive"));
+        }
+        let scale = match f.str_or("scale", "quick").as_str() {
+            "quick" => Scale::Quick,
+            "paper" => Scale::Paper,
+            other => return Err(err(&format!("unknown fleet.scale `{other}`"))),
+        };
+        if doc.cohorts.is_empty() {
+            return Err(err("a scenario needs at least one [[cohort]]"));
+        }
+        let mut cohorts = Vec::with_capacity(doc.cohorts.len());
+        for (i, t) in doc.cohorts.iter().enumerate() {
+            cohorts.push(parse_cohort(t, i)?);
+        }
+        let scenario = FleetScenario {
+            name: scenario_name,
+            seed,
+            shard_size,
+            wall_limit_s,
+            trace_duration_s,
+            scale,
+            cohorts,
+        };
+        if scenario.total_devices() == 0 {
+            return Err(err("fleet has zero devices"));
+        }
+        Ok(scenario)
+    }
+}
+
+fn parse_cohort(t: &TableDoc, index: usize) -> Result<CohortSpec, ScenarioError> {
+    let at = |field: &str| format!("cohort[{index}].{field}");
+    let count = t.u64_or("count", 1)?;
+    let bench_name = t
+        .str("benchmark")
+        .ok_or_else(|| err(&format!("{} is required", at("benchmark"))))?;
+    let benchmark = Benchmark::ALL
+        .into_iter()
+        .find(|b| b.name() == bench_name)
+        .ok_or_else(|| err(&format!("unknown benchmark `{bench_name}`")))?;
+    let technique = parse_technique(&t.str_or("technique", "precise"), benchmark)
+        .ok_or_else(|| err(&format!("unknown {} value", at("technique"))))?;
+    let substrate = SubstrateChoice::parse(&t.str_or("substrate", "clank"))
+        .ok_or_else(|| err(&format!("unknown {} value", at("substrate"))))?;
+    let capacitance_uf = t.f64_or("capacitance_uf", 1.0)?;
+    if !capacitance_uf.is_finite() || capacitance_uf <= 0.0 {
+        return Err(err(&format!("{} must be positive", at("capacitance_uf"))));
+    }
+    let env = parse_env(t).map_err(|e| err(&format!("{}: {}", at("environment"), e.0)))?;
+    let mean_power_w = env.expected_mean_power_w();
+    if !mean_power_w.is_finite() || mean_power_w <= 0.0 {
+        return Err(err(&format!(
+            "{}: environment mean power must be positive",
+            at("environment")
+        )));
+    }
+    let name = t.str_or(
+        "name",
+        &format!(
+            "{}-{}-{}-{}",
+            benchmark.name(),
+            technique,
+            substrate.name(),
+            env.name()
+        ),
+    );
+    Ok(CohortSpec {
+        name,
+        count,
+        benchmark,
+        technique,
+        substrate,
+        capacitance_uf,
+        env,
+    })
+}
+
+/// `precise`, `swpN`, `swvN`, `swpN+vld`, `swvN-unprov`, or `anytimeN`
+/// (the benchmark's Table-I default technique at N bits).
+fn parse_technique(s: &str, benchmark: Benchmark) -> Option<Technique> {
+    if s == "precise" {
+        return Some(Technique::Precise);
+    }
+    if let Some(bits) = s.strip_prefix("anytime").and_then(|b| b.parse().ok()) {
+        return Some(benchmark.technique(bits));
+    }
+    if let Some(rest) = s.strip_prefix("swp") {
+        if let Some(bits) = rest.strip_suffix("+vld").and_then(|b| b.parse().ok()) {
+            return Some(Technique::swp_vectorized(bits));
+        }
+        return rest.parse().ok().map(Technique::swp);
+    }
+    if let Some(rest) = s.strip_prefix("swv") {
+        if let Some(bits) = rest.strip_suffix("-unprov").and_then(|b| b.parse().ok()) {
+            return Some(Technique::swv_unprovisioned(bits));
+        }
+        return rest.parse().ok().map(Technique::swv);
+    }
+    None
+}
+
+/// Environment from a cohort table: the `environment` family name plus
+/// optional per-family parameter overrides (powers in µW, durations in
+/// their named units).
+fn parse_env(t: &TableDoc) -> Result<EnvModel, ScenarioError> {
+    let family = t.str_or("environment", "rf-bursty");
+    match family.as_str() {
+        "rf-bursty" | "rf" => {
+            let mut m = EnvModel::rf_default();
+            if let EnvModel::RfBursty {
+                mean_power_w,
+                mean_burst_ms,
+                mean_gap_ms,
+            } = &mut m
+            {
+                if let Some(v) = t.f64_opt("mean_power_uw")? {
+                    *mean_power_w = v * 1e-6;
+                }
+                if let Some(v) = t.f64_opt("burst_ms")? {
+                    *mean_burst_ms = v;
+                }
+                if let Some(v) = t.f64_opt("gap_ms")? {
+                    *mean_gap_ms = v;
+                }
+            }
+            Ok(m)
+        }
+        "solar-diurnal" | "solar" => {
+            let mut m = EnvModel::solar_default();
+            if let EnvModel::SolarDiurnal {
+                peak_power_w,
+                day_s,
+            } = &mut m
+            {
+                if let Some(v) = t.f64_opt("peak_power_uw")? {
+                    *peak_power_w = v * 1e-6;
+                }
+                if let Some(v) = t.f64_opt("day_s")? {
+                    *day_s = v;
+                }
+            }
+            Ok(m)
+        }
+        "piezo-impulse" | "piezo" => {
+            let mut m = EnvModel::piezo_default();
+            if let EnvModel::PiezoImpulse {
+                baseline_w,
+                impulse_w,
+                impulse_ms,
+                mean_gap_ms,
+            } = &mut m
+            {
+                if let Some(v) = t.f64_opt("baseline_uw")? {
+                    *baseline_w = v * 1e-6;
+                }
+                if let Some(v) = t.f64_opt("impulse_uw")? {
+                    *impulse_w = v * 1e-6;
+                }
+                if let Some(v) = t.f64_opt("impulse_ms")? {
+                    *impulse_ms = v;
+                }
+                if let Some(v) = t.f64_opt("gap_ms")? {
+                    *mean_gap_ms = v;
+                }
+            }
+            Ok(m)
+        }
+        other => Err(err(&format!("unknown environment family `{other}`"))),
+    }
+}
+
+fn env_canonical(env: &EnvModel) -> String {
+    match *env {
+        EnvModel::RfBursty {
+            mean_power_w,
+            mean_burst_ms,
+            mean_gap_ms,
+        } => format!(
+            "rf:{}:{}:{}",
+            bits(mean_power_w),
+            bits(mean_burst_ms),
+            bits(mean_gap_ms)
+        ),
+        EnvModel::SolarDiurnal {
+            peak_power_w,
+            day_s,
+        } => {
+            format!("solar:{}:{}", bits(peak_power_w), bits(day_s))
+        }
+        EnvModel::PiezoImpulse {
+            baseline_w,
+            impulse_w,
+            impulse_ms,
+            mean_gap_ms,
+        } => format!(
+            "piezo:{}:{}:{}:{}",
+            bits(baseline_w),
+            bits(impulse_w),
+            bits(impulse_ms),
+            bits(mean_gap_ms)
+        ),
+    }
+}
+
+/// Exact float rendering for canonical strings.
+fn bits(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A scenario parse/validation error with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioError(pub String);
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scenario error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+fn err(msg: &str) -> ScenarioError {
+    ScenarioError(msg.to_string())
+}
+
+// ---------------------------------------------------------------------
+// Document model shared by the TOML and JSON frontends.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum DocValue {
+    Str(String),
+    Num(f64),
+    Bool(bool),
+}
+
+#[derive(Debug, Clone, Default, PartialEq)]
+struct TableDoc {
+    entries: Vec<(String, DocValue)>,
+}
+
+impl TableDoc {
+    fn get(&self, key: &str) -> Option<&DocValue> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    fn str(&self, key: &str) -> Option<String> {
+        match self.get(key)? {
+            DocValue::Str(s) => Some(s.clone()),
+            DocValue::Num(n) => Some(format!("{n}")),
+            DocValue::Bool(b) => Some(b.to_string()),
+        }
+    }
+
+    fn str_or(&self, key: &str, default: &str) -> String {
+        self.str(key).unwrap_or_else(|| default.to_string())
+    }
+
+    fn f64_opt(&self, key: &str) -> Result<Option<f64>, ScenarioError> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(DocValue::Num(n)) => Ok(Some(*n)),
+            Some(_) => Err(err(&format!("field `{key}` must be a number"))),
+        }
+    }
+
+    fn f64_or(&self, key: &str, default: f64) -> Result<f64, ScenarioError> {
+        Ok(self.f64_opt(key)?.unwrap_or(default))
+    }
+
+    fn u64_or(&self, key: &str, default: u64) -> Result<u64, ScenarioError> {
+        let v = self.f64_or(key, default as f64)?;
+        if v < 0.0 || v.fract() != 0.0 || v > u64::MAX as f64 {
+            return Err(err(&format!(
+                "field `{key}` must be a non-negative integer, got {v}"
+            )));
+        }
+        Ok(v as u64)
+    }
+}
+
+#[derive(Debug, Default)]
+struct ScenarioDoc {
+    fleet: TableDoc,
+    cohorts: Vec<TableDoc>,
+}
+
+// ---------------------------------------------------------------------
+// TOML-subset frontend: `[fleet]`, repeated `[[cohort]]`, and
+// `key = value` lines with string / number / boolean values.
+// ---------------------------------------------------------------------
+
+fn doc_from_toml(text: &str) -> Result<ScenarioDoc, ScenarioError> {
+    enum Section {
+        None,
+        Fleet,
+        Cohort,
+    }
+    let mut doc = ScenarioDoc::default();
+    let mut section = Section::None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = strip_toml_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        let at = |msg: &str| err(&format!("line {}: {msg}", lineno + 1));
+        if line == "[fleet]" {
+            section = Section::Fleet;
+            continue;
+        }
+        if line == "[[cohort]]" {
+            doc.cohorts.push(TableDoc::default());
+            section = Section::Cohort;
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(at(&format!(
+                "unknown section `{line}` (expected [fleet] or [[cohort]])"
+            )));
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(at("expected `key = value`"));
+        };
+        let key = key.trim().to_string();
+        let value = parse_toml_value(value.trim())
+            .ok_or_else(|| at(&format!("cannot parse value for `{key}`")))?;
+        let table = match section {
+            Section::Fleet => &mut doc.fleet,
+            Section::Cohort => doc.cohorts.last_mut().expect("pushed on [[cohort]]"),
+            Section::None => {
+                return Err(at("key outside any section (start with [fleet])"));
+            }
+        };
+        table.entries.push((key, value));
+    }
+    Ok(doc)
+}
+
+/// Strips a `#` comment that is not inside a quoted string.
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_toml_value(s: &str) -> Option<DocValue> {
+    if let Some(inner) = s.strip_prefix('"').and_then(|r| r.strip_suffix('"')) {
+        return Some(DocValue::Str(inner.to_string()));
+    }
+    match s {
+        "true" => return Some(DocValue::Bool(true)),
+        "false" => return Some(DocValue::Bool(false)),
+        _ => {}
+    }
+    s.parse::<f64>().ok().map(DocValue::Num)
+}
+
+// ---------------------------------------------------------------------
+// JSON frontend: `{"fleet": {...}, "cohorts": [{...}, ...]}` with
+// string / number / boolean leaf values. Recursive descent, no serde.
+// ---------------------------------------------------------------------
+
+fn doc_from_json(text: &str) -> Result<ScenarioDoc, ScenarioError> {
+    let mut p = JsonParser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let mut doc = ScenarioDoc::default();
+    p.expect(b'{')?;
+    loop {
+        p.skip_ws();
+        if p.eat(b'}') {
+            break;
+        }
+        let key = p.string()?;
+        p.skip_ws();
+        p.expect(b':')?;
+        p.skip_ws();
+        match key.as_str() {
+            "fleet" => doc.fleet = p.table()?,
+            "cohorts" => {
+                p.expect(b'[')?;
+                loop {
+                    p.skip_ws();
+                    if p.eat(b']') {
+                        break;
+                    }
+                    doc.cohorts.push(p.table()?);
+                    p.skip_ws();
+                    if !p.eat(b',') {
+                        p.expect(b']')?;
+                        break;
+                    }
+                }
+            }
+            other => {
+                return Err(err(&format!(
+                    "unknown top-level key `{other}` (expected fleet/cohorts)"
+                )))
+            }
+        }
+        p.skip_ws();
+        if !p.eat(b',') {
+            p.expect(b'}')?;
+            break;
+        }
+    }
+    Ok(doc)
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl JsonParser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ScenarioError> {
+        self.skip_ws();
+        if self.eat(b) {
+            Ok(())
+        } else {
+            Err(err(&format!(
+                "JSON: expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ScenarioError> {
+        self.skip_ws();
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        _ => return Err(err("JSON: unsupported escape in string")),
+                    }
+                    self.pos += 1;
+                }
+                Some(&b) => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                None => return Err(err("JSON: unterminated string")),
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<DocValue, ScenarioError> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'"') => Ok(DocValue::Str(self.string()?)),
+            Some(b't') if self.bytes[self.pos..].starts_with(b"true") => {
+                self.pos += 4;
+                Ok(DocValue::Bool(true))
+            }
+            Some(b'f') if self.bytes[self.pos..].starts_with(b"false") => {
+                self.pos += 5;
+                Ok(DocValue::Bool(false))
+            }
+            Some(_) => {
+                let start = self.pos;
+                while self.bytes.get(self.pos).is_some_and(|b| {
+                    b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E')
+                }) {
+                    self.pos += 1;
+                }
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .ok()
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .map(DocValue::Num)
+                    .ok_or_else(|| err(&format!("JSON: bad value at byte {start}")))
+            }
+            None => Err(err("JSON: unexpected end of input")),
+        }
+    }
+
+    fn table(&mut self) -> Result<TableDoc, ScenarioError> {
+        self.expect(b'{')?;
+        let mut t = TableDoc::default();
+        loop {
+            self.skip_ws();
+            if self.eat(b'}') {
+                break;
+            }
+            let key = self.string()?;
+            self.expect(b':')?;
+            let value = self.value()?;
+            t.entries.push((key, value));
+            self.skip_ws();
+            if !self.eat(b',') {
+                self.expect(b'}')?;
+                break;
+            }
+        }
+        Ok(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOML: &str = r#"
+# A two-cohort mixed fleet.
+[fleet]
+name = "mini"
+seed = 7
+shard_size = 128
+wall_limit_s = 1800.0
+trace_duration_s = 30.0
+scale = "quick"
+
+[[cohort]]
+count = 96
+benchmark = "matmul"
+technique = "swp8"
+substrate = "clank"
+capacitance_uf = 1.0
+environment = "rf-bursty"
+mean_power_uw = 125.0
+
+[[cohort]]
+count = 32
+benchmark = "home"          # trailing comment
+technique = "precise"
+substrate = "nvp"
+environment = "solar"
+day_s = 10.0
+"#;
+
+    #[test]
+    fn toml_scenario_parses() {
+        let s = FleetScenario::parse(TOML).unwrap();
+        assert_eq!(s.name, "mini");
+        assert_eq!(s.seed, 7);
+        assert_eq!(s.shard_size, 128);
+        assert_eq!(s.total_devices(), 128);
+        assert_eq!(s.shard_count(), 1);
+        assert_eq!(s.cohorts.len(), 2);
+        let c0 = &s.cohorts[0];
+        assert_eq!(c0.benchmark, Benchmark::MatMul);
+        assert_eq!(c0.technique, Technique::swp(8));
+        assert_eq!(c0.substrate, SubstrateChoice::Clank);
+        assert!(matches!(
+            c0.env,
+            EnvModel::RfBursty { mean_power_w, .. } if (mean_power_w - 125e-6).abs() < 1e-12
+        ));
+        let c1 = &s.cohorts[1];
+        assert_eq!(c1.substrate, SubstrateChoice::Nvp);
+        assert!(matches!(c1.env, EnvModel::SolarDiurnal { day_s, .. } if day_s == 10.0));
+        assert_eq!(c1.name, "home-precise-nvp-solar-diurnal");
+    }
+
+    #[test]
+    fn json_scenario_matches_toml_scenario() {
+        let json = r#"{
+  "fleet": {"name": "mini", "seed": 7, "shard_size": 128,
+            "wall_limit_s": 1800.0, "trace_duration_s": 30.0, "scale": "quick"},
+  "cohorts": [
+    {"count": 96, "benchmark": "matmul", "technique": "swp8",
+     "substrate": "clank", "capacitance_uf": 1.0,
+     "environment": "rf-bursty", "mean_power_uw": 125.0},
+    {"count": 32, "benchmark": "home", "technique": "precise",
+     "substrate": "nvp", "environment": "solar", "day_s": 10.0}
+  ]
+}"#;
+        let a = FleetScenario::parse(TOML).unwrap();
+        let b = FleetScenario::parse(json).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn device_and_cohort_indexing() {
+        let s = FleetScenario::parse(TOML).unwrap();
+        assert_eq!(s.cohort_of(0), 0);
+        assert_eq!(s.cohort_of(95), 0);
+        assert_eq!(s.cohort_of(96), 1);
+        assert_eq!(s.cohort_of(127), 1);
+        // Seeds are deterministic and decorrelated.
+        assert_eq!(s.device_seed(3), s.device_seed(3));
+        assert_ne!(s.device_seed(3), s.device_seed(4));
+        assert_ne!(s.cohort_input_seed(0), s.cohort_input_seed(1));
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_result_affecting_field() {
+        let base = FleetScenario::parse(TOML).unwrap();
+        let mut seeded = base.clone();
+        seeded.seed = 8;
+        assert_ne!(base.fingerprint(), seeded.fingerprint());
+        let mut sharded = base.clone();
+        sharded.shard_size = 64;
+        assert_ne!(base.fingerprint(), sharded.fingerprint());
+        let mut env = base.clone();
+        env.cohorts[1].env = EnvModel::SolarDiurnal {
+            peak_power_w: 1e-4,
+            day_s: 10.0,
+        };
+        assert_ne!(base.fingerprint(), env.fingerprint());
+    }
+
+    #[test]
+    fn technique_parsing_covers_the_compiler_surface() {
+        let b = Benchmark::MatAdd;
+        assert_eq!(parse_technique("precise", b), Some(Technique::Precise));
+        assert_eq!(parse_technique("swp4", b), Some(Technique::swp(4)));
+        assert_eq!(
+            parse_technique("swp8+vld", b),
+            Some(Technique::swp_vectorized(8))
+        );
+        assert_eq!(parse_technique("swv8", b), Some(Technique::swv(8)));
+        assert_eq!(
+            parse_technique("swv4-unprov", b),
+            Some(Technique::swv_unprovisioned(4))
+        );
+        assert_eq!(parse_technique("anytime8", b), Some(b.technique(8)));
+        assert_eq!(parse_technique("warp9", b), None);
+    }
+
+    #[test]
+    fn bad_scenarios_are_rejected_with_messages() {
+        for (text, needle) in [
+            ("[fleet]\nseed = 1\n", "at least one"),
+            ("count = 1\n", "outside any section"),
+            ("[fleet]\n[[cohort]]\ncount = 4\n", "benchmark"),
+            (
+                "[fleet]\n[[cohort]]\nbenchmark = \"nope\"\n",
+                "unknown benchmark",
+            ),
+            (
+                "[fleet]\n[[cohort]]\nbenchmark = \"home\"\nenvironment = \"wind\"\n",
+                "unknown environment",
+            ),
+            (
+                "[fleet]\nshard_size = 0\n[[cohort]]\nbenchmark = \"home\"\n",
+                "shard_size",
+            ),
+            (
+                "[fleet]\n[[cohort]]\nbenchmark = \"home\"\ncount = 0\n",
+                "zero devices",
+            ),
+        ] {
+            let e = FleetScenario::parse(text).unwrap_err();
+            assert!(
+                e.0.contains(needle),
+                "`{needle}` not in error `{}` for:\n{text}",
+                e.0
+            );
+        }
+    }
+
+    #[test]
+    fn shard_count_rounds_up() {
+        let mut s = FleetScenario::parse(TOML).unwrap();
+        assert_eq!(s.shard_count(), 1);
+        s.shard_size = 50;
+        assert_eq!(s.shard_count(), 3);
+        s.shard_size = 128;
+        s.cohorts[0].count = 97;
+        assert_eq!(s.total_devices(), 129);
+        assert_eq!(s.shard_count(), 2);
+    }
+}

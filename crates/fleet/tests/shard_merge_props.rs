@@ -1,0 +1,146 @@
+//! Shard-merge correctness: folding a device stream shard by shard and
+//! merging the shard aggregates gives the same answer as one
+//! single-shard fold — counters and sketch buckets exactly, floating
+//! moments to parallel-summation tolerance. Plus the stronger
+//! end-to-end fact the runner is built on: because devices fold
+//! sequentially in index order across shard boundaries, the *shard
+//! size itself* cannot change the aggregate at all.
+
+use proptest::prelude::*;
+
+use wn_fleet::runner::{CohortAggregate, DeviceFate, DeviceOutcome};
+use wn_fleet::{run_fleet, FleetOptions, FleetScenario};
+
+fn outcome(device: u64, fate: DeviceFate, x: f64) -> DeviceOutcome {
+    DeviceOutcome {
+        device,
+        cohort: 0,
+        fate,
+        skimmed: matches!(fate, DeviceFate::Completed) && device.is_multiple_of(3),
+        time_s: x,
+        on_time_s: x * 0.25,
+        error_percent: (x * 7.3).fract() * 12.0,
+        outages: (x * 100.0) as u64 % 40,
+        forward_progress: 1.0 / (1.0 + x),
+    }
+}
+
+fn any_outcomes() -> impl Strategy<Value = Vec<DeviceOutcome>> {
+    proptest::collection::vec((0u8..3, 1e-4f64..1e3), 1..200).prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (fate, x))| {
+                let fate = match fate {
+                    0 => DeviceFate::Completed,
+                    1 => DeviceFate::Starved,
+                    _ => DeviceFate::TimedOut,
+                };
+                outcome(i as u64, fate, x)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merged shard aggregates equal the single-shard aggregate.
+    #[test]
+    fn merged_shards_equal_single_shard(
+        outcomes in any_outcomes(),
+        shard in 1usize..50,
+    ) {
+        let mut whole = CohortAggregate::new();
+        for d in &outcomes {
+            whole.record(d);
+        }
+        let mut merged = CohortAggregate::new();
+        for chunk in outcomes.chunks(shard) {
+            let mut part = CohortAggregate::new();
+            for d in chunk {
+                part.record(d);
+            }
+            merged.merge(&part);
+        }
+        // Counters and bucket counts are integers: exact.
+        prop_assert_eq!(merged.devices, whole.devices);
+        prop_assert_eq!(merged.completed, whole.completed);
+        prop_assert_eq!(merged.skimmed, whole.skimmed);
+        prop_assert_eq!(merged.starved, whole.starved);
+        prop_assert_eq!(merged.timed_out, whole.timed_out);
+        // Sketch buckets are integer counts, so every quantile answer
+        // is exactly equal (q = 0/1 use the exactly-tracked extremes).
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(
+                merged.time.sketch.quantile(q),
+                whole.time.sketch.quantile(q),
+                "q = {}",
+                q
+            );
+        }
+        prop_assert_eq!(merged.time_hist.counts(), whole.time_hist.counts());
+        // Extremes are exact; moments agree to parallel-sum tolerance.
+        prop_assert_eq!(merged.time.stats.min(), whole.time.stats.min());
+        prop_assert_eq!(merged.time.stats.max(), whole.time.stats.max());
+        for (m, w) in [
+            (&merged.time, &whole.time),
+            (&merged.qor, &whole.qor),
+            (&merged.progress, &whole.progress),
+            (&merged.outages, &whole.outages),
+        ] {
+            prop_assert_eq!(m.count(), w.count());
+            if let (Some(a), Some(b)) = (m.stats.mean(), w.stats.mean()) {
+                prop_assert!((a - b).abs() <= 1e-9 * b.abs().max(1.0));
+            }
+            if let (Some(a), Some(b)) = (m.stats.variance(), w.stats.variance()) {
+                prop_assert!((a - b).abs() <= 1e-6 * b.abs().max(1.0));
+            }
+        }
+    }
+}
+
+/// End to end: the shard size is a memory knob, not a result knob. The
+/// runner folds devices in index order whatever the shard boundaries,
+/// so cohort aggregates are *bit-identical* across shard sizes.
+#[test]
+fn shard_size_never_changes_results() {
+    let scenario_text = |shard: usize| {
+        format!(
+            r#"
+[fleet]
+name = "shardless"
+seed = 21
+shard_size = {shard}
+wall_limit_s = 600.0
+trace_duration_s = 20.0
+
+[[cohort]]
+count = 13
+benchmark = "matadd"
+technique = "anytime8"
+environment = "rf-bursty"
+
+[[cohort]]
+count = 8
+benchmark = "home"
+technique = "precise"
+substrate = "nvp"
+environment = "piezo"
+impulse_uw = 2000.0
+gap_ms = 40.0
+"#
+        )
+    };
+    let mut reports = Vec::new();
+    for shard in [4, 13, 64] {
+        let s = FleetScenario::parse(&scenario_text(shard)).unwrap();
+        let r = run_fleet(&s, &FleetOptions::default())
+            .unwrap()
+            .report()
+            .unwrap();
+        reports.push(r);
+    }
+    assert_eq!(reports[0].cohorts, reports[1].cohorts);
+    assert_eq!(reports[1].cohorts, reports[2].cohorts);
+    assert_eq!(reports[0].fleet_aggregate(), reports[2].fleet_aggregate());
+}

@@ -80,6 +80,30 @@ impl Histogram {
         (self.count > 0).then_some(self.max_s)
     }
 
+    /// The full internal state `(counts, count, sum_s, min_s, max_s)` —
+    /// for callers that persist a histogram and rebuild it with
+    /// [`Histogram::from_raw_parts`] (e.g. fleet checkpoints).
+    pub fn raw_parts(&self) -> ([u64; Self::BUCKETS], u64, f64, f64, f64) {
+        (self.counts, self.count, self.sum_s, self.min_s, self.max_s)
+    }
+
+    /// Rebuilds a histogram from [`Histogram::raw_parts`] state.
+    pub fn from_raw_parts(
+        counts: [u64; Self::BUCKETS],
+        count: u64,
+        sum_s: f64,
+        min_s: f64,
+        max_s: f64,
+    ) -> Histogram {
+        Histogram {
+            counts,
+            count,
+            sum_s,
+            min_s,
+            max_s,
+        }
+    }
+
     pub fn to_json(&self) -> String {
         Obj::new()
             .raw(

@@ -3,10 +3,14 @@
 #
 # Usage: scripts/bench_compare.sh BASELINE.json CANDIDATE.json [THRESHOLD_PCT]
 #
-# Exits 0 when the candidate's untraced_min_ms is within THRESHOLD_PCT
-# (default 10) of the baseline's, 1 on a larger regression, 2 on bad
-# input. Improvements always pass. POSIX sh + awk only, so it runs in CI
-# and locally without any extra tooling.
+# Default (advisory) mode prints the delta and flags regressions beyond
+# THRESHOLD_PCT (default 10) but always exits 0 — shared runners are too
+# noisy for a hard default gate. With WN_BENCH_STRICT=1 the gate is
+# enforced: exit 1 on a regression beyond THRESHOLD_PCT, which then
+# defaults to 25 (a margin wide enough that only real regressions trip
+# it). Improvements always pass. Exit 2 on bad input either way.
+# POSIX sh + awk only, so it runs in CI and locally without extra
+# tooling.
 set -eu
 
 if [ "$#" -lt 2 ] || [ "$#" -gt 3 ]; then
@@ -16,7 +20,12 @@ fi
 
 baseline_file=$1
 candidate_file=$2
-threshold=${3:-10}
+strict=${WN_BENCH_STRICT:-0}
+if [ "$strict" = "1" ]; then
+    threshold=${3:-25}
+else
+    threshold=${3:-10}
+fi
 
 extract() {
     # Naive flat-JSON field extraction, mirroring wn_telemetry::json's
@@ -55,13 +64,16 @@ done
 base=$(extract "$baseline_file" untraced_min_ms)
 cand=$(extract "$candidate_file" untraced_min_ms)
 
-awk -v base="$base" -v cand="$cand" -v threshold="$threshold" 'BEGIN {
+awk -v base="$base" -v cand="$cand" -v threshold="$threshold" -v strict="$strict" 'BEGIN {
     if (base <= 0) { print "error: baseline untraced_min_ms must be positive" > "/dev/stderr"; exit 2 }
     delta = (cand / base - 1.0) * 100.0
-    printf "untraced_min_ms: baseline %.3f ms, candidate %.3f ms (%+.1f%%, threshold +%s%%)\n", base, cand, delta, threshold
+    mode = (strict == "1") ? "strict" : "advisory"
+    printf "untraced_min_ms: baseline %.3f ms, candidate %.3f ms (%+.1f%%, threshold +%s%%, %s)\n", base, cand, delta, threshold, mode
     if (delta > threshold) {
         printf "REGRESSION: candidate is %.1f%% slower than baseline\n", delta
-        exit 1
+        if (strict == "1") exit 1
+        print "(advisory mode: not failing; set WN_BENCH_STRICT=1 to enforce)"
+        exit 0
     }
     print "OK"
 }'
