@@ -34,7 +34,7 @@ use wn_core::experiments::{
 use wn_core::{jobs, telemetry};
 use wn_telemetry::json;
 
-const USAGE: &str = "usage: experiments <all|table1|fig01|fig02|fig03|fig09|fig10|fig11|fig12|fig13|fig14|fig15|fig17|area_power|report|bench> [--paper] [--jobs N] [--telemetry] [--epoch N]\n       experiments fleet <scenario.toml|.json> [--jobs N] [--resume] [--shard-jsonl] [--stop-after-shards N] [--epoch N]";
+const USAGE: &str = "usage: experiments <all|table1|fig01|fig02|fig03|fig09|fig10|fig11|fig12|fig13|fig14|fig15|fig17|area_power|report|bench|bench-fleet> [--paper] [--jobs N] [--telemetry] [--epoch N]\n       experiments fleet <scenario.toml|.json> [--jobs N] [--engine scalar|batched] [--resume] [--shard-jsonl] [--stop-after-shards N] [--epoch N]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
@@ -62,12 +62,21 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    let which: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .filter(|a| a.parse::<usize>().is_err()) // skip flag operands (`--jobs N`)
-        .collect();
+    let mut which: Vec<&str> = Vec::new();
+    let mut skip_value = false;
+    for a in &args {
+        if skip_value {
+            skip_value = false;
+            continue;
+        }
+        if let Some(flag) = a.strip_prefix("--") {
+            // Space-form value flags consume the next argument.
+            skip_value = !flag.contains('=')
+                && matches!(flag, "jobs" | "epoch" | "engine" | "stop-after-shards");
+            continue;
+        }
+        which.push(a.as_str());
+    }
     let which = if which.is_empty() { vec!["all"] } else { which };
 
     // Provenance-only subcommands bypass the experiment loop.
@@ -76,6 +85,9 @@ fn main() -> ExitCode {
     }
     if which == ["bench"] {
         return bench();
+    }
+    if which == ["bench-fleet"] {
+        return bench_fleet();
     }
     if which.first() == Some(&"fleet") {
         return fleet(&args, &which[1..]);
@@ -486,6 +498,111 @@ fn bench() -> ExitCode {
     }
 }
 
+/// `experiments bench-fleet`: fleet-runner throughput trajectory.
+/// Times two 128-device populations on the scalar engine and on the
+/// default lockstep (batched) engine — the criterion-bench anytime
+/// population (every completing device skims, so nearly all diverge
+/// onto the scalar path) and a precise population (no skim points, so
+/// every device finishes on the shared tape) — and records devices/s
+/// for both regimes into `BENCH_fleet.json` and the
+/// `bench_history.jsonl` trajectory.
+fn bench_fleet() -> ExitCode {
+    use wn_fleet::{run_fleet, FleetEngine, FleetOptions, FleetScenario};
+
+    let population = |technique: &str| {
+        // Mirrors the criterion bench population (crates/bench/benches/
+        // fleet.rs): both substrates, two environment families.
+        FleetScenario::parse(&format!(
+            r#"
+[fleet]
+name = "bench-fleet"
+seed = 42
+shard_size = 64
+wall_limit_s = 600.0
+trace_duration_s = 20.0
+
+[[cohort]]
+count = 64
+benchmark = "matadd"
+technique = "{technique}"
+substrate = "clank"
+environment = "rf-bursty"
+
+[[cohort]]
+count = 64
+benchmark = "home"
+technique = "{technique}"
+substrate = "nvp"
+environment = "solar"
+day_s = 10.0
+"#
+        ))
+        .unwrap()
+    };
+    let time = |scenario: &FleetScenario, engine: FleetEngine| {
+        let mut best = f64::INFINITY;
+        for _ in 0..10 {
+            let t0 = Instant::now();
+            let status = run_fleet(
+                scenario,
+                &FleetOptions {
+                    jobs: Some(1),
+                    engine,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            best = best.min(t0.elapsed().as_secs_f64());
+            assert!(status.report().is_some());
+        }
+        best
+    };
+    let mut record = BenchRecord::new("fleet");
+    for (prefix, technique) in [("", "anytime8"), ("precise_", "precise")] {
+        let scenario = population(technique);
+        let devices = scenario.total_devices();
+        // Warm the per-cohort compilation cache off the clock.
+        time(&scenario, FleetEngine::Scalar);
+        let scalar_s = time(&scenario, FleetEngine::Scalar);
+        let batched_s = time(&scenario, FleetEngine::default());
+        let scalar = devices as f64 / scalar_s;
+        let batched = devices as f64 / batched_s;
+        let speedup = scalar_s / batched_s;
+        println!(
+            "fleet bench [{technique}]: scalar {scalar:.0} devices/s, \
+             batched {batched:.0} devices/s ({speedup:.2}x), {devices} devices at --jobs 1",
+        );
+        record.push(
+            &format!("{prefix}scalar_devices_per_s"),
+            scalar,
+            "devices/s",
+        );
+        record.push(
+            &format!("{prefix}batched_devices_per_s"),
+            batched,
+            "devices/s",
+        );
+        record.push(&format!("{prefix}batched_speedup"), speedup, "x");
+    }
+    match record.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("BENCH record write failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match record.append_history() {
+        Ok(path) => {
+            println!("appended {}", path.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("bench history append failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// `experiments fleet <scenario>`: sharded multi-device population
 /// sweep. Reads a TOML/JSON scenario, runs it through
 /// [`wn_fleet::run_fleet`] (checkpointing after every shard), and
@@ -493,11 +610,28 @@ fn bench() -> ExitCode {
 /// usual manifest. `--resume` picks up from the checkpoint; the report
 /// bytes are identical to an uninterrupted run at any `--jobs` width.
 fn fleet(args: &[String], operands: &[&str]) -> ExitCode {
-    use wn_fleet::{run_fleet, FleetOptions, FleetScenario, FleetStatus};
+    use wn_fleet::{run_fleet, FleetEngine, FleetOptions, FleetScenario, FleetStatus};
 
     let [path] = operands else {
         eprintln!("fleet needs exactly one scenario file\n{USAGE}");
         return ExitCode::FAILURE;
+    };
+    // Engine choice changes speed only: reports are byte-identical
+    // either way (`scalar` keeps the per-device oracle honest in CI).
+    let engine = match parse_flag_value(args, "--engine") {
+        Ok(None) => FleetEngine::default(),
+        Ok(Some(v)) => match v.as_str() {
+            "scalar" => FleetEngine::Scalar,
+            "batched" => FleetEngine::default(),
+            other => {
+                eprintln!("--engine must be `scalar` or `batched`, got `{other}`\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
     };
     let text = match std::fs::read_to_string(path) {
         Ok(text) => text,
@@ -543,6 +677,7 @@ fn fleet(args: &[String], operands: &[&str]) -> ExitCode {
     let shard_jsonl = args.iter().any(|a| a == "--shard-jsonl");
     let options = FleetOptions {
         jobs: None, // the global pool, already sized by --jobs / WN_JOBS
+        engine,
         checkpoint: Some(results.join(format!("fleet_{stem}.ckpt.json"))),
         resume: args.iter().any(|a| a == "--resume"),
         shard_log: shard_jsonl.then(|| results.join(format!("fleet_{stem}.shards.jsonl"))),

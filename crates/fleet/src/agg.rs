@@ -286,6 +286,15 @@ impl MetricAgg {
     }
 
     pub fn record(&mut self, x: f64) {
+        // One validity gate for both halves: fleet metrics are
+        // non-negative by construction, and the sketch cannot bucket a
+        // negative or non-finite value anyway. Gating here (rather than
+        // letting each half apply its own filter) keeps
+        // `stats.count() == sketch.count()` as an invariant, so the
+        // moments and the quantiles always describe the same sample.
+        if !x.is_finite() || x < 0.0 {
+            return;
+        }
         self.stats.record(x);
         self.sketch.record(x);
     }
@@ -487,5 +496,25 @@ mod tests {
         let mut csv = String::new();
         m.csv_rows("x", &mut csv);
         assert_eq!(csv, "x.count,0\n");
+    }
+
+    #[test]
+    fn metric_rejects_invalid_samples_in_both_halves() {
+        let mut m = MetricAgg::new();
+        for x in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.25, -1e300] {
+            m.record(x);
+        }
+        assert_eq!(m.stats.count(), 0, "stats must not count invalid samples");
+        assert_eq!(m.sketch.count(), 0, "sketch must not count invalid samples");
+        m.record(0.0);
+        m.record(1.5);
+        m.record(f64::NAN);
+        m.record(-0.5);
+        assert_eq!(m.stats.count(), 2);
+        assert_eq!(
+            m.stats.count(),
+            m.sketch.count(),
+            "moments and quantiles must describe the same sample"
+        );
     }
 }

@@ -8,6 +8,7 @@
 //! resuming somebody else's sweep.
 
 use std::fs;
+use std::io::Write as _;
 use std::path::Path;
 
 use wn_telemetry::json::{extract_f64, extract_str, Obj};
@@ -100,7 +101,15 @@ impl Checkpoint {
 /// Propagates I/O errors.
 pub fn store(path: &Path, ckpt: &Checkpoint) -> Result<(), FleetError> {
     let tmp = path.with_extension("tmp");
-    fs::write(&tmp, ckpt.to_json())?;
+    {
+        // The tmp file must be durable *before* the rename: renaming an
+        // unsynced file can publish an empty/partial checkpoint if the
+        // machine loses power after the rename but before writeback —
+        // exactly the torn write the tmp+rename dance exists to prevent.
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(ckpt.to_json().as_bytes())?;
+        file.sync_all()?;
+    }
     fs::rename(&tmp, path)?;
     Ok(())
 }
@@ -177,6 +186,23 @@ mod tests {
             !path.with_extension("tmp").exists(),
             "tmp file renamed away"
         );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_file_loads_as_checkpoint_error() {
+        let dir = std::env::temp_dir().join(format!("wn-fleet-trunc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        let ckpt = sample();
+        store(&path, &ckpt).unwrap();
+        // Simulate a torn write: chop the stored document in half.
+        let doc = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &doc[..doc.len() / 2]).unwrap();
+        match load(&path) {
+            Err(FleetError::Checkpoint(_)) => {}
+            other => panic!("truncated checkpoint must be a Checkpoint error, got {other:?}"),
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -14,6 +14,7 @@
 //! `wn-fleet-report-v1` JSON/CSV artifacts.
 
 pub mod agg;
+pub mod batch;
 pub mod checkpoint;
 pub mod codec;
 pub mod report;
@@ -21,6 +22,7 @@ pub mod runner;
 pub mod scenario;
 
 pub use agg::{FixedSketch, MetricAgg, StreamStats};
+pub use batch::FleetEngine;
 pub use checkpoint::Checkpoint;
 pub use report::FleetReport;
 pub use runner::{

@@ -19,7 +19,7 @@ use std::io::Write as _;
 use std::path::PathBuf;
 
 use wn_core::error::WnError;
-use wn_core::intermittent::run_intermittent;
+use wn_core::intermittent::{run_intermittent, IntermittentOutcome};
 use wn_core::jobs::JobPool;
 use wn_core::prepared::PreparedRun;
 use wn_energy::SupplyError;
@@ -28,6 +28,7 @@ use wn_telemetry::json::Obj;
 use wn_telemetry::Histogram;
 
 use crate::agg::MetricAgg;
+use crate::batch::{self, FleetEngine};
 use crate::checkpoint::{self, Checkpoint};
 use crate::codec::{StateReader, StateWriter};
 use crate::report::FleetReport;
@@ -200,6 +201,9 @@ impl CohortAggregate {
 pub struct FleetOptions {
     /// Worker count; `None` uses the global pool width (`WN_JOBS`).
     pub jobs: Option<usize>,
+    /// Execution engine (lockstep tape replay by default; results are
+    /// byte-identical across engines).
+    pub engine: FleetEngine,
     /// Checkpoint file: written atomically after every shard, consumed
     /// by `resume`.
     pub checkpoint: Option<PathBuf>,
@@ -294,6 +298,17 @@ pub fn run_fleet(
     let total = scenario.total_devices();
     let fingerprint = scenario.fingerprint();
 
+    // Pausing without a checkpoint path would discard every aggregate
+    // accumulated so far — reject the combination up front instead of
+    // silently returning `Paused` with nowhere to resume from.
+    if options.stop_after_shards.is_some() && options.checkpoint.is_none() {
+        return Err(FleetError::Checkpoint(
+            "stop_after_shards requires a checkpoint path \
+             (pausing without one discards all progress)"
+                .into(),
+        ));
+    }
+
     let mut cohorts: Vec<CohortAggregate> = vec![CohortAggregate::new(); scenario.cohorts.len()];
     let mut next_shard = 0usize;
     if options.resume {
@@ -325,23 +340,28 @@ pub fn run_fleet(
         Some(n) => JobPool::with_jobs(n),
         None => JobPool::global(),
     };
+    // Lockstep plans are built once per sweep; cohorts the replay
+    // cannot mirror bit-exactly fall back to the scalar path inside.
+    let plans = match options.engine {
+        FleetEngine::Scalar => None,
+        FleetEngine::Batched { .. } => Some(batch::build_plans(scenario)),
+    };
 
     for (ran, shard) in (next_shard..shard_count).enumerate() {
         let lo = shard as u64 * scenario.shard_size as u64;
         let hi = (lo + scenario.shard_size as u64).min(total);
-        let outcomes = pool
-            .run((hi - lo) as usize, |i| {
-                simulate_device(scenario, lo + i as u64)
-            })
+        let outcomes = run_shard(scenario, options.engine, plans.as_deref(), &pool, lo, hi)
             .map_err(|(device, source)| FleetError::Device { device, source })?;
         // Index order: the pool returns job-index order, which is
         // device order within the shard.
         for d in &outcomes {
             cohorts[d.cohort].record(d);
         }
-        if let Some(log) = &options.shard_log {
-            append_shard_line(log, scenario, shard, &outcomes)?;
-        }
+        // Durable state first: a kill between the two writes loses the
+        // (reconstructible) log line for this shard, not the other way
+        // round — logging first would duplicate the line after a
+        // `--resume`, since the checkpoint still says the shard is
+        // pending.
         if let Some(path) = &options.checkpoint {
             checkpoint::store(
                 path,
@@ -352,6 +372,9 @@ pub fn run_fleet(
                     cohorts: cohorts.clone(),
                 },
             )?;
+        }
+        if let Some(log) = &options.shard_log {
+            append_shard_line(log, scenario, shard, &outcomes)?;
         }
         if options.stop_after_shards.is_some_and(|n| ran + 1 >= n) && shard + 1 < shard_count {
             return Ok(FleetStatus::Paused {
@@ -364,6 +387,82 @@ pub fn run_fleet(
     Ok(FleetStatus::Complete(FleetReport::new(scenario, cohorts)))
 }
 
+/// Fans one shard's devices `lo..hi` across the pool under the chosen
+/// engine, returning outcomes in device order either way.
+fn run_shard(
+    scenario: &FleetScenario,
+    engine: FleetEngine,
+    plans: Option<&[batch::CohortPlan]>,
+    pool: &JobPool,
+    lo: u64,
+    hi: u64,
+) -> Result<Vec<DeviceOutcome>, (u64, WnError)> {
+    let n = (hi - lo) as usize;
+    match (engine, plans) {
+        (FleetEngine::Batched { chunk }, Some(plans)) => {
+            // Chunked jobs amortize pool dispatch over the (cheap)
+            // per-device replays; flattening job-index order preserves
+            // device order because chunks are contiguous.
+            let chunk = chunk.max(1);
+            let batches = pool.run(n.div_ceil(chunk), |j| {
+                let start = lo + (j * chunk) as u64;
+                let end = (start + chunk as u64).min(hi);
+                (start..end)
+                    .map(|device| batch::simulate_device_batched(scenario, plans, device))
+                    .collect::<Result<Vec<DeviceOutcome>, (u64, WnError)>>()
+            })?;
+            Ok(batches.into_iter().flatten().collect())
+        }
+        _ => pool.run(n, |i| simulate_device(scenario, lo + i as u64)),
+    }
+}
+
+/// Assembles a completed device's outcome from its run totals. Shared
+/// by the scalar and lockstep engines so the two fold bit-identical
+/// values — including the forward-progress clamp — into aggregates.
+pub(crate) fn completed_outcome(
+    device: u64,
+    cohort: usize,
+    out: &IntermittentOutcome,
+) -> DeviceOutcome {
+    let wasted = out.substrate.lost_cycles + out.substrate.overhead_cycles;
+    // `active_cycles` counts executed instruction cycles; `wasted`
+    // includes checkpoint/restore overheads charged on top of them, so
+    // the raw ratio can exceed 1 on overhead-dominated runs. Clamp at
+    // the source: forward progress is a fraction in [0, 1].
+    let forward_progress = if out.active_cycles == 0 {
+        0.0
+    } else {
+        (1.0 - wasted as f64 / out.active_cycles as f64).clamp(0.0, 1.0)
+    };
+    DeviceOutcome {
+        device,
+        cohort,
+        fate: DeviceFate::Completed,
+        skimmed: out.skimmed,
+        time_s: out.time_s,
+        on_time_s: out.on_time_s,
+        error_percent: out.error_percent,
+        outages: out.outages,
+        forward_progress,
+    }
+}
+
+/// A starved or timed-out device's outcome (all metrics zero).
+pub(crate) fn incomplete_outcome(device: u64, cohort: usize, fate: DeviceFate) -> DeviceOutcome {
+    DeviceOutcome {
+        device,
+        cohort,
+        fate,
+        skimmed: false,
+        time_s: 0.0,
+        on_time_s: 0.0,
+        error_percent: 0.0,
+        outages: 0,
+        forward_progress: 0.0,
+    }
+}
+
 /// Simulates one device end to end: derive its seeds, synthesize its
 /// environment, run it on its cohort's substrate.
 ///
@@ -371,7 +470,10 @@ pub fn run_fleet(
 ///
 /// Fatal errors only (tagged with the device index); starvation and
 /// wall-clock expiry are outcomes.
-fn simulate_device(scenario: &FleetScenario, device: u64) -> Result<DeviceOutcome, (u64, WnError)> {
+pub(crate) fn simulate_device(
+    scenario: &FleetScenario,
+    device: u64,
+) -> Result<DeviceOutcome, (u64, WnError)> {
     let cohort = scenario.cohort_of(device);
     let spec = &scenario.cohorts[cohort];
     // One compilation per cohort (inputs are a cohort-level property;
@@ -386,17 +488,6 @@ fn simulate_device(scenario: &FleetScenario, device: u64) -> Result<DeviceOutcom
     let trace = spec
         .env
         .synthesize(scenario.device_seed(device), scenario.trace_duration_s);
-    let incomplete = |fate| DeviceOutcome {
-        device,
-        cohort,
-        fate,
-        skimmed: false,
-        time_s: 0.0,
-        on_time_s: 0.0,
-        error_percent: 0.0,
-        outages: 0,
-        forward_progress: 0.0,
-    };
     match run_intermittent(
         &prepared,
         spec.substrate.kind(),
@@ -404,30 +495,14 @@ fn simulate_device(scenario: &FleetScenario, device: u64) -> Result<DeviceOutcom
         spec.supply(),
         scenario.wall_limit_s,
     ) {
-        Ok(out) => {
-            let wasted = out.substrate.lost_cycles + out.substrate.overhead_cycles;
-            let forward_progress = if out.active_cycles == 0 {
-                0.0
-            } else {
-                1.0 - wasted as f64 / out.active_cycles as f64
-            };
-            Ok(DeviceOutcome {
-                device,
-                cohort,
-                fate: DeviceFate::Completed,
-                skimmed: out.skimmed,
-                time_s: out.time_s,
-                on_time_s: out.on_time_s,
-                error_percent: out.error_percent,
-                outages: out.outages,
-                forward_progress,
-            })
-        }
+        Ok(out) => Ok(completed_outcome(device, cohort, &out)),
         // Population phenomena, not failures: a dark environment or a
         // too-small budget is exactly what fleet sweeps measure.
-        Err(WnError::Exec(ExecError::WallClock { .. })) => Ok(incomplete(DeviceFate::TimedOut)),
+        Err(WnError::Exec(ExecError::WallClock { .. })) => {
+            Ok(incomplete_outcome(device, cohort, DeviceFate::TimedOut))
+        }
         Err(WnError::Exec(ExecError::Supply(SupplyError::Starved { .. }))) => {
-            Ok(incomplete(DeviceFate::Starved))
+            Ok(incomplete_outcome(device, cohort, DeviceFate::Starved))
         }
         Err(e) => Err((device, e)),
     }
@@ -566,6 +641,83 @@ environment = "solar"
         assert_eq!(a, b);
         assert_eq!(a.cohort, 0);
         assert_eq!(simulate_device(&s, 14).unwrap().cohort, 1);
+    }
+
+    /// Acceptance property at report granularity: scalar and batched
+    /// engines render byte-identical JSON and CSV at several chunk
+    /// widths (including a width that straddles shard boundaries).
+    #[test]
+    fn engines_produce_identical_reports_at_any_chunk_width() {
+        let s = tiny_scenario();
+        let run = |engine| {
+            run_fleet(
+                &s,
+                &FleetOptions {
+                    engine,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+            .report()
+            .unwrap()
+        };
+        let scalar = run(FleetEngine::Scalar);
+        for chunk in [1, 4, 33] {
+            let batched = run(FleetEngine::Batched { chunk });
+            assert_eq!(scalar.cohorts, batched.cohorts, "chunk {chunk}");
+            assert_eq!(scalar.to_json(), batched.to_json(), "chunk {chunk}");
+            assert_eq!(scalar.to_csv(), batched.to_csv(), "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn stop_after_shards_without_checkpoint_is_an_error() {
+        let s = tiny_scenario();
+        let r = run_fleet(
+            &s,
+            &FleetOptions {
+                stop_after_shards: Some(1),
+                ..Default::default()
+            },
+        );
+        match r {
+            Err(FleetError::Checkpoint(msg)) => {
+                assert!(msg.contains("checkpoint path"), "{msg}")
+            }
+            other => panic!("expected a Checkpoint error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resume_from_truncated_checkpoint_is_a_checkpoint_error() {
+        let s = tiny_scenario();
+        let dir = std::env::temp_dir().join(format!("wn-fleet-resume-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        let opts = FleetOptions {
+            checkpoint: Some(path.clone()),
+            stop_after_shards: Some(1),
+            ..Default::default()
+        };
+        assert!(matches!(
+            run_fleet(&s, &opts).unwrap(),
+            FleetStatus::Paused { shards_done: 1, .. }
+        ));
+        let doc = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &doc[..doc.len() / 3]).unwrap();
+        let r = run_fleet(
+            &s,
+            &FleetOptions {
+                checkpoint: Some(path),
+                resume: true,
+                ..Default::default()
+            },
+        );
+        match r {
+            Err(FleetError::Checkpoint(_)) => {}
+            other => panic!("expected a Checkpoint error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,0 +1,94 @@
+//! Cross-engine equivalence: the lockstep (batched) engine must render
+//! fleet reports **byte-identical** to the scalar engine — on the CI
+//! smoke scenario at several worker widths, and property-tested across
+//! seeds, substrates, and chunk widths on generated mini-fleets.
+
+use proptest::prelude::*;
+
+use wn_fleet::{run_fleet, FleetEngine, FleetOptions, FleetScenario};
+
+fn smoke_scenario() -> FleetScenario {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../scenarios/fleet_smoke.toml"
+    );
+    FleetScenario::parse(&std::fs::read_to_string(path).unwrap()).unwrap()
+}
+
+fn render(scenario: &FleetScenario, engine: FleetEngine, jobs: usize) -> (String, String) {
+    let report = run_fleet(
+        scenario,
+        &FleetOptions {
+            jobs: Some(jobs),
+            engine,
+            ..Default::default()
+        },
+    )
+    .unwrap()
+    .report()
+    .unwrap();
+    (report.to_json(), report.to_csv())
+}
+
+/// The acceptance check from the issue: `fleet_smoke` renders the same
+/// JSON and CSV bytes on both engines, at `--jobs 1` and `--jobs 4`.
+#[test]
+fn smoke_reports_are_byte_identical_across_engines_and_jobs() {
+    let s = smoke_scenario();
+    let baseline = render(&s, FleetEngine::Scalar, 1);
+    for jobs in [1, 4] {
+        let scalar = render(&s, FleetEngine::Scalar, jobs);
+        let batched = render(&s, FleetEngine::default(), jobs);
+        assert_eq!(baseline, scalar, "scalar must be jobs-invariant");
+        assert_eq!(scalar.0, batched.0, "JSON reports diverged at jobs={jobs}");
+        assert_eq!(scalar.1, batched.1, "CSV reports diverged at jobs={jobs}");
+    }
+}
+
+fn mini_scenario(seed: u64, substrate: &str, benchmark: &str, count: u32) -> FleetScenario {
+    FleetScenario::parse(&format!(
+        r#"
+[fleet]
+name = "mini"
+seed = {seed}
+shard_size = 8
+wall_limit_s = 600.0
+trace_duration_s = 20.0
+
+[[cohort]]
+count = {count}
+benchmark = "{benchmark}"
+technique = "anytime8"
+substrate = "{substrate}"
+environment = "rf-bursty"
+"#
+    ))
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Batched ≡ scalar on generated fleets: any seed, both
+    /// substrates, chunk widths 1 / 4 / 33 (sub-shard, mid, and
+    /// beyond-shard chunking).
+    #[test]
+    fn generated_fleets_agree_across_engines(
+        seed in 0u64..1000,
+        clank in 0u8..2,
+        matadd in 0u8..2,
+        count in 3u32..20,
+    ) {
+        let s = mini_scenario(
+            seed,
+            if clank == 1 { "clank" } else { "nvp" },
+            if matadd == 1 { "matadd" } else { "home" },
+            count,
+        );
+        let scalar = render(&s, FleetEngine::Scalar, 1);
+        for chunk in [1usize, 4, 33] {
+            let batched = render(&s, FleetEngine::Batched { chunk }, 1);
+            prop_assert_eq!(&scalar, &batched, "chunk {}", chunk);
+        }
+    }
+}

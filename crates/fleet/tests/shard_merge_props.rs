@@ -21,7 +21,14 @@ fn outcome(device: u64, fate: DeviceFate, x: f64) -> DeviceOutcome {
         on_time_s: x * 0.25,
         error_percent: (x * 7.3).fract() * 12.0,
         outages: (x * 100.0) as u64 % 40,
-        forward_progress: 1.0 / (1.0 + x),
+        // Every 5th device carries an out-of-range progress value (the
+        // runner clamps at the source, but the aggregate must stay
+        // internally consistent even on hostile inputs).
+        forward_progress: if device.is_multiple_of(5) {
+            0.5 - x
+        } else {
+            1.0 / (1.0 + x)
+        },
     }
 }
 
@@ -89,6 +96,11 @@ proptest! {
             (&merged.outages, &whole.outages),
         ] {
             prop_assert_eq!(m.count(), w.count());
+            // Moments and quantiles must always describe the same
+            // sample — even when the stream contains invalid values
+            // (negative progress), which both halves reject together.
+            prop_assert_eq!(m.stats.count(), m.sketch.count());
+            prop_assert_eq!(w.stats.count(), w.sketch.count());
             if let (Some(a), Some(b)) = (m.stats.mean(), w.stats.mean()) {
                 prop_assert!((a - b).abs() <= 1e-9 * b.abs().max(1.0));
             }

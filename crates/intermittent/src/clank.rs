@@ -63,9 +63,11 @@ impl Default for ClankConfig {
 /// Membership of word addresses since the last checkpoint, tracked with
 /// an epoch-stamped direct-mapped array: `clear()` is O(1) (bump the
 /// epoch) and probes are one index — this sits on the per-instruction
-/// hot path of every intermittent run.
+/// hot path of every intermittent run. Crate-visible so the lockstep
+/// tape replayer's Clank mirror tracks its sets with identical
+/// membership semantics.
 #[derive(Debug, Clone, Default)]
-struct WordSet {
+pub(crate) struct WordSet {
     epochs: Vec<u32>,
     epoch: u32,
     len: usize,
@@ -73,14 +75,14 @@ struct WordSet {
 
 impl WordSet {
     #[inline]
-    fn contains(&self, word: u32) -> bool {
+    pub(crate) fn contains(&self, word: u32) -> bool {
         let i = (word >> 2) as usize;
         self.epochs.get(i).copied() == Some(self.epoch)
     }
 
     /// Inserts; returns true when the word was new.
     #[inline]
-    fn insert(&mut self, word: u32) -> bool {
+    pub(crate) fn insert(&mut self, word: u32) -> bool {
         let i = (word >> 2) as usize;
         if i >= self.epochs.len() {
             self.epochs.resize(i + 1, self.epoch.wrapping_sub(1));
@@ -94,11 +96,11 @@ impl WordSet {
         }
     }
 
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         self.len
     }
 
-    fn clear(&mut self) {
+    pub(crate) fn clear(&mut self) {
         self.epoch = self.epoch.wrapping_add(1);
         self.len = 0;
         if self.epoch == 0 {
@@ -154,6 +156,20 @@ impl Clank {
     /// The configuration.
     pub fn config(&self) -> ClankConfig {
         self.config
+    }
+
+    /// Reconstructs a Clank mid-run, in the state it holds immediately
+    /// after an outage: checkpoint primed with `snapshot` (the state
+    /// the device's last checkpoint captured), counters continuing from
+    /// `stats`, and the post-outage invariants (empty undo log and
+    /// read/buffer sets, zero cycles since checkpoint). Used by the
+    /// fleet's lockstep tape replayer to hand a diverged device back to
+    /// the scalar engine.
+    pub fn resumed(config: ClankConfig, snapshot: CpuSnapshot, stats: SubstrateStats) -> Clank {
+        let mut clank = Clank::new(config);
+        clank.checkpoint.capture(snapshot);
+        clank.stats = stats;
+        clank
     }
 
     /// Kept out of line: checkpoints are rare (hundreds per run against

@@ -185,6 +185,13 @@ impl<S: Substrate> IntermittentExecutor<S> {
         self.supply
     }
 
+    /// Consumes the executor and returns its parts — the lockstep
+    /// handoff path needs the final core (for output decode) and the
+    /// supply's absolute clocks after a resumed run.
+    pub fn into_parts(self) -> (Core, EnergySupply, S) {
+        (self.core, self.supply, self.substrate)
+    }
+
     /// Disables the skim-point restore path (the precise baseline never
     /// sets the SKM register, but this also allows ablating skim points
     /// on WN binaries).
@@ -250,10 +257,29 @@ impl<S: Substrate> IntermittentExecutor<S> {
     /// `limit_s`, [`ExecError::WallClock`] on timeout, or a wrapped
     /// supply / simulator error.
     pub fn run(&mut self, limit_s: f64) -> Result<IntermittentRun, ExecError> {
+        self.run_inner(limit_s, false)
+    }
+
+    /// [`IntermittentExecutor::run`] entered as if resuming a run that
+    /// was interrupted by an outage: the first restore behaves like a
+    /// post-outage boot, so an armed skim point is honored immediately.
+    /// Used by the fleet's lockstep tape replayer to hand a diverged
+    /// (skimming) device back to the scalar engine mid-run — the
+    /// executor performs the wait/restore/consume/skim sequence itself,
+    /// exactly as the scalar run it must stay bit-identical to.
+    ///
+    /// # Errors
+    ///
+    /// As [`IntermittentExecutor::run`].
+    pub fn run_resumed(&mut self, limit_s: f64) -> Result<IntermittentRun, ExecError> {
+        self.run_inner(limit_s, true)
+    }
+
+    fn run_inner(&mut self, limit_s: f64, resumed: bool) -> Result<IntermittentRun, ExecError> {
         validate_limit(limit_s)?;
         let mut active_cycles = 0u64;
         let mut skimmed = false;
-        let mut had_outage = false;
+        let mut had_outage = resumed;
         let outages0 = self.supply.outage_count();
         let time0 = self.supply.time_s();
         let on_time0 = self.supply.on_time_s();
@@ -640,7 +666,7 @@ impl<S: Substrate> IntermittentExecutor<S> {
 /// Rejects wall-clock budgets the loop cannot terminate under (NaN
 /// makes every limit comparison false) or that are nonsensical
 /// (negative). `+∞` is allowed and means "no limit".
-fn validate_limit(limit_s: f64) -> Result<(), ExecError> {
+pub(crate) fn validate_limit(limit_s: f64) -> Result<(), ExecError> {
     if limit_s.is_nan() || limit_s < 0.0 {
         Err(ExecError::InvalidLimit { limit_s })
     } else {
@@ -650,8 +676,9 @@ fn validate_limit(limit_s: f64) -> Result<(), ExecError> {
 
 /// Cycles of execution remaining until the wall-clock limit (rounded up
 /// so the final lease can actually cross the limit), saturating for
-/// far-away limits.
-fn cycles_until_limit(supply: &EnergySupply, limit_s: f64) -> u64 {
+/// far-away limits. Crate-visible so the lockstep tape replayer caps
+/// its leases with the identical arithmetic.
+pub(crate) fn cycles_until_limit(supply: &EnergySupply, limit_s: f64) -> u64 {
     let left_s = limit_s - supply.time_s();
     // A NaN limit (rejected by `validate_limit`, but guarded here too)
     // must grant zero cycles instead of falling through to the cast

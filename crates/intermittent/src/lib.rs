@@ -43,11 +43,16 @@
 pub mod checkpoint;
 pub mod clank;
 pub mod executor;
+pub mod lockstep;
 pub mod nvp;
 pub mod substrate;
 
 pub use checkpoint::DiffCheckpoint;
 pub use clank::{Clank, ClankConfig};
 pub use executor::{ExecError, IntermittentExecutor, IntermittentRun};
+pub use lockstep::{
+    replay_run_clank, replay_run_nvp, replay_tape, ClankMirror, NvpMirror, ReplayEnd,
+    SubstrateMirror,
+};
 pub use nvp::{Nvp, NvpConfig};
 pub use substrate::Substrate;

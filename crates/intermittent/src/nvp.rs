@@ -63,6 +63,18 @@ impl Nvp {
     pub fn config(&self) -> NvpConfig {
         self.config
     }
+
+    /// Reconstructs an NVP mid-run, in the state it holds immediately
+    /// after an outage: NV flip-flops primed with `snapshot` (the state
+    /// the outage interrupted), counters continuing from `stats`. Used
+    /// by the fleet's lockstep tape replayer to hand a diverged device
+    /// back to the scalar engine.
+    pub fn resumed(config: NvpConfig, snapshot: CpuSnapshot, stats: SubstrateStats) -> Nvp {
+        let mut nvp = Nvp::new(config);
+        nvp.nv_state.capture(snapshot);
+        nvp.stats = stats;
+        nvp
+    }
 }
 
 impl Substrate for Nvp {

@@ -489,6 +489,16 @@ impl Core {
         self.fused_instructions
     }
 
+    /// The fused tail-run starting at `pc`, as `(len, cycles,
+    /// tail_extra_max)` — the three numbers [`Core::run_steps_hooked`]'s
+    /// admission check consumes. `None` when `pc` must single-step.
+    /// Lets an external replay engine (e.g. the fleet's lockstep tape
+    /// replayer) reproduce block-dispatch decisions exactly.
+    pub fn fused_summary(&self, pc: u32) -> Option<(u32, u64, u64)> {
+        let b = self.fused.get(pc as usize)?;
+        (b.len > 0).then_some((b.len, b.cycles, b.tail_extra_max))
+    }
+
     /// The program this core executes.
     pub fn program(&self) -> &Program {
         &self.program

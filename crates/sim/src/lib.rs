@@ -42,6 +42,7 @@ pub mod error;
 pub mod memo;
 pub mod memory;
 pub mod stats;
+pub mod tape;
 pub mod trace;
 
 pub use crate::core::{
@@ -53,4 +54,5 @@ pub use crate::error::SimError;
 pub use crate::memo::{MemoConfig, MemoStats, MemoUnit};
 pub use crate::memory::{AccessKind, MemAccess, Memory};
 pub use crate::stats::{ExecStats, InstrClass};
+pub use crate::tape::{ExecutionTape, TapeKind};
 pub use crate::trace::{ExecTrace, TraceEntry};

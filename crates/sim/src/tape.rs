@@ -1,0 +1,300 @@
+//! Execution tapes: a program's fault-free architectural trajectory,
+//! recorded once and replayed as pure bookkeeping.
+//!
+//! Intermittent substrates never perturb architectural state relative
+//! to continuous execution — Clank rolls back to exactly the state a
+//! checkpoint captured, NVP persists exactly the state an outage
+//! interrupted — so every device in a fleet cohort (same program, same
+//! input image) retires the *same* instruction sequence, merely sliced
+//! differently by its private power trace. An [`ExecutionTape`] records
+//! that shared sequence once, in struct-of-arrays layout, as exactly
+//! the per-step facts substrate and energy accounting consume: actual
+//! cycle cost, pre-step pc, access/skim/halt classification, touched
+//! memory word, and skim target. Replaying a device is then integer
+//! bookkeeping over these arrays plus its own energy supply — no
+//! interpreter, no memory image.
+
+use crate::core::{Core, HookKind, StepEvent, StepHook, StepInfo};
+use crate::error::SimError;
+use crate::memory::AccessKind;
+use std::ops::ControlFlow;
+
+/// What one tape step did, as far as replay bookkeeping cares. At most
+/// one applies per retirement on this core (`SKM` and `HALT` perform no
+/// data access).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum TapeKind {
+    /// Plain retirement: no access, no event a substrate acts on.
+    None = 0,
+    /// A load; [`ExecutionTape::word`] holds the word address.
+    Read = 1,
+    /// A store; [`ExecutionTape::word`] holds the word address.
+    Write = 2,
+    /// A skim point; [`ExecutionTape::skim`] holds the restore target.
+    Skim = 3,
+    /// The `HALT` retirement that ends the tape.
+    Halt = 4,
+}
+
+/// The recorded fault-free trajectory, struct-of-arrays.
+///
+/// Invariants: all arrays are the same length `n` (the retired
+/// instruction count, `HALT` included as the final step); `prefix` has
+/// length `n + 1` with `prefix[i]` the summed cycle cost of steps
+/// `[0, i)`, so `prefix[n]` is the whole run's cost.
+#[derive(Debug, Clone)]
+pub struct ExecutionTape {
+    /// Actual cycles each step consumed (dynamic cost: taken-branch
+    /// refills and memoized multiplies included).
+    costs: Vec<u64>,
+    /// Pre-step pc of each step — the index replay uses to consult the
+    /// fused-block table.
+    pcs: Vec<u32>,
+    /// [`TapeKind`] of each step, as its `u8` discriminant.
+    kinds: Vec<u8>,
+    /// Word address (`addr & !3`) for `Read`/`Write` steps, 0 otherwise.
+    words: Vec<u32>,
+    /// Skim restore target for `Skim` steps, `u32::MAX` otherwise.
+    skims: Vec<u32>,
+    /// Cycle-cost prefix sums, length `n + 1`.
+    prefix: Vec<u64>,
+}
+
+impl ExecutionTape {
+    /// Runs `core` (typically a fresh clone of a cohort's master core)
+    /// to `HALT` one [`Core::step`] at a time, recording every
+    /// retirement. Returns `None` if the program has not halted after
+    /// `max_steps` retirements — the caller should fall back to scalar
+    /// execution rather than tape replay.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] the program run raises.
+    pub fn record(core: &mut Core, max_steps: u64) -> Result<Option<ExecutionTape>, SimError> {
+        let mut tape = ExecutionTape {
+            costs: Vec::new(),
+            pcs: Vec::new(),
+            kinds: Vec::new(),
+            words: Vec::new(),
+            skims: Vec::new(),
+            prefix: vec![0u64],
+        };
+        loop {
+            if tape.len() as u64 >= max_steps {
+                return Ok(None);
+            }
+            let pc = core.cpu.pc;
+            let info = core.step()?;
+            let (kind, word, skim) = classify(&info);
+            tape.costs.push(info.cycles);
+            tape.pcs.push(pc);
+            tape.kinds.push(kind as u8);
+            tape.words.push(word);
+            tape.skims.push(skim);
+            let total = tape.prefix[tape.len() - 1] + info.cycles;
+            tape.prefix.push(total);
+            if kind == TapeKind::Halt {
+                return Ok(Some(tape));
+            }
+        }
+    }
+
+    /// Retired steps on the tape (the final one is the `HALT`).
+    pub fn len(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// True only for a tape that recorded nothing (never produced by
+    /// [`ExecutionTape::record`], which always ends on a `HALT` step).
+    pub fn is_empty(&self) -> bool {
+        self.costs.is_empty()
+    }
+
+    /// Actual cycle cost of step `i`.
+    #[inline]
+    pub fn cost(&self, i: usize) -> u64 {
+        self.costs[i]
+    }
+
+    /// Pre-step pc of step `i`.
+    #[inline]
+    pub fn pc(&self, i: usize) -> u32 {
+        self.pcs[i]
+    }
+
+    /// Classification of step `i`.
+    #[inline]
+    pub fn kind(&self, i: usize) -> TapeKind {
+        match self.kinds[i] {
+            1 => TapeKind::Read,
+            2 => TapeKind::Write,
+            3 => TapeKind::Skim,
+            4 => TapeKind::Halt,
+            _ => TapeKind::None,
+        }
+    }
+
+    /// Word address touched by step `i` (`Read`/`Write` steps only).
+    #[inline]
+    pub fn word(&self, i: usize) -> u32 {
+        self.words[i]
+    }
+
+    /// Skim restore target of step `i` (`Skim` steps only).
+    #[inline]
+    pub fn skim(&self, i: usize) -> u32 {
+        self.skims[i]
+    }
+
+    /// The actual per-step costs of steps `[start, start + len)` — the
+    /// exact slice a fused dispatch settles against the energy supply.
+    #[inline]
+    pub fn costs_in(&self, start: usize, len: usize) -> &[u64] {
+        &self.costs[start..start + len]
+    }
+
+    /// Summed actual cycles of steps `[a, b)`.
+    #[inline]
+    pub fn span_cycles(&self, a: usize, b: usize) -> u64 {
+        self.prefix[b] - self.prefix[a]
+    }
+
+    /// Total cycles of the whole recorded run.
+    pub fn total_cycles(&self) -> u64 {
+        *self.prefix.last().unwrap_or(&0)
+    }
+
+    /// Advances `core` — a fresh clone at the tape's starting state —
+    /// until exactly `pos` of the tape's steps have retired: the state
+    /// a substrate's checkpoint or NV snapshot captured at tape
+    /// position `pos`. Uses the block-dispatch fast path for the bulk
+    /// of the walk: the cycle prefix sums give an exact budget, and
+    /// `run_steps_hooked` stops precisely when cumulative cycles reach
+    /// it, falling back to single stepping for any zero-cost remainder.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`]; the walk retraces a recorded run,
+    /// so an error here means `core` was not on this tape's trajectory.
+    pub fn walk(&self, core: &mut Core, pos: usize) -> Result<(), SimError> {
+        let bulk = core.run_steps_hooked(self.prefix[pos], &mut FreeWalk)?;
+        let mut retired = bulk.instructions as usize;
+        while retired < pos {
+            core.step()?;
+            retired += 1;
+        }
+        debug_assert_eq!(retired, pos);
+        if pos < self.len() {
+            debug_assert_eq!(core.cpu.pc, self.pcs[pos]);
+        }
+        Ok(())
+    }
+}
+
+/// The walk hook: observes nothing, charges nothing, lets every block
+/// fuse — identical dispatch decisions to the free-running engine.
+struct FreeWalk;
+
+impl StepHook for FreeWalk {
+    const KIND: HookKind = HookKind::MemoryOps;
+
+    #[inline]
+    fn on_step(&mut self, _core: &mut Core, _info: &StepInfo) -> ControlFlow<(), u64> {
+        ControlFlow::Continue(0)
+    }
+
+    #[inline]
+    fn block_budget(&self) -> u64 {
+        u64::MAX
+    }
+}
+
+/// Maps one retirement onto its tape row.
+fn classify(info: &StepInfo) -> (TapeKind, u32, u32) {
+    if let Some(a) = info.access {
+        let word = a.addr & !3;
+        return match a.kind {
+            AccessKind::Read => (TapeKind::Read, word, u32::MAX),
+            AccessKind::Write => (TapeKind::Write, word, u32::MAX),
+        };
+    }
+    match info.event {
+        StepEvent::SkimSet(target) => (TapeKind::Skim, 0, target),
+        StepEvent::Halted => (TapeKind::Halt, 0, u32::MAX),
+        StepEvent::None | StepEvent::BranchTaken => (TapeKind::None, 0, u32::MAX),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core::CoreConfig;
+    use wn_isa::asm::assemble;
+
+    fn demo_core() -> Core {
+        // A loop with loads, stores, a skim point, and a branch — every
+        // tape row kind in one small program.
+        let src = "
+.data
+buf: .space 16
+.text
+MOV r0, #10
+MOV r1, #0
+MOV r2, =buf
+loop:
+LDR r3, [r2, #0]
+ADD r1, r1, r3
+STR r1, [r2, #4]
+SKM done
+SUB r0, r0, #1
+CMP r0, #0
+BNE loop
+done:
+HALT
+";
+        let program = assemble(src).unwrap();
+        Core::new(&program, CoreConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn record_matches_scalar_run() {
+        let mut rec = demo_core();
+        let tape = ExecutionTape::record(&mut rec, 1_000_000).unwrap().unwrap();
+        assert!(rec.is_halted());
+        // Independent scalar replay agrees step for step.
+        let mut core = demo_core();
+        for i in 0..tape.len() {
+            assert_eq!(core.cpu.pc, tape.pc(i), "pc at step {i}");
+            let info = core.step().unwrap();
+            assert_eq!(info.cycles, tape.cost(i), "cost at step {i}");
+        }
+        assert!(core.is_halted());
+        assert_eq!(tape.kind(tape.len() - 1), TapeKind::Halt);
+        assert_eq!(tape.total_cycles(), core.stats.cycles);
+    }
+
+    #[test]
+    fn record_caps_runaway_programs() {
+        let mut core = demo_core();
+        assert!(ExecutionTape::record(&mut core, 5).unwrap().is_none());
+    }
+
+    #[test]
+    fn walk_reaches_every_position_exactly() {
+        let mut rec = demo_core();
+        let tape = ExecutionTape::record(&mut rec, 1_000_000).unwrap().unwrap();
+        // Walking a fresh core to pos must land on the same state a
+        // step-by-step replay reaches.
+        for pos in [0usize, 1, 5, tape.len() / 2, tape.len() - 1] {
+            let mut walked = demo_core();
+            tape.walk(&mut walked, pos).unwrap();
+            let mut stepped = demo_core();
+            for _ in 0..pos {
+                stepped.step().unwrap();
+            }
+            assert_eq!(walked.cpu.snapshot(), stepped.cpu.snapshot(), "pos {pos}");
+            assert_eq!(walked.stats.cycles, stepped.stats.cycles, "pos {pos}");
+        }
+    }
+}

@@ -1,20 +1,23 @@
 #!/usr/bin/env sh
-# Compare two wn-bench-record-v1 files on untraced_min_ms.
+# Compare two wn-bench-record-v1 files on one metric.
 #
-# Usage: scripts/bench_compare.sh BASELINE.json CANDIDATE.json [THRESHOLD_PCT]
+# Usage: scripts/bench_compare.sh BASELINE.json CANDIDATE.json \
+#            [THRESHOLD_PCT] [KEY] [DIRECTION]
 #
-# Default (advisory) mode prints the delta and flags regressions beyond
-# THRESHOLD_PCT (default 10) but always exits 0 — shared runners are too
-# noisy for a hard default gate. With WN_BENCH_STRICT=1 the gate is
-# enforced: exit 1 on a regression beyond THRESHOLD_PCT, which then
-# defaults to 25 (a margin wide enough that only real regressions trip
-# it). Improvements always pass. Exit 2 on bad input either way.
-# POSIX sh + awk only, so it runs in CI and locally without extra
-# tooling.
+# KEY defaults to untraced_min_ms (the executor record); DIRECTION is
+# `lower` (default — smaller is better, e.g. milliseconds) or `higher`
+# (bigger is better, e.g. devices/s). Default (advisory) mode prints
+# the delta and flags regressions beyond THRESHOLD_PCT (default 10) but
+# always exits 0 — shared runners are too noisy for a hard default
+# gate. With WN_BENCH_STRICT=1 the gate is enforced: exit 1 on a
+# regression beyond THRESHOLD_PCT, which then defaults to 25 (a margin
+# wide enough that only real regressions trip it). Improvements always
+# pass. Exit 2 on bad input either way. POSIX sh + awk only, so it runs
+# in CI and locally without extra tooling.
 set -eu
 
-if [ "$#" -lt 2 ] || [ "$#" -gt 3 ]; then
-    echo "usage: $0 BASELINE.json CANDIDATE.json [THRESHOLD_PCT]" >&2
+if [ "$#" -lt 2 ] || [ "$#" -gt 5 ]; then
+    echo "usage: $0 BASELINE.json CANDIDATE.json [THRESHOLD_PCT] [KEY] [DIRECTION]" >&2
     exit 2
 fi
 
@@ -26,12 +29,20 @@ if [ "$strict" = "1" ]; then
 else
     threshold=${3:-10}
 fi
+key=${4:-untraced_min_ms}
+direction=${5:-lower}
+case "$direction" in
+    lower|higher) ;;
+    *)
+        echo "error: DIRECTION must be 'lower' or 'higher', got '$direction'" >&2
+        exit 2
+        ;;
+esac
 
 extract() {
     # Naive flat-JSON field extraction, mirroring wn_telemetry::json's
     # provenance-reader contract: the key occurs once, value is numeric.
     file=$1
-    key=$2
     value=$(awk -v key="\"$2\":" '
         {
             i = index($0, key)
@@ -43,7 +54,7 @@ extract() {
             }
         }' "$file")
     if [ -z "$value" ]; then
-        echo "error: $key not found in $file" >&2
+        echo "error: $2 not found in $file" >&2
         exit 2
     fi
     echo "$value"
@@ -61,16 +72,23 @@ for f in "$baseline_file" "$candidate_file"; do
     fi
 done
 
-base=$(extract "$baseline_file" untraced_min_ms)
-cand=$(extract "$candidate_file" untraced_min_ms)
+base=$(extract "$baseline_file" "$key")
+cand=$(extract "$candidate_file" "$key")
 
-awk -v base="$base" -v cand="$cand" -v threshold="$threshold" -v strict="$strict" 'BEGIN {
-    if (base <= 0) { print "error: baseline untraced_min_ms must be positive" > "/dev/stderr"; exit 2 }
-    delta = (cand / base - 1.0) * 100.0
+awk -v base="$base" -v cand="$cand" -v threshold="$threshold" -v strict="$strict" \
+    -v key="$key" -v direction="$direction" 'BEGIN {
+    if (base <= 0) { print "error: baseline " key " must be positive" > "/dev/stderr"; exit 2 }
+    # Normalize so positive delta always means "worse by that much".
+    if (direction == "lower") {
+        delta = (cand / base - 1.0) * 100.0
+    } else {
+        delta = (base / cand - 1.0) * 100.0
+    }
     mode = (strict == "1") ? "strict" : "advisory"
-    printf "untraced_min_ms: baseline %.3f ms, candidate %.3f ms (%+.1f%%, threshold +%s%%, %s)\n", base, cand, delta, threshold, mode
+    printf "%s: baseline %.3f, candidate %.3f (%+.1f%% vs %s-is-better, threshold +%s%%, %s)\n", \
+        key, base, cand, delta, direction, threshold, mode
     if (delta > threshold) {
-        printf "REGRESSION: candidate is %.1f%% slower than baseline\n", delta
+        printf "REGRESSION: candidate is %.1f%% worse than baseline\n", delta
         if (strict == "1") exit 1
         print "(advisory mode: not failing; set WN_BENCH_STRICT=1 to enforce)"
         exit 0
