@@ -158,6 +158,7 @@ fn skim_placement(c: &mut Criterion) {
     for min_level in [0u32, 1, 2, 3] {
         let opts = wn_compiler::CompileOptions {
             skim_min_level: min_level,
+            ..wn_compiler::CompileOptions::default()
         };
         let compiled = wn_compiler::compile_with(&instance.ir, Technique::swp(4), &opts).unwrap();
         let prepared =

@@ -34,7 +34,7 @@ use wn_core::experiments::{
 use wn_core::{jobs, telemetry};
 use wn_telemetry::json;
 
-const USAGE: &str = "usage: experiments <all|table1|fig01|fig02|fig03|fig09|fig10|fig11|fig12|fig13|fig14|fig15|fig17|area_power|report|bench|bench-fleet> [--paper] [--jobs N] [--telemetry] [--epoch N]\n       experiments fleet <scenario.toml|.json> [--jobs N] [--engine scalar|batched] [--resume] [--shard-jsonl] [--stop-after-shards N] [--epoch N]";
+const USAGE: &str = "usage: experiments <all|table1|fig01|fig02|fig03|fig09|fig10|fig11|fig12|fig13|fig14|fig15|fig17|task|area_power|report|bench|bench-fleet> [--paper] [--jobs N] [--telemetry] [--epoch N]\n       experiments fleet <scenario.toml|.json> [--jobs N] [--engine scalar|batched] [--resume] [--shard-jsonl] [--stop-after-shards N] [--epoch N]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
@@ -259,6 +259,15 @@ fn run_one(
             println!("{f}");
             println!("paper: 1.41x (8-bit), 2.26x (4-bit) average on the NVP");
             save("fig11.csv", &f.to_csv(), artifacts)?;
+        }
+        // The checkpoint-free third column of the Fig. 10/11 grid.
+        // Deliberately not part of `all`: the Task substrate sizes its
+        // own supply (largest-task rule), so its artifact is additive
+        // and the checkpoint-substrate artifact set stays byte-stable.
+        "task" => {
+            let f = fig10::run_task(config)?;
+            println!("{f}");
+            save("fig_task.csv", &f.to_csv(), artifacts)?;
         }
         "fig12" => {
             let f = fig12::run(config)?;
@@ -503,9 +512,11 @@ fn bench() -> ExitCode {
 /// default lockstep (batched) engine — the criterion-bench anytime
 /// population (every completing device skims, so nearly all diverge
 /// onto the scalar path) and a precise population (no skim points, so
-/// every device finishes on the shared tape) — and records devices/s
-/// for both regimes into `BENCH_fleet.json` and the
-/// `bench_history.jsonl` trajectory.
+/// every device finishes on the shared tape) — plus a checkpoint-free
+/// Task population (re-execution breaks the shared-trajectory premise,
+/// so it always runs the scalar path) — and records devices/s for each
+/// regime into `BENCH_fleet.json` and the `bench_history.jsonl`
+/// trajectory.
 fn bench_fleet() -> ExitCode {
     use wn_fleet::{run_fleet, FleetEngine, FleetOptions, FleetScenario};
 
@@ -583,6 +594,47 @@ day_s = 10.0
             "devices/s",
         );
         record.push(&format!("{prefix}batched_speedup"), speedup, "x");
+    }
+    {
+        // The Task population: same two benchmarks, task-decomposed
+        // binaries on the checkpoint-free substrate. Capacitors follow
+        // the largest-task rule (matadd anytime8 needs ≈5 µF, home
+        // ≈3.2 µF on quick instances). Task cohorts fall back to the
+        // scalar engine by construction, so one timing suffices.
+        let scenario = FleetScenario::parse(
+            r#"
+[fleet]
+name = "bench-fleet-task"
+seed = 42
+shard_size = 64
+wall_limit_s = 600.0
+trace_duration_s = 20.0
+
+[[cohort]]
+count = 64
+benchmark = "matadd"
+technique = "anytime8"
+substrate = "task"
+capacitance_uf = 6.8
+environment = "rf-bursty"
+
+[[cohort]]
+count = 64
+benchmark = "home"
+technique = "anytime8"
+substrate = "task"
+capacitance_uf = 6.8
+environment = "solar"
+day_s = 10.0
+"#,
+        )
+        .unwrap();
+        let devices = scenario.total_devices();
+        time(&scenario, FleetEngine::default()); // warm compile cache
+        let task_s = time(&scenario, FleetEngine::default());
+        let task = devices as f64 / task_s;
+        println!("fleet bench [task]: {task:.0} devices/s, {devices} devices at --jobs 1");
+        record.push("task_devices_per_s", task, "devices/s");
     }
     match record.write() {
         Ok(path) => println!("wrote {}", path.display()),

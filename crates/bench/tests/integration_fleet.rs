@@ -55,12 +55,12 @@ fn smoke_run_emits_valid_report_and_manifest() {
     let report = read(&results, "fleet_smoke.json");
     assert_eq!(extract_str(&report, "schema"), Some("wn-fleet-report-v1"));
     assert_eq!(extract_str(&report, "scenario"), Some("smoke"));
-    assert!(report.contains("\"devices\":256"));
+    assert!(report.contains("\"devices\":320"));
     assert!(!report.contains("NaN") && !report.contains("inf"));
 
     let csv = read(&results, "fleet_smoke.csv");
     assert!(csv.starts_with("cohort,key,value\n"));
-    assert!(csv.contains("_fleet,devices,256"));
+    assert!(csv.contains("_fleet,devices,320"));
 
     let manifest = read(&results, "manifest.json");
     assert_eq!(extract_str(&manifest, "schema"), Some("wn-run-manifest-v1"));
@@ -126,11 +126,12 @@ fn shard_log_appends_one_line_per_shard() {
     run_fleet_cli(&results, &["--jobs", "2", "--shard-jsonl"]);
     let log = read(&results, "fleet_smoke.shards.jsonl");
     let lines: Vec<&str> = log.lines().collect();
-    assert_eq!(lines.len(), 2, "256 devices / 128 per shard = 2 lines");
+    assert_eq!(lines.len(), 3, "320 devices / 128 per shard = 3 lines");
     for (i, line) in lines.iter().enumerate() {
         assert_eq!(extract_str(line, "schema"), Some("wn-fleet-shard-v1"));
         assert!(line.contains(&format!("\"shard\":{i}")));
-        assert!(line.contains("\"devices\":128"));
+        let expected = if i < 2 { 128 } else { 64 };
+        assert!(line.contains(&format!("\"devices\":{expected}")));
     }
     std::fs::remove_dir_all(&results).unwrap();
 }

@@ -282,7 +282,93 @@ impl<'a> Codegen<'a> {
                 self.builder.push(skm);
                 Ok(())
             }
+            Stmt::Label(name) => {
+                self.builder.bind_label(name);
+                Ok(())
+            }
+            Stmt::CopyArray { dst, src } => self.lower_copy_array(dst, src),
         }
+    }
+
+    /// Whole-backing-store copy: a counted word loop over the source
+    /// layout's (4-byte-padded) size. Layout-agnostic by construction —
+    /// packed and planar layouts copy bit-exactly because the unit is
+    /// the raw data word, not the logical element.
+    fn lower_copy_array(&mut self, dst: &str, src: &str) -> Result<(), CompileError> {
+        let words = self.layout(src)?.byte_size().div_ceil(4);
+        if words != self.layout(dst)?.byte_size().div_ceil(4) {
+            return Err(CompileError::Internal(format!(
+                "CopyArray between differently sized arrays `{dst}` and `{src}`"
+            )));
+        }
+        let src_addr = self
+            .builder
+            .data_symbol(src)
+            .ok_or_else(|| CompileError::Internal(format!("no data symbol for `{src}`")))?;
+        let dst_addr = self
+            .builder
+            .data_symbol(dst)
+            .ok_or_else(|| CompileError::Internal(format!("no data symbol for `{dst}`")))?;
+        let sp = self.temp("copy src ptr")?;
+        let dp = self.temp("copy dst ptr")?;
+        let cnt = self.temp("copy counter")?;
+        let tmp = self.temp("copy word")?;
+        self.builder.push(Instr::MovImm {
+            rd: sp,
+            imm: src_addr as i32,
+        });
+        self.builder.push(Instr::MovImm {
+            rd: dp,
+            imm: dst_addr as i32,
+        });
+        self.builder.push(Instr::MovImm { rd: cnt, imm: 0 });
+        let top = self.fresh_label("copy");
+        let done = self.fresh_label("copydone");
+        self.builder.bind_label(&top);
+        self.builder.push(Instr::CmpImm {
+            rn: cnt,
+            imm: words as i32,
+        });
+        let exit = self.builder.with_label_target(
+            Instr::BCond {
+                cond: wn_isa::Cond::Ge,
+                target: 0,
+            },
+            &done,
+        );
+        self.builder.push(exit);
+        self.builder.push(Instr::Ldr {
+            rt: tmp,
+            rn: sp,
+            off: 0,
+        });
+        self.builder.push(Instr::Str {
+            rt: tmp,
+            rn: dp,
+            off: 0,
+        });
+        self.builder.push(Instr::AddImm {
+            rd: sp,
+            rn: sp,
+            imm: 4,
+        });
+        self.builder.push(Instr::AddImm {
+            rd: dp,
+            rn: dp,
+            imm: 4,
+        });
+        self.builder.push(Instr::AddImm {
+            rd: cnt,
+            rn: cnt,
+            imm: 1,
+        });
+        let back = self.builder.branch_to_label(&top);
+        self.builder.push(back);
+        self.builder.bind_label(&done);
+        for r in [sp, dp, cnt, tmp] {
+            self.regs.free(r);
+        }
+        Ok(())
     }
 
     fn lower_for(
@@ -1520,7 +1606,7 @@ fn collect_candidates(
             collect_candidates_expr(value, var, assigned, out);
         }
         Stmt::Assign { value, .. } => collect_candidates_expr(value, var, assigned, out),
-        Stmt::For { .. } | Stmt::SkimPoint => {}
+        Stmt::For { .. } | Stmt::SkimPoint | Stmt::Label(_) | Stmt::CopyArray { .. } => {}
     }
 }
 

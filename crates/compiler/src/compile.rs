@@ -8,8 +8,30 @@ use crate::codegen;
 use crate::error::CompileError;
 use crate::ir::KernelIr;
 use crate::layout::ArrayLayout;
-use crate::passes::{hoist, swp, swv, TransformedKernel};
+use crate::passes::tasks::TaskLabel;
+use crate::passes::{hoist, swp, swv, tasks, TransformedKernel};
 use crate::technique::Technique;
+
+/// One contiguous task (or commit) region of a task-decomposed program,
+/// resolved to program counters. Regions tile the whole program in
+/// order: region `i` spans `[start_pc, end_pc)` and `end_pc` equals the
+/// next region's `start_pc` (the final region ends at the program's
+/// last instruction). Empty for kernels compiled without
+/// [`CompileOptions::task_decompose`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskSpan {
+    /// Label the region entry was bound from (`__task{k}` /
+    /// `__commit{k}`).
+    pub label: String,
+    /// First instruction of the region.
+    pub start_pc: u32,
+    /// One past the region's last instruction.
+    pub end_pc: u32,
+    /// Whether the region is a commit sequence (shadow → master copy).
+    pub is_commit: bool,
+    /// Data words the commit copies back (0 for task bodies).
+    pub privatized_words: u64,
+}
 
 /// A compiled kernel: the WN-RISC program plus everything the host needs
 /// to feed it inputs and read back outputs.
@@ -28,6 +50,9 @@ pub struct CompiledKernel {
     pub outputs: Vec<String>,
     /// Names of the input arrays, in declaration order.
     pub inputs: Vec<String>,
+    /// Task regions in program order (empty unless compiled with
+    /// [`CompileOptions::task_decompose`]).
+    pub tasks: Vec<TaskSpan>,
 }
 
 impl CompiledKernel {
@@ -86,6 +111,12 @@ pub struct CompileOptions {
     /// emit — the paper's placement, where "the programmer dictates the
     /// minimum significance of the output" (§III-C) by where SKM goes.
     pub skim_min_level: u32,
+    /// Run the Alpaca-style task-decomposition pass
+    /// ([`crate::passes::tasks`]) and publish the resulting region table
+    /// as [`CompiledKernel::tasks`]. Off by default: checkpoint
+    /// substrates need no task structure, and the privatization copies
+    /// would be pure overhead for them.
+    pub task_decompose: bool,
 }
 
 /// Compiles a kernel with a technique (the paper's Algorithm 1 pipeline:
@@ -139,7 +170,14 @@ pub fn compile_with(
             });
     }
 
+    let task_labels = if options.task_decompose {
+        tasks::apply(&mut transformed.kernel, &mut layouts)
+    } else {
+        Vec::new()
+    };
+
     let program = codegen::lower(&transformed.kernel, &layouts)?;
+    let tasks = resolve_task_spans(&program, &task_labels)?;
     Ok(CompiledKernel {
         name: kernel.name.clone(),
         technique,
@@ -157,7 +195,44 @@ pub fn compile_with(
             .filter(|a| !a.is_output)
             .map(|a| a.name.clone())
             .collect(),
+        tasks,
     })
+}
+
+/// Resolves the task pass's boundary labels to pc spans. Regions tile
+/// the program: each ends where the next begins, the last at the
+/// program's end (so the `HALT` a skim jump lands on always falls in
+/// the final region).
+fn resolve_task_spans(
+    program: &Program,
+    labels: &[TaskLabel],
+) -> Result<Vec<TaskSpan>, CompileError> {
+    let mut spans = Vec::with_capacity(labels.len());
+    for (i, l) in labels.iter().enumerate() {
+        let start_pc = program
+            .code_symbol(&l.label)
+            .ok_or_else(|| CompileError::Internal(format!("unbound task label `{}`", l.label)))?;
+        let end_pc = match labels.get(i + 1) {
+            Some(next) => program.code_symbol(&next.label).ok_or_else(|| {
+                CompileError::Internal(format!("unbound task label `{}`", next.label))
+            })?,
+            None => program.instrs.len() as u32,
+        };
+        if end_pc < start_pc {
+            return Err(CompileError::Internal(format!(
+                "task regions out of order at `{}`",
+                l.label
+            )));
+        }
+        spans.push(TaskSpan {
+            label: l.label.clone(),
+            start_pc,
+            end_pc,
+            is_commit: l.is_commit,
+            privatized_words: l.privatized_words,
+        });
+    }
+    Ok(spans)
 }
 
 /// Removes the first `remaining` skim points in program order.
@@ -214,6 +289,7 @@ mod tests {
         for min in 1..=3u32 {
             let opts = CompileOptions {
                 skim_min_level: min,
+                ..CompileOptions::default()
             };
             let c = compile_with(&listing1(), Technique::swp(4), &opts).unwrap();
             assert_eq!(count_skm(&c) as u32, baseline as u32 - min);
@@ -223,7 +299,10 @@ mod tests {
 
     #[test]
     fn skim_min_level_beyond_count_leaves_none() {
-        let opts = CompileOptions { skim_min_level: 99 };
+        let opts = CompileOptions {
+            skim_min_level: 99,
+            ..CompileOptions::default()
+        };
         let c = compile_with(&listing1(), Technique::swp(4), &opts).unwrap();
         assert_eq!(count_skm(&c), 0);
     }

@@ -147,7 +147,29 @@ impl Interp {
                 "packed stores require device layouts; interpret the untransformed kernel"
                     .to_string(),
             )),
-            Stmt::SkimPoint => Ok(()),
+            Stmt::SkimPoint | Stmt::Label(_) => Ok(()),
+            Stmt::CopyArray { dst, src } => {
+                let from = self
+                    .arrays
+                    .get(src)
+                    .ok_or_else(|| CompileError::UnknownArray {
+                        name: src.to_string(),
+                    })?
+                    .clone();
+                let to = self
+                    .arrays
+                    .get_mut(dst)
+                    .ok_or_else(|| CompileError::UnknownArray {
+                        name: dst.to_string(),
+                    })?;
+                if to.len() != from.len() {
+                    return Err(CompileError::Internal(format!(
+                        "CopyArray between differently sized arrays `{dst}` and `{src}`"
+                    )));
+                }
+                *to = from;
+                Ok(())
+            }
         }
     }
 

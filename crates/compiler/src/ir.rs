@@ -430,6 +430,23 @@ pub enum Stmt {
     /// *(pass-generated)* A skim point: an acceptable approximate output
     /// exists from here on. Lowers to `SKM END`.
     SkimPoint,
+    /// *(pass-generated)* A named code position: lowers to a bound label
+    /// and no instructions. The task-decomposition pass plants these at
+    /// task entries and commit sequences so the runtime substrate can
+    /// resolve them to program counters after lowering.
+    Label(String),
+    /// *(pass-generated)* Copy the whole backing store of `src` into
+    /// `dst` word-by-word. Both arrays must have identical element type
+    /// and length (and therefore identical layouts once completed). The
+    /// task pass uses this for write-set privatization (master → shadow
+    /// at task entry) and for the atomic commit (shadow → master at the
+    /// task boundary).
+    CopyArray {
+        /// Destination array.
+        dst: String,
+        /// Source array.
+        src: String,
+    },
 }
 
 impl Stmt {
@@ -618,7 +635,22 @@ impl KernelIr {
                     }
                     self.validate_expr(value)?;
                 }
-                Stmt::SkimPoint => {}
+                Stmt::SkimPoint | Stmt::Label(_) => {}
+                Stmt::CopyArray { dst, src } => {
+                    self.check_array(dst)?;
+                    self.check_array(src)?;
+                    let (d, s) = (
+                        self.find_array(dst).expect("checked above"),
+                        self.find_array(src).expect("checked above"),
+                    );
+                    // Pass-generated only, so a shape mismatch is a
+                    // compiler bug, not a user error.
+                    if d.len != s.len || d.elem != s.elem {
+                        return Err(CompileError::Internal(format!(
+                            "CopyArray between mismatched arrays `{dst}` and `{src}`"
+                        )));
+                    }
+                }
             }
         }
         Ok(())

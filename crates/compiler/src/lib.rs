@@ -61,7 +61,7 @@ pub mod layout;
 pub mod passes;
 pub mod technique;
 
-pub use compile::{compile, compile_with, CompileOptions, CompiledKernel};
+pub use compile::{compile, compile_with, CompileOptions, CompiledKernel, TaskSpan};
 pub use error::CompileError;
 pub use layout::{ArrayLayout, ElemType};
 pub use technique::Technique;

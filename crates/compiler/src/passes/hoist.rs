@@ -167,7 +167,7 @@ fn hoist_stmt(
         // Nested loops were already processed innermost-first; anything
         // still inside them depends on their loop variables.
         s @ Stmt::For { .. } => s,
-        Stmt::SkimPoint => Stmt::SkimPoint,
+        s @ (Stmt::SkimPoint | Stmt::Label(_) | Stmt::CopyArray { .. }) => s,
     }
 }
 

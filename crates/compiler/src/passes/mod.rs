@@ -16,6 +16,7 @@
 pub mod hoist;
 pub mod swp;
 pub mod swv;
+pub mod tasks;
 
 use std::collections::HashMap;
 

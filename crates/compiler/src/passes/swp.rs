@@ -717,7 +717,7 @@ mod tests {
                     n += check(elem_index) + check(value);
                 }
                 Stmt::Assign { value, .. } => n += check(value),
-                Stmt::SkimPoint => {}
+                Stmt::SkimPoint | Stmt::Label(_) | Stmt::CopyArray { .. } => {}
             }
         }
         n

@@ -4,7 +4,7 @@
 use std::ops::ControlFlow;
 
 use wn_quality::QualityCurve;
-use wn_sim::{Core, HookKind, StepEvent, StepHook, StepInfo, StopReason};
+use wn_sim::{Core, HookBreak, HookKind, StepEvent, StepHook, StepInfo, StopReason};
 
 use crate::error::WnError;
 use crate::prepared::PreparedRun;
@@ -92,9 +92,9 @@ pub fn run_to_first_skim(prepared: &PreparedRun) -> Result<(wn_sim::Core, u64, b
         const KIND: HookKind = HookKind::MemoryOps;
 
         #[inline]
-        fn on_step(&mut self, _core: &mut Core, info: &StepInfo) -> ControlFlow<(), u64> {
+        fn on_step(&mut self, _core: &mut Core, info: &StepInfo) -> ControlFlow<HookBreak, u64> {
             if let StepEvent::SkimSet(_) = info.event {
-                ControlFlow::Break(())
+                ControlFlow::Break(HookBreak::Stop)
             } else {
                 ControlFlow::Continue(0)
             }

@@ -15,7 +15,9 @@ use wn_kernels::Benchmark;
 
 use crate::error::WnError;
 use crate::experiments::ExperimentConfig;
-use crate::intermittent::{median, run_intermittent, SubstrateKind};
+use crate::intermittent::{
+    max_task_cycles, median, run_intermittent, task_supply_for, SubstrateKind,
+};
 use crate::jobs::run_jobs;
 use crate::prepared::PreparedRun;
 
@@ -146,7 +148,15 @@ pub fn run(config: &ExperimentConfig, substrate: SubstrateKind) -> Result<Speedu
             1 => benchmark.technique(8),
             _ => benchmark.technique(4),
         };
-        let prepared = PreparedRun::cached(benchmark, config.scale, config.seed, technique)?;
+        // The Task substrate runs the task-decomposed binary; Clank and
+        // NVP keep the plain build (same cache entries as before).
+        let prepared = PreparedRun::cached_with_tasks(
+            benchmark,
+            config.scale,
+            config.seed,
+            technique,
+            matches!(substrate, SubstrateKind::Task(_)),
+        )?;
         run_intermittent(
             &prepared,
             substrate,
@@ -183,7 +193,96 @@ pub fn run(config: &ExperimentConfig, substrate: SubstrateKind) -> Result<Speedu
         substrate: match substrate {
             SubstrateKind::Clank(_) => "clank",
             SubstrateKind::Nvp(_) => "nvp",
+            SubstrateKind::Task(_) => "task",
         },
+        rows,
+    })
+}
+
+/// The checkpoint-free third column: the same speedup/quality grid on
+/// the Task substrate. The supply is not `config.supply` — task-based
+/// systems must size the energy buffer to the *largest task* (a task
+/// that cannot finish on one charge re-executes forever) — and it is
+/// sized **per benchmark** (largest task across that benchmark's
+/// precise/8-bit/4-bit builds, via [`task_supply_for`]): a single
+/// grid-wide capacitor would hand small benchmarks a charge that
+/// swallows their whole precise run, collapsing the speedup ratio into
+/// a recharge-time artifact. Kept out of `experiments all` so the
+/// checkpoint-substrate artifact set is untouched.
+///
+/// # Errors
+///
+/// See [`run`].
+pub fn run_task(config: &ExperimentConfig) -> Result<SpeedupFigure, WnError> {
+    let traces = config.trace_ensemble();
+    let n_traces = traces.len();
+    const VARIANTS: usize = 3;
+    let technique_of = |benchmark: Benchmark, v: usize| match v {
+        0 => Technique::Precise,
+        1 => benchmark.technique(8),
+        _ => benchmark.technique(4),
+    };
+    // Pre-size each benchmark's buffer (cache-warm, serial: the
+    // largest-task measurement is itself a full run per build).
+    let mut supplies = Vec::new();
+    for benchmark in Benchmark::ALL {
+        let mut largest = 0u64;
+        for v in 0..VARIANTS {
+            let prepared = PreparedRun::cached_with_tasks(
+                benchmark,
+                config.scale,
+                config.seed,
+                technique_of(benchmark, v),
+                true,
+            )?;
+            largest = largest.max(max_task_cycles(&prepared)?);
+        }
+        supplies.push(task_supply_for(largest));
+    }
+
+    let outcomes = run_jobs(Benchmark::ALL.len() * VARIANTS * n_traces, |i| {
+        let b = i / (VARIANTS * n_traces);
+        let benchmark = Benchmark::ALL[b];
+        let prepared = PreparedRun::cached_with_tasks(
+            benchmark,
+            config.scale,
+            config.seed,
+            technique_of(benchmark, (i / n_traces) % VARIANTS),
+            true,
+        )?;
+        run_intermittent(
+            &prepared,
+            SubstrateKind::task(),
+            &traces[i % n_traces],
+            supplies[b],
+            config.wall_limit_s,
+        )
+    })?;
+
+    let mut rows = Vec::new();
+    for (b, benchmark) in Benchmark::ALL.into_iter().enumerate() {
+        let variant = |v: usize| {
+            let start = (b * VARIANTS + v) * n_traces;
+            &outcomes[start..start + n_traces]
+        };
+        let precise_times: Vec<f64> = variant(0).iter().map(|o| o.time_s).collect();
+        let precise_median = median(&precise_times);
+        for (v, bits) in [(1usize, 8u8), (2, 4)] {
+            let outcomes = variant(v);
+            let times: Vec<f64> = outcomes.iter().map(|o| o.time_s).collect();
+            let errors: Vec<f64> = outcomes.iter().map(|o| o.error_percent).collect();
+            let skims = outcomes.iter().filter(|o| o.skimmed).count();
+            rows.push(SpeedupRow {
+                benchmark,
+                bits,
+                speedup: precise_median / median(&times),
+                nrmse_percent: median(&errors),
+                skim_rate: skims as f64 / outcomes.len() as f64,
+            });
+        }
+    }
+    Ok(SpeedupFigure {
+        substrate: "task",
         rows,
     })
 }

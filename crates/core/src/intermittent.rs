@@ -1,8 +1,11 @@
-//! Intermittent-power runs over Clank and NVP (paper §V-B, §V-C).
+//! Intermittent-power runs over Clank, NVP (paper §V-B, §V-C) and the
+//! checkpoint-free Task substrate (Alpaca-style; ROADMAP item 3).
 
 use wn_energy::{PowerTrace, SupplyConfig};
 use wn_intermittent::substrate::{Substrate, SubstrateStats};
-use wn_intermittent::{Clank, ClankConfig, IntermittentExecutor, Nvp, NvpConfig};
+use wn_intermittent::{
+    Clank, ClankConfig, IntermittentExecutor, Nvp, NvpConfig, Task, TaskConfig, TaskRegion,
+};
 use wn_telemetry::RunReport;
 
 use crate::error::WnError;
@@ -16,6 +19,13 @@ pub enum SubstrateKind {
     Clank(ClankConfig),
     /// Backup-every-cycle non-volatile processor.
     Nvp(NvpConfig),
+    /// Checkpoint-free task substrate: statically decomposed idempotent
+    /// tasks with privatized WAR arrays, committed at task boundaries.
+    /// Requires a task-decomposed binary ([`PreparedRun::tasked`] /
+    /// [`PreparedRun::cached_with_tasks`]); on a plain binary it
+    /// degrades to one whole-program task, which is only safe for
+    /// kernels without read-modify-write outputs.
+    Task(TaskConfig),
 }
 
 impl SubstrateKind {
@@ -29,13 +39,37 @@ impl SubstrateKind {
         SubstrateKind::Nvp(NvpConfig::default())
     }
 
+    /// Task substrate with default parameters.
+    pub fn task() -> SubstrateKind {
+        SubstrateKind::Task(TaskConfig::default())
+    }
+
     /// Display name.
     pub fn name(&self) -> &'static str {
         match self {
             SubstrateKind::Clank(_) => "clank",
             SubstrateKind::Nvp(_) => "nvp",
+            SubstrateKind::Task(_) => "task",
         }
     }
+}
+
+/// Builds the Task substrate for a prepared run from the region table
+/// its compilation emitted ([`wn_compiler::TaskSpan`] rows become
+/// [`TaskRegion`]s; an empty table degrades to one whole-program task).
+pub fn task_substrate(prepared: &PreparedRun, config: TaskConfig) -> Task {
+    let regions = prepared
+        .compiled
+        .tasks
+        .iter()
+        .map(|s| TaskRegion {
+            start_pc: s.start_pc,
+            end_pc: s.end_pc,
+            is_commit: s.is_commit,
+            privatized_words: s.privatized_words,
+        })
+        .collect();
+    Task::new(config, regions)
 }
 
 /// Outcome of one intermittent benchmark run.
@@ -70,6 +104,69 @@ pub fn quick_supply() -> SupplyConfig {
         capacitance_f: 1e-6,
         ..SupplyConfig::default()
     }
+}
+
+/// A supply sized for the checkpoint-free task substrate. Task-based
+/// systems require the energy buffer to cover the *largest task*: a
+/// task that cannot finish on one full charge re-executes from its
+/// entry on every power cycle and never commits (Alpaca's
+/// non-termination condition — an oversized task is a programmer error
+/// there, and a buffer-sizing error here). This sizes the capacitor so
+/// one full charge (`v_on` down to `v_off` on the default electrical
+/// model) grants 1.2× `task_cycles` — callers pass the workload's
+/// largest task, or its total cycle count as a static upper bound. The
+/// resulting buffers land in the tens-to-hundreds of µF, the
+/// supercapacitor territory real task-based deployments use.
+pub fn task_supply_for(task_cycles: u64) -> SupplyConfig {
+    let base = SupplyConfig {
+        capacitance_f: 1e-6,
+        ..SupplyConfig::default()
+    };
+    // One full charge holds ½·C·(v_on² − v_off²) joules and each cycle
+    // costs `pj_per_cycle`, so granted cycles are linear in C.
+    let cycles_per_farad =
+        (base.v_on * base.v_on - base.v_off * base.v_off) / (2.0 * base.pj_per_cycle * 1e-12);
+    SupplyConfig {
+        capacitance_f: 1.2 * task_cycles as f64 / cycles_per_farad,
+        ..base
+    }
+}
+
+/// Measures the largest task region of a task-decomposed build: runs a
+/// fresh core to completion, attributing each retired instruction's
+/// cycles to the [`TaskSpan`](wn_compiler::TaskSpan) its PC falls in,
+/// and returns the maximum per-region dynamic cycle count. Feed the
+/// result to [`task_supply_for`] to size an energy buffer that is
+/// guaranteed to make progress (every task fits one charge) without
+/// dwarfing the whole run. For builds without task spans this is the
+/// total cycle count (the whole program is one region).
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn max_task_cycles(prepared: &PreparedRun) -> Result<u64, WnError> {
+    let spans = &prepared.compiled.tasks;
+    let mut core = prepared.fresh_core()?;
+    if spans.is_empty() {
+        return Ok(core.run(u64::MAX)?.cycles);
+    }
+    let region_of = |pc: u32| -> usize {
+        spans
+            .partition_point(|r| r.start_pc <= pc)
+            .saturating_sub(1)
+    };
+    let mut cur = region_of(core.cpu.pc);
+    let (mut acc, mut max) = (0u64, 0u64);
+    while !core.is_halted() {
+        let region = region_of(core.cpu.pc);
+        if region != cur {
+            max = max.max(acc);
+            acc = 0;
+            cur = region;
+        }
+        acc += core.step()?.cycles;
+    }
+    Ok(max.max(acc))
 }
 
 /// Runs one prepared kernel on a substrate under a power trace.
@@ -107,6 +204,12 @@ pub fn run_intermittent(
         }
         SubstrateKind::Nvp(cfg) => {
             let mut exec = IntermittentExecutor::new(core, trace, supply, Nvp::new(cfg));
+            let run = exec.run(wall_limit_s)?;
+            (run, prepared.error_percent(exec.core())?)
+        }
+        SubstrateKind::Task(cfg) => {
+            let substrate = task_substrate(prepared, cfg);
+            let mut exec = IntermittentExecutor::new(core, trace, supply, substrate);
             let run = exec.run(wall_limit_s)?;
             (run, prepared.error_percent(exec.core())?)
         }
@@ -153,6 +256,11 @@ pub fn run_intermittent_reported(
             let exec = IntermittentExecutor::new(core, trace, supply, Nvp::new(cfg));
             reported_run(prepared, exec, wall_limit_s, label)
         }
+        SubstrateKind::Task(cfg) => {
+            let substrate = task_substrate(prepared, cfg);
+            let exec = IntermittentExecutor::new(core, trace, supply, substrate);
+            reported_run(prepared, exec, wall_limit_s, label)
+        }
     }
 }
 
@@ -175,6 +283,11 @@ fn reported_run<S: Substrate>(
             .stats
             .classes()
             .map(|(class, instructions, cycles)| (class.name(), instructions, cycles)),
+    );
+    report.set_substrate(
+        run.substrate.commits,
+        run.substrate.privatized_words,
+        run.substrate.reexecuted_cycles,
     );
     let error_percent = prepared.error_percent(exec.core())?;
     Ok((

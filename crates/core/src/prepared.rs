@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
-use wn_compiler::{compile, CompiledKernel, Technique};
+use wn_compiler::{compile, compile_with, CompileOptions, CompiledKernel, Technique};
 use wn_kernels::{Benchmark, KernelInstance, Scale};
 use wn_quality::metrics::nrmse_percent;
 use wn_sim::{Core, CoreConfig};
@@ -11,12 +11,15 @@ use wn_sim::{Core, CoreConfig};
 use crate::error::WnError;
 
 /// Benchmark instances are pure functions of `(benchmark, scale, seed)`
-/// and compilation of `(instance, technique)`, so prepared runs built
-/// from them can be shared across every figure of one process (several
-/// experiments compile the exact same precise/8-bit/4-bit builds).
-/// Custom core configurations (e.g. Fig. 13's memo table) bypass this
-/// cache.
-type PreparedKey = (Benchmark, Scale, u64, Technique);
+/// and compilation of `(instance, technique, task_decompose)`, so
+/// prepared runs built from them can be shared across every figure of
+/// one process (several experiments compile the exact same
+/// precise/8-bit/4-bit builds). The final `bool` is the task-decomposed
+/// dimension: the Task substrate needs binaries with privatization and
+/// commit sequences, which are distinct programs from the checkpoint
+/// builds. Custom core configurations (e.g. Fig. 13's memo table)
+/// bypass this cache.
+type PreparedKey = (Benchmark, Scale, u64, Technique, bool);
 
 static PREPARED_CACHE: OnceLock<Mutex<HashMap<PreparedKey, Arc<PreparedRun>>>> = OnceLock::new();
 
@@ -61,17 +64,61 @@ impl PreparedRun {
         seed: u64,
         technique: Technique,
     ) -> Result<Arc<PreparedRun>, WnError> {
+        PreparedRun::cached_with_tasks(benchmark, scale, seed, technique, false)
+    }
+
+    /// As [`PreparedRun::cached`], with the task-decomposed dimension
+    /// explicit: `task_decompose = true` builds the binary the Task
+    /// substrate requires (privatized WAR arrays plus commit sequences
+    /// at task boundaries). Checkpoint and task builds of the same
+    /// kernel are distinct cache entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns a compile error if the technique does not apply.
+    pub fn cached_with_tasks(
+        benchmark: Benchmark,
+        scale: Scale,
+        seed: u64,
+        technique: Technique,
+        task_decompose: bool,
+    ) -> Result<Arc<PreparedRun>, WnError> {
         let cache = PREPARED_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-        let key = (benchmark, scale, seed, technique);
+        let key = (benchmark, scale, seed, technique, task_decompose);
         if let Some(hit) = cache.lock().expect("prepared cache poisoned").get(&key) {
             return Ok(Arc::clone(hit));
         }
         // Compile outside the lock: races rebuild identical values, and
         // the first insert wins so every caller shares one Arc.
         let instance = benchmark.instance(scale, seed);
-        let built = Arc::new(PreparedRun::new(&instance, technique)?);
+        let built = if task_decompose {
+            Arc::new(PreparedRun::tasked(&instance, technique)?)
+        } else {
+            Arc::new(PreparedRun::new(&instance, technique)?)
+        };
         let mut cache = cache.lock().expect("prepared cache poisoned");
         Ok(Arc::clone(cache.entry(key).or_insert(built)))
+    }
+
+    /// Compiles `instance` task-decomposed: the binary the Task
+    /// substrate runs, with WAR-violating arrays privatized into shadow
+    /// copies and a commit sequence emitted at every task boundary
+    /// ([`CompiledKernel::tasks`] carries the resulting region table).
+    ///
+    /// # Errors
+    ///
+    /// Returns a compile error if the technique does not apply.
+    pub fn tasked(instance: &KernelInstance, technique: Technique) -> Result<PreparedRun, WnError> {
+        let options = CompileOptions {
+            task_decompose: true,
+            ..CompileOptions::default()
+        };
+        let compiled = compile_with(&instance.ir, technique, &options)?;
+        Ok(PreparedRun::from_compiled(
+            compiled,
+            instance.clone(),
+            CoreConfig::default(),
+        ))
     }
 
     /// Compiles with an explicit core configuration (e.g. memoization

@@ -15,7 +15,7 @@ use wn_kernels::KernelInstance;
 use wn_sim::CoreConfig;
 
 use crate::error::WnError;
-use crate::intermittent::SubstrateKind;
+use crate::intermittent::{task_substrate, SubstrateKind};
 use crate::prepared::PreparedRun;
 use crate::Technique;
 
@@ -142,7 +142,17 @@ pub fn run_stream(
 
         let instance = make_instance(index);
         if compiled.is_none() {
-            compiled = Some(wn_compiler::compile(&instance.ir, technique)?);
+            // Task runs need the task-decomposed binary; the options
+            // default reproduces plain `compile` for the others.
+            let options = wn_compiler::CompileOptions {
+                task_decompose: matches!(config.substrate, SubstrateKind::Task(_)),
+                ..wn_compiler::CompileOptions::default()
+            };
+            compiled = Some(wn_compiler::compile_with(
+                &instance.ir,
+                technique,
+                &options,
+            )?);
         }
         let shared = compiled.as_ref().expect("compiled above");
         let prepared = PreparedRun::from_compiled(shared.clone(), instance, CoreConfig::default());
@@ -157,6 +167,13 @@ pub fn run_stream(
             }
             SubstrateKind::Nvp(cfg) => {
                 let mut exec = IntermittentExecutor::with_supply(core, supply, Nvp::new(cfg));
+                let run = exec.run(config.wall_limit_s)?;
+                let err = prepared.error_percent(exec.core())?;
+                (run, exec.into_supply(), err)
+            }
+            SubstrateKind::Task(cfg) => {
+                let substrate = task_substrate(&prepared, cfg);
+                let mut exec = IntermittentExecutor::with_supply(core, supply, substrate);
                 let run = exec.run(config.wall_limit_s)?;
                 let err = prepared.error_percent(exec.core())?;
                 (run, exec.into_supply(), err)

@@ -2,10 +2,10 @@
 //!
 //! Within a cohort every device runs the *same compiled program on the
 //! same inputs* — only the power trace (and hence outage placement)
-//! differs. Both substrates keep architectural state on the fault-free
-//! trajectory: Clank rolls memory and registers back to the exact
-//! checkpointed position, and NVP persists the exact interrupted state,
-//! so no outage ever perturbs *what* executes — only *when*. That means
+//! differs. Both checkpoint substrates keep architectural state on the
+//! fault-free trajectory: Clank rolls memory and registers back to the
+//! exact checkpointed position, and NVP persists the exact interrupted
+//! state, so no outage ever perturbs *what* executes — only *when*. That means
 //! the whole cohort shares one instruction-by-instruction trajectory,
 //! which this module records once per cohort as a
 //! [`wn_sim::ExecutionTape`] and then replays per device as pure
@@ -20,8 +20,10 @@
 //! which then performs the jump and the approximate-region execution
 //! exactly as an unbatched run would. Cohorts the replay cannot mirror
 //! bit-exactly (telemetry enabled, per-word checkpoint costs,
-//! memoization) fall back to the scalar engine wholesale, so fleet
-//! reports are byte-identical across engines by construction.
+//! memoization, and the whole Task substrate — whose re-execution from
+//! task entries *does* replay instructions, violating the shared
+//! trajectory premise) fall back to the scalar engine wholesale, so
+//! fleet reports are byte-identical across engines by construction.
 
 use std::sync::Arc;
 
@@ -111,10 +113,19 @@ fn build_plan(scenario: &FleetScenario, cohort: usize) -> CohortPlan {
     if telemetry::is_enabled() {
         return CohortPlan::Scalar;
     }
-    if let SubstrateKind::Clank(cfg) = spec.substrate.kind() {
-        if cfg.cycles_per_checkpoint_word != 0 {
-            return CohortPlan::Scalar;
+    match spec.substrate.kind() {
+        SubstrateKind::Clank(cfg) => {
+            if cfg.cycles_per_checkpoint_word != 0 {
+                return CohortPlan::Scalar;
+            }
         }
+        SubstrateKind::Nvp(_) => {}
+        // The Task substrate re-executes the interrupted task from its
+        // entry after every outage, so its devices do not share one
+        // fault-free trajectory — the premise the tape replay rests on.
+        // Task cohorts run on the scalar engine (the explicit fallback
+        // ISSUE 7 allows), pinned by the differential tests below.
+        SubstrateKind::Task(_) => return CohortPlan::Scalar,
     }
     let Ok(prepared) = PreparedRun::cached(
         spec.benchmark,
@@ -181,6 +192,10 @@ pub(crate) fn simulate_device_batched(
         SubstrateKind::Nvp(cfg) => {
             replay_run_nvp(&plan.tape, &plan.master, supply, cfg, scenario.wall_limit_s)
         }
+        // Unreachable in practice — `build_plan` never emits a tape plan
+        // for a Task cohort — but kept total so a future planner change
+        // degrades to the scalar engine instead of panicking.
+        SubstrateKind::Task(_) => return simulate_device(scenario, device),
     };
     match result {
         Ok((run, handed_core)) => {
@@ -247,22 +262,40 @@ technique = "precise"
 substrate = "clank"
 capacitance_uf = 2.2
 environment = "piezo"
+
+[[cohort]]
+count = 6
+benchmark = "matadd"
+technique = "precise"
+substrate = "task"
+environment = "rf-bursty"
 "#,
         )
         .unwrap()
     }
 
     #[test]
-    fn plans_record_a_tape_for_every_default_cohort() {
+    fn plans_record_a_tape_for_every_checkpoint_cohort() {
         let s = mixed_scenario();
         let plans = build_plans(&s);
-        assert_eq!(plans.len(), 3);
-        for (i, p) in plans.iter().enumerate() {
+        assert_eq!(plans.len(), 4);
+        for (i, p) in plans.iter().take(3).enumerate() {
             match p {
                 CohortPlan::Tape(plan) => assert!(!plan.tape.is_empty(), "cohort {i}"),
                 CohortPlan::Scalar => panic!("cohort {i} unexpectedly fell back to scalar"),
             }
         }
+    }
+
+    /// The explicit lockstep policy for the checkpoint-free substrate:
+    /// Task cohorts plan onto the scalar engine (no tape is recorded for
+    /// them), and the engine-equivalence test below proves the fallback
+    /// produces bit-identical outcomes.
+    #[test]
+    fn task_cohorts_plan_onto_the_scalar_engine() {
+        let s = mixed_scenario();
+        let plans = build_plans(&s);
+        assert!(matches!(plans[3], CohortPlan::Scalar));
     }
 
     #[test]
@@ -275,9 +308,9 @@ environment = "piezo"
     }
 
     /// The acceptance property at device granularity: every device in
-    /// every cohort — Clank and NVP, completing on the tape, diverging
-    /// via skim, starving, or timing out — produces the *bit-identical*
-    /// outcome on both engines.
+    /// every cohort — Clank and NVP on the tape (completing, diverging
+    /// via skim, starving, or timing out) and Task on the scalar
+    /// fallback — produces the *bit-identical* outcome on both engines.
     #[test]
     fn batched_outcomes_equal_scalar_outcomes_for_every_device() {
         let s = mixed_scenario();

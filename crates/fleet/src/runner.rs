@@ -19,7 +19,7 @@ use std::io::Write as _;
 use std::path::PathBuf;
 
 use wn_core::error::WnError;
-use wn_core::intermittent::{run_intermittent, IntermittentOutcome};
+use wn_core::intermittent::{run_intermittent, IntermittentOutcome, SubstrateKind};
 use wn_core::jobs::JobPool;
 use wn_core::prepared::PreparedRun;
 use wn_energy::SupplyError;
@@ -477,12 +477,16 @@ pub(crate) fn simulate_device(
     let cohort = scenario.cohort_of(device);
     let spec = &scenario.cohorts[cohort];
     // One compilation per cohort (inputs are a cohort-level property;
-    // the population varies the *environment* per device).
-    let prepared = PreparedRun::cached(
+    // the population varies the *environment* per device). Task cohorts
+    // get the task-decomposed build; the checkpoint substrates keep the
+    // plain one, so their cache entries (and results) are untouched.
+    let substrate = spec.substrate.kind();
+    let prepared = PreparedRun::cached_with_tasks(
         spec.benchmark,
         scenario.scale,
         scenario.cohort_input_seed(cohort),
         spec.technique,
+        matches!(substrate, SubstrateKind::Task(_)),
     )
     .map_err(|e| (device, e))?;
     let trace = spec
@@ -490,7 +494,7 @@ pub(crate) fn simulate_device(
         .synthesize(scenario.device_seed(device), scenario.trace_duration_s);
     match run_intermittent(
         &prepared,
-        spec.substrate.kind(),
+        substrate,
         &trace,
         spec.supply(),
         scenario.wall_limit_s,

@@ -28,18 +28,31 @@ use wn_kernels::{Benchmark, Scale};
 pub const DEFAULT_SHARD_SIZE: usize = 512;
 
 /// Which substrate a cohort's devices run on (default configurations;
-/// the paper's Clank and NVP models).
+/// the paper's Clank and NVP checkpoint models, plus the checkpoint-free
+/// task substrate).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SubstrateChoice {
     Clank,
     Nvp,
+    Task,
 }
 
 impl SubstrateChoice {
+    /// Every parseable substrate, in the order `VALID_NAMES` lists them.
+    pub const ALL: [SubstrateChoice; 3] = [
+        SubstrateChoice::Clank,
+        SubstrateChoice::Nvp,
+        SubstrateChoice::Task,
+    ];
+
+    /// The valid `substrate = "..."` spellings, for error messages.
+    pub const VALID_NAMES: &'static str = "clank, nvp, task";
+
     pub fn name(&self) -> &'static str {
         match self {
             SubstrateChoice::Clank => "clank",
             SubstrateChoice::Nvp => "nvp",
+            SubstrateChoice::Task => "task",
         }
     }
 
@@ -48,15 +61,12 @@ impl SubstrateChoice {
         match self {
             SubstrateChoice::Clank => SubstrateKind::clank(),
             SubstrateChoice::Nvp => SubstrateKind::nvp(),
+            SubstrateChoice::Task => SubstrateKind::task(),
         }
     }
 
     fn parse(s: &str) -> Option<SubstrateChoice> {
-        match s {
-            "clank" => Some(SubstrateChoice::Clank),
-            "nvp" => Some(SubstrateChoice::Nvp),
-            _ => None,
-        }
+        SubstrateChoice::ALL.into_iter().find(|c| c.name() == s)
     }
 }
 
@@ -251,10 +261,21 @@ fn parse_cohort(t: &TableDoc, index: usize) -> Result<CohortSpec, ScenarioError>
         .into_iter()
         .find(|b| b.name() == bench_name)
         .ok_or_else(|| err(&format!("unknown benchmark `{bench_name}`")))?;
-    let technique = parse_technique(&t.str_or("technique", "precise"), benchmark)
-        .ok_or_else(|| err(&format!("unknown {} value", at("technique"))))?;
-    let substrate = SubstrateChoice::parse(&t.str_or("substrate", "clank"))
-        .ok_or_else(|| err(&format!("unknown {} value", at("substrate"))))?;
+    let technique_name = t.str_or("technique", "precise");
+    let technique = parse_technique(&technique_name, benchmark).ok_or_else(|| {
+        err(&format!(
+            "unknown {} `{technique_name}` (valid: {TECHNIQUE_FORMS})",
+            at("technique")
+        ))
+    })?;
+    let substrate_name = t.str_or("substrate", "clank");
+    let substrate = SubstrateChoice::parse(&substrate_name).ok_or_else(|| {
+        err(&format!(
+            "unknown {} `{substrate_name}` (valid: {})",
+            at("substrate"),
+            SubstrateChoice::VALID_NAMES
+        ))
+    })?;
     let capacitance_uf = t.f64_or("capacitance_uf", 1.0)?;
     if !capacitance_uf.is_finite() || capacitance_uf <= 0.0 {
         return Err(err(&format!("{} must be positive", at("capacitance_uf"))));
@@ -287,6 +308,9 @@ fn parse_cohort(t: &TableDoc, index: usize) -> Result<CohortSpec, ScenarioError>
         env,
     })
 }
+
+/// The valid `technique = "..."` forms, for error messages.
+const TECHNIQUE_FORMS: &str = "precise, swpN, swpN+vld, swvN, swvN-unprov, anytimeN";
 
 /// `precise`, `swpN`, `swvN`, `swpN+vld`, `swvN-unprov`, or `anytimeN`
 /// (the benchmark's Table-I default technique at N bits).
@@ -913,6 +937,49 @@ day_s = 10.0
                 "`{needle}` not in error `{}` for:\n{text}",
                 e.0
             );
+        }
+    }
+
+    #[test]
+    fn task_substrate_parses() {
+        let text = TOML.replace("substrate = \"nvp\"", "substrate = \"task\"");
+        let s = FleetScenario::parse(&text).unwrap();
+        assert_eq!(s.cohorts[1].substrate, SubstrateChoice::Task);
+        assert_eq!(s.cohorts[1].substrate.name(), "task");
+        assert!(matches!(
+            s.cohorts[1].substrate.kind(),
+            SubstrateKind::Task(_)
+        ));
+        assert_eq!(s.cohorts[1].name, "home-precise-task-solar-diurnal");
+        // The substrate participates in the checkpoint fingerprint.
+        assert_ne!(
+            s.fingerprint(),
+            FleetScenario::parse(TOML).unwrap().fingerprint()
+        );
+    }
+
+    /// Satellite regression: an unknown substrate or technique must name
+    /// the offending value and list the valid ones, not just point at a
+    /// field.
+    #[test]
+    fn unknown_substrate_and_technique_errors_name_value_and_list_valid() {
+        let bad_substrate = "[fleet]\n[[cohort]]\nbenchmark = \"home\"\nsubstrate = \"alpaca\"\n";
+        let e = FleetScenario::parse(bad_substrate).unwrap_err();
+        for needle in ["cohort[0].substrate", "`alpaca`", "clank, nvp, task"] {
+            assert!(e.0.contains(needle), "`{needle}` not in `{}`", e.0);
+        }
+
+        let bad_technique = "[fleet]\n[[cohort]]\nbenchmark = \"home\"\ntechnique = \"warp9\"\n";
+        let e = FleetScenario::parse(bad_technique).unwrap_err();
+        for needle in [
+            "cohort[0].technique",
+            "`warp9`",
+            "precise",
+            "swpN+vld",
+            "swvN-unprov",
+            "anytimeN",
+        ] {
+            assert!(e.0.contains(needle), "`{needle}` not in `{}`", e.0);
         }
     }
 

@@ -6,7 +6,7 @@ use std::fmt;
 use std::ops::ControlFlow;
 
 use wn_energy::{EnergySupply, PowerStatus, PowerTrace, SupplyConfig, SupplyError};
-use wn_sim::{Core, HookKind, SimError, StepHook, StepInfo};
+use wn_sim::{Core, HookBreak, HookKind, SimError, StepHook, StepInfo};
 use wn_telemetry::{Event, EventKind, EventSink};
 
 use crate::substrate::{Substrate, SubstrateStats};
@@ -22,13 +22,19 @@ struct FusedLeaseHook<'a, S: Substrate> {
     supply: &'a mut EnergySupply,
     substrate: &'a mut S,
     cap: u64,
+    /// Extra cycles charged by the step that broke the loop at a task
+    /// boundary. [`wn_sim::BulkRun::cycles`] excludes the breaking
+    /// step's extra by contract, but the supply has already settled
+    /// them, so the executor folds `carried` back into its
+    /// active-cycle total.
+    carried: u64,
 }
 
 impl<S: Substrate> StepHook for FusedLeaseHook<'_, S> {
     const KIND: HookKind = HookKind::MemoryOps;
 
     #[inline]
-    fn on_step(&mut self, core: &mut Core, info: &StepInfo) -> ControlFlow<(), u64> {
+    fn on_step(&mut self, core: &mut Core, info: &StepInfo) -> ControlFlow<HookBreak, u64> {
         let overhead = self.substrate.after_step(core, info);
         debug_assert!(
             overhead <= self.cap,
@@ -36,6 +42,15 @@ impl<S: Substrate> StepHook for FusedLeaseHook<'_, S> {
             self.cap
         );
         self.supply.settle(info.cycles + overhead);
+        if self.substrate.take_boundary() {
+            // A task committed: stop the lease so the commit settles
+            // before the next grant, exactly as checkpoint costs do at
+            // lease ends. The re-grant is unobservable bookkeeping
+            // (`grant_cycles` is pure), so breaking here cannot perturb
+            // outage placement.
+            self.carried += overhead;
+            return ControlFlow::Break(HookBreak::Boundary);
+        }
         ControlFlow::Continue(overhead)
     }
 
@@ -326,9 +341,14 @@ impl<S: Substrate> IntermittentExecutor<S> {
                         supply: &mut self.supply,
                         substrate: &mut self.substrate,
                         cap,
+                        carried: 0,
                     };
+                    // A `StopReason::Boundary` return needs no special
+                    // arm: the lease loop re-iterates, re-checks halt
+                    // and wall clock, and grants afresh with the commit
+                    // already settled.
                     let bulk = self.core.run_steps_hooked(grant - slack, &mut hook)?;
-                    active_cycles += bulk.cycles;
+                    active_cycles += bulk.cycles + hook.carried;
                     debug_assert!(
                         self.supply.voltage() >= self.supply.config().v_off,
                         "brown-out inside an energy lease"
@@ -471,6 +491,10 @@ impl<S: Substrate> IntermittentExecutor<S> {
                             kind: EventKind::LeaseGrant { cycles: grant },
                         });
                     }
+                    // Boundary breaks must happen at the same points as
+                    // the untraced engine's, so the wall-clock checks
+                    // between leases line up run-for-run.
+                    let mut carried = 0u64;
                     let bulk = self.core.run_steps(grant - slack, |core, info| {
                         // Snapshot only when tracing: with a NullSink
                         // this folds to the PR 2 hook verbatim.
@@ -488,14 +512,18 @@ impl<S: Substrate> IntermittentExecutor<S> {
                         if let Some(b) = before {
                             substrate.record_checkpoint_events(&b, supply.time_s(), sink);
                         }
+                        if substrate.take_boundary() {
+                            carried += overhead;
+                            return std::ops::ControlFlow::Break(());
+                        }
                         std::ops::ControlFlow::Continue(overhead)
                     })?;
-                    active_cycles += bulk.cycles;
+                    active_cycles += bulk.cycles + carried;
                     if sink.enabled() {
                         sink.record(Event {
                             t_s: self.supply.time_s(),
                             kind: EventKind::LeaseSettled {
-                                cycles: bulk.cycles,
+                                cycles: bulk.cycles + carried,
                                 instructions: bulk.instructions,
                             },
                         });

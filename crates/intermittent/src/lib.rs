@@ -46,6 +46,7 @@ pub mod executor;
 pub mod lockstep;
 pub mod nvp;
 pub mod substrate;
+pub mod task;
 
 pub use checkpoint::DiffCheckpoint;
 pub use clank::{Clank, ClankConfig};
@@ -56,3 +57,4 @@ pub use lockstep::{
 };
 pub use nvp::{Nvp, NvpConfig};
 pub use substrate::Substrate;
+pub use task::{Task, TaskConfig, TaskRegion};

@@ -1,9 +1,25 @@
 //! The substrate abstraction: how a processor survives power outages.
+//!
+//! Two persistence paradigms share this trait. *Checkpoint* substrates
+//! (Clank, NVP) snapshot processor state — eagerly on hazards or lazily
+//! at the outage itself — and roll forward from the snapshot. *Task*
+//! substrates (Alpaca-style) never checkpoint: the compiler decomposes
+//! the program into idempotent tasks whose WAR-violating writes are
+//! privatized into a shadow region, each task commits atomically at its
+//! boundary, and an outage simply re-executes the interrupted task from
+//! its entry. The trait therefore presumes neither: `after_step` may
+//! charge a checkpoint *or* a commit, and [`SubstrateStats`] carries
+//! counters for both families (each substrate leaves the other's at
+//! zero).
 
 use wn_sim::{Core, StepInfo};
 use wn_telemetry::{CheckpointCause, Event, EventKind, EventSink};
 
-/// Counters shared by every substrate implementation.
+/// Counters shared by every substrate implementation. Checkpoint
+/// substrates populate the `checkpoint*` family; task substrates
+/// populate `commits` / `privatized_words` / `reexecuted_cycles`.
+/// Report schemas serialize both families, so grids comparing
+/// substrates only gain columns.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SubstrateStats {
     /// Checkpoints taken (violation-, capacity- or watchdog-triggered).
@@ -14,7 +30,8 @@ pub struct SubstrateStats {
     pub capacity_checkpoints: u64,
     /// Checkpoints caused by the watchdog timer.
     pub watchdog_checkpoints: u64,
-    /// Cycles spent taking checkpoints and restoring.
+    /// Cycles spent on substrate bookkeeping: checkpoints, restores,
+    /// and task commits.
     pub overhead_cycles: u64,
     /// Cycles of work discarded by outages (to be re-executed).
     pub lost_cycles: u64,
@@ -24,6 +41,14 @@ pub struct SubstrateStats {
     /// Words the same checkpoints would have written as full snapshots —
     /// `4 * (full - saved)` is the checkpoint bytes saved by diffing.
     pub checkpoint_words_full: u64,
+    /// Task boundaries committed (task substrates only).
+    pub commits: u64,
+    /// Shadow-region words copied back to their master arrays by those
+    /// commits (task substrates only).
+    pub privatized_words: u64,
+    /// Cycles re-executed because an outage discarded an uncommitted
+    /// task (task substrates only; a subset of `lost_cycles`).
+    pub reexecuted_cycles: u64,
 }
 
 /// A checkpointing/persistence policy for an intermittently powered core.
@@ -78,6 +103,16 @@ pub trait Substrate {
     fn after_fused(&mut self, instructions: u64, cycles: u64, reads: &[u32]) -> u64 {
         let _ = (instructions, cycles, reads);
         0
+    }
+
+    /// Consumes the substrate's pending boundary flag: returns `true`
+    /// exactly once after an [`Substrate::after_step`] that crossed a
+    /// task boundary. The executor breaks its bulk loop there so the
+    /// commit settles against the supply before the next lease is
+    /// granted, mirroring how checkpoint costs settle. Checkpoint
+    /// substrates never raise it.
+    fn take_boundary(&mut self) -> bool {
+        false
     }
 
     /// Power was lost *after* the last completed instruction.

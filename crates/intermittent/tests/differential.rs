@@ -13,7 +13,10 @@
 use proptest::prelude::*;
 
 use wn_energy::{PowerTrace, SupplyConfig, TraceKind};
-use wn_intermittent::{Clank, ClankConfig, IntermittentExecutor, Nvp, NvpConfig, Substrate};
+use wn_intermittent::{
+    Clank, ClankConfig, IntermittentExecutor, Nvp, NvpConfig, Substrate, Task, TaskConfig,
+    TaskRegion,
+};
 use wn_isa::asm::assemble;
 use wn_sim::{Core, CoreConfig};
 
@@ -88,6 +91,7 @@ fn supply() -> impl Strategy<Value = SupplyConfig> {
 enum SubstrateChoice {
     Clank(ClankConfig),
     Nvp(NvpConfig),
+    Task(TaskConfig),
 }
 
 fn substrate() -> impl Strategy<Value = SubstrateChoice> {
@@ -107,16 +111,115 @@ fn substrate() -> impl Strategy<Value = SubstrateChoice> {
                 backup_cycles_per_instr: backup,
             })
         }),
+        (10u64..80, 10u64..80).prop_map(|(commit, restore)| {
+            SubstrateChoice::Task(TaskConfig {
+                commit_cycles: commit,
+                restore_cycles: restore,
+            })
+        }),
     ]
 }
 
+/// Carves the hand-assembled test programs into small task regions: cut
+/// at the `loop` / `end` labels, then split anything longer than a few
+/// instructions. The fine tiling matters for liveness, not just
+/// coverage — an outage re-executes the interrupted region from its
+/// entry, so a region that cannot finish within one charge (e.g. a
+/// whole 12k-iteration loop) would livelock the run. Small regions
+/// commit on every backward branch and keep every generated case
+/// terminating. Engine equivalence must hold for any tiling; the
+/// continuous-oracle correctness of compiler-decomposed tasks is tested
+/// separately (`task_oracle` tests in wn-core).
+fn label_regions(program: &wn_isa::Program) -> Vec<TaskRegion> {
+    const MAX_REGION_INSTRS: u32 = 6;
+    let len = program.instrs.len() as u32;
+    let mut starts = vec![0u32];
+    starts.extend(
+        ["loop", "end"]
+            .iter()
+            .filter_map(|l| program.code_symbol(l)),
+    );
+    starts.sort_unstable();
+    starts.dedup();
+    let mut chunked = Vec::new();
+    for (i, &s) in starts.iter().enumerate() {
+        let end = starts.get(i + 1).copied().unwrap_or(len);
+        let mut at = s;
+        while at < end {
+            chunked.push(at);
+            at += MAX_REGION_INSTRS;
+        }
+    }
+    chunked
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| TaskRegion {
+            start_pc: s,
+            end_pc: chunked.get(i + 1).copied().unwrap_or(len),
+            is_commit: false,
+            privatized_words: 0,
+        })
+        .collect()
+}
+
+/// The SubstrateStats invariants every substrate must uphold, pinned
+/// against the knowledge of its per-event costs: bookkeeping overhead
+/// accounts for at least the commits/checkpoints it reports, the
+/// differential checkpoint never writes more than a full snapshot
+/// would, and each paradigm leaves the other family's counters at zero.
+fn assert_stats_invariants(run: &wn_intermittent::IntermittentRun, choice: &SubstrateChoice) {
+    let s = run.substrate;
+    assert!(
+        s.checkpoint_words_saved <= s.checkpoint_words_full,
+        "differential checkpoints cannot exceed full snapshots: {s:?}"
+    );
+    assert!(
+        s.reexecuted_cycles <= s.lost_cycles,
+        "re-executed work is a subset of lost work: {s:?}"
+    );
+    match choice {
+        SubstrateChoice::Clank(c) => {
+            assert!(
+                s.overhead_cycles >= s.checkpoints * c.checkpoint_cycles,
+                "clank overhead must cover its checkpoints: {s:?}"
+            );
+            assert_eq!(s.commits, 0, "checkpoint substrates never commit");
+            assert_eq!(s.privatized_words, 0);
+            assert_eq!(s.reexecuted_cycles, 0);
+        }
+        SubstrateChoice::Nvp(c) => {
+            assert!(
+                s.overhead_cycles >= run.outages * c.wakeup_cycles,
+                "nvp overhead must cover its wakeups: {s:?}"
+            );
+            assert_eq!(s.commits, 0, "checkpoint substrates never commit");
+            assert_eq!(s.privatized_words, 0);
+            assert_eq!(s.reexecuted_cycles, 0);
+        }
+        SubstrateChoice::Task(c) => {
+            assert!(
+                s.overhead_cycles >= s.commits * c.commit_cycles + run.outages * c.restore_cycles,
+                "task overhead must cover its commits and restores: {s:?}"
+            );
+            assert_eq!(s.checkpoints, 0, "task substrates never checkpoint");
+            assert_eq!(s.checkpoint_words_saved, 0);
+            assert_eq!(s.checkpoint_words_full, 0);
+            assert_eq!(
+                s.reexecuted_cycles, s.lost_cycles,
+                "every lost cycle re-executes from a task entry: {s:?}"
+            );
+        }
+    }
+}
+
 /// Runs both engines on identical inputs and asserts exact agreement.
+/// Returns the (agreed) run so callers can pin stats invariants on it.
 fn assert_engines_agree<S: Substrate + Clone>(
     program: &wn_isa::Program,
     trace: &PowerTrace,
     config: SupplyConfig,
     substrate: S,
-) {
+) -> wn_intermittent::IntermittentRun {
     let mut epoch = IntermittentExecutor::new(
         Core::new(program, CoreConfig::default()).unwrap(),
         trace,
@@ -162,6 +265,28 @@ fn assert_engines_agree<S: Substrate + Clone>(
             "output word {word}"
         );
     }
+    a
+}
+
+/// Dispatches [`assert_engines_agree`] for a generated substrate choice
+/// and then pins the [`SubstrateStats`] invariants on the agreed run.
+fn assert_choice_agrees(
+    program: &wn_isa::Program,
+    trace: &PowerTrace,
+    config: SupplyConfig,
+    choice: &SubstrateChoice,
+) {
+    let run = match choice {
+        SubstrateChoice::Clank(c) => assert_engines_agree(program, trace, config, Clank::new(*c)),
+        SubstrateChoice::Nvp(c) => assert_engines_agree(program, trace, config, Nvp::new(*c)),
+        SubstrateChoice::Task(c) => assert_engines_agree(
+            program,
+            trace,
+            config,
+            Task::new(*c, label_regions(program)),
+        ),
+    };
+    assert_stats_invariants(&run, choice);
 }
 
 /// Knobs for a branch/`SKM`-dense program — the worst case for block
@@ -225,14 +350,7 @@ proptest! {
     ) {
         let program = build_program(k);
         let trace = PowerTrace::generate(kind, seed, 60.0);
-        match sub {
-            SubstrateChoice::Clank(c) => {
-                assert_engines_agree(&program, &trace, config, Clank::new(c));
-            }
-            SubstrateChoice::Nvp(c) => {
-                assert_engines_agree(&program, &trace, config, Nvp::new(c));
-            }
-        }
+        assert_choice_agrees(&program, &trace, config, &sub);
     }
 
     /// Branch/`SKM`-dense programs (many 1-instruction blocks): the
@@ -248,14 +366,7 @@ proptest! {
     ) {
         let program = build_dense_program(k);
         let trace = PowerTrace::generate(kind, seed, 60.0);
-        match sub {
-            SubstrateChoice::Clank(c) => {
-                assert_engines_agree(&program, &trace, config, Clank::new(c));
-            }
-            SubstrateChoice::Nvp(c) => {
-                assert_engines_agree(&program, &trace, config, Nvp::new(c));
-            }
-        }
+        assert_choice_agrees(&program, &trace, config, &sub);
     }
 }
 

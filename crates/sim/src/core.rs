@@ -84,6 +84,21 @@ pub enum StopReason {
     Budget,
     /// The per-step hook broke out of the loop.
     Hook,
+    /// The per-step hook reported a substrate boundary (e.g. a task
+    /// commit) that the caller must settle before continuing.
+    Boundary,
+}
+
+/// What a [`StepHook::on_step`] break means — whether the caller should
+/// stop for good or merely surface a boundary and resume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HookBreak {
+    /// Stop the run; reported as [`StopReason::Hook`].
+    Stop,
+    /// Pause at a substrate boundary; reported as
+    /// [`StopReason::Boundary`]. The core state is ordinary — callers
+    /// may immediately issue another run.
+    Boundary,
 }
 
 /// Result of a [`Core::run_steps`] call.
@@ -286,9 +301,12 @@ pub trait StepHook {
 
     /// Called after each individually retired instruction. Returns
     /// `ControlFlow::Continue(extra_cycles)` to keep going (the extra
-    /// cycles count against the budget) or `ControlFlow::Break(())` to
-    /// stop.
-    fn on_step(&mut self, core: &mut Core, info: &StepInfo) -> ControlFlow<(), u64>;
+    /// cycles count against the budget) or `ControlFlow::Break(_)` to
+    /// stop — [`HookBreak::Stop`] for good, [`HookBreak::Boundary`] for
+    /// a resumable substrate boundary. Either way the final step's
+    /// extra cycles are *not* folded into [`BulkRun::cycles`]; a hook
+    /// that charges on a break must carry those cycles itself.
+    fn on_step(&mut self, core: &mut Core, info: &StepInfo) -> ControlFlow<HookBreak, u64>;
 
     /// Cycles of fused execution the hook can currently absorb without
     /// per-instruction observation (e.g. cycles left before a
@@ -331,8 +349,11 @@ where
     const KIND: HookKind = HookKind::EveryInstruction;
 
     #[inline]
-    fn on_step(&mut self, core: &mut Core, info: &StepInfo) -> ControlFlow<(), u64> {
-        (self.0)(core, info)
+    fn on_step(&mut self, core: &mut Core, info: &StepInfo) -> ControlFlow<HookBreak, u64> {
+        match (self.0)(core, info) {
+            ControlFlow::Continue(extra) => ControlFlow::Continue(extra),
+            ControlFlow::Break(()) => ControlFlow::Break(HookBreak::Stop),
+        }
     }
 }
 
@@ -344,7 +365,7 @@ impl StepHook for FreeRun {
     const KIND: HookKind = HookKind::MemoryOps;
 
     #[inline]
-    fn on_step(&mut self, _core: &mut Core, _info: &StepInfo) -> ControlFlow<(), u64> {
+    fn on_step(&mut self, _core: &mut Core, _info: &StepInfo) -> ControlFlow<HookBreak, u64> {
         ControlFlow::Continue(0)
     }
 
@@ -1088,11 +1109,14 @@ impl Core {
             instructions += 1;
             match hook.on_step(self, &info) {
                 ControlFlow::Continue(extra) => cycles += extra,
-                ControlFlow::Break(()) => {
+                ControlFlow::Break(kind) => {
                     return Ok(BulkRun {
                         cycles,
                         instructions,
-                        stop: StopReason::Hook,
+                        stop: match kind {
+                            HookBreak::Stop => StopReason::Hook,
+                            HookBreak::Boundary => StopReason::Boundary,
+                        },
                     })
                 }
             }
@@ -1130,7 +1154,7 @@ impl Core {
         let out = self.run_steps_hooked(max_cycles, &mut FreeRun)?;
         match out.stop {
             StopReason::Budget => Err(SimError::CycleLimit { limit: max_cycles }),
-            StopReason::Halted | StopReason::Hook => Ok(RunOutcome {
+            StopReason::Halted | StopReason::Hook | StopReason::Boundary => Ok(RunOutcome {
                 halted: true,
                 cycles: out.cycles,
                 instructions: out.instructions,
@@ -1607,7 +1631,7 @@ mod tests {
         }
         impl StepHook for Backup {
             const KIND: HookKind = HookKind::MemoryOps;
-            fn on_step(&mut self, _c: &mut Core, _i: &StepInfo) -> ControlFlow<(), u64> {
+            fn on_step(&mut self, _c: &mut Core, _i: &StepInfo) -> ControlFlow<HookBreak, u64> {
                 ControlFlow::Continue(2)
             }
             fn block_budget(&self) -> u64 {
@@ -1650,7 +1674,7 @@ mod tests {
         struct NoRoom;
         impl StepHook for NoRoom {
             const KIND: HookKind = HookKind::MemoryOps;
-            fn on_step(&mut self, _c: &mut Core, _i: &StepInfo) -> ControlFlow<(), u64> {
+            fn on_step(&mut self, _c: &mut Core, _i: &StepInfo) -> ControlFlow<HookBreak, u64> {
                 ControlFlow::Continue(0)
             }
         }

@@ -46,7 +46,8 @@ pub mod tape;
 pub mod trace;
 
 pub use crate::core::{
-    BulkRun, Core, CoreConfig, HookKind, RunOutcome, StepEvent, StepHook, StepInfo, StopReason,
+    BulkRun, Core, CoreConfig, HookBreak, HookKind, RunOutcome, StepEvent, StepHook, StepInfo,
+    StopReason,
 };
 pub use crate::cpu::{Cpu, CpuSnapshot};
 pub use crate::cycle_model::CycleModel;

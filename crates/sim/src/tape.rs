@@ -14,7 +14,7 @@
 //! bookkeeping over these arrays plus its own energy supply — no
 //! interpreter, no memory image.
 
-use crate::core::{Core, HookKind, StepEvent, StepHook, StepInfo};
+use crate::core::{Core, HookBreak, HookKind, StepEvent, StepHook, StepInfo};
 use crate::error::SimError;
 use crate::memory::AccessKind;
 use std::ops::ControlFlow;
@@ -200,7 +200,7 @@ impl StepHook for FreeWalk {
     const KIND: HookKind = HookKind::MemoryOps;
 
     #[inline]
-    fn on_step(&mut self, _core: &mut Core, _info: &StepInfo) -> ControlFlow<(), u64> {
+    fn on_step(&mut self, _core: &mut Core, _info: &StepInfo) -> ControlFlow<HookBreak, u64> {
         ControlFlow::Continue(0)
     }
 

@@ -226,6 +226,13 @@ pub struct RunReport {
     /// `checkpoints * CpuSnapshot::WORDS`).
     pub checkpoint_words: u64,
     pub restore_cycles: u64,
+    /// Task-boundary commits (checkpoint-free substrates; zero for
+    /// Clank/NVP, so existing reports only gain zero-valued columns).
+    pub commits: u64,
+    /// Shadow words copied back to their masters by commit sequences.
+    pub privatized_words: u64,
+    /// Cycles re-executed from task entries after outages.
+    pub reexecuted_cycles: u64,
     pub lease: LeaseStats,
     /// Durations of powered-on periods (power-on → outage).
     pub on_periods: Histogram,
@@ -288,6 +295,15 @@ impl RunReport {
             .collect();
     }
 
+    /// Fill in the checkpoint-free substrate counters from the
+    /// executor's [`SubstrateStats`]-shaped result (all zero on
+    /// checkpoint substrates).
+    pub fn set_substrate(&mut self, commits: u64, privatized_words: u64, reexecuted_cycles: u64) {
+        self.commits = commits;
+        self.privatized_words = privatized_words;
+        self.reexecuted_cycles = reexecuted_cycles;
+    }
+
     pub fn checkpoints_of(&self, cause: CheckpointCause) -> u64 {
         self.checkpoint_causes[cause_slot(cause)]
     }
@@ -312,6 +328,9 @@ impl RunReport {
         }
         self.checkpoint_words += other.checkpoint_words;
         self.restore_cycles += other.restore_cycles;
+        self.commits += other.commits;
+        self.privatized_words += other.privatized_words;
+        self.reexecuted_cycles += other.reexecuted_cycles;
         self.lease.merge(&other.lease);
         self.on_periods.merge(&other.on_periods);
         self.off_periods.merge(&other.off_periods);
@@ -347,6 +366,9 @@ impl RunReport {
             .raw("checkpoint_causes", causes.finish())
             .u64("checkpoint_words", self.checkpoint_words)
             .u64("restore_cycles", self.restore_cycles)
+            .u64("commits", self.commits)
+            .u64("privatized_words", self.privatized_words)
+            .u64("reexecuted_cycles", self.reexecuted_cycles)
             .raw("lease", self.lease.to_json())
             .raw("on_periods", self.on_periods.to_json())
             .raw("off_periods", self.off_periods.to_json())
@@ -391,6 +413,9 @@ impl RunReport {
         }
         push("checkpoint_words", self.checkpoint_words.to_string());
         push("restore_cycles", self.restore_cycles.to_string());
+        push("commits", self.commits.to_string());
+        push("privatized_words", self.privatized_words.to_string());
+        push("reexecuted_cycles", self.reexecuted_cycles.to_string());
         push("lease.grants", self.lease.grants.to_string());
         push(
             "lease.granted_cycles",
@@ -599,9 +624,15 @@ mod tests {
         b.set_totals(2.0, 1.0, 200, 2);
         b.set_classes([("alu", 2, 2), ("mul", 3, 9)]);
 
+        a.set_substrate(2, 16, 500);
+        b.set_substrate(3, 8, 250);
+
         a.merge(&b);
         assert_eq!(a.runs, 2);
         assert_eq!(a.outages, 3);
+        assert_eq!(a.commits, 5);
+        assert_eq!(a.privatized_words, 24);
+        assert_eq!(a.reexecuted_cycles, 750);
         assert!((a.total_time_s - 3.0).abs() < 1e-12);
         assert_eq!(a.active_cycles, 300);
         assert!(a.completed);

@@ -2,7 +2,9 @@
 //! harvested power, exercising checkpoints, rollback, re-execution and
 //! the skim-point restore path end to end.
 
-use wn_core::intermittent::{quick_supply, run_intermittent, SubstrateKind};
+use wn_core::intermittent::{
+    max_task_cycles, quick_supply, run_intermittent, task_supply_for, SubstrateKind,
+};
 use wn_core::{PreparedRun, Technique};
 use wn_energy::{PowerTrace, TraceKind};
 use wn_kernels::{Benchmark, Scale};
@@ -127,6 +129,7 @@ fn skim_floor_trades_latency_for_quality() {
     for min_level in 0..=3u32 {
         let opts = wn_compiler::CompileOptions {
             skim_min_level: min_level,
+            ..wn_compiler::CompileOptions::default()
         };
         let compiled = wn_compiler::compile_with(&inst.ir, Technique::swp(4), &opts).unwrap();
         let prepared =
@@ -195,4 +198,52 @@ fn intermittent_runs_are_deterministic() {
     )
     .unwrap();
     assert_eq!(a, b);
+}
+
+/// The Task substrate against the continuous oracle: precise
+/// task-decomposed builds must end with exactly the oracle's memory —
+/// byte-for-byte on every scored output — despite arbitrary outages.
+/// This is the checkpoint-free analogue of
+/// `precise_results_are_exact_on_both_substrates`: no snapshots, no
+/// rollback, only privatization, commits and region re-execution. The
+/// supply is [`task_supply_for`] the workload: the buffer must cover
+/// the largest task, or re-execution from its entry livelocks
+/// (Alpaca's sizing rule) — and must not dwarf the whole run, or no
+/// outage ever interrupts it.
+#[test]
+fn task_substrate_matches_continuous_oracle_for_precise_builds() {
+    for b in [Benchmark::MatMul, Benchmark::Home, Benchmark::MatAdd] {
+        let inst = b.instance(Scale::Quick, 77);
+        let prepared = PreparedRun::tasked(&inst, Technique::Precise).unwrap();
+        let (oracle_core, _, oracle_err) = prepared.run_to_completion_core().unwrap();
+        assert_eq!(oracle_err, 0.0, "{b}: oracle itself must be exact");
+        let supply = task_supply_for(max_task_cycles(&prepared).unwrap());
+
+        let out =
+            run_intermittent(&prepared, SubstrateKind::task(), &trace(3), supply, 3600.0).unwrap();
+        assert!(out.outages > 0, "{b}: workload must span outages");
+        assert_eq!(out.error_percent, 0.0, "{b}: outages must not corrupt");
+        assert!(out.substrate.commits > 0, "{b}: boundaries must commit");
+        assert_eq!(out.substrate.checkpoints, 0, "{b}: no checkpoints ever");
+
+        // "Same final memory": every scored output decodes identically.
+        let mut exec = wn_intermittent::IntermittentExecutor::new(
+            prepared.fresh_core().unwrap(),
+            &trace(3),
+            supply,
+            wn_core::intermittent::task_substrate(
+                &prepared,
+                wn_intermittent::TaskConfig::default(),
+            ),
+        );
+        exec.run(3600.0).unwrap();
+        let (exec_core, _, _) = exec.into_parts();
+        for (name, _) in &prepared.instance.golden {
+            assert_eq!(
+                prepared.decode(&exec_core, name).unwrap(),
+                prepared.decode(&oracle_core, name).unwrap(),
+                "{b}: output `{name}` must match the oracle bytes"
+            );
+        }
+    }
 }

@@ -1,0 +1,186 @@
+//! Task-substrate oracle properties: random outage placement over
+//! task-decomposed kernel builds must never corrupt memory.
+//!
+//! The engine-equivalence differential suite
+//! (`crates/intermittent/tests/differential.rs`) pins the lease engine
+//! against the per-instruction reference on hand-assembled programs;
+//! this suite pins the *end-to-end* guarantee on real compiler output:
+//! whatever the power trace does, a task-decomposed kernel finishes
+//! with exactly the memory image of an uninterrupted run — privatization
+//! plus boundary commits plus region re-execution compose to
+//! idempotence. With skim points in play (anytime builds) an
+//! outage-restore may legally commit early instead; then the result is
+//! approximate but its error is bounded.
+
+use proptest::prelude::*;
+
+use wn_core::intermittent::{max_task_cycles, task_substrate, task_supply_for};
+use wn_core::{PreparedRun, Technique};
+use wn_energy::{PowerTrace, SupplyConfig, TraceKind};
+use wn_intermittent::{IntermittentExecutor, TaskConfig};
+use wn_kernels::{Benchmark, Scale};
+
+/// One generated scenario: which build, which environment, how much
+/// buffer headroom beyond the largest task.
+#[derive(Debug, Clone, Copy)]
+struct Case {
+    benchmark: Benchmark,
+    anytime: bool,
+    input_seed: u64,
+    kind: TraceKind,
+    trace_seed: u64,
+    headroom: f64,
+}
+
+fn benchmark() -> impl Strategy<Value = Benchmark> {
+    // Conv2d is excluded purely for wall-clock: its task-decomposed
+    // quick build runs millions of cycles per case. Its task behaviour
+    // is covered by the fig10 task arm and the fleet smoke scenario.
+    prop_oneof![
+        Just(Benchmark::MatMul),
+        Just(Benchmark::Home),
+        Just(Benchmark::MatAdd),
+        Just(Benchmark::Var),
+        Just(Benchmark::NetMotion),
+    ]
+}
+
+fn case() -> impl Strategy<Value = Case> {
+    (
+        benchmark(),
+        any::<bool>(),
+        0u64..4,
+        prop_oneof![
+            Just(TraceKind::RfBursty),
+            Just(TraceKind::Solar),
+            Just(TraceKind::Periodic),
+            Just(TraceKind::Constant),
+        ],
+        0u64..1_000,
+        1.0f64..3.0,
+    )
+        .prop_map(
+            |(benchmark, anytime, input_seed, kind, trace_seed, headroom)| Case {
+                benchmark,
+                anytime,
+                input_seed,
+                kind,
+                trace_seed,
+                headroom,
+            },
+        )
+}
+
+/// Runs one generated case and returns what the property needs:
+/// `(skimmed, error %, outputs match the oracle byte-for-byte)`.
+fn run_case(c: Case, skim_enabled: bool) -> (bool, f64, bool) {
+    let technique = if c.anytime {
+        c.benchmark.technique(8)
+    } else {
+        Technique::Precise
+    };
+    let prepared =
+        PreparedRun::cached_with_tasks(c.benchmark, Scale::Quick, c.input_seed, technique, true)
+            .unwrap();
+    let (oracle_core, _, oracle_err) = prepared.run_to_completion_core().unwrap();
+    assert_eq!(oracle_err, 0.0, "{c:?}: the uninterrupted run is exact");
+
+    // The buffer must cover the largest task (or re-execution from its
+    // entry livelocks); random headroom above that floor varies where
+    // outages land without ever threatening progress.
+    let base = task_supply_for(max_task_cycles(&prepared).unwrap());
+    let supply = SupplyConfig {
+        capacitance_f: base.capacitance_f * c.headroom,
+        ..base
+    };
+    let trace = PowerTrace::generate(c.kind, c.trace_seed, 120.0);
+    let mut exec = IntermittentExecutor::new(
+        prepared.fresh_core().unwrap(),
+        &trace,
+        supply,
+        task_substrate(&prepared, TaskConfig::default()),
+    );
+    exec.set_skim_enabled(skim_enabled);
+    let run = exec.run(3600.0).unwrap();
+    let (core, _, _) = exec.into_parts();
+
+    let error = prepared.error_percent(&core).unwrap();
+    let identical = prepared.instance.golden.iter().all(|(name, _)| {
+        prepared.decode(&core, name).unwrap() == prepared.decode(&oracle_core, name).unwrap()
+    });
+    (run.skimmed, error, identical)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Without skim points, the guarantee is absolute: any outage
+    /// pattern, any task-decomposed build (precise or anytime), the
+    /// final memory image equals the uninterrupted run's byte-for-byte.
+    #[test]
+    fn random_outages_preserve_final_memory_without_skim(c in case()) {
+        let (skimmed, error, identical) = run_case(c, false);
+        prop_assert!(!skimmed, "{c:?}: skim disabled must never skim");
+        prop_assert_eq!(error, 0.0, "{:?}", c);
+        prop_assert!(identical, "{c:?}: outputs must match the oracle");
+    }
+
+    /// With skim enabled, a run either never takes a skim jump — then
+    /// the absolute guarantee holds — or it commits early at a skim
+    /// point, which skips the remaining refinement tasks and yields an
+    /// approximate result with bounded error (the first committed level
+    /// of an 8-level anytime build).
+    #[test]
+    fn random_outages_with_skim_commit_exactly_or_bounded(c in case()) {
+        let (skimmed, error, identical) = run_case(c, true);
+        if skimmed {
+            prop_assert!(
+                error.is_finite() && error < 60.0,
+                "{c:?}: skimmed error {error} out of bounds"
+            );
+        } else {
+            prop_assert_eq!(error, 0.0, "{:?}", c);
+            prop_assert!(identical, "{c:?}: unskimmed outputs must match the oracle");
+        }
+    }
+}
+
+/// Guards the suite against silently degenerating into outage-free
+/// runs: a pinned bursty case must actually cross power cycles and
+/// re-execute work, and still match the oracle exactly.
+#[test]
+fn pinned_case_spans_outages_and_matches_oracle() {
+    let c = Case {
+        benchmark: Benchmark::MatMul,
+        anytime: false,
+        input_seed: 0,
+        kind: TraceKind::RfBursty,
+        trace_seed: 3,
+        headroom: 1.0,
+    };
+    let prepared = PreparedRun::cached_with_tasks(
+        c.benchmark,
+        Scale::Quick,
+        c.input_seed,
+        Technique::Precise,
+        true,
+    )
+    .unwrap();
+    let supply = task_supply_for(max_task_cycles(&prepared).unwrap());
+    let trace = PowerTrace::generate(c.kind, c.trace_seed, 120.0);
+    let mut exec = IntermittentExecutor::new(
+        prepared.fresh_core().unwrap(),
+        &trace,
+        supply,
+        task_substrate(&prepared, TaskConfig::default()),
+    );
+    let run = exec.run(3600.0).unwrap();
+    assert!(run.outages > 0, "pinned case must cross power cycles");
+    assert!(
+        run.substrate.reexecuted_cycles > 0,
+        "outages must re-execute"
+    );
+    assert!(run.substrate.commits > 0, "boundaries must commit");
+    let (core, _, _) = exec.into_parts();
+    assert_eq!(prepared.error_percent(&core).unwrap(), 0.0);
+}
