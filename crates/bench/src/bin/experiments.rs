@@ -23,6 +23,7 @@
 //! wall-clock, artifact list).
 
 use std::env;
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -34,7 +35,7 @@ use wn_core::experiments::{
 use wn_core::{jobs, telemetry};
 use wn_telemetry::json;
 
-const USAGE: &str = "usage: experiments <all|table1|fig01|fig02|fig03|fig09|fig10|fig11|fig12|fig13|fig14|fig15|fig17|task|area_power|report|bench|bench-fleet> [--paper] [--jobs N] [--telemetry] [--epoch N]\n       experiments fleet <scenario.toml|.json> [--jobs N] [--engine scalar|batched] [--resume] [--shard-jsonl] [--stop-after-shards N] [--epoch N]";
+const USAGE: &str = "usage: experiments <all|table1|fig01|fig02|fig03|fig09|fig10|fig11|fig12|fig13|fig14|fig15|fig17|task|area_power|report|bench|bench-fleet> [--paper] [--jobs N] [--telemetry] [--epoch N]\n       experiments fleet <scenario.toml|.json> [--jobs N] [--engine scalar|batched] [--resume] [--shard-jsonl] [--stop-after-shards N] [--epoch N]\n       experiments serve [--addr HOST:PORT] [--data-dir DIR] [--jobs N] [--queue N] [--cache-cap N] [--engine scalar|batched] [--stop-after-shards N]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
@@ -72,7 +73,17 @@ fn main() -> ExitCode {
         if let Some(flag) = a.strip_prefix("--") {
             // Space-form value flags consume the next argument.
             skip_value = !flag.contains('=')
-                && matches!(flag, "jobs" | "epoch" | "engine" | "stop-after-shards");
+                && matches!(
+                    flag,
+                    "jobs"
+                        | "epoch"
+                        | "engine"
+                        | "stop-after-shards"
+                        | "addr"
+                        | "data-dir"
+                        | "queue"
+                        | "cache-cap"
+                );
             continue;
         }
         which.push(a.as_str());
@@ -91,6 +102,9 @@ fn main() -> ExitCode {
     }
     if which.first() == Some(&"fleet") {
         return fleet(&args, &which[1..]);
+    }
+    if which == ["serve"] {
+        return serve(&args);
     }
 
     telemetry::set_enabled(telemetry_on);
@@ -650,6 +664,82 @@ day_s = 10.0
         }
         Err(e) => {
             eprintln!("bench history append failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `experiments serve`: the fleet-as-a-service daemon, as a thin
+/// wrapper over [`wn_serve::server::start`]. Scenario submissions
+/// arrive over the socket (see the `wn-serve` binary for the client
+/// side); reports land in `<data-dir>/store/`, byte-identical to what
+/// `experiments fleet` writes for the same scenario. Runs until
+/// SIGTERM/SIGINT or a client `shutdown`, pausing in-flight sweeps at
+/// a durable shard boundary; restarting over the same data directory
+/// resumes them byte-exactly.
+fn serve(args: &[String]) -> ExitCode {
+    use wn_serve::server::{start, ServeConfig};
+
+    let data_dir = match parse_flag_value(args, "--data-dir") {
+        Ok(Some(dir)) => PathBuf::from(dir),
+        Ok(None) => results_dir().join("serve"),
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut config = ServeConfig::new(data_dir);
+    config.install_signal_handlers = true;
+    let flag_usize = |flag: &str| -> Result<Option<usize>, String> {
+        match parse_flag_value(args, flag)? {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<usize>()
+                .map(Some)
+                .map_err(|_| format!("{flag} needs a non-negative integer, got `{v}`")),
+        }
+    };
+    let parsed = (|| -> Result<(), String> {
+        if let Some(addr) = parse_flag_value(args, "--addr")? {
+            config.addr = addr;
+        }
+        if let Some(n) = flag_usize("--queue")? {
+            config.queue_capacity = n;
+        }
+        if let Some(n) = flag_usize("--cache-cap")? {
+            config.prepared_cache_capacity = Some(n);
+        }
+        if let Some(n) = flag_usize("--stop-after-shards")? {
+            config.stop_after_shards = Some(n);
+        }
+        match parse_flag_value(args, "--engine")?.as_deref() {
+            None | Some("batched") => {}
+            Some("scalar") => config.engine = wn_fleet::FleetEngine::Scalar,
+            Some(other) => {
+                return Err(format!(
+                    "--engine must be `scalar` or `batched`, got `{other}`"
+                ))
+            }
+        }
+        Ok(())
+    })();
+    if let Err(e) = parsed {
+        eprintln!("{e}\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    match start(&config) {
+        Ok(handle) => {
+            println!(
+                "serving fleets on {} (data dir {})",
+                handle.local_addr(),
+                config.data_dir.display()
+            );
+            handle.join();
+            println!("server stopped");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot start server: {e}");
             ExitCode::FAILURE
         }
     }

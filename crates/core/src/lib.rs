@@ -60,7 +60,9 @@ pub mod stream;
 pub mod telemetry;
 
 pub use error::WnError;
-pub use prepared::PreparedRun;
+pub use prepared::{
+    prepared_cache_stats, set_prepared_cache_capacity, PreparedCacheStats, PreparedRun,
+};
 
 // Re-export the pieces users need at the top level.
 pub use wn_compiler::Technique;

@@ -1,7 +1,7 @@
 //! A compiled kernel instance ready to run and score.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
 use wn_compiler::{compile, compile_with, CompileOptions, CompiledKernel, Technique};
 use wn_kernels::{Benchmark, KernelInstance, Scale};
@@ -21,7 +21,131 @@ use crate::error::WnError;
 /// bypass this cache.
 type PreparedKey = (Benchmark, Scale, u64, Technique, bool);
 
-static PREPARED_CACHE: OnceLock<Mutex<HashMap<PreparedKey, Arc<PreparedRun>>>> = OnceLock::new();
+/// Default bound on distinct cached compilations. A batch CLI compiles
+/// a handful of builds and never approaches this; a long-running daemon
+/// compiling arbitrary cohort submissions would otherwise grow without
+/// limit. Evicting is always safe: compilation is a pure function of
+/// the key, so a re-compile after eviction is bit-identical.
+const DEFAULT_PREPARED_CACHE_CAP: usize = 64;
+
+/// The service-lifetime compilation cache: bounded, least-recently-used
+/// eviction, shared by every figure/fleet/service compilation in the
+/// process.
+struct PreparedCache {
+    /// Key → (last-use tick, entry).
+    map: HashMap<PreparedKey, (u64, Arc<PreparedRun>)>,
+    /// Monotonic use counter backing the LRU order.
+    tick: u64,
+    capacity: usize,
+    evictions: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl PreparedCache {
+    /// Looks up `key`, refreshing its LRU position on a hit.
+    fn get(&mut self, key: &PreparedKey) -> Option<Arc<PreparedRun>> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.map.get_mut(key) {
+            Some((last_use, entry)) => {
+                *last_use = tick;
+                self.hits += 1;
+                Some(Arc::clone(entry))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts `built` (unless a racing compile got there first, whose
+    /// entry then wins so every caller shares one `Arc`), then evicts
+    /// least-recently-used entries down to the capacity bound.
+    fn insert(&mut self, key: PreparedKey, built: Arc<PreparedRun>) -> Arc<PreparedRun> {
+        self.tick += 1;
+        let tick = self.tick;
+        let shared = Arc::clone(&self.map.entry(key).or_insert((tick, built)).1);
+        while self.map.len() > self.capacity {
+            let oldest = self
+                .map
+                .iter()
+                .min_by_key(|(_, (last_use, _))| *last_use)
+                .map(|(k, _)| *k)
+                .expect("non-empty map over capacity");
+            self.map.remove(&oldest);
+            self.evictions += 1;
+        }
+        shared
+    }
+}
+
+static PREPARED_CACHE: OnceLock<Mutex<PreparedCache>> = OnceLock::new();
+
+/// The cache mutex, recovering from poisoning: the map only ever holds
+/// complete entries (compilation happens outside the lock), so a panic
+/// elsewhere while holding the lock cannot leave torn state — a daemon
+/// must not turn one panicked worker into a permanent crash loop on
+/// every subsequent compile.
+fn lock_prepared_cache() -> MutexGuard<'static, PreparedCache> {
+    PREPARED_CACHE
+        .get_or_init(|| {
+            Mutex::new(PreparedCache {
+                map: HashMap::new(),
+                tick: 0,
+                capacity: DEFAULT_PREPARED_CACHE_CAP,
+                evictions: 0,
+                hits: 0,
+                misses: 0,
+            })
+        })
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Observable state of the process-wide compilation cache (service
+/// `stats` endpoints and bounded-memory tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PreparedCacheStats {
+    /// Entries currently cached (≤ `capacity`).
+    pub len: usize,
+    pub capacity: usize,
+    /// Entries evicted over the process lifetime.
+    pub evictions: u64,
+    pub hits: u64,
+    pub misses: u64,
+}
+
+/// A snapshot of the compilation cache's counters.
+pub fn prepared_cache_stats() -> PreparedCacheStats {
+    let cache = lock_prepared_cache();
+    PreparedCacheStats {
+        len: cache.map.len(),
+        capacity: cache.capacity,
+        evictions: cache.evictions,
+        hits: cache.hits,
+        misses: cache.misses,
+    }
+}
+
+/// Rebounds the compilation cache (minimum 1), evicting down to the new
+/// capacity immediately. Eviction never changes compiled output — only
+/// how often a key recompiles.
+pub fn set_prepared_cache_capacity(capacity: usize) {
+    let mut cache = lock_prepared_cache();
+    cache.capacity = capacity.max(1);
+    while cache.map.len() > cache.capacity {
+        let oldest = cache
+            .map
+            .iter()
+            .min_by_key(|(_, (last_use, _))| *last_use)
+            .map(|(k, _)| *k)
+            .expect("non-empty map over capacity");
+        cache.map.remove(&oldest);
+        cache.evictions += 1;
+    }
+}
 
 /// A kernel instance compiled at one technique: spins up cores with the
 /// instance's inputs injected and scores outputs against the instance's
@@ -83,10 +207,9 @@ impl PreparedRun {
         technique: Technique,
         task_decompose: bool,
     ) -> Result<Arc<PreparedRun>, WnError> {
-        let cache = PREPARED_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
         let key = (benchmark, scale, seed, technique, task_decompose);
-        if let Some(hit) = cache.lock().expect("prepared cache poisoned").get(&key) {
-            return Ok(Arc::clone(hit));
+        if let Some(hit) = lock_prepared_cache().get(&key) {
+            return Ok(hit);
         }
         // Compile outside the lock: races rebuild identical values, and
         // the first insert wins so every caller shares one Arc.
@@ -96,8 +219,7 @@ impl PreparedRun {
         } else {
             Arc::new(PreparedRun::new(&instance, technique)?)
         };
-        let mut cache = cache.lock().expect("prepared cache poisoned");
-        Ok(Arc::clone(cache.entry(key).or_insert(built)))
+        Ok(lock_prepared_cache().insert(key, built))
     }
 
     /// Compiles `instance` task-decomposed: the binary the Task
@@ -317,8 +439,19 @@ mod tests {
         }
     }
 
+    /// The cache is process-global: tests that assert on sharing,
+    /// eviction, or capacity serialize on this lock so they don't race
+    /// each other's capacity changes. Lock poisoning is irrelevant here
+    /// by design (and recovering also exercises the cache's own stance).
+    fn cache_test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     #[test]
     fn cached_runs_are_shared_and_match_fresh_compilations() {
+        let _guard = cache_test_lock();
+        set_prepared_cache_capacity(DEFAULT_PREPARED_CACHE_CAP);
         let a =
             PreparedRun::cached(Benchmark::MatAdd, Scale::Quick, 77, Technique::swv(8)).unwrap();
         let b =
@@ -333,6 +466,64 @@ mod tests {
         let other =
             PreparedRun::cached(Benchmark::MatAdd, Scale::Quick, 78, Technique::swv(8)).unwrap();
         assert!(!Arc::ptr_eq(&a, &other), "different seed, different entry");
+    }
+
+    #[test]
+    fn eviction_is_bounded_and_never_changes_compiled_output() {
+        let _guard = cache_test_lock();
+        // Three distinct keys through a capacity-2 cache: the first key
+        // must be evicted, and its recompile must be bit-identical.
+        set_prepared_cache_capacity(2);
+        let keys: [u64; 3] = [9101, 9102, 9103];
+        let first =
+            PreparedRun::cached(Benchmark::MatAdd, Scale::Quick, keys[0], Technique::swv(8))
+                .unwrap();
+        let before = prepared_cache_stats();
+        for seed in &keys[1..] {
+            PreparedRun::cached(Benchmark::MatAdd, Scale::Quick, *seed, Technique::swv(8)).unwrap();
+        }
+        let after = prepared_cache_stats();
+        assert!(
+            after.len <= 2,
+            "cache must stay within capacity, got {}",
+            after.len
+        );
+        assert!(
+            after.evictions > before.evictions,
+            "three keys through capacity 2 must evict"
+        );
+
+        // The evicted key recompiles to a fresh Arc with an identical
+        // program: eviction affects lifetime, never output.
+        let again =
+            PreparedRun::cached(Benchmark::MatAdd, Scale::Quick, keys[0], Technique::swv(8))
+                .unwrap();
+        assert!(
+            !Arc::ptr_eq(&first, &again),
+            "evicted entry must have been recompiled"
+        );
+        assert_eq!(again.compiled.program, first.compiled.program);
+        assert_eq!(again.instance.inputs, first.instance.inputs);
+        assert_eq!(again.instance.golden, first.instance.golden);
+
+        set_prepared_cache_capacity(DEFAULT_PREPARED_CACHE_CAP);
+    }
+
+    #[test]
+    fn poisoned_cache_lock_recovers_instead_of_aborting_the_service() {
+        let _guard = cache_test_lock();
+        // Poison the cache mutex the way a panicking worker thread
+        // would; subsequent cached() calls must keep working.
+        let _ = std::thread::spawn(|| {
+            let _cache = lock_prepared_cache();
+            panic!("deliberate poison");
+        })
+        .join();
+        let run =
+            PreparedRun::cached(Benchmark::MatAdd, Scale::Quick, 9201, Technique::Precise).unwrap();
+        let inst = Benchmark::MatAdd.instance(Scale::Quick, 9201);
+        let fresh = PreparedRun::new(&inst, Technique::Precise).unwrap();
+        assert_eq!(run.compiled.program, fresh.compiled.program);
     }
 
     #[test]

@@ -8,12 +8,12 @@
 //! resuming somebody else's sweep.
 
 use std::fs;
-use std::io::Write as _;
 use std::path::Path;
 
 use wn_telemetry::json::{extract_f64, extract_str, Obj};
 
 use crate::codec::{StateReader, StateWriter};
+use crate::durable::persist_atomic;
 use crate::runner::{CohortAggregate, FleetError};
 
 pub const CKPT_SCHEMA: &str = "wn-fleet-ckpt-v1";
@@ -92,25 +92,18 @@ impl Checkpoint {
     }
 }
 
-/// Writes `ckpt` atomically: the file at `path` is always a complete
-/// checkpoint, never a torn write (a kill mid-store leaves the previous
-/// one).
+/// Writes `ckpt` atomically and durably: the file at `path` is always a
+/// complete checkpoint, never a torn write (a kill mid-store leaves the
+/// previous one), and once this returns the new checkpoint — including
+/// the rename publishing it — survives power failure. See
+/// [`crate::durable`] for the pinned write/sync/rename/sync-dir
+/// sequence.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors.
 pub fn store(path: &Path, ckpt: &Checkpoint) -> Result<(), FleetError> {
-    let tmp = path.with_extension("tmp");
-    {
-        // The tmp file must be durable *before* the rename: renaming an
-        // unsynced file can publish an empty/partial checkpoint if the
-        // machine loses power after the rename but before writeback —
-        // exactly the torn write the tmp+rename dance exists to prevent.
-        let mut file = fs::File::create(&tmp)?;
-        file.write_all(ckpt.to_json().as_bytes())?;
-        file.sync_all()?;
-    }
-    fs::rename(&tmp, path)?;
+    persist_atomic(path, ckpt.to_json().as_bytes())?;
     Ok(())
 }
 

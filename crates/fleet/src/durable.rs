@@ -1,0 +1,131 @@
+//! Crash-durable atomic file replacement.
+//!
+//! The tmp + rename dance makes a write *atomic* (readers see the old
+//! document or the new one, never a torn mix), but atomicity alone is
+//! not durability: the rename itself is a mutation of the **parent
+//! directory**, and a power failure after `rename` returns can still
+//! roll the directory back to the old entry — or, for a first write, to
+//! no entry at all — unless the directory is fsynced too. That is
+//! exactly the torn recovery state the intermittence model of the
+//! What's Next paper punishes, so the sequence here is pinned by a
+//! regression test ([`PersistStep`]):
+//!
+//! 1. write the tmp file,
+//! 2. `fsync` the tmp file (data durable before it is published),
+//! 3. `rename` tmp over the destination (atomic publish),
+//! 4. `fsync` the parent directory (the publish itself durable).
+
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::Path;
+
+/// The syscall-visible steps of [`persist_atomic`], in order. Tests
+/// record these to pin the durability sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PersistStep {
+    /// Contents written to the tmp file.
+    WriteTmp,
+    /// Tmp file fsynced (data durable before publication).
+    SyncTmp,
+    /// Tmp renamed over the destination (atomic publish).
+    Rename,
+    /// Parent directory fsynced (the rename itself durable).
+    SyncDir,
+}
+
+/// Atomically and durably replaces the file at `path` with `contents`.
+///
+/// A crash at any point leaves either the previous document or the new
+/// one, and once this returns the new document survives power failure —
+/// including the rename, which lives in the parent directory's entries.
+///
+/// # Errors
+///
+/// Propagates I/O errors from any step.
+pub fn persist_atomic(path: &Path, contents: &[u8]) -> io::Result<()> {
+    persist_atomic_traced(path, contents, &mut |_| {})
+}
+
+/// [`persist_atomic`] with each completed step reported to `trace`,
+/// immediately after the corresponding syscall returns — the regression
+/// hook asserting the write/sync/rename/sync-dir order.
+pub fn persist_atomic_traced(
+    path: &Path,
+    contents: &[u8],
+    trace: &mut dyn FnMut(PersistStep),
+) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(contents)?;
+        trace(PersistStep::WriteTmp);
+        file.sync_all()?;
+        trace(PersistStep::SyncTmp);
+    }
+    fs::rename(&tmp, path)?;
+    trace(PersistStep::Rename);
+    // Durability of the rename: fsync the directory whose entry table
+    // the rename mutated. An empty parent means "the current directory".
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    let dir = fs::File::open(parent)?;
+    dir.sync_all()?;
+    trace(PersistStep::SyncDir);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("wn-durable-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// Satellite regression: the durability sequence is exactly
+    /// write → fsync(file) → rename → fsync(dir). Dropping the final
+    /// directory sync is the bug this pins — the rename could be lost
+    /// on power failure even though the file data was synced.
+    #[test]
+    fn persist_follows_the_full_durability_sequence() {
+        let dir = temp_dir("seq");
+        let path = dir.join("doc.json");
+        let mut steps = Vec::new();
+        persist_atomic_traced(&path, b"{\"v\":1}", &mut |s| steps.push(s)).unwrap();
+        assert_eq!(
+            steps,
+            vec![
+                PersistStep::WriteTmp,
+                PersistStep::SyncTmp,
+                PersistStep::Rename,
+                PersistStep::SyncDir,
+            ],
+            "parent-directory fsync must follow the rename"
+        );
+        assert_eq!(fs::read(&path).unwrap(), b"{\"v\":1}");
+        assert!(!path.with_extension("tmp").exists(), "tmp renamed away");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn replacement_is_atomic_and_overwrites() {
+        let dir = temp_dir("replace");
+        let path = dir.join("doc.json");
+        persist_atomic(&path, b"old").unwrap();
+        persist_atomic(&path, b"new").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"new");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_parent_directory_is_an_io_error() {
+        let dir = temp_dir("missing").join("nope");
+        let err = persist_atomic(&dir.join("doc.json"), b"x").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+}

@@ -17,6 +17,7 @@ pub mod agg;
 pub mod batch;
 pub mod checkpoint;
 pub mod codec;
+pub mod durable;
 pub mod report;
 pub mod runner;
 pub mod scenario;
@@ -24,8 +25,10 @@ pub mod scenario;
 pub use agg::{FixedSketch, MetricAgg, StreamStats};
 pub use batch::FleetEngine;
 pub use checkpoint::Checkpoint;
+pub use durable::persist_atomic;
 pub use report::FleetReport;
 pub use runner::{
-    run_fleet, CohortAggregate, DeviceFate, DeviceOutcome, FleetError, FleetOptions, FleetStatus,
+    run_fleet, run_fleet_with, CohortAggregate, DeviceFate, DeviceOutcome, FleetError,
+    FleetOptions, FleetStatus, ShardProgress,
 };
 pub use scenario::{CohortSpec, FleetScenario, ScenarioError, SubstrateChoice};

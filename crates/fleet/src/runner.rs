@@ -17,6 +17,7 @@
 use std::fmt;
 use std::io::Write as _;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use wn_core::error::WnError;
 use wn_core::intermittent::{run_intermittent, IntermittentOutcome, SubstrateKind};
@@ -218,13 +219,30 @@ pub struct FleetOptions {
     pub stop_after_shards: Option<usize>,
 }
 
+/// Live progress of one completed shard, handed to [`run_fleet_with`]
+/// observers *after* the shard's aggregates are folded in and its
+/// checkpoint (if configured) is durably stored — so anything an
+/// observer publishes is already resumable state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardProgress<'a> {
+    /// Shard index just completed (0-based).
+    pub shard: usize,
+    /// Total shards in the sweep.
+    pub shard_count: usize,
+    /// The `wn-fleet-shard-v1` JSON line summarizing the shard — the
+    /// same line `shard_log` appends, so subscribers and log readers
+    /// see identical bytes.
+    pub line: &'a str,
+}
+
 /// What a fleet run produced.
 #[derive(Debug)]
 pub enum FleetStatus {
     /// All shards done.
     Complete(FleetReport),
-    /// Stopped early by [`FleetOptions::stop_after_shards`]; the
-    /// checkpoint (if configured) holds `shards_done` shards of state.
+    /// Stopped early by [`FleetOptions::stop_after_shards`] or a pause
+    /// flag; the checkpoint (if configured) holds `shards_done` shards
+    /// of state.
     Paused {
         shards_done: usize,
         shard_count: usize,
@@ -293,6 +311,30 @@ impl From<std::io::Error> for FleetError {
 pub fn run_fleet(
     scenario: &FleetScenario,
     options: &FleetOptions,
+) -> Result<FleetStatus, FleetError> {
+    run_fleet_with(scenario, options, None, |_| {})
+}
+
+/// As [`run_fleet`], with the two hooks a long-running service needs:
+///
+/// * `pause` — checked at every shard boundary (after the shard's
+///   checkpoint is stored); when set, the sweep returns
+///   [`FleetStatus::Paused`] instead of starting the next shard. This
+///   is how `wn-serve` turns SIGTERM into a byte-exactly resumable
+///   pause. Resuming requires a configured checkpoint path — pausing
+///   without one discards the in-memory aggregates.
+/// * `observe` — called once per completed shard with its
+///   [`ShardProgress`], after durable state (checkpoint, shard log) is
+///   written; progress subscribers stream these lines live.
+///
+/// # Errors
+///
+/// As [`run_fleet`].
+pub fn run_fleet_with<F: FnMut(&ShardProgress<'_>)>(
+    scenario: &FleetScenario,
+    options: &FleetOptions,
+    pause: Option<&AtomicBool>,
+    mut observe: F,
 ) -> Result<FleetStatus, FleetError> {
     let shard_count = scenario.shard_count();
     let total = scenario.total_devices();
@@ -373,10 +415,18 @@ pub fn run_fleet(
                 },
             )?;
         }
+        let line = shard_line(scenario, shard, &outcomes);
         if let Some(log) = &options.shard_log {
-            append_shard_line(log, scenario, shard, &outcomes)?;
+            append_line(log, &line)?;
         }
-        if options.stop_after_shards.is_some_and(|n| ran + 1 >= n) && shard + 1 < shard_count {
+        observe(&ShardProgress {
+            shard,
+            shard_count,
+            line: &line,
+        });
+        let pause_requested = pause.is_some_and(|p| p.load(Ordering::SeqCst));
+        let stop_requested = options.stop_after_shards.is_some_and(|n| ran + 1 >= n);
+        if (stop_requested || pause_requested) && shard + 1 < shard_count {
             return Ok(FleetStatus::Paused {
                 shards_done: shard + 1,
                 shard_count,
@@ -512,18 +562,15 @@ pub(crate) fn simulate_device(
     }
 }
 
-/// Appends one `wn-fleet-shard-v1` JSON line summarizing a shard.
-fn append_shard_line(
-    path: &std::path::Path,
-    scenario: &FleetScenario,
-    shard: usize,
-    outcomes: &[DeviceOutcome],
-) -> Result<(), FleetError> {
+/// Renders one `wn-fleet-shard-v1` JSON line summarizing a shard — the
+/// progress unit both the `--shard-jsonl` log and `wn-serve`
+/// subscription streams carry.
+fn shard_line(scenario: &FleetScenario, shard: usize, outcomes: &[DeviceOutcome]) -> String {
     let completed = outcomes
         .iter()
         .filter(|d| d.fate == DeviceFate::Completed)
         .count() as u64;
-    let line = Obj::new()
+    Obj::new()
         .str("schema", "wn-fleet-shard-v1")
         .str("scenario", &scenario.name)
         .u64("shard", shard as u64)
@@ -544,7 +591,11 @@ fn append_shard_line(
                 .filter(|d| d.fate == DeviceFate::TimedOut)
                 .count() as u64,
         )
-        .finish();
+        .finish()
+}
+
+/// Appends one line to a JSONL file, creating it if needed.
+fn append_line(path: &std::path::Path, line: &str) -> Result<(), FleetError> {
     let mut file = std::fs::OpenOptions::new()
         .create(true)
         .append(true)
@@ -721,6 +772,81 @@ environment = "solar"
             Err(FleetError::Checkpoint(_)) => {}
             other => panic!("expected a Checkpoint error, got {other:?}"),
         }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pause_flag_checkpoints_and_resume_is_byte_identical() {
+        let s = tiny_scenario();
+        let dir = std::env::temp_dir().join(format!("wn-fleet-pause-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        let whole = run_fleet(&s, &FleetOptions::default())
+            .unwrap()
+            .report()
+            .unwrap();
+
+        // Pause after the first shard via the service-style flag
+        // (SIGTERM path): the observer arms it once shard 0 is durable.
+        let pause = AtomicBool::new(false);
+        let mut seen: Vec<String> = Vec::new();
+        let opts = FleetOptions {
+            checkpoint: Some(path.clone()),
+            ..Default::default()
+        };
+        let status = run_fleet_with(&s, &opts, Some(&pause), |p: &ShardProgress<'_>| {
+            seen.push(p.line.to_string());
+            pause.store(true, Ordering::SeqCst);
+        })
+        .unwrap();
+        assert!(matches!(status, FleetStatus::Paused { shards_done: 1, .. }));
+        assert_eq!(seen.len(), 1, "observer saw exactly the completed shard");
+        assert!(seen[0].contains("wn-fleet-shard-v1"));
+
+        // Resume without the flag: the finished report is byte-identical
+        // to the uninterrupted run.
+        let resumed = run_fleet(
+            &s,
+            &FleetOptions {
+                checkpoint: Some(path),
+                resume: true,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .report()
+        .unwrap();
+        assert_eq!(whole.to_json(), resumed.to_json());
+        assert_eq!(whole.to_csv(), resumed.to_csv());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn observer_lines_match_the_shard_log() {
+        let s = tiny_scenario();
+        let dir = std::env::temp_dir().join(format!("wn-fleet-observe-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let log = dir.join("shards.jsonl");
+        let mut seen: Vec<String> = Vec::new();
+        let opts = FleetOptions {
+            shard_log: Some(log.clone()),
+            ..Default::default()
+        };
+        run_fleet_with(&s, &opts, None, |p: &ShardProgress<'_>| {
+            assert_eq!(p.shard_count, s.shard_count());
+            seen.push(p.line.to_string());
+        })
+        .unwrap();
+        let logged: Vec<String> = std::fs::read_to_string(&log)
+            .unwrap()
+            .lines()
+            .map(str::to_string)
+            .collect();
+        assert_eq!(
+            seen, logged,
+            "subscribers and log readers see the same bytes"
+        );
+        assert_eq!(seen.len(), s.shard_count());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -209,6 +209,7 @@ impl FleetScenario {
 
     fn from_doc(doc: ScenarioDoc) -> Result<FleetScenario, ScenarioError> {
         let f = &doc.fleet;
+        check_known_keys(f, "[fleet]", &[FLEET_KEYS])?;
         let scenario_name = f.str_or("name", "fleet");
         let seed = f.u64_or("seed", 42)?;
         let shard_size = f.u64_or("shard_size", DEFAULT_SHARD_SIZE as u64)? as usize;
@@ -280,7 +281,18 @@ fn parse_cohort(t: &TableDoc, index: usize) -> Result<CohortSpec, ScenarioError>
     if !capacitance_uf.is_finite() || capacitance_uf <= 0.0 {
         return Err(err(&format!("{} must be positive", at("capacitance_uf"))));
     }
-    let env = parse_env(t).map_err(|e| err(&format!("{}: {}", at("environment"), e.0)))?;
+    let env = parse_env(t).map_err(|e| match e {
+        ScenarioError::Message(m) => err(&format!("{}: {m}", at("environment"))),
+        other => other,
+    })?;
+    check_known_keys(
+        t,
+        &format!("cohort[{index}]"),
+        &[
+            COHORT_KEYS,
+            env_param_keys(&t.str_or("environment", "rf-bursty")),
+        ],
+    )?;
     let mean_power_w = env.expected_mean_power_w();
     if !mean_power_w.is_finite() || mean_power_w <= 0.0 {
         return Err(err(&format!(
@@ -460,20 +472,103 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
     hash
 }
 
-/// A scenario parse/validation error with a human-readable message.
+/// A scenario parse/validation error.
+///
+/// Key-shape problems get named variants (a service rejecting scenario
+/// submissions wants to tell a duplicated key apart from a typo'd one);
+/// everything else is a human-readable [`ScenarioError::Message`].
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ScenarioError(pub String);
+pub enum ScenarioError {
+    /// Malformed syntax or an invalid field value.
+    Message(String),
+    /// The same key appeared twice in one table. The parser used to
+    /// resolve duplicates silently (first occurrence won), which turns
+    /// an edited-but-not-deleted line into a quietly ignored override —
+    /// rejected outright instead.
+    DuplicateKey { table: String, key: String },
+    /// A key no schema field or environment parameter matches — almost
+    /// always a typo that would otherwise silently fall back to the
+    /// default value.
+    UnknownKey {
+        table: String,
+        key: String,
+        /// Comma-separated list of the keys valid in that table.
+        valid: String,
+    },
+}
 
 impl fmt::Display for ScenarioError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "scenario error: {}", self.0)
+        match self {
+            ScenarioError::Message(msg) => write!(f, "scenario error: {msg}"),
+            ScenarioError::DuplicateKey { table, key } => write!(
+                f,
+                "scenario error: duplicate key `{key}` in {table} \
+                 (each key may appear once; duplicates are rejected \
+                 rather than silently resolved)"
+            ),
+            ScenarioError::UnknownKey { table, key, valid } => write!(
+                f,
+                "scenario error: unknown key `{key}` in {table} \
+                 (valid keys: {valid})"
+            ),
+        }
     }
 }
 
 impl std::error::Error for ScenarioError {}
 
 fn err(msg: &str) -> ScenarioError {
-    ScenarioError(msg.to_string())
+    ScenarioError::Message(msg.to_string())
+}
+
+/// Keys the `[fleet]` table accepts.
+const FLEET_KEYS: &[&str] = &[
+    "name",
+    "seed",
+    "shard_size",
+    "wall_limit_s",
+    "trace_duration_s",
+    "scale",
+];
+
+/// Keys every `[[cohort]]` table accepts, before environment parameters.
+const COHORT_KEYS: &[&str] = &[
+    "name",
+    "count",
+    "benchmark",
+    "technique",
+    "substrate",
+    "capacitance_uf",
+    "environment",
+];
+
+/// The per-family environment parameter keys a cohort may override.
+fn env_param_keys(family: &str) -> &'static [&'static str] {
+    match family {
+        "rf-bursty" | "rf" => &["mean_power_uw", "burst_ms", "gap_ms"],
+        "solar-diurnal" | "solar" => &["peak_power_uw", "day_s"],
+        "piezo-impulse" | "piezo" => &["baseline_uw", "impulse_uw", "impulse_ms", "gap_ms"],
+        _ => &[],
+    }
+}
+
+/// Rejects any key in `t` that none of the `allowed` sets contain.
+fn check_known_keys(t: &TableDoc, table: &str, allowed: &[&[&str]]) -> Result<(), ScenarioError> {
+    for (key, _) in &t.entries {
+        if !allowed.iter().any(|set| set.contains(&key.as_str())) {
+            return Err(ScenarioError::UnknownKey {
+                table: table.to_string(),
+                key: key.clone(),
+                valid: allowed
+                    .iter()
+                    .flat_map(|set| set.iter().copied())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            });
+        }
+    }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------
@@ -495,6 +590,25 @@ struct TableDoc {
 impl TableDoc {
     fn get(&self, key: &str) -> Option<&DocValue> {
         self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Appends an entry, rejecting a key already present — the silent
+    /// first-wins duplicate resolution this parser used to have turned
+    /// edited-but-not-deleted lines into ignored overrides.
+    fn push_unique(
+        &mut self,
+        table: &str,
+        key: String,
+        value: DocValue,
+    ) -> Result<(), ScenarioError> {
+        if self.get(&key).is_some() {
+            return Err(ScenarioError::DuplicateKey {
+                table: table.to_string(),
+                key,
+            });
+        }
+        self.entries.push((key, value));
+        Ok(())
     }
 
     fn str(&self, key: &str) -> Option<String> {
@@ -577,14 +691,20 @@ fn doc_from_toml(text: &str) -> Result<ScenarioDoc, ScenarioError> {
         let key = key.trim().to_string();
         let value = parse_toml_value(value.trim())
             .ok_or_else(|| at(&format!("cannot parse value for `{key}`")))?;
-        let table = match section {
-            Section::Fleet => &mut doc.fleet,
-            Section::Cohort => doc.cohorts.last_mut().expect("pushed on [[cohort]]"),
+        let (table, context) = match section {
+            Section::Fleet => (&mut doc.fleet, "[fleet]".to_string()),
+            Section::Cohort => {
+                let context = format!("cohort[{}]", doc.cohorts.len() - 1);
+                (
+                    doc.cohorts.last_mut().expect("pushed on [[cohort]]"),
+                    context,
+                )
+            }
             Section::None => {
                 return Err(at("key outside any section (start with [fleet])"));
             }
         };
-        table.entries.push((key, value));
+        table.push_unique(&context, key, value)?;
     }
     Ok(doc)
 }
@@ -626,6 +746,7 @@ fn doc_from_json(text: &str) -> Result<ScenarioDoc, ScenarioError> {
     };
     p.skip_ws();
     let mut doc = ScenarioDoc::default();
+    let (mut seen_fleet, mut seen_cohorts) = (false, false);
     p.expect(b'{')?;
     loop {
         p.skip_ws();
@@ -637,15 +758,32 @@ fn doc_from_json(text: &str) -> Result<ScenarioDoc, ScenarioError> {
         p.expect(b':')?;
         p.skip_ws();
         match key.as_str() {
-            "fleet" => doc.fleet = p.table()?,
+            "fleet" if seen_fleet => {
+                return Err(ScenarioError::DuplicateKey {
+                    table: "the top-level object".to_string(),
+                    key,
+                })
+            }
+            "fleet" => {
+                seen_fleet = true;
+                doc.fleet = p.table("[fleet]")?;
+            }
+            "cohorts" if seen_cohorts => {
+                return Err(ScenarioError::DuplicateKey {
+                    table: "the top-level object".to_string(),
+                    key,
+                })
+            }
             "cohorts" => {
+                seen_cohorts = true;
                 p.expect(b'[')?;
                 loop {
                     p.skip_ws();
                     if p.eat(b']') {
                         break;
                     }
-                    doc.cohorts.push(p.table()?);
+                    let context = format!("cohort[{}]", doc.cohorts.len());
+                    doc.cohorts.push(p.table(&context)?);
                     p.skip_ws();
                     if !p.eat(b',') {
                         p.expect(b']')?;
@@ -764,7 +902,7 @@ impl JsonParser<'_> {
         }
     }
 
-    fn table(&mut self) -> Result<TableDoc, ScenarioError> {
+    fn table(&mut self, context: &str) -> Result<TableDoc, ScenarioError> {
         self.expect(b'{')?;
         let mut t = TableDoc::default();
         loop {
@@ -775,7 +913,7 @@ impl JsonParser<'_> {
             let key = self.string()?;
             self.expect(b':')?;
             let value = self.value()?;
-            t.entries.push((key, value));
+            t.push_unique(context, key, value)?;
             self.skip_ws();
             if !self.eat(b',') {
                 self.expect(b'}')?;
@@ -931,11 +1069,10 @@ day_s = 10.0
                 "zero devices",
             ),
         ] {
-            let e = FleetScenario::parse(text).unwrap_err();
+            let e = FleetScenario::parse(text).unwrap_err().to_string();
             assert!(
-                e.0.contains(needle),
-                "`{needle}` not in error `{}` for:\n{text}",
-                e.0
+                e.contains(needle),
+                "`{needle}` not in error `{e}` for:\n{text}"
             );
         }
     }
@@ -964,13 +1101,13 @@ day_s = 10.0
     #[test]
     fn unknown_substrate_and_technique_errors_name_value_and_list_valid() {
         let bad_substrate = "[fleet]\n[[cohort]]\nbenchmark = \"home\"\nsubstrate = \"alpaca\"\n";
-        let e = FleetScenario::parse(bad_substrate).unwrap_err();
+        let e = FleetScenario::parse(bad_substrate).unwrap_err().to_string();
         for needle in ["cohort[0].substrate", "`alpaca`", "clank, nvp, task"] {
-            assert!(e.0.contains(needle), "`{needle}` not in `{}`", e.0);
+            assert!(e.contains(needle), "`{needle}` not in `{e}`");
         }
 
         let bad_technique = "[fleet]\n[[cohort]]\nbenchmark = \"home\"\ntechnique = \"warp9\"\n";
-        let e = FleetScenario::parse(bad_technique).unwrap_err();
+        let e = FleetScenario::parse(bad_technique).unwrap_err().to_string();
         for needle in [
             "cohort[0].technique",
             "`warp9`",
@@ -979,8 +1116,97 @@ day_s = 10.0
             "swvN-unprov",
             "anytimeN",
         ] {
-            assert!(e.0.contains(needle), "`{needle}` not in `{}`", e.0);
+            assert!(e.contains(needle), "`{needle}` not in `{e}`");
         }
+    }
+
+    /// Satellite regression: a repeated key must be rejected with the
+    /// named [`ScenarioError::DuplicateKey`] variant, never silently
+    /// resolved (the parser used to keep the first occurrence and
+    /// ignore the rest).
+    #[test]
+    fn duplicate_keys_are_rejected_in_both_frontends() {
+        // TOML: duplicate in [fleet].
+        let toml_fleet = "[fleet]\nseed = 1\nseed = 2\n[[cohort]]\nbenchmark = \"home\"\n";
+        match FleetScenario::parse(toml_fleet) {
+            Err(ScenarioError::DuplicateKey { table, key }) => {
+                assert_eq!(table, "[fleet]");
+                assert_eq!(key, "seed");
+            }
+            other => panic!("expected DuplicateKey, got {other:?}"),
+        }
+        // TOML: duplicate in a cohort table, with the cohort named.
+        let toml_cohort = "[fleet]\n[[cohort]]\nbenchmark = \"home\"\n\
+                           [[cohort]]\nbenchmark = \"home\"\ncount = 2\ncount = 3\n";
+        match FleetScenario::parse(toml_cohort) {
+            Err(ScenarioError::DuplicateKey { table, key }) => {
+                assert_eq!(table, "cohort[1]");
+                assert_eq!(key, "count");
+            }
+            other => panic!("expected DuplicateKey, got {other:?}"),
+        }
+        // JSON: duplicate inside a table.
+        let json = r#"{"fleet": {"seed": 1, "seed": 2},
+                       "cohorts": [{"benchmark": "home"}]}"#;
+        match FleetScenario::parse(json) {
+            Err(ScenarioError::DuplicateKey { key, .. }) => assert_eq!(key, "seed"),
+            other => panic!("expected DuplicateKey, got {other:?}"),
+        }
+        // JSON: duplicate top-level section.
+        let json_top = r#"{"fleet": {"seed": 1}, "fleet": {"seed": 2},
+                           "cohorts": [{"benchmark": "home"}]}"#;
+        match FleetScenario::parse(json_top) {
+            Err(ScenarioError::DuplicateKey { key, .. }) => assert_eq!(key, "fleet"),
+            other => panic!("expected DuplicateKey, got {other:?}"),
+        }
+        // The error message names the key and the table.
+        let e = FleetScenario::parse(toml_fleet).unwrap_err().to_string();
+        assert!(
+            e.contains("duplicate key `seed`") && e.contains("[fleet]"),
+            "{e}"
+        );
+    }
+
+    /// Satellite regression: a typo'd key must be rejected with the
+    /// named [`ScenarioError::UnknownKey`] variant instead of silently
+    /// falling back to the field's default.
+    #[test]
+    fn unknown_keys_are_rejected_with_the_valid_set() {
+        // Typo in [fleet].
+        let toml = "[fleet]\nsard_size = 64\n[[cohort]]\nbenchmark = \"home\"\n";
+        match FleetScenario::parse(toml) {
+            Err(ScenarioError::UnknownKey { table, key, valid }) => {
+                assert_eq!(table, "[fleet]");
+                assert_eq!(key, "sard_size");
+                assert!(valid.contains("shard_size"), "{valid}");
+            }
+            other => panic!("expected UnknownKey, got {other:?}"),
+        }
+        // Typo in a cohort.
+        let toml = "[fleet]\n[[cohort]]\nbenchmark = \"home\"\ncapacitence_uf = 3.0\n";
+        match FleetScenario::parse(toml) {
+            Err(ScenarioError::UnknownKey { table, key, valid }) => {
+                assert_eq!(table, "cohort[0]");
+                assert_eq!(key, "capacitence_uf");
+                assert!(valid.contains("capacitance_uf"), "{valid}");
+            }
+            other => panic!("expected UnknownKey, got {other:?}"),
+        }
+        // An environment parameter of a *different* family is unknown
+        // in this cohort (solar has no burst length).
+        let toml = "[fleet]\n[[cohort]]\nbenchmark = \"home\"\n\
+                    environment = \"solar\"\nburst_ms = 5.0\n";
+        match FleetScenario::parse(toml) {
+            Err(ScenarioError::UnknownKey { key, valid, .. }) => {
+                assert_eq!(key, "burst_ms");
+                assert!(valid.contains("peak_power_uw") && valid.contains("day_s"));
+            }
+            other => panic!("expected UnknownKey, got {other:?}"),
+        }
+        // The matching family's parameters stay accepted.
+        let ok = "[fleet]\n[[cohort]]\nbenchmark = \"home\"\n\
+                  environment = \"solar\"\nday_s = 10.0\n";
+        assert!(FleetScenario::parse(ok).is_ok());
     }
 
     #[test]

@@ -1,0 +1,222 @@
+//! A blocking client for the wn-serve protocol — used by the CLI, the
+//! integration tests, and anything else that wants a fleet run without
+//! owning the machine it executes on.
+
+use std::fmt;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use crate::protocol::{Event, JobState, LineReader, ProtoError, Request, Response};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or framing problems.
+    Proto(ProtoError),
+    /// The server answered, but with an error or an unexpected
+    /// response kind.
+    Server(String),
+    /// The server closed the connection mid-exchange.
+    Disconnected,
+    /// `wait_report` ran out of time.
+    Timeout { fingerprint: u64 },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Proto(e) => write!(f, "{e}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+            ClientError::Timeout { fingerprint } => {
+                write!(f, "timed out waiting for report {fingerprint:016x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> ClientError {
+        ClientError::Proto(e)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Proto(ProtoError::from(e))
+    }
+}
+
+/// One connection to a wn-serve daemon.
+pub struct Client {
+    stream: TcpStream,
+    reader: LineReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `127.0.0.1:7171`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: &str) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = LineReader::new(stream.try_clone()?);
+        Ok(Client { stream, reader })
+    }
+
+    /// Sends one request and reads one response.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or [`ClientError::Disconnected`] if the
+    /// server hangs up instead of answering.
+    pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
+        use std::io::Write as _;
+        self.stream.write_all(req.to_line().as_bytes())?;
+        self.stream.write_all(b"\n")?;
+        self.stream.flush()?;
+        match self.reader.next_line()? {
+            Some(line) => Ok(Response::parse(&line)?),
+            None => Err(ClientError::Disconnected),
+        }
+    }
+
+    /// Submits scenario text; returns `(fingerprint, state)`.
+    /// Resubmitting a known scenario is idempotent.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] carries scenario parse errors and
+    /// queue-full refusals.
+    pub fn submit(&mut self, scenario_text: &str) -> Result<(u64, JobState), ClientError> {
+        match self.request(&Request::Submit {
+            scenario: scenario_text.to_string(),
+        })? {
+            Response::Submitted { fingerprint, state } => Ok((fingerprint, state)),
+            Response::Error { error } => Err(ClientError::Server(error)),
+            other => Err(ClientError::Server(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches a finished report's bytes; `Ok(None)` while the job is
+    /// still queued or running.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] for unknown fingerprints and failed
+    /// jobs.
+    pub fn report(&mut self, fingerprint: u64) -> Result<Option<String>, ClientError> {
+        match self.request(&Request::Report { fingerprint })? {
+            Response::Report { report, .. } => Ok(Some(report)),
+            Response::Pending { .. } => Ok(None),
+            Response::Error { error } => Err(ClientError::Server(error)),
+            other => Err(ClientError::Server(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+
+    /// Polls `report` until it lands or `timeout` elapses.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Timeout`] after `timeout`; otherwise as
+    /// [`Client::report`].
+    pub fn wait_report(
+        &mut self,
+        fingerprint: u64,
+        timeout: Duration,
+    ) -> Result<String, ClientError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(report) = self.report(fingerprint)? {
+                return Ok(report);
+            }
+            if Instant::now() >= deadline {
+                return Err(ClientError::Timeout { fingerprint });
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+
+    /// Subscribes to progress events for `fingerprint`, invoking
+    /// `on_event` per event until the job's `done` event arrives (the
+    /// final `Done` is passed to the callback too).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors; [`ClientError::Disconnected`] if the server
+    /// closes the stream before `done` (e.g. it is shutting down).
+    pub fn watch(
+        &mut self,
+        fingerprint: u64,
+        mut on_event: impl FnMut(&Event),
+    ) -> Result<(), ClientError> {
+        match self.request(&Request::Watch { fingerprint })? {
+            Response::Watching { .. } => {}
+            Response::Error { error } => return Err(ClientError::Server(error)),
+            other => {
+                return Err(ClientError::Server(format!(
+                    "unexpected response {other:?}"
+                )))
+            }
+        }
+        loop {
+            let line = self.reader.next_line()?.ok_or(ClientError::Disconnected)?;
+            let event = Event::parse(&line)?;
+            let done = matches!(event, Event::Done { .. });
+            on_event(&event);
+            if done {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Daemon statistics.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn stats(&mut self) -> Result<Response, ClientError> {
+        match self.request(&Request::Stats)? {
+            r @ Response::Stats { .. } => Ok(r),
+            Response::Error { error } => Err(ClientError::Server(error)),
+            other => Err(ClientError::Server(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(ClientError::Server(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+
+    /// Asks the daemon to stop gracefully.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(ClientError::Server(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! A bounded FIFO job queue with blocking pop.
+//!
+//! Submissions enqueue here; the scheduler thread pops and runs them
+//! over the shared `wn_core::jobs::JobPool`. The bound is the daemon's
+//! backpressure: a full queue rejects the submit (the client sees a
+//! typed error and retries later) instead of growing without limit.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+/// One queued sweep: the scenario fingerprint plus the raw scenario
+/// text to parse and run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueuedJob {
+    pub fingerprint: u64,
+    pub scenario_text: String,
+}
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity; retry after jobs drain.
+    Full { capacity: usize },
+    /// The fingerprint is already queued (idempotent submit).
+    AlreadyQueued,
+}
+
+struct QueueState {
+    jobs: VecDeque<QueuedJob>,
+    closed: bool,
+}
+
+/// The bounded queue. All methods recover from mutex poisoning — the
+/// state is a plain `VecDeque` mutated only by complete push/pop
+/// operations, so a panicking holder cannot tear it.
+pub struct JobQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl JobQueue {
+    pub fn new(capacity: usize) -> JobQueue {
+        JobQueue {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Enqueues a job.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::AlreadyQueued`] if
+    /// the fingerprint is already waiting.
+    pub fn push(&self, job: QueuedJob) -> Result<(), PushError> {
+        let mut state = self.lock();
+        if state.jobs.iter().any(|j| j.fingerprint == job.fingerprint) {
+            return Err(PushError::AlreadyQueued);
+        }
+        if state.jobs.len() >= self.capacity {
+            return Err(PushError::Full {
+                capacity: self.capacity,
+            });
+        }
+        state.jobs.push_back(job);
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Pops the next job, blocking up to `wait` for one to arrive.
+    /// Returns `None` on timeout or once the queue is closed and
+    /// drained.
+    pub fn pop(&self, wait: Duration) -> Option<QueuedJob> {
+        let mut state = self.lock();
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            let (next, timeout) = self
+                .ready
+                .wait_timeout(state, wait)
+                .unwrap_or_else(PoisonError::into_inner);
+            state = next;
+            if timeout.timed_out() {
+                return state.jobs.pop_front();
+            }
+        }
+    }
+
+    /// Is this fingerprint waiting in the queue?
+    pub fn contains(&self, fingerprint: u64) -> bool {
+        self.lock()
+            .jobs
+            .iter()
+            .any(|j| j.fingerprint == fingerprint)
+    }
+
+    pub fn len(&self) -> usize {
+        self.lock().jobs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Closes the queue: pending jobs still drain, new pops return
+    /// `None` once empty, and blocked pops wake immediately.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn job(fp: u64) -> QueuedJob {
+        QueuedJob {
+            fingerprint: fp,
+            scenario_text: format!("scenario {fp}"),
+        }
+    }
+
+    #[test]
+    fn fifo_order_and_capacity_bound() {
+        let q = JobQueue::new(2);
+        q.push(job(1)).unwrap();
+        q.push(job(2)).unwrap();
+        assert_eq!(
+            q.push(job(3)),
+            Err(PushError::Full { capacity: 2 }),
+            "third push must be refused"
+        );
+        assert_eq!(q.pop(Duration::ZERO).unwrap().fingerprint, 1);
+        assert_eq!(q.pop(Duration::ZERO).unwrap().fingerprint, 2);
+        assert!(q.pop(Duration::ZERO).is_none());
+    }
+
+    #[test]
+    fn duplicate_fingerprints_are_refused() {
+        let q = JobQueue::new(4);
+        q.push(job(7)).unwrap();
+        assert_eq!(q.push(job(7)), Err(PushError::AlreadyQueued));
+        assert!(q.contains(7));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn blocked_pop_wakes_on_push_and_on_close() {
+        let q = Arc::new(JobQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let popper = std::thread::spawn(move || q2.pop(Duration::from_secs(30)));
+        std::thread::sleep(Duration::from_millis(20));
+        q.push(job(9)).unwrap();
+        assert_eq!(popper.join().unwrap().unwrap().fingerprint, 9);
+
+        let q2 = Arc::clone(&q);
+        let popper = std::thread::spawn(move || q2.pop(Duration::from_secs(30)));
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert!(popper.join().unwrap().is_none(), "close wakes empty pops");
+    }
+}

@@ -1,0 +1,186 @@
+//! The daemon's on-disk state, keyed by scenario fingerprint.
+//!
+//! Layout under the data directory:
+//!
+//! ```text
+//! jobs/<fp>.scenario     raw submitted scenario text (the job journal)
+//! ckpt/<fp>.ckpt.json    wn-fleet-ckpt-v1 shard checkpoint (while running)
+//! shards/<fp>.jsonl      wn-fleet-shard-v1 progress lines (append-only)
+//! store/<fp>.report.json finished wn-fleet-report-v1 document
+//! ```
+//!
+//! Every publish goes through [`wn_fleet::persist_atomic`]'s pinned
+//! write/sync/rename/sync-dir sequence, so the invariant a restart
+//! leans on — *a journaled scenario without a stored report is exactly
+//! an unfinished job* — holds across kill -9 and power failure. The
+//! scenario is journaled byte-exactly as submitted: the fingerprint is
+//! a pure function of the parsed scenario, so the resumed run and the
+//! report it produces are byte-identical to an uninterrupted one.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use wn_fleet::persist_atomic;
+
+/// On-disk store rooted at one data directory.
+#[derive(Debug, Clone)]
+pub struct Store {
+    root: PathBuf,
+}
+
+fn fp_hex(fingerprint: u64) -> String {
+    format!("{fingerprint:016x}")
+}
+
+impl Store {
+    /// Opens (creating directories as needed) the store at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn open(root: &Path) -> io::Result<Store> {
+        for sub in ["jobs", "ckpt", "shards", "store"] {
+            fs::create_dir_all(root.join(sub))?;
+        }
+        Ok(Store {
+            root: root.to_path_buf(),
+        })
+    }
+
+    pub fn scenario_path(&self, fingerprint: u64) -> PathBuf {
+        self.root
+            .join("jobs")
+            .join(format!("{}.scenario", fp_hex(fingerprint)))
+    }
+
+    pub fn checkpoint_path(&self, fingerprint: u64) -> PathBuf {
+        self.root
+            .join("ckpt")
+            .join(format!("{}.ckpt.json", fp_hex(fingerprint)))
+    }
+
+    pub fn shard_log_path(&self, fingerprint: u64) -> PathBuf {
+        self.root
+            .join("shards")
+            .join(format!("{}.jsonl", fp_hex(fingerprint)))
+    }
+
+    pub fn report_path(&self, fingerprint: u64) -> PathBuf {
+        self.root
+            .join("store")
+            .join(format!("{}.report.json", fp_hex(fingerprint)))
+    }
+
+    /// Journals a submitted scenario durably. Must complete before the
+    /// submit is acknowledged — an acknowledged job survives any crash.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn journal_scenario(&self, fingerprint: u64, text: &str) -> io::Result<()> {
+        persist_atomic(&self.scenario_path(fingerprint), text.as_bytes())
+    }
+
+    /// The journaled scenario text, if this fingerprint was submitted.
+    pub fn scenario(&self, fingerprint: u64) -> Option<String> {
+        fs::read_to_string(self.scenario_path(fingerprint)).ok()
+    }
+
+    /// Publishes a finished report durably.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn publish_report(&self, fingerprint: u64, report_json: &str) -> io::Result<()> {
+        persist_atomic(&self.report_path(fingerprint), report_json.as_bytes())
+    }
+
+    /// The stored report document, if finished.
+    pub fn report(&self, fingerprint: u64) -> Option<String> {
+        fs::read_to_string(self.report_path(fingerprint)).ok()
+    }
+
+    /// Whether a finished report exists.
+    pub fn is_done(&self, fingerprint: u64) -> bool {
+        self.report_path(fingerprint).exists()
+    }
+
+    /// Stored reports count (for `stats`).
+    pub fn done_count(&self) -> u64 {
+        fs::read_dir(self.root.join("store"))
+            .map(|d| d.filter_map(Result::ok).count() as u64)
+            .unwrap_or(0)
+    }
+
+    /// Fingerprints journaled but not finished — the restart-recovery
+    /// set. Sorted, so recovery order is deterministic.
+    pub fn unfinished(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        if let Ok(dir) = fs::read_dir(self.root.join("jobs")) {
+            for entry in dir.filter_map(Result::ok) {
+                let name = entry.file_name();
+                let Some(stem) = name.to_str().and_then(|n| n.strip_suffix(".scenario")) else {
+                    continue;
+                };
+                let Ok(fp) = u64::from_str_radix(stem, 16) else {
+                    continue;
+                };
+                if !self.is_done(fp) {
+                    out.push(fp);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> (PathBuf, Store) {
+        let root =
+            std::env::temp_dir().join(format!("wn-serve-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        let store = Store::open(&root).unwrap();
+        (root, store)
+    }
+
+    #[test]
+    fn journal_then_publish_moves_a_job_from_unfinished_to_done() {
+        let (root, store) = temp_store("lifecycle");
+        assert!(store.unfinished().is_empty());
+
+        store
+            .journal_scenario(0xfeed, "[fleet]\nname = \"x\"\n")
+            .unwrap();
+        assert_eq!(store.unfinished(), vec![0xfeed]);
+        assert!(!store.is_done(0xfeed));
+        assert_eq!(store.scenario(0xfeed).unwrap(), "[fleet]\nname = \"x\"\n");
+
+        store
+            .publish_report(0xfeed, "{\"schema\":\"wn-fleet-report-v1\"}")
+            .unwrap();
+        assert!(store.is_done(0xfeed));
+        assert!(store.unfinished().is_empty());
+        assert_eq!(store.done_count(), 1);
+        assert_eq!(
+            store.report(0xfeed).unwrap(),
+            "{\"schema\":\"wn-fleet-report-v1\"}"
+        );
+
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn unfinished_recovery_set_is_sorted_and_ignores_foreign_files() {
+        let (root, store) = temp_store("recovery");
+        store.journal_scenario(0xbbb, "b").unwrap();
+        store.journal_scenario(0xaaa, "a").unwrap();
+        fs::write(root.join("jobs").join("not-a-fingerprint.txt"), "x").unwrap();
+        assert_eq!(store.unfinished(), vec![0xaaa, 0xbbb]);
+        fs::remove_dir_all(&root).unwrap();
+    }
+}
