@@ -583,6 +583,7 @@ day_s = 10.0
         best
     };
     let mut record = BenchRecord::new("fleet");
+    wn_energy::memo_stats::reset();
     for (prefix, technique) in [("", "anytime8"), ("precise_", "precise")] {
         let scenario = population(technique);
         let devices = scenario.total_devices();
@@ -649,6 +650,24 @@ day_s = 10.0
         let task = devices as f64 / task_s;
         println!("fleet bench [task]: {task:.0} devices/s, {devices} devices at --jobs 1");
         record.push("task_devices_per_s", task, "devices/s");
+    }
+    {
+        // Supply fast-forward effectiveness across every timed run above
+        // (deterministic populations ⇒ deterministic counts). Recorded
+        // so CI can flag a silent fall-back to the per-sample paths.
+        let memo = wn_energy::memo_stats::snapshot();
+        println!("fleet bench supply-memo: {}", memo.to_line());
+        record.push("supply_memo_hits", memo.memo_hits as f64, "lookups");
+        record.push(
+            "supply_charge_ff_steps",
+            memo.charge_ff_steps as f64,
+            "steps",
+        );
+        record.push(
+            "supply_discharge_ext_events",
+            memo.discharge_ext_events as f64,
+            "events",
+        );
     }
     match record.write() {
         Ok(path) => println!("wrote {}", path.display()),
@@ -894,6 +913,14 @@ fn fleet(args: &[String], operands: &[&str]) -> ExitCode {
             failed = true;
         }
     }
+    // Diagnostics on stderr (artifacts and stdout stay byte-stable):
+    // the fleet smoke CI step greps this line and asserts memo hits > 0,
+    // so a silent fall-back to the per-sample supply paths cannot pass
+    // as a false-positive "no regression".
+    eprintln!(
+        "fleet-supply-memo: {}",
+        wn_energy::memo_stats::snapshot().to_line()
+    );
     let wall_s = total.elapsed().as_secs_f64();
     let manifest = RunManifest {
         command: args.join(" "),

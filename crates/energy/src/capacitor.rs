@@ -68,6 +68,47 @@ impl Capacitor {
         0.5 * self.capacitance_f * volts * volts
     }
 
+    /// [`Capacitor::voltage`] evaluated at a hypothetical stored energy —
+    /// the exact same expression, so results are bit-identical to setting
+    /// the energy and reading the voltage.
+    #[inline]
+    fn voltage_of(&self, energy_j: f64) -> f64 {
+        (2.0 * energy_j / self.capacitance_f).sqrt()
+    }
+
+    /// The smallest stored energy whose [`Capacitor::voltage`] computes to
+    /// at least `volts`, or `+inf` if no energy up to the rail does.
+    ///
+    /// `voltage_of` is monotone non-decreasing **in the energy's bit
+    /// pattern**: `2.0 * e` is exact, and division by a positive constant
+    /// and `sqrt` are correctly rounded and order-preserving. So for any
+    /// reachable energy `e` (always in `[0, max_energy_j]`, never `-0.0`),
+    /// `voltage() < volts` ⇔ `energy() < threshold`, and a brown-out
+    /// check can compare energies directly — no `sqrt` on the hot path.
+    /// Found by bisection over the f64 bit lattice (non-negative floats
+    /// order like their bits), so the threshold is exact to the ulp, not
+    /// an algebraic inversion subject to rounding.
+    pub fn voltage_threshold_energy(&self, volts: f64) -> f64 {
+        debug_assert!(volts > 0.0 && volts.is_finite());
+        if self.voltage_of(0.0) >= volts {
+            return 0.0;
+        }
+        if self.voltage_of(self.max_energy_j) < volts {
+            return f64::INFINITY;
+        }
+        let mut lo = 0.0f64.to_bits(); // voltage_of(lo) < volts
+        let mut hi = self.max_energy_j.to_bits(); // voltage_of(hi) >= volts
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if self.voltage_of(f64::from_bits(mid)) >= volts {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        f64::from_bits(hi)
+    }
+
     /// Adds harvested energy, clamping at the rail voltage.
     ///
     /// The clamp is a branch rather than `f64::min`: the inputs are never
@@ -185,7 +226,49 @@ mod tests {
         Capacitor::new(0.0, 3.0);
     }
 
+    #[test]
+    fn threshold_energy_is_exact_to_the_ulp() {
+        // The bisected threshold must split the energy axis exactly where
+        // the voltage comparison does: one ulp below it the voltage
+        // computes below v_off, at it the voltage computes at or above.
+        for (c, v_max, v_off) in [
+            (10e-6, 4.5, 1.8),
+            (6.8e-6, 4.5, 1.8),
+            (10e-6, 4.5, 2.4),
+            (3.3e-7, 5.0, 0.9),
+        ] {
+            let cap = Capacitor::new(c, v_max);
+            let e_star = cap.voltage_threshold_energy(v_off);
+            assert!(e_star.is_finite() && e_star > 0.0);
+            assert!(cap.voltage_of(e_star) >= v_off);
+            let below = f64::from_bits(e_star.to_bits() - 1);
+            assert!(cap.voltage_of(below) < v_off);
+        }
+    }
+
+    #[test]
+    fn threshold_energy_edges() {
+        let cap = Capacitor::new(10e-6, 4.5);
+        // Unreachable voltage: no stored energy suffices.
+        assert_eq!(cap.voltage_threshold_energy(100.0), f64::INFINITY);
+    }
+
     proptest! {
+        #[test]
+        fn threshold_agrees_with_voltage_comparison(
+            c in 1e-7f64..1e-4,
+            v_off_frac in 0.05f64..0.95,
+            e_frac in 0.0f64..1.0,
+        ) {
+            let v_max = 4.5;
+            let cap = Capacitor::new(c, v_max);
+            let v_off = v_max * v_off_frac;
+            let e_star = cap.voltage_threshold_energy(v_off);
+            let e = cap.energy_at(v_max) * e_frac;
+            // The hot-path rewrite: energy compare ⇔ voltage compare.
+            prop_assert_eq!(e < e_star, cap.voltage_of(e) < v_off);
+        }
+
         #[test]
         fn add_then_drain_is_identity_below_rail(v in 0.1f64..2.0, e in 0.0f64..1e-6) {
             let mut cap = Capacitor::new(10e-6, 4.5);

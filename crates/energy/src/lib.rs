@@ -36,5 +36,6 @@ pub mod trace;
 pub use capacitor::Capacitor;
 pub use environment::EnvModel;
 pub use stats::TraceStats;
+pub use supply::memo_stats::{self, SupplyMemoStats};
 pub use supply::{EnergySupply, PowerStatus, SupplyConfig, SupplyError};
 pub use trace::{PowerTrace, TraceKind};

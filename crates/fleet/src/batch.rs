@@ -33,7 +33,7 @@ use wn_core::prepared::PreparedRun;
 use wn_core::telemetry;
 use wn_energy::{EnergySupply, SupplyError};
 use wn_intermittent::{replay_run_clank, replay_run_nvp, ExecError};
-use wn_sim::{Core, ExecutionTape};
+use wn_sim::{Core, ExecutionTape, WalkCache};
 
 use crate::runner::{completed_outcome, incomplete_outcome, simulate_device};
 use crate::runner::{DeviceFate, DeviceOutcome};
@@ -89,6 +89,11 @@ pub(crate) struct TapePlan {
     /// replayer consults its block table; handoffs clone and walk it.
     master: Core,
     tape: ExecutionTape,
+    /// Snapshot grid shared by every diverging device in the cohort so
+    /// handoff reconstructions walk from the nearest cached core, not
+    /// from step zero. Contents are pure functions of (master, tape),
+    /// so sharing across pool workers cannot change a byte of output.
+    walk_cache: WalkCache,
     /// NRMSE of the fault-free trajectory's output. A device that
     /// retires the whole tape commits exactly the master's memory, so
     /// its score is this cohort-level constant.
@@ -157,6 +162,7 @@ fn build_plan(scenario: &FleetScenario, cohort: usize) -> CohortPlan {
         prepared,
         master,
         tape,
+        walk_cache: WalkCache::new(),
         tape_error_percent,
     }))
 }
@@ -186,12 +192,22 @@ pub(crate) fn simulate_device_batched(
         .synthesize(scenario.device_seed(device), scenario.trace_duration_s);
     let supply = EnergySupply::new(trace, spec.supply());
     let result = match spec.substrate.kind() {
-        SubstrateKind::Clank(cfg) => {
-            replay_run_clank(&plan.tape, &plan.master, supply, cfg, scenario.wall_limit_s)
-        }
-        SubstrateKind::Nvp(cfg) => {
-            replay_run_nvp(&plan.tape, &plan.master, supply, cfg, scenario.wall_limit_s)
-        }
+        SubstrateKind::Clank(cfg) => replay_run_clank(
+            &plan.tape,
+            &plan.master,
+            &plan.walk_cache,
+            supply,
+            cfg,
+            scenario.wall_limit_s,
+        ),
+        SubstrateKind::Nvp(cfg) => replay_run_nvp(
+            &plan.tape,
+            &plan.master,
+            &plan.walk_cache,
+            supply,
+            cfg,
+            scenario.wall_limit_s,
+        ),
         // Unreachable in practice — `build_plan` never emits a tape plan
         // for a Task cohort — but kept total so a future planner change
         // degrades to the scalar engine instead of panicking.

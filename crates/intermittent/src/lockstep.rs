@@ -57,7 +57,7 @@
 
 use wn_energy::{EnergySupply, PowerStatus};
 use wn_sim::cpu::CpuSnapshot;
-use wn_sim::tape::{ExecutionTape, TapeKind};
+use wn_sim::tape::{ExecutionTape, TapeKind, WalkCache};
 use wn_sim::Core;
 
 use crate::clank::{Clank, ClankConfig, WordSet};
@@ -498,14 +498,21 @@ pub fn replay_tape<M: SubstrateMirror>(
 pub fn replay_run_clank(
     tape: &ExecutionTape,
     master: &Core,
+    cache: &WalkCache,
     supply: EnergySupply,
     config: ClankConfig,
     limit_s: f64,
 ) -> Result<(IntermittentRun, Option<Core>), ExecError> {
     let mut mirror = ClankMirror::new(config);
-    replay_run(tape, master, supply, &mut mirror, limit_s, |snap, stats| {
-        Clank::resumed(config, snap, stats)
-    })
+    replay_run(
+        tape,
+        master,
+        cache,
+        supply,
+        &mut mirror,
+        limit_s,
+        |snap, stats| Clank::resumed(config, snap, stats),
+    )
 }
 
 /// As [`replay_run_clank`], on the NVP substrate.
@@ -516,19 +523,27 @@ pub fn replay_run_clank(
 pub fn replay_run_nvp(
     tape: &ExecutionTape,
     master: &Core,
+    cache: &WalkCache,
     supply: EnergySupply,
     config: NvpConfig,
     limit_s: f64,
 ) -> Result<(IntermittentRun, Option<Core>), ExecError> {
     let mut mirror = NvpMirror::new(config);
-    replay_run(tape, master, supply, &mut mirror, limit_s, |snap, stats| {
-        Nvp::resumed(config, snap, stats)
-    })
+    replay_run(
+        tape,
+        master,
+        cache,
+        supply,
+        &mut mirror,
+        limit_s,
+        |snap, stats| Nvp::resumed(config, snap, stats),
+    )
 }
 
 fn replay_run<M, S, F>(
     tape: &ExecutionTape,
     master: &Core,
+    cache: &WalkCache,
     mut supply: EnergySupply,
     mirror: &mut M,
     limit_s: f64,
@@ -559,9 +574,10 @@ where
             // Reconstruct the device's architectural state: the master
             // trajectory at the resume position is exactly what the
             // checkpoint / NV snapshot captured (Clank rolled memory
-            // back to it; NVP persisted it).
-            let mut core = master.clone();
-            tape.walk(&mut core, pos)?;
+            // back to it; NVP persisted it). The shared cache lets
+            // divergent devices in one cohort resume the walk from the
+            // nearest grid snapshot instead of step zero.
+            let mut core = tape.reconstruct(master, pos, cache)?;
             let snapshot = core.cpu.snapshot();
             core.cpu.power_loss();
             core.cpu.skm = Some(skm);
@@ -678,8 +694,15 @@ mod tests {
             );
             let want = scalar.run(3600.0).unwrap();
             let supply = EnergySupply::new(rf_trace(seed), SupplyConfig::default());
-            let (got, core) =
-                replay_run_clank(&tape, &master, supply, ClankConfig::default(), 3600.0).unwrap();
+            let (got, core) = replay_run_clank(
+                &tape,
+                &master,
+                &WalkCache::new(),
+                supply,
+                ClankConfig::default(),
+                3600.0,
+            )
+            .unwrap();
             assert!(want.outages > 0, "seed {seed}: must span outages");
             assert!(!want.skimmed, "no SKM in this program");
             assert!(core.is_none(), "completed on tape");
@@ -700,8 +723,15 @@ mod tests {
             );
             let want = scalar.run(3600.0).unwrap();
             let supply = EnergySupply::new(rf_trace(seed), SupplyConfig::default());
-            let (got, _core) =
-                replay_run_nvp(&tape, &master, supply, NvpConfig::default(), 3600.0).unwrap();
+            let (got, _core) = replay_run_nvp(
+                &tape,
+                &master,
+                &WalkCache::new(),
+                supply,
+                NvpConfig::default(),
+                3600.0,
+            )
+            .unwrap();
             assert!(want.outages > 0, "seed {seed}: must span outages");
             assert_runs_match(&got, &want, &format!("nvp seed {seed}"));
         }
@@ -711,6 +741,10 @@ mod tests {
     fn skim_handoff_matches_scalar_for_both_substrates() {
         let program = skim_program(400_000);
         let (master, tape) = record(&program);
+        // One cache across all seeds, as in a fleet cohort: later seeds
+        // reconstruct from snapshots populated by earlier ones, and must
+        // still match the scalar engine bit for bit.
+        let cache = WalkCache::new();
         let mut handoffs = 0;
         for seed in 0..6 {
             // Clank.
@@ -722,8 +756,15 @@ mod tests {
             );
             let want = scalar.run(3600.0).unwrap();
             let supply = EnergySupply::new(rf_trace(seed), SupplyConfig::default());
-            let (got, core) =
-                replay_run_clank(&tape, &master, supply, ClankConfig::default(), 3600.0).unwrap();
+            let (got, core) = replay_run_clank(
+                &tape,
+                &master,
+                &cache,
+                supply,
+                ClankConfig::default(),
+                3600.0,
+            )
+            .unwrap();
             assert_runs_match(&got, &want, &format!("clank skim seed {seed}"));
             if want.skimmed {
                 handoffs += 1;
@@ -746,7 +787,8 @@ mod tests {
             let want = scalar.run(3600.0).unwrap();
             let supply = EnergySupply::new(rf_trace(seed), SupplyConfig::default());
             let (got, core) =
-                replay_run_nvp(&tape, &master, supply, NvpConfig::default(), 3600.0).unwrap();
+                replay_run_nvp(&tape, &master, &cache, supply, NvpConfig::default(), 3600.0)
+                    .unwrap();
             assert_runs_match(&got, &want, &format!("nvp skim seed {seed}"));
             if want.skimmed {
                 let core = core.expect("skimmed ⇒ handed off");
@@ -773,7 +815,14 @@ mod tests {
         );
         let want = scalar.run(limit);
         let supply = EnergySupply::new(rf_trace(2), SupplyConfig::default());
-        let got = replay_run_clank(&tape, &master, supply, ClankConfig::default(), limit);
+        let got = replay_run_clank(
+            &tape,
+            &master,
+            &WalkCache::new(),
+            supply,
+            ClankConfig::default(),
+            limit,
+        );
         match (want, got) {
             (Err(ExecError::WallClock { .. }), Err(ExecError::WallClock { .. })) => {}
             (w, g) => panic!("scalar {w:?} vs replay {g:?}"),

@@ -530,6 +530,13 @@ pub enum Response {
         cache_evictions: u64,
         cache_hits: u64,
         cache_misses: u64,
+        /// Supply fast-forward memo lookups served from the tables
+        /// (`wn_energy::memo_stats`), across every sweep this daemon ran.
+        supply_memo_hits: u64,
+        /// Supply memo lookups that computed a fresh entry.
+        supply_memo_misses: u64,
+        /// 1 ms recharge steps elided by zero-run charge sprints.
+        supply_charge_ff_steps: u64,
     },
     /// Ping reply.
     Pong,
@@ -580,6 +587,9 @@ impl Response {
                 cache_evictions,
                 cache_hits,
                 cache_misses,
+                supply_memo_hits,
+                supply_memo_misses,
+                supply_charge_ff_steps,
             } => o
                 .str("op", "stats")
                 .bool("ok", true)
@@ -591,6 +601,9 @@ impl Response {
                 .u64("cache_evictions", *cache_evictions)
                 .u64("cache_hits", *cache_hits)
                 .u64("cache_misses", *cache_misses)
+                .u64("supply_memo_hits", *supply_memo_hits)
+                .u64("supply_memo_misses", *supply_memo_misses)
+                .u64("supply_charge_ff_steps", *supply_charge_ff_steps)
                 .finish(),
             Response::Pong => o.str("op", "ping").bool("ok", true).finish(),
             Response::ShuttingDown => o.str("op", "shutdown").bool("ok", true).finish(),
@@ -677,6 +690,11 @@ impl Response {
                 cache_evictions: u64_field("cache_evictions")?,
                 cache_hits: u64_field("cache_hits")?,
                 cache_misses: u64_field("cache_misses")?,
+                // Supply-memo fields default to zero so a newer client
+                // can read a pre-supply-stats daemon's reply.
+                supply_memo_hits: u64_field("supply_memo_hits").unwrap_or(0),
+                supply_memo_misses: u64_field("supply_memo_misses").unwrap_or(0),
+                supply_charge_ff_steps: u64_field("supply_charge_ff_steps").unwrap_or(0),
             }),
             "ping" => Ok(Response::Pong),
             "shutdown" => Ok(Response::ShuttingDown),
@@ -823,6 +841,9 @@ mod tests {
                 cache_evictions: 6,
                 cache_hits: 7,
                 cache_misses: 8,
+                supply_memo_hits: 9,
+                supply_memo_misses: 10,
+                supply_charge_ff_steps: 11,
             },
             Response::Pong,
             Response::ShuttingDown,

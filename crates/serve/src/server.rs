@@ -447,6 +447,7 @@ fn serve_connection(inner: &Arc<Inner>, stream: TcpStream) -> Result<(), ProtoEr
             }
             Request::Stats => {
                 let cache = prepared_cache_stats();
+                let memo = wn_energy::memo_stats::snapshot();
                 let resp = Response::Stats {
                     queued: inner.queue.len() as u64,
                     running: u64::from(inner.running_fp().is_some()),
@@ -456,6 +457,9 @@ fn serve_connection(inner: &Arc<Inner>, stream: TcpStream) -> Result<(), ProtoEr
                     cache_evictions: cache.evictions,
                     cache_hits: cache.hits,
                     cache_misses: cache.misses,
+                    supply_memo_hits: memo.memo_hits,
+                    supply_memo_misses: memo.memo_misses,
+                    supply_charge_ff_steps: memo.charge_ff_steps,
                 };
                 send_line(&mut out, &resp.to_line())?;
             }

@@ -18,6 +18,7 @@ use crate::core::{Core, HookBreak, HookKind, StepEvent, StepHook, StepInfo};
 use crate::error::SimError;
 use crate::memory::AccessKind;
 use std::ops::ControlFlow;
+use std::sync::Mutex;
 
 /// What one tape step did, as far as replay bookkeeping cares. At most
 /// one applies per retirement on this core (`SKM` and `HALT` perform no
@@ -178,17 +179,130 @@ impl ExecutionTape {
     /// Propagates any [`SimError`]; the walk retraces a recorded run,
     /// so an error here means `core` was not on this tape's trajectory.
     pub fn walk(&self, core: &mut Core, pos: usize) -> Result<(), SimError> {
-        let bulk = core.run_steps_hooked(self.prefix[pos], &mut FreeWalk)?;
-        let mut retired = bulk.instructions as usize;
-        while retired < pos {
+        self.walk_span(core, 0, pos)
+    }
+
+    /// Advances `core` — already at tape position `from` — until `to`
+    /// steps have retired, using the same budget-bounded fast path as
+    /// [`ExecutionTape::walk`]. The state after retiring `to` steps is a
+    /// pure function of the starting state and the step count, so a walk
+    /// split into spans reaches bit-identical architectural state to a
+    /// single whole walk.
+    fn walk_span(&self, core: &mut Core, from: usize, to: usize) -> Result<(), SimError> {
+        let bulk = core.run_steps_hooked(self.prefix[to] - self.prefix[from], &mut FreeWalk)?;
+        let mut retired = from + bulk.instructions as usize;
+        while retired < to {
             core.step()?;
             retired += 1;
         }
-        debug_assert_eq!(retired, pos);
-        if pos < self.len() {
-            debug_assert_eq!(core.cpu.pc, self.pcs[pos]);
+        debug_assert_eq!(retired, to);
+        if to < self.len() {
+            debug_assert_eq!(core.cpu.pc, self.pcs[to]);
         }
         Ok(())
+    }
+
+    /// Tape position of snapshot slot `k` — an even grid over the
+    /// trajectory.
+    fn grid_pos(&self, k: usize) -> usize {
+        (k + 1) * self.len() / (WALK_CACHE_SLOTS + 1)
+    }
+
+    /// Reconstructs the architectural state at tape position `pos` —
+    /// exactly `master.clone()` + [`ExecutionTape::walk`] — resuming
+    /// from and refilling `cache`'s snapshot grid along the way.
+    ///
+    /// Every cached snapshot is the unique architectural state after
+    /// retiring `grid_pos(k)` steps of this tape from `master`
+    /// (execution is deterministic), so which device populated a slot —
+    /// and in what order under a parallel pool — cannot change a byte
+    /// of any reconstruction. The cache must always be paired with the
+    /// same `(master, tape)` it was first used with; [`WalkCache`]'s
+    /// one-per-[`ExecutionTape`] ownership in the fleet planner
+    /// guarantees that by construction.
+    ///
+    /// # Errors
+    ///
+    /// As [`ExecutionTape::walk`].
+    pub fn reconstruct(
+        &self,
+        master: &Core,
+        pos: usize,
+        cache: &WalkCache,
+    ) -> Result<Core, SimError> {
+        let (mut core, mut at) = {
+            let slots = cache.slots.lock().unwrap_or_else(|e| e.into_inner());
+            let mut best: Option<usize> = None;
+            for (k, slot) in slots.iter().enumerate() {
+                if self.grid_pos(k) > pos {
+                    break;
+                }
+                if slot.is_some() {
+                    best = Some(k);
+                }
+            }
+            match best {
+                Some(k) => {
+                    let core = slots[k].as_ref().expect("slot checked above").clone();
+                    (core, self.grid_pos(k))
+                }
+                None => (master.clone(), 0),
+            }
+        };
+        for k in 0..WALK_CACHE_SLOTS {
+            let g = self.grid_pos(k);
+            if g <= at {
+                continue;
+            }
+            if g > pos {
+                break;
+            }
+            self.walk_span(&mut core, at, g)?;
+            at = g;
+            let mut slots = cache.slots.lock().unwrap_or_else(|e| e.into_inner());
+            if slots[k].is_none() {
+                slots[k] = Some(core.clone());
+            }
+        }
+        self.walk_span(&mut core, at, pos)?;
+        Ok(core)
+    }
+}
+
+/// Snapshot slots per [`WalkCache`]: enough to cut the average
+/// reconstruction walk by ~an order of magnitude, few enough that a
+/// cohort's cache stays below ~10 MB of cloned cores.
+pub const WALK_CACHE_SLOTS: usize = 8;
+
+/// Cross-device cache of reconstructed cores along one tape's
+/// trajectory, for [`ExecutionTape::reconstruct`].
+///
+/// Divergent devices in a lockstep cohort each rebuild architectural
+/// state at their own resume position; without a cache every one
+/// re-walks the master trajectory from step zero. The cache keeps
+/// core snapshots on a fixed position grid so later reconstructions
+/// walk only from the nearest snapshot. Slot contents are pure
+/// functions of the (master, tape) pair — see
+/// [`ExecutionTape::reconstruct`] — so the cache accelerates without
+/// being able to change results. One cache must serve exactly one
+/// (master, tape) pair.
+#[derive(Debug)]
+pub struct WalkCache {
+    slots: Mutex<Vec<Option<Core>>>,
+}
+
+impl WalkCache {
+    /// An empty cache; slots fill lazily as reconstructions pass them.
+    pub fn new() -> WalkCache {
+        WalkCache {
+            slots: Mutex::new(vec![None; WALK_CACHE_SLOTS]),
+        }
+    }
+}
+
+impl Default for WalkCache {
+    fn default() -> WalkCache {
+        WalkCache::new()
     }
 }
 
@@ -295,6 +409,33 @@ HALT
             }
             assert_eq!(walked.cpu.snapshot(), stepped.cpu.snapshot(), "pos {pos}");
             assert_eq!(walked.stats.cycles, stepped.stats.cycles, "pos {pos}");
+        }
+    }
+
+    #[test]
+    fn reconstruct_matches_plain_walk_in_any_query_order() {
+        let mut rec = demo_core();
+        let tape = ExecutionTape::record(&mut rec, 1_000_000).unwrap().unwrap();
+        let master = demo_core();
+        let n = tape.len();
+        // Deep-first, shallow-first, and interleaved query orders hit
+        // every cache shape: cold walks, warm snapshot resumes, and
+        // populate-along-the-way fills.
+        let orders: [Vec<usize>; 3] = [
+            vec![n - 1, n / 2, n / 3, 1, 0, n / 4],
+            vec![0, 1, n / 4, n / 3, n / 2, n - 1],
+            vec![n / 2, 7.min(n - 1), n - 1, n / 5, n / 2, 0],
+        ];
+        for order in &orders {
+            let cache = WalkCache::new();
+            for &pos in order {
+                let got = tape.reconstruct(&master, pos, &cache).unwrap();
+                let mut want = master.clone();
+                tape.walk(&mut want, pos).unwrap();
+                assert_eq!(got.cpu, want.cpu, "cpu at pos {pos}");
+                assert_eq!(got.mem, want.mem, "memory at pos {pos}");
+                assert_eq!(got.stats, want.stats, "stats at pos {pos}");
+            }
         }
     }
 }
