@@ -1,0 +1,199 @@
+//! Distribution helpers for the analytic predictor: a dependency-free
+//! standard-normal CDF / inverse CDF pair, and the deterministic phase
+//! quadrature that replaces them for the solar-diurnal family (whose
+//! per-device variability is a seeded phase offset, not a renewal
+//! process).
+
+use std::f64::consts::PI;
+
+/// Standard normal CDF via the Abramowitz & Stegun 7.1.26 erf
+/// approximation (|error| < 1.5e-7 — far inside the predictor's
+/// tolerance bands).
+pub fn norm_cdf(x: f64) -> f64 {
+    let z = x / std::f64::consts::SQRT_2;
+    0.5 * (1.0 + erf(z))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Inverse standard-normal CDF (Acklam's rational approximation,
+/// |relative error| < 1.15e-9). `p` outside `(0, 1)` is clamped to the
+/// nearest representable quantile.
+// The coefficient tables are Acklam's published constants, kept
+// verbatim (the lint would trim a trailing zero).
+#[allow(clippy::excessive_precision)]
+pub fn inv_norm_cdf(p: f64) -> f64 {
+    let p = p.clamp(1e-12, 1.0 - 1e-12);
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// Cumulative harvested energy (joules) of the solar half-sinusoid
+/// from day-start to `t ∈ [0, day_s)`: daylight occupies the first
+/// half-day with `p(t) = peak·sin(2πt/D)`, night is dark.
+fn solar_cumulative_j(peak_w: f64, day_s: f64, t: f64) -> f64 {
+    let half = day_s / 2.0;
+    let t = t.clamp(0.0, day_s);
+    if t >= half {
+        peak_w * day_s / PI
+    } else {
+        peak_w * day_s / (2.0 * PI) * (1.0 - (2.0 * PI * t / day_s).cos())
+    }
+}
+
+/// Time (seconds) from a start offset `phase ∈ [0, day_s)` until
+/// `need_j` joules have been harvested from the solar half-sinusoid.
+pub fn solar_time_to_harvest(peak_w: f64, day_s: f64, phase: f64, need_j: f64) -> f64 {
+    if need_j <= 0.0 {
+        return 0.0;
+    }
+    let e_day = peak_w * day_s / PI;
+    if e_day <= 0.0 {
+        return f64::INFINITY;
+    }
+    let already = solar_cumulative_j(peak_w, day_s, phase);
+    let total = already + need_j;
+    let mut full_days = (total / e_day).floor();
+    let mut rem = total - full_days * e_day;
+    // Exact multiples of a day's energy complete at dusk of the last
+    // day, not a full night later.
+    if rem <= 0.0 && full_days > 0.0 {
+        full_days -= 1.0;
+        rem = e_day;
+    }
+    // Invert the within-day cumulative for the remainder.
+    let frac = (1.0 - 2.0 * PI * rem / (peak_w * day_s)).clamp(-1.0, 1.0);
+    let t_in_day = if rem >= e_day {
+        day_s / 2.0
+    } else {
+        day_s / (2.0 * PI) * frac.acos()
+    };
+    full_days * day_s + t_in_day - phase
+}
+
+/// Deterministic completion-time quadrature for solar cohorts: `k`
+/// evenly spaced start phases (matching the uniformly seeded per-device
+/// phase), each solved exactly for `need_j`, returned sorted. Flicker
+/// (±20 % multiplicative, mean 1) averages out over whole days and is
+/// absorbed by the tolerance band.
+pub fn solar_completion_times(peak_w: f64, day_s: f64, need_j: f64, k: usize) -> Vec<f64> {
+    let mut times: Vec<f64> = (0..k)
+        .map(|i| {
+            let phase = (i as f64 + 0.5) / k as f64 * day_s;
+            solar_time_to_harvest(peak_w, day_s, phase, need_j)
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times
+}
+
+/// Linear-interpolated quantile of a sorted slice.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let pos = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norm_cdf_and_inverse_round_trip() {
+        for &p in &[0.01, 0.1, 0.5, 0.9, 0.99] {
+            let x = inv_norm_cdf(p);
+            assert!((norm_cdf(x) - p).abs() < 1e-6, "p={p}: x={x}");
+        }
+        assert!((inv_norm_cdf(0.5)).abs() < 1e-9);
+        assert!((inv_norm_cdf(0.9) - 1.2816).abs() < 1e-3);
+    }
+
+    #[test]
+    fn solar_harvest_inversion_matches_cumulative() {
+        let (peak, day) = (250e-6, 10.0);
+        let e_day = peak * day / PI;
+        // Exactly one day of harvest starting at dawn.
+        let t = solar_time_to_harvest(peak, day, 0.0, e_day);
+        assert!(
+            (t - day / 2.0).abs() < 1e-9,
+            "one day's energy arrives by dusk: {t}"
+        );
+        // Starting at dusk, the night must pass first.
+        let t = solar_time_to_harvest(peak, day, day / 2.0, e_day * 0.5);
+        assert!(t > day / 2.0, "night first: {t}");
+        // Tiny need from dawn: strictly positive, less than half a day.
+        let t = solar_time_to_harvest(peak, day, 0.0, e_day * 1e-3);
+        assert!(t > 0.0 && t < day / 2.0);
+    }
+
+    #[test]
+    fn solar_quadrature_is_sorted_and_day_bounded() {
+        let times = solar_completion_times(250e-6, 10.0, 250e-6 * 10.0 / PI * 2.5, 64);
+        assert_eq!(times.len(), 64);
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        // 2.5 days of energy: everyone finishes within 4 days.
+        assert!(*times.last().unwrap() <= 40.0);
+        assert!(
+            times[0] >= 20.0,
+            "no phase finishes before 2 full days: {}",
+            times[0]
+        );
+    }
+}

@@ -1,0 +1,168 @@
+//! End-to-end sanity for the analytic predictor: predictions vs. a
+//! small empirical ensemble of real intermittent runs, per substrate
+//! and environment family. Tolerances here are deliberately wider than
+//! the fleet validation gate (few-device ensembles are noisy); the
+//! tight, documented bands live in the `predict --validate` path.
+
+use wn_analyze::{predict, CohortPrediction, CohortQuery};
+use wn_core::intermittent::{run_intermittent, SubstrateKind};
+use wn_core::{Benchmark, PreparedRun, Scale, Technique};
+use wn_energy::{EnvModel, SupplyConfig};
+
+const DEVICES: u64 = 24;
+const WALL_S: f64 = 600.0;
+
+fn supply(capacitance_uf: f64) -> SupplyConfig {
+    SupplyConfig {
+        capacitance_f: capacitance_uf * 1e-6,
+        ..SupplyConfig::default()
+    }
+}
+
+struct Empirical {
+    mean_time_s: f64,
+    mean_outages: f64,
+    completed: u64,
+    skimmed: u64,
+}
+
+fn simulate(
+    prepared: &PreparedRun,
+    substrate: SubstrateKind,
+    env: &EnvModel,
+    sup: &SupplyConfig,
+) -> Empirical {
+    let mut times = Vec::new();
+    let mut outages = Vec::new();
+    let mut skimmed = 0u64;
+    for seed in 0..DEVICES {
+        let trace = env.synthesize(1000 + seed, 240.0);
+        match run_intermittent(prepared, substrate, &trace, *sup, WALL_S) {
+            Ok(o) => {
+                times.push(o.time_s);
+                outages.push(o.outages as f64);
+                skimmed += o.skimmed as u64;
+            }
+            Err(e) => panic!("device {seed} failed: {e}"),
+        }
+    }
+    Empirical {
+        mean_time_s: times.iter().sum::<f64>() / times.len() as f64,
+        mean_outages: outages.iter().sum::<f64>() / outages.len() as f64,
+        completed: times.len() as u64,
+        skimmed,
+    }
+}
+
+fn check(
+    benchmark: Benchmark,
+    technique: Technique,
+    substrate: SubstrateKind,
+    env: EnvModel,
+    capacitance_uf: f64,
+    time_rtol: f64,
+) {
+    let tasked = matches!(substrate, SubstrateKind::Task(_));
+    let prepared =
+        PreparedRun::cached_with_tasks(benchmark, Scale::Quick, 7, technique, tasked).unwrap();
+    let sup = supply(capacitance_uf);
+    let q = CohortQuery {
+        prepared: &prepared,
+        substrate,
+        supply: sup,
+        env,
+        devices: DEVICES,
+        wall_limit_s: WALL_S,
+    };
+    let p = match predict(&q).unwrap() {
+        CohortPrediction::Predicted(p) => p,
+        CohortPrediction::Unsupported { reason } => panic!("unexpectedly unsupported: {reason}"),
+    };
+    let e = simulate(&prepared, substrate, &env, &sup);
+
+    println!(
+        "{benchmark:?}/{technique}/{:?}: predicted mean {:.4}s sigma {:.4} outages {:.1} \
+         ckpt {:.1} commits {:.1} skim={} | simulated mean {:.4}s outages {:.1} \
+         completed {}/{DEVICES} skimmed {}",
+        env.name(),
+        p.mean_time_s,
+        p.sigma_time_s,
+        p.outages,
+        p.checkpoints,
+        p.commits,
+        p.via_skim,
+        e.mean_time_s,
+        e.mean_outages,
+        e.completed,
+        e.skimmed,
+    );
+
+    assert_eq!(e.completed, DEVICES, "ensemble must complete");
+    assert_eq!(p.completed, DEVICES, "prediction must complete");
+    let rel = (p.mean_time_s - e.mean_time_s).abs() / e.mean_time_s;
+    assert!(
+        rel <= time_rtol,
+        "mean time off by {:.0}% (predicted {:.4}, simulated {:.4})",
+        rel * 100.0,
+        p.mean_time_s,
+        e.mean_time_s
+    );
+    if e.mean_outages >= 1.0 {
+        let orel = (p.outages - e.mean_outages).abs() / e.mean_outages;
+        assert!(
+            orel <= 0.5,
+            "outages off by {:.0}% (predicted {:.1}, simulated {:.1})",
+            orel * 100.0,
+            p.outages,
+            e.mean_outages
+        );
+    }
+}
+
+#[test]
+fn clank_rf_matadd_precise() {
+    check(
+        Benchmark::MatAdd,
+        Technique::Precise,
+        SubstrateKind::clank(),
+        EnvModel::rf_default(),
+        1.0,
+        0.35,
+    );
+}
+
+#[test]
+fn nvp_piezo_matadd_precise() {
+    check(
+        Benchmark::MatAdd,
+        Technique::Precise,
+        SubstrateKind::nvp(),
+        EnvModel::piezo_default(),
+        1.0,
+        0.35,
+    );
+}
+
+#[test]
+fn nvp_solar_home_anytime() {
+    check(
+        Benchmark::Home,
+        Benchmark::Home.technique(8),
+        SubstrateKind::nvp(),
+        EnvModel::solar_default(),
+        1.0,
+        0.45,
+    );
+}
+
+#[test]
+fn task_rf_var_anytime() {
+    check(
+        Benchmark::Var,
+        Benchmark::Var.technique(8),
+        SubstrateKind::task(),
+        EnvModel::rf_default(),
+        10.0,
+        0.45,
+    );
+}

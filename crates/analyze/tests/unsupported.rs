@@ -1,0 +1,53 @@
+//! The predictor's honest-refusal gates: cohorts the analytic model
+//! cannot handle must come back as [`CohortPrediction::Unsupported`]
+//! with a reason, never as a silently wrong prediction.
+
+use wn_analyze::{predict, CohortPrediction, CohortQuery};
+use wn_core::intermittent::SubstrateKind;
+use wn_core::{Benchmark, PreparedRun, Scale, Technique};
+use wn_energy::{EnvModel, SupplyConfig};
+use wn_sim::{CoreConfig, MemoConfig};
+
+fn query(prepared: &PreparedRun) -> CohortQuery<'_> {
+    CohortQuery {
+        prepared,
+        substrate: SubstrateKind::clank(),
+        supply: SupplyConfig::default(),
+        env: EnvModel::rf_default(),
+        devices: 4,
+        wall_limit_s: 600.0,
+    }
+}
+
+/// Memoization makes multiply costs depend on the memo table's warmth,
+/// which depends on each device's outage history — outside the static
+/// cost model, so the cohort must be refused with a reason naming it.
+#[test]
+fn memo_enabled_cores_are_reported_unsupported() {
+    let base = PreparedRun::cached(Benchmark::MatAdd, Scale::Quick, 3, Technique::Precise).unwrap();
+    let memo = PreparedRun::with_core_config(
+        &base.instance,
+        Technique::Precise,
+        CoreConfig {
+            memo: Some(MemoConfig::default()),
+            ..CoreConfig::default()
+        },
+    )
+    .unwrap();
+    match predict(&query(&memo)).unwrap() {
+        CohortPrediction::Unsupported { reason } => {
+            assert!(
+                reason.contains("memo"),
+                "reason must name memoization: {reason}"
+            );
+        }
+        CohortPrediction::Predicted(_) => panic!("memo-enabled cohort must be unsupported"),
+    }
+    // The same kernel without memoization predicts fine.
+    match predict(&query(&base)).unwrap() {
+        CohortPrediction::Predicted(_) => {}
+        CohortPrediction::Unsupported { reason } => {
+            panic!("plain cohort unexpectedly unsupported: {reason}")
+        }
+    }
+}

@@ -35,7 +35,7 @@ use wn_core::experiments::{
 use wn_core::{jobs, telemetry};
 use wn_telemetry::json;
 
-const USAGE: &str = "usage: experiments <all|table1|fig01|fig02|fig03|fig09|fig10|fig11|fig12|fig13|fig14|fig15|fig17|task|area_power|report|bench|bench-fleet> [--paper] [--jobs N] [--telemetry] [--epoch N]\n       experiments fleet <scenario.toml|.json> [--jobs N] [--engine scalar|batched] [--resume] [--shard-jsonl] [--stop-after-shards N] [--epoch N]\n       experiments serve [--addr HOST:PORT] [--data-dir DIR] [--jobs N] [--queue N] [--cache-cap N] [--engine scalar|batched] [--stop-after-shards N]";
+const USAGE: &str = "usage: experiments <all|table1|fig01|fig02|fig03|fig09|fig10|fig11|fig12|fig13|fig14|fig15|fig17|task|area_power|report|bench|bench-fleet> [--paper] [--jobs N] [--telemetry] [--epoch N]\n       experiments fleet <scenario.toml|.json> [--check] [--jobs N] [--engine scalar|batched] [--resume] [--shard-jsonl] [--stop-after-shards N] [--epoch N]\n       experiments predict <scenario.toml|.json> [--validate] [--jobs N] [--epoch N]\n       experiments serve [--addr HOST:PORT] [--data-dir DIR] [--jobs N] [--queue N] [--cache-cap N] [--engine scalar|batched] [--stop-after-shards N]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
@@ -102,6 +102,9 @@ fn main() -> ExitCode {
     }
     if which.first() == Some(&"fleet") {
         return fleet(&args, &which[1..]);
+    }
+    if which.first() == Some(&"predict") {
+        return predict(&args, &which[1..]);
     }
     if which == ["serve"] {
         return serve(&args);
@@ -771,7 +774,7 @@ fn serve(args: &[String]) -> ExitCode {
 /// usual manifest. `--resume` picks up from the checkpoint; the report
 /// bytes are identical to an uninterrupted run at any `--jobs` width.
 fn fleet(args: &[String], operands: &[&str]) -> ExitCode {
-    use wn_fleet::{run_fleet, FleetEngine, FleetOptions, FleetScenario, FleetStatus};
+    use wn_fleet::{run_fleet, FleetEngine, FleetOptions, FleetStatus};
 
     let [path] = operands else {
         eprintln!("fleet needs exactly one scenario file\n{USAGE}");
@@ -794,20 +797,28 @@ fn fleet(args: &[String], operands: &[&str]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let text = match std::fs::read_to_string(path) {
-        Ok(text) => text,
-        Err(e) => {
-            eprintln!("cannot read scenario `{path}`: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let scenario = match FleetScenario::parse(&text) {
+    let scenario = match load_scenario(path) {
         Ok(s) => s,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
+        Err(code) => return code,
     };
+    // `--check`: parse + prepare + fingerprint, never run. Shares the
+    // preparation path with `predict`, so a scenario rejected here is
+    // rejected identically by `fleet`, `fleet --check`, and `predict`.
+    if args.iter().any(|a| a == "--check") {
+        return match wn_fleet::check_scenario(&scenario) {
+            Ok(c) => {
+                println!(
+                    "ok: scenario `{}` (fingerprint {:016x}): {} devices in {} cohorts, {} shards",
+                    c.name, c.fingerprint, c.total_devices, c.cohorts, c.shard_count
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("check failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     // Deterministic kill point for resume tests: flag wins, then env.
     let stop_after_shards = match parse_flag_value(args, "--stop-after-shards") {
         Ok(v) => match v.or_else(|| env::var("WN_FLEET_STOP_AFTER_SHARDS").ok()) {
@@ -830,11 +841,7 @@ fn fleet(args: &[String], operands: &[&str]) -> ExitCode {
         eprintln!("cannot create {}: {e}", results.display());
         return ExitCode::FAILURE;
     }
-    let stem: String = scenario
-        .name
-        .chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
-        .collect();
+    let stem = scenario_stem(&scenario.name);
     let shard_jsonl = args.iter().any(|a| a == "--shard-jsonl");
     let options = FleetOptions {
         jobs: None, // the global pool, already sized by --jobs / WN_JOBS
@@ -950,4 +957,194 @@ fn save(name: &str, contents: &str, artifacts: &mut Vec<String>) -> std::io::Res
     println!("wrote {}", path.display());
     artifacts.push(name.to_string());
     Ok(())
+}
+
+/// Reads and parses a scenario file. Shared by `fleet`, `fleet
+/// --check`, and `predict`, so a bad scenario produces the identical
+/// error text whichever path encounters it.
+fn load_scenario(path: &str) -> Result<wn_fleet::FleetScenario, ExitCode> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("cannot read scenario `{path}`: {e}");
+        ExitCode::FAILURE
+    })?;
+    wn_fleet::FleetScenario::parse(&text).map_err(|e| {
+        eprintln!("{e}");
+        ExitCode::FAILURE
+    })
+}
+
+/// File-name stem for a scenario's artifacts (shared grammar with
+/// `fleet_<stem>.json`).
+fn scenario_stem(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect()
+}
+
+/// `experiments predict <scenario> [--validate]`: analytic per-cohort
+/// prediction through wn-analyze. Writes `predict_<name>.json` /
+/// `predict_<name>.csv` (`wn-analyze-report-v1`, shaped like the fleet
+/// report) and `BENCH_analyze.json` with the prediction latency. With
+/// `--validate` the same scenario is also swept by the real fleet
+/// runner and the two reports are cross-checked under the tolerance
+/// bands documented in DESIGN.md §13; any band violation fails the
+/// invocation.
+fn predict(args: &[String], operands: &[&str]) -> ExitCode {
+    use wn_fleet::{predict_fleet, run_fleet, validate, CohortForecast, FleetOptions, FleetStatus};
+
+    let [path] = operands else {
+        eprintln!("predict needs exactly one scenario file\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let scenario = match load_scenario(path) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let results = results_dir();
+    if let Err(e) = std::fs::create_dir_all(&results) {
+        eprintln!("cannot create {}: {e}", results.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "predict `{}`: {} devices in {} cohorts",
+        scenario.name,
+        scenario.total_devices(),
+        scenario.cohorts.len(),
+    );
+
+    let total = Instant::now();
+    let t_predict = Instant::now();
+    let report = match predict_fleet(&scenario) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("predict failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let predict_ms = t_predict.elapsed().as_secs_f64() * 1e3;
+
+    for (spec, c) in report.specs.iter().zip(report.cohorts.iter()) {
+        match c {
+            CohortForecast::Unsupported { reason } => {
+                println!("  {}: unsupported ({reason})", spec.name);
+            }
+            CohortForecast::Predicted { aggregate, model } => {
+                println!(
+                    "  {}: {}/{} predicted complete, mean time {}, outages {:.1}, \
+                     checkpoints {:.1}, commits {:.1}{}",
+                    spec.name,
+                    aggregate.completed,
+                    aggregate.devices,
+                    aggregate
+                        .time
+                        .stats
+                        .mean()
+                        .map_or("n/a".to_string(), |m| format!("{m:.3}s")),
+                    model.outages,
+                    model.checkpoints,
+                    model.commits,
+                    if model.via_skim { ", via skim" } else { "" },
+                );
+            }
+        }
+    }
+    if report.unsupported() > 0 {
+        println!(
+            "  ({} cohort(s) unsupported by the analytic model — reported, not skipped)",
+            report.unsupported()
+        );
+    }
+
+    let stem = scenario_stem(&scenario.name);
+    let mut artifacts = Vec::new();
+    let mut failed = false;
+    for (name, contents) in [
+        (format!("predict_{stem}.json"), report.to_json()),
+        (format!("predict_{stem}.csv"), report.to_csv()),
+    ] {
+        if let Err(e) = save(&name, &contents, &mut artifacts) {
+            eprintln!("artifact write failed: {e}");
+            failed = true;
+        }
+    }
+
+    let mut record = BenchRecord::new("analyze");
+    record.push("predict_ms", predict_ms, "ms");
+    record.push("cohorts", scenario.cohorts.len() as f64, "cohorts");
+    record.push("devices", scenario.total_devices() as f64, "devices");
+
+    let validated = args.iter().any(|a| a == "--validate");
+    if validated {
+        let t_fleet = Instant::now();
+        let fleet_report = match run_fleet(&scenario, &FleetOptions::default()) {
+            Ok(FleetStatus::Complete(r)) => r,
+            Ok(FleetStatus::Paused { .. }) => {
+                eprintln!("fleet run paused unexpectedly (no stop requested)");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("fleet run failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let fleet_ms = t_fleet.elapsed().as_secs_f64() * 1e3;
+        let speedup = fleet_ms / predict_ms.max(1e-9);
+        record.push("fleet_ms", fleet_ms, "ms");
+        record.push("speedup", speedup, "x");
+        let v = validate(&report, &fleet_report);
+        println!(
+            "validate: {} checks, {} disagreements; predict {predict_ms:.1} ms vs \
+             fleet {fleet_ms:.1} ms ({speedup:.0}x)",
+            v.checks,
+            v.failures.len(),
+        );
+        for f in &v.failures {
+            eprintln!("  disagreement: {f}");
+        }
+        if !v.passed() {
+            eprintln!("validation failed: prediction outside tolerance bands");
+            failed = true;
+        }
+    }
+
+    match record.write() {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(e) => {
+            eprintln!("BENCH record write failed: {e}");
+            failed = true;
+        }
+    }
+    if let Err(e) = record.append_history() {
+        eprintln!("bench history append failed: {e}");
+        failed = true;
+    }
+
+    let wall_s = total.elapsed().as_secs_f64();
+    let manifest = RunManifest {
+        command: args.join(" "),
+        scale: format!("{:?}", scenario.scale).to_lowercase(),
+        // Pure prediction synthesizes no traces; --validate sweeps one
+        // per device, exactly like `experiments fleet`.
+        traces: if validated {
+            scenario.total_devices()
+        } else {
+            0
+        },
+        invocations: 1,
+        seed: scenario.seed,
+        jobs: jobs::global_jobs() as u64,
+        telemetry: false,
+        wall_s,
+        artifacts,
+    };
+    if let Err(e) = save(MANIFEST_FILE, &manifest.to_json(), &mut Vec::new()) {
+        eprintln!("manifest write failed: {e}");
+        failed = true;
+    }
+    println!("total: {wall_s:.2}s");
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }

@@ -1,0 +1,388 @@
+//! Static basic-block graph over a compiled [`Program`].
+//!
+//! The analytic predictor (wn-analyze) needs a *static* view of the
+//! kernel's control structure with per-block cycle costs: how many
+//! cycles a device executes between points where an outage can
+//! interleave with substrate work. The block boundaries here mirror the
+//! simulator's fused-block rule exactly (stores, branches, `SKM`,
+//! `HALT`, and static PC writes terminate a block; the memo unit is
+//! treated as disabled, since the predictor declares memoized cohorts
+//! unsupported) plus the classic leader rule: any static branch or skim
+//! target starts a fresh block, so a block is entered only at its head.
+//!
+//! Costs are priced by a caller-supplied `Fn(&Instr) -> u64` so this
+//! crate stays independent of the simulator's `CycleModel`; wn-analyze
+//! plugs in the PR 4 base-cost table.
+
+use std::collections::HashMap;
+
+use wn_isa::{Instr, Program, Reg};
+
+/// True when `instr` statically writes the PC through its destination
+/// register — an indirect control transfer. Mirrors the simulator's
+/// block-builder terminator rule; kept in sync by the cross-check test
+/// in wn-analyze (a fault-free tape never observes a block-interior
+/// control transfer).
+fn writes_pc(instr: &Instr) -> bool {
+    let rd = match *instr {
+        Instr::Ldr { rt, .. }
+        | Instr::Ldrh { rt, .. }
+        | Instr::Ldrb { rt, .. }
+        | Instr::LdrReg { rt, .. }
+        | Instr::LdrhReg { rt, .. }
+        | Instr::LdrshReg { rt, .. }
+        | Instr::LdrbReg { rt, .. } => rt,
+        Instr::MovImm { rd, .. }
+        | Instr::Mov { rd, .. }
+        | Instr::Mvn { rd, .. }
+        | Instr::Add { rd, .. }
+        | Instr::AddImm { rd, .. }
+        | Instr::Sub { rd, .. }
+        | Instr::SubImm { rd, .. }
+        | Instr::Rsb { rd, .. }
+        | Instr::Mul { rd, .. }
+        | Instr::MulAsp { rd, .. }
+        | Instr::AddAsv { rd, .. }
+        | Instr::SubAsv { rd, .. }
+        | Instr::And { rd, .. }
+        | Instr::Orr { rd, .. }
+        | Instr::Eor { rd, .. }
+        | Instr::Bic { rd, .. }
+        | Instr::AndImm { rd, .. }
+        | Instr::LslImm { rd, .. }
+        | Instr::LsrImm { rd, .. }
+        | Instr::AsrImm { rd, .. }
+        | Instr::LslReg { rd, .. }
+        | Instr::LsrReg { rd, .. }
+        | Instr::AsrReg { rd, .. } => rd,
+        _ => return false,
+    };
+    rd == Reg::PC
+}
+
+/// True when `instr` must end a block — the simulator's fused-block
+/// rule with the memo unit disabled.
+pub fn terminates_block(instr: &Instr) -> bool {
+    instr.is_store()
+        || instr.is_branch()
+        || matches!(instr, Instr::Skm { .. } | Instr::Halt)
+        || writes_pc(instr)
+}
+
+/// One basic block: a half-open instruction-index range `[start, end)`
+/// entered only at `start`, with its statically known successors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// First instruction index of the block.
+    pub start: u32,
+    /// One past the last instruction index.
+    pub end: u32,
+    /// Statically known successor instruction indices (block heads):
+    /// fall-through and/or branch / skim targets. Empty for `HALT`
+    /// blocks and indirect transfers (`BX`, PC writes), whose targets
+    /// are runtime values.
+    pub successors: Vec<u32>,
+}
+
+impl Block {
+    /// Number of instructions in the block.
+    pub fn len(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// True when the block holds no instructions (never produced by
+    /// [`BlockGraph::build`]; here for clippy's `len`/`is_empty` pair).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// A static partition of a program's instruction stream into basic
+/// blocks, with PC → block lookup and caller-priced per-block costs.
+#[derive(Debug, Clone)]
+pub struct BlockGraph {
+    blocks: Vec<Block>,
+    /// Instruction index → index into `blocks` of the containing block.
+    block_of: Vec<u32>,
+}
+
+impl BlockGraph {
+    /// Partitions `program.instrs` into basic blocks.
+    ///
+    /// Leaders: instruction 0, the program entry, every static branch /
+    /// call / skim target, and every instruction following a
+    /// terminator. Every instruction belongs to exactly one block.
+    pub fn build(program: &Program) -> BlockGraph {
+        let n = program.instrs.len();
+        if n == 0 {
+            return BlockGraph {
+                blocks: Vec::new(),
+                block_of: Vec::new(),
+            };
+        }
+        let mut leader = vec![false; n];
+        leader[0] = true;
+        if (program.entry as usize) < n {
+            leader[program.entry as usize] = true;
+        }
+        for (i, instr) in program.instrs.iter().enumerate() {
+            if let Some(t) = instr.branch_target() {
+                if (t as usize) < n {
+                    leader[t as usize] = true;
+                }
+            }
+            if terminates_block(instr) && i + 1 < n {
+                leader[i + 1] = true;
+            }
+        }
+
+        let mut blocks = Vec::new();
+        let mut block_of = vec![0u32; n];
+        let mut start = 0usize;
+        for i in 0..n {
+            let block_ends = i + 1 == n || leader[i + 1];
+            block_of[i] = blocks.len() as u32;
+            if !block_ends {
+                continue;
+            }
+            let last = &program.instrs[i];
+            let mut successors = Vec::new();
+            match last {
+                Instr::Halt => {}
+                Instr::BCond { target, .. } => {
+                    // Conditional: fall-through plus the taken target.
+                    if i + 1 < n {
+                        successors.push((i + 1) as u32);
+                    }
+                    successors.push(*target);
+                }
+                Instr::B { target } | Instr::Bl { target } => successors.push(*target),
+                Instr::Skm { target } => {
+                    // SKM arms a skim point and falls through; the jump
+                    // to `target` happens only on a post-outage
+                    // restore, but the edge is part of the static
+                    // graph the predictor reasons over.
+                    if i + 1 < n {
+                        successors.push((i + 1) as u32);
+                    }
+                    successors.push(*target);
+                }
+                Instr::Bx { .. } => {}
+                instr if writes_pc(instr) => {}
+                _ => {
+                    // Store or plain fall-through into the next leader.
+                    if i + 1 < n {
+                        successors.push((i + 1) as u32);
+                    }
+                }
+            }
+            successors.retain(|&t| (t as usize) < n);
+            successors.dedup();
+            blocks.push(Block {
+                start: start as u32,
+                end: (i + 1) as u32,
+                successors,
+            });
+            start = i + 1;
+        }
+        BlockGraph { blocks, block_of }
+    }
+
+    /// The blocks, in instruction order.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True when the program had no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Index (into [`BlockGraph::blocks`]) of the block containing
+    /// instruction `pc`, or `None` when out of range.
+    pub fn block_of_pc(&self, pc: u32) -> Option<usize> {
+        self.block_of.get(pc as usize).map(|&b| b as usize)
+    }
+
+    /// Per-block cycle costs under a caller-supplied per-instruction
+    /// price (e.g. the simulator's base-cost table). Indexed like
+    /// [`BlockGraph::blocks`].
+    pub fn block_cycles(&self, program: &Program, cost: impl Fn(&Instr) -> u64) -> Vec<u64> {
+        self.blocks
+            .iter()
+            .map(|b| {
+                program.instrs[b.start as usize..b.end as usize]
+                    .iter()
+                    .map(&cost)
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Histogram of block lengths (instructions → block count); handy
+    /// for reporting how fine the outage-interleaving granularity is.
+    pub fn length_histogram(&self) -> HashMap<u32, usize> {
+        let mut h = HashMap::new();
+        for b in &self.blocks {
+            *h.entry(b.len()).or_insert(0) += 1;
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wn_isa::Cond;
+
+    fn prog(instrs: Vec<Instr>) -> Program {
+        Program {
+            instrs,
+            ..Program::default()
+        }
+    }
+
+    #[test]
+    fn straight_line_with_store_splits_at_store() {
+        let p = prog(vec![
+            Instr::MovImm {
+                rd: Reg::R0,
+                imm: 1,
+            },
+            Instr::AddImm {
+                rd: Reg::R0,
+                rn: Reg::R0,
+                imm: 1,
+            },
+            Instr::Str {
+                rt: Reg::R0,
+                rn: Reg::R1,
+                off: 0,
+            },
+            Instr::Halt,
+        ]);
+        let g = BlockGraph::build(&p);
+        assert_eq!(g.len(), 2);
+        assert_eq!((g.blocks()[0].start, g.blocks()[0].end), (0, 3));
+        assert_eq!(g.blocks()[0].successors, vec![3]);
+        assert_eq!((g.blocks()[1].start, g.blocks()[1].end), (3, 4));
+        assert!(g.blocks()[1].successors.is_empty());
+        // Every instruction maps to exactly one block, in order.
+        assert_eq!(g.block_of_pc(0), Some(0));
+        assert_eq!(g.block_of_pc(2), Some(0));
+        assert_eq!(g.block_of_pc(3), Some(1));
+        assert_eq!(g.block_of_pc(4), None);
+    }
+
+    #[test]
+    fn branch_targets_become_leaders() {
+        // 0: mov; 1: bcond -> 3; 2: mov (fall-through); 3: halt
+        let p = prog(vec![
+            Instr::MovImm {
+                rd: Reg::R0,
+                imm: 0,
+            },
+            Instr::BCond {
+                cond: Cond::Eq,
+                target: 3,
+            },
+            Instr::MovImm {
+                rd: Reg::R1,
+                imm: 1,
+            },
+            Instr::Halt,
+        ]);
+        let g = BlockGraph::build(&p);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.blocks()[0].successors, vec![2, 3]);
+        assert_eq!(g.blocks()[1].successors, vec![3]);
+        assert!(g.blocks()[2].successors.is_empty());
+    }
+
+    #[test]
+    fn skm_has_fallthrough_and_skim_edge() {
+        let p = prog(vec![
+            Instr::Skm { target: 2 },
+            Instr::MovImm {
+                rd: Reg::R0,
+                imm: 7,
+            },
+            Instr::Halt,
+        ]);
+        let g = BlockGraph::build(&p);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.blocks()[0].successors, vec![1, 2]);
+    }
+
+    #[test]
+    fn pc_write_terminates_with_no_static_successors() {
+        let p = prog(vec![
+            Instr::Mov {
+                rd: Reg::PC,
+                rm: Reg::R0,
+            },
+            Instr::Halt,
+        ]);
+        let g = BlockGraph::build(&p);
+        assert_eq!(g.len(), 2);
+        assert!(g.blocks()[0].successors.is_empty());
+    }
+
+    #[test]
+    fn block_cycles_sum_per_instruction_costs() {
+        let p = prog(vec![
+            Instr::MovImm {
+                rd: Reg::R0,
+                imm: 1,
+            },
+            Instr::Mul {
+                rd: Reg::R0,
+                rn: Reg::R0,
+                rm: Reg::R0,
+            },
+            Instr::Halt,
+        ]);
+        let g = BlockGraph::build(&p);
+        let costs = g.block_cycles(&p, |i| match i {
+            Instr::Mul { .. } => 32,
+            _ => 1,
+        });
+        assert_eq!(costs.len(), g.len());
+        assert_eq!(costs.iter().sum::<u64>(), 34);
+    }
+
+    #[test]
+    fn partition_covers_program_exactly() {
+        let p = prog(vec![
+            Instr::MovImm {
+                rd: Reg::R0,
+                imm: 0,
+            },
+            Instr::B { target: 3 },
+            Instr::MovImm {
+                rd: Reg::R1,
+                imm: 1,
+            },
+            Instr::Str {
+                rt: Reg::R0,
+                rn: Reg::R1,
+                off: 0,
+            },
+            Instr::Halt,
+        ]);
+        let g = BlockGraph::build(&p);
+        let covered: u32 = g.blocks().iter().map(Block::len).sum();
+        assert_eq!(covered as usize, p.instrs.len());
+        let mut prev_end = 0;
+        for b in g.blocks() {
+            assert_eq!(b.start, prev_end);
+            assert!(b.end > b.start);
+            prev_end = b.end;
+        }
+    }
+}

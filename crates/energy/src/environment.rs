@@ -309,6 +309,234 @@ fn exp_sample(rng: &mut StdRng, mean: f64) -> f64 {
     -mean * u.ln()
 }
 
+/// Closed-form stationary statistics of a harvesting environment — the
+/// analytic counterpart of [`EnvModel::synthesize`], used by the
+/// `wn-analyze` prediction layer instead of drawing traces.
+///
+/// "On" means the harvester delivers power above
+/// [`HarvestStats::on_threshold_w`] (a burst, daylight, an impulse);
+/// "off" is the complementary dead interval (a gap, night, quiet).
+/// The closed forms account for the duration clamp the synthesizer
+/// applies (`exp_sample(..).clamp(1.0, 20.0 * mean)` milliseconds), so
+/// they describe the *synthesized* process, not the ideal exponential.
+/// Two residual deviations remain, both bounded and covered by the
+/// property tests' tolerance: segment durations are quantized to whole
+/// 1 kHz samples (`round().max(1)`, ≤ half a sample of bias per
+/// segment), and `exp_sample`'s `u ≥ 1e-9` floor truncates the extreme
+/// upper tail (beyond `20.7×` the mean, already removed by the clamp).
+pub trait HarvestStats {
+    /// Mean duration of one harvesting-active interval, seconds.
+    fn mean_on_duration_s(&self) -> f64;
+
+    /// Mean duration of one harvest-dead interval, seconds.
+    fn mean_off_duration_s(&self) -> f64;
+
+    /// Long-run fraction of time the harvester is active.
+    fn duty_cycle(&self) -> f64 {
+        let on = self.mean_on_duration_s();
+        let off = self.mean_off_duration_s();
+        if on + off <= 0.0 {
+            return 0.0;
+        }
+        on / (on + off)
+    }
+
+    /// Power level separating "on" from "off" samples, watts. Chosen
+    /// per family so amplitude jitter cannot cross it (e.g. RF burst
+    /// levels are ≥ 0.4× the nominal level; the threshold sits at
+    /// 0.2×).
+    fn on_threshold_w(&self) -> f64;
+
+    /// Mean harvested power conditional on the harvester being active,
+    /// watts.
+    fn active_power_w(&self) -> f64;
+
+    /// Clamp-aware long-run mean power of the synthesized process,
+    /// watts. This can differ slightly from the *configured* mean
+    /// ([`EnvModel::expected_mean_power_w`]) because the duration clamp
+    /// shifts the realized duty cycle.
+    fn stationary_mean_power_w(&self) -> f64 {
+        let duty = self.duty_cycle();
+        self.active_power_w() * duty + self.off_floor_power_w() * (1.0 - duty)
+    }
+
+    /// Power delivered during "off" intervals (zero for RF gaps and
+    /// solar nights; the leakage baseline for piezo).
+    fn off_floor_power_w(&self) -> f64 {
+        0.0
+    }
+
+    /// Asymptotic variance rate of accumulated harvest energy: for
+    /// large `T`, `Var(∫₀ᵀ P dt) ≈ rate · T` (units W²·s). Computed
+    /// with the renewal-reward central limit theorem over one
+    /// on/off cycle. Zero for solar-diurnal, whose per-device
+    /// variability is the deterministic phase offset, not a renewal
+    /// process — callers quantize over the phase instead.
+    fn harvest_variance_rate(&self) -> f64;
+}
+
+/// Mean of the synthesizer's clamped exponential: `X ~ Exp(mean_ms)`
+/// clamped to `[1.0, 20·mean_ms]` milliseconds.
+/// `E[min(max(X,a),b)] = a + μ(e^(−a/μ) − e^(−b/μ))`.
+fn clamped_exp_mean_ms(mean_ms: f64) -> f64 {
+    if mean_ms <= 0.0 {
+        return 1.0;
+    }
+    let (a, mu) = (1.0f64, mean_ms);
+    let b = (20.0 * mu).max(a);
+    a + mu * ((-a / mu).exp() - (-b / mu).exp())
+}
+
+/// Second moment of the same clamped exponential:
+/// `E[Z²] = a² + e^(−a/μ)(2aμ + 2μ²) − e^(−b/μ)(2bμ + 2μ²)`.
+fn clamped_exp_second_moment_ms2(mean_ms: f64) -> f64 {
+    if mean_ms <= 0.0 {
+        return 1.0;
+    }
+    let (a, mu) = (1.0f64, mean_ms);
+    let b = (20.0 * mu).max(a);
+    a * a + (-a / mu).exp() * (2.0 * a * mu + 2.0 * mu * mu)
+        - (-b / mu).exp() * (2.0 * b * mu + 2.0 * mu * mu)
+}
+
+fn clamped_exp_var_ms2(mean_ms: f64) -> f64 {
+    let m = clamped_exp_mean_ms(mean_ms);
+    (clamped_exp_second_moment_ms2(mean_ms) - m * m).max(0.0)
+}
+
+/// Smith's renewal-reward variance rate for an alternating on/off
+/// process: cycles of length `L = D + G` carry reward `R` (energy, J)
+/// with the given moments; the asymptotic rate is
+/// `(Var R − 2c·Cov(R,L) + c²·Var L) / E[L]` with `c = E[R]/E[L]`.
+fn renewal_variance_rate(
+    mean_cycle_s: f64,
+    var_cycle_s2: f64,
+    mean_reward_j: f64,
+    var_reward_j2: f64,
+    cov_reward_cycle: f64,
+) -> f64 {
+    if mean_cycle_s <= 0.0 {
+        return 0.0;
+    }
+    let c = mean_reward_j / mean_cycle_s;
+    let v = var_reward_j2 - 2.0 * c * cov_reward_cycle + c * c * var_cycle_s2;
+    (v / mean_cycle_s).max(0.0)
+}
+
+impl HarvestStats for EnvModel {
+    fn mean_on_duration_s(&self) -> f64 {
+        match *self {
+            EnvModel::RfBursty { mean_burst_ms, .. } => clamped_exp_mean_ms(mean_burst_ms) * 1e-3,
+            EnvModel::SolarDiurnal { day_s, .. } => day_s / 2.0,
+            EnvModel::PiezoImpulse { impulse_ms, .. } => impulse_ms.max(1.0) * 1e-3,
+        }
+    }
+
+    fn mean_off_duration_s(&self) -> f64 {
+        match *self {
+            EnvModel::RfBursty { mean_gap_ms, .. } => clamped_exp_mean_ms(mean_gap_ms) * 1e-3,
+            EnvModel::SolarDiurnal { day_s, .. } => day_s / 2.0,
+            EnvModel::PiezoImpulse { mean_gap_ms, .. } => clamped_exp_mean_ms(mean_gap_ms) * 1e-3,
+        }
+    }
+
+    fn on_threshold_w(&self) -> f64 {
+        match *self {
+            // Burst levels are `on_level · (0.4 + 1.2U)`, so ≥ 0.4×; the
+            // gap floor is exactly zero. Halfway below the lowest burst.
+            EnvModel::RfBursty {
+                mean_power_w,
+                mean_burst_ms,
+                mean_gap_ms,
+            } => {
+                let duty = mean_burst_ms / (mean_burst_ms + mean_gap_ms);
+                0.2 * mean_power_w / duty.max(1e-12)
+            }
+            // Any positive sun sample counts as daylight.
+            EnvModel::SolarDiurnal { .. } => 0.0,
+            // Impulse samples are ≥ 0.7× the impulse level; split the
+            // range between the baseline and the weakest impulse.
+            EnvModel::PiezoImpulse {
+                baseline_w,
+                impulse_w,
+                ..
+            } => baseline_w + 0.35 * (impulse_w - baseline_w).max(0.0),
+        }
+    }
+
+    fn active_power_w(&self) -> f64 {
+        match *self {
+            // The amplitude factor `0.4 + 1.2U` has mean exactly 1.
+            EnvModel::RfBursty {
+                mean_power_w,
+                mean_burst_ms,
+                mean_gap_ms,
+            } => {
+                let duty = mean_burst_ms / (mean_burst_ms + mean_gap_ms);
+                mean_power_w / duty.max(1e-12)
+            }
+            // Mean of sin over its positive half-period is 2/π; flicker
+            // `0.8 + 0.4U` has mean 1.
+            EnvModel::SolarDiurnal { peak_power_w, .. } => {
+                2.0 * peak_power_w / std::f64::consts::PI
+            }
+            // Per-sample jitter `0.7 + 0.6U` has mean 1.
+            EnvModel::PiezoImpulse { impulse_w, .. } => impulse_w,
+        }
+    }
+
+    fn off_floor_power_w(&self) -> f64 {
+        match *self {
+            EnvModel::PiezoImpulse { baseline_w, .. } => baseline_w,
+            _ => 0.0,
+        }
+    }
+
+    fn harvest_variance_rate(&self) -> f64 {
+        match *self {
+            EnvModel::RfBursty {
+                mean_power_w,
+                mean_burst_ms,
+                mean_gap_ms,
+            } => {
+                let duty = mean_burst_ms / (mean_burst_ms + mean_gap_ms);
+                let a = mean_power_w / duty.max(1e-12); // nominal burst level, W
+                let d = clamped_exp_mean_ms(mean_burst_ms) * 1e-3;
+                let d2 = clamped_exp_second_moment_ms2(mean_burst_ms) * 1e-6;
+                let var_g = clamped_exp_var_ms2(mean_gap_ms) * 1e-6;
+                // Reward per cycle R = a·A·D with A ~ U[0.4, 1.6]
+                // (E[A] = 1, E[A²] = 1.12), D the clamped burst length.
+                let var_r = a * a * (1.12 * d2 - d * d);
+                // Cov(A·D, D + G) = E[A]·Var(D) with G independent.
+                let cov = a * (d2 - d * d);
+                let mean_l = d + clamped_exp_mean_ms(mean_gap_ms) * 1e-3;
+                let var_l = (d2 - d * d) + var_g;
+                renewal_variance_rate(mean_l, var_l, a * d, var_r, cov)
+            }
+            EnvModel::SolarDiurnal { .. } => 0.0,
+            EnvModel::PiezoImpulse {
+                baseline_w,
+                impulse_w,
+                impulse_ms,
+                mean_gap_ms,
+            } => {
+                // Decompose into `baseline + (impulse − baseline)·1[on]`:
+                // the baseline is deterministic, and the indicator
+                // process has a *fixed* on duration, so all variance
+                // comes from the gap lengths. (Per-sample amplitude
+                // jitter decorrelates at 1 kHz and contributes
+                // negligibly at the horizons the predictor integrates
+                // over.)
+                let excess = (impulse_w - baseline_w).max(0.0);
+                let d = impulse_ms.max(1.0) * 1e-3;
+                let g = clamped_exp_mean_ms(mean_gap_ms) * 1e-3;
+                let var_g = clamped_exp_var_ms2(mean_gap_ms) * 1e-6;
+                renewal_variance_rate(d + g, var_g, excess * d, 0.0, 0.0)
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -420,6 +648,67 @@ mod tests {
         let segs = t.segment_count().unwrap();
         // Impulses are per-sample jittered (length-1 runs) but sparse.
         assert!(segs < 8000, "piezo segments {segs}");
+    }
+
+    #[test]
+    fn clamped_exp_moments_match_numeric_integration() {
+        // Pin the closed forms against brute-force integration of the
+        // clamped density: E[Z] and E[Z²] for Z = clamp(X, 1, 20μ).
+        for mean in [2.0, 5.0, 40.0, 100.0, 400.0] {
+            let (a, b) = (1.0f64, 20.0 * mean);
+            let steps = 4_000_000;
+            let dx = b * 1.2 / steps as f64;
+            let (mut m1, mut m2) = (0.0, 0.0);
+            for i in 0..steps {
+                let x = (i as f64 + 0.5) * dx;
+                let z = x.clamp(a, b);
+                let p = (-x / mean).exp() / mean * dx;
+                m1 += z * p;
+                m2 += z * z * p;
+            }
+            // Mass beyond the integration horizon sits at the clamp.
+            let tail = (-(b * 1.2) / mean).exp();
+            m1 += b * tail;
+            m2 += b * b * tail;
+            let cm1 = clamped_exp_mean_ms(mean);
+            let cm2 = clamped_exp_second_moment_ms2(mean);
+            assert!((cm1 - m1).abs() < 1e-3 * m1, "mean {mean}: {cm1} vs {m1}");
+            assert!((cm2 - m2).abs() < 1e-3 * m2, "mean {mean}: {cm2} vs {m2}");
+        }
+    }
+
+    #[test]
+    fn harvest_stats_default_families_are_sane() {
+        let rf = EnvModel::rf_default();
+        // 40 ms clamped-exp bursts: the 1 ms floor lifts the mean a bit.
+        assert!((rf.mean_on_duration_s() - 0.040).abs() < 0.002);
+        assert!((rf.duty_cycle() - 0.5).abs() < 0.01);
+        // Clamp-symmetric geometry keeps the stationary mean at the
+        // configured mean power.
+        let expect = rf.expected_mean_power_w();
+        assert!((rf.stationary_mean_power_w() - expect).abs() < 0.02 * expect);
+        assert!(rf.harvest_variance_rate() > 0.0);
+
+        let solar = EnvModel::solar_default();
+        assert_eq!(solar.mean_on_duration_s(), 10.0);
+        assert_eq!(solar.duty_cycle(), 0.5);
+        assert!((solar.stationary_mean_power_w() - solar.expected_mean_power_w()).abs() < 1e-12);
+        assert_eq!(solar.harvest_variance_rate(), 0.0);
+
+        let piezo = EnvModel::piezo_default();
+        assert_eq!(piezo.mean_on_duration_s(), 0.005);
+        assert!(piezo.duty_cycle() < 0.06);
+        let expect = piezo.expected_mean_power_w();
+        // The gap clamp shifts piezo's realized duty by a few percent.
+        assert!(
+            (piezo.stationary_mean_power_w() - expect).abs() < 0.05 * expect,
+            "piezo stationary {} vs configured {}",
+            piezo.stationary_mean_power_w(),
+            expect
+        );
+        // Thresholds separate the levels the synthesizer can emit.
+        assert!(piezo.on_threshold_w() > PowerTrace::RF_BURST_POWER_W * 0.01);
+        assert!(piezo.on_threshold_w() < PowerTrace::RF_BURST_POWER_W * 4.0 * 0.7);
     }
 
     #[test]

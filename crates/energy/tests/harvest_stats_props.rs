@@ -1,0 +1,201 @@
+//! Property tests pinning the closed-form [`HarvestStats`] to the
+//! empirical statistics of [`EnvModel::synthesize`] traces: mean on/off
+//! durations and duty cycle, all three families, across the parameter
+//! ranges fleet scenarios can reach. Seeded and bounded: every case
+//! measures whole on/off runs from a synthesized trace (edge-truncated
+//! runs dropped) and compares against the clamp-aware closed forms
+//! within a tolerance that covers sampling error (hundreds of runs per
+//! trace) plus the 1 kHz duration quantization.
+
+use proptest::prelude::*;
+
+use wn_energy::{EnvModel, HarvestStats};
+
+const SAMPLE_HZ: f64 = 1000.0;
+
+/// Mean on/off run lengths (seconds) and duty cycle measured from a
+/// synthesized trace, thresholded at the model's own on-threshold.
+/// The first and last runs are dropped — they are truncated by the
+/// trace edges and would bias the means low.
+struct Measured {
+    mean_on_s: f64,
+    mean_off_s: f64,
+    duty: f64,
+    runs: usize,
+}
+
+fn measure(model: &EnvModel, seed: u64, duration_s: f64) -> Measured {
+    let trace = model.synthesize(seed, duration_s);
+    let threshold = model.on_threshold_w();
+    let n = trace.len();
+    let mut runs: Vec<(bool, u64)> = Vec::new();
+    let mut on_samples = 0u64;
+    for i in 0..n {
+        let on = trace.power_at(i as f64 / SAMPLE_HZ) > threshold;
+        on_samples += on as u64;
+        match runs.last_mut() {
+            Some((state, len)) if *state == on => *len += 1,
+            _ => runs.push((on, 1)),
+        }
+    }
+    // Drop edge-truncated runs.
+    let interior = if runs.len() > 2 {
+        &runs[1..runs.len() - 1]
+    } else {
+        &runs[..]
+    };
+    let mean_of = |want: bool| {
+        let lens: Vec<u64> = interior
+            .iter()
+            .filter(|(s, _)| *s == want)
+            .map(|&(_, l)| l)
+            .collect();
+        if lens.is_empty() {
+            0.0
+        } else {
+            lens.iter().sum::<u64>() as f64 / lens.len() as f64 / SAMPLE_HZ
+        }
+    };
+    Measured {
+        mean_on_s: mean_of(true),
+        mean_off_s: mean_of(false),
+        duty: on_samples as f64 / n as f64,
+        runs: interior.len(),
+    }
+}
+
+/// Relative tolerance plus an absolute floor covering the 1 kHz
+/// quantization (durations are rounded to whole samples, min 1).
+fn close(measured: f64, predicted: f64, rel: f64, abs_s: f64) -> bool {
+    (measured - predicted).abs() <= rel * predicted + abs_s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// RF-bursty: exponential bursts and gaps (clamped to
+    /// `[1 ms, 20×mean]`) — closed-form means and duty cycle match the
+    /// synthesized process.
+    #[test]
+    fn rf_on_off_stats_match_closed_form(
+        mean_power_uw in 10.0f64..500.0,
+        burst_ms in 8.0f64..100.0,
+        gap_ms in 8.0f64..100.0,
+        seed in 0u64..10_000,
+    ) {
+        let model = EnvModel::RfBursty {
+            mean_power_w: mean_power_uw * 1e-6,
+            mean_burst_ms: burst_ms,
+            mean_gap_ms: gap_ms,
+        };
+        let m = measure(&model, seed, 240.0);
+        // 240 s over ≤ 200 ms cycles gives ≥ ~1000 interior runs; the
+        // exp-mean estimator's sampling error is a few percent.
+        if m.runs < 200 { return; }
+        prop_assert!(
+            close(m.mean_on_s, model.mean_on_duration_s(), 0.20, 1.5e-3),
+            "on: measured {} vs closed-form {}", m.mean_on_s, model.mean_on_duration_s()
+        );
+        prop_assert!(
+            close(m.mean_off_s, model.mean_off_duration_s(), 0.20, 1.5e-3),
+            "off: measured {} vs closed-form {}", m.mean_off_s, model.mean_off_duration_s()
+        );
+        prop_assert!(
+            (m.duty - model.duty_cycle()).abs() <= 0.08,
+            "duty: measured {} vs closed-form {}", m.duty, model.duty_cycle()
+        );
+    }
+
+    /// Solar-diurnal: deterministic half-sinusoid days — on/off runs are
+    /// exactly half a day each and the duty cycle is 1/2.
+    #[test]
+    fn solar_on_off_stats_match_closed_form(
+        peak_power_uw in 10.0f64..500.0,
+        day_s in 4.0f64..20.0,
+        seed in 0u64..10_000,
+    ) {
+        let model = EnvModel::SolarDiurnal {
+            peak_power_w: peak_power_uw * 1e-6,
+            day_s,
+        };
+        // ≥ 10 full days so edge truncation is amortized.
+        let m = measure(&model, seed, day_s * 12.0);
+        if m.runs < 4 { return; }
+        // Day boundaries are sample-quantized; the closed form is exact
+        // otherwise.
+        prop_assert!(
+            close(m.mean_on_s, model.mean_on_duration_s(), 0.02, 2e-3),
+            "on: measured {} vs closed-form {}", m.mean_on_s, model.mean_on_duration_s()
+        );
+        prop_assert!(
+            close(m.mean_off_s, model.mean_off_duration_s(), 0.02, 2e-3),
+            "off: measured {} vs closed-form {}", m.mean_off_s, model.mean_off_duration_s()
+        );
+        prop_assert!(
+            (m.duty - model.duty_cycle()).abs() <= 0.02,
+            "duty: measured {} vs closed-form {}", m.duty, model.duty_cycle()
+        );
+    }
+
+    /// Piezo-impulse: fixed-length impulses over clamped-exponential
+    /// quiet gaps above a leakage baseline.
+    #[test]
+    fn piezo_on_off_stats_match_closed_form(
+        baseline_uw in 0.0f64..5.0,
+        impulse_uw in 200.0f64..1000.0,
+        impulse_ms in 2.0f64..15.0,
+        gap_ms in 25.0f64..250.0,
+        seed in 0u64..10_000,
+    ) {
+        let model = EnvModel::PiezoImpulse {
+            baseline_w: baseline_uw * 1e-6,
+            impulse_w: impulse_uw * 1e-6,
+            impulse_ms,
+            mean_gap_ms: gap_ms,
+        };
+        let m = measure(&model, seed, 240.0);
+        if m.runs < 100 { return; }
+        prop_assert!(
+            close(m.mean_on_s, model.mean_on_duration_s(), 0.05, 1.5e-3),
+            "on: measured {} vs closed-form {}", m.mean_on_s, model.mean_on_duration_s()
+        );
+        prop_assert!(
+            close(m.mean_off_s, model.mean_off_duration_s(), 0.20, 1.5e-3),
+            "off: measured {} vs closed-form {}", m.mean_off_s, model.mean_off_duration_s()
+        );
+        prop_assert!(
+            (m.duty - model.duty_cycle()).abs() <= 0.04,
+            "duty: measured {} vs closed-form {}", m.duty, model.duty_cycle()
+        );
+    }
+}
+
+/// The clamp-aware stationary mean tracks long-trace realized power
+/// tighter than the configured mean does — the closed form the
+/// predictor integrates against is the synthesized process, not the
+/// ideal one.
+#[test]
+fn stationary_mean_tracks_realized_power() {
+    for model in [
+        EnvModel::rf_default(),
+        EnvModel::solar_default(),
+        EnvModel::piezo_default(),
+        EnvModel::PiezoImpulse {
+            baseline_w: 2.5e-6,
+            impulse_w: 2e-3,
+            impulse_ms: 5.0,
+            mean_gap_ms: 40.0,
+        },
+    ] {
+        let realized: f64 = (20..26)
+            .map(|seed| model.synthesize(seed, 300.0).mean_power())
+            .sum::<f64>()
+            / 6.0;
+        let stat = model.stationary_mean_power_w();
+        assert!(
+            (realized - stat).abs() <= 0.10 * stat,
+            "{}: realized {realized:e} vs stationary {stat:e}",
+            model.name()
+        );
+    }
+}

@@ -237,6 +237,66 @@ impl FixedSketch {
         Some(max)
     }
 
+    /// The value range covered by bucket `i ∈ [0, BUCKETS)`, as a
+    /// half-open interval `[lo, hi)`. The underflow bucket covers
+    /// `[0, LO)`, the overflow bucket `[HI, ∞)`.
+    pub fn bucket_bounds(i: usize) -> (f64, f64) {
+        assert!(i < Self::BUCKETS, "bucket {i} out of range");
+        if i == 0 {
+            return (0.0, Self::LO);
+        }
+        if i == Self::BUCKETS - 1 {
+            return (Self::HI, f64::INFINITY);
+        }
+        let lo = Self::LO * 10f64.powf((i - 1) as f64 / Self::PER_DECADE as f64);
+        let hi = Self::LO * 10f64.powf(i as f64 / Self::PER_DECADE as f64);
+        (lo, hi)
+    }
+
+    /// Read-only view of the per-bucket counts (length
+    /// [`FixedSketch::BUCKETS`], aligned with [`FixedSketch::bucket_bounds`]).
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Cumulative counts: `cumulative()[i]` is the number of recorded
+    /// values in buckets `0..=i`; the last entry equals
+    /// [`FixedSketch::count`].
+    pub fn cumulative(&self) -> Vec<u64> {
+        let mut acc = 0u64;
+        self.counts
+            .iter()
+            .map(|&c| {
+                acc += c;
+                acc
+            })
+            .collect()
+    }
+
+    /// Empirical CDF at `x`: the fraction of recorded values in buckets
+    /// entirely at or below `x` (bucket-resolution, so exact at bucket
+    /// boundaries and conservative inside a bucket). `None` on an
+    /// empty sketch.
+    pub fn cdf_at(&self, x: f64) -> Option<f64> {
+        let n = self.count();
+        if n == 0 || !x.is_finite() {
+            return None;
+        }
+        if x < 0.0 {
+            return Some(0.0);
+        }
+        let mut covered = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let (_, hi) = Self::bucket_bounds(i);
+            if hi <= x {
+                covered += c;
+            } else {
+                break;
+            }
+        }
+        Some(covered as f64 / n as f64)
+    }
+
     pub(crate) fn save(&self, w: &mut StateWriter) {
         self.stats.save(w);
         // Sparse: most buckets are empty for clustered metrics.
@@ -468,6 +528,63 @@ mod tests {
         s.record(1e12);
         assert_eq!(s.quantile(0.0), Some(1e-12));
         assert_eq!(s.quantile(1.0), Some(1e12));
+    }
+
+    #[test]
+    fn bucket_bounds_tile_the_range_and_match_bucketing() {
+        // Bounds are contiguous half-open intervals.
+        for i in 0..FixedSketch::BUCKETS - 1 {
+            let (_, hi) = FixedSketch::bucket_bounds(i);
+            let (lo_next, _) = FixedSketch::bucket_bounds(i + 1);
+            assert!(
+                (hi - lo_next).abs() <= 1e-12 * hi.abs().max(1.0),
+                "bucket {i} upper bound {hi} != bucket {} lower bound {lo_next}",
+                i + 1
+            );
+        }
+        // A value recorded into the sketch lands in the bucket whose
+        // bounds contain it.
+        let mut s = FixedSketch::new();
+        for &x in &[1e-10, 2.5e-3, 1.0, 7.7, 3.4e8, 5e9] {
+            s.record(x);
+        }
+        for (i, &c) in s.bucket_counts().iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let (lo, hi) = FixedSketch::bucket_bounds(i);
+            assert!(
+                [1e-10, 2.5e-3, 1.0, 7.7, 3.4e8, 5e9]
+                    .iter()
+                    .any(|&x| (lo..hi).contains(&x) || (i == 0 && x < FixedSketch::LO)),
+                "bucket {i} [{lo}, {hi}) holds a count but no recorded value"
+            );
+        }
+    }
+
+    #[test]
+    fn cumulative_counts_and_cdf_are_consistent() {
+        let mut s = FixedSketch::new();
+        let xs = [0.001, 0.01, 0.1, 1.0, 10.0, 100.0];
+        for &x in &xs {
+            s.record(x);
+        }
+        let cum = s.cumulative();
+        assert_eq!(cum.len(), FixedSketch::BUCKETS);
+        assert_eq!(*cum.last().unwrap(), xs.len() as u64);
+        assert!(cum.windows(2).all(|w| w[0] <= w[1]), "monotone");
+        // CDF at a decade boundary counts everything strictly below it.
+        assert_eq!(s.cdf_at(1.0), Some(3.0 / 6.0));
+        assert_eq!(s.cdf_at(1e6), Some(1.0));
+        assert_eq!(s.cdf_at(1e-6), Some(0.0));
+        assert_eq!(FixedSketch::new().cdf_at(1.0), None);
+        // The CDF never decreases.
+        let mut prev = 0.0;
+        for exp in -5..6 {
+            let c = s.cdf_at(10f64.powi(exp)).unwrap();
+            assert!(c >= prev);
+            prev = c;
+        }
     }
 
     #[test]

@@ -18,6 +18,7 @@ pub mod batch;
 pub mod checkpoint;
 pub mod codec;
 pub mod durable;
+pub mod predict;
 pub mod report;
 pub mod runner;
 pub mod scenario;
@@ -26,6 +27,10 @@ pub use agg::{FixedSketch, MetricAgg, StreamStats};
 pub use batch::FleetEngine;
 pub use checkpoint::Checkpoint;
 pub use durable::persist_atomic;
+pub use predict::{
+    check_scenario, predict_fleet, validate, CheckSummary, CohortForecast, PredictReport,
+    Validation, PREDICT_SCHEMA,
+};
 pub use report::FleetReport;
 pub use runner::{
     run_fleet, run_fleet_with, CohortAggregate, DeviceFate, DeviceOutcome, FleetError,

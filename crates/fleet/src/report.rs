@@ -87,19 +87,24 @@ impl FleetReport {
 }
 
 fn cohort_json(spec: &CohortSpec, agg: &CohortAggregate) -> String {
-    Obj::new()
-        .str("name", &spec.name)
+    spec_fields(Obj::new(), spec)
+        .raw("results", aggregate_json(agg))
+        .finish()
+}
+
+/// The scenario-derived cohort identity fields, shared with the
+/// predict report so the two documents describe cohorts identically.
+pub(crate) fn spec_fields(o: Obj, spec: &CohortSpec) -> Obj {
+    o.str("name", &spec.name)
         .str("benchmark", spec.benchmark.name())
         .str("technique", &spec.technique.to_string())
         .str("substrate", spec.substrate.name())
         .f64("capacitance_uf", spec.capacitance_uf)
         .str("environment", spec.env.name())
         .f64("env_mean_power_w", spec.env.expected_mean_power_w())
-        .raw("results", aggregate_json(agg))
-        .finish()
 }
 
-fn aggregate_json(agg: &CohortAggregate) -> String {
+pub(crate) fn aggregate_json(agg: &CohortAggregate) -> String {
     Obj::new()
         .u64("devices", agg.devices)
         .u64("completed", agg.completed)
@@ -112,11 +117,13 @@ fn aggregate_json(agg: &CohortAggregate) -> String {
         .raw("error_percent", agg.qor.to_json())
         .raw("forward_progress", agg.progress.to_json())
         .raw("outages", agg.outages.to_json())
+        .raw("checkpoints", agg.checkpoints.to_json())
+        .raw("commits", agg.commits.to_json())
         .raw("time_hist", agg.time_hist.to_json())
         .finish()
 }
 
-fn aggregate_csv(name: &str, agg: &CohortAggregate, out: &mut String) {
+pub(crate) fn aggregate_csv(name: &str, agg: &CohortAggregate, out: &mut String) {
     let mut push = |key: &str, value: String| {
         out.push_str(name);
         out.push(',');
@@ -137,6 +144,8 @@ fn aggregate_csv(name: &str, agg: &CohortAggregate, out: &mut String) {
     agg.qor.csv_rows("error_percent", &mut rows);
     agg.progress.csv_rows("forward_progress", &mut rows);
     agg.outages.csv_rows("outages", &mut rows);
+    agg.checkpoints.csv_rows("checkpoints", &mut rows);
+    agg.commits.csv_rows("commits", &mut rows);
     for row in rows.lines() {
         if let Some((key, value)) = row.split_once(',') {
             push(key, value.to_string());

@@ -64,6 +64,10 @@ pub struct DeviceOutcome {
     pub error_percent: f64,
     /// Power outages survived.
     pub outages: u64,
+    /// Checkpoints taken by the substrate.
+    pub checkpoints: u64,
+    /// Task-boundary commits.
+    pub commits: u64,
     /// Useful fraction of executed cycles:
     /// `1 − (lost + overhead) / active`.
     pub forward_progress: f64,
@@ -88,6 +92,10 @@ pub struct CohortAggregate {
     pub progress: MetricAgg,
     /// Outages per completed run.
     pub outages: MetricAgg,
+    /// Checkpoints per completed run.
+    pub checkpoints: MetricAgg,
+    /// Commits per completed run.
+    pub commits: MetricAgg,
     /// Completion times on wn-telemetry's decade buckets (comparable
     /// with run-report duration histograms).
     pub time_hist: Histogram,
@@ -115,6 +123,8 @@ impl CohortAggregate {
                 self.qor.record(d.error_percent);
                 self.progress.record(d.forward_progress);
                 self.outages.record(d.outages as f64);
+                self.checkpoints.record(d.checkpoints as f64);
+                self.commits.record(d.commits as f64);
                 self.time_hist.record(d.time_s);
             }
         }
@@ -132,6 +142,8 @@ impl CohortAggregate {
         self.qor.merge(&other.qor);
         self.progress.merge(&other.progress);
         self.outages.merge(&other.outages);
+        self.checkpoints.merge(&other.checkpoints);
+        self.commits.merge(&other.commits);
         self.time_hist.merge(&other.time_hist);
     }
 
@@ -155,6 +167,8 @@ impl CohortAggregate {
         self.qor.save(w);
         self.progress.save(w);
         self.outages.save(w);
+        self.checkpoints.save(w);
+        self.commits.save(w);
         let (counts, count, sum_s, min_s, max_s) = self.time_hist.raw_parts();
         for c in counts {
             w.u64(c);
@@ -176,6 +190,8 @@ impl CohortAggregate {
         let qor = MetricAgg::load(r)?;
         let progress = MetricAgg::load(r)?;
         let outages = MetricAgg::load(r)?;
+        let checkpoints = MetricAgg::load(r)?;
+        let commits = MetricAgg::load(r)?;
         let mut counts = [0u64; Histogram::BUCKETS];
         for c in &mut counts {
             *c = r.u64()?;
@@ -192,6 +208,8 @@ impl CohortAggregate {
             qor,
             progress,
             outages,
+            checkpoints,
+            commits,
             time_hist,
         })
     }
@@ -494,6 +512,8 @@ pub(crate) fn completed_outcome(
         on_time_s: out.on_time_s,
         error_percent: out.error_percent,
         outages: out.outages,
+        checkpoints: out.substrate.checkpoints,
+        commits: out.substrate.commits,
         forward_progress,
     }
 }
@@ -509,6 +529,8 @@ pub(crate) fn incomplete_outcome(device: u64, cohort: usize, fate: DeviceFate) -
         on_time_s: 0.0,
         error_percent: 0.0,
         outages: 0,
+        checkpoints: 0,
+        commits: 0,
         forward_progress: 0.0,
     }
 }

@@ -21,6 +21,8 @@ fn outcome(device: u64, fate: DeviceFate, x: f64) -> DeviceOutcome {
         on_time_s: x * 0.25,
         error_percent: (x * 7.3).fract() * 12.0,
         outages: (x * 100.0) as u64 % 40,
+        checkpoints: (x * 130.0) as u64 % 90,
+        commits: (x * 50.0) as u64 % 25,
         // Every 5th device carries an out-of-range progress value (the
         // runner clamps at the source, but the aggregate must stay
         // internally consistent even on hostile inputs).

@@ -45,6 +45,7 @@ pub mod clank;
 pub mod executor;
 pub mod lockstep;
 pub mod nvp;
+pub mod progress;
 pub mod substrate;
 pub mod task;
 
@@ -56,5 +57,6 @@ pub use lockstep::{
     SubstrateMirror,
 };
 pub use nvp::{Nvp, NvpConfig};
+pub use progress::{FaultFreeProfile, ProgressModel};
 pub use substrate::Substrate;
 pub use task::{Task, TaskConfig, TaskRegion};

@@ -1,0 +1,228 @@
+//! Closed-form per-substrate progress models for the analytic
+//! predictor (wn-analyze).
+//!
+//! Each model answers one question: when an outage interrupts a device
+//! mid-run, how many cycles of useful work are discarded, what does
+//! getting back to the interrupted point cost, and how do the
+//! substrate's checkpoint/commit counters move? The inputs are a
+//! [`FaultFreeProfile`] — exact counters measured from one
+//! continuous-power run of the same prepared kernel — and the
+//! substrate's own config; the outputs are expectations, under the
+//! standard renewal assumption that an outage lands uniformly at random
+//! within the work between two persistence points.
+
+use crate::{ClankConfig, NvpConfig, TaskConfig};
+
+/// Exact per-kernel counters from a single fault-free run under
+/// continuous power (harvest ≫ drain, so the device never browns out).
+/// wn-analyze measures this once per cohort and feeds it to the
+/// substrate models; nothing here is estimated.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultFreeProfile {
+    /// Compute cycles retired (excludes substrate overhead).
+    pub active_cycles: u64,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Substrate bookkeeping cycles under continuous power
+    /// (checkpoints + commits; no restores, no re-execution).
+    pub overhead_cycles: u64,
+    /// Checkpoints taken under continuous power (violation-, capacity-
+    /// and watchdog-triggered).
+    pub checkpoints: u64,
+    /// Task-boundary commits under continuous power.
+    pub commits: u64,
+    /// Task substrates only: compute cycles of each *dynamic* region
+    /// entry, in execution order. Empty for checkpoint substrates.
+    pub region_entry_cycles: Vec<u64>,
+}
+
+/// Expected per-outage costs and counter deltas for one substrate on
+/// one profiled kernel. All expectations; exactness claims live in
+/// DESIGN.md §13.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgressModel {
+    /// Fixed fee charged on every post-outage restore (checkpoint
+    /// restore or NVP wakeup), cycles.
+    pub restore_cycles: u64,
+    /// Expected useful cycles discarded per outage (work since the
+    /// last persistence point, re-executed after restore).
+    pub loss_per_outage_cycles: f64,
+    /// Expected extra checkpoints per outage: persistence actions the
+    /// re-executed work repeats (Clank re-takes ~½ a checkpoint along
+    /// the redo path) or the outage itself triggers (NVP backs up its
+    /// flip-flops at the brownout edge).
+    pub checkpoints_per_outage: f64,
+    /// Expected extra commits per outage (0 for all current
+    /// substrates: an interrupted region simply had not committed yet).
+    pub commits_per_outage: f64,
+    /// Expected extra *overhead* cycles per outage beyond the restore
+    /// fee (cost of the re-taken checkpoints).
+    pub extra_overhead_per_outage_cycles: f64,
+    /// Atomicity floor: a power cycle delivering fewer cycles than
+    /// this can never advance persistent state, so the device loops
+    /// forever (Alpaca-style non-termination). The predictor reports
+    /// such cohorts as starved.
+    pub min_period_cycles: f64,
+}
+
+impl ProgressModel {
+    /// Clank: rollback to the last checkpoint. The checkpoint interval
+    /// is whichever is tighter — the watchdog period or the observed
+    /// mean gap between fault-free checkpoints (violation/capacity
+    /// checkpoints shrink it below the watchdog). An outage lands
+    /// uniformly inside an interval, discarding half of one on
+    /// average; the redo path re-takes the same fraction of a
+    /// checkpoint.
+    pub fn clank(config: &ClankConfig, profile: &FaultFreeProfile) -> ProgressModel {
+        let mean_gap = profile.active_cycles as f64 / (profile.checkpoints + 1) as f64;
+        let interval = (config.watchdog_cycles as f64).min(mean_gap).max(1.0);
+        let loss = interval / 2.0;
+        let reckpt = loss / interval; // = 0.5, kept symbolic for clarity
+        ProgressModel {
+            restore_cycles: config.restore_cycles,
+            loss_per_outage_cycles: loss,
+            checkpoints_per_outage: reckpt,
+            commits_per_outage: 0.0,
+            extra_overhead_per_outage_cycles: reckpt * config.checkpoint_cycles as f64,
+            // Must survive a restore plus one full interval plus the
+            // checkpoint that persists it.
+            min_period_cycles: config.restore_cycles as f64
+                + interval
+                + config.checkpoint_cycles as f64,
+        }
+    }
+
+    /// NVP: flip-flops are backed up at the brownout edge (one
+    /// checkpoint per outage, free) and execution resumes exactly
+    /// where it stopped after the wakeup fee — no work is ever lost.
+    pub fn nvp(config: &NvpConfig, _profile: &FaultFreeProfile) -> ProgressModel {
+        ProgressModel {
+            restore_cycles: config.wakeup_cycles,
+            loss_per_outage_cycles: 0.0,
+            checkpoints_per_outage: 1.0,
+            commits_per_outage: 0.0,
+            extra_overhead_per_outage_cycles: 0.0,
+            min_period_cycles: config.wakeup_cycles as f64 + 1.0,
+        }
+    }
+
+    /// Alpaca-style tasks: an outage rolls back to the current
+    /// region's entry. Outages land in a region with probability
+    /// proportional to its length, uniformly within it, so the
+    /// expected discarded work is the length-biased residual
+    /// `E[L²] / (2·E[L])` over the dynamic region-entry lengths.
+    /// Commits are unchanged in expectation — an interrupted region
+    /// had not committed, and its re-execution commits exactly once.
+    pub fn task(config: &TaskConfig, profile: &FaultFreeProfile) -> ProgressModel {
+        let lens = &profile.region_entry_cycles;
+        let (mean, mean_sq, max) = if lens.is_empty() {
+            (
+                profile.active_cycles.max(1) as f64,
+                0.0,
+                profile.active_cycles as f64,
+            )
+        } else {
+            let n = lens.len() as f64;
+            let mean = lens.iter().sum::<u64>() as f64 / n;
+            let mean_sq = lens.iter().map(|&l| (l as f64) * (l as f64)).sum::<f64>() / n;
+            let max = *lens.iter().max().unwrap() as f64;
+            (mean, mean_sq, max)
+        };
+        let residual = if mean > 0.0 {
+            mean_sq / (2.0 * mean)
+        } else {
+            0.0
+        };
+        ProgressModel {
+            restore_cycles: config.restore_cycles,
+            loss_per_outage_cycles: residual,
+            checkpoints_per_outage: 0.0,
+            commits_per_outage: 0.0,
+            extra_overhead_per_outage_cycles: 0.0,
+            // The longest region must complete inside one power cycle
+            // (restore, the region, its commit) or the device loops on
+            // it forever.
+            min_period_cycles: config.restore_cycles as f64 + max + config.commit_cycles as f64,
+        }
+    }
+
+    /// Total expected dead cycles per outage: discarded work plus the
+    /// restore fee plus re-taken persistence overhead.
+    pub fn dead_cycles_per_outage(&self) -> f64 {
+        self.loss_per_outage_cycles
+            + self.restore_cycles as f64
+            + self.extra_overhead_per_outage_cycles
+    }
+
+    /// Expected useful cycles retired during one on-period delivering
+    /// `period_cycles` of execution budget.
+    pub fn net_progress_per_period(&self, period_cycles: f64) -> f64 {
+        period_cycles - self.dead_cycles_per_outage()
+    }
+
+    /// True when a power cycle of `period_cycles` can advance
+    /// persistent state at all.
+    pub fn feasible(&self, period_cycles: f64) -> bool {
+        period_cycles >= self.min_period_cycles && self.net_progress_per_period(period_cycles) > 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(active: u64, ckpts: u64) -> FaultFreeProfile {
+        FaultFreeProfile {
+            active_cycles: active,
+            instructions: active,
+            overhead_cycles: 0,
+            checkpoints: ckpts,
+            commits: 0,
+            region_entry_cycles: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn clank_interval_is_min_of_watchdog_and_observed_gap() {
+        let config = ClankConfig::default(); // watchdog 4000
+                                             // Sparse checkpoints: watchdog dominates.
+        let m = ProgressModel::clank(&config, &profile(1_000_000, 3));
+        assert_eq!(
+            m.loss_per_outage_cycles,
+            config.watchdog_cycles as f64 / 2.0
+        );
+        assert_eq!(m.checkpoints_per_outage, 0.5);
+        // Dense violation checkpoints: observed gap dominates.
+        let m = ProgressModel::clank(&config, &profile(10_000, 99));
+        assert_eq!(m.loss_per_outage_cycles, 50.0);
+    }
+
+    #[test]
+    fn nvp_loses_nothing_and_backs_up_once_per_outage() {
+        let m = ProgressModel::nvp(&NvpConfig::default(), &profile(1_000, 0));
+        assert_eq!(m.loss_per_outage_cycles, 0.0);
+        assert_eq!(m.checkpoints_per_outage, 1.0);
+        assert_eq!(m.dead_cycles_per_outage(), 10.0);
+    }
+
+    #[test]
+    fn task_residual_is_length_biased() {
+        let mut p = profile(400, 0);
+        p.region_entry_cycles = vec![100, 300];
+        let m = ProgressModel::task(&TaskConfig::default(), &p);
+        // E[L] = 200, E[L²] = 50_000 → residual 125, not the naive 100.
+        assert_eq!(m.loss_per_outage_cycles, 125.0);
+        assert_eq!(m.commits_per_outage, 0.0);
+        // Longest region + commit + restore bound the atomicity floor.
+        assert_eq!(m.min_period_cycles, 40.0 + 300.0 + 40.0);
+    }
+
+    #[test]
+    fn feasibility_gates_on_floor_and_net_progress() {
+        let mut p = profile(400, 0);
+        p.region_entry_cycles = vec![100, 300];
+        let m = ProgressModel::task(&TaskConfig::default(), &p);
+        assert!(!m.feasible(300.0));
+        assert!(m.feasible(500.0));
+    }
+}
